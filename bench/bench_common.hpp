@@ -1,0 +1,25 @@
+// Shared helpers for the evaluation harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace scallop::bench {
+
+// Paper-scale runs are opt-in: the defaults are scaled to finish within
+// seconds while preserving the experiment's shape.
+inline bool FullScale() {
+  const char* env = std::getenv("SCALLOP_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace scallop::bench

@@ -1,0 +1,38 @@
+// Figure 2: number of media streams at the SFU per meeting as a function
+// of meeting size, from the synthetic campus dataset (Appendix B model).
+// Paper shape: median tracks well below the dashed 2N^2 bound; 10-party
+// meetings already reach ~200 streams, 25-party meetings exceed 700.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trace/campus.hpp"
+
+int main() {
+  using namespace scallop;
+  bench::Header("Figure 2: media streams at the SFU vs meeting size");
+
+  trace::CampusModel model;
+  auto rows = model.StreamsPerMeetingSize(25);
+
+  std::printf("%13s %9s %12s %13s %12s %12s\n", "participants", "meetings",
+              "min_streams", "median", "max", "bound 2N^2");
+  for (const auto& r : rows) {
+    std::printf("%13d %9d %12d %13.0f %12d %12d\n", r.participants,
+                r.meetings, r.min_streams, r.median_streams, r.max_streams,
+                r.theoretical_bound);
+  }
+
+  // Paper call-outs.
+  for (const auto& r : rows) {
+    if (r.participants == 10) {
+      std::printf("\n10-party meetings: up to %d streams (paper: ~200)\n",
+                  r.max_streams);
+    }
+    if (r.participants == 25) {
+      std::printf("25-party meetings: up to %d streams (paper: >700, "
+                  "theoretical max 1250)\n",
+                  r.max_streams);
+    }
+  }
+  return 0;
+}

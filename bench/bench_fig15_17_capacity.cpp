@@ -1,0 +1,63 @@
+// Figures 15, 16 and 17: scalability of Scallop vs a 32-core software SFU
+// from the capacity model (hardware constants calibrated to the paper's
+// anchors — see DESIGN.md §5).
+//   Fig. 15: improvement band (min/max over design+rewriter variants).
+//   Fig. 16: best/worst-case supported meetings (log scale in the paper).
+//   Fig. 17: per-bottleneck lines (NRA, RA-R, RA-SR, S-LM, S-LR,
+//            bandwidth, software).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/capacity.hpp"
+
+int main() {
+  using namespace scallop;
+  core::CapacityModel model;
+
+  bench::Header("Figure 15: Scallop scalability gain over software");
+  std::printf("%4s %12s %12s\n", "N", "improve_min", "improve_max");
+  double band_lo = 1e18, band_hi = 0;
+  for (int n : {2, 3, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
+    auto [lo, hi] = model.ImprovementRange(n);
+    band_lo = std::min(band_lo, lo);
+    band_hi = std::max(band_hi, hi);
+    std::printf("%4d %12.1f %12.1f\n", n, lo, hi);
+  }
+  std::printf("Band overall: %.0fx - %.0fx (paper: 7-210x)\n", band_lo,
+              band_hi);
+
+  bench::Header("Figure 16: best/worst-case supported meetings");
+  std::printf("%4s %14s %14s %14s %14s\n", "N", "scallop_min", "scallop_max",
+              "software_min", "software_max");
+  for (int n : {2, 5, 10, 20, 40, 60, 80, 100}) {
+    // max: one sender; min: all N send (paper's bounds).
+    core::Workload all_send{n, n, 2};
+    core::Workload one_send{n, 1, 2};
+    auto b_all = model.Evaluate(all_send);
+    auto b_one = model.Evaluate(one_send);
+    std::printf("%4d %14.0f %14.0f %14.0f %14.0f\n", n,
+                b_all.ScallopWorst(), b_one.ScallopBest(), b_all.software,
+                b_one.software);
+  }
+
+  bench::Header("Figure 17: per-bottleneck capacity lines (all senders)");
+  std::printf("%4s %10s %10s %10s %10s %10s %11s %10s\n", "N", "NRA", "RA-R",
+              "RA-SR", "S-LM", "S-LR", "bandwidth", "software");
+  for (int n : {3, 5, 10, 20, 30, 50, 70, 100}) {
+    auto b = model.Evaluate(core::Workload{n, n, 2});
+    std::printf("%4d %10.0f %10.0f %10.0f %10.0f %10.0f %11.0f %10.1f\n", n,
+                b.nra, b.ra_r, b.ra_sr, b.slm, b.slr, b.bandwidth,
+                b.software);
+  }
+
+  bench::Header("Headline capacities (paper §6.1)");
+  auto ten = model.Evaluate(core::Workload{10, 10, 2});
+  auto two = model.Evaluate(core::Workload{2, 2, 2});
+  std::printf("NRA:        %8.0f meetings   (paper 128K)\n", ten.nra);
+  std::printf("RA-R:       %8.0f meetings   (paper 42.7K)\n", ten.ra_r);
+  std::printf("RA-SR N=10: %8.0f meetings   (paper 4.3K; server 192)\n",
+              ten.ra_sr);
+  std::printf("Two-party:  %8.0f meetings   (paper 533K; server 4.8K)\n",
+              two.two_party);
+  return 0;
+}

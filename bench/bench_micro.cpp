@@ -1,0 +1,183 @@
+// Micro-benchmarks of the per-packet primitives: wire-format parsing,
+// classification, PRE replication, sequence rewriting and GCC updates.
+// These bound the simulator's fidelity and document the relative cost of
+// the operations Scallop moves into hardware.
+#include <benchmark/benchmark.h>
+
+#include "av1/dependency_descriptor.hpp"
+#include "bwe/estimator.hpp"
+#include "core/seqrewrite.hpp"
+#include "media/encoder.hpp"
+#include "media/packetizer.hpp"
+#include "rtp/classifier.hpp"
+#include "rtp/rtcp.hpp"
+#include "rtp/rtp_packet.hpp"
+#include "switchsim/parser.hpp"
+#include "switchsim/pre.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace scallop;
+
+std::vector<uint8_t> MakeVideoPacket() {
+  rtp::RtpPacket pkt;
+  pkt.payload_type = 96;
+  pkt.sequence_number = 1234;
+  pkt.timestamp = 90'000;
+  pkt.ssrc = 0xABCD;
+  av1::DependencyDescriptor dd;
+  dd.template_id = 3;
+  dd.frame_number = 77;
+  pkt.SetExtension(av1::kDdExtensionId, dd.Serialize());
+  pkt.SetExtension(media::kAbsSendTimeExtensionId,
+                   media::EncodeAbsSendTime(123'456));
+  pkt.payload.assign(1200, 0x55);
+  return pkt.Serialize();
+}
+
+void BM_RtpParse(benchmark::State& state) {
+  auto wire = MakeVideoPacket();
+  for (auto _ : state) {
+    auto parsed = rtp::RtpPacket::Parse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_RtpParse);
+
+void BM_RtpSerialize(benchmark::State& state) {
+  rtp::RtpPacket pkt;
+  pkt.payload.assign(1200, 0x55);
+  av1::DependencyDescriptor dd;
+  pkt.SetExtension(av1::kDdExtensionId, dd.Serialize());
+  for (auto _ : state) {
+    auto wire = pkt.Serialize();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_RtpSerialize);
+
+void BM_Classify(benchmark::State& state) {
+  auto wire = MakeVideoPacket();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtp::Classify(wire));
+  }
+}
+BENCHMARK(BM_Classify);
+
+void BM_SeqPatchInPlace(benchmark::State& state) {
+  auto wire = MakeVideoPacket();
+  uint16_t seq = 0;
+  for (auto _ : state) {
+    rtp::PatchSequenceNumber(wire, ++seq);
+    benchmark::DoNotOptimize(wire.data());
+  }
+}
+BENCHMARK(BM_SeqPatchInPlace);
+
+void BM_DepthAwareLocate(benchmark::State& state) {
+  // The data plane's actual DD extraction path (paper Appendix E) vs the
+  // full software parse below.
+  auto wire = MakeVideoPacket();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        switchsim::LocateRtpExtension(wire, av1::kDdExtensionId));
+  }
+}
+BENCHMARK(BM_DepthAwareLocate);
+
+void BM_DdPeek(benchmark::State& state) {
+  av1::DependencyDescriptor dd;
+  dd.template_id = 4;
+  dd.frame_number = 99;
+  auto bytes = dd.Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(av1::PeekMandatory(bytes));
+  }
+}
+BENCHMARK(BM_DdPeek);
+
+void BM_RtcpCompoundParse(benchmark::State& state) {
+  rtp::ReceiverReport rr;
+  rr.blocks.resize(1);
+  rtp::Remb remb;
+  remb.bitrate_bps = 1'000'000;
+  remb.media_ssrcs = {1};
+  std::vector<rtp::RtcpMessage> msgs{rr, remb};
+  auto wire = rtp::SerializeCompound(msgs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtp::ParseCompound(wire));
+  }
+}
+BENCHMARK(BM_RtcpCompoundParse);
+
+void BM_PreReplicate(benchmark::State& state) {
+  switchsim::ReplicationEngine pre;
+  pre.CreateTree(1);
+  int n = static_cast<int>(state.range(0));
+  for (int p = 1; p <= n; ++p) {
+    pre.AddNode(1, switchsim::L1Node{static_cast<uint32_t>(p),
+                                     static_cast<uint16_t>(p), 0, false,
+                                     {static_cast<uint32_t>(p)}});
+  }
+  pre.MapL2Xid(1, {1});
+  for (auto _ : state) {
+    auto replicas = pre.Replicate(1, 0, 1, 1);
+    benchmark::DoNotOptimize(replicas);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PreReplicate)->Arg(3)->Arg(10)->Arg(50);
+
+void BM_SlmProcess(benchmark::State& state) {
+  core::SlmRewriter rw(core::SkipCadence::ForDecodeTarget(1, 1));
+  uint16_t seq = 0;
+  uint16_t frame = 0;
+  for (auto _ : state) {
+    ++seq;
+    if (seq % 2 == 0) ++frame;
+    core::RewritePacketView v{seq, frame, true, true, frame % 2 == 0};
+    benchmark::DoNotOptimize(rw.Process(v));
+  }
+}
+BENCHMARK(BM_SlmProcess);
+
+void BM_SlrProcess(benchmark::State& state) {
+  core::SlrRewriter rw(core::SkipCadence::ForDecodeTarget(1, 1));
+  uint16_t seq = 0;
+  uint16_t frame = 0;
+  for (auto _ : state) {
+    ++seq;
+    if (seq % 2 == 0) ++frame;
+    core::RewritePacketView v{seq, frame, true, true, frame % 2 == 0};
+    benchmark::DoNotOptimize(rw.Process(v));
+  }
+}
+BENCHMARK(BM_SlrProcess);
+
+void BM_GccUpdate(benchmark::State& state) {
+  bwe::ReceiverBandwidthEstimator est;
+  util::Rng rng(1);
+  util::TimeUs t = 0;
+  for (auto _ : state) {
+    t += 8'000;
+    est.OnPacket(t + static_cast<util::TimeUs>(rng.Uniform(0, 500)), t, 1200);
+    benchmark::DoNotOptimize(est.estimate());
+  }
+}
+BENCHMARK(BM_GccUpdate);
+
+void BM_EncoderFrame(benchmark::State& state) {
+  media::SvcEncoder enc(media::SvcEncoderConfig{}, 7);
+  media::Packetizer packetizer(media::PacketizerConfig{.ssrc = 1});
+  util::TimeUs t = 0;
+  for (auto _ : state) {
+    t += 33'333;
+    auto frame = enc.NextFrame(t);
+    auto pkts = packetizer.Packetize(frame, t);
+    benchmark::DoNotOptimize(pkts);
+  }
+}
+BENCHMARK(BM_EncoderFrame);
+
+}  // namespace

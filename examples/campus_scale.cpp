@@ -1,0 +1,76 @@
+// Campus-scale snapshot: drive a mixed meeting load (sizes drawn from the
+// campus model) through one Scallop switch and report the control/data
+// plane split, PRE usage and per-design meeting counts — the workload the
+// paper's §7.1/§7.2 evaluates.
+#include <cstdio>
+#include <map>
+
+#include "testbed/testbed.hpp"
+#include "trace/campus.hpp"
+
+using namespace scallop;
+
+int main() {
+  testbed::TestbedConfig cfg;
+  cfg.peer.encoder.start_bitrate_bps = 500'000;
+  testbed::ScallopTestbed bed(cfg);
+
+  // Meeting sizes from the campus model's distribution (scaled count).
+  trace::CampusConfig campus_cfg;
+  campus_cfg.total_meetings = 12;
+  campus_cfg.max_participants = 6;
+  trace::CampusModel campus(campus_cfg);
+
+  int total_peers = 0;
+  int meetings_created = 0;
+  for (const auto& m : campus.meetings()) {
+    if (meetings_created >= 10 || total_peers + m.participants > 30) continue;
+    auto meeting = bed.CreateMeeting();
+    for (int p = 0; p < std::max(2, m.participants); ++p) {
+      bed.AddPeer().Join(bed.controller(), meeting);
+      ++total_peers;
+    }
+    ++meetings_created;
+  }
+  std::printf("Running %d meetings / %d participants through one switch...\n",
+              meetings_created, total_peers);
+  bed.RunFor(20.0);
+
+  const auto& sw = bed.sw().stats();
+  double dp_pct = 100.0 *
+                  static_cast<double>(sw.packets_in - sw.packets_to_cpu) /
+                  static_cast<double>(sw.packets_in);
+  std::printf("\nSwitch: %lu packets in, %lu replicas out, %lu to CPU "
+              "(%.2f%% stayed in the data plane)\n",
+              static_cast<unsigned long>(sw.packets_in),
+              static_cast<unsigned long>(sw.replicas),
+              static_cast<unsigned long>(sw.packets_to_cpu), dp_pct);
+  std::printf("PRE: %zu trees, %zu L1 nodes for %d meetings "
+              "(m=2 meetings share NRA trees)\n",
+              bed.sw().pre().tree_count(), bed.sw().pre().node_count(),
+              meetings_created);
+
+  const auto& agent = bed.agent().stats();
+  std::printf("Agent: %lu CPU packets, %lu STUN handled, %lu REMB "
+              "processed, %lu rule writes\n",
+              static_cast<unsigned long>(agent.cpu_packets),
+              static_cast<unsigned long>(agent.stun_handled),
+              static_cast<unsigned long>(agent.remb_processed),
+              static_cast<unsigned long>(agent.dataplane_writes));
+
+  // Per-peer QoE sanity: every receiver decodes every sender.
+  int healthy = 0, receivers = 0;
+  for (auto& peer : bed.peers()) {
+    for (auto sender : peer->remote_senders()) {
+      const auto* rx = peer->video_receiver(sender);
+      if (rx == nullptr) continue;
+      ++receivers;
+      if (rx->RecentFps(bed.sched().now(), util::Seconds(3)) > 25.0) {
+        ++healthy;
+      }
+    }
+  }
+  std::printf("QoE: %d/%d receiver streams at full frame rate\n", healthy,
+              receivers);
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "bwe/aimd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scallop::bwe {
+
+AimdRateControl::AimdRateControl(const AimdConfig& cfg,
+                                 uint64_t start_bitrate_bps)
+    : cfg_(cfg), estimate_(start_bitrate_bps) {}
+
+uint64_t AimdRateControl::Update(BandwidthUsage usage,
+                                 uint64_t incoming_rate_bps,
+                                 util::TimeUs now) {
+  if (last_update_ == 0) last_update_ = now;
+  double dt_s = std::min(util::ToSeconds(now - last_update_), 1.0);
+  last_update_ = now;
+
+  // State machine per the GCC draft: over-use always forces Decrease;
+  // under-use forces Hold (the queues are draining); normal moves
+  // Hold -> Increase.
+  switch (usage) {
+    case BandwidthUsage::kOverusing:
+      state_ = State::kDecrease;
+      break;
+    case BandwidthUsage::kUnderusing:
+      state_ = State::kHold;
+      break;
+    case BandwidthUsage::kNormal:
+      if (state_ == State::kHold || state_ == State::kDecrease) {
+        state_ = State::kIncrease;
+      }
+      break;
+  }
+
+  switch (state_) {
+    case State::kDecrease: {
+      uint64_t base = incoming_rate_bps > 0 ? incoming_rate_bps : estimate_;
+      estimate_ = static_cast<uint64_t>(cfg_.beta * static_cast<double>(base));
+      ever_decreased_ = true;
+      state_ = State::kHold;
+      break;
+    }
+    case State::kIncrease: {
+      double eta = std::pow(cfg_.increase_rate_per_s, dt_s);
+      estimate_ = static_cast<uint64_t>(static_cast<double>(estimate_) * eta);
+      if (incoming_rate_bps > 0) {
+        uint64_t cap = static_cast<uint64_t>(
+            cfg_.max_rate_multiplier * static_cast<double>(incoming_rate_bps));
+        estimate_ = std::min(estimate_, cap);
+      }
+      break;
+    }
+    case State::kHold:
+      break;
+  }
+
+  estimate_ = std::clamp(estimate_, cfg_.min_bitrate_bps, cfg_.max_bitrate_bps);
+  return estimate_;
+}
+
+}  // namespace scallop::bwe

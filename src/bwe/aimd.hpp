@@ -1,0 +1,44 @@
+// AIMD remote-rate controller (GCC): multiplicative increase while the
+// network is underutilized, multiplicative decrease (beta = 0.85 of the
+// measured incoming rate) on over-use.
+#pragma once
+
+#include <cstdint>
+
+#include "bwe/trendline.hpp"
+#include "util/time.hpp"
+
+namespace scallop::bwe {
+
+struct AimdConfig {
+  uint64_t min_bitrate_bps = 50'000;
+  uint64_t max_bitrate_bps = 10'000'000;
+  double beta = 0.85;               // decrease factor on over-use
+  double increase_rate_per_s = 1.08;  // multiplicative growth per second
+  // Cap on estimate relative to the measured incoming rate.
+  double max_rate_multiplier = 1.5;
+};
+
+class AimdRateControl {
+ public:
+  AimdRateControl(const AimdConfig& cfg, uint64_t start_bitrate_bps);
+
+  // Feeds a detector state transition plus the currently measured incoming
+  // rate; returns the updated target estimate.
+  uint64_t Update(BandwidthUsage usage, uint64_t incoming_rate_bps,
+                  util::TimeUs now);
+
+  uint64_t estimate() const { return estimate_; }
+  bool ever_decreased() const { return ever_decreased_; }
+
+ private:
+  enum class State { kHold, kIncrease, kDecrease };
+
+  AimdConfig cfg_;
+  uint64_t estimate_;
+  State state_ = State::kIncrease;
+  util::TimeUs last_update_ = 0;
+  bool ever_decreased_ = false;
+};
+
+}  // namespace scallop::bwe

@@ -1,0 +1,69 @@
+// Receiver-side bandwidth estimator facade: feeds packets through
+// InterArrival -> Trendline -> AIMD, measures the incoming rate over a
+// sliding window, and decides when a REMB should be emitted (periodic, or
+// immediately on a significant decrease) — the paper's §5.2 mode.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "bwe/aimd.hpp"
+#include "bwe/inter_arrival.hpp"
+#include "bwe/trendline.hpp"
+#include "util/time.hpp"
+
+namespace scallop::bwe {
+
+// Sliding-window incoming bitrate.
+class RateWindow {
+ public:
+  explicit RateWindow(util::DurationUs window = util::Millis(500))
+      : window_(window) {}
+
+  void Add(util::TimeUs t, size_t bytes);
+  uint64_t RateBps(util::TimeUs now) const;
+
+ private:
+  util::DurationUs window_;
+  util::TimeUs first_add_ = -1;
+  mutable std::deque<std::pair<util::TimeUs, size_t>> samples_;
+};
+
+struct EstimatorConfig {
+  AimdConfig aimd;
+  TrendlineConfig trendline;
+  uint64_t start_bitrate_bps = 1'000'000;
+  util::DurationUs remb_interval = util::Seconds(1);
+  // Immediate REMB when the estimate falls below this fraction of the last
+  // value sent.
+  double decrease_trigger = 0.97;
+};
+
+class ReceiverBandwidthEstimator {
+ public:
+  explicit ReceiverBandwidthEstimator(const EstimatorConfig& cfg = {});
+
+  // `send_time` comes from the abs-send-time extension.
+  void OnPacket(util::TimeUs arrival, util::TimeUs send_time, size_t bytes);
+
+  // Returns a bitrate if a REMB message should be sent now.
+  std::optional<uint64_t> MaybeRemb(util::TimeUs now);
+
+  uint64_t estimate() const { return aimd_.estimate(); }
+  uint64_t incoming_rate_bps(util::TimeUs now) const {
+    return rate_.RateBps(now);
+  }
+  BandwidthUsage detector_state() const { return trendline_.State(); }
+
+ private:
+  EstimatorConfig cfg_;
+  InterArrival inter_arrival_;
+  TrendlineEstimator trendline_;
+  AimdRateControl aimd_;
+  RateWindow rate_;
+  util::TimeUs last_remb_ = 0;
+  uint64_t last_remb_value_ = 0;
+};
+
+}  // namespace scallop::bwe

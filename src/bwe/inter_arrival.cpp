@@ -1,0 +1,49 @@
+#include "bwe/inter_arrival.hpp"
+
+#include <algorithm>
+
+namespace scallop::bwe {
+
+std::optional<InterArrivalDeltas> InterArrival::OnPacket(
+    util::TimeUs send_time, util::TimeUs arrival_time, size_t bytes) {
+  if (!current_.valid) {
+    current_ = {send_time, send_time, arrival_time, arrival_time, bytes, true};
+    return std::nullopt;
+  }
+
+  // Out-of-order in the send-time domain: fold into the current group.
+  if (send_time < current_.first_send) {
+    current_.bytes += bytes;
+    return std::nullopt;
+  }
+
+  bool same_burst = (send_time - current_.first_send) <= burst_window_;
+  if (same_burst) {
+    current_.last_send = std::max(current_.last_send, send_time);
+    current_.last_arrival = std::max(current_.last_arrival, arrival_time);
+    current_.bytes += bytes;
+    return std::nullopt;
+  }
+
+  std::optional<InterArrivalDeltas> out;
+  if (previous_.valid) {
+    InterArrivalDeltas d;
+    d.send_delta_ms =
+        util::ToMillis(current_.last_send - previous_.last_send);
+    d.arrival_delta_ms =
+        util::ToMillis(current_.last_arrival - previous_.last_arrival);
+    d.size_delta_bytes =
+        static_cast<int>(current_.bytes) - static_cast<int>(previous_.bytes);
+    if (d.send_delta_ms > 0) out = d;
+  }
+  previous_ = current_;
+  current_ = {send_time, send_time, arrival_time, arrival_time, bytes, true};
+  return out;
+}
+
+void InterArrival::Reset() {
+  current_ = Group{};
+  previous_ = Group{};
+}
+
+}  // namespace scallop::bwe

@@ -1,0 +1,47 @@
+// Packet-group inter-arrival computation for GCC (Carlucci et al., 2017).
+// Packets sent within a 5 ms burst window form a group; the estimator
+// consumes (send delta, arrival delta) pairs between consecutive groups.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/time.hpp"
+
+namespace scallop::bwe {
+
+struct InterArrivalDeltas {
+  double send_delta_ms = 0.0;
+  double arrival_delta_ms = 0.0;
+  int size_delta_bytes = 0;
+};
+
+class InterArrival {
+ public:
+  explicit InterArrival(util::DurationUs burst_window = util::Millis(5))
+      : burst_window_(burst_window) {}
+
+  // Feeds one packet; returns deltas when this packet starts a new group
+  // (i.e., the previous group is complete).
+  std::optional<InterArrivalDeltas> OnPacket(util::TimeUs send_time,
+                                             util::TimeUs arrival_time,
+                                             size_t bytes);
+
+  void Reset();
+
+ private:
+  struct Group {
+    util::TimeUs first_send = 0;
+    util::TimeUs last_send = 0;
+    util::TimeUs first_arrival = 0;
+    util::TimeUs last_arrival = 0;
+    size_t bytes = 0;
+    bool valid = false;
+  };
+
+  util::DurationUs burst_window_;
+  Group current_;
+  Group previous_;
+};
+
+}  // namespace scallop::bwe

@@ -1,0 +1,96 @@
+#include "bwe/trendline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scallop::bwe {
+
+TrendlineEstimator::TrendlineEstimator(const TrendlineConfig& cfg)
+    : cfg_(cfg), threshold_(cfg.initial_threshold) {}
+
+void TrendlineEstimator::Update(double recv_delta_ms, double send_delta_ms,
+                                util::TimeUs arrival_time) {
+  double delta_ms = recv_delta_ms - send_delta_ms;
+  ++num_deltas_;
+  accumulated_delay_ += delta_ms;
+  smoothed_delay_ = cfg_.smoothing * smoothed_delay_ +
+                    (1.0 - cfg_.smoothing) * accumulated_delay_;
+
+  double arrival_ms = util::ToMillis(arrival_time);
+  if (first_arrival_ms_ < 0) first_arrival_ms_ = arrival_ms;
+  samples_.emplace_back(arrival_ms - first_arrival_ms_, smoothed_delay_);
+  if (samples_.size() > cfg_.window_size) samples_.pop_front();
+
+  if (samples_.size() == cfg_.window_size) {
+    // Least-squares slope of smoothed delay vs time.
+    double mean_x = 0.0, mean_y = 0.0;
+    for (const auto& [x, y] : samples_) {
+      mean_x += x;
+      mean_y += y;
+    }
+    mean_x /= static_cast<double>(samples_.size());
+    mean_y /= static_cast<double>(samples_.size());
+    double num = 0.0, den = 0.0;
+    for (const auto& [x, y] : samples_) {
+      num += (x - mean_x) * (y - mean_y);
+      den += (x - mean_x) * (x - mean_x);
+    }
+    if (den > 1e-9) trend_ = num / den;
+  }
+
+  Detect(trend_, send_delta_ms, arrival_time);
+}
+
+void TrendlineEstimator::Detect(double trend, double send_delta_ms,
+                                util::TimeUs now) {
+  if (num_deltas_ < 2) {
+    state_ = BandwidthUsage::kNormal;
+    return;
+  }
+  double modified_trend =
+      std::min(num_deltas_, 60) * trend * cfg_.threshold_gain;
+
+  if (modified_trend > threshold_) {
+    if (time_over_using_ < 0) {
+      time_over_using_ = send_delta_ms / 2.0;
+    } else {
+      time_over_using_ += send_delta_ms;
+    }
+    ++overuse_counter_;
+    if (time_over_using_ > util::ToMillis(cfg_.overuse_time_threshold) &&
+        overuse_counter_ > 1 && trend >= prev_trend_) {
+      time_over_using_ = 0.0;
+      overuse_counter_ = 0;
+      state_ = BandwidthUsage::kOverusing;
+    }
+  } else if (modified_trend < -threshold_) {
+    time_over_using_ = -1.0;
+    overuse_counter_ = 0;
+    state_ = BandwidthUsage::kUnderusing;
+  } else {
+    time_over_using_ = -1.0;
+    overuse_counter_ = 0;
+    state_ = BandwidthUsage::kNormal;
+  }
+  prev_trend_ = trend;
+  UpdateThreshold(modified_trend, now);
+}
+
+void TrendlineEstimator::UpdateThreshold(double modified_trend,
+                                         util::TimeUs now) {
+  if (last_threshold_update_ == 0) last_threshold_update_ = now;
+  double abs_trend = std::abs(modified_trend);
+  // Ignore spikes far above the threshold (standard GCC guard).
+  if (abs_trend > threshold_ + 15.0) {
+    last_threshold_update_ = now;
+    return;
+  }
+  double k = abs_trend < threshold_ ? cfg_.k_down : cfg_.k_up;
+  double time_delta_ms =
+      std::min(util::ToMillis(now - last_threshold_update_), 100.0);
+  threshold_ += k * (abs_trend - threshold_) * time_delta_ms;
+  threshold_ = std::clamp(threshold_, cfg_.min_threshold, cfg_.max_threshold);
+  last_threshold_update_ = now;
+}
+
+}  // namespace scallop::bwe

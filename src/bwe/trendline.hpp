@@ -1,0 +1,59 @@
+// Trendline over-use detector: least-squares slope of the smoothed one-way
+// queueing-delay trend, compared against an adaptive threshold (GCC's
+// replacement for the original Kalman filter).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "util/time.hpp"
+
+namespace scallop::bwe {
+
+enum class BandwidthUsage : uint8_t { kNormal, kOverusing, kUnderusing };
+
+struct TrendlineConfig {
+  size_t window_size = 20;
+  double smoothing = 0.9;          // EWMA on accumulated delay
+  double threshold_gain = 4.0;
+  double initial_threshold = 12.5;  // ms
+  double k_up = 0.0087;             // threshold adaptation rates
+  double k_down = 0.039;
+  double min_threshold = 6.0;
+  double max_threshold = 600.0;
+  util::DurationUs overuse_time_threshold = util::Millis(10);
+};
+
+class TrendlineEstimator {
+ public:
+  explicit TrendlineEstimator(const TrendlineConfig& cfg = {});
+
+  void Update(double recv_delta_ms, double send_delta_ms,
+              util::TimeUs arrival_time);
+
+  BandwidthUsage State() const { return state_; }
+  double trend() const { return trend_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  void Detect(double trend, double send_delta_ms, util::TimeUs now);
+  void UpdateThreshold(double modified_trend, util::TimeUs now);
+
+  TrendlineConfig cfg_;
+  std::deque<std::pair<double, double>> samples_;  // (time_ms, smoothed delay)
+  double accumulated_delay_ = 0.0;
+  double smoothed_delay_ = 0.0;
+  double first_arrival_ms_ = -1.0;
+  double trend_ = 0.0;
+  double prev_trend_ = 0.0;
+  double threshold_;
+  double time_over_using_ = -1.0;
+  int overuse_counter_ = 0;
+  int num_deltas_ = 0;
+  util::TimeUs last_threshold_update_ = 0;
+  BandwidthUsage state_ = BandwidthUsage::kNormal;
+};
+
+}  // namespace scallop::bwe

@@ -1,0 +1,79 @@
+#include "core/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scallop::core {
+
+double CapacityBreakdown::ScallopBest() const {
+  // Best achievable: the agent migrates meetings to the cheapest design
+  // that still serves the workload; the S-LM variant's memory is the
+  // gentler rewrite bound.
+  double design = std::max({two_party, nra, ra_r, ra_sr});
+  return std::min({design, slm, bandwidth});
+}
+
+double CapacityBreakdown::ScallopWorst() const {
+  // Worst case: sender-receiver-specific adaptation everywhere with the
+  // heavier S-LR state.
+  double design = ra_sr > 0 ? ra_sr : std::max(two_party, nra);
+  return std::min({design, slr, bandwidth});
+}
+
+CapacityBreakdown CapacityModel::Evaluate(const Workload& w) const {
+  CapacityBreakdown out;
+  double n = w.participants;
+  double s = std::min(w.senders, w.participants);
+  double media = w.media_types;
+
+  // Forwarded video streams per meeting: each sender replicated to N-1
+  // receivers (only video streams hold sequence-rewrite state).
+  double video_forwarded = s * (n - 1);
+
+  if (w.participants == 2) {
+    out.two_party = hw_.stream_index_entries / (2.0 * media);
+  }
+  // Tree-count bound, then the PRE L1-node budget (N nodes per meeting).
+  out.nra = std::min(hw_.meetings_per_tree * hw_.trees, hw_.l1_nodes / n);
+  out.ra_r = hw_.meetings_per_tree * hw_.trees / hw_.qualities;
+  out.ra_sr = 2.0 * hw_.trees / (hw_.qualities * n);
+
+  out.slm = hw_.slm_cells / (hw_.adapted_fraction * video_forwarded);
+  out.slr = hw_.slr_cells / (hw_.adapted_fraction * video_forwarded);
+
+  double per_meeting_bps = s * (n - 1) * hw_.stream_bitrate_bps;
+  out.bandwidth = hw_.bandwidth_bps / per_meeting_bps;
+
+  out.software = SoftwareMeetings(w);
+  return out;
+}
+
+double CapacityModel::SoftwareMeetings(const Workload& w) const {
+  double n = w.participants;
+  double s = std::min(w.senders, w.participants);
+  double cost = sw_.per_participant_units * n +
+                sw_.per_stream_units * s * (n - 1) * w.media_types;
+  return sw_.budget_units / cost;
+}
+
+std::pair<double, double> CapacityModel::ImprovementRange(
+    int participants) const {
+  Workload w;
+  w.participants = participants;
+  w.senders = participants;  // all-send: the paper's Fig. 15 configuration
+  CapacityBreakdown b = Evaluate(w);
+  double sw = b.software;
+  if (sw <= 0) return {0.0, 0.0};
+  if (participants == 2) {
+    // The two-party fast path governs both bounds: no trees are needed and
+    // only the rewrite memory can additionally bind.
+    double best = std::min(b.two_party, b.bandwidth) / sw;
+    double worst = std::min({b.two_party, b.slr, b.bandwidth}) / sw;
+    return {worst, best};
+  }
+  double lo = b.ScallopWorst() / sw;
+  double hi = b.ScallopBest() / sw;
+  return {lo, hi};
+}
+
+}  // namespace scallop::core

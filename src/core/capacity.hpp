@@ -1,0 +1,86 @@
+// Analytic capacity model behind the paper's scalability results
+// (Figs. 15-17 and the headline capacities in §6.1).
+//
+// Hardware constants reproduce the paper's anchors:
+//   NRA       : m*T                 = 2 * 65,536          = 128K meetings
+//   RA-R      : m*T/q               = 128K / 3            = 42.7K meetings
+//   RA-SR     : 2T/(q*N), N=10      = 2*65,536/30         = 4.3K meetings
+//   two-party : stream-index SRAM   = 1,066,667 entries/2 = 533K meetings
+// Software model: cost(meeting) = 2N + senders*(N-1)*media_types units on a
+// budget of 38,400 — the unique affine fit to the paper's 192 ten-party
+// all-send meetings and 4.8K two-party meetings on a 32-core server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scallop::core {
+
+struct HardwareModel {
+  double trees = 65'536;               // T
+  double meetings_per_tree = 2;        // m
+  double qualities = 3;                // q (L1T3)
+  double l1_nodes = 16'777'216;        // PRE L1 node budget
+  double bandwidth_bps = 12.8e12;      // switch capacity
+  double stream_index_entries = 1'066'667 * 2.0;  // two-party SRAM bound
+  // Sequence-rewrite register cells (concurrent rate-adapted streams).
+  double slm_cells = 65'536 * 4.0;     // S-LM footprint, all pipes
+  double slr_cells = 65'536 * 4.0 / 2.5;  // S-LR uses 2.5x the state
+  // Fraction of forwarded streams concurrently holding rewrite state.
+  double adapted_fraction = 0.065;
+  // Per forwarded A/V bundle; 500 kb/s reproduces the paper's 197 Gb/s
+  // egress throughput at maximum RA-SR utilization (Table 3).
+  double stream_bitrate_bps = 500e3;
+};
+
+struct SoftwareModel {
+  double budget_units = 38'400;  // 32-core server
+  double per_participant_units = 2.0;
+  double per_stream_units = 1.0;
+  int cores = 32;
+};
+
+struct Workload {
+  int participants = 10;   // N
+  int senders = 10;        // participants actively sending
+  int media_types = 2;     // video + audio
+};
+
+// Per-bottleneck meeting counts (the lines of Fig. 17).
+struct CapacityBreakdown {
+  double two_party = 0;   // only meaningful for N == 2
+  double nra = 0;
+  double ra_r = 0;
+  double ra_sr = 0;
+  double slm = 0;         // rewrite-memory bound with S-LM
+  double slr = 0;         // rewrite-memory bound with S-LR
+  double bandwidth = 0;
+  double software = 0;
+
+  // System capacity = min over applicable hardware bottlenecks for the
+  // best / worst tree design usable under rate adaptation.
+  double ScallopBest() const;
+  double ScallopWorst() const;
+};
+
+class CapacityModel {
+ public:
+  CapacityModel(const HardwareModel& hw = {}, const SoftwareModel& sw = {})
+      : hw_(hw), sw_(sw) {}
+
+  CapacityBreakdown Evaluate(const Workload& w) const;
+
+  double SoftwareMeetings(const Workload& w) const;
+  // Scallop improvement over software: min/max across design variants
+  // (Fig. 15's band).
+  std::pair<double, double> ImprovementRange(int participants) const;
+
+  const HardwareModel& hardware() const { return hw_; }
+  const SoftwareModel& software() const { return sw_; }
+
+ private:
+  HardwareModel hw_;
+  SoftwareModel sw_;
+};
+
+}  // namespace scallop::core

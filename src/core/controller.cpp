@@ -1,0 +1,101 @@
+#include "core/controller.hpp"
+
+namespace scallop::core {
+
+MeetingId Controller::CreateMeeting() {
+  ++stats_.meetings_created;
+  MeetingId id = next_meeting_++;
+  meetings_[id] = {};
+  agent_.CreateMeeting(id);
+  return id;
+}
+
+void Controller::EndMeeting(MeetingId id) {
+  auto it = meetings_.find(id);
+  if (it == meetings_.end()) return;
+  agent_.RemoveMeeting(id);
+  meetings_.erase(it);
+}
+
+Controller::JoinResult Controller::Join(MeetingId meeting,
+                                        const sdp::SessionDescription& offer,
+                                        SignalingClient* client) {
+  ++stats_.joins;
+  ++stats_.sdp_messages;  // the offer
+
+  Member member;
+  member.id = next_participant_++;
+  member.client = client;
+
+  // Extract what the participant sends and from where.
+  net::Endpoint media_src;
+  for (const auto& m : offer.media) {
+    if (!m.candidates.empty()) media_src = m.candidates[0].endpoint;
+    if (m.type == sdp::MediaType::kVideo && !m.recv_only) {
+      member.sends_video = true;
+      member.video_ssrc = m.ssrc;
+    } else if (m.type == sdp::MediaType::kAudio && !m.recv_only) {
+      member.sends_audio = true;
+      member.audio_ssrc = m.ssrc;
+    }
+  }
+
+  uint16_t uplink_port = agent_.AddParticipant(
+      meeting, member.id, media_src, member.video_ssrc, member.audio_ssrc,
+      member.sends_video, member.sends_audio);
+  net::Endpoint uplink_sfu{sfu_ip_, uplink_port};
+
+  // Answer with candidates rewritten to the SFU: the proxy insertion of
+  // paper §5.1 — the client believes the SFU endpoint is its peer.
+  sdp::SessionDescription answer = sdp::MakeAnswer(
+      offer, uplink_sfu, "sfu" + std::to_string(member.id), "pwd");
+  for (auto& m : answer.media) {
+    stats_.candidates_rewritten += m.candidates.size();
+  }
+  ++stats_.sdp_messages;  // the answer
+
+  auto& members = meetings_[meeting];
+
+  // Per-participant stream split: the new member opens one receive leg per
+  // existing sender, and every existing member opens one for the new
+  // sender (if it sends).
+  for (auto& [pid, existing] : members) {
+    if (existing.sends_video || existing.sends_audio) {
+      net::Endpoint local = client->AllocateLocalLeg(pid);
+      uint16_t port = agent_.AddRecvLeg(meeting, member.id, pid, local);
+      client->OnRemoteLegReady(pid, existing.video_ssrc, existing.audio_ssrc,
+                               net::Endpoint{sfu_ip_, port});
+      ++stats_.legs_negotiated;
+      stats_.sdp_messages += 2;  // renegotiation round
+    }
+    if (member.sends_video || member.sends_audio) {
+      net::Endpoint local = existing.client->AllocateLocalLeg(member.id);
+      uint16_t port = agent_.AddRecvLeg(meeting, pid, member.id, local);
+      existing.client->OnRemoteLegReady(member.id, member.video_ssrc,
+                                        member.audio_ssrc,
+                                        net::Endpoint{sfu_ip_, port});
+      ++stats_.legs_negotiated;
+      stats_.sdp_messages += 2;
+    }
+  }
+  members[member.id] = member;
+
+  JoinResult result;
+  result.participant = member.id;
+  result.answer = std::move(answer);
+  result.uplink_sfu = uplink_sfu;
+  return result;
+}
+
+void Controller::Leave(MeetingId meeting, ParticipantId participant) {
+  ++stats_.leaves;
+  auto mit = meetings_.find(meeting);
+  if (mit == meetings_.end()) return;
+  mit->second.erase(participant);
+  agent_.RemoveParticipant(meeting, participant);
+  for (auto& [pid, member] : mit->second) {
+    member.client->OnRemoteSenderLeft(participant);
+  }
+}
+
+}  // namespace scallop::core

@@ -1,0 +1,93 @@
+// Scallop's centralized controller (paper §5.1): the signaling server.
+// It terminates SDP offer/answer, rewrites ICE candidates so the SFU
+// appears as each participant's sole peer, tracks sessions, and drives the
+// switch agent over an RPC-style boundary. Per-participant-pair receive
+// legs (the paper's per-participant WebRTC stream split, §5.3) are
+// negotiated through the SignalingClient callbacks, which stand in for the
+// WebSocket renegotiation channel.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/switch_agent.hpp"
+#include "sdp/sdp.hpp"
+
+namespace scallop::core {
+
+// Implemented by clients; the controller calls these during (re)negotiation.
+class SignalingClient {
+ public:
+  virtual ~SignalingClient() = default;
+  // Asks the client to open a local socket for media from `sender`;
+  // returns the client-side endpoint of the new leg.
+  virtual net::Endpoint AllocateLocalLeg(ParticipantId sender) = 0;
+  // Completes the leg: media from `sender` (with these ssrcs) will arrive
+  // from `sfu_endpoint`; feedback for it goes there too.
+  virtual void OnRemoteLegReady(ParticipantId sender, uint32_t video_ssrc,
+                                uint32_t audio_ssrc,
+                                net::Endpoint sfu_endpoint) = 0;
+  virtual void OnRemoteSenderLeft(ParticipantId sender) = 0;
+};
+
+struct ControllerStats {
+  uint64_t meetings_created = 0;
+  uint64_t joins = 0;
+  uint64_t leaves = 0;
+  uint64_t sdp_messages = 0;
+  uint64_t candidates_rewritten = 0;
+  uint64_t legs_negotiated = 0;
+};
+
+// Abstract signaling server: implemented by Scallop's Controller and by the
+// software-SFU baseline so the same Peer client works against both.
+class SignalingServer {
+ public:
+  virtual ~SignalingServer() = default;
+
+  struct JoinResult {
+    ParticipantId participant = 0;
+    sdp::SessionDescription answer;
+    net::Endpoint uplink_sfu;  // where the client sends its media + STUN
+  };
+  virtual JoinResult Join(MeetingId meeting,
+                          const sdp::SessionDescription& offer,
+                          SignalingClient* client) = 0;
+  virtual void Leave(MeetingId meeting, ParticipantId participant) = 0;
+};
+
+class Controller : public SignalingServer {
+ public:
+  Controller(SwitchAgent& agent, net::Ipv4 sfu_ip)
+      : agent_(agent), sfu_ip_(sfu_ip) {}
+
+  MeetingId CreateMeeting();
+  void EndMeeting(MeetingId id);
+
+  // `offer` carries the client's media sections and host candidates.
+  JoinResult Join(MeetingId meeting, const sdp::SessionDescription& offer,
+                  SignalingClient* client) override;
+  void Leave(MeetingId meeting, ParticipantId participant) override;
+
+  const ControllerStats& stats() const { return stats_; }
+  SwitchAgent& agent() { return agent_; }
+
+ private:
+  struct Member {
+    ParticipantId id;
+    SignalingClient* client;
+    uint32_t video_ssrc = 0;
+    uint32_t audio_ssrc = 0;
+    bool sends_video = false;
+    bool sends_audio = false;
+  };
+
+  SwitchAgent& agent_;
+  net::Ipv4 sfu_ip_;
+  MeetingId next_meeting_ = 1;
+  ParticipantId next_participant_ = 1;
+  std::map<MeetingId, std::map<ParticipantId, Member>> meetings_;
+  ControllerStats stats_;
+};
+
+}  // namespace scallop::core

@@ -1,0 +1,131 @@
+// Scallop's data-plane program: the logic the paper implements in ~2000
+// lines of P4 on the Tofino2, expressed against the switch simulator's
+// pipeline interface. Per packet:
+//
+//   ingress:  classify (RTP / RTCP / STUN)  ->  stream-index lookup  ->
+//             pick PRE invocation (or unicast / copy-to-CPU / drop)
+//   egress:   per-replica address rewrite, SVC template filtering,
+//             sequence-number rewriting (S-LM / S-LR)
+//
+// Everything the control plane installs lives in statically sized
+// match-action tables and register arrays whose footprints feed the
+// resource model (Table 3) and whose capacities bound scalability
+// (Figs. 15-17).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "av1/dependency_descriptor.hpp"
+#include "core/types.hpp"
+#include "rtp/classifier.hpp"
+#include "switchsim/switch.hpp"
+#include "switchsim/tables.hpp"
+
+namespace scallop::core {
+
+enum class RewriterKind : uint8_t { kSlm, kSlr };
+
+struct DataPlaneConfig {
+  uint8_t dd_extension_id = av1::kDdExtensionId;
+  RewriterKind rewriter = RewriterKind::kSlr;
+  // Table capacities are static allocations, as on the hardware. The
+  // full-scale bounds (e.g. the stream-index SRAM that limits two-party
+  // scale to 533K meetings) live in the capacity model; these defaults
+  // only need to exceed any simulated scenario.
+  size_t stream_table_capacity = 1 << 16;
+  size_t egress_table_capacity = 1 << 16;
+  size_t svc_table_capacity = 1 << 16;
+  size_t feedback_table_capacity = 1 << 16;
+  size_t rewriter_cells = 1 << 16;  // paper: 65,536 concurrent streams
+};
+
+struct DataPlaneStats {
+  uint64_t rtp_in = 0;
+  uint64_t rtcp_in = 0;
+  uint64_t stun_in = 0;
+  uint64_t unknown_in = 0;
+  uint64_t stream_misses = 0;
+  uint64_t remb_filtered = 0;   // REMBs suppressed by the downlink filter
+  uint64_t remb_forwarded = 0;
+  uint64_t nack_translated = 0;
+  uint64_t svc_suppressed = 0;  // packets dropped by the layer filter
+  uint64_t seq_rewritten = 0;
+  uint64_t seq_dropped = 0;     // rewriter refused (duplicate risk)
+  uint64_t keyframe_dd_to_cpu = 0;
+  uint64_t parse_depth_exceeded = 0;  // Appendix E parser bound hit
+};
+
+class DataPlaneProgram : public switchsim::PipelineProgram {
+ public:
+  DataPlaneProgram(switchsim::Switch& sw, const DataPlaneConfig& cfg);
+
+  // switchsim::PipelineProgram
+  void Ingress(const net::Packet& pkt,
+               switchsim::PacketMetadata& meta) override;
+  bool Egress(net::Packet& pkt, const switchsim::PacketMetadata& meta,
+              const switchsim::Replica& replica) override;
+
+  // ---- control-plane write API (called by the switch agent) ----
+  bool InstallStream(const StreamKey& key, const StreamEntry& entry);
+  bool RemoveStream(const StreamKey& key);
+  StreamEntry* MutableStream(const StreamKey& key);
+
+  bool InstallEgress(const EgressKey& key, const EgressEntry& entry);
+  bool RemoveEgress(const EgressKey& key);
+
+  bool InstallSvc(const SvcKey& key, const SvcEntry& entry);
+  bool RemoveSvc(const SvcKey& key);
+  SvcEntry* MutableSvc(const SvcKey& key);
+
+  bool InstallFeedback(uint16_t sfu_port, const FeedbackEntry& entry);
+  bool RemoveFeedback(uint16_t sfu_port);
+  FeedbackEntry* MutableFeedback(uint16_t sfu_port);
+
+  // Rewriter state management (control plane assigns collision-free
+  // indices; immediate cleanup on stream end — paper §6.3).
+  uint32_t AllocateRewriter(const SkipCadence& cadence);
+  void ConfigureRewriter(uint32_t index, const SkipCadence& cadence);
+  void FreeRewriter(uint32_t index);
+  size_t rewriters_in_use() const { return rewriters_in_use_; }
+
+  const DataPlaneStats& stats() const { return stats_; }
+  switchsim::Switch& sw() { return switch_; }
+  const DataPlaneConfig& config() const { return cfg_; }
+
+ private:
+  void IngressRtp(const net::Packet& pkt, switchsim::PacketMetadata& meta);
+  void IngressRtcp(const net::Packet& pkt, switchsim::PacketMetadata& meta);
+  void ApplyForwarding(const StreamEntry& entry, uint8_t temporal_layer,
+                       switchsim::PacketMetadata& meta);
+
+  switchsim::Switch& switch_;
+  DataPlaneConfig cfg_;
+
+  switchsim::ExactTable<StreamKey, StreamEntry> stream_table_;
+  switchsim::ExactTable<EgressKey, EgressEntry> egress_table_;
+  switchsim::ExactTable<SvcKey, SvcEntry> svc_table_;
+  switchsim::ExactTable<uint16_t, FeedbackEntry> feedback_table_;
+  // Protocol classification rules (RFC 7983 demux) live in TCAM on the
+  // hardware; the logic itself is in rtp::Classify, this table carries the
+  // static allocation for the resource model.
+  switchsim::TernaryTable<uint8_t> classify_table_;
+  // Six logical hash tables in the paper; modeled as one array of rewriter
+  // state cells with the per-variant footprint accounted.
+  switchsim::RegisterArray<uint8_t> rewriter_registers_;
+  std::vector<std::unique_ptr<SequenceRewriter>> rewriters_;
+  std::vector<uint32_t> free_rewriter_indices_;
+  uint32_t next_rewriter_ = 0;
+  size_t rewriters_in_use_ = 0;
+
+  DataPlaneStats stats_;
+};
+
+// Scans a compound RTCP payload for a REMB signature ("parser lookahead"
+// over packet boundaries, which the hardware parser can do for a bounded
+// number of sub-packets).
+bool CompoundContainsRemb(std::span<const uint8_t> payload);
+// First RTCP packet type in a compound payload.
+uint8_t CompoundFirstType(std::span<const uint8_t> payload);
+
+}  // namespace scallop::core

@@ -1,0 +1,74 @@
+#include "core/fleet.hpp"
+
+#include <limits>
+
+namespace scallop::core {
+
+size_t FleetController::AddSwitch(SwitchAgent& agent, net::Ipv4 sfu_ip) {
+  auto member = std::make_unique<Member>();
+  member->controller = std::make_unique<Controller>(agent, sfu_ip);
+  member->sfu_ip = sfu_ip;
+  switches_.push_back(std::move(member));
+  return switches_.size() - 1;
+}
+
+size_t FleetController::LeastLoaded() const {
+  size_t best = 0;
+  int best_load = std::numeric_limits<int>::max();
+  for (size_t i = 0; i < switches_.size(); ++i) {
+    // Participants dominate load (streams scale with them); meetings break
+    // ties so empty switches fill round-robin.
+    int load = switches_[i]->participants * 64 + switches_[i]->meetings;
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+MeetingId FleetController::CreateMeeting() {
+  size_t idx = LeastLoaded();
+  MeetingId local = switches_[idx]->controller->CreateMeeting();
+  MeetingId global = next_meeting_++;
+  placement_[global] = {idx, local};
+  ++switches_[idx]->meetings;
+  ++stats_.meetings_placed;
+  return global;
+}
+
+FleetController::JoinResult FleetController::Join(
+    MeetingId meeting, const sdp::SessionDescription& offer,
+    SignalingClient* client) {
+  auto place = placement_.at(meeting);
+  ++switches_[place.first]->participants;
+  return switches_[place.first]->controller->Join(place.second, offer,
+                                                  client);
+}
+
+void FleetController::Leave(MeetingId meeting, ParticipantId participant) {
+  auto it = placement_.find(meeting);
+  if (it == placement_.end()) return;
+  --switches_[it->second.first]->participants;
+  switches_[it->second.first]->controller->Leave(it->second.second,
+                                                 participant);
+}
+
+void FleetController::EndMeeting(MeetingId meeting) {
+  auto it = placement_.find(meeting);
+  if (it == placement_.end()) return;
+  --switches_[it->second.first]->meetings;
+  switches_[it->second.first]->controller->EndMeeting(it->second.second);
+  placement_.erase(it);
+}
+
+size_t FleetController::PlacementOf(MeetingId meeting) const {
+  auto it = placement_.find(meeting);
+  return it == placement_.end() ? SIZE_MAX : it->second.first;
+}
+
+int FleetController::LoadOf(size_t switch_index) const {
+  return switches_[switch_index]->participants;
+}
+
+}  // namespace scallop::core

@@ -1,0 +1,68 @@
+// Fleet controller: one logical controller managing multiple Scallop
+// switch data planes (paper Appendix A: "our control/data plane split has
+// the potential to simplify deploying many SFU data planes under the
+// management of a single controller. Our current system is already
+// designed in this way").
+//
+// Meetings are placed on the least-loaded switch at creation time; the
+// signaling flow is then delegated to that switch's controller. This is
+// the architectural groundwork for cascading SFUs — per the paper, the
+// cascading relay itself is orthogonal and not implemented.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace scallop::core {
+
+struct FleetStats {
+  uint64_t meetings_placed = 0;
+  uint64_t placements_rebalanced = 0;
+};
+
+class FleetController : public SignalingServer {
+ public:
+  // Registers a switch (via its agent) under this controller.
+  // Returns the switch's index in the fleet.
+  size_t AddSwitch(SwitchAgent& agent, net::Ipv4 sfu_ip);
+
+  // Creates a meeting on the least-loaded switch.
+  MeetingId CreateMeeting();
+
+  // core::SignalingServer — delegates to the owning switch's controller.
+  JoinResult Join(MeetingId meeting, const sdp::SessionDescription& offer,
+                  SignalingClient* client) override;
+  void Leave(MeetingId meeting, ParticipantId participant) override;
+  void EndMeeting(MeetingId meeting);
+
+  size_t switch_count() const { return switches_.size(); }
+  // Which switch hosts a meeting (fleet index).
+  size_t PlacementOf(MeetingId meeting) const;
+  // Current participant load of a switch.
+  int LoadOf(size_t switch_index) const;
+  Controller& controller(size_t switch_index) {
+    return *switches_[switch_index]->controller;
+  }
+  const FleetStats& stats() const { return stats_; }
+
+ private:
+  struct Member {
+    std::unique_ptr<Controller> controller;
+    net::Ipv4 sfu_ip;
+    int participants = 0;
+    int meetings = 0;
+  };
+
+  size_t LeastLoaded() const;
+
+  std::vector<std::unique_ptr<Member>> switches_;
+  // Fleet-global meeting ids -> (switch index, switch-local meeting id).
+  std::map<MeetingId, std::pair<size_t, MeetingId>> placement_;
+  MeetingId next_meeting_ = 1;
+  FleetStats stats_;
+};
+
+}  // namespace scallop::core

@@ -1,0 +1,261 @@
+#include "core/seqrewrite.hpp"
+
+#include <algorithm>
+
+namespace scallop::core {
+
+bool SkipCadence::AllSkippedBetween(uint16_t from, uint16_t to) const {
+  int span = util::SeqDiff(to, from);
+  if (span <= 1) return false;  // empty range: gap lies inside kept frames
+  for (int i = 1; i < span; ++i) {
+    if (Keeps(static_cast<uint16_t>(from + i))) return false;
+  }
+  return true;
+}
+
+// Frames strictly between `from` and `to` that the cadence keeps.
+int SkipCadence::KeptBetween(uint16_t from, uint16_t to) const {
+  int span = util::SeqDiff(to, from);
+  int kept = 0;
+  for (int i = 1; i < span; ++i) {
+    if (Keeps(static_cast<uint16_t>(from + i))) ++kept;
+  }
+  return kept;
+}
+
+SkipCadence SkipCadence::ForDecodeTarget(int dt, uint16_t anchor_frame) {
+  SkipCadence c;
+  c.modulus = 4;
+  c.anchor = anchor_frame;
+  switch (dt) {
+    case 0: c.keep_mask = 0b0001; break;  // TL0 only (7.5 fps)
+    case 1: c.keep_mask = 0b0101; break;  // TL0 + TL1 (15 fps)
+    default: c.keep_mask = 0b1111; break;  // everything (30 fps)
+  }
+  return c;
+}
+
+RewriteResult SlmRewriter::Process(const RewritePacketView& pkt) {
+  int64_t seq = seq_unwrap_.Unwrap(pkt.seq);
+
+  if (!started_) {
+    started_ = true;
+    highest_seq_ = seq;
+    highest_frame_ = pkt.frame;
+    if (pkt.suppress) {
+      offset_ = 1;
+      return {false, 0};
+    }
+    offset_ = 0;
+    return {true, static_cast<uint16_t>(seq - offset_)};
+  }
+
+  int64_t d = seq - highest_seq_;
+
+  if (pkt.suppress) {
+    if (d <= 0) return {false, 0};  // old suppressed packet: drop
+    int64_t missing = d - 1;
+    if (missing > 0 && cadence_.AllSkippedBetween(highest_frame_, pkt.frame)) {
+      offset_ += missing;  // mask gap attributed to suppressed frames
+    }
+    offset_ += 1;  // the suppressed packet itself
+    pending_hole_ = false;
+    highest_seq_ = seq;
+    if (util::SeqNewer(pkt.frame, highest_frame_)) highest_frame_ = pkt.frame;
+    return {false, 0};
+  }
+
+  if (d == 1) {
+    pending_hole_ = false;
+    highest_seq_ = seq;
+    if (util::SeqNewer(pkt.frame, highest_frame_)) highest_frame_ = pkt.frame;
+    return {true, static_cast<uint16_t>(seq - offset_)};
+  }
+  if (d > 1) {
+    int64_t missing = d - 1;
+    if (cadence_.AllSkippedBetween(highest_frame_, pkt.frame)) {
+      offset_ += missing;
+      pending_hole_ = false;
+    } else {
+      // Gap left open: the receiver will NACK. A single-packet hole right
+      // behind the new highest can still be filled by a reordered arrival.
+      pending_hole_ = missing == 1;
+    }
+    highest_seq_ = seq;
+    if (util::SeqNewer(pkt.frame, highest_frame_)) highest_frame_ = pkt.frame;
+    return {true, static_cast<uint16_t>(seq - offset_)};
+  }
+  // Reordered (old) packet. Forward only into the one still-open hole
+  // immediately behind the highest (offset unchanged since the hole was
+  // left), which is the single provably collision-free case.
+  if (d == -1 && pending_hole_) {
+    pending_hole_ = false;
+    return {true, static_cast<uint16_t>(seq - offset_)};
+  }
+  return {false, 0};
+}
+
+RewriteResult SlrRewriter::Process(const RewritePacketView& pkt) {
+  int64_t seq = seq_unwrap_.Unwrap(pkt.seq);
+
+  if (!started_) {
+    started_ = true;
+    highest_seq_ = seq;
+    highest_frame_ = pkt.frame;
+    last_frame_ended_ = pkt.end_of_frame;
+    if (pkt.suppress) {
+      offset_ = 1;
+      offset_valid_from_ = seq + 1;
+      any_suppressed_ = true;
+      highest_suppressed_frame_ = pkt.frame;
+      return {false, 0};
+    }
+    offset_ = 0;
+    offset_valid_from_ = seq;
+    first_seq_latest_frame_ = seq;
+    offset_latest_frame_ = 0;
+    latest_frame_ = pkt.frame;
+    return {true, static_cast<uint16_t>(seq)};
+  }
+
+  int64_t d = seq - highest_seq_;
+
+  if (pkt.suppress) {
+    if (d <= 0) return {false, 0};
+    int64_t missing = d - 1;
+    if (missing > 0) {
+      // A gap immediately before a suppressed packet is attributable to
+      // suppressed frames when the cadence covers the span, when it lies
+      // inside this same suppressed frame, or when it is the head of this
+      // suppressed frame after a cleanly ended one.
+      bool same_frame = pkt.frame == highest_frame_ && !pkt.start_of_frame;
+      bool head_of_frame_only = pkt.frame != highest_frame_ &&
+                                last_frame_ended_ &&
+                                util::SeqDiff(pkt.frame, highest_frame_) == 1;
+      int span = util::SeqDiff(pkt.frame, highest_frame_);
+      if (same_frame || (head_of_frame_only && !cadence_.Keeps(pkt.frame))) {
+        offset_ += missing;
+      } else if (span > 1) {
+        // Multi-frame gap: mask the share attributable to suppressed
+        // frames; leave (estimated) holes for lost kept-frame packets.
+        int kept = cadence_.KeptBetween(highest_frame_, pkt.frame);
+        int64_t keep_holes = static_cast<int64_t>(
+            static_cast<double>(kept) * PacketsPerFrame() + 0.5);
+        int64_t mask = std::max<int64_t>(0, missing - keep_holes);
+        offset_ += mask;
+      } else if (missing == 1) {
+        // The missing packet may be a forwarded one that is merely
+        // reordered behind this suppressed packet: reserve its slot.
+        hole_seq_ = seq - 1;
+        hole_offset_ = offset_;
+      }
+    }
+    offset_ += 1;
+    offset_valid_from_ = seq + 1;
+    highest_seq_ = seq;
+    if (util::SeqNewer(pkt.frame, highest_frame_)) highest_frame_ = pkt.frame;
+    last_frame_ended_ = pkt.end_of_frame;
+    if (!any_suppressed_ ||
+        util::SeqNewer(pkt.frame, highest_suppressed_frame_)) {
+      highest_suppressed_frame_ = pkt.frame;
+    }
+    any_suppressed_ = true;
+    return {false, 0};
+  }
+
+  if (d == 1) {
+    ++packets_seen_;
+    if (pkt.frame != highest_frame_) ++frames_seen_;
+    if (pkt.frame != latest_frame_ || pkt.start_of_frame) {
+      first_seq_latest_frame_ = seq;
+      offset_latest_frame_ = offset_;
+      latest_frame_ = pkt.frame;
+    }
+    highest_seq_ = seq;
+    if (util::SeqNewer(pkt.frame, highest_frame_)) highest_frame_ = pkt.frame;
+    last_frame_ended_ = pkt.end_of_frame;
+    return {true, static_cast<uint16_t>(seq - offset_)};
+  }
+  if (d > 1) {
+    int64_t missing = d - 1;
+    // Clean boundaries with an all-suppressed span are masked exactly;
+    // multi-frame gaps under loss are masked proportionally (suppressed
+    // share per the packets-per-frame estimate), leaving holes for the
+    // kept frames' lost packets only.
+    bool clean_boundary = last_frame_ended_ && pkt.start_of_frame;
+    int span = util::SeqDiff(pkt.frame, highest_frame_);
+    if (clean_boundary &&
+        cadence_.AllSkippedBetween(highest_frame_, pkt.frame)) {
+      offset_ += missing;
+      offset_valid_from_ = seq;
+    } else if (span > 1) {
+      int kept = cadence_.KeptBetween(highest_frame_, pkt.frame);
+      // Packets of this frame already missing (head) count as kept losses.
+      int64_t head = pkt.start_of_frame ? 0 : 1;
+      int64_t keep_holes = static_cast<int64_t>(
+          (static_cast<double>(kept) + static_cast<double>(head) * 0.5) *
+              PacketsPerFrame() +
+          0.5);
+      int64_t mask = std::max<int64_t>(0, missing - keep_holes);
+      if (mask > 0) {
+        offset_ += mask;
+        offset_valid_from_ = seq;
+      } else if (missing == 1) {
+        hole_seq_ = seq - 1;
+        hole_offset_ = offset_;
+      }
+    } else if (missing == 1) {
+      hole_seq_ = seq - 1;
+      hole_offset_ = offset_;
+    }
+    first_seq_latest_frame_ = seq;
+    offset_latest_frame_ = offset_;
+    latest_frame_ = pkt.frame;
+    highest_seq_ = seq;
+    if (util::SeqNewer(pkt.frame, highest_frame_)) highest_frame_ = pkt.frame;
+    last_frame_ended_ = pkt.end_of_frame;
+    return {true, static_cast<uint16_t>(seq - offset_)};
+  }
+
+  // Reordered or retransmitted packet. Three provably collision-free
+  // rewrites:
+  //  (a) anything at or above the last offset change maps with the current
+  //      offset — exactly the value it had (or would have had) originally,
+  //      which is what lets receiver-side-loss retransmissions through;
+  //  (b) a packet of the latest forwarded frame fills that frame's own
+  //      holes with the frame's (constant) offset;
+  //  (c) the reserved single-packet hole is filled with the offset that
+  //      was in effect at its position.
+  if (seq >= offset_valid_from_) {
+    if (seq == hole_seq_) hole_seq_ = -1;
+    return {true, static_cast<uint16_t>(seq - offset_)};
+  }
+  if (pkt.frame == latest_frame_ && seq >= first_seq_latest_frame_) {
+    if (seq == hole_seq_) hole_seq_ = -1;
+    return {true, static_cast<uint16_t>(seq - offset_latest_frame_)};
+  }
+  if (seq == hole_seq_) {
+    hole_seq_ = -1;
+    return {true, static_cast<uint16_t>(seq - hole_offset_)};
+  }
+  return {false, 0};
+}
+
+void OracleRewriter::NoteSenderPacket(uint16_t seq16, bool suppress) {
+  int64_t seq = note_unwrap_.Unwrap(seq16);
+  if (suppress) {
+    ++suppressed_so_far_;
+    ideal_[seq] = -1;
+  } else {
+    ideal_[seq] = seq - suppressed_so_far_;
+  }
+}
+
+RewriteResult OracleRewriter::Process(const RewritePacketView& pkt) {
+  int64_t seq = proc_unwrap_.Unwrap(pkt.seq);
+  auto it = ideal_.find(seq);
+  if (it == ideal_.end() || it->second < 0) return {false, 0};
+  return {true, static_cast<uint16_t>(it->second)};
+}
+
+}  // namespace scallop::core

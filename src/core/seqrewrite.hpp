@@ -1,0 +1,179 @@
+// Sequence-number rewriting heuristics (paper §6.2).
+//
+// When the data plane suppresses SVC layers for a receiver, the surviving
+// packets must be renumbered so the receiver sees a gapless stream.
+// Suppression decided *in this switch* is directly observable, so the only
+// ambiguity comes from packets missing at the egress because they were lost
+// or reordered upstream: were they suppressed-frame packets (mask the gap)
+// or forwarded-frame packets (leave the gap so the receiver retransmits)?
+//
+// Design rule shared by both heuristics (the paper's key experimental
+// finding): never emit an output sequence number that could collide with a
+// different packet's output — a duplicate breaks the decoder permanently,
+// while an extra gap only costs a retransmission.
+//
+//  - S-LM (low memory): per-stream state {highest seq, highest frame,
+//    offset, last-gap-masked bit} + the control-plane-installed skip
+//    cadence. Gaps are masked iff the frame counter jumped across frames
+//    that the cadence says are suppressed. Late packets are forwarded only
+//    in the single safe case (exactly one behind, no recent mask).
+//  - S-LR (low retransmission): adds {first seq of latest forwarded frame,
+//    last-frame-ended bit, highest suppressed frame}. The extra state
+//    (a) masks between-frame gaps only when the boundary bits prove the gap
+//    cannot contain forwarded-frame bytes, and (b) safely rewrites any
+//    reordered packet belonging to the current frame, cutting erroneous
+//    retransmissions at roughly 2.5x the memory footprint.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "util/seqnum.hpp"
+
+namespace scallop::core {
+
+// Frame-cadence installed by the control plane: which frame numbers (mod
+// `modulus`, anchored at the last key frame) are forwarded to this receiver.
+// L1T3 pattern: offsets {0:TL0, 1:TL2, 2:TL1, 3:TL2} relative to a key.
+struct SkipCadence {
+  uint8_t modulus = 4;
+  uint8_t keep_mask = 0x0f;  // bit i => frames at offset i are kept
+  uint16_t anchor = 0;       // frame number of the anchoring key frame
+
+  bool Keeps(uint16_t frame) const {
+    uint16_t off = static_cast<uint16_t>(frame - anchor) % modulus;
+    return (keep_mask >> off) & 1;
+  }
+  // Frames strictly between `from` and `to` that the cadence keeps.
+  int KeptBetween(uint16_t from, uint16_t to) const;
+  // True if every frame number strictly between `from` and `to` (serial
+  // order) is suppressed by this cadence. False when the range is empty:
+  // an empty range means the gap is inside forwarded frames.
+  bool AllSkippedBetween(uint16_t from, uint16_t to) const;
+
+  static SkipCadence ForDecodeTarget(int dt, uint16_t anchor_frame);
+};
+
+struct RewritePacketView {
+  uint16_t seq = 0;
+  uint16_t frame = 0;
+  bool start_of_frame = true;
+  bool end_of_frame = true;
+  bool suppress = false;  // SVC filter verdict for this receiver
+};
+
+struct RewriteResult {
+  bool forward = false;
+  uint16_t out_seq = 0;
+};
+
+class SequenceRewriter {
+ public:
+  virtual ~SequenceRewriter() = default;
+  virtual RewriteResult Process(const RewritePacketView& pkt) = 0;
+  virtual void SetCadence(const SkipCadence& cadence) = 0;
+  // Current input->output offset; the data plane uses it to translate NACK
+  // sequence numbers back into the sender's space.
+  virtual int64_t current_offset() const = 0;
+  // Per-stream register footprint in bits (drives the capacity model).
+  virtual size_t state_bits() const = 0;
+  virtual std::string name() const = 0;
+};
+
+class SlmRewriter : public SequenceRewriter {
+ public:
+  explicit SlmRewriter(const SkipCadence& cadence = {}) : cadence_(cadence) {}
+
+  RewriteResult Process(const RewritePacketView& pkt) override;
+  void SetCadence(const SkipCadence& cadence) override { cadence_ = cadence; }
+  int64_t current_offset() const override { return offset_; }
+  size_t state_bits() const override { return 64; }
+  std::string name() const override { return "S-LM"; }
+
+ private:
+  SkipCadence cadence_;
+  bool started_ = false;
+  util::SeqUnwrapper seq_unwrap_;
+  int64_t highest_seq_ = 0;
+  uint16_t highest_frame_ = 0;
+  int64_t offset_ = 0;
+  bool pending_hole_ = false;
+};
+
+class SlrRewriter : public SequenceRewriter {
+ public:
+  explicit SlrRewriter(const SkipCadence& cadence = {}) : cadence_(cadence) {}
+
+  RewriteResult Process(const RewritePacketView& pkt) override;
+  void SetCadence(const SkipCadence& cadence) override { cadence_ = cadence; }
+  int64_t current_offset() const override { return offset_; }
+  size_t state_bits() const override { return 160; }
+  std::string name() const override { return "S-LR"; }
+
+ private:
+  SkipCadence cadence_;
+  bool started_ = false;
+  util::SeqUnwrapper seq_unwrap_;
+  int64_t highest_seq_ = 0;
+  uint16_t highest_frame_ = 0;
+  int64_t offset_ = 0;
+  // Extra S-LR state.
+  int64_t first_seq_latest_frame_ = 0;  // first seq of latest forwarded frame
+  int64_t offset_latest_frame_ = 0;     // offset in effect for that frame
+  uint16_t latest_frame_ = 0;           // frame number of that frame
+  bool last_frame_ended_ = false;
+  uint16_t highest_suppressed_frame_ = 0;
+  bool any_suppressed_ = false;
+  // One reserved single-packet hole: a reordered/retransmitted arrival at
+  // exactly this sequence number is rewritten with the offset that was in
+  // effect at the hole's position (position- and offset-exact, so the fill
+  // can never collide with any other output).
+  int64_t hole_seq_ = -1;
+  int64_t hole_offset_ = 0;
+  // First sequence number mapped with the current offset. Any late packet
+  // at or above it can be rewritten with the current offset verbatim —
+  // this is what lets retransmissions of receiver-side losses pass through
+  // an adapted stream.
+  int64_t offset_valid_from_ = 0;
+  // Running packets-per-frame estimate (two counters in hardware). Enables
+  // proportional gap attribution: a multi-frame gap under loss is masked
+  // by the share attributable to suppressed frames, leaving holes only for
+  // the (estimated) lost packets of kept frames.
+  uint32_t packets_seen_ = 0;
+  uint32_t frames_seen_ = 0;
+
+  double PacketsPerFrame() const {
+    return frames_seen_ > 0
+               ? static_cast<double>(packets_seen_) /
+                     static_cast<double>(frames_seen_)
+               : 2.0;
+  }
+};
+
+// Oracle with ground truth: told about every packet in sender order (and
+// whether the SFU would suppress it), so it can compute the ideal mapping —
+// masking exactly the suppressed packets and leaving gaps exactly for lost
+// forwarded packets. Used as the baseline for the Fig. 18 overhead metric.
+class OracleRewriter : public SequenceRewriter {
+ public:
+  // Must be called for every packet the sender emits, in send order,
+  // before the corresponding Process() calls.
+  void NoteSenderPacket(uint16_t seq, bool suppress);
+
+  RewriteResult Process(const RewritePacketView& pkt) override;
+  void SetCadence(const SkipCadence&) override {}
+  int64_t current_offset() const override { return suppressed_so_far_; }
+  size_t state_bits() const override { return 0; }  // not implementable in HW
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  util::SeqUnwrapper note_unwrap_;
+  util::SeqUnwrapper proc_unwrap_;
+  // Unwrapped sender seq -> ideal output seq (or -1 if suppressed).
+  std::unordered_map<int64_t, int64_t> ideal_;
+  int64_t suppressed_so_far_ = 0;
+};
+
+}  // namespace scallop::core

@@ -1,0 +1,554 @@
+#include "core/switch_agent.hpp"
+
+#include <algorithm>
+
+#include "rtp/classifier.hpp"
+#include "rtp/rtp_packet.hpp"
+
+namespace scallop::core {
+
+SwitchAgent::SwitchAgent(sim::Scheduler& sched, DataPlaneProgram& dp,
+                         const AgentConfig& cfg)
+    : sched_(sched),
+      dp_(dp),
+      cfg_(cfg),
+      trees_(dp, dp.sw().pre()),
+      next_port_(cfg.first_sfu_port) {
+  dp_.sw().SetCpuHandler([this](net::PacketPtr pkt) {
+    OnCpuPacket(std::move(pkt));
+  });
+}
+
+void SwitchAgent::OnCpuPacket(net::PacketPtr pkt) {
+  ++stats_.cpu_packets;
+  switch (rtp::Classify(pkt->payload_span())) {
+    case rtp::PayloadKind::kStun:
+      HandleStun(*pkt);
+      return;
+    case rtp::PayloadKind::kRtcp:
+      HandleRtcp(*pkt);
+      return;
+    case rtp::PayloadKind::kRtp:
+      HandleKeyframeDd(*pkt);
+      return;
+    default:
+      return;
+  }
+}
+
+void SwitchAgent::HandleStun(const net::Packet& pkt) {
+  auto msg = stun::StunMessage::Parse(pkt.payload_span());
+  if (!msg.has_value() || !msg->is_request()) return;
+  ++stats_.stun_handled;
+  stun::StunMessage resp = stun::MakeBindingResponse(*msg, pkt.src);
+  auto out = net::MakePacket(pkt.dst, pkt.src, resp.Serialize());
+  dp_.sw().InjectFromCpu(std::move(out));
+}
+
+void SwitchAgent::HandleRtcp(const net::Packet& pkt) {
+  auto msgs = rtp::ParseCompound(pkt.payload_span());
+  if (!msgs.has_value()) return;
+
+  // Identify the leg the feedback arrived on.
+  const FeedbackEntry* fb = dp_.MutableFeedback(pkt.dst.port);
+
+  for (const auto& msg : *msgs) {
+    if (const auto* sr = std::get_if<rtp::SenderReport>(&msg)) {
+      ++stats_.sr_processed;
+      SenderRate& sr_state = sender_rates_[sr->sender_ssrc];
+      util::TimeUs now = sched_.now();
+      if (sr_state.seen && now > sr_state.last_time) {
+        double bits =
+            8.0 * static_cast<double>(sr->octet_count - sr_state.last_octets);
+        double secs = util::ToSeconds(now - sr_state.last_time);
+        if (secs > 0 && bits >= 0) sr_state.rate.Add(bits / secs);
+      }
+      sr_state.seen = true;
+      sr_state.last_octets = sr->octet_count;
+      sr_state.last_time = now;
+    } else if (std::get_if<rtp::ReceiverReport>(&msg)) {
+      ++stats_.rr_processed;
+    } else if (const auto* remb = std::get_if<rtp::Remb>(&msg)) {
+      ++stats_.remb_processed;
+      if (fb != nullptr && !fb->is_uplink) {
+        auto pit = participants_.find(fb->receiver);
+        if (pit != participants_.end()) {
+          ProcessRemb(pit->second, fb->sender, remb->bitrate_bps);
+        }
+      }
+    } else if (std::get_if<rtp::Nack>(&msg)) {
+      ++stats_.nack_seen;
+    } else if (std::get_if<rtp::Pli>(&msg)) {
+      ++stats_.pli_seen;
+    }
+  }
+}
+
+void SwitchAgent::HandleKeyframeDd(const net::Packet& pkt) {
+  // Extended dependency descriptor: validate the template structure and
+  // re-anchor skip cadences for this sender's stream.
+  auto parsed = rtp::RtpPacket::Parse(pkt.payload_span());
+  if (!parsed.has_value()) return;
+  const rtp::RtpExtension* ext =
+      parsed->FindExtension(dp_.config().dd_extension_id);
+  if (ext == nullptr) return;
+  auto dd = av1::DependencyDescriptor::Parse(ext->data);
+  if (!dd.has_value() || !dd->structure.has_value()) return;
+  ++stats_.keyframe_dd_processed;
+
+  auto sit = ssrc_to_sender_.find(parsed->ssrc);
+  if (sit == ssrc_to_sender_.end()) return;
+  ParticipantId sender = sit->second;
+  uint16_t anchor = dd->frame_number;
+  dd_anchor_[sender] = anchor;
+
+  // Re-anchor every receiver's cadence for this sender.
+  auto pit = participants_.find(sender);
+  if (pit == participants_.end()) return;
+  auto mit = meetings_.find(pit->second.meeting);
+  if (mit == meetings_.end()) return;
+  for (ParticipantId r : mit->second.members) {
+    if (r == sender) continue;
+    Participant& recv = participants_.at(r);
+    auto rw = recv.rewriter_index.find(sender);
+    if (rw == recv.rewriter_index.end()) continue;
+    int dt = DecodeTargetOf(r, sender);
+    SkipCadence cadence = SkipCadence::ForDecodeTarget(dt, anchor);
+    dp_.ConfigureRewriter(rw->second, cadence);
+    SvcEntry* svc = dp_.MutableSvc(SvcKey{pit->second.video_ssrc, r});
+    if (svc != nullptr) svc->cadence = cadence;
+    ++stats_.dataplane_writes;
+  }
+}
+
+void SwitchAgent::CreateMeeting(MeetingId id) {
+  ++stats_.rpc_calls;
+  meetings_[id] = Meeting{};
+}
+
+void SwitchAgent::RemoveMeeting(MeetingId id) {
+  ++stats_.rpc_calls;
+  auto it = meetings_.find(id);
+  if (it == meetings_.end()) return;
+  std::vector<ParticipantId> members = it->second.members;
+  for (ParticipantId p : members) RemoveParticipant(id, p);
+  trees_.RemoveMeeting(id);
+  meetings_.erase(id);
+}
+
+uint16_t SwitchAgent::AddParticipant(MeetingId meeting, ParticipantId id,
+                                     net::Endpoint media_src,
+                                     uint32_t video_ssrc, uint32_t audio_ssrc,
+                                     bool sends_video, bool sends_audio) {
+  ++stats_.rpc_calls;
+  Participant p;
+  p.id = id;
+  p.meeting = meeting;
+  p.media_src = media_src;
+  p.uplink_port = next_port_++;
+  p.video_ssrc = video_ssrc;
+  p.audio_ssrc = audio_ssrc;
+  p.sends_video = sends_video;
+  p.sends_audio = sends_audio;
+  participants_[id] = p;
+  meetings_[meeting].members.push_back(id);
+  if (sends_video) ssrc_to_sender_[video_ssrc] = id;
+  if (sends_audio) ssrc_to_sender_[audio_ssrc] = id;
+
+  FeedbackEntry fb;
+  fb.meeting = meeting;
+  fb.receiver = id;
+  fb.sender = id;
+  fb.is_uplink = true;
+  fb.sender_rid = static_cast<uint16_t>(id);
+  dp_.InstallFeedback(p.uplink_port, fb);
+  ++stats_.dataplane_writes;
+
+  RebuildMeeting(meeting);
+  return p.uplink_port;
+}
+
+void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
+  ++stats_.rpc_calls;
+  auto it = participants_.find(id);
+  if (it == participants_.end()) return;
+  Participant& p = it->second;
+
+  dp_.RemoveFeedback(p.uplink_port);
+  for (auto& [sender, leg] : p.recv_legs) {
+    dp_.RemoveFeedback(leg.sfu_port);
+    auto sit = participants_.find(sender);
+    if (sit != participants_.end()) {
+      dp_.RemoveEgress(EgressKey{sit->second.media_src,
+                                 static_cast<uint16_t>(id)});
+      dp_.RemoveEgress(EgressKey{leg.client, static_cast<uint16_t>(sender)});
+      dp_.RemoveSvc(SvcKey{sit->second.video_ssrc, id});
+    }
+  }
+  for (auto& [sender, idx] : p.rewriter_index) dp_.FreeRewriter(idx);
+  // Other participants' legs toward this (now removed) sender.
+  for (auto& [pid, other] : participants_) {
+    if (pid == id) continue;
+    auto leg = other.recv_legs.find(id);
+    if (leg != other.recv_legs.end()) {
+      dp_.RemoveFeedback(leg->second.sfu_port);
+      dp_.RemoveEgress(EgressKey{p.media_src, static_cast<uint16_t>(pid)});
+      dp_.RemoveEgress(
+          EgressKey{leg->second.client, static_cast<uint16_t>(id)});
+      dp_.RemoveSvc(SvcKey{p.video_ssrc, pid});
+      auto rw = other.rewriter_index.find(id);
+      if (rw != other.rewriter_index.end()) {
+        dp_.FreeRewriter(rw->second);
+        other.rewriter_index.erase(rw);
+      }
+      other.recv_legs.erase(leg);
+      other.dt.erase(id);
+      other.remb_ewma.erase(id);
+      other.est_hist.erase(id);
+    }
+  }
+  if (p.sends_video) ssrc_to_sender_.erase(p.video_ssrc);
+  if (p.sends_audio) ssrc_to_sender_.erase(p.audio_ssrc);
+  stats_.dataplane_writes += 4;
+
+  auto& members = meetings_[meeting].members;
+  members.erase(std::remove(members.begin(), members.end(), id),
+                members.end());
+  // Scrub the filter state: entries where the departed participant was the
+  // sender *or* the currently selected best receiver.
+  auto& best = meetings_[meeting].best_downlink;
+  best.erase(id);
+  for (auto bit = best.begin(); bit != best.end();) {
+    if (bit->second == id) {
+      bit = best.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+  participants_.erase(it);
+  if (members.empty()) {
+    trees_.RemoveMeeting(meeting);
+  } else {
+    RebuildMeeting(meeting);
+  }
+}
+
+uint16_t SwitchAgent::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
+                                 ParticipantId sender,
+                                 net::Endpoint receiver_client) {
+  ++stats_.rpc_calls;
+  Participant& recv = participants_.at(receiver);
+  Participant& send = participants_.at(sender);
+
+  Leg leg;
+  leg.sfu_port = next_port_++;
+  leg.client = receiver_client;
+  recv.recv_legs[sender] = leg;
+  recv.dt[sender] = 2;
+  recv.leg_created[sender] = sched_.now();
+
+  // Media path: sender's packets, replica rid = receiver.
+  EgressEntry media_out;
+  media_out.dst = receiver_client;
+  media_out.sfu_src = net::Endpoint{cfg_.sfu_ip, leg.sfu_port};
+  media_out.receiver = receiver;
+  dp_.InstallEgress(
+      EgressKey{send.media_src, static_cast<uint16_t>(receiver)}, media_out);
+
+  // Feedback path: receiver's RTCP toward the sender.
+  EgressEntry fb_out;
+  fb_out.dst = send.media_src;
+  fb_out.sfu_src = net::Endpoint{cfg_.sfu_ip, send.uplink_port};
+  fb_out.receiver = sender;
+  dp_.InstallEgress(EgressKey{receiver_client, static_cast<uint16_t>(sender)},
+                    fb_out);
+
+  FeedbackEntry fb;
+  fb.meeting = meeting;
+  fb.receiver = receiver;
+  fb.sender = sender;
+  fb.sender_rid = static_cast<uint16_t>(sender);
+  fb.video_ssrc = send.video_ssrc;
+  // The first leg created for a sender is the initial REMB pass-through.
+  auto& best = meetings_[meeting].best_downlink;
+  if (best.find(sender) == best.end()) {
+    best[sender] = receiver;
+    fb.remb_allowed = true;
+  }
+  dp_.InstallFeedback(leg.sfu_port, fb);
+  stats_.dataplane_writes += 3;
+
+  RebuildMeeting(meeting);
+  return leg.sfu_port;
+}
+
+void SwitchAgent::ProcessRemb(Participant& receiver, ParticipantId sender,
+                              uint64_t bitrate) {
+  auto [it, inserted] = receiver.remb_ewma.try_emplace(
+      sender, util::Ewma(cfg_.remb_ewma_alpha));
+  it->second.Add(static_cast<double>(bitrate));
+  auto& hist = receiver.est_hist[sender];
+  hist.push_back(bitrate);
+  if (hist.size() > 32) hist.erase(hist.begin());
+
+  RunDownlinkFilter(receiver.meeting, sender);
+
+  // Decode-target selection (paper §5.4). Pinned pairs are not touched,
+  // and the policy waits out the noisy startup estimates (key-frame
+  // bursts skew both GCC and the SR-based sender rate).
+  if (pinned_dt_.count({receiver.id, sender}) > 0) return;
+  if (hist.size() < 5) return;
+  auto created = receiver.leg_created.find(sender);
+  if (created != receiver.leg_created.end() &&
+      sched_.now() - created->second < cfg_.policy_warmup) {
+    return;
+  }
+  uint64_t sender_rate = SenderRateOf(sender);
+  int curr = DecodeTargetOf(receiver.id, sender);
+  int next;
+  if (select_dt_) {
+    next = select_dt_(curr, hist, bitrate, sender_rate);
+  } else {
+    next = DefaultPolicy(receiver, sender, curr, bitrate, sender_rate);
+    if (next < curr && hist.size() >= 2) {
+      uint64_t prev_est = hist[hist.size() - 2];
+      // Debounce: the previous estimate must agree, so a single transient
+      // dip cannot halve a healthy stream.
+      int prev = DefaultPolicy(receiver, sender, curr, prev_est, sender_rate);
+      if (prev >= curr) next = curr;
+      // And never downgrade while the estimate is still climbing: the
+      // sender is ramping with the best downlink's REMB and younger legs'
+      // estimates simply lag behind (not congestion).
+      if (bitrate > prev_est) next = curr;
+    }
+  }
+  next = std::clamp(next, 0, 2);
+  if (next != curr) {
+    util::TimeUs now = sched_.now();
+    if (next < curr) {
+      receiver.last_downgrade[sender] = now;
+      // A downgrade shortly after an upgrade = failed probe: back off.
+      auto up = receiver.last_upgrade.find(sender);
+      auto [b, inserted] =
+          receiver.backoff.try_emplace(sender, cfg_.upgrade_hold_down);
+      if (up != receiver.last_upgrade.end() &&
+          now - up->second < cfg_.failed_probe_window) {
+        b->second = std::min<util::DurationUs>(b->second * 2,
+                                               cfg_.upgrade_hold_down_max);
+      } else if (!inserted) {
+        b->second = cfg_.upgrade_hold_down;  // organic downgrade: reset
+      }
+    } else {
+      receiver.last_upgrade[sender] = now;
+    }
+    ApplyDecodeTarget(receiver, sender, next);
+  }
+}
+
+int SwitchAgent::DefaultPolicy(const Participant& receiver,
+                               ParticipantId sender, int curr,
+                               uint64_t new_est, uint64_t sender_rate) {
+  if (sender_rate == 0) return curr;  // no SR seen yet: hold
+  double est = static_cast<double>(new_est);
+  double rate = static_cast<double>(sender_rate);
+
+  // Keep the current target while the estimate still covers it.
+  bool current_fits =
+      est >= cfg_.down_margin * cfg_.layer_rate_fraction[curr] * rate;
+
+  // Downgrade: highest target the estimate covers (DT0 is the floor).
+  if (!current_fits) {
+    int target = 0;
+    for (int k = curr - 1; k >= 1; --k) {
+      if (est >= cfg_.down_margin * cfg_.layer_rate_fraction[k] * rate) {
+        target = k;
+        break;
+      }
+    }
+    return target;
+  }
+
+  // Upgrade: needs headroom plus an expired (possibly backed-off)
+  // hold-down since the last downgrade.
+  if (curr < 2 &&
+      est >= cfg_.up_margin * cfg_.layer_rate_fraction[curr + 1] * rate) {
+    auto down = receiver.last_downgrade.find(sender);
+    if (down != receiver.last_downgrade.end()) {
+      util::DurationUs hold = cfg_.upgrade_hold_down;
+      auto b = receiver.backoff.find(sender);
+      if (b != receiver.backoff.end()) hold = b->second;
+      if (sched_.now() - down->second < hold) return curr;
+    }
+    return curr + 1;
+  }
+  return curr;
+}
+
+void SwitchAgent::RunDownlinkFilter(MeetingId meeting, ParticipantId sender) {
+  // f(receivers' EWMAs) -> best downlink; only that receiver's REMB is
+  // forwarded to the sender (paper §5.3).
+  auto mit = meetings_.find(meeting);
+  if (mit == meetings_.end()) return;
+  Meeting& m = mit->second;
+
+  ParticipantId best = 0;
+  double best_val = -1.0;
+  double current_val = -1.0;
+  auto cur = m.best_downlink.find(sender);
+  for (ParticipantId r : m.members) {
+    if (r == sender) continue;
+    const Participant& p = participants_.at(r);
+    auto e = p.remb_ewma.find(sender);
+    if (e == p.remb_ewma.end() || !e->second.has_value()) continue;
+    if (e->second.value() > best_val) {
+      best_val = e->second.value();
+      best = r;
+    }
+    if (cur != m.best_downlink.end() && cur->second == r) {
+      current_val = e->second.value();
+    }
+  }
+  if (best == 0) return;
+  if (cur != m.best_downlink.end() && cur->second == best) return;
+  // Hysteresis: switching the forwarded REMB between near-equal downlinks
+  // would churn data-plane rules for no benefit.
+  if (current_val > 0 && best_val < 1.10 * current_val) return;
+
+  // Flip the data-plane REMB pass-through flags.
+  if (cur != m.best_downlink.end()) {
+    auto old_it = participants_.find(cur->second);
+    if (old_it != participants_.end()) {
+      auto old_leg = old_it->second.recv_legs.find(sender);
+      if (old_leg != old_it->second.recv_legs.end()) {
+        FeedbackEntry* fb = dp_.MutableFeedback(old_leg->second.sfu_port);
+        if (fb != nullptr) fb->remb_allowed = false;
+        ++stats_.dataplane_writes;
+      }
+    }
+  }
+  const Participant& new_p = participants_.at(best);
+  auto new_leg = new_p.recv_legs.find(sender);
+  if (new_leg != new_p.recv_legs.end()) {
+    FeedbackEntry* fb = dp_.MutableFeedback(new_leg->second.sfu_port);
+    if (fb != nullptr) fb->remb_allowed = true;
+    ++stats_.dataplane_writes;
+  }
+  m.best_downlink[sender] = best;
+  ++stats_.filter_flips;
+}
+
+SkipCadence SwitchAgent::CadenceFor(ParticipantId sender, int dt) const {
+  auto a = dd_anchor_.find(sender);
+  uint16_t anchor = a == dd_anchor_.end() ? 1 : a->second;
+  return SkipCadence::ForDecodeTarget(dt, anchor);
+}
+
+void SwitchAgent::ApplyDecodeTarget(Participant& receiver,
+                                    ParticipantId sender, int new_dt) {
+  ++stats_.dt_changes;
+  receiver.dt[sender] = new_dt;
+  Participant& send = participants_.at(sender);
+
+  SkipCadence cadence = CadenceFor(sender, new_dt);
+  SvcKey key{send.video_ssrc, receiver.id};
+  SvcEntry* svc = dp_.MutableSvc(key);
+  if (svc == nullptr) {
+    SvcEntry fresh;
+    fresh.decode_target = new_dt;
+    fresh.cadence = cadence;
+    fresh.rewriter_index = dp_.AllocateRewriter(cadence);
+    receiver.rewriter_index[sender] = fresh.rewriter_index;
+    dp_.InstallSvc(key, fresh);
+    svc = dp_.MutableSvc(key);
+  } else {
+    svc->decode_target = new_dt;
+    svc->cadence = cadence;
+    if (svc->rewriter_index != UINT32_MAX) {
+      dp_.ConfigureRewriter(svc->rewriter_index, cadence);
+    }
+  }
+  ++stats_.dataplane_writes;
+
+  RebuildMeeting(receiver.meeting);
+
+  // Two-party meetings filter by template in the egress pipeline (no tree).
+  auto design = trees_.CurrentDesign(receiver.meeting);
+  if (svc != nullptr) {
+    svc->filter_in_egress =
+        design.has_value() && *design == TreeDesign::kTwoParty;
+  }
+}
+
+void SwitchAgent::RebuildMeeting(MeetingId meeting) {
+  auto mit = meetings_.find(meeting);
+  if (mit == meetings_.end() || mit->second.members.empty()) return;
+  MeetingSpec spec;
+  spec.id = meeting;
+  for (ParticipantId pid : mit->second.members) {
+    const Participant& p = participants_.at(pid);
+    MemberSpec m;
+    m.id = p.id;
+    m.media_src = p.media_src;
+    m.video_ssrc = p.video_ssrc;
+    m.audio_ssrc = p.audio_ssrc;
+    m.sends_video = p.sends_video;
+    m.sends_audio = p.sends_audio;
+    m.decode_targets = p.dt;
+    spec.members.push_back(std::move(m));
+  }
+  TreeDesign design = trees_.Reconfigure(spec);
+  ++stats_.dataplane_writes;
+
+  // Keep egress-filter flags consistent with the design in effect.
+  for (ParticipantId pid : mit->second.members) {
+    Participant& p = participants_.at(pid);
+    for (auto& [sender, dt] : p.dt) {
+      const Participant& s = participants_.at(sender);
+      SvcEntry* svc = dp_.MutableSvc(SvcKey{s.video_ssrc, pid});
+      if (svc != nullptr) {
+        svc->filter_in_egress = design == TreeDesign::kTwoParty;
+      }
+    }
+  }
+}
+
+void SwitchAgent::ForceDecodeTarget(MeetingId meeting, ParticipantId receiver,
+                                    ParticipantId sender, int dt) {
+  (void)meeting;
+  auto it = participants_.find(receiver);
+  if (it == participants_.end()) return;
+  pinned_dt_.insert({receiver, sender});
+  ApplyDecodeTarget(it->second, sender, std::clamp(dt, 0, 2));
+}
+
+void SwitchAgent::UnpinDecodeTarget(ParticipantId receiver,
+                                    ParticipantId sender) {
+  pinned_dt_.erase({receiver, sender});
+}
+
+int SwitchAgent::DecodeTargetOf(ParticipantId receiver,
+                                ParticipantId sender) const {
+  auto it = participants_.find(receiver);
+  if (it == participants_.end()) return 2;
+  auto dt = it->second.dt.find(sender);
+  return dt == it->second.dt.end() ? 2 : dt->second;
+}
+
+ParticipantId SwitchAgent::BestDownlinkOf(ParticipantId sender) const {
+  auto pit = participants_.find(sender);
+  if (pit == participants_.end()) return 0;
+  auto mit = meetings_.find(pit->second.meeting);
+  if (mit == meetings_.end()) return 0;
+  auto b = mit->second.best_downlink.find(sender);
+  return b == mit->second.best_downlink.end() ? 0 : b->second;
+}
+
+uint64_t SwitchAgent::SenderRateOf(ParticipantId sender) const {
+  auto pit = participants_.find(sender);
+  if (pit == participants_.end()) return 0;
+  auto rit = sender_rates_.find(pit->second.video_ssrc);
+  if (rit == sender_rates_.end() || !rit->second.rate.has_value()) return 0;
+  return static_cast<uint64_t>(rit->second.rate.value());
+}
+
+}  // namespace scallop::core

@@ -1,0 +1,175 @@
+// Scallop's switch agent (paper §4-§5): the control program on the switch
+// CPU. It receives copies of RTCP feedback, STUN and extended dependency
+// descriptors from the data plane's CPU port, and reconfigures the data
+// plane: REMB best-downlink filtering (the paper's filter function f),
+// per-receiver decode-target selection, sequence-rewriter provisioning,
+// and replication-tree management/migration via the TreeManager.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/dataplane.hpp"
+#include "core/tree_manager.hpp"
+#include "rtp/rtcp.hpp"
+#include "sim/scheduler.hpp"
+#include "stun/stun.hpp"
+#include "util/stats.hpp"
+
+namespace scallop::core {
+
+// selectDecodeTarget(currDT, estHist, newEst) -> newDT  (paper §5.4).
+// estHist carries recent REMB estimates (bps), newest last; senderRate is
+// the agent's EWMA of the sender's transmit rate from SR reports.
+using SelectDecodeTargetFn = std::function<int(
+    int curr_dt, const std::vector<uint64_t>& est_hist, uint64_t new_est,
+    uint64_t sender_rate_bps)>;
+
+struct AgentConfig {
+  net::Ipv4 sfu_ip;
+  uint16_t first_sfu_port = 10'000;
+  double remb_ewma_alpha = 0.3;
+  // Default decode-target policy: per-target bitrate fractions of the
+  // sender rate (L1T3 layer weights). A target is *kept* while the
+  // estimate covers down_margin x its rate; an *upgrade* additionally
+  // requires up_margin headroom. The asymmetry matters because at
+  // equilibrium the receiver-driven estimate sits right at the sender
+  // rate for the best downlink.
+  double layer_rate_fraction[3] = {0.48, 0.71, 1.00};
+  double down_margin = 0.95;
+  double up_margin = 1.15;
+  // Upgrade hold-down after a downgrade; doubles (up to the max) when an
+  // upgrade probe fails quickly, so capacity-boundary receivers settle
+  // instead of flapping.
+  util::DurationUs upgrade_hold_down = util::Seconds(8);
+  util::DurationUs upgrade_hold_down_max = util::Seconds(120);
+  util::DurationUs failed_probe_window = util::Seconds(15);
+  // No automatic decode-target changes this soon after a leg is created:
+  // fresh GCC estimates and SR-rate readings are unreliable.
+  util::DurationUs policy_warmup = util::Seconds(3);
+  // How often the best-downlink filter re-evaluates per sender.
+  util::DurationUs filter_interval = util::Millis(500);
+};
+
+struct AgentStats {
+  uint64_t cpu_packets = 0;
+  uint64_t stun_handled = 0;
+  uint64_t remb_processed = 0;
+  uint64_t rr_processed = 0;
+  uint64_t sr_processed = 0;
+  uint64_t nack_seen = 0;
+  uint64_t pli_seen = 0;
+  uint64_t keyframe_dd_processed = 0;
+  uint64_t filter_flips = 0;   // best-downlink selection changes
+  uint64_t dt_changes = 0;     // decode-target reconfigurations
+  uint64_t rpc_calls = 0;      // controller -> agent API calls
+  uint64_t dataplane_writes = 0;
+};
+
+class SwitchAgent {
+ public:
+  SwitchAgent(sim::Scheduler& sched, DataPlaneProgram& dp,
+              const AgentConfig& cfg);
+
+  // Wire this as the switch's CPU-port handler.
+  void OnCpuPacket(net::PacketPtr pkt);
+
+  // ---- controller-facing API (an RPC boundary in the real system) ----
+  void CreateMeeting(MeetingId id);
+  void RemoveMeeting(MeetingId id);
+  // Registers a participant's uplink; returns the SFU port for its media.
+  uint16_t AddParticipant(MeetingId meeting, ParticipantId id,
+                          net::Endpoint media_src, uint32_t video_ssrc,
+                          uint32_t audio_ssrc, bool sends_video,
+                          bool sends_audio);
+  void RemoveParticipant(MeetingId meeting, ParticipantId id);
+  // Creates the (receiver <- sender) leg; returns its SFU port.
+  uint16_t AddRecvLeg(MeetingId meeting, ParticipantId receiver,
+                      ParticipantId sender, net::Endpoint receiver_client);
+
+  void SetDecodeTargetPolicy(SelectDecodeTargetFn fn) {
+    select_dt_ = std::move(fn);
+  }
+  // Forces and pins a decode target (scripted experiments and tests); the
+  // automatic policy no longer touches the pair until Unpin is called.
+  void ForceDecodeTarget(MeetingId meeting, ParticipantId receiver,
+                         ParticipantId sender, int dt);
+  void UnpinDecodeTarget(ParticipantId receiver, ParticipantId sender);
+
+  const AgentStats& stats() const { return stats_; }
+  TreeManager& tree_manager() { return trees_; }
+  // Current decode target of (receiver <- sender).
+  int DecodeTargetOf(ParticipantId receiver, ParticipantId sender) const;
+  // Currently selected best downlink for a sender (0 = none yet).
+  ParticipantId BestDownlinkOf(ParticipantId sender) const;
+  uint64_t SenderRateOf(ParticipantId sender) const;
+
+ private:
+  struct Leg {
+    uint16_t sfu_port = 0;
+    net::Endpoint client;
+  };
+  struct Participant {
+    ParticipantId id = 0;
+    MeetingId meeting = 0;
+    net::Endpoint media_src;
+    uint16_t uplink_port = 0;
+    uint32_t video_ssrc = 0;
+    uint32_t audio_ssrc = 0;
+    bool sends_video = false;
+    bool sends_audio = false;
+    std::map<ParticipantId, Leg> recv_legs;            // by sender
+    std::map<ParticipantId, int> dt;                   // by sender
+    std::map<ParticipantId, util::Ewma> remb_ewma;     // by sender
+    std::map<ParticipantId, std::vector<uint64_t>> est_hist;  // by sender
+    std::map<ParticipantId, uint32_t> rewriter_index;  // by sender
+    std::map<ParticipantId, util::TimeUs> last_downgrade;  // by sender
+    std::map<ParticipantId, util::TimeUs> last_upgrade;    // by sender
+    std::map<ParticipantId, util::DurationUs> backoff;     // by sender
+    std::map<ParticipantId, util::TimeUs> leg_created;     // by sender
+  };
+  struct SenderRate {
+    util::Ewma rate{0.3};
+    uint32_t last_octets = 0;
+    util::TimeUs last_time = 0;
+    bool seen = false;
+  };
+  struct Meeting {
+    std::vector<ParticipantId> members;
+    std::map<ParticipantId, ParticipantId> best_downlink;  // by sender
+  };
+
+  void HandleStun(const net::Packet& pkt);
+  void HandleRtcp(const net::Packet& pkt);
+  void HandleKeyframeDd(const net::Packet& pkt);
+  void ProcessRemb(Participant& receiver, ParticipantId sender,
+                   uint64_t bitrate);
+  void RunDownlinkFilter(MeetingId meeting, ParticipantId sender);
+  void ApplyDecodeTarget(Participant& receiver, ParticipantId sender,
+                         int new_dt);
+  void RebuildMeeting(MeetingId meeting);
+  int DefaultPolicy(const Participant& receiver, ParticipantId sender,
+                    int curr, uint64_t new_est, uint64_t sender_rate);
+  SkipCadence CadenceFor(ParticipantId sender, int dt) const;
+
+  sim::Scheduler& sched_;
+  DataPlaneProgram& dp_;
+  AgentConfig cfg_;
+  TreeManager trees_;
+  SelectDecodeTargetFn select_dt_;
+
+  std::map<MeetingId, Meeting> meetings_;
+  std::map<ParticipantId, Participant> participants_;
+  std::set<std::pair<ParticipantId, ParticipantId>> pinned_dt_;
+  std::map<uint32_t, SenderRate> sender_rates_;     // by video ssrc
+  std::map<ParticipantId, uint16_t> dd_anchor_;     // keyframe anchor
+  std::map<uint32_t, ParticipantId> ssrc_to_sender_;
+  uint16_t next_port_;
+
+  AgentStats stats_;
+};
+
+}  // namespace scallop::core

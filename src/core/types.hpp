@@ -1,0 +1,113 @@
+// Shared identifiers and table-entry types for Scallop's control and data
+// planes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/seqrewrite.hpp"
+#include "net/address.hpp"
+
+namespace scallop::core {
+
+using MeetingId = uint32_t;
+using ParticipantId = uint32_t;
+
+// Replication-tree designs (paper §6.1 / Fig. 11).
+enum class TreeDesign : uint8_t {
+  kTwoParty,  // unicast fast path, no replication tree
+  kNRA,       // non-rate-adapted: one tree per m meetings
+  kRAR,       // receiver-specific rate adaptation: q cumulative-layer trees
+  kRASR,      // sender-receiver-specific: q trees per sender pair
+};
+const char* TreeDesignName(TreeDesign d);
+
+// ---- Data-plane table entry types ----
+
+// Key of the stream index table: who is sending this RTP stream.
+struct StreamKey {
+  net::Endpoint src;
+  uint32_t ssrc = 0;
+  bool operator==(const StreamKey&) const = default;
+};
+
+// Value: meeting context plus the PRE invocation parameters installed by
+// the tree manager.
+struct StreamEntry {
+  MeetingId meeting = 0;
+  ParticipantId sender = 0;
+  bool is_video = false;
+  TreeDesign design = TreeDesign::kNRA;
+  // Two-party: the peer's egress id. Otherwise: base MGID (layer trees are
+  // mgid_base + layer for kRAR/kRASR).
+  uint32_t peer_egress = 0;
+  uint32_t mgid_base = 0;
+  uint16_t l1_xid = 0;  // set on the packet to exclude the other slot
+  uint16_t rid = 0;     // sender's own rid (L2 self-prune)
+  uint16_t l2_xid = 0;  // maps to the sender's own egress port
+};
+
+// Egress rewrite table: (original source endpoint, replica RID) -> the
+// receiver-specific addressing (paper §6.1 "Addressing replicated packets").
+struct EgressKey {
+  net::Endpoint orig_src;
+  uint16_t rid = 0;
+  bool operator==(const EgressKey&) const = default;
+};
+
+struct EgressEntry {
+  net::Endpoint dst;      // receiver's client endpoint for this leg
+  net::Endpoint sfu_src;  // SFU-side endpoint presented to the receiver
+  ParticipantId receiver = 0;
+};
+
+// Per (video ssrc, receiver) SVC filtering and sequence rewriting.
+struct SvcKey {
+  uint32_t ssrc = 0;
+  ParticipantId receiver = 0;
+  bool operator==(const SvcKey&) const = default;
+};
+
+struct SvcEntry {
+  int decode_target = 2;  // 0..2; 2 = full rate
+  SkipCadence cadence;
+  // Index into the data plane's rewriter state; kNoRewriter = pass-through.
+  uint32_t rewriter_index = UINT32_MAX;
+  bool filter_in_egress = false;  // two-party mode drops by template here
+};
+
+// Feedback legs: keyed by the SFU-local UDP port the receiver talks to.
+struct FeedbackEntry {
+  MeetingId meeting = 0;
+  ParticipantId receiver = 0;
+  ParticipantId sender = 0;   // which sender this leg reports on
+  uint16_t sender_rid = 0;    // egress-rewrite rid toward the sender
+  bool remb_allowed = false;  // best-downlink filter verdict (§5.3)
+  uint32_t video_ssrc = 0;    // sender's video ssrc (NACK translation)
+  bool is_uplink = false;     // the sender's own media leg
+};
+
+}  // namespace scallop::core
+
+namespace std {
+template <>
+struct hash<scallop::core::StreamKey> {
+  size_t operator()(const scallop::core::StreamKey& k) const noexcept {
+    return std::hash<scallop::net::Endpoint>{}(k.src) ^
+           (static_cast<size_t>(k.ssrc) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+template <>
+struct hash<scallop::core::EgressKey> {
+  size_t operator()(const scallop::core::EgressKey& k) const noexcept {
+    return std::hash<scallop::net::Endpoint>{}(k.orig_src) ^
+           (static_cast<size_t>(k.rid) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+template <>
+struct hash<scallop::core::SvcKey> {
+  size_t operator()(const scallop::core::SvcKey& k) const noexcept {
+    return (static_cast<size_t>(k.ssrc) << 20) ^ k.receiver;
+  }
+};
+}  // namespace std

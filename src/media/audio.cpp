@@ -1,0 +1,21 @@
+#include "media/audio.hpp"
+
+#include "media/packetizer.hpp"
+
+namespace scallop::media {
+
+rtp::RtpPacket AudioSource::NextPacket(util::TimeUs now) {
+  rtp::RtpPacket pkt;
+  pkt.payload_type = cfg_.payload_type;
+  pkt.sequence_number = next_seq_++;
+  pkt.timestamp = static_cast<uint32_t>(
+      (now * cfg_.clock_rate) / 1'000'000);
+  pkt.ssrc = cfg_.ssrc;
+  pkt.marker = false;
+  pkt.SetExtension(cfg_.abs_send_time_id, EncodeAbsSendTime(now));
+  pkt.payload.assign(cfg_.payload_bytes, 0xAB);
+  ++packets_produced_;
+  return pkt;
+}
+
+}  // namespace scallop::media

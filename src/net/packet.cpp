@@ -1,0 +1,9 @@
+#include "net/packet.hpp"
+
+namespace scallop::net {
+
+PacketPtr ClonePacket(const Packet& p) {
+  return std::make_shared<Packet>(p);
+}
+
+}  // namespace scallop::net

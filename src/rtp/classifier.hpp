@@ -1,0 +1,25 @@
+// The data plane's first parsing decision (paper §E): look at the first
+// bytes of the UDP payload to tell RTP, RTCP and STUN apart.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace scallop::rtp {
+
+enum class PayloadKind : uint8_t {
+  kRtp,
+  kRtcp,
+  kStun,
+  kUnknown,
+};
+
+// RFC 7983-style demultiplexing: STUN starts with 0b00, RTP/RTCP with
+// version 2 (0b10); RTCP is distinguished by payload type 200..206 in the
+// second byte.
+PayloadKind Classify(std::span<const uint8_t> payload);
+
+std::string PayloadKindName(PayloadKind k);
+
+}  // namespace scallop::rtp

@@ -1,0 +1,351 @@
+#include "rtp/rtcp.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/seqnum.hpp"
+
+namespace scallop::rtp {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+// Writes the 4-byte RTCP common header; returns offset of the length field.
+size_t WriteCommonHeader(ByteWriter& w, uint8_t count_or_fmt, uint8_t pt) {
+  w.WriteU8(static_cast<uint8_t>(2 << 6 | (count_or_fmt & 0x1f)));
+  w.WriteU8(pt);
+  size_t pos = w.size();
+  w.WriteU16(0);
+  return pos;
+}
+
+void PatchLength(ByteWriter& w, size_t len_pos, size_t start) {
+  size_t bytes = w.size() - start + 4;  // include common header
+  w.PatchU16(len_pos, static_cast<uint16_t>(bytes / 4 - 1));
+}
+
+void WriteReportBlock(ByteWriter& w, const ReportBlock& b) {
+  w.WriteU32(b.ssrc);
+  w.WriteU8(b.fraction_lost);
+  w.WriteU24(static_cast<uint32_t>(b.cumulative_lost) & 0xffffff);
+  w.WriteU32(b.highest_seq);
+  w.WriteU32(b.jitter);
+  w.WriteU32(b.last_sr);
+  w.WriteU32(b.delay_since_last_sr);
+}
+
+ReportBlock ReadReportBlock(ByteReader& r) {
+  ReportBlock b;
+  b.ssrc = r.ReadU32();
+  b.fraction_lost = r.ReadU8();
+  uint32_t lost24 = r.ReadU24();
+  // Sign-extend 24-bit value.
+  b.cumulative_lost = static_cast<int32_t>(lost24 << 8) >> 8;
+  b.highest_seq = r.ReadU32();
+  b.jitter = r.ReadU32();
+  b.last_sr = r.ReadU32();
+  b.delay_since_last_sr = r.ReadU32();
+  return b;
+}
+
+void SerializeInto(ByteWriter& w, const RtcpMessage& msg);
+
+void WriteSr(ByteWriter& w, const SenderReport& sr) {
+  size_t len_pos = WriteCommonHeader(
+      w, static_cast<uint8_t>(sr.blocks.size()), kRtcpSr);
+  size_t start = w.size();
+  w.WriteU32(sr.sender_ssrc);
+  w.WriteU64(sr.ntp_timestamp);
+  w.WriteU32(sr.rtp_timestamp);
+  w.WriteU32(sr.packet_count);
+  w.WriteU32(sr.octet_count);
+  for (const auto& b : sr.blocks) WriteReportBlock(w, b);
+  PatchLength(w, len_pos, start);
+}
+
+void WriteRr(ByteWriter& w, const ReceiverReport& rr) {
+  size_t len_pos = WriteCommonHeader(
+      w, static_cast<uint8_t>(rr.blocks.size()), kRtcpRr);
+  size_t start = w.size();
+  w.WriteU32(rr.sender_ssrc);
+  for (const auto& b : rr.blocks) WriteReportBlock(w, b);
+  PatchLength(w, len_pos, start);
+}
+
+void WriteSdes(ByteWriter& w, const Sdes& sdes) {
+  size_t len_pos = WriteCommonHeader(
+      w, static_cast<uint8_t>(sdes.chunks.size()), kRtcpSdes);
+  size_t start = w.size();
+  for (const auto& chunk : sdes.chunks) {
+    w.WriteU32(chunk.ssrc);
+    w.WriteU8(1);  // CNAME item type
+    w.WriteU8(static_cast<uint8_t>(chunk.cname.size()));
+    w.WriteString(chunk.cname);
+    w.WriteU8(0);  // end of items
+    while ((w.size() - start) % 4 != 0) w.WriteU8(0);
+  }
+  PatchLength(w, len_pos, start);
+}
+
+void WriteBye(ByteWriter& w, const Bye& bye) {
+  size_t len_pos = WriteCommonHeader(
+      w, static_cast<uint8_t>(bye.ssrcs.size()), kRtcpBye);
+  size_t start = w.size();
+  for (uint32_t ssrc : bye.ssrcs) w.WriteU32(ssrc);
+  if (!bye.reason.empty()) {
+    w.WriteU8(static_cast<uint8_t>(bye.reason.size()));
+    w.WriteString(bye.reason);
+    while ((w.size() - start) % 4 != 0) w.WriteU8(0);
+  }
+  PatchLength(w, len_pos, start);
+}
+
+void WriteNack(ByteWriter& w, const Nack& nack) {
+  size_t len_pos = WriteCommonHeader(w, kFmtNack, kRtcpRtpFb);
+  size_t start = w.size();
+  w.WriteU32(nack.sender_ssrc);
+  w.WriteU32(nack.media_ssrc);
+  // Greedy PID/BLP packing of sorted sequence numbers.
+  std::vector<uint16_t> seqs = nack.sequence_numbers;
+  std::sort(seqs.begin(), seqs.end(),
+            [](uint16_t a, uint16_t b) { return util::SeqNewer(b, a); });
+  size_t i = 0;
+  while (i < seqs.size()) {
+    uint16_t pid = seqs[i];
+    uint16_t blp = 0;
+    size_t j = i + 1;
+    while (j < seqs.size()) {
+      int d = util::SeqDiff(seqs[j], pid);
+      if (d < 1 || d > 16) break;
+      blp = static_cast<uint16_t>(blp | (1u << (d - 1)));
+      ++j;
+    }
+    w.WriteU16(pid);
+    w.WriteU16(blp);
+    i = j;
+  }
+  PatchLength(w, len_pos, start);
+}
+
+void WritePli(ByteWriter& w, const Pli& pli) {
+  // PLI has no FCI; the media ssrc rides in the PSFB header's media field.
+  size_t len_pos = WriteCommonHeader(w, kFmtPli, kRtcpPsFb);
+  size_t start = w.size();
+  w.WriteU32(pli.sender_ssrc);
+  w.WriteU32(pli.media_ssrc);
+  PatchLength(w, len_pos, start);
+}
+
+void WriteRemb(ByteWriter& w, const Remb& remb) {
+  size_t len_pos = WriteCommonHeader(w, kFmtAfb, kRtcpPsFb);
+  size_t start = w.size();
+  w.WriteU32(remb.sender_ssrc);
+  w.WriteU32(0);  // media source: zero for REMB
+  w.WriteString("REMB");
+  // 6-bit exponent, 18-bit mantissa.
+  uint64_t bitrate = remb.bitrate_bps;
+  uint8_t exponent = 0;
+  while (bitrate > 0x3ffff) {
+    bitrate >>= 1;
+    ++exponent;
+  }
+  w.WriteU8(static_cast<uint8_t>(remb.media_ssrcs.size()));
+  w.WriteU8(static_cast<uint8_t>((exponent << 2) | ((bitrate >> 16) & 0x3)));
+  w.WriteU16(static_cast<uint16_t>(bitrate & 0xffff));
+  for (uint32_t ssrc : remb.media_ssrcs) w.WriteU32(ssrc);
+  PatchLength(w, len_pos, start);
+}
+
+void SerializeInto(ByteWriter& w, const RtcpMessage& msg) {
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SenderReport>) WriteSr(w, m);
+        else if constexpr (std::is_same_v<T, ReceiverReport>) WriteRr(w, m);
+        else if constexpr (std::is_same_v<T, Sdes>) WriteSdes(w, m);
+        else if constexpr (std::is_same_v<T, Bye>) WriteBye(w, m);
+        else if constexpr (std::is_same_v<T, Nack>) WriteNack(w, m);
+        else if constexpr (std::is_same_v<T, Pli>) WritePli(w, m);
+        else if constexpr (std::is_same_v<T, Remb>) WriteRemb(w, m);
+      },
+      msg);
+}
+
+}  // namespace
+
+std::vector<uint8_t> Serialize(const RtcpMessage& msg) {
+  ByteWriter w(64);
+  SerializeInto(w, msg);
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> SerializeCompound(std::span<const RtcpMessage> msgs) {
+  ByteWriter w(128);
+  for (const auto& m : msgs) SerializeInto(w, m);
+  return std::move(w).Take();
+}
+
+std::optional<std::vector<RtcpMessage>> ParseCompound(
+    std::span<const uint8_t> data) {
+  std::vector<RtcpMessage> out;
+  size_t offset = 0;
+  while (offset + 4 <= data.size()) {
+    auto pkt = data.subspan(offset);
+    uint8_t b0 = pkt[0];
+    if ((b0 >> 6) != 2) return std::nullopt;
+    uint8_t count = b0 & 0x1f;
+    uint8_t pt = pkt[1];
+    size_t length_bytes = (static_cast<size_t>(pkt[2] << 8 | pkt[3]) + 1) * 4;
+    if (length_bytes > pkt.size()) return std::nullopt;
+    ByteReader r(pkt.subspan(4, length_bytes - 4));
+
+    switch (pt) {
+      case kRtcpSr: {
+        SenderReport sr;
+        sr.sender_ssrc = r.ReadU32();
+        sr.ntp_timestamp = r.ReadU64();
+        sr.rtp_timestamp = r.ReadU32();
+        sr.packet_count = r.ReadU32();
+        sr.octet_count = r.ReadU32();
+        for (int i = 0; i < count && r.ok(); ++i)
+          sr.blocks.push_back(ReadReportBlock(r));
+        if (!r.ok()) return std::nullopt;
+        out.emplace_back(std::move(sr));
+        break;
+      }
+      case kRtcpRr: {
+        ReceiverReport rr;
+        rr.sender_ssrc = r.ReadU32();
+        for (int i = 0; i < count && r.ok(); ++i)
+          rr.blocks.push_back(ReadReportBlock(r));
+        if (!r.ok()) return std::nullopt;
+        out.emplace_back(std::move(rr));
+        break;
+      }
+      case kRtcpSdes: {
+        Sdes sdes;
+        for (int i = 0; i < count && r.ok(); ++i) {
+          Sdes::Chunk chunk;
+          chunk.ssrc = r.ReadU32();
+          size_t chunk_start = r.position();
+          while (r.ok()) {
+            uint8_t item = r.ReadU8();
+            if (item == 0) break;
+            uint8_t len = r.ReadU8();
+            std::string value = r.ReadString(len);
+            if (item == 1) chunk.cname = std::move(value);
+          }
+          // Chunks pad to 32-bit boundary relative to chunk start.
+          size_t consumed = r.position() - chunk_start;
+          size_t pad = (4 - (consumed + 4) % 4) % 4;
+          r.Skip(pad);
+          sdes.chunks.push_back(std::move(chunk));
+        }
+        if (!r.ok()) return std::nullopt;
+        out.emplace_back(std::move(sdes));
+        break;
+      }
+      case kRtcpBye: {
+        Bye bye;
+        for (int i = 0; i < count && r.ok(); ++i)
+          bye.ssrcs.push_back(r.ReadU32());
+        if (r.remaining() > 0 && r.ok()) {
+          uint8_t len = r.ReadU8();
+          bye.reason = r.ReadString(len);
+        }
+        if (!r.ok()) return std::nullopt;
+        out.emplace_back(std::move(bye));
+        break;
+      }
+      case kRtcpRtpFb: {
+        if (count == kFmtNack) {
+          Nack nack;
+          nack.sender_ssrc = r.ReadU32();
+          nack.media_ssrc = r.ReadU32();
+          while (r.remaining() >= 4 && r.ok()) {
+            uint16_t pid = r.ReadU16();
+            uint16_t blp = r.ReadU16();
+            nack.sequence_numbers.push_back(pid);
+            for (int bit = 0; bit < 16; ++bit) {
+              if (blp & (1u << bit)) {
+                nack.sequence_numbers.push_back(
+                    static_cast<uint16_t>(pid + bit + 1));
+              }
+            }
+          }
+          if (!r.ok()) return std::nullopt;
+          out.emplace_back(std::move(nack));
+        }
+        break;
+      }
+      case kRtcpPsFb: {
+        if (count == kFmtPli) {
+          Pli pli;
+          pli.sender_ssrc = r.ReadU32();
+          pli.media_ssrc = r.ReadU32();
+          if (!r.ok()) return std::nullopt;
+          out.emplace_back(pli);
+        } else if (count == kFmtAfb) {
+          Remb remb;
+          remb.sender_ssrc = r.ReadU32();
+          r.Skip(4);  // media source (zero)
+          std::string id = r.ReadString(4);
+          if (id != "REMB") break;  // other AFB: ignore
+          uint8_t num_ssrc = r.ReadU8();
+          uint8_t exp_hi = r.ReadU8();
+          uint16_t mant_lo = r.ReadU16();
+          uint8_t exponent = exp_hi >> 2;
+          uint64_t mantissa =
+              (static_cast<uint64_t>(exp_hi & 0x3) << 16) | mant_lo;
+          remb.bitrate_bps = mantissa << exponent;
+          for (int i = 0; i < num_ssrc && r.ok(); ++i)
+            remb.media_ssrcs.push_back(r.ReadU32());
+          if (!r.ok()) return std::nullopt;
+          out.emplace_back(std::move(remb));
+        }
+        break;
+      }
+      default:
+        break;  // APP / XR etc.: skipped
+    }
+    offset += length_bytes;
+  }
+  if (offset != data.size()) return std::nullopt;
+  return out;
+}
+
+std::optional<uint8_t> PeekRtcpPacketType(std::span<const uint8_t> wire) {
+  if (wire.size() < 4 || (wire[0] >> 6) != 2) return std::nullopt;
+  return wire[1];
+}
+
+std::optional<uint8_t> PeekRtcpFmt(std::span<const uint8_t> wire) {
+  if (wire.size() < 4 || (wire[0] >> 6) != 2) return std::nullopt;
+  return wire[0] & 0x1f;
+}
+
+bool LooksLikeRemb(std::span<const uint8_t> wire) {
+  // PSFB(206)/FMT=15 with "REMB" at offset 12.
+  return wire.size() >= 16 && (wire[0] >> 6) == 2 && (wire[0] & 0x1f) == 15 &&
+         wire[1] == kRtcpPsFb && wire[12] == 'R' && wire[13] == 'E' &&
+         wire[14] == 'M' && wire[15] == 'B';
+}
+
+std::string MessageName(const RtcpMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::string {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SenderReport>) return "SR";
+        else if constexpr (std::is_same_v<T, ReceiverReport>) return "RR";
+        else if constexpr (std::is_same_v<T, Sdes>) return "SDES";
+        else if constexpr (std::is_same_v<T, Bye>) return "BYE";
+        else if constexpr (std::is_same_v<T, Nack>) return "NACK";
+        else if constexpr (std::is_same_v<T, Pli>) return "PLI";
+        else if constexpr (std::is_same_v<T, Remb>) return "REMB";
+      },
+      msg);
+}
+
+}  // namespace scallop::rtp

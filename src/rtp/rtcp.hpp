@@ -1,0 +1,109 @@
+// RTCP (RFC 3550 + RFC 4585 feedback + draft-alvestrand goog-remb).
+// Compound packets parse into a vector of typed messages; serialization
+// produces standards-shaped wire bytes so the data-plane classifier can
+// operate on real formats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace scallop::rtp {
+
+// RTCP packet types.
+constexpr uint8_t kRtcpSr = 200;
+constexpr uint8_t kRtcpRr = 201;
+constexpr uint8_t kRtcpSdes = 202;
+constexpr uint8_t kRtcpBye = 203;
+constexpr uint8_t kRtcpApp = 204;
+constexpr uint8_t kRtcpRtpFb = 205;  // transport-layer FB (NACK)
+constexpr uint8_t kRtcpPsFb = 206;   // payload-specific FB (PLI, REMB)
+
+// Feedback message types (FMT field).
+constexpr uint8_t kFmtNack = 1;
+constexpr uint8_t kFmtPli = 1;
+constexpr uint8_t kFmtAfb = 15;  // application-layer FB: REMB
+
+struct ReportBlock {
+  uint32_t ssrc = 0;             // stream being reported on
+  uint8_t fraction_lost = 0;     // Q8 fixed point
+  int32_t cumulative_lost = 0;   // 24-bit signed
+  uint32_t highest_seq = 0;      // extended highest sequence received
+  uint32_t jitter = 0;           // RFC 3550 clock units
+  uint32_t last_sr = 0;          // middle 32 bits of SR NTP
+  uint32_t delay_since_last_sr = 0;  // 1/65536 s units
+};
+
+struct SenderReport {
+  uint32_t sender_ssrc = 0;
+  uint64_t ntp_timestamp = 0;
+  uint32_t rtp_timestamp = 0;
+  uint32_t packet_count = 0;
+  uint32_t octet_count = 0;
+  std::vector<ReportBlock> blocks;
+};
+
+struct ReceiverReport {
+  uint32_t sender_ssrc = 0;
+  std::vector<ReportBlock> blocks;
+};
+
+struct Sdes {
+  // Only CNAME items are modeled (what SFUs actually consume).
+  struct Chunk {
+    uint32_t ssrc = 0;
+    std::string cname;
+  };
+  std::vector<Chunk> chunks;
+};
+
+struct Bye {
+  std::vector<uint32_t> ssrcs;
+  std::string reason;
+};
+
+struct Nack {
+  uint32_t sender_ssrc = 0;
+  uint32_t media_ssrc = 0;
+  std::vector<uint16_t> sequence_numbers;  // decoded from PID/BLP pairs
+};
+
+struct Pli {
+  uint32_t sender_ssrc = 0;
+  uint32_t media_ssrc = 0;
+};
+
+// Receiver Estimated Maximum Bitrate (goog-remb).
+struct Remb {
+  uint32_t sender_ssrc = 0;
+  uint64_t bitrate_bps = 0;
+  std::vector<uint32_t> media_ssrcs;
+};
+
+using RtcpMessage =
+    std::variant<SenderReport, ReceiverReport, Sdes, Bye, Nack, Pli, Remb>;
+
+// Serializes one message as a standalone RTCP packet.
+std::vector<uint8_t> Serialize(const RtcpMessage& msg);
+
+// Serializes several messages back-to-back as a compound packet.
+std::vector<uint8_t> SerializeCompound(std::span<const RtcpMessage> msgs);
+
+// Parses a (possibly compound) RTCP payload. Unknown packet types are
+// skipped. Returns nullopt on malformed framing.
+std::optional<std::vector<RtcpMessage>> ParseCompound(
+    std::span<const uint8_t> data);
+
+// Cheap wire-level peeks used by the data-plane classifier.
+std::optional<uint8_t> PeekRtcpPacketType(std::span<const uint8_t> wire);
+std::optional<uint8_t> PeekRtcpFmt(std::span<const uint8_t> wire);
+// True if the PSFB packet carries the "REMB" unique identifier.
+bool LooksLikeRemb(std::span<const uint8_t> wire);
+
+// Human-readable tag for trace/table output (e.g. "SR", "RR/REMB").
+std::string MessageName(const RtcpMessage& msg);
+
+}  // namespace scallop::rtp

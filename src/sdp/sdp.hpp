@@ -1,0 +1,68 @@
+// Minimal SDP (RFC 8866) offer/answer with ICE candidates — the subset a
+// WebRTC video call actually negotiates. Scallop's controller intercepts
+// these messages and rewrites connection candidates so that it appears as
+// the sole peer of every participant (paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace scallop::sdp {
+
+enum class MediaType : uint8_t { kAudio, kVideo, kScreen };
+std::string MediaTypeName(MediaType t);
+
+struct Candidate {
+  std::string foundation = "1";
+  uint32_t component = 1;
+  uint32_t priority = 0;
+  net::Endpoint endpoint;
+  std::string type = "host";  // host | srflx | relay
+
+  std::string ToLine() const;  // "a=candidate:..."
+  static std::optional<Candidate> FromLine(const std::string& line);
+};
+
+struct MediaSection {
+  MediaType type = MediaType::kVideo;
+  uint8_t payload_type = 96;      // dynamic PT, AV1 or opus
+  std::string codec = "AV1";      // AV1 | opus
+  uint32_t clock_rate = 90000;
+  uint32_t ssrc = 0;
+  std::string cname;
+  bool svc_l1t3 = false;          // a=fmtp scalability mode
+  uint8_t dd_extension_id = 0;    // a=extmap for the dependency descriptor
+  uint8_t abs_send_time_id = 0;   // a=extmap for abs-send-time
+  std::vector<Candidate> candidates;
+  bool recv_only = false;
+};
+
+struct SessionDescription {
+  std::string origin = "scallop";
+  uint64_t session_id = 0;
+  std::string ice_ufrag;
+  std::string ice_pwd;
+  std::vector<MediaSection> media;
+
+  std::string ToString() const;  // canonical SDP text
+  static std::optional<SessionDescription> Parse(const std::string& text);
+};
+
+// Offer/answer helpers.
+SessionDescription MakeAnswer(const SessionDescription& offer,
+                              const net::Endpoint& answerer_endpoint,
+                              const std::string& ice_ufrag,
+                              const std::string& ice_pwd);
+
+// The controller's proxy rewrite: replaces every candidate in every media
+// section with the SFU endpoint assigned to this participant, returning the
+// original candidates so the controller can remember the client's real
+// address.
+std::vector<Candidate> RewriteCandidates(SessionDescription& desc,
+                                         const net::Endpoint& sfu_endpoint);
+
+}  // namespace scallop::sdp

@@ -1,0 +1,62 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scallop::sim {
+
+Link::Link(Scheduler& sched, LinkConfig cfg, uint64_t seed)
+    : sched_(sched), cfg_(cfg), rng_(seed) {}
+
+size_t Link::QueuedBytes() const {
+  if (cfg_.rate_bps <= 0.0) return 0;
+  util::TimeUs backlog = busy_until_ - sched_.now();
+  if (backlog <= 0) return 0;
+  return static_cast<size_t>(static_cast<double>(backlog) * cfg_.rate_bps /
+                             8e6);
+}
+
+void Link::Send(net::PacketPtr pkt, DeliverFn deliver) {
+  ++stats_.sent_packets;
+  stats_.sent_bytes += pkt->wire_size();
+
+  if (rng_.Bernoulli(cfg_.loss_rate)) {
+    ++stats_.lost_packets;
+    return;
+  }
+
+  util::TimeUs now = sched_.now();
+  util::TimeUs tx_end;
+  if (cfg_.rate_bps > 0.0) {
+    if (QueuedBytes() + pkt->wire_size() > cfg_.queue_bytes) {
+      ++stats_.dropped_packets;
+      return;
+    }
+    double tx_us = static_cast<double>(pkt->wire_size()) * 8e6 / cfg_.rate_bps;
+    util::TimeUs tx_start = std::max(now, busy_until_);
+    tx_end = tx_start + static_cast<util::TimeUs>(tx_us);
+    busy_until_ = tx_end;
+  } else {
+    tx_end = now;
+  }
+
+  util::DurationUs extra = 0;
+  if (cfg_.jitter_stddev > 0) {
+    extra += static_cast<util::DurationUs>(std::abs(
+        rng_.Normal(0.0, static_cast<double>(cfg_.jitter_stddev))));
+  }
+  if (cfg_.reorder_rate > 0.0 && rng_.Bernoulli(cfg_.reorder_rate)) {
+    extra += cfg_.reorder_delay;
+  }
+
+  util::TimeUs arrival = tx_end + cfg_.prop_delay + extra;
+  sched_.At(arrival, [this, pkt = std::move(pkt),
+                      deliver = std::move(deliver), arrival]() mutable {
+    ++stats_.delivered_packets;
+    stats_.delivered_bytes += pkt->wire_size();
+    pkt->arrival = arrival;
+    deliver(std::move(pkt));
+  });
+}
+
+}  // namespace scallop::sim

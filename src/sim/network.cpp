@@ -1,0 +1,46 @@
+#include "sim/network.hpp"
+
+namespace scallop::sim {
+
+void Network::Attach(net::Ipv4 addr, Host* host, const LinkConfig& uplink,
+                     const LinkConfig& downlink) {
+  Attachment att;
+  att.host = host;
+  att.up = std::make_unique<Link>(sched_, uplink, seed_ + next_link_seed_++);
+  att.down = std::make_unique<Link>(sched_, downlink, seed_ + next_link_seed_++);
+  hosts_[addr] = std::move(att);
+}
+
+void Network::Detach(net::Ipv4 addr) { hosts_.erase(addr); }
+
+void Network::Send(net::PacketPtr pkt) {
+  auto src_it = hosts_.find(pkt->src.addr);
+  if (src_it == hosts_.end()) {
+    ++blackholed_;
+    return;
+  }
+  pkt->sent_at = sched_.now();
+  src_it->second.up->Send(std::move(pkt), [this](net::PacketPtr p) {
+    auto dst_it = hosts_.find(p->dst.addr);
+    if (dst_it == hosts_.end()) {
+      ++blackholed_;
+      return;
+    }
+    Host* host = dst_it->second.host;
+    dst_it->second.down->Send(std::move(p), [host](net::PacketPtr q) {
+      host->OnPacket(std::move(q));
+    });
+  });
+}
+
+Link* Network::uplink(net::Ipv4 addr) {
+  auto it = hosts_.find(addr);
+  return it == hosts_.end() ? nullptr : it->second.up.get();
+}
+
+Link* Network::downlink(net::Ipv4 addr) {
+  auto it = hosts_.find(addr);
+  return it == hosts_.end() ? nullptr : it->second.down.get();
+}
+
+}  // namespace scallop::sim

@@ -1,0 +1,56 @@
+// Star-topology network: every host owns an uplink and a downlink to a
+// lossless core, matching the paper's per-participant uplink/downlink
+// terminology. The SFU (switch or software server) attaches like any host
+// but typically with datacenter-grade links.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+
+namespace scallop::sim {
+
+// Anything that can receive packets from the network.
+class Host {
+ public:
+  virtual ~Host() = default;
+  virtual void OnPacket(net::PacketPtr pkt) = 0;
+};
+
+class Network {
+ public:
+  Network(Scheduler& sched, uint64_t seed) : sched_(sched), seed_(seed) {}
+
+  // Registers `host` under `addr` with dedicated uplink/downlink.
+  void Attach(net::Ipv4 addr, Host* host, const LinkConfig& uplink,
+              const LinkConfig& downlink);
+  void Detach(net::Ipv4 addr);
+
+  // Sends using the src host's uplink and dst host's downlink. Packets to
+  // unknown destinations are counted and dropped (like a routing blackhole).
+  void Send(net::PacketPtr pkt);
+
+  Link* uplink(net::Ipv4 addr);
+  Link* downlink(net::Ipv4 addr);
+
+  uint64_t blackholed() const { return blackholed_; }
+  Scheduler& scheduler() { return sched_; }
+
+ private:
+  struct Attachment {
+    Host* host;
+    std::unique_ptr<Link> up;
+    std::unique_ptr<Link> down;
+  };
+
+  Scheduler& sched_;
+  uint64_t seed_;
+  uint64_t next_link_seed_ = 1;
+  std::unordered_map<net::Ipv4, Attachment> hosts_;
+  uint64_t blackholed_ = 0;
+};
+
+}  // namespace scallop::sim

@@ -1,0 +1,81 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace scallop::sim {
+
+uint64_t Scheduler::At(util::TimeUs when, EventFn fn) {
+  if (when < now_) when = now_;
+  uint64_t id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+void Scheduler::Cancel(uint64_t id) {
+  cancelled_.push_back(id);
+  ++cancelled_live_;
+}
+
+bool Scheduler::IsCancelled(uint64_t id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+  --cancelled_live_;
+  return true;
+}
+
+size_t Scheduler::RunUntil(util::TimeUs until) {
+  size_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    Event ev{top.when, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    if (IsCancelled(ev.id)) continue;
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+size_t Scheduler::RunAll() {
+  size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev{queue_.top().when, queue_.top().id,
+             std::move(const_cast<Event&>(queue_.top()).fn)};
+    queue_.pop();
+    if (IsCancelled(ev.id)) continue;
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+PeriodicTask::PeriodicTask(Scheduler& sched, util::DurationUs period,
+                           std::function<bool()> fn)
+    : sched_(sched), period_(period), fn_(std::move(fn)) {
+  Arm();
+}
+
+PeriodicTask::~PeriodicTask() { Cancel(); }
+
+void PeriodicTask::Cancel() {
+  if (!cancelled_ && pending_id_ != 0) {
+    sched_.Cancel(pending_id_);
+  }
+  cancelled_ = true;
+}
+
+void PeriodicTask::Arm() {
+  pending_id_ = sched_.After(period_, [this] {
+    if (cancelled_) return;
+    pending_id_ = 0;
+    if (fn_()) Arm();
+  });
+}
+
+}  // namespace scallop::sim

@@ -1,0 +1,86 @@
+// Discrete-event scheduler. All experiments run on a single scheduler; time
+// is virtual, so a 10-minute meeting simulates in well under a second.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace scallop::sim {
+
+using EventFn = std::function<void()>;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  util::TimeUs now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (clamped to now).
+  // Returns an id usable with Cancel().
+  uint64_t At(util::TimeUs when, EventFn fn);
+  uint64_t After(util::DurationUs delay, EventFn fn) {
+    return At(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Cancelling an already-fired id is a no-op.
+  void Cancel(uint64_t id);
+
+  // Runs events until the queue is empty or `until` is passed.
+  // Returns the number of events executed.
+  size_t RunUntil(util::TimeUs until);
+  size_t RunAll();
+
+  bool empty() const { return queue_.size() == cancelled_live_; }
+  size_t pending() const { return queue_.size() - cancelled_live_; }
+
+ private:
+  struct Event {
+    util::TimeUs when;
+    uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      // Earliest time first; FIFO among equal times via id.
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  util::TimeUs now_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<uint64_t> cancelled_;  // sorted lazily on lookup
+  size_t cancelled_live_ = 0;
+
+  bool IsCancelled(uint64_t id);
+};
+
+// Helper: schedules `fn` every `period` starting at now+period until it
+// returns false or Cancel() is called on the handle.
+class PeriodicTask {
+ public:
+  PeriodicTask(Scheduler& sched, util::DurationUs period,
+               std::function<bool()> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Cancel();
+
+ private:
+  void Arm();
+  Scheduler& sched_;
+  util::DurationUs period_;
+  std::function<bool()> fn_;
+  uint64_t pending_id_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace scallop::sim

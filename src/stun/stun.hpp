@@ -1,0 +1,72 @@
+// STUN (RFC 5389) binding messages used by ICE connectivity checks and
+// keepalives. The paper's SFU handles these in the control plane; the data
+// plane only classifies them (first two bits 00 + magic cookie).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace scallop::stun {
+
+constexpr uint32_t kMagicCookie = 0x2112A442;
+
+enum class MessageType : uint16_t {
+  kBindingRequest = 0x0001,
+  kBindingSuccess = 0x0101,
+  kBindingError = 0x0111,
+  kBindingIndication = 0x0011,
+};
+
+// Attribute types we model (the ones WebRTC's ICE actually sends).
+enum class AttributeType : uint16_t {
+  kMappedAddress = 0x0001,
+  kUsername = 0x0006,
+  kMessageIntegrity = 0x0008,
+  kErrorCode = 0x0009,
+  kXorMappedAddress = 0x0020,
+  kPriority = 0x0024,
+  kUseCandidate = 0x0025,
+  kFingerprint = 0x8028,
+  kIceControlled = 0x8029,
+  kIceControlling = 0x802A,
+};
+
+using TransactionId = std::array<uint8_t, 12>;
+
+struct StunMessage {
+  MessageType type = MessageType::kBindingRequest;
+  TransactionId transaction_id{};
+
+  // Optional attributes.
+  std::optional<std::string> username;
+  std::optional<net::Endpoint> xor_mapped_address;
+  std::optional<uint32_t> priority;
+  bool use_candidate = false;
+  std::optional<uint64_t> ice_controlling;
+  std::optional<uint64_t> ice_controlled;
+  std::optional<uint16_t> error_code;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<StunMessage> Parse(std::span<const uint8_t> data);
+
+  bool is_request() const { return type == MessageType::kBindingRequest; }
+  bool is_response() const {
+    return type == MessageType::kBindingSuccess ||
+           type == MessageType::kBindingError;
+  }
+};
+
+// Builds the success response for a request, echoing the transaction id and
+// reporting the observed source as XOR-MAPPED-ADDRESS.
+StunMessage MakeBindingResponse(const StunMessage& request,
+                                const net::Endpoint& observed_source);
+
+TransactionId MakeTransactionId(uint64_t a, uint32_t b);
+
+}  // namespace scallop::stun

@@ -1,0 +1,78 @@
+#include "switchsim/parser.hpp"
+
+#include "rtp/rtp_packet.hpp"
+
+namespace scallop::switchsim {
+
+ExtensionLocation LocateRtpExtension(std::span<const uint8_t> payload,
+                                     uint8_t target_id,
+                                     const ParserLimits& limits) {
+  ExtensionLocation out;
+  if (payload.size() < 12 || (payload[0] >> 6) != rtp::kRtpVersion) {
+    return out;
+  }
+  bool has_ext = (payload[0] & 0x10) != 0;
+  uint8_t cc = payload[0] & 0x0f;
+  size_t pos = 12 + static_cast<size_t>(cc) * 4;
+  if (!has_ext || pos + 4 > payload.size()) {
+    out.packet_valid = !has_ext;  // valid packet, just no extension block
+    return out;
+  }
+
+  uint16_t profile = static_cast<uint16_t>(payload[pos] << 8 | payload[pos + 1]);
+  // ParserCounter: bytes remaining in the extension block.
+  size_t counter =
+      static_cast<size_t>(payload[pos + 2] << 8 | payload[pos + 3]) * 4;
+  pos += 4;
+  if (pos + counter > payload.size()) return out;
+  out.packet_valid = true;
+
+  bool one_byte = profile == rtp::kOneByteExtProfile;
+  bool two_byte = profile == rtp::kTwoByteExtProfile;
+  if (!one_byte && !two_byte) return out;  // unknown profile: no parse path
+
+  // One landing state per element; lookahead classifies the element type.
+  while (counter > 0) {
+    if (out.depth_used >= limits.max_depth) {
+      out.depth_exceeded = true;
+      return out;
+    }
+    ++out.depth_used;
+
+    uint8_t head = payload[pos];
+    if (head == 0) {  // padding byte: consumes no landing... but the walk
+      // still needs a state transition in hardware, so it counts above.
+      ++pos;
+      --counter;
+      continue;
+    }
+
+    uint8_t id;
+    size_t len;
+    size_t header_bytes;
+    if (one_byte) {
+      id = head >> 4;
+      if (id == 15) return out;  // reserved id: parsing stops (RFC 8285)
+      len = static_cast<size_t>(head & 0x0f) + 1;
+      header_bytes = 1;
+    } else {
+      if (counter < 2) return out;
+      id = head;
+      len = payload[pos + 1];
+      header_bytes = 2;
+    }
+    if (counter < header_bytes + len) return out;  // malformed
+
+    if (id == target_id) {
+      out.found = true;
+      out.offset = static_cast<uint16_t>(pos + header_bytes);
+      out.length = static_cast<uint8_t>(len);
+      return out;
+    }
+    pos += header_bytes + len;
+    counter -= header_bytes + len;
+  }
+  return out;
+}
+
+}  // namespace scallop::switchsim

@@ -1,0 +1,43 @@
+// Depth-aware RTP extension parsing under Tofino parser constraints
+// (paper Appendix E).
+//
+// The hardware parser is a static parse graph: it cannot loop arbitrarily.
+// The paper's program walks the RFC 8285 extension block with one landing
+// state per depth, classifying the next element via lookahead (one-byte
+// header, two-byte header, or padding) and tracking the remaining bytes
+// with the ParserCounter. The number of landing states bounds how deep an
+// extension can sit — Table 3 reports an ingress parse depth of 27.
+//
+// This module reproduces those semantics: it extracts a target extension's
+// position without heap allocation, fails exactly when the element index
+// exceeds the configured depth, and reports the depth used so tests and
+// benches can compare against the hardware bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace scallop::switchsim {
+
+struct ParserLimits {
+  // Landing states available for extension elements (paper: ingress 27).
+  int max_depth = 27;
+};
+
+struct ExtensionLocation {
+  bool packet_valid = false;  // parsed as an RTP packet with extensions
+  bool found = false;         // target extension present within depth
+  bool depth_exceeded = false;
+  uint16_t offset = 0;  // byte offset of the extension data in the payload
+  uint8_t length = 0;   // extension data length
+  int depth_used = 0;   // landing states consumed
+};
+
+// Locates extension `target_id` in an RTP packet's header-extension block,
+// walking at most `limits.max_depth` elements. `payload` is the full UDP
+// payload (RTP packet).
+ExtensionLocation LocateRtpExtension(std::span<const uint8_t> payload,
+                                     uint8_t target_id,
+                                     const ParserLimits& limits = {});
+
+}  // namespace scallop::switchsim

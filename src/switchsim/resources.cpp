@@ -1,0 +1,73 @@
+#include "switchsim/resources.hpp"
+
+#include <cstdio>
+
+namespace scallop::switchsim {
+
+ResourceReport ResourceModel::Report(double elapsed_seconds, size_t pre_trees,
+                                     size_t pre_nodes) const {
+  ResourceReport r;
+  double sram_bits = 0.0;
+  double tcam_bits = 0.0;
+  for (const TableFootprint* fp : footprints_) {
+    r.tables.push_back(*fp);
+    if (fp->tcam) {
+      tcam_bits += static_cast<double>(fp->allocated_bits());
+    } else {
+      sram_bits += static_cast<double>(fp->allocated_bits());
+    }
+  }
+  r.sram_pct = 100.0 * sram_bits / constants_.total_sram_bits;
+  r.tcam_pct = 100.0 * tcam_bits / constants_.total_tcam_bits;
+  r.egress_bps = elapsed_seconds > 0
+                     ? static_cast<double>(egress_bytes_) * 8.0 / elapsed_seconds
+                     : 0.0;
+  r.pre_trees = pre_trees;
+  r.pre_nodes = pre_nodes;
+  return r;
+}
+
+std::string ResourceModel::FormatTable3(const ResourceReport& r) const {
+  const TofinoConstants& c = constants_;
+  char buf[256];
+  std::string out;
+  out += "Resource type        Scaling    Usage\n";
+  std::snprintf(buf, sizeof(buf), "Parsing depth        Fixed      Ing. %d, Eg. %d\n",
+                c.parse_depth_ingress, c.parse_depth_egress);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "No. of stages        Fixed      Ing. %d, Eg. %d\n",
+                c.stages_ingress, c.stages_egress);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "PHV containers       Fixed      %.1f%%\n", c.phv_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Exact xbars          Fixed      %.2f%%\n",
+                c.exact_xbar_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Ternary xbars        Fixed      %.2f%%\n",
+                c.ternary_xbar_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Hash bits            Fixed      %.2f%%\n",
+                c.hash_bits_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Hash dist. units     Fixed      %.2f%%\n",
+                c.hash_dist_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "VLIW instr.          Fixed      %.2f%%\n", c.vliw_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Logical table ID     Fixed      %.2f%%\n",
+                c.logical_table_id_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "SRAM                 Fixed      %.2f%%\n", r.sram_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "TCAM                 Fixed      %.2f%%\n", r.tcam_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Egress Tput.         Quadratic  %.2f Gb/s\n",
+                r.egress_bps / 1e9);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "PRE trees/nodes      Linear     %zu / %zu\n",
+                r.pre_trees, r.pre_nodes);
+  out += buf;
+  return out;
+}
+
+}  // namespace scallop::switchsim

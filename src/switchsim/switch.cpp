@@ -1,0 +1,75 @@
+#include "switchsim/switch.hpp"
+
+namespace scallop::switchsim {
+
+Switch::Switch(sim::Scheduler& sched, sim::Network& network,
+               const SwitchConfig& cfg)
+    : sched_(sched), network_(network), cfg_(cfg) {}
+
+void Switch::OnPacket(net::PacketPtr pkt) {
+  ++stats_.packets_in;
+  stats_.bytes_in += pkt->wire_size();
+  if (ingress_tap_) ingress_tap_(*pkt);
+  if (program_ == nullptr) {
+    ++stats_.packets_dropped;
+    return;
+  }
+
+  PacketMetadata meta;
+  program_->Ingress(*pkt, meta);
+
+  if (meta.copy_to_cpu && cpu_handler_) {
+    ++stats_.packets_to_cpu;
+    cpu_handler_(net::ClonePacket(*pkt));
+  }
+  if (meta.drop) {
+    ++stats_.packets_dropped;
+    return;
+  }
+
+  if (meta.unicast) {
+    auto copy = net::ClonePacket(*pkt);
+    if (program_->Egress(*copy, meta, Replica{0, meta.unicast_port})) {
+      Emit(std::move(copy), cfg_.pipeline_latency);
+    } else {
+      ++stats_.packets_dropped;
+    }
+    return;
+  }
+
+  if (meta.mgid != 0) {
+    auto replicas =
+        pre_.Replicate(meta.mgid, meta.l1_xid, meta.rid, meta.l2_xid);
+    util::DurationUs delay = cfg_.pipeline_latency;
+    bool any = false;
+    for (const Replica& rep : replicas) {
+      auto copy = net::ClonePacket(*pkt);
+      if (program_->Egress(*copy, meta, rep)) {
+        ++stats_.replicas;
+        Emit(std::move(copy), delay);
+        any = true;
+      }
+      delay += cfg_.per_replica_gap;
+    }
+    if (!any) ++stats_.packets_dropped;
+    return;
+  }
+
+  // No action selected: drop (default deny, like an empty table miss).
+  ++stats_.packets_dropped;
+}
+
+void Switch::InjectFromCpu(net::PacketPtr pkt) {
+  Emit(std::move(pkt), cfg_.pipeline_latency);
+}
+
+void Switch::Emit(net::PacketPtr pkt, util::DurationUs extra_delay) {
+  ++stats_.packets_out;
+  stats_.bytes_out += pkt->wire_size();
+  resources_.AccountEgress(pkt->wire_size());
+  sched_.After(extra_delay, [this, pkt = std::move(pkt)]() mutable {
+    network_.Send(std::move(pkt));
+  });
+}
+
+}  // namespace scallop::switchsim

@@ -1,0 +1,83 @@
+#include "testbed/testbed.hpp"
+
+namespace scallop::testbed {
+
+ScallopTestbed::ScallopTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
+  network_ = std::make_unique<sim::Network>(sched_, cfg_.seed);
+  switchsim::SwitchConfig sw_cfg;
+  sw_cfg.address = cfg_.sfu_ip;
+  switch_ = std::make_unique<switchsim::Switch>(sched_, *network_, sw_cfg);
+  dataplane_ =
+      std::make_unique<core::DataPlaneProgram>(*switch_, cfg_.dataplane);
+  core::AgentConfig agent_cfg = cfg_.agent;
+  agent_cfg.sfu_ip = cfg_.sfu_ip;
+  agent_ = std::make_unique<core::SwitchAgent>(sched_, *dataplane_, agent_cfg);
+  controller_ = std::make_unique<core::Controller>(*agent_, cfg_.sfu_ip);
+  network_->Attach(cfg_.sfu_ip, switch_.get(), cfg_.sfu_uplink,
+                   cfg_.sfu_downlink);
+}
+
+client::Peer& ScallopTestbed::AddPeer() {
+  return AddPeer(cfg_.client_uplink, cfg_.client_downlink);
+}
+
+client::Peer& ScallopTestbed::AddPeer(const sim::LinkConfig& up,
+                                      const sim::LinkConfig& down) {
+  return AddPeer(cfg_.peer, up, down);
+}
+
+client::Peer& ScallopTestbed::AddPeer(const client::PeerConfig& base,
+                                      const sim::LinkConfig& up,
+                                      const sim::LinkConfig& down) {
+  client::PeerConfig pc = base;
+  pc.address = net::Ipv4(10, 0, static_cast<uint8_t>(next_host_ >> 8),
+                         static_cast<uint8_t>(next_host_ & 0xff));
+  pc.seed = cfg_.seed * 1000 + static_cast<uint64_t>(next_host_);
+  ++next_host_;
+  auto peer = std::make_unique<client::Peer>(sched_, *network_, pc);
+  network_->Attach(pc.address, peer.get(), up, down);
+  peers_.push_back(std::move(peer));
+  return *peers_.back();
+}
+
+void ScallopTestbed::RunFor(double seconds) {
+  sched_.RunUntil(sched_.now() + util::Seconds(seconds));
+}
+
+SoftwareTestbed::SoftwareTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
+  network_ = std::make_unique<sim::Network>(sched_, cfg_.seed);
+  sfu::SoftwareSfuConfig sfu_cfg = cfg_.software;
+  sfu_cfg.address = cfg_.sfu_ip;
+  sfu_ = std::make_unique<sfu::SoftwareSfu>(sched_, *network_, sfu_cfg);
+  network_->Attach(cfg_.sfu_ip, sfu_.get(), cfg_.sfu_uplink,
+                   cfg_.sfu_downlink);
+}
+
+client::Peer& SoftwareTestbed::AddPeer() {
+  return AddPeer(cfg_.client_uplink, cfg_.client_downlink);
+}
+
+client::Peer& SoftwareTestbed::AddPeer(const sim::LinkConfig& up,
+                                       const sim::LinkConfig& down) {
+  return AddPeer(cfg_.peer, up, down);
+}
+
+client::Peer& SoftwareTestbed::AddPeer(const client::PeerConfig& base,
+                                       const sim::LinkConfig& up,
+                                       const sim::LinkConfig& down) {
+  client::PeerConfig pc = base;
+  pc.address = net::Ipv4(10, 0, static_cast<uint8_t>(next_host_ >> 8),
+                         static_cast<uint8_t>(next_host_ & 0xff));
+  pc.seed = cfg_.seed * 1000 + static_cast<uint64_t>(next_host_);
+  ++next_host_;
+  auto peer = std::make_unique<client::Peer>(sched_, *network_, pc);
+  network_->Attach(pc.address, peer.get(), up, down);
+  peers_.push_back(std::move(peer));
+  return *peers_.back();
+}
+
+void SoftwareTestbed::RunFor(double seconds) {
+  sched_.RunUntil(sched_.now() + util::Seconds(seconds));
+}
+
+}  // namespace scallop::testbed

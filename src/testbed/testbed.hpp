@@ -1,0 +1,101 @@
+// Experiment scaffolding: assembles the full Scallop stack (switch + data
+// plane + agent + controller) or the software-SFU baseline, attaches Peer
+// clients with per-client link shapes, and runs the event simulation.
+// Used by integration tests, the benchmark harnesses and the examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/peer.hpp"
+#include "core/controller.hpp"
+#include "core/dataplane.hpp"
+#include "core/switch_agent.hpp"
+#include "sfu/software_sfu.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "switchsim/switch.hpp"
+
+namespace scallop::testbed {
+
+struct TestbedConfig {
+  uint64_t seed = 1;
+  net::Ipv4 sfu_ip{100, 64, 0, 1};
+  // Default client access links: 20/20 Mb/s, 5 ms one way, light jitter.
+  sim::LinkConfig client_uplink{.rate_bps = 20e6,
+                                .prop_delay = util::Millis(5),
+                                .jitter_stddev = 200};
+  sim::LinkConfig client_downlink{.rate_bps = 20e6,
+                                  .prop_delay = util::Millis(5),
+                                  .jitter_stddev = 200};
+  // SFU datacenter links.
+  sim::LinkConfig sfu_uplink{.rate_bps = 0, .prop_delay = util::Millis(1)};
+  sim::LinkConfig sfu_downlink{.rate_bps = 0, .prop_delay = util::Millis(1)};
+  core::DataPlaneConfig dataplane;
+  core::AgentConfig agent;          // sfu_ip is overwritten
+  sfu::SoftwareSfuConfig software;  // address is overwritten
+  client::PeerConfig peer;          // address/seed overwritten per peer
+};
+
+class ScallopTestbed {
+ public:
+  explicit ScallopTestbed(const TestbedConfig& cfg = {});
+
+  // Adds a peer with the default (or given) link shapes.
+  client::Peer& AddPeer();
+  client::Peer& AddPeer(const sim::LinkConfig& up, const sim::LinkConfig& down);
+  client::Peer& AddPeer(const client::PeerConfig& base,
+                        const sim::LinkConfig& up,
+                        const sim::LinkConfig& down);
+
+  core::MeetingId CreateMeeting() { return controller_->CreateMeeting(); }
+  void RunFor(double seconds);
+
+  sim::Scheduler& sched() { return sched_; }
+  sim::Network& network() { return *network_; }
+  switchsim::Switch& sw() { return *switch_; }
+  core::DataPlaneProgram& dataplane() { return *dataplane_; }
+  core::SwitchAgent& agent() { return *agent_; }
+  core::Controller& controller() { return *controller_; }
+  std::vector<std::unique_ptr<client::Peer>>& peers() { return peers_; }
+
+ private:
+  TestbedConfig cfg_;
+  sim::Scheduler sched_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<switchsim::Switch> switch_;
+  std::unique_ptr<core::DataPlaneProgram> dataplane_;
+  std::unique_ptr<core::SwitchAgent> agent_;
+  std::unique_ptr<core::Controller> controller_;
+  std::vector<std::unique_ptr<client::Peer>> peers_;
+  int next_host_ = 1;
+};
+
+class SoftwareTestbed {
+ public:
+  explicit SoftwareTestbed(const TestbedConfig& cfg = {});
+
+  client::Peer& AddPeer();
+  client::Peer& AddPeer(const sim::LinkConfig& up, const sim::LinkConfig& down);
+  client::Peer& AddPeer(const client::PeerConfig& base,
+                        const sim::LinkConfig& up,
+                        const sim::LinkConfig& down);
+
+  core::MeetingId CreateMeeting() { return sfu_->CreateMeeting(); }
+  void RunFor(double seconds);
+
+  sim::Scheduler& sched() { return sched_; }
+  sim::Network& network() { return *network_; }
+  sfu::SoftwareSfu& sfu() { return *sfu_; }
+  std::vector<std::unique_ptr<client::Peer>>& peers() { return peers_; }
+
+ private:
+  TestbedConfig cfg_;
+  sim::Scheduler sched_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sfu::SoftwareSfu> sfu_;
+  std::vector<std::unique_ptr<client::Peer>> peers_;
+  int next_host_ = 1;
+};
+
+}  // namespace scallop::testbed

@@ -1,0 +1,183 @@
+#include "trace/campus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace scallop::trace {
+
+namespace {
+
+// Diurnal arrival intensity: weekday work-hours peak, quiet nights and
+// weekends — the shape of the paper's Figs. 20/21.
+double ArrivalWeight(double hour_of_week) {
+  int day = static_cast<int>(hour_of_week / 24.0);  // 0 = Monday
+  double hod = std::fmod(hour_of_week, 24.0);
+  double weekday = (day % 7 < 5) ? 1.0 : 0.18;
+  // Two-peaked working day: 10:00 and 14:00.
+  double morning = std::exp(-0.5 * std::pow((hod - 10.0) / 2.0, 2));
+  double afternoon = std::exp(-0.5 * std::pow((hod - 14.5) / 2.5, 2));
+  double base = 0.02;
+  return weekday * (base + morning + 0.9 * afternoon);
+}
+
+}  // namespace
+
+CampusModel::CampusModel(const CampusConfig& cfg) : cfg_(cfg) {
+  util::Rng rng(cfg_.seed);
+
+  // Build a cumulative arrival-intensity table at 10-minute resolution.
+  double horizon_h = cfg_.days * 24.0;
+  double step = 1.0 / 6.0;
+  std::vector<double> cdf;
+  double total = 0;
+  for (double t = 0; t < horizon_h; t += step) {
+    total += ArrivalWeight(t);
+    cdf.push_back(total);
+  }
+
+  meetings_.reserve(static_cast<size_t>(cfg_.total_meetings));
+  for (int i = 0; i < cfg_.total_meetings; ++i) {
+    MeetingRecord m;
+    // Sample a start time from the intensity profile.
+    double u = rng.NextDouble() * total;
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    m.start_h = static_cast<double>(idx) * step + rng.Uniform(0.0, step);
+
+    double mu = std::log(cfg_.duration_median_h);
+    m.duration_h = std::clamp(rng.LogNormal(mu, cfg_.duration_sigma), 0.05, 8.0);
+
+    m.participants = SampleParticipants(rng);
+    for (int p = 0; p < m.participants; ++p) {
+      if (rng.Bernoulli(cfg_.p_audio_active)) ++m.audio_streams;
+      if (rng.Bernoulli(cfg_.p_video_active)) ++m.video_streams;
+      if (rng.Bernoulli(cfg_.p_screen_active)) ++m.screen_streams;
+    }
+    meetings_.push_back(m);
+  }
+}
+
+int CampusModel::SampleParticipants(util::Rng& rng) const {
+  double u = rng.NextDouble();
+  if (u < cfg_.p_single) return 1;
+  if (u < cfg_.p_single + cfg_.p_two_party) return 2;
+  // Geometric tail over sizes >= 3, occasionally heavy (lectures).
+  int n = 3;
+  while (n < cfg_.max_participants && rng.Bernoulli(cfg_.tail_decay)) {
+    ++n;
+  }
+  if (rng.Bernoulli(cfg_.p_lecture)) {
+    n = static_cast<int>(rng.UniformInt(cfg_.lecture_min, cfg_.lecture_max));
+  }
+  return n;
+}
+
+std::vector<StreamsBySize> CampusModel::StreamsPerMeetingSize(
+    int max_size) const {
+  std::map<int, std::vector<int>> by_size;
+  for (const auto& m : meetings_) {
+    if (m.participants <= max_size) {
+      by_size[m.participants].push_back(m.SfuStreams());
+    }
+  }
+  std::vector<StreamsBySize> out;
+  for (auto& [size, streams] : by_size) {
+    std::sort(streams.begin(), streams.end());
+    StreamsBySize row;
+    row.participants = size;
+    row.meetings = static_cast<int>(streams.size());
+    row.min_streams = streams.front();
+    row.max_streams = streams.back();
+    row.median_streams = streams[streams.size() / 2];
+    row.theoretical_bound = 2 * size * size;
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, int>> CampusModel::ConcurrentMeetings(
+    double step_h) const {
+  double horizon = cfg_.days * 24.0;
+  std::vector<std::pair<double, int>> out;
+  for (double t = 0; t < horizon; t += step_h) {
+    int live = 0;
+    for (const auto& m : meetings_) {
+      if (m.start_h <= t && t < m.start_h + m.duration_h) ++live;
+    }
+    out.emplace_back(t, live);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, int>> CampusModel::ConcurrentParticipants(
+    double step_h) const {
+  double horizon = cfg_.days * 24.0;
+  std::vector<std::pair<double, int>> out;
+  for (double t = 0; t < horizon; t += step_h) {
+    int live = 0;
+    for (const auto& m : meetings_) {
+      if (m.start_h <= t && t < m.start_h + m.duration_h) {
+        live += m.participants;
+      }
+    }
+    out.emplace_back(t, live);
+  }
+  return out;
+}
+
+std::vector<CampusModel::ByteRatePoint> CampusModel::ByteRates(
+    double step_h) const {
+  std::vector<ByteRatePoint> out;
+  for (const auto& [t, participants] : ConcurrentParticipants(step_h)) {
+    ByteRatePoint p;
+    p.hour = t;
+    p.software_bps =
+        static_cast<double>(participants) * cfg_.participant_bitrate_bps;
+    p.agent_bps = p.software_bps * cfg_.control_byte_fraction;
+    out.push_back(p);
+  }
+  return out;
+}
+
+CaptureSummary CampusModel::Summarize(double hours) const {
+  // Representative weekday capture window: 06:00 on day 4, like the
+  // paper's 12-hour border-router capture.
+  double step = 0.5;
+  auto participants = ConcurrentParticipants(step);
+  double window_start = 3 * 24.0 + 12.0;  // noon to midnight
+  double window_end = window_start + hours;
+  double sum = 0;
+  size_t count = 0;
+  for (const auto& [t, p] : participants) {
+    if (t >= window_start && t < window_end) {
+      sum += p;
+      ++count;
+    }
+  }
+  double avg_participants = count > 0 ? sum / static_cast<double>(count) : 0;
+
+  CaptureSummary s;
+  s.hours = hours;
+  s.packets_per_second = avg_participants * cfg_.participant_pps;
+  s.packets_millions = s.packets_per_second * hours * 3600.0 / 1e6;
+  s.avg_mbps =
+      avg_participants * cfg_.capture_participant_bitrate_bps / 1e6;
+  s.gigabytes = s.avg_mbps / 8.0 * hours * 3600.0 / 1e3;
+
+  // Flows / streams from the meetings overlapping the window.
+  uint64_t flows = 0;
+  uint64_t streams = 0;
+  for (const auto& m : meetings_) {
+    if (m.start_h < window_end && m.start_h + m.duration_h > window_start) {
+      // One 5-tuple per participant-leg pair plus control flows.
+      flows += static_cast<uint64_t>(m.participants) * 3;
+      streams += static_cast<uint64_t>(m.SourceStreams());
+    }
+  }
+  s.flows = flows;
+  s.rtp_streams = streams;
+  return s;
+}
+
+}  // namespace scallop::trace

@@ -1,0 +1,118 @@
+// Synthetic campus workload calibrated to the paper's Zoom API dataset
+// (Appendix B) and packet capture (Appendix C). The real data cannot be
+// redistributed; this model reproduces the aggregate statistics the
+// evaluation consumes: meeting-size distribution (60% two-party), stream
+// counts per meeting (Fig. 2, bounded by 2N^2), diurnal concurrency
+// (Figs. 20-21), capture summary (Table 2), and the software-SFU vs
+// switch-agent byte rates (Fig. 22).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace scallop::trace {
+
+struct CampusConfig {
+  int days = 14;               // Oct 17-30, 2022
+  int total_meetings = 19'704;
+  uint64_t seed = 42;
+  // Meeting-size distribution: P(1), P(2), then a geometric tail.
+  double p_single = 0.30;
+  double p_two_party = 0.58;   // two-party share (paper: 60% of meetings)
+  double tail_decay = 0.50;    // geometric tail over sizes 3..max
+  double p_lecture = 0.01;     // of tail meetings: classroom/lecture sizes
+  int lecture_min = 25;
+  int lecture_max = 120;
+  int max_participants = 300;
+  // Stream activity probabilities (>=10% of meeting duration).
+  double p_audio_active = 0.90;
+  double p_video_active = 0.62;
+  double p_screen_active = 0.06;
+  // Duration model (log-normal, hours).
+  double duration_median_h = 0.95;
+  double duration_sigma = 0.75;
+  // Mean per-participant send bitrate for byte-rate curves (bps).
+  double participant_bitrate_bps = 2.3e6;
+  // Fraction of bytes that the Scallop switch agent must process (paper
+  // Table 1: 0.35% of packets' bytes are control plane).
+  double control_byte_fraction = 0.0035;
+  // Packet rate per active participant (media + control, Table 1).
+  double participant_pps = 300.0;
+  // Average capture-wide per-participant bitrate (lower than the active
+  // rate above: includes audio-only and idle participants).
+  double capture_participant_bitrate_bps = 1.3e6;
+};
+
+struct MeetingRecord {
+  double start_h = 0;      // hours since dataset start
+  double duration_h = 0;
+  int participants = 0;
+  int audio_streams = 0;   // source streams active >= 10% of duration
+  int video_streams = 0;
+  int screen_streams = 0;
+
+  int SourceStreams() const {
+    return audio_streams + video_streams + screen_streams;
+  }
+  // Streams seen at the SFU: every source has 1 uplink + (N-1) downlinks.
+  int SfuStreams() const { return SourceStreams() * participants; }
+};
+
+// Fig. 2 row: stream counts at the SFU for meetings of a given size.
+struct StreamsBySize {
+  int participants = 0;
+  int meetings = 0;
+  int min_streams = 0;
+  double median_streams = 0;
+  int max_streams = 0;
+  int theoretical_bound = 0;  // 2 N^2
+};
+
+// Table 2 equivalent for a capture window.
+struct CaptureSummary {
+  double hours = 0;
+  double packets_millions = 0;
+  double packets_per_second = 0;
+  uint64_t flows = 0;
+  double gigabytes = 0;
+  double avg_mbps = 0;
+  uint64_t rtp_streams = 0;
+};
+
+class CampusModel {
+ public:
+  explicit CampusModel(const CampusConfig& cfg = {});
+
+  const std::vector<MeetingRecord>& meetings() const { return meetings_; }
+
+  std::vector<StreamsBySize> StreamsPerMeetingSize(int max_size) const;
+
+  // Concurrency time series at `step_h` resolution (Figs. 20/21).
+  std::vector<std::pair<double, int>> ConcurrentMeetings(double step_h) const;
+  std::vector<std::pair<double, int>> ConcurrentParticipants(
+      double step_h) const;
+
+  // Fig. 22: bytes/s a software SFU would process vs the switch agent.
+  struct ByteRatePoint {
+    double hour;
+    double software_bps;
+    double agent_bps;
+  };
+  std::vector<ByteRatePoint> ByteRates(double step_h) const;
+
+  // Table 2: summary of a representative weekday `hours`-long window
+  // (06:00-18:00 on day 4, matching the paper's capture setup). Note the
+  // paper's capture spans *all* campus Zoom traffic, not only the
+  // account-hosted meetings this model synthesizes.
+  CaptureSummary Summarize(double hours) const;
+
+ private:
+  int SampleParticipants(util::Rng& rng) const;
+
+  CampusConfig cfg_;
+  std::vector<MeetingRecord> meetings_;
+};
+
+}  // namespace scallop::trace

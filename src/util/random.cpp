@@ -1,0 +1,104 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+namespace scallop::util {
+
+namespace {
+constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// SplitMix64, used to seed the xoshiro state from a single value.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextU64() % range);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 60.0) {
+    double v = Normal(mean, std::sqrt(mean));
+    return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  double l = std::exp(-mean);
+  int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.999999999;
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+}  // namespace scallop::util

@@ -1,0 +1,37 @@
+// Deterministic PRNG (xoshiro256**) and the distributions the simulator
+// needs. Every experiment takes an explicit seed so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace scallop::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  double Uniform(double lo, double hi);
+  bool Bernoulli(double p);
+  // Exponential with the given mean (inverse-CDF method).
+  double Exponential(double mean);
+  // Standard normal via Box-Muller, then scaled.
+  double Normal(double mean, double stddev);
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma);
+  // Poisson via Knuth for small means, normal approximation for large.
+  int64_t Poisson(double mean);
+  // Geometric-like heavy-tail sample: Pareto with scale xm, shape alpha.
+  double Pareto(double xm, double alpha);
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace scallop::util

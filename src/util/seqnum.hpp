@@ -1,0 +1,45 @@
+// RFC 1982-style serial-number arithmetic for 16-bit RTP sequence numbers
+// plus an unwrapper that extends them to monotonically increasing int64s.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace scallop::util {
+
+// True if sequence number `a` is newer than `b` (accounting for wraparound).
+constexpr bool SeqNewer(uint16_t a, uint16_t b) {
+  return a != b && static_cast<uint16_t>(a - b) < 0x8000;
+}
+
+// Signed distance from b to a on the 16-bit circle (positive if a is ahead).
+constexpr int SeqDiff(uint16_t a, uint16_t b) {
+  return static_cast<int16_t>(static_cast<uint16_t>(a - b));
+}
+
+// Extends 16-bit sequence numbers into an int64 timeline.
+// The first inserted value maps to itself; later values unwrap relative to
+// the highest value seen so far.
+class SeqUnwrapper {
+ public:
+  int64_t Unwrap(uint16_t seq) {
+    if (!last_.has_value()) {
+      last_ = static_cast<int64_t>(seq);
+      return *last_;
+    }
+    int64_t base = *last_;
+    uint16_t last16 = static_cast<uint16_t>(base & 0xffff);
+    int diff = SeqDiff(seq, last16);
+    int64_t unwrapped = base + diff;
+    if (unwrapped > *last_) last_ = unwrapped;
+    return unwrapped;
+  }
+
+  std::optional<int64_t> last() const { return last_; }
+  void Reset() { last_.reset(); }
+
+ private:
+  std::optional<int64_t> last_;
+};
+
+}  // namespace scallop::util

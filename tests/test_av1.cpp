@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "av1/dependency_descriptor.hpp"
+
+namespace scallop::av1 {
+namespace {
+
+TEST(Av1, TemporalLayerMapping) {
+  EXPECT_EQ(TemporalLayerForTemplate(0), 0);
+  EXPECT_EQ(TemporalLayerForTemplate(1), 0);
+  EXPECT_EQ(TemporalLayerForTemplate(2), 1);
+  EXPECT_EQ(TemporalLayerForTemplate(3), 2);
+  EXPECT_EQ(TemporalLayerForTemplate(4), 2);
+}
+
+TEST(Av1, DecodeTargetMembership) {
+  // DT0: only TL0 templates.
+  EXPECT_TRUE(TemplateInDecodeTarget(0, DecodeTarget::kDT0));
+  EXPECT_TRUE(TemplateInDecodeTarget(1, DecodeTarget::kDT0));
+  EXPECT_FALSE(TemplateInDecodeTarget(2, DecodeTarget::kDT0));
+  EXPECT_FALSE(TemplateInDecodeTarget(3, DecodeTarget::kDT0));
+  // DT1 adds TL1.
+  EXPECT_TRUE(TemplateInDecodeTarget(2, DecodeTarget::kDT1));
+  EXPECT_FALSE(TemplateInDecodeTarget(4, DecodeTarget::kDT1));
+  // DT2: everything.
+  for (uint8_t t = 0; t < kNumTemplatesL1T3; ++t) {
+    EXPECT_TRUE(TemplateInDecodeTarget(t, DecodeTarget::kDT2));
+  }
+}
+
+TEST(Av1, FpsPerDecodeTarget) {
+  EXPECT_DOUBLE_EQ(FpsForDecodeTarget(DecodeTarget::kDT0, 30), 7.5);
+  EXPECT_DOUBLE_EQ(FpsForDecodeTarget(DecodeTarget::kDT1, 30), 15.0);
+  EXPECT_DOUBLE_EQ(FpsForDecodeTarget(DecodeTarget::kDT2, 30), 30.0);
+}
+
+TEST(Av1, MandatoryRoundTrip) {
+  DependencyDescriptor dd;
+  dd.start_of_frame = true;
+  dd.end_of_frame = false;
+  dd.template_id = 3;
+  dd.frame_number = 0xBEEF;
+  auto wire = dd.Serialize();
+  EXPECT_EQ(wire.size(), 3u);
+  auto parsed = DependencyDescriptor::Parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, dd);
+}
+
+TEST(Av1, ExtendedStructureRoundTrip) {
+  DependencyDescriptor dd;
+  dd.template_id = 0;
+  dd.frame_number = 1;
+  dd.structure = TemplateStructure::L1T3();
+  auto wire = dd.Serialize();
+  EXPECT_GT(wire.size(), 3u);
+  auto parsed = DependencyDescriptor::Parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->structure.has_value());
+  EXPECT_EQ(parsed->structure->num_decode_targets, kNumDecodeTargets);
+  EXPECT_EQ(parsed->structure->template_temporal_ids,
+            (std::vector<uint8_t>{0, 0, 1, 2, 2}));
+}
+
+TEST(Av1, PeekMandatoryMatchesParse) {
+  DependencyDescriptor dd;
+  dd.start_of_frame = false;
+  dd.end_of_frame = true;
+  dd.template_id = 2;
+  dd.frame_number = 777;
+  dd.structure = TemplateStructure::L1T3();
+  auto wire = dd.Serialize();
+  auto peek = PeekMandatory(wire);
+  ASSERT_TRUE(peek.has_value());
+  EXPECT_EQ(peek->start_of_frame, false);
+  EXPECT_EQ(peek->end_of_frame, true);
+  EXPECT_EQ(peek->template_id, 2);
+  EXPECT_EQ(peek->frame_number, 777);
+  EXPECT_TRUE(peek->has_extended);
+
+  dd.structure.reset();
+  peek = PeekMandatory(dd.Serialize());
+  ASSERT_TRUE(peek.has_value());
+  EXPECT_FALSE(peek->has_extended);
+}
+
+TEST(Av1, ParseRejectsTooShort) {
+  std::vector<uint8_t> tiny{0x80};
+  EXPECT_FALSE(DependencyDescriptor::Parse(tiny).has_value());
+  EXPECT_FALSE(PeekMandatory(tiny).has_value());
+}
+
+TEST(Av1, L1T3PatternMatchesFigure9) {
+  // Fig. 9: frames 1..8 carry templates 0,3,2,4,1,3,2,4.
+  L1T3Pattern p;
+  std::vector<uint8_t> ids;
+  ids.push_back(p.NextTemplateId(true));
+  for (int i = 0; i < 7; ++i) ids.push_back(p.NextTemplateId(false));
+  EXPECT_EQ(ids, (std::vector<uint8_t>{0, 3, 2, 4, 1, 3, 2, 4}));
+}
+
+TEST(Av1, PatternRestartsOnKeyFrame) {
+  L1T3Pattern p;
+  p.NextTemplateId(true);
+  p.NextTemplateId(false);  // template 3
+  EXPECT_EQ(p.NextTemplateId(true), 0);
+  EXPECT_EQ(p.NextTemplateId(false), 3);
+}
+
+TEST(Av1, TemporalLayerRatesInPattern) {
+  // Over a long run, TL0:TL1:TL2 frame counts are 1:1:2 per 4 frames.
+  L1T3Pattern p;
+  int counts[3] = {0, 0, 0};
+  p.NextTemplateId(true);
+  for (int i = 0; i < 400; ++i) {
+    ++counts[TemporalLayerForTemplate(p.NextTemplateId(false))];
+  }
+  EXPECT_EQ(counts[0], 100);
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 200);
+}
+
+TEST(Av1, DependencyDistances) {
+  EXPECT_EQ(L1T3Pattern::DependencyDistance(0, true), 0);
+  EXPECT_EQ(L1T3Pattern::DependencyDistance(1, false), 4);
+  EXPECT_EQ(L1T3Pattern::DependencyDistance(2, false), 2);
+  EXPECT_EQ(L1T3Pattern::DependencyDistance(3, false), 1);
+  EXPECT_EQ(L1T3Pattern::DependencyDistance(4, false), 1);
+}
+
+// Property: for every decode target, the frames surviving the layer filter
+// have all their dependencies inside the filtered set. This is the SVC
+// property Scallop's data-plane dropping relies on.
+class SvcFilterProperty : public ::testing::TestWithParam<DecodeTarget> {};
+
+TEST_P(SvcFilterProperty, FilteredStreamIsSelfContained) {
+  DecodeTarget dt = GetParam();
+  L1T3Pattern p;
+  std::vector<uint8_t> templates;
+  templates.push_back(p.NextTemplateId(true));
+  for (int i = 0; i < 200; ++i) templates.push_back(p.NextTemplateId(false));
+
+  std::vector<int> kept;  // frame numbers (1-based) surviving the filter
+  for (size_t i = 0; i < templates.size(); ++i) {
+    if (TemplateInDecodeTarget(templates[i], dt)) {
+      kept.push_back(static_cast<int>(i + 1));
+    }
+  }
+  ASSERT_FALSE(kept.empty());
+  for (int frame : kept) {
+    if (frame == 1) continue;  // key frame
+    uint8_t tmpl = templates[frame - 1];
+    int dep = frame - L1T3Pattern::DependencyDistance(tmpl, false);
+    EXPECT_TRUE(std::find(kept.begin(), kept.end(), dep) != kept.end())
+        << "frame " << frame << " depends on dropped frame " << dep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, SvcFilterProperty,
+                         ::testing::Values(DecodeTarget::kDT0,
+                                           DecodeTarget::kDT1,
+                                           DecodeTarget::kDT2));
+
+}  // namespace
+}  // namespace scallop::av1

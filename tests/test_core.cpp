@@ -1,0 +1,197 @@
+// Control-plane unit tests: tree manager designs & migration, capacity
+// model anchors, and controller bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/capacity.hpp"
+#include "core/tree_manager.hpp"
+#include "testbed/testbed.hpp"
+
+namespace scallop::core {
+namespace {
+
+MemberSpec MakeMember(ParticipantId id, bool sends = true) {
+  MemberSpec m;
+  m.id = id;
+  m.media_src = net::Endpoint{net::Ipv4(10, 0, 0, static_cast<uint8_t>(id)),
+                              40'000};
+  m.video_ssrc = id * 16 + 1;
+  m.audio_ssrc = id * 16 + 2;
+  m.sends_video = sends;
+  m.sends_audio = sends;
+  return m;
+}
+
+MeetingSpec MakeMeeting(MeetingId id, int n, bool all_send = true) {
+  MeetingSpec spec;
+  spec.id = id;
+  for (int i = 1; i <= n; ++i) {
+    spec.members.push_back(
+        MakeMember(static_cast<ParticipantId>(i + id * 100), all_send || i == 1));
+  }
+  return spec;
+}
+
+class TreeManagerTest : public ::testing::Test {
+ protected:
+  TreeManagerTest()
+      : sched_(),
+        net_(sched_, 1),
+        sw_(sched_, net_, {.address = net::Ipv4(100, 64, 0, 1)}),
+        dp_(sw_, {}),
+        mgr_(dp_, sw_.pre()) {}
+
+  sim::Scheduler sched_;
+  sim::Network net_;
+  switchsim::Switch sw_;
+  DataPlaneProgram dp_;
+  TreeManager mgr_;
+};
+
+TEST_F(TreeManagerTest, DesignSelection) {
+  EXPECT_EQ(TreeManager::DesignFor(MakeMeeting(1, 2)), TreeDesign::kTwoParty);
+  EXPECT_EQ(TreeManager::DesignFor(MakeMeeting(1, 5)), TreeDesign::kNRA);
+
+  // One receiver lowers its target uniformly across senders -> RA-R.
+  MeetingSpec rar = MakeMeeting(1, 4);
+  for (auto& m : rar.members) {
+    if (m.id == rar.members[1].id) continue;
+  }
+  for (auto& s : rar.members) {
+    if (s.id != rar.members[1].id) {
+      rar.members[1].decode_targets[s.id] = 1;
+    }
+  }
+  EXPECT_EQ(TreeManager::DesignFor(rar), TreeDesign::kRAR);
+
+  // Different targets per sender -> RA-SR.
+  MeetingSpec rasr = MakeMeeting(2, 4);
+  rasr.members[1].decode_targets[rasr.members[0].id] = 1;
+  rasr.members[1].decode_targets[rasr.members[2].id] = 2;
+  rasr.members[1].decode_targets[rasr.members[3].id] = 2;
+  EXPECT_EQ(TreeManager::DesignFor(rasr), TreeDesign::kRASR);
+}
+
+TEST_F(TreeManagerTest, TwoPartyUsesNoTrees) {
+  mgr_.Reconfigure(MakeMeeting(1, 2));
+  EXPECT_EQ(sw_.pre().tree_count(), 0u);
+  EXPECT_EQ(mgr_.CurrentDesign(1), TreeDesign::kTwoParty);
+}
+
+TEST_F(TreeManagerTest, NraPairsTwoMeetingsPerTree) {
+  mgr_.Reconfigure(MakeMeeting(1, 5));
+  EXPECT_EQ(sw_.pre().tree_count(), 1u);
+  mgr_.Reconfigure(MakeMeeting(2, 4));
+  EXPECT_EQ(sw_.pre().tree_count(), 1u);  // shares the tree (m = 2)
+  mgr_.Reconfigure(MakeMeeting(3, 3));
+  EXPECT_EQ(sw_.pre().tree_count(), 2u);  // new group
+  EXPECT_EQ(sw_.pre().node_count(), 12u);
+}
+
+TEST_F(TreeManagerTest, RarBuildsThreeTreesPerGroup) {
+  MeetingSpec spec = MakeMeeting(1, 4);
+  for (auto& s : spec.members) {
+    if (s.id != spec.members[0].id) {
+      spec.members[0].decode_targets[s.id] = 1;
+    }
+  }
+  EXPECT_EQ(mgr_.Reconfigure(spec), TreeDesign::kRAR);
+  EXPECT_EQ(sw_.pre().tree_count(), 3u);
+  // Member 0 (dt=1) is in trees 0 and 1 but not 2; others in all three.
+  EXPECT_EQ(sw_.pre().node_count(), 3u * 3 + 2u);
+}
+
+TEST_F(TreeManagerTest, RasrTreesPerSenderPair) {
+  MeetingSpec spec = MakeMeeting(1, 4);  // 4 senders -> 2 pairs -> 6 trees
+  spec.members[1].decode_targets[spec.members[0].id] = 1;
+  spec.members[1].decode_targets[spec.members[2].id] = 2;
+  spec.members[1].decode_targets[spec.members[3].id] = 0;
+  EXPECT_EQ(mgr_.Reconfigure(spec), TreeDesign::kRASR);
+  EXPECT_EQ(sw_.pre().tree_count(), 6u);
+}
+
+TEST_F(TreeManagerTest, MigrationCountedAndOldTreesFreed) {
+  mgr_.Reconfigure(MakeMeeting(1, 4));
+  EXPECT_EQ(mgr_.stats().migrations, 0u);
+  EXPECT_EQ(sw_.pre().tree_count(), 1u);
+
+  // One receiver drops to dt=1 for all senders: NRA -> RA-R.
+  MeetingSpec spec = MakeMeeting(1, 4);
+  for (auto& s : spec.members) {
+    if (s.id != spec.members[2].id) {
+      spec.members[2].decode_targets[s.id] = 1;
+    }
+  }
+  EXPECT_EQ(mgr_.Reconfigure(spec), TreeDesign::kRAR);
+  EXPECT_EQ(mgr_.stats().migrations, 1u);
+  EXPECT_EQ(sw_.pre().tree_count(), 3u);  // NRA group tree torn down
+
+  // Back to full rate: RA-R -> NRA.
+  EXPECT_EQ(mgr_.Reconfigure(MakeMeeting(1, 4)), TreeDesign::kNRA);
+  EXPECT_EQ(mgr_.stats().migrations, 2u);
+  EXPECT_EQ(sw_.pre().tree_count(), 1u);
+}
+
+TEST_F(TreeManagerTest, RemoveMeetingCleansUp) {
+  mgr_.Reconfigure(MakeMeeting(1, 4));
+  mgr_.Reconfigure(MakeMeeting(2, 4));
+  EXPECT_EQ(sw_.pre().tree_count(), 1u);
+  mgr_.RemoveMeeting(1);
+  EXPECT_EQ(sw_.pre().tree_count(), 1u);  // meeting 2 still uses the tree
+  mgr_.RemoveMeeting(2);
+  EXPECT_EQ(sw_.pre().tree_count(), 0u);
+  EXPECT_EQ(sw_.pre().node_count(), 0u);
+}
+
+// ---- capacity model anchors (paper §6.1 / §7.4) ----
+
+TEST(Capacity, PaperAnchors) {
+  CapacityModel model;
+
+  Workload ten_party{.participants = 10, .senders = 10, .media_types = 2};
+  auto b = model.Evaluate(ten_party);
+  EXPECT_NEAR(b.nra, 128'000, 4'000);          // 128K meetings
+  EXPECT_NEAR(b.ra_r, 42'700, 1'000);          // 42.7K meetings
+  EXPECT_NEAR(b.ra_sr, 4'369, 100);            // 4.3K meetings
+  EXPECT_NEAR(b.software, 192, 1);             // 192 on a 32-core server
+
+  Workload two_party{.participants = 2, .senders = 2, .media_types = 2};
+  auto b2 = model.Evaluate(two_party);
+  EXPECT_NEAR(b2.two_party, 533'000, 5'000);   // 533K two-party meetings
+  EXPECT_NEAR(b2.software, 4'800, 10);         // 4.8K on the server
+}
+
+TEST(Capacity, ImprovementBandMatchesPaperRange) {
+  CapacityModel model;
+  double lo_min = 1e18, hi_max = 0;
+  for (int n = 2; n <= 100; ++n) {
+    auto [lo, hi] = model.ImprovementRange(n);
+    EXPECT_GT(lo, 1.0) << "Scallop must beat software at N=" << n;
+    lo_min = std::min(lo_min, lo);
+    hi_max = std::max(hi_max, hi);
+  }
+  // Paper: 7-210x. The band ends should be in that ballpark.
+  EXPECT_GT(lo_min, 3.0);
+  EXPECT_LT(lo_min, 15.0);
+  EXPECT_GT(hi_max, 100.0);
+  EXPECT_LT(hi_max, 400.0);
+}
+
+TEST(Capacity, SoftwareScalesQuadratically) {
+  CapacityModel model;
+  Workload w10{.participants = 10, .senders = 10, .media_types = 2};
+  Workload w20{.participants = 20, .senders = 20, .media_types = 2};
+  double ratio = model.SoftwareMeetings(w10) / model.SoftwareMeetings(w20);
+  EXPECT_GT(ratio, 3.5);  // ~4x meetings lost for 2x participants
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(Capacity, BandwidthBoundQuadratic) {
+  CapacityModel model;
+  auto b10 = model.Evaluate({.participants = 10, .senders = 10});
+  auto b20 = model.Evaluate({.participants = 20, .senders = 20});
+  // (20*19)/(10*9) = 4.22x fewer meetings fit in the switch bandwidth.
+  EXPECT_NEAR(b10.bandwidth / b20.bandwidth, 4.22, 0.1);
+}
+
+}  // namespace
+}  // namespace scallop::core

@@ -1,0 +1,117 @@
+// Fleet controller (cascading-SFU groundwork, paper Appendix A): one
+// controller managing several switch data planes with load-aware meeting
+// placement.
+#include <gtest/gtest.h>
+
+#include "core/fleet.hpp"
+#include "testbed/testbed.hpp"
+
+namespace scallop::core {
+namespace {
+
+// A second-switch wrapper around the single-switch testbed.
+struct FleetBed {
+  explicit FleetBed(uint64_t seed = 1)
+      : net(sched, seed),
+        sw1(sched, net, {.address = net::Ipv4(100, 64, 0, 1)}),
+        sw2(sched, net, {.address = net::Ipv4(100, 64, 0, 2)}),
+        dp1(sw1, {}),
+        dp2(sw2, {}),
+        agent1(sched, dp1, Cfg(net::Ipv4(100, 64, 0, 1))),
+        agent2(sched, dp2, Cfg(net::Ipv4(100, 64, 0, 2))) {
+    sim::LinkConfig dc{.rate_bps = 0, .prop_delay = util::Millis(1)};
+    net.Attach(sw1.address(), &sw1, dc, dc);
+    net.Attach(sw2.address(), &sw2, dc, dc);
+    fleet.AddSwitch(agent1, sw1.address());
+    fleet.AddSwitch(agent2, sw2.address());
+  }
+
+  static AgentConfig Cfg(net::Ipv4 ip) {
+    AgentConfig cfg;
+    cfg.sfu_ip = ip;
+    return cfg;
+  }
+
+  client::Peer& AddPeer(int idx) {
+    client::PeerConfig pc;
+    pc.address = net::Ipv4(10, 0, 0, static_cast<uint8_t>(idx));
+    pc.seed = static_cast<uint64_t>(idx);
+    pc.encoder.start_bitrate_bps = 600'000;
+    auto peer = std::make_unique<client::Peer>(sched, net, pc);
+    sim::LinkConfig access{.rate_bps = 20e6, .prop_delay = util::Millis(5)};
+    net.Attach(pc.address, peer.get(), access, access);
+    peers.push_back(std::move(peer));
+    return *peers.back();
+  }
+
+  sim::Scheduler sched;
+  sim::Network net;
+  switchsim::Switch sw1, sw2;
+  DataPlaneProgram dp1, dp2;
+  SwitchAgent agent1, agent2;
+  FleetController fleet;
+  std::vector<std::unique_ptr<client::Peer>> peers;
+};
+
+TEST(Fleet, BalancesMeetingsAcrossSwitches) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  auto m2 = bed.fleet.CreateMeeting();
+  auto m3 = bed.fleet.CreateMeeting();
+  auto m4 = bed.fleet.CreateMeeting();
+  // Round-robin while empty.
+  EXPECT_NE(bed.fleet.PlacementOf(m1), bed.fleet.PlacementOf(m2));
+  EXPECT_NE(bed.fleet.PlacementOf(m3), bed.fleet.PlacementOf(m4));
+  EXPECT_EQ(bed.fleet.stats().meetings_placed, 4u);
+}
+
+TEST(Fleet, PlacementFollowsParticipantLoad) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  // Load 4 participants onto m1's switch.
+  for (int i = 1; i <= 4; ++i) bed.AddPeer(i).Join(bed.fleet, m1);
+  size_t busy = bed.fleet.PlacementOf(m1);
+  // The next meetings go to the other switch until loads even out.
+  auto m2 = bed.fleet.CreateMeeting();
+  EXPECT_NE(bed.fleet.PlacementOf(m2), busy);
+  EXPECT_EQ(bed.fleet.LoadOf(busy), 4);
+}
+
+TEST(Fleet, CallsRunIndependentlyPerSwitch) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  auto m2 = bed.fleet.CreateMeeting();
+  client::Peer& a = bed.AddPeer(1);
+  client::Peer& b = bed.AddPeer(2);
+  client::Peer& c = bed.AddPeer(3);
+  client::Peer& d = bed.AddPeer(4);
+  a.Join(bed.fleet, m1);
+  b.Join(bed.fleet, m1);
+  c.Join(bed.fleet, m2);
+  d.Join(bed.fleet, m2);
+  bed.sched.RunUntil(util::Seconds(8));
+
+  EXPECT_GT(b.video_receiver(a.id())->stats().frames_decoded, 200u);
+  EXPECT_GT(d.video_receiver(c.id())->stats().frames_decoded, 200u);
+  // Both switches carried media.
+  EXPECT_GT(bed.sw1.stats().packets_in, 1'000u);
+  EXPECT_GT(bed.sw2.stats().packets_in, 1'000u);
+}
+
+TEST(Fleet, LeaveAndEndMeetingReleaseLoad) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  client::Peer& a = bed.AddPeer(1);
+  client::Peer& b = bed.AddPeer(2);
+  a.Join(bed.fleet, m1);
+  b.Join(bed.fleet, m1);
+  size_t idx = bed.fleet.PlacementOf(m1);
+  EXPECT_EQ(bed.fleet.LoadOf(idx), 2);
+  a.Leave();
+  EXPECT_EQ(bed.fleet.LoadOf(idx), 1);
+  bed.fleet.EndMeeting(m1);
+  EXPECT_EQ(bed.fleet.PlacementOf(m1), SIZE_MAX);
+}
+
+}  // namespace
+}  // namespace scallop::core

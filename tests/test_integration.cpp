@@ -1,0 +1,322 @@
+// End-to-end integration: real Peer clients joining meetings through
+// Scallop's controller, media flowing through the switch data plane, and
+// the full feedback loop (GCC -> REMB -> agent -> decode targets -> SVC
+// filtering + sequence rewriting).
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace scallop {
+namespace {
+
+using client::Peer;
+using core::TreeDesign;
+
+client::PeerConfig FastStartPeer() {
+  client::PeerConfig pc;
+  pc.encoder.start_bitrate_bps = 700'000;
+  pc.encoder.max_bitrate_bps = 1'500'000;
+  pc.encoder.key_frame_interval = util::Seconds(4);
+  return pc;
+}
+
+TEST(ScallopIntegration, TwoPartyCallDeliversMedia) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  bed.RunFor(10.0);
+
+  // Both ends decode ~30 fps video with zero freezes.
+  const auto* rx_b = b.video_receiver(a.id());
+  ASSERT_NE(rx_b, nullptr);
+  EXPECT_GT(rx_b->stats().frames_decoded, 280u);
+  EXPECT_EQ(rx_b->stats().decoder_breaks, 0u);
+  EXPECT_EQ(rx_b->stats().conflicting_duplicates, 0u);
+  EXPECT_LT(rx_b->stats().total_freeze_ms, 500.0);
+
+  const auto* rx_a = a.video_receiver(b.id());
+  ASSERT_NE(rx_a, nullptr);
+  EXPECT_GT(rx_a->stats().frames_decoded, 280u);
+
+  // Audio flows both ways.
+  EXPECT_GT(a.audio_receiver(b.id())->packets_received(), 400u);
+  EXPECT_GT(b.audio_receiver(a.id())->packets_received(), 400u);
+
+  // Two-party fast path: no replication trees.
+  EXPECT_EQ(bed.sw().pre().tree_count(), 0u);
+  EXPECT_EQ(*bed.agent().tree_manager().CurrentDesign(meeting),
+            TreeDesign::kTwoParty);
+}
+
+TEST(ScallopIntegration, ThreePartyUsesNraTreeAndNoSelfEcho) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  Peer& c = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(8.0);
+
+  EXPECT_EQ(*bed.agent().tree_manager().CurrentDesign(meeting),
+            TreeDesign::kNRA);
+  EXPECT_GE(bed.sw().pre().tree_count(), 1u);
+
+  // Everyone decodes everyone.
+  for (Peer* receiver : {&a, &b, &c}) {
+    for (Peer* sender : {&a, &b, &c}) {
+      if (receiver == sender) continue;
+      const auto* rx = receiver->video_receiver(sender->id());
+      ASSERT_NE(rx, nullptr);
+      EXPECT_GT(rx->stats().frames_decoded, 200u)
+          << receiver->id() << " <- " << sender->id();
+    }
+    // No self-echo: the PRE pruned the sender's own copy.
+    EXPECT_EQ(receiver->video_receiver(receiver->id()), nullptr);
+  }
+}
+
+TEST(ScallopIntegration, StunKeepalivesAnsweredByAgent) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  bed.RunFor(10.0);
+
+  EXPECT_GT(bed.agent().stats().stun_handled, 4u);
+  EXPECT_GT(a.stats().stun_rtt_samples, 2u);
+  // STUN RTT reflects the access links (2 x 5 ms + switch).
+  EXPECT_GT(a.stats().last_stun_rtt_ms, 15.0);
+  EXPECT_LT(a.stats().last_stun_rtt_ms, 30.0);
+}
+
+TEST(ScallopIntegration, ForcedDecodeTargetHalvesFrameRate) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  Peer& c = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(4.0);
+
+  // Force C to 15 fps from A only (sender-receiver-specific).
+  bed.agent().ForceDecodeTarget(meeting, c.id(), a.id(), 1);
+  bed.RunFor(10.0);
+
+  const auto* c_from_a = c.video_receiver(a.id());
+  const auto* c_from_b = c.video_receiver(b.id());
+  const auto* b_from_a = b.video_receiver(a.id());
+  ASSERT_NE(c_from_a, nullptr);
+
+  double fps_c_a = c_from_a->RecentFps(bed.sched().now(), util::Seconds(3));
+  double fps_c_b = c_from_b->RecentFps(bed.sched().now(), util::Seconds(3));
+  double fps_b_a = b_from_a->RecentFps(bed.sched().now(), util::Seconds(3));
+  EXPECT_NEAR(fps_c_a, 15.0, 3.0);  // halved by SVC layer dropping
+  EXPECT_NEAR(fps_c_b, 30.0, 3.0);  // unaffected sender
+  EXPECT_NEAR(fps_b_a, 30.0, 3.0);  // unaffected receiver
+
+  // The stream stayed decodable: no freezes, no decoder breaks, and the
+  // data plane actively suppressed + rewrote sequence numbers.
+  EXPECT_EQ(c_from_a->stats().decoder_breaks, 0u);
+  EXPECT_EQ(c_from_a->stats().conflicting_duplicates, 0u);
+  // Tree-based filtering delivered fewer packets to C while the rewriter
+  // kept the stream gapless.
+  EXPECT_GT(bed.dataplane().stats().seq_rewritten, 500u);
+  EXPECT_LT(c_from_a->stats().packets_received,
+            b_from_a->stats().packets_received * 9 / 10);
+  // Layer filtering must not trigger retransmission storms.
+  EXPECT_LT(c_from_a->stats().nacked_packets, 200u);
+
+  EXPECT_EQ(*bed.agent().tree_manager().CurrentDesign(meeting),
+            TreeDesign::kRASR);
+}
+
+TEST(ScallopIntegration, DecodeTargetRestoredUpgradesFrameRate) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  Peer& c = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(3.0);
+
+  bed.agent().ForceDecodeTarget(meeting, c.id(), a.id(), 0);  // 7.5 fps
+  bed.RunFor(6.0);
+  const auto* rx = c.video_receiver(a.id());
+  EXPECT_NEAR(rx->RecentFps(bed.sched().now(), util::Seconds(3)), 7.5, 2.0);
+
+  bed.agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);  // full rate
+  bed.RunFor(6.0);
+  EXPECT_NEAR(rx->RecentFps(bed.sched().now(), util::Seconds(3)), 30.0, 4.0);
+  EXPECT_EQ(rx->stats().decoder_breaks, 0u);
+}
+
+TEST(ScallopIntegration, LossyDownlinkRecoversViaNackThroughSfu) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  // B's downlink drops 3% of packets.
+  sim::LinkConfig lossy = cfg.client_downlink;
+  lossy.loss_rate = 0.03;
+  Peer& b = bed.AddPeer(cfg.client_uplink, lossy);
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  bed.RunFor(15.0);
+
+  const auto* rx = b.video_receiver(a.id());
+  ASSERT_NE(rx, nullptr);
+  // NACKs fired and most losses recovered via retransmission.
+  EXPECT_GT(rx->stats().nacks_sent, 5u);
+  EXPECT_GT(rx->stats().recovered_packets, 10u);
+  EXPECT_GT(a.stats().retransmissions_sent, 10u);
+  // Quality held up: the vast majority of frames decoded.
+  EXPECT_GT(rx->stats().frames_decoded, 350u);
+  EXPECT_EQ(rx->stats().decoder_breaks, 0u);
+}
+
+TEST(ScallopIntegration, RembFilterPicksBestDownlinkNotWorst) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();  // sender under test
+  Peer& b = bed.AddPeer();  // strong downlink (default 20 Mb/s)
+  // C has a weak downlink that GCC will estimate low.
+  sim::LinkConfig weak = cfg.client_downlink;
+  weak.rate_bps = 1.2e6;
+  Peer& c = bed.AddPeer(cfg.client_uplink, weak);
+
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(20.0);
+
+  // The agent's filter function forwards only the best downlink's REMB.
+  EXPECT_EQ(bed.agent().BestDownlinkOf(a.id()), b.id());
+  EXPECT_GT(bed.dataplane().stats().remb_filtered, 10u);
+
+  // A's encoder was not dragged down to C's weak downlink: it still sends
+  // near its starting rate (the best downlink can absorb it).
+  EXPECT_GT(a.encoder()->target_bitrate(), 500'000u);
+  // B keeps receiving full-rate video.
+  EXPECT_NEAR(b.video_receiver(a.id())->RecentFps(bed.sched().now(),
+                                                  util::Seconds(3)),
+              30.0, 4.0);
+}
+
+TEST(ScallopIntegration, CongestedDownlinkTriggersAutomaticAdaptation) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  // Cap senders at 800 kb/s so a DT1 selection (~0.71x rate per stream)
+  // fits C's constrained downlink — the paper's Fig. 14 scenario.
+  cfg.peer.encoder.max_bitrate_bps = 800'000;
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  Peer& c = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(10.0);  // warm up at full rate
+
+  // C's downlink drops below the aggregate full-rate media (~1.7 Mb/s)
+  // but fits both streams at a reduced decode target.
+  bed.network().downlink(net::Ipv4(10, 0, 0, 3))->set_rate_bps(1.5e6);
+  bed.RunFor(30.0);
+
+  // The agent must have reduced C's decode target for at least one sender.
+  int dt_a = bed.agent().DecodeTargetOf(c.id(), a.id());
+  int dt_b = bed.agent().DecodeTargetOf(c.id(), b.id());
+  EXPECT_LT(std::min(dt_a, dt_b), 2);
+  EXPECT_GT(bed.agent().stats().dt_changes, 0u);
+
+  // And C's streams kept playing (adaptation, not collapse).
+  const auto* rx = c.video_receiver(a.id());
+  EXPECT_GT(rx->RecentFps(bed.sched().now(), util::Seconds(3)), 5.0);
+  EXPECT_EQ(rx->stats().decoder_breaks, 0u);
+}
+
+TEST(SoftwareSfuIntegration, TwoPartyCallDeliversMedia) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::SoftwareTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.sfu(), meeting);
+  b.Join(bed.sfu(), meeting);
+  bed.RunFor(10.0);
+
+  EXPECT_GT(b.video_receiver(a.id())->stats().frames_decoded, 280u);
+  EXPECT_GT(a.video_receiver(b.id())->stats().frames_decoded, 280u);
+  EXPECT_GT(bed.sfu().stats().packets_in, 3500u);
+  EXPECT_EQ(bed.sfu().stats().packets_dropped, 0u);
+}
+
+TEST(SoftwareSfuIntegration, RembAggregationConvergesToWorstReceiver) {
+  // The split-proxy control loop drags the sender to the minimum: the
+  // behaviour Scallop's best-downlink filter avoids (paper §5.3).
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::SoftwareTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  sim::LinkConfig weak = cfg.client_downlink;
+  weak.rate_bps = 0.6e6;
+  Peer& c = bed.AddPeer(cfg.client_uplink, weak);
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.sfu(), meeting);
+  b.Join(bed.sfu(), meeting);
+  c.Join(bed.sfu(), meeting);
+  bed.RunFor(25.0);
+
+  // A's encoder followed the minimum (C's weak downlink).
+  EXPECT_LT(a.encoder()->target_bitrate(), 600'000u);
+  EXPECT_GT(bed.sfu().stats().rembs_aggregated, 10u);
+}
+
+TEST(SoftwareSfuIntegration, NackServedFromCache) {
+  testbed::TestbedConfig cfg;
+  cfg.peer = FastStartPeer();
+  testbed::SoftwareTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  sim::LinkConfig lossy = cfg.client_downlink;
+  lossy.loss_rate = 0.03;
+  Peer& b = bed.AddPeer(cfg.client_uplink, lossy);
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.sfu(), meeting);
+  b.Join(bed.sfu(), meeting);
+  bed.RunFor(15.0);
+
+  // The split proxy answers retransmissions from its own cache; the
+  // sender never sees those NACKs.
+  EXPECT_GT(bed.sfu().stats().nacks_served_from_cache, 10u);
+  EXPECT_EQ(a.stats().nack_received, 0u);
+  EXPECT_GT(b.video_receiver(a.id())->stats().recovered_packets, 10u);
+}
+
+}  // namespace
+}  // namespace scallop

@@ -1,0 +1,149 @@
+// Depth-aware RTP extension parsing (paper Appendix E): the Tofino parser
+// walks extension elements through a bounded number of landing states; an
+// extension beyond the depth bound is unreachable.
+#include <gtest/gtest.h>
+
+#include "av1/dependency_descriptor.hpp"
+#include "rtp/rtp_packet.hpp"
+#include "switchsim/parser.hpp"
+
+namespace scallop::switchsim {
+namespace {
+
+rtp::RtpPacket BasePacket() {
+  rtp::RtpPacket pkt;
+  pkt.payload_type = 96;
+  pkt.sequence_number = 100;
+  pkt.ssrc = 0xABCD;
+  pkt.payload.assign(200, 0x11);
+  return pkt;
+}
+
+TEST(DepthAwareParser, FindsTargetExtension) {
+  rtp::RtpPacket pkt = BasePacket();
+  av1::DependencyDescriptor dd;
+  dd.template_id = 3;
+  dd.frame_number = 42;
+  pkt.SetExtension(av1::kDdExtensionId, dd.Serialize());
+  auto wire = pkt.Serialize();
+
+  auto loc = LocateRtpExtension(wire, av1::kDdExtensionId);
+  ASSERT_TRUE(loc.packet_valid);
+  ASSERT_TRUE(loc.found);
+  auto parsed = av1::PeekMandatory(
+      std::span<const uint8_t>(wire).subspan(loc.offset, loc.length));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->template_id, 3);
+  EXPECT_EQ(parsed->frame_number, 42);
+}
+
+TEST(DepthAwareParser, WalksPastOtherExtensions) {
+  rtp::RtpPacket pkt = BasePacket();
+  pkt.SetExtension(3, {1, 2, 3});   // abs-send-time first
+  pkt.SetExtension(7, {9});         // something else
+  av1::DependencyDescriptor dd;
+  dd.template_id = 2;
+  pkt.SetExtension(av1::kDdExtensionId, dd.Serialize());
+  auto wire = pkt.Serialize();
+
+  auto loc = LocateRtpExtension(wire, av1::kDdExtensionId);
+  ASSERT_TRUE(loc.found);
+  EXPECT_EQ(loc.depth_used, 3);  // one landing state per element
+}
+
+TEST(DepthAwareParser, DepthBoundMakesDeepExtensionsUnreachable) {
+  rtp::RtpPacket pkt = BasePacket();
+  // Ten decoys ahead of the DD.
+  for (uint8_t id = 1; id <= 10; ++id) {
+    if (id == av1::kDdExtensionId) continue;
+    pkt.SetExtension(id, {id});
+  }
+  av1::DependencyDescriptor dd;
+  pkt.SetExtension(14, dd.Serialize());
+  auto wire = pkt.Serialize();
+
+  ParserLimits tight;
+  tight.max_depth = 4;
+  auto loc = LocateRtpExtension(wire, 14, tight);
+  EXPECT_TRUE(loc.packet_valid);
+  EXPECT_FALSE(loc.found);
+  EXPECT_TRUE(loc.depth_exceeded);
+
+  // The paper's ingress depth (27) reaches it comfortably.
+  auto deep = LocateRtpExtension(wire, 14);
+  EXPECT_TRUE(deep.found);
+  EXPECT_LE(deep.depth_used, 27);
+}
+
+TEST(DepthAwareParser, HandlesTwoByteProfile) {
+  rtp::RtpPacket pkt = BasePacket();
+  std::vector<uint8_t> big(30, 0x5A);  // forces the two-byte profile
+  pkt.SetExtension(4, big);
+  auto wire = pkt.Serialize();
+  auto loc = LocateRtpExtension(wire, 4);
+  ASSERT_TRUE(loc.found);
+  EXPECT_EQ(loc.length, 30);
+  auto data = std::span<const uint8_t>(wire).subspan(loc.offset, loc.length);
+  EXPECT_EQ(data[0], 0x5A);
+}
+
+TEST(DepthAwareParser, NoExtensionBlock) {
+  rtp::RtpPacket pkt = BasePacket();  // no extensions at all
+  auto wire = pkt.Serialize();
+  auto loc = LocateRtpExtension(wire, av1::kDdExtensionId);
+  EXPECT_TRUE(loc.packet_valid);
+  EXPECT_FALSE(loc.found);
+  EXPECT_EQ(loc.depth_used, 0);
+}
+
+TEST(DepthAwareParser, RejectsNonRtp) {
+  std::vector<uint8_t> stun{0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xA4, 0x42,
+                            0, 0, 0, 0};
+  auto loc = LocateRtpExtension(stun, av1::kDdExtensionId);
+  EXPECT_FALSE(loc.packet_valid);
+  EXPECT_FALSE(loc.found);
+}
+
+TEST(DepthAwareParser, TruncatedExtensionBlockRejected) {
+  rtp::RtpPacket pkt = BasePacket();
+  pkt.SetExtension(4, {1, 2, 3, 4});
+  auto wire = pkt.Serialize();
+  // Claim an extension block longer than the whole packet: the counter
+  // check must refuse to parse rather than run off the end.
+  wire[14] = 0x40;
+  wire[15] = 0x00;
+  auto loc = LocateRtpExtension(wire, 4);
+  EXPECT_FALSE(loc.packet_valid);
+  EXPECT_FALSE(loc.found);
+}
+
+TEST(DepthAwareParser, AgreesWithFullParserOnRandomPackets) {
+  for (uint32_t seed = 1; seed <= 50; ++seed) {
+    rtp::RtpPacket pkt = BasePacket();
+    pkt.sequence_number = static_cast<uint16_t>(seed * 131);
+    // Between 0 and 3 extensions with ids derived from the seed.
+    for (uint32_t e = 0; e < seed % 4; ++e) {
+      uint8_t id = static_cast<uint8_t>(1 + (seed + e * 3) % 14);
+      pkt.SetExtension(id, std::vector<uint8_t>(1 + (seed + e) % 10,
+                                                static_cast<uint8_t>(e)));
+    }
+    auto wire = pkt.Serialize();
+    auto full = rtp::RtpPacket::Parse(wire);
+    ASSERT_TRUE(full.has_value());
+    for (uint8_t id = 1; id <= 14; ++id) {
+      auto loc = LocateRtpExtension(wire, id);
+      const rtp::RtpExtension* ext = full->FindExtension(id);
+      ASSERT_EQ(loc.found, ext != nullptr) << "seed " << seed << " id "
+                                           << static_cast<int>(id);
+      if (loc.found) {
+        auto data =
+            std::span<const uint8_t>(wire).subspan(loc.offset, loc.length);
+        EXPECT_TRUE(std::equal(data.begin(), data.end(), ext->data.begin(),
+                               ext->data.end()));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scallop::switchsim

@@ -1,0 +1,297 @@
+// System-level property suites (TEST_P sweeps):
+//  1. The end-to-end invariant behind the paper's §6.2 finding: an adapted
+//     stream that passes through a Scallop rewriter NEVER breaks the
+//     receiver's decoder state — under any decode target, loss rate and
+//     reorder rate. Losses may cost retransmissions or (at worst) freezes
+//     that a key frame heals, but never a conflicting duplicate.
+//  2. PRE structural invariants under randomized tree operations.
+//  3. RTCP compound round-trips under randomized message mixes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "av1/dependency_descriptor.hpp"
+#include "core/seqrewrite.hpp"
+#include "media/encoder.hpp"
+#include "media/packetizer.hpp"
+#include "media/receiver.hpp"
+#include "rtp/rtcp.hpp"
+#include "switchsim/pre.hpp"
+#include "util/random.hpp"
+
+namespace scallop {
+namespace {
+
+// ---------------------------------------------------------------------
+// 1. End-to-end rewriter -> receiver invariant.
+// ---------------------------------------------------------------------
+
+using E2eParams = std::tuple<int /*variant 0=SLM 1=SLR*/, int /*dt*/,
+                             double /*loss*/, double /*reorder*/>;
+
+class AdaptedStreamProperty : public ::testing::TestWithParam<E2eParams> {};
+
+TEST_P(AdaptedStreamProperty, DecoderNeverBreaks) {
+  auto [variant, dt, loss, reorder] = GetParam();
+  core::SkipCadence cadence = core::SkipCadence::ForDecodeTarget(dt, 1);
+  std::unique_ptr<core::SequenceRewriter> rw;
+  if (variant == 0) {
+    rw = std::make_unique<core::SlmRewriter>(cadence);
+  } else {
+    rw = std::make_unique<core::SlrRewriter>(cadence);
+  }
+
+  media::SvcEncoderConfig ecfg;
+  ecfg.key_frame_interval = util::Seconds(4);
+  ecfg.size_jitter = 0.1;
+  media::SvcEncoder encoder(ecfg, 11);
+  media::Packetizer packetizer(media::PacketizerConfig{.ssrc = 3});
+  media::VideoReceiver receiver(media::VideoReceiverConfig{}, nullptr,
+                                nullptr);
+  util::Rng rng(static_cast<uint64_t>(variant * 1000 + dt * 100 +
+                                      loss * 50 + reorder * 10 + 1));
+
+  // Stream 600 frames (~20 s) through upstream loss/reorder, the rewriter,
+  // then straight into the receiver.
+  std::vector<rtp::RtpPacket> window;
+  util::TimeUs t = 0;
+  for (int f = 0; f < 600; ++f) {
+    t += 33'333;
+    auto frame = encoder.NextFrame(t);
+    for (auto& pkt : packetizer.Packetize(frame, t)) {
+      if (rng.Bernoulli(loss)) continue;  // upstream loss
+      window.push_back(std::move(pkt));
+    }
+    for (size_t i = window.size() > 3 ? window.size() - 3 : 0;
+         i + 1 < window.size(); ++i) {
+      if (rng.Bernoulli(reorder)) std::swap(window[i], window[i + 1]);
+    }
+    while (window.size() > 2) {
+      rtp::RtpPacket pkt = std::move(window.front());
+      window.erase(window.begin());
+      const auto* ext = pkt.FindExtension(av1::kDdExtensionId);
+      auto dd = av1::PeekMandatory(ext->data);
+      bool suppress = !av1::TemplateInDecodeTarget(
+          dd->template_id, static_cast<av1::DecodeTarget>(dt));
+      auto res = rw->Process(core::RewritePacketView{
+          pkt.sequence_number, dd->frame_number, dd->start_of_frame,
+          dd->end_of_frame, suppress});
+      if (!res.forward) continue;
+      pkt.sequence_number = res.out_seq;
+      receiver.OnPacket(pkt, t);
+    }
+    if (f % 3 == 0) receiver.OnTick(t);
+  }
+
+  // THE invariant: no conflicting duplicates, ever.
+  EXPECT_EQ(receiver.stats().conflicting_duplicates, 0u)
+      << "variant=" << variant << " dt=" << dt << " loss=" << loss
+      << " reorder=" << reorder;
+  EXPECT_EQ(receiver.stats().decoder_breaks, 0u);
+
+  // Liveness is only assertable on the clean path: without the NACK
+  // recovery loop (exercised in the integration tests) every unrecovered
+  // TL0 loss costs the rest of its GOP, so lossy cells may legitimately
+  // decode almost nothing. Clean paths must hit the decode-target rate.
+  double expected_frames = 600.0 * (dt == 0 ? 0.25 : dt == 1 ? 0.5 : 1.0);
+  if (loss == 0.0 && reorder == 0.0) {
+    EXPECT_GE(receiver.stats().frames_decoded, expected_frames * 0.95);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptedStreamProperty,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1, 2),
+                       ::testing::Values(0.0, 0.02, 0.1),
+                       ::testing::Values(0.0, 0.05, 0.15)));
+
+// ---------------------------------------------------------------------
+// 2. PRE invariants under randomized operations.
+// ---------------------------------------------------------------------
+
+class PreFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PreFuzz, CountsStayConsistentAndPruningSound) {
+  util::Rng rng(GetParam());
+  switchsim::PreLimits limits;
+  limits.max_trees = 32;
+  limits.max_l1_nodes = 256;
+  switchsim::ReplicationEngine pre(limits);
+
+  std::map<uint32_t, std::vector<switchsim::L1Node>> shadow;
+  uint32_t next_node = 1;
+  for (int op = 0; op < 2000; ++op) {
+    int action = static_cast<int>(rng.UniformInt(0, 4));
+    uint32_t mgid = static_cast<uint32_t>(rng.UniformInt(1, 40));
+    switch (action) {
+      case 0:
+        if (pre.CreateTree(mgid)) {
+          EXPECT_EQ(shadow.count(mgid), 0u);
+          shadow[mgid] = {};
+        }
+        break;
+      case 1:
+        if (pre.DestroyTree(mgid)) {
+          shadow.erase(mgid);
+        }
+        break;
+      case 2: {
+        switchsim::L1Node node;
+        node.node_id = next_node++;
+        node.rid = static_cast<uint16_t>(rng.UniformInt(1, 8));
+        node.l1_xid = static_cast<uint16_t>(rng.UniformInt(0, 2));
+        node.prune_enabled = node.l1_xid != 0;
+        node.ports = {static_cast<uint32_t>(rng.UniformInt(1, 16))};
+        if (pre.AddNode(mgid, node)) {
+          shadow[mgid].push_back(node);
+        }
+        break;
+      }
+      case 3: {
+        auto it = shadow.find(mgid);
+        if (it != shadow.end() && !it->second.empty()) {
+          uint32_t victim = it->second.front().node_id;
+          EXPECT_TRUE(pre.RemoveNode(mgid, victim));
+          it->second.erase(it->second.begin());
+        }
+        break;
+      }
+      case 4: {
+        // Replicate and verify against the shadow model.
+        uint16_t l1_xid = static_cast<uint16_t>(rng.UniformInt(0, 2));
+        auto replicas = pre.Replicate(mgid, l1_xid, 0, 0);
+        auto it = shadow.find(mgid);
+        size_t expected = 0;
+        if (it != shadow.end()) {
+          for (const auto& n : it->second) {
+            if (n.prune_enabled && n.l1_xid != 0 && n.l1_xid == l1_xid) {
+              continue;
+            }
+            expected += n.ports.size();
+          }
+        }
+        EXPECT_EQ(replicas.size(), expected);
+        break;
+      }
+    }
+    // Global node count matches the shadow model at every step.
+    size_t total = 0;
+    for (const auto& [m, nodes] : shadow) total += nodes.size();
+    ASSERT_EQ(pre.node_count(), total);
+    ASSERT_EQ(pre.tree_count(), shadow.size());
+    ASSERT_LE(pre.node_count(), limits.max_l1_nodes);
+    ASSERT_LE(pre.tree_count(), limits.max_trees);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// 3. RTCP compound round-trip fuzz.
+// ---------------------------------------------------------------------
+
+class RtcpFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RtcpFuzz, RandomCompoundsRoundTrip) {
+  util::Rng rng(GetParam() * 31);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<rtp::RtcpMessage> msgs;
+    int count = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < count; ++i) {
+      switch (rng.UniformInt(0, 4)) {
+        case 0: {
+          rtp::SenderReport sr;
+          sr.sender_ssrc = static_cast<uint32_t>(rng.NextU64());
+          sr.ntp_timestamp = rng.NextU64();
+          sr.packet_count = static_cast<uint32_t>(rng.NextU64());
+          int blocks = static_cast<int>(rng.UniformInt(0, 3));
+          for (int b = 0; b < blocks; ++b) {
+            rtp::ReportBlock rb;
+            rb.ssrc = static_cast<uint32_t>(rng.NextU64());
+            rb.jitter = static_cast<uint32_t>(rng.UniformInt(0, 1 << 20));
+            sr.blocks.push_back(rb);
+          }
+          msgs.emplace_back(std::move(sr));
+          break;
+        }
+        case 1: {
+          rtp::ReceiverReport rr;
+          rr.sender_ssrc = static_cast<uint32_t>(rng.NextU64());
+          msgs.emplace_back(std::move(rr));
+          break;
+        }
+        case 2: {
+          rtp::Nack nack;
+          nack.sender_ssrc = static_cast<uint32_t>(rng.NextU64());
+          nack.media_ssrc = static_cast<uint32_t>(rng.NextU64());
+          uint16_t base = static_cast<uint16_t>(rng.NextU64());
+          int seqs = static_cast<int>(rng.UniformInt(1, 20));
+          for (int s = 0; s < seqs; ++s) {
+            nack.sequence_numbers.push_back(
+                static_cast<uint16_t>(base + rng.UniformInt(0, 40)));
+          }
+          // Deduplicate (the wire format is a set).
+          std::sort(nack.sequence_numbers.begin(),
+                    nack.sequence_numbers.end());
+          nack.sequence_numbers.erase(
+              std::unique(nack.sequence_numbers.begin(),
+                          nack.sequence_numbers.end()),
+              nack.sequence_numbers.end());
+          msgs.emplace_back(std::move(nack));
+          break;
+        }
+        case 3: {
+          rtp::Remb remb;
+          remb.sender_ssrc = static_cast<uint32_t>(rng.NextU64());
+          remb.bitrate_bps = rng.NextU64() % 3'000'000'000ULL;
+          remb.media_ssrcs = {static_cast<uint32_t>(rng.NextU64())};
+          msgs.emplace_back(std::move(remb));
+          break;
+        }
+        case 4: {
+          rtp::Pli pli;
+          pli.sender_ssrc = static_cast<uint32_t>(rng.NextU64());
+          pli.media_ssrc = static_cast<uint32_t>(rng.NextU64());
+          msgs.emplace_back(pli);
+          break;
+        }
+      }
+    }
+    auto wire = rtp::SerializeCompound(msgs);
+    ASSERT_EQ(wire.size() % 4, 0u);
+    auto parsed = rtp::ParseCompound(wire);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->size(), msgs.size());
+    for (size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(parsed->at(i).index(), msgs[i].index());
+      if (const auto* nack = std::get_if<rtp::Nack>(&msgs[i])) {
+        const auto& out = std::get<rtp::Nack>(parsed->at(i));
+        // NACK round-trips as a sorted set of sequence numbers.
+        auto sorted = nack->sequence_numbers;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](uint16_t a, uint16_t b) { return util::SeqNewer(b, a); });
+        EXPECT_EQ(out.sequence_numbers.size(), sorted.size());
+      }
+      if (const auto* remb = std::get_if<rtp::Remb>(&msgs[i])) {
+        const auto& out = std::get<rtp::Remb>(parsed->at(i));
+        if (remb->bitrate_bps > 0) {
+          double ratio = static_cast<double>(out.bitrate_bps) /
+                         static_cast<double>(remb->bitrate_bps);
+          EXPECT_GE(ratio, 0.999);
+          EXPECT_LE(ratio, 1.0);
+        }
+      }
+    }
+    // Truncating any compound must be rejected, never mis-parsed.
+    if (wire.size() > 4) {
+      auto truncated = wire;
+      truncated.resize(wire.size() - 3);
+      EXPECT_FALSE(rtp::ParseCompound(truncated).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtcpFuzz, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace scallop

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "rtp/rtcp.hpp"
+
+namespace scallop::rtp {
+namespace {
+
+TEST(Rtcp, SenderReportRoundTrip) {
+  SenderReport sr;
+  sr.sender_ssrc = 0x1111;
+  sr.ntp_timestamp = 0x0123456789ABCDEFULL;
+  sr.rtp_timestamp = 0xAABBCCDD;
+  sr.packet_count = 500;
+  sr.octet_count = 123456;
+  ReportBlock b;
+  b.ssrc = 0x2222;
+  b.fraction_lost = 12;
+  b.cumulative_lost = -5;
+  b.highest_seq = 0x00010000;
+  b.jitter = 42;
+  b.last_sr = 0x33334444;
+  b.delay_since_last_sr = 100;
+  sr.blocks.push_back(b);
+
+  auto parsed = ParseCompound(Serialize(RtcpMessage{sr}));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  const auto& out = std::get<SenderReport>((*parsed)[0]);
+  EXPECT_EQ(out.sender_ssrc, sr.sender_ssrc);
+  EXPECT_EQ(out.ntp_timestamp, sr.ntp_timestamp);
+  EXPECT_EQ(out.rtp_timestamp, sr.rtp_timestamp);
+  EXPECT_EQ(out.packet_count, sr.packet_count);
+  EXPECT_EQ(out.octet_count, sr.octet_count);
+  ASSERT_EQ(out.blocks.size(), 1u);
+  EXPECT_EQ(out.blocks[0].ssrc, b.ssrc);
+  EXPECT_EQ(out.blocks[0].fraction_lost, b.fraction_lost);
+  EXPECT_EQ(out.blocks[0].cumulative_lost, -5);
+  EXPECT_EQ(out.blocks[0].highest_seq, b.highest_seq);
+  EXPECT_EQ(out.blocks[0].jitter, b.jitter);
+}
+
+TEST(Rtcp, ReceiverReportRoundTrip) {
+  ReceiverReport rr;
+  rr.sender_ssrc = 0xABCD;
+  rr.blocks.resize(2);
+  rr.blocks[0].ssrc = 1;
+  rr.blocks[1].ssrc = 2;
+  auto parsed = ParseCompound(Serialize(RtcpMessage{rr}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& out = std::get<ReceiverReport>((*parsed)[0]);
+  EXPECT_EQ(out.sender_ssrc, 0xABCDu);
+  ASSERT_EQ(out.blocks.size(), 2u);
+}
+
+TEST(Rtcp, SdesRoundTrip) {
+  Sdes sdes;
+  sdes.chunks.push_back({0x1234, "user@host"});
+  sdes.chunks.push_back({0x5678, "x"});
+  auto parsed = ParseCompound(Serialize(RtcpMessage{sdes}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& out = std::get<Sdes>((*parsed)[0]);
+  ASSERT_EQ(out.chunks.size(), 2u);
+  EXPECT_EQ(out.chunks[0].ssrc, 0x1234u);
+  EXPECT_EQ(out.chunks[0].cname, "user@host");
+  EXPECT_EQ(out.chunks[1].cname, "x");
+}
+
+TEST(Rtcp, ByeRoundTrip) {
+  Bye bye;
+  bye.ssrcs = {10, 20};
+  bye.reason = "leaving";
+  auto parsed = ParseCompound(Serialize(RtcpMessage{bye}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& out = std::get<Bye>((*parsed)[0]);
+  EXPECT_EQ(out.ssrcs, bye.ssrcs);
+  EXPECT_EQ(out.reason, "leaving");
+}
+
+TEST(Rtcp, NackRoundTripContiguous) {
+  Nack nack;
+  nack.sender_ssrc = 1;
+  nack.media_ssrc = 2;
+  nack.sequence_numbers = {100, 101, 102, 110};
+  auto parsed = ParseCompound(Serialize(RtcpMessage{nack}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& out = std::get<Nack>((*parsed)[0]);
+  EXPECT_EQ(out.sender_ssrc, 1u);
+  EXPECT_EQ(out.media_ssrc, 2u);
+  EXPECT_EQ(out.sequence_numbers,
+            (std::vector<uint16_t>{100, 101, 102, 110}));
+}
+
+TEST(Rtcp, NackSpanningMoreThan17) {
+  Nack nack;
+  nack.sender_ssrc = 1;
+  nack.media_ssrc = 2;
+  // 100 and 120 are 20 apart: cannot share one PID/BLP entry.
+  nack.sequence_numbers = {100, 120};
+  auto parsed = ParseCompound(Serialize(RtcpMessage{nack}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& out = std::get<Nack>((*parsed)[0]);
+  EXPECT_EQ(out.sequence_numbers, (std::vector<uint16_t>{100, 120}));
+}
+
+TEST(Rtcp, NackAcrossWraparound) {
+  Nack nack;
+  nack.sender_ssrc = 1;
+  nack.media_ssrc = 2;
+  nack.sequence_numbers = {65534, 65535, 0, 1};
+  auto parsed = ParseCompound(Serialize(RtcpMessage{nack}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& out = std::get<Nack>((*parsed)[0]);
+  EXPECT_EQ(out.sequence_numbers,
+            (std::vector<uint16_t>{65534, 65535, 0, 1}));
+}
+
+TEST(Rtcp, PliRoundTrip) {
+  Pli pli;
+  pli.sender_ssrc = 77;
+  pli.media_ssrc = 88;
+  auto parsed = ParseCompound(Serialize(RtcpMessage{pli}));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& out = std::get<Pli>((*parsed)[0]);
+  EXPECT_EQ(out.sender_ssrc, 77u);
+  EXPECT_EQ(out.media_ssrc, 88u);
+}
+
+TEST(Rtcp, RembRoundTripExactAndLarge) {
+  for (uint64_t bitrate : {250'000ULL, 1'000'000ULL, 123'456'789ULL,
+                           2'500'000'000ULL}) {
+    Remb remb;
+    remb.sender_ssrc = 5;
+    remb.bitrate_bps = bitrate;
+    remb.media_ssrcs = {0xAAAA, 0xBBBB};
+    auto parsed = ParseCompound(Serialize(RtcpMessage{remb}));
+    ASSERT_TRUE(parsed.has_value());
+    const auto& out = std::get<Remb>((*parsed)[0]);
+    // Mantissa is 18 bits: value preserved within one part in 2^18.
+    double ratio = static_cast<double>(out.bitrate_bps) /
+                   static_cast<double>(bitrate);
+    EXPECT_GE(ratio, 1.0 - 1.0 / (1 << 17));
+    EXPECT_LE(ratio, 1.0);
+    EXPECT_EQ(out.media_ssrcs, remb.media_ssrcs);
+  }
+}
+
+TEST(Rtcp, CompoundPacketOrderPreserved) {
+  SenderReport sr;
+  sr.sender_ssrc = 1;
+  Sdes sdes;
+  sdes.chunks.push_back({1, "cname"});
+  Remb remb;
+  remb.sender_ssrc = 1;
+  remb.bitrate_bps = 500'000;
+  std::vector<RtcpMessage> msgs{sr, sdes, remb};
+  auto wire = SerializeCompound(msgs);
+  auto parsed = ParseCompound(wire);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<SenderReport>((*parsed)[0]));
+  EXPECT_TRUE(std::holds_alternative<Sdes>((*parsed)[1]));
+  EXPECT_TRUE(std::holds_alternative<Remb>((*parsed)[2]));
+}
+
+TEST(Rtcp, ParseRejectsTruncatedCompound) {
+  SenderReport sr;
+  sr.sender_ssrc = 1;
+  auto wire = Serialize(RtcpMessage{sr});
+  wire.pop_back();
+  EXPECT_FALSE(ParseCompound(wire).has_value());
+}
+
+TEST(Rtcp, WirePeeks) {
+  Remb remb;
+  remb.sender_ssrc = 5;
+  remb.bitrate_bps = 1'000'000;
+  auto wire = Serialize(RtcpMessage{remb});
+  EXPECT_EQ(PeekRtcpPacketType(wire), kRtcpPsFb);
+  EXPECT_EQ(PeekRtcpFmt(wire), kFmtAfb);
+  EXPECT_TRUE(LooksLikeRemb(wire));
+
+  Pli pli;
+  auto pli_wire = Serialize(RtcpMessage{pli});
+  EXPECT_EQ(PeekRtcpPacketType(pli_wire), kRtcpPsFb);
+  EXPECT_EQ(PeekRtcpFmt(pli_wire), kFmtPli);
+  EXPECT_FALSE(LooksLikeRemb(pli_wire));
+}
+
+TEST(Rtcp, MessageNames) {
+  EXPECT_EQ(MessageName(RtcpMessage{SenderReport{}}), "SR");
+  EXPECT_EQ(MessageName(RtcpMessage{Remb{}}), "REMB");
+  EXPECT_EQ(MessageName(RtcpMessage{Nack{}}), "NACK");
+}
+
+TEST(Rtcp, AllLengthsAreMultiplesOf4) {
+  Sdes sdes;
+  sdes.chunks.push_back({1, "abc"});     // forces padding
+  sdes.chunks.push_back({2, "abcdef"});  // different padding
+  auto wire = Serialize(RtcpMessage{sdes});
+  EXPECT_EQ(wire.size() % 4, 0u);
+
+  Bye bye;
+  bye.ssrcs = {1};
+  bye.reason = "xy";
+  EXPECT_EQ(Serialize(RtcpMessage{bye}).size() % 4, 0u);
+}
+
+}  // namespace
+}  // namespace scallop::rtp

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "rtp/classifier.hpp"
+#include "rtp/rtp_packet.hpp"
+
+namespace scallop::rtp {
+namespace {
+
+RtpPacket MakePacket() {
+  RtpPacket pkt;
+  pkt.marker = true;
+  pkt.payload_type = 96;
+  pkt.sequence_number = 4321;
+  pkt.timestamp = 0x11223344;
+  pkt.ssrc = 0xCAFEBABE;
+  pkt.payload = {1, 2, 3, 4, 5};
+  return pkt;
+}
+
+TEST(Rtp, RoundTripBasic) {
+  RtpPacket pkt = MakePacket();
+  auto wire = pkt.Serialize();
+  ASSERT_EQ(wire.size(), 12u + 5);
+  auto parsed = RtpPacket::Parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->marker, true);
+  EXPECT_EQ(parsed->payload_type, 96);
+  EXPECT_EQ(parsed->sequence_number, 4321);
+  EXPECT_EQ(parsed->timestamp, 0x11223344u);
+  EXPECT_EQ(parsed->ssrc, 0xCAFEBABEu);
+  EXPECT_EQ(parsed->payload, pkt.payload);
+}
+
+TEST(Rtp, RoundTripWithCsrcs) {
+  RtpPacket pkt = MakePacket();
+  pkt.csrcs = {1, 2, 3};
+  auto parsed = RtpPacket::Parse(pkt.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->csrcs, pkt.csrcs);
+}
+
+TEST(Rtp, RoundTripOneByteExtensions) {
+  RtpPacket pkt = MakePacket();
+  pkt.SetExtension(4, {0xAA, 0xBB, 0xCC});
+  pkt.SetExtension(3, {0x01, 0x02, 0x03});
+  auto wire = pkt.Serialize();
+  auto parsed = RtpPacket::Parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->extensions.size(), 2u);
+  const RtpExtension* e4 = parsed->FindExtension(4);
+  ASSERT_NE(e4, nullptr);
+  EXPECT_EQ(e4->data, (std::vector<uint8_t>{0xAA, 0xBB, 0xCC}));
+  const RtpExtension* e3 = parsed->FindExtension(3);
+  ASSERT_NE(e3, nullptr);
+  EXPECT_EQ(e3->data, (std::vector<uint8_t>{0x01, 0x02, 0x03}));
+}
+
+TEST(Rtp, TwoByteExtensionWhenLarge) {
+  RtpPacket pkt = MakePacket();
+  std::vector<uint8_t> big(30, 0x7E);  // >16 bytes forces two-byte profile
+  pkt.SetExtension(4, big);
+  auto wire = pkt.Serialize();
+  // Profile bytes at offset 12..13.
+  EXPECT_EQ(wire[12], 0x10);
+  EXPECT_EQ(wire[13], 0x00);
+  auto parsed = RtpPacket::Parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  const RtpExtension* e = parsed->FindExtension(4);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->data, big);
+}
+
+TEST(Rtp, SerializedSizeMatches) {
+  RtpPacket pkt = MakePacket();
+  pkt.SetExtension(4, {1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(pkt.SerializedSize(), pkt.Serialize().size());
+}
+
+TEST(Rtp, SetExtensionReplacesExisting) {
+  RtpPacket pkt = MakePacket();
+  pkt.SetExtension(4, {1});
+  pkt.SetExtension(4, {9, 9});
+  ASSERT_EQ(pkt.extensions.size(), 1u);
+  EXPECT_EQ(pkt.extensions[0].data, (std::vector<uint8_t>{9, 9}));
+}
+
+TEST(Rtp, ParseRejectsWrongVersion) {
+  auto wire = MakePacket().Serialize();
+  wire[0] = 0x00;  // version 0
+  EXPECT_FALSE(RtpPacket::Parse(wire).has_value());
+}
+
+TEST(Rtp, ParseRejectsTruncated) {
+  auto wire = MakePacket().Serialize();
+  wire.resize(8);
+  EXPECT_FALSE(RtpPacket::Parse(wire).has_value());
+}
+
+TEST(Rtp, PatchSequenceNumberInPlace) {
+  auto wire = MakePacket().Serialize();
+  ASSERT_TRUE(PatchSequenceNumber(wire, 9999));
+  auto parsed = RtpPacket::Parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sequence_number, 9999);
+  EXPECT_EQ(PeekSequenceNumber(wire), 9999);
+}
+
+TEST(Rtp, PatchSsrcInPlace) {
+  auto wire = MakePacket().Serialize();
+  ASSERT_TRUE(PatchSsrc(wire, 0x01020304));
+  EXPECT_EQ(PeekSsrc(wire), 0x01020304u);
+}
+
+TEST(Rtp, PeekPayloadTypeIgnoresMarker) {
+  RtpPacket pkt = MakePacket();
+  pkt.marker = true;
+  pkt.payload_type = 111;
+  auto wire = pkt.Serialize();
+  EXPECT_EQ(PeekPayloadType(wire), 111);
+}
+
+TEST(Classifier, DistinguishesKinds) {
+  RtpPacket rtp = MakePacket();
+  EXPECT_EQ(Classify(rtp.Serialize()), PayloadKind::kRtp);
+
+  // Minimal RTCP-looking header: version 2, PT 200.
+  std::vector<uint8_t> rtcp{0x80, 200, 0x00, 0x01, 0, 0, 0, 0};
+  EXPECT_EQ(Classify(rtcp), PayloadKind::kRtcp);
+
+  // STUN: two zero bits + magic cookie.
+  std::vector<uint8_t> stun{0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xA4, 0x42};
+  EXPECT_EQ(Classify(stun), PayloadKind::kStun);
+
+  std::vector<uint8_t> garbage{0x55, 0x55, 0x55, 0x55, 0, 0, 0, 0};
+  EXPECT_EQ(Classify(garbage), PayloadKind::kUnknown);
+
+  EXPECT_EQ(Classify({}), PayloadKind::kUnknown);
+}
+
+TEST(Classifier, RtcpBoundaryPayloadTypes) {
+  for (int pt = 200; pt <= 206; ++pt) {
+    std::vector<uint8_t> pkt{0x80, static_cast<uint8_t>(pt), 0, 1, 0, 0, 0, 0};
+    EXPECT_EQ(Classify(pkt), PayloadKind::kRtcp) << pt;
+  }
+  // PT 96 (dynamic media) must classify as RTP even with marker bit set
+  // (wire byte 0xE0 > 199 when marker set on PT 96: 0x80|0x60... check 199).
+  std::vector<uint8_t> rtp{0x80, 96, 0, 1, 0, 0, 0, 0};
+  EXPECT_EQ(Classify(rtp), PayloadKind::kRtp);
+  // Marker bit set on PT 72..79 would alias RTCP 200..207 without the
+  // documented range check; PT 199 with marker = byte value 0xC7 + ...
+  std::vector<uint8_t> marked{0x80, static_cast<uint8_t>(96 | 0x80), 0, 1,
+                              0, 0, 0, 0};
+  EXPECT_EQ(Classify(marked), PayloadKind::kRtp);
+}
+
+}  // namespace
+}  // namespace scallop::rtp

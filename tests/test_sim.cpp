@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "sim/link.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace scallop::sim {
+namespace {
+
+using net::Endpoint;
+using net::Ipv4;
+
+TEST(Scheduler, OrdersByTime) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(300, [&] { order.push_back(3); });
+  s.At(100, [&] { order.push_back(1); });
+  s.At(200, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300);
+}
+
+TEST(Scheduler, FifoAmongEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(100, [&] { order.push_back(1); });
+  s.At(100, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunUntilStopsAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.At(100, [&] { ++fired; });
+  s.At(500, [&] { ++fired; });
+  EXPECT_EQ(s.RunUntil(250), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 250);
+  s.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  uint64_t id = s.At(100, [&] { ++fired; });
+  s.Cancel(id);
+  s.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, EventsScheduleEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.After(10, chain);
+  };
+  s.After(10, chain);
+  s.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(PeriodicTaskTest, RepeatsUntilFalse) {
+  Scheduler s;
+  int runs = 0;
+  PeriodicTask task(s, 100, [&] { return ++runs < 3; });
+  s.RunAll();
+  EXPECT_EQ(runs, 3);
+}
+
+net::PacketPtr MakeTestPacket(size_t size = 1000) {
+  return net::MakePacket(Endpoint{Ipv4(10, 0, 0, 1), 1000},
+                         Endpoint{Ipv4(10, 0, 0, 2), 2000},
+                         std::vector<uint8_t>(size, 0));
+}
+
+TEST(LinkTest, PropagationDelayOnly) {
+  Scheduler s;
+  Link link(s, LinkConfig{.rate_bps = 0, .prop_delay = util::Millis(10)}, 1);
+  util::TimeUs arrival = -1;
+  link.Send(MakeTestPacket(), [&](net::PacketPtr p) { arrival = p->arrival; });
+  s.RunAll();
+  EXPECT_EQ(arrival, util::Millis(10));
+}
+
+TEST(LinkTest, SerializationDelay) {
+  Scheduler s;
+  // 1 Mbit/s: a 1028-byte packet (1000 + 28 header) takes 8224 us.
+  Link link(s, LinkConfig{.rate_bps = 1e6}, 1);
+  util::TimeUs arrival = -1;
+  link.Send(MakeTestPacket(1000),
+            [&](net::PacketPtr p) { arrival = p->arrival; });
+  s.RunAll();
+  EXPECT_EQ(arrival, 8224);
+}
+
+TEST(LinkTest, QueueingDelaysBackToBackPackets) {
+  Scheduler s;
+  Link link(s, LinkConfig{.rate_bps = 1e6}, 1);
+  std::vector<util::TimeUs> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.Send(MakeTestPacket(1000),
+              [&](net::PacketPtr p) { arrivals.push_back(p->arrival); });
+  }
+  s.RunAll();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 8224);
+  EXPECT_EQ(arrivals[1], 2 * 8224);
+  EXPECT_EQ(arrivals[2], 3 * 8224);
+}
+
+TEST(LinkTest, LossRateDropsApproximatelyP) {
+  Scheduler s;
+  Link link(s, LinkConfig{.rate_bps = 0, .loss_rate = 0.2}, 7);
+  int delivered = 0;
+  for (int i = 0; i < 10000; ++i) {
+    link.Send(MakeTestPacket(100), [&](net::PacketPtr) { ++delivered; });
+  }
+  s.RunAll();
+  EXPECT_NEAR(delivered / 10000.0, 0.8, 0.02);
+  EXPECT_EQ(link.stats().lost_packets + link.stats().delivered_packets,
+            link.stats().sent_packets);
+}
+
+TEST(LinkTest, QueueOverflowDrops) {
+  Scheduler s;
+  Link link(s, LinkConfig{.rate_bps = 1e6, .queue_bytes = 3000}, 1);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    link.Send(MakeTestPacket(1000), [&](net::PacketPtr) { ++delivered; });
+  }
+  s.RunAll();
+  EXPECT_LT(delivered, 10);
+  EXPECT_GT(link.stats().dropped_packets, 0u);
+}
+
+TEST(LinkTest, RuntimeRateChangeTakesEffect) {
+  Scheduler s;
+  Link link(s, LinkConfig{.rate_bps = 1e6}, 1);
+  link.set_rate_bps(2e6);
+  util::TimeUs arrival = -1;
+  link.Send(MakeTestPacket(1000),
+            [&](net::PacketPtr p) { arrival = p->arrival; });
+  s.RunAll();
+  EXPECT_EQ(arrival, 4112);
+}
+
+class Sink : public Host {
+ public:
+  void OnPacket(net::PacketPtr pkt) override { received.push_back(std::move(pkt)); }
+  std::vector<net::PacketPtr> received;
+};
+
+TEST(NetworkTest, RoutesBetweenHosts) {
+  Scheduler s;
+  Network net(s, 99);
+  Sink a, b;
+  LinkConfig fast{.rate_bps = 0, .prop_delay = util::Millis(5)};
+  net.Attach(Ipv4(10, 0, 0, 1), &a, fast, fast);
+  net.Attach(Ipv4(10, 0, 0, 2), &b, fast, fast);
+
+  net.Send(MakeTestPacket());
+  s.RunAll();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0]->arrival, util::Millis(10));  // up + down
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(NetworkTest, UnknownDestinationBlackholed) {
+  Scheduler s;
+  Network net(s, 99);
+  Sink a;
+  net.Attach(Ipv4(10, 0, 0, 1), &a, {}, {});
+  net.Send(MakeTestPacket());  // dst 10.0.0.2 not attached
+  s.RunAll();
+  EXPECT_EQ(net.blackholed(), 1u);
+}
+
+TEST(NetworkTest, DownlinkCapacityShapesTraffic) {
+  Scheduler s;
+  Network net(s, 99);
+  Sink a, b;
+  net.Attach(Ipv4(10, 0, 0, 1), &a, {}, {});
+  net.Attach(Ipv4(10, 0, 0, 2), &b, {},
+             LinkConfig{.rate_bps = 1e6});
+  for (int i = 0; i < 5; ++i) net.Send(MakeTestPacket(1000));
+  s.RunAll();
+  ASSERT_EQ(b.received.size(), 5u);
+  // Spaced by the serialization time of the bottleneck downlink.
+  EXPECT_EQ(b.received[4]->arrival - b.received[3]->arrival, 8224);
+}
+
+}  // namespace
+}  // namespace scallop::sim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/campus.hpp"
+
+namespace scallop::trace {
+namespace {
+
+class CampusTest : public ::testing::Test {
+ protected:
+  static const CampusModel& Model() {
+    static CampusModel model;  // default config: full 19,704 meetings
+    return model;
+  }
+};
+
+TEST_F(CampusTest, GeneratesConfiguredMeetingCount) {
+  EXPECT_EQ(Model().meetings().size(), 19'704u);
+}
+
+TEST_F(CampusTest, MeetingSizeDistribution) {
+  int two_party = 0, single = 0, large = 0;
+  for (const auto& m : Model().meetings()) {
+    ASSERT_GE(m.participants, 1);
+    ASSERT_LE(m.participants, 300);
+    if (m.participants == 1) ++single;
+    if (m.participants == 2) ++two_party;
+    if (m.participants >= 25) ++large;
+  }
+  double n = static_cast<double>(Model().meetings().size());
+  // Paper: ~60% two-party.
+  EXPECT_NEAR(two_party / n, 0.58, 0.03);
+  EXPECT_GT(single, 0);
+  EXPECT_GT(large, 10);  // classroom-sized meetings exist (Fig. 2 reaches 25)
+}
+
+TEST_F(CampusTest, StreamCountsRespectComposition) {
+  for (const auto& m : Model().meetings()) {
+    EXPECT_LE(m.audio_streams, m.participants);
+    EXPECT_LE(m.video_streams, m.participants);
+    EXPECT_EQ(m.SfuStreams(), m.SourceStreams() * m.participants);
+  }
+}
+
+TEST_F(CampusTest, Figure2ShapeHolds) {
+  auto rows = Model().StreamsPerMeetingSize(25);
+  ASSERT_GE(rows.size(), 10u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.theoretical_bound, 2 * r.participants * r.participants);
+    // Audio+video streams stay within the 2N^2 envelope; screen shares can
+    // exceed it (the paper observes the same).
+    EXPECT_LE(r.median_streams,
+              static_cast<double>(r.theoretical_bound) * 1.2);
+    EXPECT_GE(r.min_streams, 0);
+    EXPECT_LE(r.min_streams, r.max_streams);
+  }
+  // Paper call-out: 10-party meetings reach ~200 streams.
+  auto ten = std::find_if(rows.begin(), rows.end(),
+                          [](const auto& r) { return r.participants == 10; });
+  ASSERT_NE(ten, rows.end());
+  EXPECT_GT(ten->max_streams, 150);
+  EXPECT_LE(ten->max_streams, 240);
+}
+
+TEST_F(CampusTest, DiurnalPattern) {
+  auto series = Model().ConcurrentMeetings(1.0);
+  // Tuesday 14:00 (day 1) much busier than Tuesday 03:00 and Sunday 14:00.
+  int day_peak = series[24 + 14].second;
+  int night = series[24 + 3].second;
+  int weekend = series[5 * 24 + 14].second;
+  EXPECT_GT(day_peak, 4 * std::max(night, 1));
+  EXPECT_GT(day_peak, 2 * std::max(weekend, 1));
+}
+
+TEST_F(CampusTest, ConcurrencyPeaksNearPaper) {
+  int peak_m = 0, peak_p = 0;
+  for (auto& [t, v] : Model().ConcurrentMeetings(0.25)) {
+    peak_m = std::max(peak_m, v);
+  }
+  for (auto& [t, v] : Model().ConcurrentParticipants(0.25)) {
+    peak_p = std::max(peak_p, v);
+  }
+  EXPECT_GT(peak_m, 180);  // paper ~300
+  EXPECT_LT(peak_m, 450);
+  EXPECT_GT(peak_p, 400);  // paper ~500
+  EXPECT_LT(peak_p, 950);
+}
+
+TEST_F(CampusTest, ByteRatesTrackControlFraction) {
+  auto rates = Model().ByteRates(6.0);
+  ASSERT_FALSE(rates.empty());
+  for (const auto& p : rates) {
+    if (p.software_bps > 0) {
+      EXPECT_NEAR(p.agent_bps / p.software_bps, 0.0035, 1e-9);
+    }
+  }
+}
+
+TEST_F(CampusTest, CaptureSummaryRegime) {
+  auto s = Model().Summarize(12.0);
+  EXPECT_DOUBLE_EQ(s.hours, 12.0);
+  // Same order of magnitude as the paper's capture (which spans a larger
+  // population — all campus Zoom traffic).
+  EXPECT_GT(s.packets_per_second, 20'000);
+  EXPECT_LT(s.packets_per_second, 200'000);
+  EXPECT_GT(s.avg_mbps, 100.0);
+  EXPECT_LT(s.avg_mbps, 900.0);
+  EXPECT_GT(s.flows, 1'000u);
+  EXPECT_GT(s.rtp_streams, 1'000u);
+}
+
+TEST(CampusConfigTest, SmallConfigsWork) {
+  CampusConfig cfg;
+  cfg.total_meetings = 100;
+  cfg.days = 2;
+  CampusModel model(cfg);
+  EXPECT_EQ(model.meetings().size(), 100u);
+  EXPECT_FALSE(model.StreamsPerMeetingSize(10).empty());
+}
+
+TEST(CampusConfigTest, DeterministicForSeed) {
+  CampusConfig cfg;
+  cfg.total_meetings = 500;
+  CampusModel a(cfg), b(cfg);
+  for (size_t i = 0; i < a.meetings().size(); ++i) {
+    EXPECT_EQ(a.meetings()[i].participants, b.meetings()[i].participants);
+    EXPECT_DOUBLE_EQ(a.meetings()[i].start_h, b.meetings()[i].start_h);
+  }
+}
+
+}  // namespace
+}  // namespace scallop::trace
