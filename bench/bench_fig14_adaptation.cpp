@@ -5,34 +5,44 @@
 //   (a) send frame rate per participant
 //   (b) receive frame rate per participant (from each remote sender)
 //   (c) receive bitrate at participant 3 per origin sender
+//
+// The experiment is a ScenarioSpec (same vocabulary as the scenario-matrix
+// tests and examples): the two downlink drops are LinkEvents and the
+// per-5s panel rows are collected by the runner's sample hook.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "testbed/testbed.hpp"
+#include "harness/runner.hpp"
 
 int main() {
   using namespace scallop;
+  using harness::ScenarioRunner;
+  using harness::ScenarioSpec;
   bench::Header("Figure 14: Scallop rate adaptation (P3 constrained twice)");
 
   bool full = bench::FullScale();
   const double kTotal = full ? 400.0 : 150.0;
   const double kFirstDrop = kTotal * 0.35;
   const double kSecondDrop = kTotal * 0.65;
+  const double kStep = 5.0;
 
-  testbed::TestbedConfig cfg;
-  cfg.peer.encoder.start_bitrate_bps = 700'000;
-  cfg.peer.encoder.max_bitrate_bps = 800'000;
-  cfg.peer.encoder.key_frame_interval = util::Seconds(8.3);
-  testbed::ScallopTestbed bed(cfg);
+  ScenarioSpec spec = ScenarioSpec::Uniform("fig14-adaptation", 1, 3, kTotal);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.max_bitrate_bps = 800'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(8.3);
+  spec.sample_interval_s = kStep;
+  // DT1 territory: fits 2 x 0.71 x 800k + audio with headroom.
+  spec.WithLinkEvent(
+      {.at_s = kFirstDrop, .meeting = 0, .participant = 2, .rate_bps = 1.45e6});
+  // DT0 territory: fits 2 x 0.48 x 800k + audio with headroom.
+  spec.WithLinkEvent(
+      {.at_s = kSecondDrop, .meeting = 0, .participant = 2, .rate_bps = 1.05e6});
 
-  client::Peer& p1 = bed.AddPeer();
-  client::Peer& p2 = bed.AddPeer();
-  client::Peer& p3 = bed.AddPeer();
-  auto meeting = bed.CreateMeeting();
-  p1.Join(bed.controller(), meeting);
-  p2.Join(bed.controller(), meeting);
-  p3.Join(bed.controller(), meeting);
+  ScenarioRunner runner(spec);
+  client::Peer& p1 = runner.peer(0, 0);
+  client::Peer& p2 = runner.peer(0, 1);
+  client::Peer& p3 = runner.peer(0, 2);
 
   struct Row {
     double t;
@@ -44,47 +54,40 @@ int main() {
   std::vector<Row> rows;
   int64_t last_frames1 = 0, last_frames2 = 0, last_frames3 = 0;
 
-  double t = 0;
-  const double kStep = 5.0;
-  while (t < kTotal) {
-    if (t < kFirstDrop && t + kStep >= kFirstDrop) {
-      // DT1 territory: fits 2 x 0.71 x 800k + audio with headroom.
-      bed.network().downlink(net::Ipv4(10, 0, 0, 3))->set_rate_bps(1.45e6);
-    }
-    if (t < kSecondDrop && t + kStep >= kSecondDrop) {
-      // DT0 territory: fits 2 x 0.48 x 800k + audio with headroom.
-      bed.network().downlink(net::Ipv4(10, 0, 0, 3))->set_rate_bps(1.05e6);
-    }
-    bed.RunFor(kStep);
-    t += kStep;
-
-    Row r;
-    r.t = t;
+  runner.set_sample_hook([&](double t, ScenarioRunner& r) {
+    Row row;
+    row.t = t;
     auto tx = [&](client::Peer& p, int64_t& last) {
       int64_t now_frames = p.encoder()->frames_produced();
       double fps = static_cast<double>(now_frames - last) / kStep;
       last = now_frames;
       return fps;
     };
-    r.tx1 = tx(p1, last_frames1);
-    r.tx2 = tx(p2, last_frames2);
-    r.tx3 = tx(p3, last_frames3);
-    util::TimeUs now = bed.sched().now();
-    r.rx3_from1 = p3.video_receiver(p1.id())->RecentFps(now, util::Seconds(3));
-    r.rx3_from2 = p3.video_receiver(p2.id())->RecentFps(now, util::Seconds(3));
-    r.rx1_from3 = p1.video_receiver(p3.id())->RecentFps(now, util::Seconds(3));
-    r.rx2_from1 = p2.video_receiver(p1.id())->RecentFps(now, util::Seconds(3));
+    row.tx1 = tx(p1, last_frames1);
+    row.tx2 = tx(p2, last_frames2);
+    row.tx3 = tx(p3, last_frames3);
+    util::TimeUs now = r.bed().sched().now();
+    row.rx3_from1 =
+        p3.video_receiver(p1.id())->RecentFps(now, util::Seconds(3));
+    row.rx3_from2 =
+        p3.video_receiver(p2.id())->RecentFps(now, util::Seconds(3));
+    row.rx1_from3 =
+        p1.video_receiver(p3.id())->RecentFps(now, util::Seconds(3));
+    row.rx2_from1 =
+        p2.video_receiver(p1.id())->RecentFps(now, util::Seconds(3));
     int64_t sec = now / 1'000'000 - 1;
-    r.kbps3_from1 =
+    row.kbps3_from1 =
         p3.video_receiver(p1.id())->received_bytes_series().SumInSecond(sec) *
         8.0 / 1000.0;
-    r.kbps3_from2 =
+    row.kbps3_from2 =
         p3.video_receiver(p2.id())->received_bytes_series().SumInSecond(sec) *
         8.0 / 1000.0;
-    r.dt31 = bed.agent().DecodeTargetOf(p3.id(), p1.id());
-    r.dt32 = bed.agent().DecodeTargetOf(p3.id(), p2.id());
-    rows.push_back(r);
-  }
+    row.dt31 = r.bed().agent().DecodeTargetOf(p3.id(), p1.id());
+    row.dt32 = r.bed().agent().DecodeTargetOf(p3.id(), p2.id());
+    rows.push_back(row);
+  });
+
+  const harness::ScenarioMetrics& metrics = runner.Run();
 
   std::printf("(a,b) frame rates [fps]; (c) receive bitrate at P3 [kbit/s]\n");
   std::printf("%6s | %5s %5s %5s | %7s %7s %7s %7s | %8s %8s | %3s %3s\n",
@@ -107,6 +110,7 @@ int main() {
               static_cast<unsigned long>(s31.frames_undecodable),
               static_cast<unsigned long>(s31.decoder_breaks),
               s31.total_freeze_ms);
+  std::printf("\n%s", metrics.Summary().c_str());
   bench::Note("Paper shape: senders keep 30 fps; P3's receive rate steps "
               "30 -> 15 (-> 7.5) fps with bitrate dropping accordingly; "
               "other participants unaffected.");

@@ -1,0 +1,29 @@
+// CI smoke: a 2-sim-second three-party scenario through the full Scallop
+// stack. Exists so the bench pipeline (ScenarioRunner + bench_common)
+// stays exercised on every push without paying for a paper-scale run;
+// exits nonzero if the stack fails to deliver media at all.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace scallop;
+  bench::Header("Bench smoke: 3-party call, 2 simulated seconds");
+
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform("bench-smoke", 1, 3, 2.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.sample_interval_s = 0.5;
+  harness::ScenarioRunner runner(spec);
+  const harness::ScenarioMetrics& m = runner.Run();
+  std::printf("%s", m.Summary().c_str());
+
+  if (m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0 ||
+      m.switch_packets_in == 0) {
+    std::printf("SMOKE FAILED\n");
+    return 1;
+  }
+  std::printf("SMOKE OK\n");
+  return 0;
+}

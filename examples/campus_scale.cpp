@@ -2,41 +2,48 @@
 // campus model) through one Scallop switch and report the control/data
 // plane split, PRE usage and per-design meeting counts — the workload the
 // paper's §7.1/§7.2 evaluates.
+//
+// The load is expressed as a ScenarioSpec and executed by the
+// ScenarioRunner — the same scenario vocabulary the tests and bench
+// harnesses use — so the example doubles as a template for custom
+// experiments: tweak the spec, rerun, read the metrics.
+#include <algorithm>
 #include <cstdio>
-#include <map>
 
-#include "testbed/testbed.hpp"
+#include "harness/runner.hpp"
 #include "trace/campus.hpp"
 
 using namespace scallop;
 
 int main() {
-  testbed::TestbedConfig cfg;
-  cfg.peer.encoder.start_bitrate_bps = 500'000;
-  testbed::ScallopTestbed bed(cfg);
-
   // Meeting sizes from the campus model's distribution (scaled count).
   trace::CampusConfig campus_cfg;
   campus_cfg.total_meetings = 12;
   campus_cfg.max_participants = 6;
   trace::CampusModel campus(campus_cfg);
 
+  harness::ScenarioSpec spec;
+  spec.name = "campus-scale";
+  spec.duration_s = 20.0;
+  spec.base.peer.encoder.start_bitrate_bps = 500'000;
   int total_peers = 0;
-  int meetings_created = 0;
-  for (const auto& m : campus.meetings()) {
-    if (meetings_created >= 10 || total_peers + m.participants > 30) continue;
-    auto meeting = bed.CreateMeeting();
-    for (int p = 0; p < std::max(2, m.participants); ++p) {
-      bed.AddPeer().Join(bed.controller(), meeting);
-      ++total_peers;
+  for (const auto& rec : campus.meetings()) {
+    if (spec.meetings.size() >= 10 || total_peers + rec.participants > 30) {
+      continue;
     }
-    ++meetings_created;
+    harness::MeetingSpec meeting;
+    meeting.participants.resize(
+        static_cast<size_t>(std::max(2, rec.participants)));
+    total_peers += static_cast<int>(meeting.participants.size());
+    spec.meetings.push_back(std::move(meeting));
   }
-  std::printf("Running %d meetings / %d participants through one switch...\n",
-              meetings_created, total_peers);
-  bed.RunFor(20.0);
 
-  const auto& sw = bed.sw().stats();
+  std::printf("Running %zu meetings / %d participants through one switch...\n",
+              spec.meetings.size(), total_peers);
+  harness::ScenarioRunner runner(spec);
+  const harness::ScenarioMetrics& m = runner.Run();
+
+  const auto& sw = runner.bed().sw().stats();
   double dp_pct = 100.0 *
                   static_cast<double>(sw.packets_in - sw.packets_to_cpu) /
                   static_cast<double>(sw.packets_in);
@@ -45,12 +52,12 @@ int main() {
               static_cast<unsigned long>(sw.packets_in),
               static_cast<unsigned long>(sw.replicas),
               static_cast<unsigned long>(sw.packets_to_cpu), dp_pct);
-  std::printf("PRE: %zu trees, %zu L1 nodes for %d meetings "
+  std::printf("PRE: %zu trees, %zu L1 nodes for %zu meetings "
               "(m=2 meetings share NRA trees)\n",
-              bed.sw().pre().tree_count(), bed.sw().pre().node_count(),
-              meetings_created);
+              runner.bed().sw().pre().tree_count(),
+              runner.bed().sw().pre().node_count(), spec.meetings.size());
 
-  const auto& agent = bed.agent().stats();
+  const auto& agent = runner.bed().agent().stats();
   std::printf("Agent: %lu CPU packets, %lu STUN handled, %lu REMB "
               "processed, %lu rule writes\n",
               static_cast<unsigned long>(agent.cpu_packets),
@@ -58,19 +65,14 @@ int main() {
               static_cast<unsigned long>(agent.remb_processed),
               static_cast<unsigned long>(agent.dataplane_writes));
 
-  // Per-peer QoE sanity: every receiver decodes every sender.
-  int healthy = 0, receivers = 0;
-  for (auto& peer : bed.peers()) {
-    for (auto sender : peer->remote_senders()) {
-      const auto* rx = peer->video_receiver(sender);
-      if (rx == nullptr) continue;
-      ++receivers;
-      if (rx->RecentFps(bed.sched().now(), util::Seconds(3)) > 25.0) {
-        ++healthy;
-      }
-    }
+  // Per-peer QoE sanity from the runner's structured metrics: every
+  // receiver decodes every sender at full frame rate.
+  int healthy = 0;
+  for (const auto& s : m.streams) {
+    if (s.recent_fps > 25.0) ++healthy;
   }
-  std::printf("QoE: %d/%d receiver streams at full frame rate\n", healthy,
-              receivers);
+  std::printf("QoE: %d/%zu receiver streams at full frame rate\n", healthy,
+              m.streams.size());
+  std::printf("\n%s", m.Summary().c_str());
   return 0;
 }

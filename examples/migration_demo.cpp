@@ -2,23 +2,27 @@
 // forwarding designs (two-party -> NRA -> RA-R -> RA-SR and back) by
 // joining participants and changing decode targets; the tree manager
 // migrates make-before-break and the media never stops (paper §6.1).
+//
+// The staggered joins are a ScenarioSpec churn schedule; the decode-target
+// script is applied stepwise between RunUntil calls.
 #include <cstdio>
 
-#include "testbed/testbed.hpp"
+#include "harness/runner.hpp"
 
 using namespace scallop;
 
 namespace {
 
-const char* Design(testbed::ScallopTestbed& bed, core::MeetingId meeting) {
-  auto d = bed.agent().tree_manager().CurrentDesign(meeting);
+const char* Design(harness::ScenarioRunner& runner, core::MeetingId meeting) {
+  auto d = runner.bed().agent().tree_manager().CurrentDesign(meeting);
   return d.has_value() ? core::TreeDesignName(*d) : "none";
 }
 
-void Report(testbed::ScallopTestbed& bed, core::MeetingId meeting,
+void Report(harness::ScenarioRunner& runner, core::MeetingId meeting,
             const char* stage) {
+  testbed::ScallopTestbed& bed = runner.bed();
   std::printf("%-44s design=%-9s trees=%zu nodes=%zu migrations=%lu\n",
-              stage, Design(bed, meeting), bed.sw().pre().tree_count(),
+              stage, Design(runner, meeting), bed.sw().pre().tree_count(),
               bed.sw().pre().node_count(),
               static_cast<unsigned long>(
                   bed.agent().tree_manager().stats().migrations));
@@ -27,46 +31,48 @@ void Report(testbed::ScallopTestbed& bed, core::MeetingId meeting,
 }  // namespace
 
 int main() {
-  testbed::TestbedConfig cfg;
-  cfg.peer.encoder.start_bitrate_bps = 600'000;
-  testbed::ScallopTestbed bed(cfg);
-  auto meeting = bed.CreateMeeting();
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform("migration-demo", 1, 4, 24.0);
+  spec.base.peer.encoder.start_bitrate_bps = 600'000;
+  // A and B are present from the start; C and D arrive later, each join
+  // migrating the meeting to a richer forwarding design. Joins sit
+  // between the report times (4/8/12 s) so each stage is observed first.
+  spec.WithJoin(0, 2, 4.5).WithJoin(0, 3, 8.5);
 
-  client::Peer& a = bed.AddPeer();
-  client::Peer& b = bed.AddPeer();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  bed.RunFor(4.0);
-  Report(bed, meeting, "2 participants (unicast fast path):");
+  harness::ScenarioRunner runner(spec);
+  client::Peer& a = runner.peer(0, 0);
+  client::Peer& b = runner.peer(0, 1);
+  client::Peer& c = runner.peer(0, 2);
+  client::Peer& d = runner.peer(0, 3);
+  auto meeting = runner.meeting_id(0);
 
-  client::Peer& c = bed.AddPeer();
-  c.Join(bed.controller(), meeting);
-  bed.RunFor(4.0);
-  Report(bed, meeting, "3rd joins (no adaptation):");
+  runner.RunUntil(4.0);
+  Report(runner, meeting, "2 participants (unicast fast path):");
 
-  client::Peer& d = bed.AddPeer();
-  d.Join(bed.controller(), meeting);
-  bed.RunFor(4.0);
-  Report(bed, meeting, "4th joins:");
+  runner.RunUntil(8.0);
+  Report(runner, meeting, "3rd joins (no adaptation):");
+
+  runner.RunUntil(12.0);
+  Report(runner, meeting, "4th joins:");
 
   // Receiver-uniform adaptation: C wants 15 fps from everyone -> RA-R.
   for (client::Peer* sender : {&a, &b, &d}) {
-    bed.agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 1);
+    runner.bed().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 1);
   }
-  bed.RunFor(4.0);
-  Report(bed, meeting, "C at 15 fps from all senders:");
+  runner.RunUntil(16.0);
+  Report(runner, meeting, "C at 15 fps from all senders:");
 
   // Sender-specific: C wants full rate from A only -> RA-SR.
-  bed.agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
-  bed.RunFor(4.0);
-  Report(bed, meeting, "C full rate from A, 15 fps from B/D:");
+  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
+  runner.RunUntil(20.0);
+  Report(runner, meeting, "C full rate from A, 15 fps from B/D:");
 
   // Back to full rate for everyone -> NRA again.
   for (client::Peer* sender : {&a, &b, &d}) {
-    bed.agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 2);
+    runner.bed().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 2);
   }
-  bed.RunFor(4.0);
-  Report(bed, meeting, "everyone full rate again:");
+  runner.RunUntil(24.0);
+  Report(runner, meeting, "everyone full rate again:");
 
   // Media survived every migration.
   std::printf("\nContinuity through migrations:\n");

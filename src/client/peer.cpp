@@ -79,9 +79,30 @@ void Peer::Leave() {
     server_ = nullptr;
   }
   tasks_.clear();
+  // Tear down the receive pipelines like a real client closing its
+  // decoders: keeping them would misattribute in-flight or post-rejoin
+  // packets on reused ports to dead legs.
+  legs_.clear();
+  port_to_sender_.clear();
+  // Drop the retransmission history: a rejoin restarts the packetizer in
+  // the same sequence space (deterministic per-peer seed), so serving
+  // NACKs from the previous session would retransmit stale frames under
+  // live sequence numbers — exactly the conflicting-duplicate corruption
+  // the rewriter exists to prevent.
+  history_.clear();
+  history_order_.clear();
+  stun_inflight_.clear();
 }
 
 net::Endpoint Peer::AllocateLocalLeg(core::ParticipantId sender) {
+  // Defensive: if a leg for this sender already exists (a renegotiation
+  // without an intervening Leave), replace it — emplace below would
+  // silently keep the stale one and the new port mapping would dangle.
+  auto stale = legs_.find(sender);
+  if (stale != legs_.end()) {
+    port_to_sender_.erase(stale->second.local.port);
+    legs_.erase(stale);
+  }
   net::Endpoint local{cfg_.address, next_local_port_++};
   RemoteLeg leg;
   leg.sender = sender;

@@ -88,6 +88,7 @@ class Peer : public sim::Host, public core::SignalingClient {
   void OnRemoteSenderLeft(core::ParticipantId sender) override;
 
   core::ParticipantId id() const { return id_; }
+  net::Ipv4 address() const { return cfg_.address; }
   uint32_t video_ssrc() const { return video_ssrc_; }
   uint32_t audio_ssrc() const { return audio_ssrc_; }
   const PeerStats& stats() const { return stats_; }

@@ -1,0 +1,126 @@
+#include "harness/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace scallop::harness {
+
+namespace {
+
+// All doubles are rendered with fixed precision so the byte-stability
+// guarantee does not depend on locale or shortest-round-trip formatting.
+void Row(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ScenarioMetrics::ToCsv() const {
+  std::string out;
+  Row(out, "scenario,%s,seed,%" PRIu64 ",duration_s,%.2f\n", scenario.c_str(),
+      seed, duration_s);
+
+  Row(out,
+      "aggregate,switch_in,switch_out,replicas,seq_rewritten,seq_dropped,"
+      "svc_suppressed,remb_filtered,remb_forwarded,dt_changes,filter_flips,"
+      "trees_built,migrations,cpu_packets,blackholed\n");
+  Row(out,
+      "aggregate,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+      ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+      switch_packets_in, switch_packets_out, switch_replicas, seq_rewritten,
+      seq_dropped, svc_suppressed, remb_filtered, remb_forwarded, dt_changes,
+      filter_flips, trees_built, tree_migrations, agent_cpu_packets,
+      blackholed);
+
+  Row(out, "meeting,index,id,final_design,participants_at_end\n");
+  for (const auto& m : meetings) {
+    Row(out, "meeting,%d,%u,%s,%d\n", m.index, m.id, m.final_design.c_str(),
+        m.participants_at_end);
+  }
+
+  Row(out,
+      "peer,meeting,index,id,profile,present,seconds,frames_sent,"
+      "audio_rx,min_frames,max_frames,streams,breaks,conflicts\n");
+  for (const auto& p : peers) {
+    Row(out,
+        "peer,%d,%d,%u,%s,%d,%.2f,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%d,%" PRIu64 ",%" PRIu64 "\n",
+        p.meeting, p.index, p.id, p.profile.c_str(), p.present_at_end ? 1 : 0,
+        p.seconds_in_meeting, p.frames_sent, p.audio_packets_received,
+        p.min_frames_decoded, p.max_frames_decoded, p.active_streams,
+        p.total_decoder_breaks, p.total_conflicting_duplicates);
+  }
+
+  Row(out,
+      "stream,meeting,receiver,receiver_id,sender_id,packets,bytes,"
+      "decoded,undecodable,breaks,conflicts,nacks,recovered,freeze_ms,"
+      "fps\n");
+  for (const auto& s : streams) {
+    Row(out,
+        "stream,%d,%d,%u,%u,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.2f,%.2f\n",
+        s.meeting, s.receiver, s.receiver_id, s.sender_id, s.packets_received,
+        s.bytes_received, s.frames_decoded, s.frames_undecodable,
+        s.decoder_breaks, s.conflicting_duplicates, s.nacks_sent,
+        s.recovered_packets, s.freeze_ms, s.recent_fps);
+  }
+
+  Row(out, "sample,t_s,frames_decoded,seq_rewritten,dt_changes,migrations\n");
+  for (const auto& t : timeline) {
+    Row(out,
+        "sample,%.2f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+        t.t_s, t.frames_decoded_total, t.seq_rewritten, t.dt_changes,
+        t.tree_migrations);
+  }
+  return out;
+}
+
+std::string ScenarioMetrics::Summary() const {
+  std::string out;
+  uint64_t decoded = 0;
+  double freeze = 0.0;
+  for (const auto& s : streams) {
+    decoded += s.frames_decoded;
+    freeze += s.freeze_ms;
+  }
+  Row(out,
+      "[%s] seed=%" PRIu64 " %.0fs: %zu peers, %zu streams, %" PRIu64
+      " frames decoded, floor=%" PRIu64 " frames, %" PRIu64
+      " rewrite violations, %.0f ms total freeze\n",
+      scenario.c_str(), seed, duration_s, peers.size(), streams.size(),
+      decoded, WorstDeliveryFloor(), RewriteViolations(), freeze);
+  Row(out,
+      "    switch: %" PRIu64 " in / %" PRIu64 " out, %" PRIu64
+      " seq rewrites, %" PRIu64 " SVC drops; agent: %" PRIu64
+      " adaptations, %" PRIu64 " filter flips, %" PRIu64 " migrations\n",
+      switch_packets_in, switch_packets_out, seq_rewritten, svc_suppressed,
+      dt_changes, filter_flips, tree_migrations);
+  return out;
+}
+
+uint64_t ScenarioMetrics::WorstDeliveryFloor() const {
+  uint64_t floor = UINT64_MAX;
+  for (const auto& p : peers) {
+    if (!p.present_at_end || p.active_streams == 0) continue;
+    floor = std::min(floor, p.min_frames_decoded);
+  }
+  return floor == UINT64_MAX ? 0 : floor;
+}
+
+uint64_t ScenarioMetrics::RewriteViolations() const {
+  uint64_t v = 0;
+  for (const auto& s : streams) {
+    v += s.decoder_breaks + s.conflicting_duplicates;
+  }
+  return v;
+}
+
+}  // namespace scallop::harness

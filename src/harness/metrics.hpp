@@ -1,0 +1,110 @@
+// Structured metrics emitted by a ScenarioRunner run: one row per
+// (receiver <- sender) stream, one row per peer, one row per meeting/tree,
+// plus switch/agent/data-plane aggregates and a sampled timeline. The CSV
+// rendering is byte-stable for a fixed spec + seed, which is what the
+// determinism regression test pins down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace scallop::harness {
+
+// One directed media stream as seen by its receiver at collection time.
+struct StreamMetrics {
+  int meeting = 0;
+  int receiver = 0;  // participant index within the meeting
+  core::ParticipantId receiver_id = 0;
+  core::ParticipantId sender_id = 0;
+  uint64_t packets_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t frames_decoded = 0;
+  uint64_t frames_undecodable = 0;
+  uint64_t decoder_breaks = 0;          // gap-free rewriting: must stay 0
+  uint64_t conflicting_duplicates = 0;  // gap-free rewriting: must stay 0
+  uint64_t nacks_sent = 0;
+  uint64_t recovered_packets = 0;
+  double freeze_ms = 0.0;
+  double recent_fps = 0.0;  // over the final 3 s of the run
+};
+
+// Per-peer rollup (delivery floor + churn bookkeeping).
+struct PeerMetrics {
+  int meeting = 0;
+  int index = 0;
+  core::ParticipantId id = 0;
+  std::string profile;
+  bool present_at_end = false;  // false for churned-out participants
+  double seconds_in_meeting = 0.0;
+  uint64_t frames_sent = 0;
+  uint64_t audio_packets_received = 0;
+  // Minimum frames decoded over this peer's current receive legs — the
+  // starvation indicator ("no peer starves" keys off this).
+  uint64_t min_frames_decoded = 0;
+  uint64_t max_frames_decoded = 0;
+  int active_streams = 0;
+  uint64_t total_decoder_breaks = 0;
+  uint64_t total_conflicting_duplicates = 0;
+};
+
+struct MeetingMetrics {
+  int index = 0;
+  core::MeetingId id = 0;
+  std::string final_design;  // "2-party", "NRA", "RA-R", "RA-SR" or "none"
+  int participants_at_end = 0;
+};
+
+// One timeline sample (every ScenarioSpec::sample_interval_s).
+struct TimelineSample {
+  double t_s = 0.0;
+  // Cumulative across all peers, including legs since torn down by
+  // churn/failover — monotone even when receivers are recreated.
+  uint64_t frames_decoded_total = 0;
+  uint64_t seq_rewritten = 0;         // cumulative data-plane rewrites
+  uint64_t dt_changes = 0;            // cumulative adaptation events
+  uint64_t tree_migrations = 0;
+};
+
+struct ScenarioMetrics {
+  std::string scenario;
+  uint64_t seed = 0;
+  double duration_s = 0.0;
+
+  std::vector<StreamMetrics> streams;
+  std::vector<PeerMetrics> peers;
+  std::vector<MeetingMetrics> meetings;
+  std::vector<TimelineSample> timeline;
+
+  // Switch / data-plane / agent aggregates.
+  uint64_t switch_packets_in = 0;
+  uint64_t switch_packets_out = 0;
+  uint64_t switch_replicas = 0;
+  uint64_t seq_rewritten = 0;
+  uint64_t seq_dropped = 0;
+  uint64_t svc_suppressed = 0;
+  uint64_t remb_filtered = 0;
+  uint64_t remb_forwarded = 0;
+  uint64_t dt_changes = 0;  // adaptation events
+  uint64_t filter_flips = 0;
+  uint64_t trees_built = 0;
+  uint64_t tree_migrations = 0;
+  uint64_t agent_cpu_packets = 0;
+  uint64_t blackholed = 0;
+
+  // Byte-stable rendering: identical spec + seed => identical string.
+  std::string ToCsv() const;
+  // Human-oriented digest for benches/examples.
+  std::string Summary() const;
+
+  // Lowest min_frames_decoded over peers present at the end with at least
+  // one active stream (the scenario-matrix starvation assertion).
+  uint64_t WorstDeliveryFloor() const;
+  // Sum of decoder breaks + conflicting duplicates over all streams (the
+  // gap-free sequence-rewriting assertion).
+  uint64_t RewriteViolations() const;
+};
+
+}  // namespace scallop::harness

@@ -1,0 +1,321 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace scallop::harness {
+
+ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
+  testbed::TestbedConfig base = spec_.base;
+  base.seed = spec_.seed;
+  bed_ = std::make_unique<testbed::ScallopTestbed>(base);
+
+  for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
+    meeting_ids_.push_back(bed_->CreateMeeting());
+  }
+
+  // Participants are created (and their access links attached) up front in
+  // meeting-major order so addressing and per-peer seeding depend only on
+  // the spec grid, never on join timing.
+  slots_.reserve(static_cast<size_t>(spec_.TotalParticipants()));
+  for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
+    const auto& meeting = spec_.meetings[mi];
+    for (size_t pi = 0; pi < meeting.participants.size(); ++pi) {
+      const ParticipantSpec& ps = meeting.participants[pi];
+      Slot slot;
+      slot.peer = &bed_->AddPeer(base.peer, ps.link.up, ps.link.down);
+      slot.meeting = static_cast<int>(mi);
+      slot.index = static_cast<int>(pi);
+      slot.meeting_id = meeting_ids_[mi];
+      slot.profile = ps.link.name;
+      slot.spec = ps;
+      slots_.push_back(std::move(slot));
+    }
+  }
+
+  // Fail fast on malformed link events: the fluent spec helpers validate
+  // their indices at build time, but LinkEvent is aggregate-initialized,
+  // so a typo'd index would otherwise surface as an uncaught
+  // std::out_of_range deep inside a scheduled lambda mid-run.
+  for (size_t i = 0; i < spec_.link_events.size(); ++i) {
+    const LinkEvent& ev = spec_.link_events[i];
+    if (ev.meeting < 0 ||
+        static_cast<size_t>(ev.meeting) >= spec_.meetings.size() ||
+        ev.participant < 0 ||
+        static_cast<size_t>(ev.participant) >=
+            spec_.meetings[static_cast<size_t>(ev.meeting)]
+                .participants.size()) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "' link_events[" +
+          std::to_string(i) + "] targets (meeting=" +
+          std::to_string(ev.meeting) + ", participant=" +
+          std::to_string(ev.participant) + ") outside the spec grid");
+    }
+  }
+
+  ScheduleSpec();
+}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+void ScenarioRunner::ScheduleSpec() {
+  sim::Scheduler& sched = bed_->sched();
+
+  size_t si = 0;
+  for (const auto& meeting : spec_.meetings) {
+    for (const auto& ps : meeting.participants) {
+      Slot* slot = &slots_[si++];
+      sched.At(util::Seconds(ps.join_at_s), [this, slot] { JoinSlot(*slot); });
+      if (ps.leave_at_s >= 0.0) {
+        sched.At(util::Seconds(ps.leave_at_s),
+                 [this, slot] { LeaveSlot(*slot); });
+      }
+      if (ps.rejoin_at_s >= 0.0) {
+        sched.At(util::Seconds(ps.rejoin_at_s),
+                 [this, slot] { JoinSlot(*slot); });
+      }
+    }
+  }
+
+  for (const LinkEvent& ev : spec_.link_events) {
+    sched.At(util::Seconds(ev.at_s), [this, ev] {
+      Slot& slot = slot_at(ev.meeting, ev.participant);
+      sim::Link* link = ev.uplink
+                            ? bed_->network().uplink(slot.peer->address())
+                            : bed_->network().downlink(slot.peer->address());
+      if (link == nullptr) return;
+      if (ev.rate_bps >= 0.0) link->set_rate_bps(ev.rate_bps);
+      if (ev.loss_rate >= 0.0) link->set_loss_rate(ev.loss_rate);
+      if (ev.prop_delay >= 0) link->set_prop_delay(ev.prop_delay);
+      if (ev.jitter_stddev >= 0) link->set_jitter_stddev(ev.jitter_stddev);
+    });
+  }
+
+  if (spec_.failover_at_s >= 0.0) {
+    sched.At(util::Seconds(spec_.failover_at_s), [this] { FailoverBegin(); });
+    sched.At(util::Seconds(spec_.failover_at_s + spec_.failover_blackout_s),
+             [this] { FailoverEnd(); });
+  }
+
+  if (spec_.sample_interval_s > 0.0) {
+    for (double t = spec_.sample_interval_s; t <= spec_.duration_s + 1e-9;
+         t += spec_.sample_interval_s) {
+      sched.At(util::Seconds(t), [this] { Sample(); });
+    }
+  }
+}
+
+void ScenarioRunner::JoinSlot(Slot& slot) {
+  if (slot.present) return;
+  slot.peer->Join(bed_->controller(), slot.meeting_id);
+  slot.present = true;
+  slot.joined_at_s = now_s();
+}
+
+void ScenarioRunner::LeaveSlot(Slot& slot) {
+  if (!slot.present) return;
+  // Leaving destroys receive pipelines on both sides (the leaver's own
+  // legs now, everyone's leg toward the leaver via OnRemoteSenderLeft);
+  // bank their decoded-frame counts first so timeline totals stay
+  // cumulative.
+  for (core::ParticipantId sender : slot.peer->remote_senders()) {
+    if (const auto* rx = slot.peer->video_receiver(sender)) {
+      retired_frames_decoded_ += rx->stats().frames_decoded;
+    }
+  }
+  const core::ParticipantId leaver = slot.peer->id();
+  for (Slot& other : slots_) {
+    if (&other == &slot) continue;
+    if (const auto* rx = other.peer->video_receiver(leaver)) {
+      retired_frames_decoded_ += rx->stats().frames_decoded;
+    }
+  }
+  slot.peer->Leave();
+  slot.present = false;
+  slot.presence_s += now_s() - slot.joined_at_s;
+}
+
+void ScenarioRunner::FailoverBegin() {
+  // Switch failover: the data plane's forwarding state (streams, trees,
+  // rewriters) is lost and the controller re-signals every meeting onto
+  // the standby — in this single-switch simulation, the same switch
+  // restarted. The recovery path (full renegotiation, tree rebuild,
+  // PLI-driven keyframe resync) is the one a real standby would take.
+  // The blackout between Begin and End lets in-flight pre-failover media
+  // drain; the stream table is keyed by (src, ssrc), which a rejoining
+  // client reuses, so stale packets would otherwise be forwarded onto the
+  // rebuilt legs as conflicting duplicates.
+  failover_returnees_.clear();
+  for (Slot& slot : slots_) {
+    if (!slot.present) continue;
+    failover_returnees_.push_back(&slot);
+    LeaveSlot(slot);
+  }
+}
+
+void ScenarioRunner::FailoverEnd() {
+  const double t = now_s();
+  for (Slot* slot : failover_returnees_) {
+    // A participant whose scheduled departure fell inside the blackout
+    // stays gone: failover recovery must not resurrect someone the spec
+    // says has left by now.
+    const ParticipantSpec& ps = slot->spec;
+    bool left = ps.leave_at_s >= 0.0 && t >= ps.leave_at_s &&
+                !(ps.rejoin_at_s >= 0.0 && t >= ps.rejoin_at_s);
+    if (!left) JoinSlot(*slot);
+  }
+  failover_returnees_.clear();
+}
+
+void ScenarioRunner::Sample() {
+  TimelineSample s;
+  s.t_s = now_s();
+  s.frames_decoded_total = retired_frames_decoded_;
+  for (const Slot& slot : slots_) {
+    for (core::ParticipantId sender : slot.peer->remote_senders()) {
+      const auto* rx = slot.peer->video_receiver(sender);
+      if (rx != nullptr) s.frames_decoded_total += rx->stats().frames_decoded;
+    }
+  }
+  s.seq_rewritten = bed_->dataplane().stats().seq_rewritten;
+  s.dt_changes = bed_->agent().stats().dt_changes;
+  s.tree_migrations = bed_->agent().tree_manager().stats().migrations;
+  timeline_.push_back(s);
+  if (sample_hook_) sample_hook_(s.t_s, *this);
+}
+
+const ScenarioMetrics& ScenarioRunner::Run() {
+  RunUntil(spec_.duration_s);
+  if (!finished_) {
+    final_metrics_ = Collect();
+    finished_ = true;
+  }
+  return final_metrics_;
+}
+
+void ScenarioRunner::RunUntil(double t_s) { bed_->RunUntil(t_s); }
+
+double ScenarioRunner::now_s() const {
+  return util::ToSeconds(bed_->sched().now());
+}
+
+client::Peer& ScenarioRunner::peer(int meeting, int participant) {
+  return *slot_at(meeting, participant).peer;
+}
+
+core::MeetingId ScenarioRunner::meeting_id(int meeting) const {
+  return meeting_ids_.at(static_cast<size_t>(meeting));
+}
+
+bool ScenarioRunner::present(int meeting, int participant) const {
+  return slot_at(meeting, participant).present;
+}
+
+ScenarioRunner::Slot& ScenarioRunner::slot_at(int meeting, int participant) {
+  return const_cast<Slot&>(
+      static_cast<const ScenarioRunner*>(this)->slot_at(meeting, participant));
+}
+
+const ScenarioRunner::Slot& ScenarioRunner::slot_at(int meeting,
+                                                    int participant) const {
+  size_t base = 0;
+  for (int mi = 0; mi < meeting; ++mi) {
+    base += spec_.meetings.at(static_cast<size_t>(mi)).participants.size();
+  }
+  return slots_.at(base + static_cast<size_t>(participant));
+}
+
+ScenarioMetrics ScenarioRunner::Collect() const {
+  ScenarioMetrics m;
+  m.scenario = spec_.name;
+  m.seed = spec_.seed;
+  m.duration_s = now_s();
+  const util::TimeUs now = bed_->sched().now();
+
+  for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
+    MeetingMetrics mm;
+    mm.index = static_cast<int>(mi);
+    mm.id = meeting_ids_[mi];
+    auto design = bed_->agent().tree_manager().CurrentDesign(meeting_ids_[mi]);
+    mm.final_design =
+        design.has_value() ? core::TreeDesignName(*design) : "none";
+    for (const Slot& slot : slots_) {
+      if (slot.meeting == mm.index && slot.present) ++mm.participants_at_end;
+    }
+    m.meetings.push_back(std::move(mm));
+  }
+
+  for (const Slot& slot : slots_) {
+    PeerMetrics pm;
+    pm.meeting = slot.meeting;
+    pm.index = slot.index;
+    pm.id = slot.peer->id();
+    pm.profile = slot.profile;
+    pm.present_at_end = slot.present;
+    pm.seconds_in_meeting =
+        slot.presence_s + (slot.present ? now_s() - slot.joined_at_s : 0.0);
+    if (const auto* enc = slot.peer->encoder()) {
+      pm.frames_sent = static_cast<uint64_t>(enc->frames_produced());
+    }
+
+    uint64_t min_frames = UINT64_MAX;
+    for (core::ParticipantId sender : slot.peer->remote_senders()) {
+      if (const auto* audio = slot.peer->audio_receiver(sender)) {
+        pm.audio_packets_received += audio->packets_received();
+      }
+      const auto* rx = slot.peer->video_receiver(sender);
+      if (rx == nullptr) continue;
+      ++pm.active_streams;
+      const auto& st = rx->stats();
+      min_frames = std::min(min_frames, st.frames_decoded);
+      pm.max_frames_decoded = std::max(pm.max_frames_decoded,
+                                       st.frames_decoded);
+      pm.total_decoder_breaks += st.decoder_breaks;
+      pm.total_conflicting_duplicates += st.conflicting_duplicates;
+
+      StreamMetrics sm;
+      sm.meeting = slot.meeting;
+      sm.receiver = slot.index;
+      sm.receiver_id = slot.peer->id();
+      sm.sender_id = sender;
+      sm.packets_received = st.packets_received;
+      sm.bytes_received = st.bytes_received;
+      sm.frames_decoded = st.frames_decoded;
+      sm.frames_undecodable = st.frames_undecodable;
+      sm.decoder_breaks = st.decoder_breaks;
+      sm.conflicting_duplicates = st.conflicting_duplicates;
+      sm.nacks_sent = st.nacks_sent;
+      sm.recovered_packets = st.recovered_packets;
+      sm.freeze_ms = st.total_freeze_ms;
+      sm.recent_fps = rx->RecentFps(now, util::Seconds(3));
+      m.streams.push_back(std::move(sm));
+    }
+    pm.min_frames_decoded = min_frames == UINT64_MAX ? 0 : min_frames;
+    m.peers.push_back(std::move(pm));
+  }
+
+  m.timeline = timeline_;
+
+  const auto& sw = bed_->sw().stats();
+  m.switch_packets_in = sw.packets_in;
+  m.switch_packets_out = sw.packets_out;
+  m.switch_replicas = sw.replicas;
+  const auto& dp = bed_->dataplane().stats();
+  m.seq_rewritten = dp.seq_rewritten;
+  m.seq_dropped = dp.seq_dropped;
+  m.svc_suppressed = dp.svc_suppressed;
+  m.remb_filtered = dp.remb_filtered;
+  m.remb_forwarded = dp.remb_forwarded;
+  const auto& agent = bed_->agent().stats();
+  m.dt_changes = agent.dt_changes;
+  m.filter_flips = agent.filter_flips;
+  m.agent_cpu_packets = agent.cpu_packets;
+  const auto& trees = bed_->agent().tree_manager().stats();
+  m.trees_built = trees.trees_built;
+  m.tree_migrations = trees.migrations;
+  m.blackholed = bed_->network().blackholed();
+  return m;
+}
+
+}  // namespace scallop::harness

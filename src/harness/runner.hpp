@@ -1,0 +1,86 @@
+// Executes a ScenarioSpec deterministically on top of the Scallop testbed:
+// builds the switch + controller stack, creates every meeting and
+// participant, schedules joins/leaves/link-degradations/failover as
+// discrete events, samples a timeline, and collects structured metrics.
+// The same spec + seed always produces byte-identical ToCsv() output.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "harness/metrics.hpp"
+#include "harness/scenario.hpp"
+
+namespace scallop::harness {
+
+class ScenarioRunner {
+ public:
+  // Invoked at every sample interval with the scenario-relative time.
+  using SampleHook = std::function<void(double t_s, ScenarioRunner&)>;
+
+  explicit ScenarioRunner(const ScenarioSpec& spec);
+  ~ScenarioRunner();
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  // Runs the whole scenario and returns the collected metrics.
+  const ScenarioMetrics& Run();
+
+  // Stepwise execution for benches that interleave probing with the run:
+  // advances to scenario-relative time t_s (no-op if already past).
+  void RunUntil(double t_s);
+  // Collects metrics at the current simulation time.
+  ScenarioMetrics Collect() const;
+
+  // Must be set before the first RunUntil/Run call to see every sample.
+  void set_sample_hook(SampleHook hook) { sample_hook_ = std::move(hook); }
+
+  const ScenarioSpec& spec() const { return spec_; }
+  testbed::ScallopTestbed& bed() { return *bed_; }
+  // Scenario-relative current time in seconds.
+  double now_s() const;
+
+  // Lookup by (meeting index, participant index) from the spec grid.
+  client::Peer& peer(int meeting, int participant);
+  core::MeetingId meeting_id(int meeting) const;
+  // Whether the participant is currently in its meeting.
+  bool present(int meeting, int participant) const;
+
+ private:
+  struct Slot {
+    client::Peer* peer = nullptr;
+    int meeting = 0;
+    int index = 0;
+    core::MeetingId meeting_id = 0;
+    std::string profile;
+    ParticipantSpec spec;
+    bool present = false;
+    double joined_at_s = 0.0;
+    double presence_s = 0.0;  // accumulated over completed stays
+  };
+
+  void ScheduleSpec();
+  void JoinSlot(Slot& slot);
+  void LeaveSlot(Slot& slot);
+  void FailoverBegin();
+  void FailoverEnd();
+  void Sample();
+  Slot& slot_at(int meeting, int participant);
+  const Slot& slot_at(int meeting, int participant) const;
+
+  ScenarioSpec spec_;
+  std::unique_ptr<testbed::ScallopTestbed> bed_;
+  std::vector<core::MeetingId> meeting_ids_;
+  std::vector<Slot> slots_;  // meeting-major order
+  std::vector<Slot*> failover_returnees_;
+  // Frames decoded on legs that churn has since torn down (the leaver's
+  // own legs and everyone's legs toward the leaver); keeps the timeline's
+  // frames_decoded_total cumulative and monotone across leaves/failover.
+  uint64_t retired_frames_decoded_ = 0;
+  std::vector<TimelineSample> timeline_;
+  SampleHook sample_hook_;
+  ScenarioMetrics final_metrics_;
+  bool finished_ = false;
+};
+
+}  // namespace scallop::harness

@@ -1,0 +1,105 @@
+#include "harness/scenario.hpp"
+
+namespace scallop::harness {
+
+namespace {
+
+// The testbed's default client access shape, so scenario runs stay in
+// lockstep with direct-testbed runs if those defaults are ever retuned.
+sim::LinkConfig DefaultAccess() {
+  return testbed::TestbedConfig{}.client_uplink;
+}
+
+}  // namespace
+
+LinkProfile LinkProfile::Default() {
+  return LinkProfile{"default", DefaultAccess(), DefaultAccess()};
+}
+
+LinkProfile LinkProfile::Lossy(double down_loss, double up_loss) {
+  LinkProfile p = Default();
+  p.name = "lossy";
+  p.down.loss_rate = down_loss;
+  p.up.loss_rate = up_loss;
+  return p;
+}
+
+LinkProfile LinkProfile::Constrained(double down_bps) {
+  LinkProfile p = Default();
+  p.name = "constrained";
+  p.down.rate_bps = down_bps;
+  return p;
+}
+
+LinkProfile LinkProfile::Asymmetric(double up_bps, double down_bps) {
+  LinkProfile p = Default();
+  p.name = "asymmetric";
+  p.up.rate_bps = up_bps;
+  p.down.rate_bps = down_bps;
+  return p;
+}
+
+LinkProfile LinkProfile::HighLatency(util::DurationUs one_way) {
+  LinkProfile p = Default();
+  p.name = "high-latency";
+  p.up.prop_delay = one_way;
+  p.down.prop_delay = one_way;
+  return p;
+}
+
+ScenarioSpec ScenarioSpec::Uniform(std::string name, int meetings,
+                                   int participants, double duration_s,
+                                   uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.seed = seed;
+  spec.duration_s = duration_s;
+  spec.meetings.resize(static_cast<size_t>(meetings));
+  for (auto& m : spec.meetings) {
+    m.participants.resize(static_cast<size_t>(participants));
+  }
+  return spec;
+}
+
+ScenarioSpec& ScenarioSpec::WithLink(int meeting, int participant,
+                                     LinkProfile profile) {
+  meetings.at(static_cast<size_t>(meeting))
+      .participants.at(static_cast<size_t>(participant))
+      .link = std::move(profile);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithJoin(int meeting, int participant,
+                                     double join_at_s) {
+  meetings.at(static_cast<size_t>(meeting))
+      .participants.at(static_cast<size_t>(participant))
+      .join_at_s = join_at_s;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithLeave(int meeting, int participant,
+                                      double leave_at_s, double rejoin_at_s) {
+  auto& p = meetings.at(static_cast<size_t>(meeting))
+                .participants.at(static_cast<size_t>(participant));
+  p.leave_at_s = leave_at_s;
+  p.rejoin_at_s = rejoin_at_s;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithLinkEvent(LinkEvent ev) {
+  link_events.push_back(ev);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithFailover(double at_s) {
+  failover_at_s = at_s;
+  return *this;
+}
+
+int ScenarioSpec::TotalParticipants() const {
+  int n = 0;
+  for (const auto& m : meetings) n += static_cast<int>(m.participants.size());
+  return n;
+}
+
+}  // namespace scallop::harness

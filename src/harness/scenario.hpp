@@ -1,0 +1,108 @@
+// Declarative scenario vocabulary shared by tests, benchmark harnesses and
+// examples. A ScenarioSpec says *what* happens in an experiment — how many
+// meetings with how many participants, who joins and leaves when, what each
+// client's access links look like, which links degrade mid-run, and whether
+// the switch fails over — and the ScenarioRunner (runner.hpp) executes it
+// deterministically from a seed. The style follows how SDN-multicast
+// evaluations sweep topology/churn/loss grids (arXiv:1508.03592,
+// arXiv:1809.03412): one spec type, many grid points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.hpp"
+
+namespace scallop::harness {
+
+// Shape of one client's access links. Factory helpers cover the profiles
+// the paper's evaluation exercises; fields may be tweaked freely after
+// construction for anything the factories don't cover.
+struct LinkProfile {
+  std::string name = "default";
+  sim::LinkConfig up;
+  sim::LinkConfig down;
+
+  // 20/20 Mb/s, 5 ms one way, light jitter (TestbedConfig defaults).
+  static LinkProfile Default();
+  // Default shape with iid loss on the downlink (uplink loss optional).
+  static LinkProfile Lossy(double down_loss, double up_loss = 0.0);
+  // Default latency/jitter, capacity capped in both directions.
+  static LinkProfile Constrained(double down_bps);
+  // ADSL-style asymmetric capacity.
+  static LinkProfile Asymmetric(double up_bps, double down_bps);
+  // High-latency access (e.g. cross-continent or satellite).
+  static LinkProfile HighLatency(util::DurationUs one_way);
+};
+
+// One participant in one meeting. Times are scenario-relative seconds;
+// negative means "never".
+struct ParticipantSpec {
+  LinkProfile link = LinkProfile::Default();
+  double join_at_s = 0.0;
+  double leave_at_s = -1.0;   // churn: leave mid-run
+  double rejoin_at_s = -1.0;  // churn: come back after leaving
+};
+
+struct MeetingSpec {
+  std::vector<ParticipantSpec> participants;
+};
+
+// Mid-run link change: degrade (or restore) one client's access link.
+// Negative fields are left unchanged.
+struct LinkEvent {
+  double at_s = 0.0;
+  int meeting = 0;
+  int participant = 0;
+  bool uplink = false;  // default: the downlink, as in Fig. 14
+  double rate_bps = -1.0;
+  double loss_rate = -1.0;
+  util::DurationUs prop_delay = -1;
+  util::DurationUs jitter_stddev = -1;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  uint64_t seed = 1;
+  double duration_s = 10.0;
+  // Cadence of the runner's timeline samples (and the sample hook).
+  double sample_interval_s = 1.0;
+
+  std::vector<MeetingSpec> meetings;
+  std::vector<LinkEvent> link_events;
+
+  // Switch failover: at this time the switch's forwarding state is lost
+  // and the controller re-signals every meeting onto the standby (in the
+  // single-switch simulation, the same switch restarted). Negative: never.
+  double failover_at_s = -1.0;
+  // Detection + re-signaling gap between state loss and the re-joins.
+  // Must exceed the access-link RTT so in-flight pre-failover media drains
+  // before the standby installs stream entries for the same (src, ssrc)
+  // keys — exactly as a real standby would only see live traffic.
+  double failover_blackout_s = 0.25;
+
+  // Underlying testbed knobs (encoder rates, agent policy, ...). The
+  // testbed seed is overwritten with `seed` above; per-participant link
+  // shapes come from their LinkProfile, not from the base config.
+  testbed::TestbedConfig base;
+
+  // `meetings` x `participants` grid, everyone present from t=0 with
+  // default links; the usual starting point that the fluent helpers below
+  // then specialise.
+  static ScenarioSpec Uniform(std::string name, int meetings,
+                              int participants, double duration_s,
+                              uint64_t seed = 1);
+
+  // Fluent helpers (return *this for chaining).
+  ScenarioSpec& WithLink(int meeting, int participant, LinkProfile profile);
+  ScenarioSpec& WithJoin(int meeting, int participant, double join_at_s);
+  ScenarioSpec& WithLeave(int meeting, int participant, double leave_at_s,
+                          double rejoin_at_s = -1.0);
+  ScenarioSpec& WithLinkEvent(LinkEvent ev);
+  ScenarioSpec& WithFailover(double at_s);
+
+  // Total participants across meetings.
+  int TotalParticipants() const;
+};
+
+}  // namespace scallop::harness

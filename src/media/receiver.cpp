@@ -45,6 +45,7 @@ void VideoReceiver::OnPacket(const rtp::RtpPacket& pkt, util::TimeUs arrival) {
   if (!dd.has_value()) return;  // video without a DD is not decodable here
 
   ++stats_.packets_received;
+  if (first_packet_time_ < 0) first_packet_time_ = arrival;
   stats_.bytes_received += pkt.payload.size();
   jitter_.OnPacket(pkt.timestamp, arrival);
   bytes_series_.Add(arrival, static_cast<double>(pkt.payload.size()));
@@ -298,6 +299,17 @@ void VideoReceiver::OnTick(util::TimeUs now) {
     }
     // Resync: throw away stalled pending frames older than the newest key
     // frame candidate; handled in TryDecode on the next packet.
+  } else if (stats_.frames_decoded == 0 && first_packet_time_ >= 0 &&
+             now - first_packet_time_ > cfg_.freeze_pli_threshold) {
+    // Cold start mid-stream: packets are arriving but nothing is
+    // decodable until the next key frame. A PLI short-circuits the wait
+    // for the sender's periodic refresh (late joiners would otherwise
+    // stall for up to a full key-frame interval).
+    if (send_pli_ && now - last_pli_time_ >= cfg_.pli_min_interval) {
+      last_pli_time_ = now;
+      ++stats_.plis_sent;
+      send_pli_();
+    }
   }
 
   TryDecode(now);

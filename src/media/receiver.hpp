@@ -147,6 +147,7 @@ class VideoReceiver {
   util::TimeUs last_decode_time_ = 0;
   util::TimeUs last_pli_time_ = -10'000'000;
   util::TimeUs freeze_accounted_until_ = 0;
+  util::TimeUs first_packet_time_ = -1;  // <0: nothing received yet
 
   VideoReceiverStats stats_;
   util::JitterEstimator jitter_;

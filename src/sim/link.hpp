@@ -46,6 +46,7 @@ class Link {
   void set_loss_rate(double p) { cfg_.loss_rate = p; }
   void set_reorder_rate(double p) { cfg_.reorder_rate = p; }
   void set_prop_delay(util::DurationUs d) { cfg_.prop_delay = d; }
+  void set_jitter_stddev(util::DurationUs j) { cfg_.jitter_stddev = j; }
 
   const LinkConfig& config() const { return cfg_; }
   const LinkStats& stats() const { return stats_; }

@@ -44,6 +44,10 @@ void ScallopTestbed::RunFor(double seconds) {
   sched_.RunUntil(sched_.now() + util::Seconds(seconds));
 }
 
+void ScallopTestbed::RunUntil(double t_s) {
+  sched_.RunUntil(util::Seconds(t_s));
+}
+
 SoftwareTestbed::SoftwareTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
   network_ = std::make_unique<sim::Network>(sched_, cfg_.seed);
   sfu::SoftwareSfuConfig sfu_cfg = cfg_.software;
@@ -78,6 +82,10 @@ client::Peer& SoftwareTestbed::AddPeer(const client::PeerConfig& base,
 
 void SoftwareTestbed::RunFor(double seconds) {
   sched_.RunUntil(sched_.now() + util::Seconds(seconds));
+}
+
+void SoftwareTestbed::RunUntil(double t_s) {
+  sched_.RunUntil(util::Seconds(t_s));
 }
 
 }  // namespace scallop::testbed

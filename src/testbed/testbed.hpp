@@ -21,7 +21,12 @@ namespace scallop::testbed {
 struct TestbedConfig {
   uint64_t seed = 1;
   net::Ipv4 sfu_ip{100, 64, 0, 1};
-  // Default client access links: 20/20 Mb/s, 5 ms one way, light jitter.
+  // Default client access links: 20/20 Mb/s, 5 ms one way, light jitter —
+  // a realistic campus access path, which is what the adaptation and loss
+  // experiments exercise. The paper's physical testbed wires clients to
+  // the switch over direct 1 Gb/s links; latency-measurement benches
+  // (e.g. bench_fig19) override these with that shape so the SFU stage
+  // dominates, exactly as in the paper.
   sim::LinkConfig client_uplink{.rate_bps = 20e6,
                                 .prop_delay = util::Millis(5),
                                 .jitter_stddev = 200};
@@ -50,6 +55,9 @@ class ScallopTestbed {
 
   core::MeetingId CreateMeeting() { return controller_->CreateMeeting(); }
   void RunFor(double seconds);
+  // Advances to absolute simulation time `t_s` (no-op if already past);
+  // the natural stepper for schedule-driven harnesses.
+  void RunUntil(double t_s);
 
   sim::Scheduler& sched() { return sched_; }
   sim::Network& network() { return *network_; }
@@ -83,6 +91,7 @@ class SoftwareTestbed {
 
   core::MeetingId CreateMeeting() { return sfu_->CreateMeeting(); }
   void RunFor(double seconds);
+  void RunUntil(double t_s);
 
   sim::Scheduler& sched() { return sched_; }
   sim::Network& network() { return *network_; }

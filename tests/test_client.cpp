@@ -137,6 +137,47 @@ TEST(PeerTest, LeaveTearsDownLegsEverywhere) {
   EXPECT_GT(b.video_receiver(a.id())->stats().frames_decoded, before + 90);
 }
 
+TEST(PeerTest, RejoinAfterLeaveRestartsCleanMedia) {
+  // Leave + re-Join must renegotiate fresh legs on both sides and resume
+  // media without sequence-space corruption. With QuietPeer (no periodic
+  // key frames) the rejoiner's new receive legs depend entirely on the
+  // cold-start PLI to obtain key frames mid-stream.
+  testbed::TestbedConfig cfg;
+  cfg.peer = QuietPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  Peer& c = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(5.0);
+
+  c.Leave();
+  EXPECT_TRUE(c.remote_senders().empty());  // decoders torn down
+  bed.RunFor(2.0);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(8.0);
+
+  // The rejoiner decodes everyone again (fresh legs, PLI-driven resync).
+  for (Peer* sender : {&a, &b}) {
+    const auto* rx = c.video_receiver(sender->id());
+    ASSERT_NE(rx, nullptr);
+    EXPECT_GT(rx->stats().frames_decoded, 120u);
+    EXPECT_EQ(rx->stats().decoder_breaks, 0u);
+    EXPECT_EQ(rx->stats().conflicting_duplicates, 0u);
+  }
+  // And everyone decodes the rejoiner's restarted stream (note: a re-join
+  // assigns a fresh participant id).
+  for (Peer* receiver : {&a, &b}) {
+    const auto* rx = receiver->video_receiver(c.id());
+    ASSERT_NE(rx, nullptr);
+    EXPECT_GT(rx->stats().frames_decoded, 150u);
+    EXPECT_EQ(rx->stats().conflicting_duplicates, 0u);
+  }
+}
+
 TEST(PeerTest, AudioOnlyParticipant) {
   testbed::TestbedConfig cfg;
   cfg.peer = QuietPeer();

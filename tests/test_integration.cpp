@@ -2,8 +2,14 @@
 // Scallop's controller, media flowing through the switch data plane, and
 // the full feedback loop (GCC -> REMB -> agent -> decode targets -> SVC
 // filtering + sequence rewriting).
+//
+// The Scallop-stack tests are expressed as ScenarioSpecs driven by the
+// ScenarioRunner, so they share one scenario vocabulary with the bench
+// harnesses and examples; the software-SFU baseline tests keep using the
+// SoftwareTestbed directly (the runner drives the switch stack).
 #include <gtest/gtest.h>
 
+#include "harness/runner.hpp"
 #include "testbed/testbed.hpp"
 
 namespace scallop {
@@ -11,6 +17,9 @@ namespace {
 
 using client::Peer;
 using core::TreeDesign;
+using harness::LinkProfile;
+using harness::ScenarioRunner;
+using harness::ScenarioSpec;
 
 client::PeerConfig FastStartPeer() {
   client::PeerConfig pc;
@@ -20,16 +29,19 @@ client::PeerConfig FastStartPeer() {
   return pc;
 }
 
+ScenarioSpec IntegrationSpec(std::string name, int participants,
+                             double duration_s) {
+  ScenarioSpec spec =
+      ScenarioSpec::Uniform(std::move(name), 1, participants, duration_s);
+  spec.base.peer = FastStartPeer();
+  return spec;
+}
+
 TEST(ScallopIntegration, TwoPartyCallDeliversMedia) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();
-  Peer& b = bed.AddPeer();
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  bed.RunFor(10.0);
+  ScenarioRunner runner(IntegrationSpec("two-party", 2, 10.0));
+  runner.Run();
+  Peer& a = runner.peer(0, 0);
+  Peer& b = runner.peer(0, 1);
 
   // Both ends decode ~30 fps video with zero freezes.
   const auto* rx_b = b.video_receiver(a.id());
@@ -48,54 +60,40 @@ TEST(ScallopIntegration, TwoPartyCallDeliversMedia) {
   EXPECT_GT(b.audio_receiver(a.id())->packets_received(), 400u);
 
   // Two-party fast path: no replication trees.
-  EXPECT_EQ(bed.sw().pre().tree_count(), 0u);
-  EXPECT_EQ(*bed.agent().tree_manager().CurrentDesign(meeting),
+  auto meeting = runner.meeting_id(0);
+  EXPECT_EQ(runner.bed().sw().pre().tree_count(), 0u);
+  EXPECT_EQ(*runner.bed().agent().tree_manager().CurrentDesign(meeting),
             TreeDesign::kTwoParty);
 }
 
 TEST(ScallopIntegration, ThreePartyUsesNraTreeAndNoSelfEcho) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();
-  Peer& b = bed.AddPeer();
-  Peer& c = bed.AddPeer();
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  c.Join(bed.controller(), meeting);
-  bed.RunFor(8.0);
+  ScenarioRunner runner(IntegrationSpec("three-party-nra", 3, 8.0));
+  const auto& metrics = runner.Run();
 
-  EXPECT_EQ(*bed.agent().tree_manager().CurrentDesign(meeting),
+  auto meeting = runner.meeting_id(0);
+  EXPECT_EQ(*runner.bed().agent().tree_manager().CurrentDesign(meeting),
             TreeDesign::kNRA);
-  EXPECT_GE(bed.sw().pre().tree_count(), 1u);
+  EXPECT_GE(runner.bed().sw().pre().tree_count(), 1u);
 
-  // Everyone decodes everyone.
-  for (Peer* receiver : {&a, &b, &c}) {
-    for (Peer* sender : {&a, &b, &c}) {
-      if (receiver == sender) continue;
-      const auto* rx = receiver->video_receiver(sender->id());
-      ASSERT_NE(rx, nullptr);
-      EXPECT_GT(rx->stats().frames_decoded, 200u)
-          << receiver->id() << " <- " << sender->id();
-    }
-    // No self-echo: the PRE pruned the sender's own copy.
-    EXPECT_EQ(receiver->video_receiver(receiver->id()), nullptr);
+  // Everyone decodes everyone: 6 directed streams, none starved.
+  EXPECT_EQ(metrics.streams.size(), 6u);
+  for (const auto& s : metrics.streams) {
+    EXPECT_GT(s.frames_decoded, 200u) << s.receiver_id << " <- "
+                                      << s.sender_id;
+  }
+  // No self-echo: the PRE pruned each sender's own copy.
+  for (int i = 0; i < 3; ++i) {
+    Peer& p = runner.peer(0, i);
+    EXPECT_EQ(p.video_receiver(p.id()), nullptr);
   }
 }
 
 TEST(ScallopIntegration, StunKeepalivesAnsweredByAgent) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();
-  Peer& b = bed.AddPeer();
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  bed.RunFor(10.0);
+  ScenarioRunner runner(IntegrationSpec("stun-keepalive", 2, 10.0));
+  runner.Run();
+  Peer& a = runner.peer(0, 0);
 
-  EXPECT_GT(bed.agent().stats().stun_handled, 4u);
+  EXPECT_GT(runner.bed().agent().stats().stun_handled, 4u);
   EXPECT_GT(a.stats().stun_rtt_samples, 2u);
   // STUN RTT reflects the access links (2 x 5 ms + switch).
   EXPECT_GT(a.stats().last_stun_rtt_ms, 15.0);
@@ -103,30 +101,26 @@ TEST(ScallopIntegration, StunKeepalivesAnsweredByAgent) {
 }
 
 TEST(ScallopIntegration, ForcedDecodeTargetHalvesFrameRate) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();
-  Peer& b = bed.AddPeer();
-  Peer& c = bed.AddPeer();
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  c.Join(bed.controller(), meeting);
-  bed.RunFor(4.0);
+  ScenarioRunner runner(IntegrationSpec("forced-dt", 3, 14.0));
+  Peer& a = runner.peer(0, 0);
+  Peer& b = runner.peer(0, 1);
+  Peer& c = runner.peer(0, 2);
+  auto meeting = runner.meeting_id(0);
 
+  runner.RunUntil(4.0);
   // Force C to 15 fps from A only (sender-receiver-specific).
-  bed.agent().ForceDecodeTarget(meeting, c.id(), a.id(), 1);
-  bed.RunFor(10.0);
+  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 1);
+  runner.RunUntil(14.0);
 
   const auto* c_from_a = c.video_receiver(a.id());
   const auto* c_from_b = c.video_receiver(b.id());
   const auto* b_from_a = b.video_receiver(a.id());
   ASSERT_NE(c_from_a, nullptr);
 
-  double fps_c_a = c_from_a->RecentFps(bed.sched().now(), util::Seconds(3));
-  double fps_c_b = c_from_b->RecentFps(bed.sched().now(), util::Seconds(3));
-  double fps_b_a = b_from_a->RecentFps(bed.sched().now(), util::Seconds(3));
+  util::TimeUs now = runner.bed().sched().now();
+  double fps_c_a = c_from_a->RecentFps(now, util::Seconds(3));
+  double fps_c_b = c_from_b->RecentFps(now, util::Seconds(3));
+  double fps_b_a = b_from_a->RecentFps(now, util::Seconds(3));
   EXPECT_NEAR(fps_c_a, 15.0, 3.0);  // halved by SVC layer dropping
   EXPECT_NEAR(fps_c_b, 30.0, 3.0);  // unaffected sender
   EXPECT_NEAR(fps_b_a, 30.0, 3.0);  // unaffected receiver
@@ -137,53 +131,44 @@ TEST(ScallopIntegration, ForcedDecodeTargetHalvesFrameRate) {
   EXPECT_EQ(c_from_a->stats().conflicting_duplicates, 0u);
   // Tree-based filtering delivered fewer packets to C while the rewriter
   // kept the stream gapless.
-  EXPECT_GT(bed.dataplane().stats().seq_rewritten, 500u);
+  EXPECT_GT(runner.bed().dataplane().stats().seq_rewritten, 500u);
   EXPECT_LT(c_from_a->stats().packets_received,
             b_from_a->stats().packets_received * 9 / 10);
   // Layer filtering must not trigger retransmission storms.
   EXPECT_LT(c_from_a->stats().nacked_packets, 200u);
 
-  EXPECT_EQ(*bed.agent().tree_manager().CurrentDesign(meeting),
+  EXPECT_EQ(*runner.bed().agent().tree_manager().CurrentDesign(meeting),
             TreeDesign::kRASR);
 }
 
 TEST(ScallopIntegration, DecodeTargetRestoredUpgradesFrameRate) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();
-  Peer& b = bed.AddPeer();
-  Peer& c = bed.AddPeer();
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  c.Join(bed.controller(), meeting);
-  bed.RunFor(3.0);
+  ScenarioRunner runner(IntegrationSpec("dt-restore", 3, 15.0));
+  Peer& a = runner.peer(0, 0);
+  Peer& c = runner.peer(0, 2);
+  auto meeting = runner.meeting_id(0);
 
-  bed.agent().ForceDecodeTarget(meeting, c.id(), a.id(), 0);  // 7.5 fps
-  bed.RunFor(6.0);
+  runner.RunUntil(3.0);
+  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 0);
+  runner.RunUntil(9.0);
   const auto* rx = c.video_receiver(a.id());
-  EXPECT_NEAR(rx->RecentFps(bed.sched().now(), util::Seconds(3)), 7.5, 2.0);
+  util::TimeUs now = runner.bed().sched().now();
+  EXPECT_NEAR(rx->RecentFps(now, util::Seconds(3)), 7.5, 2.0);
 
-  bed.agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);  // full rate
-  bed.RunFor(6.0);
-  EXPECT_NEAR(rx->RecentFps(bed.sched().now(), util::Seconds(3)), 30.0, 4.0);
+  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
+  runner.RunUntil(15.0);
+  now = runner.bed().sched().now();
+  EXPECT_NEAR(rx->RecentFps(now, util::Seconds(3)), 30.0, 4.0);
   EXPECT_EQ(rx->stats().decoder_breaks, 0u);
 }
 
 TEST(ScallopIntegration, LossyDownlinkRecoversViaNackThroughSfu) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();
+  ScenarioSpec spec = IntegrationSpec("lossy-downlink", 2, 15.0);
   // B's downlink drops 3% of packets.
-  sim::LinkConfig lossy = cfg.client_downlink;
-  lossy.loss_rate = 0.03;
-  Peer& b = bed.AddPeer(cfg.client_uplink, lossy);
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  bed.RunFor(15.0);
+  spec.WithLink(0, 1, LinkProfile::Lossy(0.03));
+  ScenarioRunner runner(spec);
+  runner.Run();
+  Peer& a = runner.peer(0, 0);
+  Peer& b = runner.peer(0, 1);
 
   const auto* rx = b.video_receiver(a.id());
   ASSERT_NE(rx, nullptr);
@@ -197,65 +182,56 @@ TEST(ScallopIntegration, LossyDownlinkRecoversViaNackThroughSfu) {
 }
 
 TEST(ScallopIntegration, RembFilterPicksBestDownlinkNotWorst) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();  // sender under test
-  Peer& b = bed.AddPeer();  // strong downlink (default 20 Mb/s)
+  ScenarioSpec spec = IntegrationSpec("remb-best-downlink", 3, 20.0);
   // C has a weak downlink that GCC will estimate low.
-  sim::LinkConfig weak = cfg.client_downlink;
-  weak.rate_bps = 1.2e6;
-  Peer& c = bed.AddPeer(cfg.client_uplink, weak);
-
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  c.Join(bed.controller(), meeting);
-  bed.RunFor(20.0);
+  LinkProfile weak = LinkProfile::Default();
+  weak.name = "weak-downlink";
+  weak.down.rate_bps = 1.2e6;
+  spec.WithLink(0, 2, weak);
+  ScenarioRunner runner(spec);
+  runner.Run();
+  Peer& a = runner.peer(0, 0);  // sender under test
+  Peer& b = runner.peer(0, 1);  // strong downlink (default 20 Mb/s)
 
   // The agent's filter function forwards only the best downlink's REMB.
-  EXPECT_EQ(bed.agent().BestDownlinkOf(a.id()), b.id());
-  EXPECT_GT(bed.dataplane().stats().remb_filtered, 10u);
+  EXPECT_EQ(runner.bed().agent().BestDownlinkOf(a.id()), b.id());
+  EXPECT_GT(runner.bed().dataplane().stats().remb_filtered, 10u);
 
   // A's encoder was not dragged down to C's weak downlink: it still sends
   // near its starting rate (the best downlink can absorb it).
   EXPECT_GT(a.encoder()->target_bitrate(), 500'000u);
   // B keeps receiving full-rate video.
-  EXPECT_NEAR(b.video_receiver(a.id())->RecentFps(bed.sched().now(),
-                                                  util::Seconds(3)),
+  util::TimeUs now = runner.bed().sched().now();
+  EXPECT_NEAR(b.video_receiver(a.id())->RecentFps(now, util::Seconds(3)),
               30.0, 4.0);
 }
 
 TEST(ScallopIntegration, CongestedDownlinkTriggersAutomaticAdaptation) {
-  testbed::TestbedConfig cfg;
-  cfg.peer = FastStartPeer();
+  ScenarioSpec spec = IntegrationSpec("congested-downlink", 3, 40.0);
   // Cap senders at 800 kb/s so a DT1 selection (~0.71x rate per stream)
   // fits C's constrained downlink — the paper's Fig. 14 scenario.
-  cfg.peer.encoder.max_bitrate_bps = 800'000;
-  testbed::ScallopTestbed bed(cfg);
-  Peer& a = bed.AddPeer();
-  Peer& b = bed.AddPeer();
-  Peer& c = bed.AddPeer();
-  auto meeting = bed.CreateMeeting();
-  a.Join(bed.controller(), meeting);
-  b.Join(bed.controller(), meeting);
-  c.Join(bed.controller(), meeting);
-  bed.RunFor(10.0);  // warm up at full rate
-
-  // C's downlink drops below the aggregate full-rate media (~1.7 Mb/s)
-  // but fits both streams at a reduced decode target.
-  bed.network().downlink(net::Ipv4(10, 0, 0, 3))->set_rate_bps(1.5e6);
-  bed.RunFor(30.0);
+  spec.base.peer.encoder.max_bitrate_bps = 800'000;
+  // After a 10 s warm-up at full rate, C's downlink drops below the
+  // aggregate full-rate media (~1.7 Mb/s) but fits both streams at a
+  // reduced decode target.
+  spec.WithLinkEvent(
+      {.at_s = 10.0, .meeting = 0, .participant = 2, .rate_bps = 1.5e6});
+  ScenarioRunner runner(spec);
+  runner.Run();
+  Peer& a = runner.peer(0, 0);
+  Peer& b = runner.peer(0, 1);
+  Peer& c = runner.peer(0, 2);
 
   // The agent must have reduced C's decode target for at least one sender.
-  int dt_a = bed.agent().DecodeTargetOf(c.id(), a.id());
-  int dt_b = bed.agent().DecodeTargetOf(c.id(), b.id());
+  int dt_a = runner.bed().agent().DecodeTargetOf(c.id(), a.id());
+  int dt_b = runner.bed().agent().DecodeTargetOf(c.id(), b.id());
   EXPECT_LT(std::min(dt_a, dt_b), 2);
-  EXPECT_GT(bed.agent().stats().dt_changes, 0u);
+  EXPECT_GT(runner.bed().agent().stats().dt_changes, 0u);
 
   // And C's streams kept playing (adaptation, not collapse).
   const auto* rx = c.video_receiver(a.id());
-  EXPECT_GT(rx->RecentFps(bed.sched().now(), util::Seconds(3)), 5.0);
+  util::TimeUs now = runner.bed().sched().now();
+  EXPECT_GT(rx->RecentFps(now, util::Seconds(3)), 5.0);
   EXPECT_EQ(rx->stats().decoder_breaks, 0u);
 }
 

@@ -354,6 +354,36 @@ TEST(VideoReceiverTest, FreezeDetectionSendsPli) {
   EXPECT_GT(h.receiver_.stats().total_freeze_ms, 1000.0);
 }
 
+TEST(VideoReceiverTest, ColdStartWithoutKeyFrameSendsPli) {
+  // A receiver attached mid-stream (late join / rejoin) sees only delta
+  // frames: nothing ever decodes, so the freeze detector has no decode
+  // timestamp to key off. It must still PLI instead of waiting for the
+  // sender's periodic key-frame refresh.
+  ReceiverHarness h;
+  h.GenerateFrames(1);  // key frame lost to the pre-join past
+  auto pkts = h.GenerateFrames(8);
+  util::TimeUs t = 0;
+  for (const auto& p : pkts) {
+    h.Deliver(p, t);
+    t += 1'000;
+  }
+  EXPECT_EQ(h.receiver_.stats().frames_decoded, 0u);
+  EXPECT_EQ(h.plis, 0);
+  // Past the freeze threshold with zero decodes: PLI goes out.
+  h.receiver_.OnTick(t + util::Seconds(1));
+  EXPECT_GE(h.plis, 1);
+
+  // The PLI-triggered key frame unblocks decoding.
+  h.encoder_.RequestKeyFrame();
+  auto refresh = h.GenerateFrames(6);
+  t += util::Seconds(1);
+  for (const auto& p : refresh) {
+    h.Deliver(p, t);
+    t += 1'000;
+  }
+  EXPECT_GT(h.receiver_.stats().frames_decoded, 0u);
+}
+
 TEST(VideoReceiverTest, PerSecondSeries) {
   ReceiverHarness h;
   auto pkts = h.GenerateFrames(60);  // 2 seconds of video

@@ -126,6 +126,31 @@ TEST(LinkTest, LossRateDropsApproximatelyP) {
             link.stats().sent_packets);
 }
 
+TEST(LinkTest, RuntimeJitterKnob) {
+  // Jitter is settable at runtime like the other link knobs (scenario
+  // harness LinkEvents use this to degrade a link mid-run).
+  Scheduler s;
+  Link link(s, LinkConfig{.rate_bps = 0, .prop_delay = util::Millis(10)}, 1);
+  // Without jitter every packet arrives exactly one propagation later.
+  util::TimeUs arrival = -1;
+  link.Send(MakeTestPacket(), [&](net::PacketPtr p) { arrival = p->arrival; });
+  s.RunAll();
+  EXPECT_EQ(arrival, util::Millis(10));
+
+  link.set_jitter_stddev(util::Millis(2));
+  EXPECT_EQ(link.config().jitter_stddev, util::Millis(2));
+  int jittered = 0;
+  util::TimeUs base = s.now();
+  for (int i = 0; i < 32; ++i) {
+    link.Send(MakeTestPacket(), [&, base](net::PacketPtr p) {
+      if (p->arrival - base > util::Millis(10)) ++jittered;
+    });
+  }
+  s.RunAll();
+  // Half-normal extra delay: a good fraction of packets arrive late.
+  EXPECT_GT(jittered, 8);
+}
+
 TEST(LinkTest, QueueOverflowDrops) {
   Scheduler s;
   Link link(s, LinkConfig{.rate_bps = 1e6, .queue_bytes = 3000}, 1);
