@@ -66,7 +66,7 @@ int main() {
     row.tx1 = tx(p1, last_frames1);
     row.tx2 = tx(p2, last_frames2);
     row.tx3 = tx(p3, last_frames3);
-    util::TimeUs now = r.bed().sched().now();
+    util::TimeUs now = r.backend().sched().now();
     row.rx3_from1 =
         p3.video_receiver(p1.id())->RecentFps(now, util::Seconds(3));
     row.rx3_from2 =
@@ -82,8 +82,8 @@ int main() {
     row.kbps3_from2 =
         p3.video_receiver(p2.id())->received_bytes_series().SumInSecond(sec) *
         8.0 / 1000.0;
-    row.dt31 = r.bed().agent().DecodeTargetOf(p3.id(), p1.id());
-    row.dt32 = r.bed().agent().DecodeTargetOf(p3.id(), p2.id());
+    row.dt31 = r.scallop().agent().DecodeTargetOf(p3.id(), p1.id());
+    row.dt32 = r.scallop().agent().DecodeTargetOf(p3.id(), p2.id());
     rows.push_back(row);
   });
 

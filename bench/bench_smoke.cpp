@@ -1,7 +1,11 @@
-// CI smoke: a 2-sim-second three-party scenario through the full Scallop
-// stack. Exists so the bench pipeline (ScenarioRunner + bench_common)
-// stays exercised on every push without paying for a paper-scale run;
-// exits nonzero if the stack fails to deliver media at all.
+// CI smoke: a 2-sim-second three-party scenario run on every conference
+// backend behind the testbed::Backend seam — the single-switch Scallop
+// stack, a 2-switch fleet, and the software-SFU baseline. Exists so the
+// bench pipeline (ScenarioRunner + bench_common) and the backend seam stay
+// exercised on every push without paying for a paper-scale run; exits
+// nonzero if any substrate fails to deliver media at all. (The scallop
+// run's CSV is additionally pinned byte-for-byte against the pre-redesign
+// harness by tests/test_harness.cpp.)
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -9,21 +13,33 @@
 
 int main() {
   using namespace scallop;
-  bench::Header("Bench smoke: 3-party call, 2 simulated seconds");
+  bench::Header("Bench smoke: 3-party call, 2 simulated seconds, x3 backends");
 
-  harness::ScenarioSpec spec =
-      harness::ScenarioSpec::Uniform("bench-smoke", 1, 3, 2.0);
-  spec.base.peer.encoder.start_bitrate_bps = 700'000;
-  spec.sample_interval_s = 0.5;
-  harness::ScenarioRunner runner(spec);
-  const harness::ScenarioMetrics& m = runner.Run();
-  std::printf("%s", m.Summary().c_str());
+  const testbed::BackendChoice backends[] = {
+      testbed::BackendChoice::Scallop(),
+      testbed::BackendChoice::Fleet(2),
+      testbed::BackendChoice::Software(),
+  };
 
-  if (m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0 ||
-      m.switch_packets_in == 0) {
-    std::printf("SMOKE FAILED\n");
-    return 1;
+  bool ok = true;
+  for (const auto& choice : backends) {
+    harness::ScenarioSpec spec =
+        harness::ScenarioSpec::Uniform("bench-smoke", 1, 3, 2.0);
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.sample_interval_s = 0.5;
+    spec.backend = choice;
+    harness::ScenarioRunner runner(spec);
+    const harness::ScenarioMetrics& m = runner.Run();
+    std::printf("[%s]\n%s", choice.Label().c_str(), m.Summary().c_str());
+
+    if (m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0 ||
+        m.switch_packets_in == 0) {
+      std::printf("SMOKE FAILED on backend %s\n", choice.Label().c_str());
+      ok = false;
+    }
   }
+
+  if (!ok) return 1;
   std::printf("SMOKE OK\n");
   return 0;
 }

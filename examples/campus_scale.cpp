@@ -43,7 +43,7 @@ int main() {
   harness::ScenarioRunner runner(spec);
   const harness::ScenarioMetrics& m = runner.Run();
 
-  const auto& sw = runner.bed().sw().stats();
+  const auto& sw = runner.scallop().sw().stats();
   double dp_pct = 100.0 *
                   static_cast<double>(sw.packets_in - sw.packets_to_cpu) /
                   static_cast<double>(sw.packets_in);
@@ -54,10 +54,10 @@ int main() {
               static_cast<unsigned long>(sw.packets_to_cpu), dp_pct);
   std::printf("PRE: %zu trees, %zu L1 nodes for %zu meetings "
               "(m=2 meetings share NRA trees)\n",
-              runner.bed().sw().pre().tree_count(),
-              runner.bed().sw().pre().node_count(), spec.meetings.size());
+              runner.scallop().sw().pre().tree_count(),
+              runner.scallop().sw().pre().node_count(), spec.meetings.size());
 
-  const auto& agent = runner.bed().agent().stats();
+  const auto& agent = runner.scallop().agent().stats();
   std::printf("Agent: %lu CPU packets, %lu STUN handled, %lu REMB "
               "processed, %lu rule writes\n",
               static_cast<unsigned long>(agent.cpu_packets),

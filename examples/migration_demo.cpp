@@ -14,13 +14,13 @@ using namespace scallop;
 namespace {
 
 const char* Design(harness::ScenarioRunner& runner, core::MeetingId meeting) {
-  auto d = runner.bed().agent().tree_manager().CurrentDesign(meeting);
+  auto d = runner.scallop().agent().tree_manager().CurrentDesign(meeting);
   return d.has_value() ? core::TreeDesignName(*d) : "none";
 }
 
 void Report(harness::ScenarioRunner& runner, core::MeetingId meeting,
             const char* stage) {
-  testbed::ScallopTestbed& bed = runner.bed();
+  testbed::ScallopTestbed& bed = runner.scallop();
   std::printf("%-44s design=%-9s trees=%zu nodes=%zu migrations=%lu\n",
               stage, Design(runner, meeting), bed.sw().pre().tree_count(),
               bed.sw().pre().node_count(),
@@ -57,19 +57,19 @@ int main() {
 
   // Receiver-uniform adaptation: C wants 15 fps from everyone -> RA-R.
   for (client::Peer* sender : {&a, &b, &d}) {
-    runner.bed().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 1);
+    runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 1);
   }
   runner.RunUntil(16.0);
   Report(runner, meeting, "C at 15 fps from all senders:");
 
   // Sender-specific: C wants full rate from A only -> RA-SR.
-  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
+  runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
   runner.RunUntil(20.0);
   Report(runner, meeting, "C full rate from A, 15 fps from B/D:");
 
   // Back to full rate for everyone -> NRA again.
   for (client::Peer* sender : {&a, &b, &d}) {
-    runner.bed().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 2);
+    runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 2);
   }
   runner.RunUntil(24.0);
   Report(runner, meeting, "everyone full rate again:");

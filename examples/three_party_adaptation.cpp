@@ -32,7 +32,7 @@ int main() {
   auto meeting = runner.meeting_id(0);
 
   auto report = [&](const char* label) {
-    testbed::ScallopTestbed& bed = runner.bed();
+    testbed::ScallopTestbed& bed = runner.scallop();
     util::TimeUs now = bed.sched().now();
     std::printf("%s\n", label);
     std::printf("  carol <- alice: %.1f fps (decode target %d)\n",

@@ -39,8 +39,11 @@ struct ControllerStats {
   uint64_t legs_negotiated = 0;
 };
 
-// Abstract signaling server: implemented by Scallop's Controller and by the
-// software-SFU baseline so the same Peer client works against both.
+// Abstract signaling server: implemented by Scallop's Controller, by the
+// software-SFU baseline, and by the FleetController (which delegates to a
+// per-switch Controller after placement) so the same Peer client works
+// against all of them — it is also the signaling seam the
+// testbed::Backend interface hands to the scenario harness.
 class SignalingServer {
  public:
   virtual ~SignalingServer() = default;
@@ -58,8 +61,13 @@ class SignalingServer {
 
 class Controller : public SignalingServer {
  public:
-  Controller(SwitchAgent& agent, net::Ipv4 sfu_ip)
-      : agent_(agent), sfu_ip_(sfu_ip) {}
+  // `first_participant` offsets this controller's participant-id space;
+  // a fleet gives each switch's controller a disjoint range so ids stay
+  // globally unique across switches (a stale signaling message for a
+  // participant from one switch can never name a live one on another).
+  Controller(SwitchAgent& agent, net::Ipv4 sfu_ip,
+             ParticipantId first_participant = 1)
+      : agent_(agent), sfu_ip_(sfu_ip), next_participant_(first_participant) {}
 
   MeetingId CreateMeeting();
   void EndMeeting(MeetingId id);
@@ -85,7 +93,7 @@ class Controller : public SignalingServer {
   SwitchAgent& agent_;
   net::Ipv4 sfu_ip_;
   MeetingId next_meeting_ = 1;
-  ParticipantId next_participant_ = 1;
+  ParticipantId next_participant_;
   std::map<MeetingId, std::map<ParticipantId, Member>> meetings_;
   ControllerStats stats_;
 };

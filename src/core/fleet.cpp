@@ -1,21 +1,30 @@
 #include "core/fleet.hpp"
 
 #include <limits>
+#include <stdexcept>
 
 namespace scallop::core {
 
 size_t FleetController::AddSwitch(SwitchAgent& agent, net::Ipv4 sfu_ip) {
   auto member = std::make_unique<Member>();
-  member->controller = std::make_unique<Controller>(agent, sfu_ip);
+  // Disjoint participant-id range per switch: without it, two switch
+  // controllers both counting from 1 could hand out the same id, and a
+  // stale Leave for a participant migrated off one switch would pass the
+  // membership guard and kick a live, unrelated member on another.
+  constexpr ParticipantId kIdStride = 1'000'000;
+  member->controller = std::make_unique<Controller>(
+      agent, sfu_ip,
+      static_cast<ParticipantId>(switches_.size()) * kIdStride + 1);
   member->sfu_ip = sfu_ip;
   switches_.push_back(std::move(member));
   return switches_.size() - 1;
 }
 
-size_t FleetController::LeastLoaded() const {
-  size_t best = 0;
+size_t FleetController::LeastLoaded(size_t exclude) const {
+  size_t best = SIZE_MAX;
   int best_load = std::numeric_limits<int>::max();
   for (size_t i = 0; i < switches_.size(); ++i) {
+    if (i == exclude || !switches_[i]->alive) continue;
     // Participants dominate load (streams scale with them); meetings break
     // ties so empty switches fill round-robin.
     int load = switches_[i]->participants * 64 + switches_[i]->meetings;
@@ -29,6 +38,9 @@ size_t FleetController::LeastLoaded() const {
 
 MeetingId FleetController::CreateMeeting() {
   size_t idx = LeastLoaded();
+  if (idx == SIZE_MAX) {
+    throw std::runtime_error("FleetController: no live switch to place on");
+  }
   MeetingId local = switches_[idx]->controller->CreateMeeting();
   MeetingId global = next_meeting_++;
   placement_[global] = {idx, local};
@@ -41,14 +53,21 @@ FleetController::JoinResult FleetController::Join(
     MeetingId meeting, const sdp::SessionDescription& offer,
     SignalingClient* client) {
   auto place = placement_.at(meeting);
+  JoinResult result =
+      switches_[place.first]->controller->Join(place.second, offer, client);
+  members_[meeting].insert(result.participant);
   ++switches_[place.first]->participants;
-  return switches_[place.first]->controller->Join(place.second, offer,
-                                                  client);
+  return result;
 }
 
 void FleetController::Leave(MeetingId meeting, ParticipantId participant) {
   auto it = placement_.find(meeting);
   if (it == placement_.end()) return;
+  auto mit = members_.find(meeting);
+  // Membership guard: a participant who never joined (or already left —
+  // e.g. dropped by a switch failure before its scheduled leave fired)
+  // must not decrement the hosting switch's load.
+  if (mit == members_.end() || mit->second.erase(participant) == 0) return;
   --switches_[it->second.first]->participants;
   switches_[it->second.first]->controller->Leave(it->second.second,
                                                  participant);
@@ -57,9 +76,64 @@ void FleetController::Leave(MeetingId meeting, ParticipantId participant) {
 void FleetController::EndMeeting(MeetingId meeting) {
   auto it = placement_.find(meeting);
   if (it == placement_.end()) return;
-  --switches_[it->second.first]->meetings;
-  switches_[it->second.first]->controller->EndMeeting(it->second.second);
+  Member& sw = *switches_[it->second.first];
+  // Drain members still joined at meeting end so the freed switch
+  // actually looks free to LeastLoaded.
+  auto mit = members_.find(meeting);
+  if (mit != members_.end()) {
+    sw.participants -= static_cast<int>(mit->second.size());
+    members_.erase(mit);
+  }
+  --sw.meetings;
+  sw.controller->EndMeeting(it->second.second);
   placement_.erase(it);
+}
+
+void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
+  auto it = placement_.find(meeting);
+  if (it == placement_.end() || it->second.first == target_switch) return;
+  Member& from = *switches_[it->second.first];
+  Member& to = *switches_[target_switch];
+
+  // The old switch-local meeting is over (state wiped by the restart, or
+  // torn down on a live source); current members' sessions go with it —
+  // they re-Join and land on the target.
+  auto mit = members_.find(meeting);
+  if (mit != members_.end()) {
+    from.participants -= static_cast<int>(mit->second.size());
+    mit->second.clear();
+  }
+  from.controller->EndMeeting(it->second.second);
+  --from.meetings;
+
+  MeetingId local = to.controller->CreateMeeting();
+  ++to.meetings;
+  it->second = {target_switch, local};
+  ++stats_.placements_rebalanced;
+}
+
+void FleetController::OnSwitchDown(size_t switch_index) {
+  switches_[switch_index]->alive = false;
+  std::vector<MeetingId> hosted;
+  for (const auto& [meeting, place] : placement_) {
+    if (place.first == switch_index) hosted.push_back(meeting);
+  }
+  for (MeetingId meeting : hosted) {
+    size_t standby = LeastLoaded(switch_index);
+    // With no live standby the meeting stays put and recovers only when
+    // the switch itself is revived (single-switch fleets behave like the
+    // plain Scallop testbed's restart failover).
+    if (standby == SIZE_MAX) continue;
+    MigrateMeeting(meeting, standby);
+  }
+}
+
+void FleetController::ReviveSwitch(size_t switch_index) {
+  switches_[switch_index]->alive = true;
+}
+
+bool FleetController::IsAlive(size_t switch_index) const {
+  return switches_[switch_index]->alive;
 }
 
 size_t FleetController::PlacementOf(MeetingId meeting) const {
@@ -67,8 +141,29 @@ size_t FleetController::PlacementOf(MeetingId meeting) const {
   return it == placement_.end() ? SIZE_MAX : it->second.first;
 }
 
+std::pair<size_t, MeetingId> FleetController::PlacementDetail(
+    MeetingId meeting) const {
+  auto it = placement_.find(meeting);
+  if (it == placement_.end()) return {SIZE_MAX, 0};
+  return it->second;
+}
+
 int FleetController::LoadOf(size_t switch_index) const {
   return switches_[switch_index]->participants;
+}
+
+int FleetController::MeetingsOn(size_t switch_index) const {
+  return switches_[switch_index]->meetings;
+}
+
+net::Ipv4 FleetController::SfuIpOf(size_t switch_index) const {
+  return switches_[switch_index]->sfu_ip;
+}
+
+bool FleetController::IsMember(MeetingId meeting,
+                               ParticipantId participant) const {
+  auto it = members_.find(meeting);
+  return it != members_.end() && it->second.count(participant) > 0;
 }
 
 }  // namespace scallop::core

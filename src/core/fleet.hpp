@@ -4,14 +4,19 @@
 // management of a single controller. Our current system is already
 // designed in this way").
 //
-// Meetings are placed on the least-loaded switch at creation time; the
-// signaling flow is then delegated to that switch's controller. This is
-// the architectural groundwork for cascading SFUs — per the paper, the
-// cascading relay itself is orthogonal and not implemented.
+// Meetings are placed on the least-loaded live switch at creation time;
+// the signaling flow is then delegated to that switch's controller.
+// Membership is tracked per meeting so load accounting survives double
+// leaves and meeting teardown, and so a switch failure can migrate its
+// meetings to a live standby (OnSwitchDown/MigrateMeeting) — the
+// architectural groundwork for cascading SFUs; the cascading relay itself
+// is orthogonal and not implemented, per the paper.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "core/controller.hpp"
@@ -29,20 +34,44 @@ class FleetController : public SignalingServer {
   // Returns the switch's index in the fleet.
   size_t AddSwitch(SwitchAgent& agent, net::Ipv4 sfu_ip);
 
-  // Creates a meeting on the least-loaded switch.
+  // Creates a meeting on the least-loaded live switch.
   MeetingId CreateMeeting();
 
   // core::SignalingServer — delegates to the owning switch's controller.
+  // Leave is guarded by per-meeting membership: leaving a meeting one
+  // never joined (or already left) does not skew the switch's load.
   JoinResult Join(MeetingId meeting, const sdp::SessionDescription& offer,
                   SignalingClient* client) override;
   void Leave(MeetingId meeting, ParticipantId participant) override;
+  // Ends the meeting, draining any still-joined members from the hosting
+  // switch's load so freed capacity is visible to LeastLoaded placement.
   void EndMeeting(MeetingId meeting);
 
+  // ---- failure handling / migration -------------------------------------
+  // Marks the switch dead and migrates every meeting it hosts to the
+  // least-loaded live standby (no-op per meeting when no standby exists).
+  // Members of migrated meetings are dropped — their sessions died with
+  // the switch — and must re-Join, which routes them to the standby's SFU.
+  void OnSwitchDown(size_t switch_index);
+  // Brings a switch back (restarted, empty). Meetings migrated away stay
+  // on their standby; the revived switch only receives new placements.
+  void ReviveSwitch(size_t switch_index);
+  bool IsAlive(size_t switch_index) const;
+  // Re-homes one meeting onto `target_switch`: ends the old switch-local
+  // meeting, creates a fresh one on the target, and drops current members
+  // (the caller re-signals them). Increments placements_rebalanced.
+  void MigrateMeeting(MeetingId meeting, size_t target_switch);
+
   size_t switch_count() const { return switches_.size(); }
-  // Which switch hosts a meeting (fleet index).
+  // Which switch hosts a meeting (fleet index; SIZE_MAX if unknown).
   size_t PlacementOf(MeetingId meeting) const;
+  // (switch index, switch-local meeting id); {SIZE_MAX, 0} if unknown.
+  std::pair<size_t, MeetingId> PlacementDetail(MeetingId meeting) const;
   // Current participant load of a switch.
   int LoadOf(size_t switch_index) const;
+  int MeetingsOn(size_t switch_index) const;
+  net::Ipv4 SfuIpOf(size_t switch_index) const;
+  bool IsMember(MeetingId meeting, ParticipantId participant) const;
   Controller& controller(size_t switch_index) {
     return *switches_[switch_index]->controller;
   }
@@ -54,13 +83,18 @@ class FleetController : public SignalingServer {
     net::Ipv4 sfu_ip;
     int participants = 0;
     int meetings = 0;
+    bool alive = true;
   };
 
-  size_t LeastLoaded() const;
+  // Least-loaded live switch, optionally excluding one index; SIZE_MAX
+  // when no live switch qualifies.
+  size_t LeastLoaded(size_t exclude = SIZE_MAX) const;
 
   std::vector<std::unique_ptr<Member>> switches_;
   // Fleet-global meeting ids -> (switch index, switch-local meeting id).
   std::map<MeetingId, std::pair<size_t, MeetingId>> placement_;
+  // Currently-joined participants per fleet-global meeting.
+  std::map<MeetingId, std::set<ParticipantId>> members_;
   MeetingId next_meeting_ = 1;
   FleetStats stats_;
 };

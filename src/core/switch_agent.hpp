@@ -101,6 +101,7 @@ class SwitchAgent {
 
   const AgentStats& stats() const { return stats_; }
   TreeManager& tree_manager() { return trees_; }
+  const TreeManager& tree_manager() const { return trees_; }
   // Current decode target of (receiver <- sender).
   int DecodeTargetOf(ParticipantId receiver, ParticipantId sender) const;
   // Currently selected best downlink for a sender (0 = none yet).

@@ -40,6 +40,26 @@ std::string ScenarioMetrics::ToCsv() const {
       filter_flips, trees_built, tree_migrations, agent_cpu_packets,
       blackholed);
 
+  // Multi-switch backends add a fleet section: per-switch state and the
+  // meeting -> switch placement map. Single-switch runs leave `switches`
+  // empty so their CSV stays byte-identical to the pre-backend-seam pin.
+  if (!switches.empty()) {
+    Row(out, "fleet,backend,%s,placements_rebalanced,%" PRIu64 "\n",
+        backend.c_str(), placements_rebalanced);
+    Row(out,
+        "switch,index,alive,meetings,participants,packets_in,packets_out,"
+        "replicas\n");
+    for (const auto& s : switches) {
+      Row(out, "switch,%d,%d,%d,%d,%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+          s.index, s.alive ? 1 : 0, s.meetings, s.participants, s.packets_in,
+          s.packets_out, s.replicas);
+    }
+    Row(out, "placement,meeting_index,switch\n");
+    for (const auto& m : meetings) {
+      Row(out, "placement,%d,%d\n", m.index, m.placement);
+    }
+  }
+
   Row(out, "meeting,index,id,final_design,participants_at_end\n");
   for (const auto& m : meetings) {
     Row(out, "meeting,%d,%u,%s,%d\n", m.index, m.id, m.final_design.c_str(),
@@ -103,6 +123,15 @@ std::string ScenarioMetrics::Summary() const {
       " adaptations, %" PRIu64 " filter flips, %" PRIu64 " migrations\n",
       switch_packets_in, switch_packets_out, seq_rewritten, svc_suppressed,
       dt_changes, filter_flips, tree_migrations);
+  if (!switches.empty()) {
+    Row(out, "    fleet (%s): %zu switches, %" PRIu64
+             " meetings rebalanced; load:",
+        backend.c_str(), switches.size(), placements_rebalanced);
+    for (const auto& s : switches) {
+      Row(out, " s%d=%d%s", s.index, s.participants, s.alive ? "" : "(down)");
+    }
+    Row(out, "\n");
+  }
   return out;
 }
 

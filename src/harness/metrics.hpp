@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "testbed/backend.hpp"
 
 namespace scallop::harness {
 
@@ -55,6 +56,9 @@ struct MeetingMetrics {
   core::MeetingId id = 0;
   std::string final_design;  // "2-party", "NRA", "RA-R", "RA-SR" or "none"
   int participants_at_end = 0;
+  // Fleet index of the switch hosting the meeting at collection time;
+  // -1 on backends without a switch breakdown.
+  int placement = -1;
 };
 
 // One timeline sample (every ScenarioSpec::sample_interval_s).
@@ -72,10 +76,17 @@ struct ScenarioMetrics {
   std::string scenario;
   uint64_t seed = 0;
   double duration_s = 0.0;
+  // Backend label ("scallop", "fleet{3}", "software"). Rendered in the
+  // CSV only within the multi-switch section, so single-switch output is
+  // byte-identical to the pre-backend-seam harness.
+  std::string backend;
 
   std::vector<StreamMetrics> streams;
   std::vector<PeerMetrics> peers;
   std::vector<MeetingMetrics> meetings;
+  // Per-switch snapshots straight from Backend::SwitchBreakdown();
+  // empty on single-switch backends.
+  std::vector<testbed::SwitchStatus> switches;
   std::vector<TimelineSample> timeline;
 
   // Switch / data-plane / agent aggregates.
@@ -93,6 +104,7 @@ struct ScenarioMetrics {
   uint64_t tree_migrations = 0;
   uint64_t agent_cpu_packets = 0;
   uint64_t blackholed = 0;
+  uint64_t placements_rebalanced = 0;  // fleet meeting migrations
 
   // Byte-stable rendering: identical spec + seed => identical string.
   std::string ToCsv() const;

@@ -4,15 +4,17 @@
 #include <stdexcept>
 #include <string>
 
+#include "testbed/fleet_testbed.hpp"
+
 namespace scallop::harness {
 
 ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
   testbed::TestbedConfig base = spec_.base;
   base.seed = spec_.seed;
-  bed_ = std::make_unique<testbed::ScallopTestbed>(base);
+  backend_ = testbed::MakeBackend(spec_.backend, base);
 
   for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
-    meeting_ids_.push_back(bed_->CreateMeeting());
+    meeting_ids_.push_back(backend_->CreateMeeting());
   }
 
   // Participants are created (and their access links attached) up front in
@@ -24,7 +26,7 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
     for (size_t pi = 0; pi < meeting.participants.size(); ++pi) {
       const ParticipantSpec& ps = meeting.participants[pi];
       Slot slot;
-      slot.peer = &bed_->AddPeer(base.peer, ps.link.up, ps.link.down);
+      slot.peer = &backend_->AddPeer(base.peer, ps.link.up, ps.link.down);
       slot.meeting = static_cast<int>(mi);
       slot.index = static_cast<int>(pi);
       slot.meeting_id = meeting_ids_[mi];
@@ -59,8 +61,26 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
 
 ScenarioRunner::~ScenarioRunner() = default;
 
+testbed::ScallopTestbed& ScenarioRunner::scallop() {
+  auto* bed = dynamic_cast<testbed::ScallopTestbed*>(backend_.get());
+  if (bed == nullptr) {
+    throw std::logic_error("scenario '" + spec_.name + "' runs on backend " +
+                           backend_->Name() + ", not scallop");
+  }
+  return *bed;
+}
+
+testbed::FleetTestbed& ScenarioRunner::fleet() {
+  auto* bed = dynamic_cast<testbed::FleetTestbed*>(backend_.get());
+  if (bed == nullptr) {
+    throw std::logic_error("scenario '" + spec_.name + "' runs on backend " +
+                           backend_->Name() + ", not a fleet");
+  }
+  return *bed;
+}
+
 void ScenarioRunner::ScheduleSpec() {
-  sim::Scheduler& sched = bed_->sched();
+  sim::Scheduler& sched = backend_->sched();
 
   size_t si = 0;
   for (const auto& meeting : spec_.meetings) {
@@ -81,9 +101,9 @@ void ScenarioRunner::ScheduleSpec() {
   for (const LinkEvent& ev : spec_.link_events) {
     sched.At(util::Seconds(ev.at_s), [this, ev] {
       Slot& slot = slot_at(ev.meeting, ev.participant);
-      sim::Link* link = ev.uplink
-                            ? bed_->network().uplink(slot.peer->address())
-                            : bed_->network().downlink(slot.peer->address());
+      sim::Link* link =
+          ev.uplink ? backend_->network().uplink(slot.peer->address())
+                    : backend_->network().downlink(slot.peer->address());
       if (link == nullptr) return;
       if (ev.rate_bps >= 0.0) link->set_rate_bps(ev.rate_bps);
       if (ev.loss_rate >= 0.0) link->set_loss_rate(ev.loss_rate);
@@ -108,7 +128,7 @@ void ScenarioRunner::ScheduleSpec() {
 
 void ScenarioRunner::JoinSlot(Slot& slot) {
   if (slot.present) return;
-  slot.peer->Join(bed_->controller(), slot.meeting_id);
+  slot.peer->Join(backend_->signaling(), slot.meeting_id);
   slot.present = true;
   slot.joined_at_s = now_s();
 }
@@ -127,6 +147,10 @@ void ScenarioRunner::LeaveSlot(Slot& slot) {
   const core::ParticipantId leaver = slot.peer->id();
   for (Slot& other : slots_) {
     if (&other == &slot) continue;
+    // Participant ids are only unique per meeting (fleet switches number
+    // their participants independently), so scope the sweep to the
+    // leaver's meeting — the only place its legs exist anyway.
+    if (other.meeting_id != slot.meeting_id) continue;
     if (const auto* rx = other.peer->video_receiver(leaver)) {
       retired_frames_decoded_ += rx->stats().frames_decoded;
     }
@@ -137,24 +161,32 @@ void ScenarioRunner::LeaveSlot(Slot& slot) {
 }
 
 void ScenarioRunner::FailoverBegin() {
-  // Switch failover: the data plane's forwarding state (streams, trees,
-  // rewriters) is lost and the controller re-signals every meeting onto
-  // the standby — in this single-switch simulation, the same switch
-  // restarted. The recovery path (full renegotiation, tree rebuild,
-  // PLI-driven keyframe resync) is the one a real standby would take.
-  // The blackout between Begin and End lets in-flight pre-failover media
-  // drain; the stream table is keyed by (src, ssrc), which a rejoining
-  // client reuses, so stale packets would otherwise be forwarded onto the
-  // rebuilt legs as conflicting duplicates.
+  // Switch failover: the backend kills a forwarding substrate instance
+  // (the single switch on scallop/software; the switch hosting the first
+  // meeting on a fleet) and reports which meetings lost it. Their
+  // participants' sessions died with the switch, so the runner tears them
+  // down; the blackout between Begin and End lets in-flight pre-failover
+  // media drain before the recovery substrate installs stream entries for
+  // the same (src, ssrc) keys — exactly as a real standby would only see
+  // live traffic.
   failover_returnees_.clear();
+  std::vector<core::MeetingId> affected = backend_->FailoverBegin();
   for (Slot& slot : slots_) {
     if (!slot.present) continue;
+    if (std::find(affected.begin(), affected.end(), slot.meeting_id) ==
+        affected.end()) {
+      continue;
+    }
     failover_returnees_.push_back(&slot);
     LeaveSlot(slot);
   }
 }
 
 void ScenarioRunner::FailoverEnd() {
+  // Restart/standby bookkeeping first, then the re-joins — which the
+  // backend's signaling routes to whatever switch now hosts each meeting
+  // (on a fleet, the live standby rather than the restarted victim).
+  backend_->FailoverEnd();
   const double t = now_s();
   for (Slot* slot : failover_returnees_) {
     // A participant whose scheduled departure fell inside the blackout
@@ -178,9 +210,10 @@ void ScenarioRunner::Sample() {
       if (rx != nullptr) s.frames_decoded_total += rx->stats().frames_decoded;
     }
   }
-  s.seq_rewritten = bed_->dataplane().stats().seq_rewritten;
-  s.dt_changes = bed_->agent().stats().dt_changes;
-  s.tree_migrations = bed_->agent().tree_manager().stats().migrations;
+  const testbed::BackendCounters c = backend_->counters();
+  s.seq_rewritten = c.seq_rewritten;
+  s.dt_changes = c.dt_changes;
+  s.tree_migrations = c.tree_migrations;
   timeline_.push_back(s);
   if (sample_hook_) sample_hook_(s.t_s, *this);
 }
@@ -194,10 +227,10 @@ const ScenarioMetrics& ScenarioRunner::Run() {
   return final_metrics_;
 }
 
-void ScenarioRunner::RunUntil(double t_s) { bed_->RunUntil(t_s); }
+void ScenarioRunner::RunUntil(double t_s) { backend_->RunUntil(t_s); }
 
 double ScenarioRunner::now_s() const {
-  return util::ToSeconds(bed_->sched().now());
+  return util::ToSeconds(backend_->sched().now());
 }
 
 client::Peer& ScenarioRunner::peer(int meeting, int participant) {
@@ -231,15 +264,22 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.scenario = spec_.name;
   m.seed = spec_.seed;
   m.duration_s = now_s();
-  const util::TimeUs now = bed_->sched().now();
+  m.backend = backend_->Name();
+  const util::TimeUs now = backend_->sched().now();
 
+  // Placement rows accompany the switch breakdown: whenever the CSV will
+  // carry a fleet section (any fleet, even n=1), every meeting gets its
+  // hosting switch, so the two sections never contradict each other.
+  m.switches = backend_->SwitchBreakdown();
   for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
     MeetingMetrics mm;
     mm.index = static_cast<int>(mi);
     mm.id = meeting_ids_[mi];
-    auto design = bed_->agent().tree_manager().CurrentDesign(meeting_ids_[mi]);
-    mm.final_design =
-        design.has_value() ? core::TreeDesignName(*design) : "none";
+    mm.final_design = backend_->TreeDesignOf(meeting_ids_[mi]);
+    if (!m.switches.empty()) {
+      size_t at = backend_->PlacementOf(meeting_ids_[mi]);
+      mm.placement = at == SIZE_MAX ? -1 : static_cast<int>(at);
+    }
     for (const Slot& slot : slots_) {
       if (slot.meeting == mm.index && slot.present) ++mm.participants_at_end;
     }
@@ -297,24 +337,22 @@ ScenarioMetrics ScenarioRunner::Collect() const {
 
   m.timeline = timeline_;
 
-  const auto& sw = bed_->sw().stats();
-  m.switch_packets_in = sw.packets_in;
-  m.switch_packets_out = sw.packets_out;
-  m.switch_replicas = sw.replicas;
-  const auto& dp = bed_->dataplane().stats();
-  m.seq_rewritten = dp.seq_rewritten;
-  m.seq_dropped = dp.seq_dropped;
-  m.svc_suppressed = dp.svc_suppressed;
-  m.remb_filtered = dp.remb_filtered;
-  m.remb_forwarded = dp.remb_forwarded;
-  const auto& agent = bed_->agent().stats();
-  m.dt_changes = agent.dt_changes;
-  m.filter_flips = agent.filter_flips;
-  m.agent_cpu_packets = agent.cpu_packets;
-  const auto& trees = bed_->agent().tree_manager().stats();
-  m.trees_built = trees.trees_built;
-  m.tree_migrations = trees.migrations;
-  m.blackholed = bed_->network().blackholed();
+  const testbed::BackendCounters c = backend_->counters();
+  m.switch_packets_in = c.switch_packets_in;
+  m.switch_packets_out = c.switch_packets_out;
+  m.switch_replicas = c.switch_replicas;
+  m.seq_rewritten = c.seq_rewritten;
+  m.seq_dropped = c.seq_dropped;
+  m.svc_suppressed = c.svc_suppressed;
+  m.remb_filtered = c.remb_filtered;
+  m.remb_forwarded = c.remb_forwarded;
+  m.dt_changes = c.dt_changes;
+  m.filter_flips = c.filter_flips;
+  m.agent_cpu_packets = c.agent_cpu_packets;
+  m.trees_built = c.trees_built;
+  m.tree_migrations = c.tree_migrations;
+  m.placements_rebalanced = c.placements_rebalanced;
+  m.blackholed = backend_->network().blackholed();
   return m;
 }
 

@@ -1,8 +1,10 @@
-// Executes a ScenarioSpec deterministically on top of the Scallop testbed:
-// builds the switch + controller stack, creates every meeting and
-// participant, schedules joins/leaves/link-degradations/failover as
-// discrete events, samples a timeline, and collects structured metrics.
-// The same spec + seed always produces byte-identical ToCsv() output.
+// Executes a ScenarioSpec deterministically on a conference backend
+// (testbed::Backend): builds the substrate the spec's `backend` field
+// names — single-switch Scallop stack, multi-switch fleet, or software
+// SFU — creates every meeting and participant, schedules
+// joins/leaves/link-degradations/failover as discrete events, samples a
+// timeline, and collects structured metrics. The same spec + seed always
+// produces byte-identical ToCsv() output.
 #pragma once
 
 #include <functional>
@@ -10,6 +12,10 @@
 
 #include "harness/metrics.hpp"
 #include "harness/scenario.hpp"
+
+namespace scallop::testbed {
+class FleetTestbed;
+}  // namespace scallop::testbed
 
 namespace scallop::harness {
 
@@ -36,7 +42,14 @@ class ScenarioRunner {
   void set_sample_hook(SampleHook hook) { sample_hook_ = std::move(hook); }
 
   const ScenarioSpec& spec() const { return spec_; }
-  testbed::ScallopTestbed& bed() { return *bed_; }
+  // The substrate executing this scenario.
+  testbed::Backend& backend() { return *backend_; }
+  const testbed::Backend& backend() const { return *backend_; }
+  // Substrate-specific introspection for tests/benches that inspect switch
+  // or fleet internals; throws std::logic_error when the spec selected a
+  // different backend.
+  testbed::ScallopTestbed& scallop();
+  testbed::FleetTestbed& fleet();
   // Scenario-relative current time in seconds.
   double now_s() const;
 
@@ -69,7 +82,7 @@ class ScenarioRunner {
   const Slot& slot_at(int meeting, int participant) const;
 
   ScenarioSpec spec_;
-  std::unique_ptr<testbed::ScallopTestbed> bed_;
+  std::unique_ptr<testbed::Backend> backend_;
   std::vector<core::MeetingId> meeting_ids_;
   std::vector<Slot> slots_;  // meeting-major order
   std::vector<Slot*> failover_returnees_;

@@ -96,6 +96,11 @@ ScenarioSpec& ScenarioSpec::WithFailover(double at_s) {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::WithBackend(testbed::BackendChoice choice) {
+  backend = choice;
+  return *this;
+}
+
 int ScenarioSpec::TotalParticipants() const {
   int n = 0;
   for (const auto& m : meetings) n += static_cast<int>(m.participants.size());

@@ -81,6 +81,12 @@ struct ScenarioSpec {
   // keys — exactly as a real standby would only see live traffic.
   double failover_blackout_s = 0.25;
 
+  // Which forwarding substrate executes the scenario: the single-switch
+  // Scallop stack (default), a multi-switch fleet, or the software-SFU
+  // baseline. The whole spec vocabulary (links, churn, failover) runs
+  // unchanged on any backend.
+  testbed::BackendChoice backend;
+
   // Underlying testbed knobs (encoder rates, agent policy, ...). The
   // testbed seed is overwritten with `seed` above; per-participant link
   // shapes come from their LinkProfile, not from the base config.
@@ -100,6 +106,7 @@ struct ScenarioSpec {
                           double rejoin_at_s = -1.0);
   ScenarioSpec& WithLinkEvent(LinkEvent ev);
   ScenarioSpec& WithFailover(double at_s);
+  ScenarioSpec& WithBackend(testbed::BackendChoice choice);
 
   // Total participants across meetings.
   int TotalParticipants() const;

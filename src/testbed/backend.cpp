@@ -1,0 +1,58 @@
+#include "testbed/backend.hpp"
+
+#include <stdexcept>
+
+#include "testbed/fleet_testbed.hpp"
+#include "testbed/testbed.hpp"
+
+namespace scallop::testbed {
+
+std::string BackendChoice::Label() const {
+  switch (kind) {
+    case Kind::kScallop:
+      return "scallop";
+    case Kind::kFleet:
+      return "fleet{" + std::to_string(fleet_switches) + "}";
+    case Kind::kSoftware:
+      return "software";
+  }
+  return "unknown";
+}
+
+void Backend::AccumulateSwitchNode(BackendCounters& c,
+                                   const switchsim::Switch& sw,
+                                   const core::DataPlaneProgram& dp,
+                                   const core::SwitchAgent& agent) {
+  const auto& sw_stats = sw.stats();
+  c.switch_packets_in += sw_stats.packets_in;
+  c.switch_packets_out += sw_stats.packets_out;
+  c.switch_replicas += sw_stats.replicas;
+  const auto& dp_stats = dp.stats();
+  c.seq_rewritten += dp_stats.seq_rewritten;
+  c.seq_dropped += dp_stats.seq_dropped;
+  c.svc_suppressed += dp_stats.svc_suppressed;
+  c.remb_filtered += dp_stats.remb_filtered;
+  c.remb_forwarded += dp_stats.remb_forwarded;
+  const auto& agent_stats = agent.stats();
+  c.dt_changes += agent_stats.dt_changes;
+  c.filter_flips += agent_stats.filter_flips;
+  c.agent_cpu_packets += agent_stats.cpu_packets;
+  const auto& tree_stats = agent.tree_manager().stats();
+  c.trees_built += tree_stats.trees_built;
+  c.tree_migrations += tree_stats.migrations;
+}
+
+std::unique_ptr<Backend> MakeBackend(const BackendChoice& choice,
+                                     const TestbedConfig& cfg) {
+  switch (choice.kind) {
+    case BackendChoice::Kind::kScallop:
+      return std::make_unique<ScallopTestbed>(cfg);
+    case BackendChoice::Kind::kFleet:
+      return std::make_unique<FleetTestbed>(cfg, choice.fleet_switches);
+    case BackendChoice::Kind::kSoftware:
+      return std::make_unique<SoftwareTestbed>(cfg);
+  }
+  throw std::invalid_argument("MakeBackend: unknown backend kind");
+}
+
+}  // namespace scallop::testbed

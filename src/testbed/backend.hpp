@@ -1,0 +1,144 @@
+// The conference-backend seam (SDN southbound abstraction, paper Appendix
+// A): one stable interface between experiment logic (ScenarioRunner, the
+// benches) and the forwarding substrate that executes it. Three substrates
+// implement it today — the single-switch Scallop stack, a multi-switch
+// fleet under one FleetController, and the software-SFU baseline — and new
+// ones (cascades, remote testbeds) drop in without touching experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/peer.hpp"
+#include "core/controller.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace scallop::testbed {
+
+struct TestbedConfig;
+
+// Which substrate a ScenarioSpec runs on. Value-type so specs stay
+// copyable declarative data.
+struct BackendChoice {
+  enum class Kind { kScallop, kFleet, kSoftware };
+  Kind kind = Kind::kScallop;
+  // Fleet only: number of switches (each with its own data plane, agent
+  // and SFU IP) under the shared FleetController.
+  int fleet_switches = 2;
+
+  static BackendChoice Scallop() { return {}; }
+  static BackendChoice Fleet(int n_switches = 2) {
+    return {Kind::kFleet, n_switches};
+  }
+  static BackendChoice Software() { return {Kind::kSoftware, 0}; }
+
+  // "scallop", "fleet{3}" or "software".
+  std::string Label() const;
+};
+
+// Forwarding/control-plane aggregates every backend can report; fields a
+// substrate has no equivalent for stay zero (e.g. seq_rewritten on the
+// software SFU, which forwards exact copies).
+struct BackendCounters {
+  uint64_t switch_packets_in = 0;
+  uint64_t switch_packets_out = 0;
+  uint64_t switch_replicas = 0;
+  uint64_t seq_rewritten = 0;
+  uint64_t seq_dropped = 0;
+  uint64_t svc_suppressed = 0;
+  uint64_t remb_filtered = 0;
+  uint64_t remb_forwarded = 0;
+  uint64_t dt_changes = 0;
+  uint64_t filter_flips = 0;
+  uint64_t trees_built = 0;
+  uint64_t tree_migrations = 0;
+  uint64_t agent_cpu_packets = 0;
+  uint64_t placements_rebalanced = 0;  // fleet meeting migrations
+};
+
+// Per-switch snapshot for multi-switch backends (single-switch backends
+// return an empty breakdown, which keeps their CSV rendering unchanged).
+struct SwitchStatus {
+  int index = 0;
+  net::Ipv4 sfu_ip;
+  bool alive = true;
+  int meetings = 0;
+  int participants = 0;
+  uint64_t packets_in = 0;
+  uint64_t packets_out = 0;
+  uint64_t replicas = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Peer attachment with explicit link shapes. Host addressing and
+  // per-peer seeding depend only on attachment order, never on the
+  // substrate, so a spec produces the same client population everywhere.
+  virtual client::Peer& AddPeer(const client::PeerConfig& base,
+                                const sim::LinkConfig& up,
+                                const sim::LinkConfig& down) = 0;
+
+  virtual core::MeetingId CreateMeeting() = 0;
+  // The signaling entry point peers Join/Leave through (Scallop's
+  // controller, the fleet controller, or the software SFU).
+  virtual core::SignalingServer& signaling() = 0;
+
+  // Advances to absolute simulation time `t_s` (no-op if already past).
+  virtual void RunUntil(double t_s) = 0;
+
+  virtual sim::Scheduler& sched() = 0;
+  virtual sim::Network& network() = 0;
+  virtual std::vector<std::unique_ptr<client::Peer>>& peers() = 0;
+
+  // ---- failover protocol -------------------------------------------------
+  // FailoverBegin kills a forwarding substrate instance and returns the
+  // meetings that lost it; the caller tears the affected peers down (their
+  // signaling died with the switch), waits out the detection/re-signaling
+  // blackout, calls FailoverEnd (restart/standby bookkeeping), and
+  // re-Joins the affected peers — which the backend routes to whatever
+  // substrate now hosts each meeting.
+  virtual std::vector<core::MeetingId> FailoverBegin() = 0;
+  virtual void FailoverEnd() {}
+
+  // ---- introspection for metrics ----------------------------------------
+  virtual BackendCounters counters() const = 0;
+  // Replication-tree design currently serving a meeting ("none" when the
+  // substrate has no tree notion, e.g. the software SFU).
+  virtual std::string TreeDesignOf(core::MeetingId /*meeting*/) const {
+    return "none";
+  }
+  virtual size_t switch_count() const { return 1; }
+  // Index of the switch hosting a meeting (always 0 on single-switch
+  // backends, SIZE_MAX when unknown).
+  virtual size_t PlacementOf(core::MeetingId /*meeting*/) const { return 0; }
+  virtual std::vector<SwitchStatus> SwitchBreakdown() const { return {}; }
+
+ protected:
+  // Shared scallop-stack counter aggregation: single-switch and fleet
+  // backends fold each (switch, data plane, agent) node through the same
+  // mapping so their BackendCounters can never drift apart.
+  static void AccumulateSwitchNode(BackendCounters& c,
+                                   const switchsim::Switch& sw,
+                                   const core::DataPlaneProgram& dp,
+                                   const core::SwitchAgent& agent);
+
+  // Shared peer attachment: 10.0.x.y host addressing and seed derivation
+  // in attachment order — the invariant all backends must preserve.
+  static client::Peer& AttachPeer(
+      sim::Scheduler& sched, sim::Network& network, uint64_t testbed_seed,
+      int& next_host, std::vector<std::unique_ptr<client::Peer>>& peers,
+      const client::PeerConfig& base, const sim::LinkConfig& up,
+      const sim::LinkConfig& down);
+};
+
+// Builds the substrate a spec asked for from the shared testbed knobs.
+std::unique_ptr<Backend> MakeBackend(const BackendChoice& choice,
+                                     const TestbedConfig& cfg);
+
+}  // namespace scallop::testbed

@@ -1,0 +1,131 @@
+#include "testbed/fleet_testbed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scallop::testbed {
+
+FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
+    : cfg_(cfg) {
+  if (n_switches < 1 || n_switches > 200) {
+    throw std::invalid_argument("FleetTestbed: n_switches out of range");
+  }
+  network_ = std::make_unique<sim::Network>(sched_, cfg_.seed);
+  fleet_ = std::make_unique<core::FleetController>();
+  nodes_.reserve(static_cast<size_t>(n_switches));
+  for (int i = 0; i < n_switches; ++i) {
+    Node node;
+    node.ip = net::Ipv4(cfg_.sfu_ip.value() + static_cast<uint32_t>(i));
+    switchsim::SwitchConfig sw_cfg;
+    sw_cfg.address = node.ip;
+    node.sw = std::make_unique<switchsim::Switch>(sched_, *network_, sw_cfg);
+    node.dp = std::make_unique<core::DataPlaneProgram>(*node.sw,
+                                                       cfg_.dataplane);
+    core::AgentConfig agent_cfg = cfg_.agent;
+    agent_cfg.sfu_ip = node.ip;
+    node.agent =
+        std::make_unique<core::SwitchAgent>(sched_, *node.dp, agent_cfg);
+    network_->Attach(node.ip, node.sw.get(), cfg_.sfu_uplink,
+                     cfg_.sfu_downlink);
+    fleet_->AddSwitch(*node.agent, node.ip);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+std::string FleetTestbed::Name() const {
+  return BackendChoice::Fleet(static_cast<int>(nodes_.size())).Label();
+}
+
+client::Peer& FleetTestbed::AddPeer() {
+  return AddPeer(cfg_.client_uplink, cfg_.client_downlink);
+}
+
+client::Peer& FleetTestbed::AddPeer(const sim::LinkConfig& up,
+                                    const sim::LinkConfig& down) {
+  return AddPeer(cfg_.peer, up, down);
+}
+
+client::Peer& FleetTestbed::AddPeer(const client::PeerConfig& base,
+                                    const sim::LinkConfig& up,
+                                    const sim::LinkConfig& down) {
+  return AttachPeer(sched_, *network_, cfg_.seed, next_host_, peers_, base,
+                    up, down);
+}
+
+core::MeetingId FleetTestbed::CreateMeeting() {
+  core::MeetingId id = fleet_->CreateMeeting();
+  meetings_.push_back(id);
+  return id;
+}
+
+void FleetTestbed::RunFor(double seconds) {
+  sched_.RunUntil(sched_.now() + util::Seconds(seconds));
+}
+
+void FleetTestbed::RunUntil(double t_s) {
+  sched_.RunUntil(util::Seconds(t_s));
+}
+
+std::vector<core::MeetingId> FleetTestbed::FailoverBegin() {
+  // Kill the switch hosting the first still-placed meeting; every meeting
+  // it hosts loses its forwarding state. The fleet migrates them to a live
+  // standby right away (placement decisions are control-plane work), so
+  // the re-Joins after the blackout land on the standby's SFU IP.
+  size_t victim = SIZE_MAX;
+  std::vector<core::MeetingId> affected;
+  for (core::MeetingId m : meetings_) {
+    size_t at = fleet_->PlacementOf(m);
+    if (at == SIZE_MAX) continue;
+    if (victim == SIZE_MAX) victim = at;
+    if (at == victim) affected.push_back(m);
+  }
+  if (victim == SIZE_MAX) return {};
+  failed_switch_ = victim;
+  fleet_->OnSwitchDown(victim);
+  return affected;
+}
+
+void FleetTestbed::FailoverEnd() {
+  // The victim restarts empty and rejoins the fleet as a standby for
+  // future placements; migrated meetings stay where they are.
+  if (failed_switch_ == SIZE_MAX) return;
+  fleet_->ReviveSwitch(failed_switch_);
+  failed_switch_ = SIZE_MAX;
+}
+
+BackendCounters FleetTestbed::counters() const {
+  BackendCounters c;
+  for (const Node& node : nodes_) {
+    AccumulateSwitchNode(c, *node.sw, *node.dp, *node.agent);
+  }
+  c.placements_rebalanced = fleet_->stats().placements_rebalanced;
+  return c;
+}
+
+std::string FleetTestbed::TreeDesignOf(core::MeetingId meeting) const {
+  auto [idx, local] = fleet_->PlacementDetail(meeting);
+  if (idx == SIZE_MAX) return "none";
+  auto design = nodes_[idx].agent->tree_manager().CurrentDesign(local);
+  return design.has_value() ? core::TreeDesignName(*design) : "none";
+}
+
+std::vector<SwitchStatus> FleetTestbed::SwitchBreakdown() const {
+  std::vector<SwitchStatus> out;
+  out.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    SwitchStatus s;
+    s.index = static_cast<int>(i);
+    s.sfu_ip = nodes_[i].ip;
+    s.alive = fleet_->IsAlive(i);
+    s.meetings = fleet_->MeetingsOn(i);
+    s.participants = fleet_->LoadOf(i);
+    const auto& sw = nodes_[i].sw->stats();
+    s.packets_in = sw.packets_in;
+    s.packets_out = sw.packets_out;
+    s.replicas = sw.replicas;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace scallop::testbed

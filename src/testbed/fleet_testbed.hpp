@@ -1,0 +1,79 @@
+// Multi-switch testbed: N Scallop switches (each with its own data plane,
+// switch agent and SFU IP on datacenter links) under one FleetController —
+// the paper's Appendix A deployment shape, and the first new substrate
+// behind the testbed::Backend seam. Failover here finally means a real
+// standby: FailoverBegin kills the switch hosting the first meeting and
+// the fleet migrates its meetings to a live switch, so recovering peers
+// re-signal to the standby's SFU IP instead of the restarted victim.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dataplane.hpp"
+#include "core/fleet.hpp"
+#include "core/switch_agent.hpp"
+#include "switchsim/switch.hpp"
+#include "testbed/testbed.hpp"
+
+namespace scallop::testbed {
+
+class FleetTestbed : public Backend {
+ public:
+  // Switch i gets SFU IP cfg.sfu_ip + i (last octet) and the config's
+  // datacenter link shapes.
+  explicit FleetTestbed(const TestbedConfig& cfg = {}, int n_switches = 2);
+
+  client::Peer& AddPeer();
+  client::Peer& AddPeer(const sim::LinkConfig& up, const sim::LinkConfig& down);
+  client::Peer& AddPeer(const client::PeerConfig& base,
+                        const sim::LinkConfig& up,
+                        const sim::LinkConfig& down) override;
+
+  core::MeetingId CreateMeeting() override;
+  void RunFor(double seconds);
+  void RunUntil(double t_s) override;
+
+  sim::Scheduler& sched() override { return sched_; }
+  sim::Network& network() override { return *network_; }
+  std::vector<std::unique_ptr<client::Peer>>& peers() override {
+    return peers_;
+  }
+  core::FleetController& fleet() { return *fleet_; }
+  switchsim::Switch& sw(size_t i) { return *nodes_[i].sw; }
+  core::DataPlaneProgram& dataplane(size_t i) { return *nodes_[i].dp; }
+  core::SwitchAgent& agent(size_t i) { return *nodes_[i].agent; }
+
+  // testbed::Backend
+  std::string Name() const override;
+  core::SignalingServer& signaling() override { return *fleet_; }
+  std::vector<core::MeetingId> FailoverBegin() override;
+  void FailoverEnd() override;
+  BackendCounters counters() const override;
+  std::string TreeDesignOf(core::MeetingId meeting) const override;
+  size_t switch_count() const override { return nodes_.size(); }
+  size_t PlacementOf(core::MeetingId meeting) const override {
+    return fleet_->PlacementOf(meeting);
+  }
+  std::vector<SwitchStatus> SwitchBreakdown() const override;
+
+ private:
+  struct Node {
+    net::Ipv4 ip;
+    std::unique_ptr<switchsim::Switch> sw;
+    std::unique_ptr<core::DataPlaneProgram> dp;
+    std::unique_ptr<core::SwitchAgent> agent;
+  };
+
+  TestbedConfig cfg_;
+  sim::Scheduler sched_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<core::FleetController> fleet_;
+  std::vector<std::unique_ptr<client::Peer>> peers_;
+  std::vector<core::MeetingId> meetings_;
+  int next_host_ = 1;
+  size_t failed_switch_ = SIZE_MAX;
+};
+
+}  // namespace scallop::testbed

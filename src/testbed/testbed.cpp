@@ -1,6 +1,24 @@
 #include "testbed/testbed.hpp"
 
+#include "core/types.hpp"
+
 namespace scallop::testbed {
+
+client::Peer& Backend::AttachPeer(
+    sim::Scheduler& sched, sim::Network& network, uint64_t testbed_seed,
+    int& next_host, std::vector<std::unique_ptr<client::Peer>>& peers,
+    const client::PeerConfig& base, const sim::LinkConfig& up,
+    const sim::LinkConfig& down) {
+  client::PeerConfig pc = base;
+  pc.address = net::Ipv4(10, 0, static_cast<uint8_t>(next_host >> 8),
+                         static_cast<uint8_t>(next_host & 0xff));
+  pc.seed = testbed_seed * 1000 + static_cast<uint64_t>(next_host);
+  ++next_host;
+  auto peer = std::make_unique<client::Peer>(sched, network, pc);
+  network.Attach(pc.address, peer.get(), up, down);
+  peers.push_back(std::move(peer));
+  return *peers.back();
+}
 
 ScallopTestbed::ScallopTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
   network_ = std::make_unique<sim::Network>(sched_, cfg_.seed);
@@ -29,15 +47,14 @@ client::Peer& ScallopTestbed::AddPeer(const sim::LinkConfig& up,
 client::Peer& ScallopTestbed::AddPeer(const client::PeerConfig& base,
                                       const sim::LinkConfig& up,
                                       const sim::LinkConfig& down) {
-  client::PeerConfig pc = base;
-  pc.address = net::Ipv4(10, 0, static_cast<uint8_t>(next_host_ >> 8),
-                         static_cast<uint8_t>(next_host_ & 0xff));
-  pc.seed = cfg_.seed * 1000 + static_cast<uint64_t>(next_host_);
-  ++next_host_;
-  auto peer = std::make_unique<client::Peer>(sched_, *network_, pc);
-  network_->Attach(pc.address, peer.get(), up, down);
-  peers_.push_back(std::move(peer));
-  return *peers_.back();
+  return AttachPeer(sched_, *network_, cfg_.seed, next_host_, peers_, base,
+                    up, down);
+}
+
+core::MeetingId ScallopTestbed::CreateMeeting() {
+  core::MeetingId id = controller_->CreateMeeting();
+  meetings_.push_back(id);
+  return id;
 }
 
 void ScallopTestbed::RunFor(double seconds) {
@@ -46,6 +63,17 @@ void ScallopTestbed::RunFor(double seconds) {
 
 void ScallopTestbed::RunUntil(double t_s) {
   sched_.RunUntil(util::Seconds(t_s));
+}
+
+BackendCounters ScallopTestbed::counters() const {
+  BackendCounters c;
+  AccumulateSwitchNode(c, *switch_, *dataplane_, *agent_);
+  return c;
+}
+
+std::string ScallopTestbed::TreeDesignOf(core::MeetingId meeting) const {
+  auto design = agent_->tree_manager().CurrentDesign(meeting);
+  return design.has_value() ? core::TreeDesignName(*design) : "none";
 }
 
 SoftwareTestbed::SoftwareTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
@@ -69,15 +97,14 @@ client::Peer& SoftwareTestbed::AddPeer(const sim::LinkConfig& up,
 client::Peer& SoftwareTestbed::AddPeer(const client::PeerConfig& base,
                                        const sim::LinkConfig& up,
                                        const sim::LinkConfig& down) {
-  client::PeerConfig pc = base;
-  pc.address = net::Ipv4(10, 0, static_cast<uint8_t>(next_host_ >> 8),
-                         static_cast<uint8_t>(next_host_ & 0xff));
-  pc.seed = cfg_.seed * 1000 + static_cast<uint64_t>(next_host_);
-  ++next_host_;
-  auto peer = std::make_unique<client::Peer>(sched_, *network_, pc);
-  network_->Attach(pc.address, peer.get(), up, down);
-  peers_.push_back(std::move(peer));
-  return *peers_.back();
+  return AttachPeer(sched_, *network_, cfg_.seed, next_host_, peers_, base,
+                    up, down);
+}
+
+core::MeetingId SoftwareTestbed::CreateMeeting() {
+  core::MeetingId id = sfu_->CreateMeeting();
+  meetings_.push_back(id);
+  return id;
 }
 
 void SoftwareTestbed::RunFor(double seconds) {
@@ -86,6 +113,18 @@ void SoftwareTestbed::RunFor(double seconds) {
 
 void SoftwareTestbed::RunUntil(double t_s) {
   sched_.RunUntil(util::Seconds(t_s));
+}
+
+BackendCounters SoftwareTestbed::counters() const {
+  BackendCounters c;
+  // The software SFU has no switch pipeline, trees or rewriter; its
+  // forwarding totals map onto the switch columns and everything else
+  // stays zero (it forwards exact copies, §3).
+  const auto& s = sfu_->stats();
+  c.switch_packets_in = s.packets_in;
+  c.switch_packets_out = s.packets_out;
+  c.switch_replicas = s.packets_out;
+  return c;
 }
 
 }  // namespace scallop::testbed

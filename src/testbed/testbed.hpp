@@ -1,7 +1,9 @@
 // Experiment scaffolding: assembles the full Scallop stack (switch + data
 // plane + agent + controller) or the software-SFU baseline, attaches Peer
 // clients with per-client link shapes, and runs the event simulation.
-// Used by integration tests, the benchmark harnesses and the examples.
+// Both testbeds implement the testbed::Backend interface (backend.hpp) so
+// the ScenarioRunner and benches drive them interchangeably; the
+// multi-switch FleetTestbed lives in fleet_testbed.hpp.
 #pragma once
 
 #include <memory>
@@ -15,6 +17,7 @@
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 #include "switchsim/switch.hpp"
+#include "testbed/backend.hpp"
 
 namespace scallop::testbed {
 
@@ -42,7 +45,7 @@ struct TestbedConfig {
   client::PeerConfig peer;          // address/seed overwritten per peer
 };
 
-class ScallopTestbed {
+class ScallopTestbed : public Backend {
  public:
   explicit ScallopTestbed(const TestbedConfig& cfg = {});
 
@@ -51,21 +54,33 @@ class ScallopTestbed {
   client::Peer& AddPeer(const sim::LinkConfig& up, const sim::LinkConfig& down);
   client::Peer& AddPeer(const client::PeerConfig& base,
                         const sim::LinkConfig& up,
-                        const sim::LinkConfig& down);
+                        const sim::LinkConfig& down) override;
 
-  core::MeetingId CreateMeeting() { return controller_->CreateMeeting(); }
+  core::MeetingId CreateMeeting() override;
   void RunFor(double seconds);
   // Advances to absolute simulation time `t_s` (no-op if already past);
   // the natural stepper for schedule-driven harnesses.
-  void RunUntil(double t_s);
+  void RunUntil(double t_s) override;
 
-  sim::Scheduler& sched() { return sched_; }
-  sim::Network& network() { return *network_; }
+  sim::Scheduler& sched() override { return sched_; }
+  sim::Network& network() override { return *network_; }
   switchsim::Switch& sw() { return *switch_; }
   core::DataPlaneProgram& dataplane() { return *dataplane_; }
   core::SwitchAgent& agent() { return *agent_; }
   core::Controller& controller() { return *controller_; }
-  std::vector<std::unique_ptr<client::Peer>>& peers() { return peers_; }
+  std::vector<std::unique_ptr<client::Peer>>& peers() override {
+    return peers_;
+  }
+
+  // testbed::Backend
+  std::string Name() const override { return "scallop"; }
+  core::SignalingServer& signaling() override { return *controller_; }
+  // Single-switch failover: the one switch's forwarding state is lost, so
+  // every meeting is affected and recovery re-signals onto the restarted
+  // switch (the standby role in a one-switch deployment).
+  std::vector<core::MeetingId> FailoverBegin() override { return meetings_; }
+  BackendCounters counters() const override;
+  std::string TreeDesignOf(core::MeetingId meeting) const override;
 
  private:
   TestbedConfig cfg_;
@@ -76,10 +91,11 @@ class ScallopTestbed {
   std::unique_ptr<core::SwitchAgent> agent_;
   std::unique_ptr<core::Controller> controller_;
   std::vector<std::unique_ptr<client::Peer>> peers_;
+  std::vector<core::MeetingId> meetings_;
   int next_host_ = 1;
 };
 
-class SoftwareTestbed {
+class SoftwareTestbed : public Backend {
  public:
   explicit SoftwareTestbed(const TestbedConfig& cfg = {});
 
@@ -87,16 +103,25 @@ class SoftwareTestbed {
   client::Peer& AddPeer(const sim::LinkConfig& up, const sim::LinkConfig& down);
   client::Peer& AddPeer(const client::PeerConfig& base,
                         const sim::LinkConfig& up,
-                        const sim::LinkConfig& down);
+                        const sim::LinkConfig& down) override;
 
-  core::MeetingId CreateMeeting() { return sfu_->CreateMeeting(); }
+  core::MeetingId CreateMeeting() override;
   void RunFor(double seconds);
-  void RunUntil(double t_s);
+  void RunUntil(double t_s) override;
 
-  sim::Scheduler& sched() { return sched_; }
-  sim::Network& network() { return *network_; }
+  sim::Scheduler& sched() override { return sched_; }
+  sim::Network& network() override { return *network_; }
   sfu::SoftwareSfu& sfu() { return *sfu_; }
-  std::vector<std::unique_ptr<client::Peer>>& peers() { return peers_; }
+  std::vector<std::unique_ptr<client::Peer>>& peers() override {
+    return peers_;
+  }
+
+  // testbed::Backend
+  std::string Name() const override { return "software"; }
+  core::SignalingServer& signaling() override { return *sfu_; }
+  // Process restart: all meetings lose their forwarding state.
+  std::vector<core::MeetingId> FailoverBegin() override { return meetings_; }
+  BackendCounters counters() const override;
 
  private:
   TestbedConfig cfg_;
@@ -104,6 +129,7 @@ class SoftwareTestbed {
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<sfu::SoftwareSfu> sfu_;
   std::vector<std::unique_ptr<client::Peer>> peers_;
+  std::vector<core::MeetingId> meetings_;
   int next_host_ = 1;
 };
 

@@ -1,9 +1,14 @@
 // Fleet controller (cascading-SFU groundwork, paper Appendix A): one
 // controller managing several switch data planes with load-aware meeting
-// placement.
+// placement, membership-guarded load accounting, and switch-failure
+// migration to a live standby. Exercised both directly and through the
+// FleetTestbed backend behind the ScenarioRunner.
 #include <gtest/gtest.h>
 
-#include "core/fleet.hpp"
+#include <set>
+
+#include "harness/runner.hpp"
+#include "testbed/fleet_testbed.hpp"
 #include "testbed/testbed.hpp"
 
 namespace scallop::core {
@@ -113,5 +118,210 @@ TEST(Fleet, LeaveAndEndMeetingReleaseLoad) {
   EXPECT_EQ(bed.fleet.PlacementOf(m1), SIZE_MAX);
 }
 
+TEST(Fleet, DoubleLeaveDoesNotSkewLoad) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  client::Peer& a = bed.AddPeer(1);
+  a.Join(bed.fleet, m1);
+  size_t idx = bed.fleet.PlacementOf(m1);
+  EXPECT_EQ(bed.fleet.LoadOf(idx), 1);
+  a.Leave();
+  EXPECT_EQ(bed.fleet.LoadOf(idx), 0);
+  // A second leave for the same participant (stale client retry) and a
+  // leave for someone who never joined must not drive the load negative —
+  // that would permanently bias LeastLoaded toward this switch.
+  bed.fleet.Leave(m1, 1);
+  bed.fleet.Leave(m1, 77);
+  EXPECT_EQ(bed.fleet.LoadOf(idx), 0);
+}
+
+TEST(Fleet, EndMeetingDrainsStillJoinedMembers) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  auto m2 = bed.fleet.CreateMeeting();
+  client::Peer& a = bed.AddPeer(1);
+  client::Peer& b = bed.AddPeer(2);
+  a.Join(bed.fleet, m1);
+  b.Join(bed.fleet, m1);
+  size_t idx = bed.fleet.PlacementOf(m1);
+  EXPECT_EQ(bed.fleet.LoadOf(idx), 2);
+  // Nobody left before the meeting ended: the drain must free both.
+  bed.fleet.EndMeeting(m1);
+  EXPECT_EQ(bed.fleet.LoadOf(idx), 0);
+  // The freed switch is attractive again: the next meeting lands on it
+  // (m2's switch carries one meeting, this one none).
+  auto m3 = bed.fleet.CreateMeeting();
+  EXPECT_EQ(bed.fleet.PlacementOf(m3), idx);
+  (void)m2;
+}
+
+TEST(Fleet, MigrateMeetingMovesPlacementAndCountsRebalance) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  client::Peer& a = bed.AddPeer(1);
+  client::Peer& b = bed.AddPeer(2);
+  a.Join(bed.fleet, m1);
+  b.Join(bed.fleet, m1);
+  size_t from = bed.fleet.PlacementOf(m1);
+  size_t to = 1 - from;
+  bed.fleet.MigrateMeeting(m1, to);
+  EXPECT_EQ(bed.fleet.PlacementOf(m1), to);
+  EXPECT_EQ(bed.fleet.stats().placements_rebalanced, 1u);
+  // Members' sessions died with the old placement; their load drains and
+  // they are no longer members until they re-Join.
+  EXPECT_EQ(bed.fleet.LoadOf(from), 0);
+  EXPECT_FALSE(bed.fleet.IsMember(m1, a.id()));
+  // Re-signaling lands on the new placement: a stale Leave is absorbed by
+  // the membership guard and the re-Join counts on the target switch.
+  a.Leave();
+  EXPECT_EQ(bed.fleet.LoadOf(to), 0);
+  a.Join(bed.fleet, m1);
+  EXPECT_EQ(bed.fleet.LoadOf(to), 1);
+  EXPECT_TRUE(bed.fleet.IsMember(m1, a.id()));
+}
+
+TEST(Fleet, StaleLeaveAfterMigrationCannotKickNewMembers) {
+  // Per-switch controllers get disjoint participant-id ranges, so a stale
+  // Leave carrying an id minted by the dead switch can never name a live
+  // member on the standby.
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  client::Peer& a = bed.AddPeer(1);
+  a.Join(bed.fleet, m1);
+  ParticipantId stale_id = a.id();
+  size_t from = bed.fleet.PlacementOf(m1);
+  bed.fleet.OnSwitchDown(from);
+  size_t to = bed.fleet.PlacementOf(m1);
+  ASSERT_NE(to, from);
+
+  client::Peer& b = bed.AddPeer(2);
+  b.Join(bed.fleet, m1);
+  EXPECT_NE(b.id(), stale_id);  // disjoint id spaces across switches
+  EXPECT_EQ(bed.fleet.LoadOf(to), 1);
+  // The stale client's retry names the old id: absorbed, not misapplied.
+  bed.fleet.Leave(m1, stale_id);
+  EXPECT_TRUE(bed.fleet.IsMember(m1, b.id()));
+  EXPECT_EQ(bed.fleet.LoadOf(to), 1);
+}
+
+TEST(Fleet, OnSwitchDownMigratesToLiveStandby) {
+  FleetBed bed;
+  auto m1 = bed.fleet.CreateMeeting();
+  client::Peer& a = bed.AddPeer(1);
+  a.Join(bed.fleet, m1);
+  size_t victim = bed.fleet.PlacementOf(m1);
+  bed.fleet.OnSwitchDown(victim);
+  EXPECT_FALSE(bed.fleet.IsAlive(victim));
+  EXPECT_EQ(bed.fleet.PlacementOf(m1), 1 - victim);
+  EXPECT_EQ(bed.fleet.stats().placements_rebalanced, 1u);
+  // New meetings avoid the dead switch until it is revived.
+  auto m2 = bed.fleet.CreateMeeting();
+  EXPECT_EQ(bed.fleet.PlacementOf(m2), 1 - victim);
+  bed.fleet.ReviveSwitch(victim);
+  EXPECT_TRUE(bed.fleet.IsAlive(victim));
+  auto m3 = bed.fleet.CreateMeeting();
+  EXPECT_EQ(bed.fleet.PlacementOf(m3), victim);  // restarted and empty
+}
+
+// ---- FleetTestbed: the multi-switch backend behind the runner ----------
+
+testbed::TestbedConfig FastStartConfig() {
+  testbed::TestbedConfig cfg;
+  cfg.peer.encoder.start_bitrate_bps = 700'000;
+  cfg.peer.encoder.key_frame_interval = util::Seconds(4);
+  return cfg;
+}
+
+TEST(FleetTestbed, LeastLoadedSpreadsMeetingsAcrossThreeSwitches) {
+  testbed::FleetTestbed bed(FastStartConfig(), 3);
+  auto m1 = bed.CreateMeeting();
+  auto m2 = bed.CreateMeeting();
+  auto m3 = bed.CreateMeeting();
+  std::set<size_t> placements{bed.PlacementOf(m1), bed.PlacementOf(m2),
+                              bed.PlacementOf(m3)};
+  EXPECT_EQ(placements.size(), 3u) << "3 empty switches must get 1 each";
+  // Each switch advertises its own SFU IP.
+  EXPECT_NE(bed.fleet().SfuIpOf(0), bed.fleet().SfuIpOf(1));
+  EXPECT_NE(bed.fleet().SfuIpOf(1), bed.fleet().SfuIpOf(2));
+}
+
+TEST(FleetTestbed, PlacementIsStableAcrossJoinsAndTime) {
+  testbed::FleetTestbed bed(FastStartConfig(), 3);
+  auto m1 = bed.CreateMeeting();
+  size_t placed = bed.PlacementOf(m1);
+  for (int i = 0; i < 3; ++i) {
+    bed.AddPeer().Join(bed.signaling(), m1);
+    EXPECT_EQ(bed.PlacementOf(m1), placed);
+  }
+  bed.RunFor(5.0);
+  EXPECT_EQ(bed.PlacementOf(m1), placed);
+  EXPECT_EQ(bed.fleet().LoadOf(placed), 3);
+  // Media flowed through the hosting switch only.
+  EXPECT_GT(bed.sw(placed).stats().packets_in, 1'000u);
+  for (size_t i = 0; i < bed.switch_count(); ++i) {
+    if (i != placed) EXPECT_EQ(bed.sw(i).stats().packets_in, 0u);
+  }
+}
+
+TEST(FleetTestbed, EndMeetingFreesCapacityForPlacement) {
+  testbed::FleetTestbed bed(FastStartConfig(), 3);
+  auto m1 = bed.CreateMeeting();
+  size_t placed = bed.PlacementOf(m1);
+  client::Peer& a = bed.AddPeer();
+  client::Peer& b = bed.AddPeer();
+  a.Join(bed.signaling(), m1);
+  b.Join(bed.signaling(), m1);
+  bed.fleet().EndMeeting(m1);
+  EXPECT_EQ(bed.fleet().LoadOf(placed), 0);
+  EXPECT_EQ(bed.PlacementOf(m1), SIZE_MAX);
+}
+
 }  // namespace
 }  // namespace scallop::core
+
+namespace scallop::harness {
+namespace {
+
+// Acceptance scenario: on the fleet backend, WithFailover kills the
+// hosting switch and the meeting must land on a *different live* switch —
+// peers re-signal to the standby's SFU IP, placements_rebalanced counts
+// the move, and nobody starves after the blackout.
+TEST(FleetScenario, FailoverMigratesMeetingToStandby) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("fleet-failover", 1, 3, 18.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.max_bitrate_bps = 1'500'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.backend = testbed::BackendChoice::Fleet(2);
+  spec.WithFailover(8.0);
+
+  ScenarioRunner runner(spec);
+  core::MeetingId meeting = runner.meeting_id(0);
+
+  runner.RunUntil(7.9);
+  size_t before = runner.fleet().PlacementOf(meeting);
+  ASSERT_NE(before, SIZE_MAX);
+
+  const ScenarioMetrics& m = runner.Run();
+  size_t after = runner.fleet().PlacementOf(meeting);
+  ASSERT_NE(after, SIZE_MAX);
+  EXPECT_NE(after, before) << "meeting must move off the failed switch";
+  EXPECT_TRUE(runner.fleet().fleet().IsAlive(before)) << "victim restarted";
+  EXPECT_GT(m.placements_rebalanced, 0u);
+
+  // Post-failover delivery recovered: ~10 s of fresh legs on the standby,
+  // nobody starves, rewriting stays gap-free.
+  EXPECT_GE(m.WorstDeliveryFloor(), 220u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
+  EXPECT_EQ(m.blackholed, 0u);
+
+  // The standby actually carried the post-failover media.
+  EXPECT_GT(runner.fleet().sw(after).stats().packets_in, 1'000u);
+
+  // Metrics expose the fleet view: per-switch rows and the placement map.
+  ASSERT_EQ(m.switches.size(), 2u);
+  EXPECT_EQ(m.meetings[0].placement, static_cast<int>(after));
+  EXPECT_NE(m.ToCsv().find("fleet,backend,fleet{2}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scallop::harness

@@ -60,9 +60,9 @@ TEST(ScenarioRunner, LinkProfilesAreAppliedToTheNetwork) {
   spec.WithLink(0, 1, LinkProfile::Asymmetric(1.5e6, 12e6));
   ScenarioRunner runner(spec);
   net::Ipv4 addr = runner.peer(0, 1).address();
-  ASSERT_NE(runner.bed().network().uplink(addr), nullptr);
-  EXPECT_EQ(runner.bed().network().uplink(addr)->config().rate_bps, 1.5e6);
-  EXPECT_EQ(runner.bed().network().downlink(addr)->config().rate_bps, 12e6);
+  ASSERT_NE(runner.backend().network().uplink(addr), nullptr);
+  EXPECT_EQ(runner.backend().network().uplink(addr)->config().rate_bps, 1.5e6);
+  EXPECT_EQ(runner.backend().network().downlink(addr)->config().rate_bps, 12e6);
 }
 
 TEST(ScenarioRunner, ChurnScheduleDrivesPresence) {
@@ -115,10 +115,10 @@ TEST(ScenarioRunner, MidRunLinkEventTakesEffect) {
   ScenarioRunner runner(spec);
   net::Ipv4 addr = runner.peer(0, 1).address();
   runner.RunUntil(2.0);
-  EXPECT_EQ(runner.bed().network().downlink(addr)->config().rate_bps, 20e6);
+  EXPECT_EQ(runner.backend().network().downlink(addr)->config().rate_bps, 20e6);
   runner.RunUntil(4.0);
-  EXPECT_EQ(runner.bed().network().downlink(addr)->config().rate_bps, 2.0e6);
-  EXPECT_EQ(runner.bed().network().downlink(addr)->config().loss_rate, 0.05);
+  EXPECT_EQ(runner.backend().network().downlink(addr)->config().rate_bps, 2.0e6);
+  EXPECT_EQ(runner.backend().network().downlink(addr)->config().loss_rate, 0.05);
 }
 
 TEST(ScenarioRunner, TimelineSamplesAtTheConfiguredCadence) {
@@ -138,6 +138,71 @@ TEST(ScenarioRunner, TimelineSamplesAtTheConfiguredCadence) {
   }
 }
 
+TEST(ScenarioSpec, BackendDefaultsToScallopAndIsFluent) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("backends", 1, 2, 2.0);
+  EXPECT_EQ(spec.backend.kind, testbed::BackendChoice::Kind::kScallop);
+  EXPECT_EQ(spec.backend.Label(), "scallop");
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  EXPECT_EQ(spec.backend.kind, testbed::BackendChoice::Kind::kFleet);
+  EXPECT_EQ(spec.backend.Label(), "fleet{3}");
+  EXPECT_EQ(testbed::BackendChoice::Software().Label(), "software");
+}
+
+TEST(ScenarioRunner, BackendAccessorsMatchTheChosenSubstrate) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("accessors", 1, 2, 1.0);
+  {
+    ScenarioRunner runner(spec);
+    EXPECT_EQ(runner.backend().Name(), "scallop");
+    EXPECT_NO_THROW(runner.scallop());
+    EXPECT_THROW(runner.fleet(), std::logic_error);
+  }
+  {
+    spec.WithBackend(testbed::BackendChoice::Fleet(2));
+    ScenarioRunner runner(spec);
+    EXPECT_EQ(runner.backend().Name(), "fleet{2}");
+    EXPECT_EQ(runner.backend().switch_count(), 2u);
+    EXPECT_NO_THROW(runner.fleet());
+    EXPECT_THROW(runner.scallop(), std::logic_error);
+  }
+}
+
+// The backend seam must not perturb the scallop substrate: the CSV for the
+// CI smoke scenario is pinned byte-for-byte against the output captured
+// from the pre-redesign (PR 1) runner, which held a concrete
+// ScallopTestbed. If this fails, the redesign changed scallop behaviour —
+// not just determinism but the actual packet history.
+TEST(Determinism, ScallopCsvMatchesPreRedesignPin) {
+  const char* kPreRedesignCsv =
+      R"(scenario,bench-smoke,seed,1,duration_s,2.00
+aggregate,switch_in,switch_out,replicas,seq_rewritten,seq_dropped,svc_suppressed,remb_filtered,remb_forwarded,dt_changes,filter_flips,trees_built,migrations,cpu_packets,blackholed
+aggregate,1115,2166,2146,0,0,0,22,20,0,1,1,1,75,0
+meeting,index,id,final_design,participants_at_end
+meeting,0,1,NRA,3
+peer,meeting,index,id,profile,present,seconds,frames_sent,audio_rx,min_frames,max_frames,streams,breaks,conflicts
+peer,0,0,1,default,1,2.00,60,198,59,59,2,0,0
+peer,0,1,2,default,1,2.00,60,198,59,59,2,0,0
+peer,0,2,3,default,1,2.00,60,198,59,59,2,0,0
+stream,meeting,receiver,receiver_id,sender_id,packets,bytes,decoded,undecodable,breaks,conflicts,nacks,recovered,freeze_ms,fps
+stream,0,0,1,2,252,261455,59,0,0,0,0,11,0.00,19.67
+stream,0,0,1,3,248,258354,59,0,0,0,0,14,0.00,19.67
+stream,0,1,2,1,246,251110,59,0,0,0,0,17,0.00,19.67
+stream,0,1,2,3,248,258354,59,0,0,0,0,16,0.00,19.67
+stream,0,2,3,1,246,251110,59,0,0,0,0,13,0.00,19.67
+stream,0,2,3,2,252,261455,59,0,0,0,0,11,0.00,19.67
+sample,t_s,frames_decoded,seq_rewritten,dt_changes,migrations
+sample,0.50,84,0,0,1
+sample,1.00,174,0,0,1
+sample,1.50,264,0,0,1
+sample,2.00,354,0,0,1
+)";
+  // The bench_smoke scenario, verbatim.
+  ScenarioSpec spec = ScenarioSpec::Uniform("bench-smoke", 1, 3, 2.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.sample_interval_s = 0.5;
+  ScenarioRunner runner(spec);
+  EXPECT_EQ(runner.Run().ToCsv(), kPreRedesignCsv);
+}
+
 TEST(Determinism, SameSpecAndSeedIsByteIdentical) {
   ScenarioSpec spec = DemandingSpec(42);
   std::string first, second;
@@ -151,6 +216,28 @@ TEST(Determinism, SameSpecAndSeedIsByteIdentical) {
   }
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second) << "two runs of the same spec+seed diverged";
+}
+
+TEST(Determinism, FleetBackendIsByteIdenticalToo) {
+  // The reproducibility guarantee is a property of the harness, not of
+  // one substrate: the same demanding spec on the fleet backend (churn,
+  // loss, link events, a real standby failover) pins down byte-identical
+  // output as well — including the fleet section of the CSV.
+  ScenarioSpec spec = DemandingSpec(42);
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  std::string first, second;
+  {
+    ScenarioRunner runner(spec);
+    first = runner.Run().ToCsv();
+  }
+  {
+    ScenarioRunner runner(spec);
+    second = runner.Run().ToCsv();
+  }
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "two fleet runs of the same spec+seed diverged";
+  EXPECT_NE(first.find("fleet,backend,fleet{2}"), std::string::npos);
+  EXPECT_NE(first.find("placement,"), std::string::npos);
 }
 
 TEST(Determinism, DifferentSeedsDiverge) {

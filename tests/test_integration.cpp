@@ -61,8 +61,8 @@ TEST(ScallopIntegration, TwoPartyCallDeliversMedia) {
 
   // Two-party fast path: no replication trees.
   auto meeting = runner.meeting_id(0);
-  EXPECT_EQ(runner.bed().sw().pre().tree_count(), 0u);
-  EXPECT_EQ(*runner.bed().agent().tree_manager().CurrentDesign(meeting),
+  EXPECT_EQ(runner.scallop().sw().pre().tree_count(), 0u);
+  EXPECT_EQ(*runner.scallop().agent().tree_manager().CurrentDesign(meeting),
             TreeDesign::kTwoParty);
 }
 
@@ -71,9 +71,9 @@ TEST(ScallopIntegration, ThreePartyUsesNraTreeAndNoSelfEcho) {
   const auto& metrics = runner.Run();
 
   auto meeting = runner.meeting_id(0);
-  EXPECT_EQ(*runner.bed().agent().tree_manager().CurrentDesign(meeting),
+  EXPECT_EQ(*runner.scallop().agent().tree_manager().CurrentDesign(meeting),
             TreeDesign::kNRA);
-  EXPECT_GE(runner.bed().sw().pre().tree_count(), 1u);
+  EXPECT_GE(runner.scallop().sw().pre().tree_count(), 1u);
 
   // Everyone decodes everyone: 6 directed streams, none starved.
   EXPECT_EQ(metrics.streams.size(), 6u);
@@ -93,7 +93,7 @@ TEST(ScallopIntegration, StunKeepalivesAnsweredByAgent) {
   runner.Run();
   Peer& a = runner.peer(0, 0);
 
-  EXPECT_GT(runner.bed().agent().stats().stun_handled, 4u);
+  EXPECT_GT(runner.scallop().agent().stats().stun_handled, 4u);
   EXPECT_GT(a.stats().stun_rtt_samples, 2u);
   // STUN RTT reflects the access links (2 x 5 ms + switch).
   EXPECT_GT(a.stats().last_stun_rtt_ms, 15.0);
@@ -109,7 +109,7 @@ TEST(ScallopIntegration, ForcedDecodeTargetHalvesFrameRate) {
 
   runner.RunUntil(4.0);
   // Force C to 15 fps from A only (sender-receiver-specific).
-  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 1);
+  runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 1);
   runner.RunUntil(14.0);
 
   const auto* c_from_a = c.video_receiver(a.id());
@@ -117,7 +117,7 @@ TEST(ScallopIntegration, ForcedDecodeTargetHalvesFrameRate) {
   const auto* b_from_a = b.video_receiver(a.id());
   ASSERT_NE(c_from_a, nullptr);
 
-  util::TimeUs now = runner.bed().sched().now();
+  util::TimeUs now = runner.backend().sched().now();
   double fps_c_a = c_from_a->RecentFps(now, util::Seconds(3));
   double fps_c_b = c_from_b->RecentFps(now, util::Seconds(3));
   double fps_b_a = b_from_a->RecentFps(now, util::Seconds(3));
@@ -131,13 +131,13 @@ TEST(ScallopIntegration, ForcedDecodeTargetHalvesFrameRate) {
   EXPECT_EQ(c_from_a->stats().conflicting_duplicates, 0u);
   // Tree-based filtering delivered fewer packets to C while the rewriter
   // kept the stream gapless.
-  EXPECT_GT(runner.bed().dataplane().stats().seq_rewritten, 500u);
+  EXPECT_GT(runner.scallop().dataplane().stats().seq_rewritten, 500u);
   EXPECT_LT(c_from_a->stats().packets_received,
             b_from_a->stats().packets_received * 9 / 10);
   // Layer filtering must not trigger retransmission storms.
   EXPECT_LT(c_from_a->stats().nacked_packets, 200u);
 
-  EXPECT_EQ(*runner.bed().agent().tree_manager().CurrentDesign(meeting),
+  EXPECT_EQ(*runner.scallop().agent().tree_manager().CurrentDesign(meeting),
             TreeDesign::kRASR);
 }
 
@@ -148,15 +148,15 @@ TEST(ScallopIntegration, DecodeTargetRestoredUpgradesFrameRate) {
   auto meeting = runner.meeting_id(0);
 
   runner.RunUntil(3.0);
-  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 0);
+  runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 0);
   runner.RunUntil(9.0);
   const auto* rx = c.video_receiver(a.id());
-  util::TimeUs now = runner.bed().sched().now();
+  util::TimeUs now = runner.backend().sched().now();
   EXPECT_NEAR(rx->RecentFps(now, util::Seconds(3)), 7.5, 2.0);
 
-  runner.bed().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
+  runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
   runner.RunUntil(15.0);
-  now = runner.bed().sched().now();
+  now = runner.backend().sched().now();
   EXPECT_NEAR(rx->RecentFps(now, util::Seconds(3)), 30.0, 4.0);
   EXPECT_EQ(rx->stats().decoder_breaks, 0u);
 }
@@ -194,14 +194,14 @@ TEST(ScallopIntegration, RembFilterPicksBestDownlinkNotWorst) {
   Peer& b = runner.peer(0, 1);  // strong downlink (default 20 Mb/s)
 
   // The agent's filter function forwards only the best downlink's REMB.
-  EXPECT_EQ(runner.bed().agent().BestDownlinkOf(a.id()), b.id());
-  EXPECT_GT(runner.bed().dataplane().stats().remb_filtered, 10u);
+  EXPECT_EQ(runner.scallop().agent().BestDownlinkOf(a.id()), b.id());
+  EXPECT_GT(runner.scallop().dataplane().stats().remb_filtered, 10u);
 
   // A's encoder was not dragged down to C's weak downlink: it still sends
   // near its starting rate (the best downlink can absorb it).
   EXPECT_GT(a.encoder()->target_bitrate(), 500'000u);
   // B keeps receiving full-rate video.
-  util::TimeUs now = runner.bed().sched().now();
+  util::TimeUs now = runner.backend().sched().now();
   EXPECT_NEAR(b.video_receiver(a.id())->RecentFps(now, util::Seconds(3)),
               30.0, 4.0);
 }
@@ -223,14 +223,14 @@ TEST(ScallopIntegration, CongestedDownlinkTriggersAutomaticAdaptation) {
   Peer& c = runner.peer(0, 2);
 
   // The agent must have reduced C's decode target for at least one sender.
-  int dt_a = runner.bed().agent().DecodeTargetOf(c.id(), a.id());
-  int dt_b = runner.bed().agent().DecodeTargetOf(c.id(), b.id());
+  int dt_a = runner.scallop().agent().DecodeTargetOf(c.id(), a.id());
+  int dt_b = runner.scallop().agent().DecodeTargetOf(c.id(), b.id());
   EXPECT_LT(std::min(dt_a, dt_b), 2);
-  EXPECT_GT(runner.bed().agent().stats().dt_changes, 0u);
+  EXPECT_GT(runner.scallop().agent().stats().dt_changes, 0u);
 
   // And C's streams kept playing (adaptation, not collapse).
   const auto* rx = c.video_receiver(a.id());
-  util::TimeUs now = runner.bed().sched().now();
+  util::TimeUs now = runner.backend().sched().now();
   EXPECT_GT(rx->RecentFps(now, util::Seconds(3)), 5.0);
   EXPECT_EQ(rx->stats().decoder_breaks, 0u);
 }

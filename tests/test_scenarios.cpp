@@ -1,7 +1,10 @@
 // Scenario-matrix regression: a grid of ScenarioSpec points (loss, churn,
 // asymmetric links, constrained downlinks, multi-meeting, switch failover)
-// that every change to the stack must keep green. Each point asserts the
-// two invariants the paper's design guarantees end-to-end:
+// that every change to the stack must keep green. The whole grid runs on
+// both the single-switch scallop backend and the multi-switch fleet
+// backend — selected purely through ScenarioSpec::backend, with no
+// per-test special-casing — and each point asserts the two invariants the
+// paper's design guarantees end-to-end:
 //   1. no peer starves (every active receive leg decodes video), and
 //   2. sequence rewriting stays gap-free (no decoder breaks, no
 //      conflicting duplicates at any receiver).
@@ -20,14 +23,19 @@ client::PeerConfig FastStartPeer() {
   return pc;
 }
 
-ScenarioSpec BaseSpec(std::string name, int meetings, int participants,
-                      double duration_s) {
-  ScenarioSpec spec =
-      ScenarioSpec::Uniform(std::move(name), meetings, participants,
-                            duration_s);
-  spec.base.peer = FastStartPeer();
-  return spec;
-}
+class ScenarioMatrix
+    : public ::testing::TestWithParam<testbed::BackendChoice> {
+ protected:
+  ScenarioSpec BaseSpec(std::string name, int meetings, int participants,
+                        double duration_s) {
+    ScenarioSpec spec =
+        ScenarioSpec::Uniform(std::move(name), meetings, participants,
+                              duration_s);
+    spec.base.peer = FastStartPeer();
+    spec.backend = GetParam();
+    return spec;
+  }
+};
 
 // Shared invariant check: delivery floor (scaled to ~30 fps video) and
 // gap-free rewriting.
@@ -40,7 +48,7 @@ void ExpectHealthy(const ScenarioMetrics& m, uint64_t min_floor_frames) {
   EXPECT_EQ(m.blackholed, 0u);
 }
 
-TEST(ScenarioMatrix, BaselineThreeParty) {
+TEST_P(ScenarioMatrix, BaselineThreeParty) {
   ScenarioRunner runner(BaseSpec("baseline-3p", 1, 3, 12.0));
   const ScenarioMetrics& m = runner.Run();
   // ~30 fps for ~12 s on every one of the 6 streams.
@@ -50,7 +58,7 @@ TEST(ScenarioMatrix, BaselineThreeParty) {
   EXPECT_EQ(m.streams.size(), 6u);
 }
 
-TEST(ScenarioMatrix, LossyDownlinkRecoversViaNack) {
+TEST_P(ScenarioMatrix, LossyDownlinkRecoversViaNack) {
   ScenarioSpec spec = BaseSpec("lossy-3pct", 1, 2, 15.0);
   spec.WithLink(0, 1, LinkProfile::Lossy(0.03));
   ScenarioRunner runner(spec);
@@ -66,7 +74,7 @@ TEST(ScenarioMatrix, LossyDownlinkRecoversViaNack) {
   EXPECT_GT(recovered, 10u);
 }
 
-TEST(ScenarioMatrix, ConstrainedDownlinkAdaptsNotCollapses) {
+TEST_P(ScenarioMatrix, ConstrainedDownlinkAdaptsNotCollapses) {
   // Fig. 14 shape as a grid point: mid-run the third participant's
   // downlink shrinks below aggregate full-rate media; the agent must
   // reduce a decode target rather than let the streams collapse.
@@ -85,7 +93,7 @@ TEST(ScenarioMatrix, ConstrainedDownlinkAdaptsNotCollapses) {
   EXPECT_GT(m.seq_rewritten, 500u) << "layer filter never engaged";
 }
 
-TEST(ScenarioMatrix, AsymmetricUplinkLimitsOnlyThatSender) {
+TEST_P(ScenarioMatrix, AsymmetricUplinkLimitsOnlyThatSender) {
   // ADSL-style participant: 1.0 Mb/s up, 16 Mb/s down. Their uplink
   // constrains what they can send, but nobody starves and the two
   // well-provisioned peers still exchange full-rate video.
@@ -104,7 +112,7 @@ TEST(ScenarioMatrix, AsymmetricUplinkLimitsOnlyThatSender) {
   }
 }
 
-TEST(ScenarioMatrix, ChurnJoinLeaveRejoin) {
+TEST_P(ScenarioMatrix, ChurnJoinLeaveRejoin) {
   // 4-party meeting with staggered joins, a mid-call leave and a rejoin.
   ScenarioSpec spec = BaseSpec("churn", 1, 4, 20.0);
   spec.WithJoin(0, 3, 5.0);             // late joiner
@@ -126,7 +134,7 @@ TEST(ScenarioMatrix, ChurnJoinLeaveRejoin) {
   }
 }
 
-TEST(ScenarioMatrix, SwitchFailoverRecovers) {
+TEST_P(ScenarioMatrix, SwitchFailoverRecovers) {
   ScenarioSpec spec = BaseSpec("failover", 1, 3, 18.0);
   spec.WithFailover(8.0);
   ScenarioRunner runner(spec);
@@ -138,7 +146,7 @@ TEST(ScenarioMatrix, SwitchFailoverRecovers) {
   EXPECT_GE(m.trees_built, 2u);
 }
 
-TEST(ScenarioMatrix, TwoMeetingsShareTheSwitch) {
+TEST_P(ScenarioMatrix, TwoMeetingsShareTheFabric) {
   ScenarioSpec spec = BaseSpec("two-meetings", 2, 3, 12.0);
   spec.WithLink(1, 0, LinkProfile::Lossy(0.02));
   ScenarioRunner runner(spec);
@@ -150,7 +158,7 @@ TEST(ScenarioMatrix, TwoMeetingsShareTheSwitch) {
   EXPECT_EQ(m.streams.size(), 12u);  // 6 per meeting, no cross-talk
 }
 
-TEST(ScenarioMatrix, KitchenSink) {
+TEST_P(ScenarioMatrix, KitchenSink) {
   // Everything at once: two meetings, loss, a constrained mid-run link,
   // churn and a failover — the grid point closest to "a real bad day".
   ScenarioSpec spec = BaseSpec("kitchen-sink", 2, 3, 30.0);
@@ -170,6 +178,16 @@ TEST(ScenarioMatrix, KitchenSink) {
   EXPECT_EQ(m.meetings[0].participants_at_end, 3);
   EXPECT_EQ(m.meetings[1].participants_at_end, 3);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ScenarioMatrix,
+    ::testing::Values(testbed::BackendChoice::Scallop(),
+                      testbed::BackendChoice::Fleet(2)),
+    [](const ::testing::TestParamInfo<testbed::BackendChoice>& info) {
+      return info.param.kind == testbed::BackendChoice::Kind::kScallop
+                 ? "scallop"
+                 : "fleet" + std::to_string(info.param.fleet_switches);
+    });
 
 }  // namespace
 }  // namespace scallop::harness
