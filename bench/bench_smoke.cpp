@@ -1,11 +1,14 @@
 // CI smoke: a 2-sim-second three-party scenario run on every conference
 // backend behind the testbed::Backend seam — the single-switch Scallop
-// stack, a 2-switch fleet, and the software-SFU baseline. Exists so the
-// bench pipeline (ScenarioRunner + bench_common) and the backend seam stay
-// exercised on every push without paying for a paper-scale run; exits
-// nonzero if any substrate fails to deliver media at all. (The scallop
-// run's CSV is additionally pinned byte-for-byte against the pre-redesign
-// harness by tests/test_harness.cpp.)
+// stack, a 2-switch fleet, and the software-SFU baseline — plus a short
+// fleet{3} scenario with skewed join load and the background rebalancer
+// on, which must show at least one live meeting migration without any
+// failover. Exists so the bench pipeline (ScenarioRunner + bench_common),
+// the backend seam and the control plane stay exercised on every push
+// without paying for a paper-scale run; exits nonzero if any substrate
+// fails to deliver media at all. (The scallop run's CSV is additionally
+// pinned byte-for-byte against the pre-redesign harness by
+// tests/test_harness.cpp.)
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -35,6 +38,29 @@ int main() {
     if (m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0 ||
         m.switch_packets_in == 0) {
       std::printf("SMOKE FAILED on backend %s\n", choice.Label().c_str());
+      ok = false;
+    }
+  }
+
+  // Live rebalancing under skewed join load, no failover: six meetings on
+  // a 3-switch fleet, two of them (both landing on switch 0 round-robin)
+  // carrying 3 participants each — the load rebalancer must move at least
+  // one meeting, its peers must re-signal, and no switch may fail.
+  {
+    harness::ScenarioSpec spec =
+        harness::ScenarioSpec::Uniform("smoke-rebalance", 6, 1, 8.0);
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+    spec.meetings[0].participants.resize(3);
+    spec.meetings[3].participants.resize(3);
+    spec.WithBackend(testbed::BackendChoice::Fleet(3));
+    spec.WithRebalance(/*interval_s=*/2.0, /*imbalance_threshold=*/2);
+    harness::ScenarioRunner runner(spec);
+    const harness::ScenarioMetrics& m = runner.Run();
+    std::printf("[fleet{3}+rebalance]\n%s", m.Summary().c_str());
+    if (m.placements_rebalanced == 0 || m.control.switches_failed != 0 ||
+        m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0) {
+      std::printf("SMOKE FAILED on the rebalance scenario\n");
       ok = false;
     }
   }

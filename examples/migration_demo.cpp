@@ -1,13 +1,21 @@
-// Replication-tree migration demo: one meeting is walked through all four
+// Migration demo in two acts.
+//
+// Act 1 — replication trees: one meeting is walked through all four
 // forwarding designs (two-party -> NRA -> RA-R -> RA-SR and back) by
 // joining participants and changing decode targets; the tree manager
-// migrates make-before-break and the media never stops (paper §6.1).
+// migrates make-before-break and the media never stops (paper §6.1). The
+// decode-target pins travel over the southbound control channel, like
+// every other controller -> switch command.
 //
-// The staggered joins are a ScenarioSpec churn schedule; the decode-target
-// script is applied stepwise between RunUntil calls.
+// Act 2 — live meeting migration: a 3-switch fleet under skewed join load
+// with the background rebalancer on. The fleet notices the imbalance
+// through northbound SwitchLoadReports, re-homes meetings from the
+// overloaded switch to idle ones via MigrateMeeting, the affected peers
+// re-signal to the new switch's SFU IP, and nobody fails over.
 #include <cstdio>
 
 #include "harness/runner.hpp"
+#include "testbed/fleet_testbed.hpp"
 
 using namespace scallop;
 
@@ -28,9 +36,8 @@ void Report(harness::ScenarioRunner& runner, core::MeetingId meeting,
                   bed.agent().tree_manager().stats().migrations));
 }
 
-}  // namespace
-
-int main() {
+void TreeMigrationDemo() {
+  std::printf("=== Act 1: replication-tree migration ===\n");
   harness::ScenarioSpec spec =
       harness::ScenarioSpec::Uniform("migration-demo", 1, 4, 24.0);
   spec.base.peer.encoder.start_bitrate_bps = 600'000;
@@ -56,20 +63,23 @@ int main() {
   Report(runner, meeting, "4th joins:");
 
   // Receiver-uniform adaptation: C wants 15 fps from everyone -> RA-R.
+  // The pins go controller -> control channel -> agent, southbound.
   for (client::Peer* sender : {&a, &b, &d}) {
-    runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 1);
+    runner.scallop().controller().ForceDecodeTarget(meeting, c.id(),
+                                                    sender->id(), 1);
   }
   runner.RunUntil(16.0);
   Report(runner, meeting, "C at 15 fps from all senders:");
 
   // Sender-specific: C wants full rate from A only -> RA-SR.
-  runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
+  runner.scallop().controller().ForceDecodeTarget(meeting, c.id(), a.id(), 2);
   runner.RunUntil(20.0);
   Report(runner, meeting, "C full rate from A, 15 fps from B/D:");
 
   // Back to full rate for everyone -> NRA again.
   for (client::Peer* sender : {&a, &b, &d}) {
-    runner.scallop().agent().ForceDecodeTarget(meeting, c.id(), sender->id(), 2);
+    runner.scallop().controller().ForceDecodeTarget(meeting, c.id(),
+                                                    sender->id(), 2);
   }
   runner.RunUntil(24.0);
   Report(runner, meeting, "everyone full rate again:");
@@ -85,5 +95,58 @@ int main() {
                 static_cast<unsigned long>(rx->stats().decoder_breaks),
                 rx->stats().total_freeze_ms);
   }
+}
+
+void PrintFleetLoads(harness::ScenarioRunner& runner, const char* stage) {
+  core::FleetController& fleet = runner.fleet().fleet();
+  std::printf("%-28s load:", stage);
+  for (size_t i = 0; i < fleet.switch_count(); ++i) {
+    std::printf(" s%zu=%d(%dm)", i, fleet.LoadOf(i), fleet.MeetingsOn(i));
+  }
+  std::printf("  rebalanced=%lu\n",
+              static_cast<unsigned long>(fleet.stats().placements_rebalanced));
+}
+
+void LiveRebalanceDemo() {
+  std::printf("\n=== Act 2: live meeting migration (fleet rebalancer) ===\n");
+  // Six 1-person meetings round-robin across 3 switches; meetings 0 and 3
+  // (both on switch 0) then grow to 3 participants each — switch 0 ends up
+  // with 6 of the 10 peers until the rebalancer spreads them.
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform("live-rebalance", 6, 1, 16.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.meetings[0].participants.resize(3);
+  spec.meetings[3].participants.resize(3);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithRebalance(/*interval_s=*/2.0, /*imbalance_threshold=*/2);
+
+  harness::ScenarioRunner runner(spec);
+  runner.RunUntil(1.0);
+  PrintFleetLoads(runner, "skewed joins (t=1s):");
+  runner.RunUntil(5.0);
+  PrintFleetLoads(runner, "after 2 rebalance ticks:");
+  const harness::ScenarioMetrics& m = runner.Run();
+  PrintFleetLoads(runner, "end of run (t=16s):");
+
+  std::printf("\nControl plane: %lu commands, %lu heartbeats (%lu missed), "
+              "%lu load reports, %lu rebalance moves, %lu switch failures\n",
+              static_cast<unsigned long>(m.control.commands_sent),
+              static_cast<unsigned long>(m.control.heartbeats_seen),
+              static_cast<unsigned long>(m.control.heartbeats_missed),
+              static_cast<unsigned long>(m.control.load_reports_seen),
+              static_cast<unsigned long>(m.control.rebalance_migrations),
+              static_cast<unsigned long>(m.control.switches_failed));
+  std::printf("Delivery floor through the live moves: %lu frames, "
+              "%lu rewrite violations\n",
+              static_cast<unsigned long>(m.WorstDeliveryFloor()),
+              static_cast<unsigned long>(m.RewriteViolations()));
+}
+
+}  // namespace
+
+int main() {
+  TreeMigrationDemo();
+  LiveRebalanceDemo();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "client/peer.hpp"
+#include "core/control_channel.hpp"
 #include "core/controller.hpp"
 #include "core/dataplane.hpp"
 #include "core/switch_agent.hpp"
@@ -30,12 +31,14 @@ int main() {
                  sim::LinkConfig{.rate_bps = 0, .prop_delay = util::Millis(1)});
 
   // 3. Scallop's three tiers: data-plane program on the switch, the switch
-  //    agent on its CPU, and the centralized controller.
+  //    agent on its CPU, and the centralized controller — which programs
+  //    the agent through the southbound control channel.
   core::DataPlaneProgram dataplane(sw, core::DataPlaneConfig{});
   core::AgentConfig agent_cfg;
   agent_cfg.sfu_ip = sfu_ip;
   core::SwitchAgent agent(sched, dataplane, agent_cfg);
-  core::Controller controller(agent, sfu_ip);
+  core::ControlChannel channel(sched, agent);
+  core::Controller controller(channel, sfu_ip);
 
   // 4. Two WebRTC peers on 20 Mb/s access links.
   sim::LinkConfig access{.rate_bps = 20e6, .prop_delay = util::Millis(5)};

@@ -1,0 +1,141 @@
+#include "core/control_channel.hpp"
+
+namespace scallop::core {
+
+ControlChannel::ControlChannel(sim::Scheduler& sched, SwitchAgent& agent,
+                               const ControlChannelConfig& cfg)
+    : sched_(sched),
+      agent_(agent),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      next_port_(agent.config().first_sfu_port) {}
+
+ControlChannel::~ControlChannel() = default;
+
+void ControlChannel::Dispatch(std::function<void()> apply) {
+  ++stats_.commands_sent;
+  if (cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate)) {
+    ++stats_.commands_dropped;
+    return;
+  }
+  if (cfg_.latency <= 0) {
+    // Inline application: byte-identical to the pre-channel direct call.
+    ++stats_.commands_applied;
+    apply();
+    return;
+  }
+  // Every command carries the same latency and the scheduler is FIFO among
+  // equal timestamps, so commands are delayed but never reordered.
+  sched_.After(cfg_.latency, [this, fn = std::move(apply)] {
+    ++stats_.commands_applied;
+    fn();
+  });
+}
+
+void ControlChannel::Emit(std::function<void()> deliver) {
+  ++stats_.events_sent;
+  if (cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate)) {
+    ++stats_.events_dropped;
+    return;
+  }
+  if (cfg_.latency <= 0) {
+    ++stats_.events_delivered;
+    deliver();
+    return;
+  }
+  sched_.After(cfg_.latency, [this, fn = std::move(deliver)] {
+    ++stats_.events_delivered;
+    fn();
+  });
+}
+
+void ControlChannel::CreateMeeting(MeetingId id) {
+  Dispatch([this, id] { agent_.CreateMeeting(id); });
+}
+
+void ControlChannel::RemoveMeeting(MeetingId id) {
+  Dispatch([this, id] { agent_.RemoveMeeting(id); });
+}
+
+uint16_t ControlChannel::AddParticipant(MeetingId meeting, ParticipantId id,
+                                        net::Endpoint media_src,
+                                        uint32_t video_ssrc,
+                                        uint32_t audio_ssrc, bool sends_video,
+                                        bool sends_audio) {
+  uint16_t port = next_port_++;
+  Dispatch([this, meeting, id, media_src, video_ssrc, audio_ssrc, sends_video,
+            sends_audio, port] {
+    agent_.AddParticipant(meeting, id, media_src, video_ssrc, audio_ssrc,
+                          sends_video, sends_audio, port);
+  });
+  return port;
+}
+
+void ControlChannel::RemoveParticipant(MeetingId meeting, ParticipantId id) {
+  Dispatch([this, meeting, id] { agent_.RemoveParticipant(meeting, id); });
+}
+
+uint16_t ControlChannel::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
+                                    ParticipantId sender,
+                                    net::Endpoint receiver_client) {
+  uint16_t port = next_port_++;
+  Dispatch([this, meeting, receiver, sender, receiver_client, port] {
+    agent_.AddRecvLeg(meeting, receiver, sender, receiver_client, port);
+  });
+  return port;
+}
+
+void ControlChannel::ForceDecodeTarget(MeetingId meeting,
+                                       ParticipantId receiver,
+                                       ParticipantId sender, int dt) {
+  Dispatch([this, meeting, receiver, sender, dt] {
+    agent_.ForceDecodeTarget(meeting, receiver, sender, dt);
+  });
+}
+
+void ControlChannel::UnpinDecodeTarget(ParticipantId receiver,
+                                       ParticipantId sender) {
+  Dispatch([this, receiver, sender] {
+    agent_.UnpinDecodeTarget(receiver, sender);
+  });
+}
+
+void ControlChannel::Subscribe(EventSink* sink, size_t switch_index) {
+  sink_ = sink;
+  switch_index_ = switch_index;
+  if (heartbeat_task_ == nullptr && cfg_.heartbeat_interval > 0) {
+    heartbeat_task_ = std::make_unique<sim::PeriodicTask>(
+        sched_, cfg_.heartbeat_interval, [this] {
+          SendHeartbeat();
+          return true;
+        });
+  }
+  if (load_report_task_ == nullptr && cfg_.load_report_interval > 0) {
+    load_report_task_ = std::make_unique<sim::PeriodicTask>(
+        sched_, cfg_.load_report_interval, [this] {
+          SendLoadReport();
+          return true;
+        });
+  }
+}
+
+void ControlChannel::SendHeartbeat() {
+  if (sink_ == nullptr || !link_up_) return;
+  Emit([this] { sink_->OnHeartbeat(switch_index_); });
+}
+
+void ControlChannel::SendLoadReport() {
+  if (sink_ == nullptr || !link_up_) return;
+  const AgentStats& as = agent_.stats();
+  SwitchLoadReport report;
+  report.meetings = static_cast<int>(agent_.meeting_count());
+  report.participants = static_cast<int>(agent_.participant_count());
+  report.trees = static_cast<int>(agent_.tree_count());
+  report.cpu_packets_delta = as.cpu_packets - last_cpu_packets_;
+  report.dataplane_writes_delta = as.dataplane_writes - last_dataplane_writes_;
+  last_cpu_packets_ = as.cpu_packets;
+  last_dataplane_writes_ = as.dataplane_writes;
+  Emit([this, report] { sink_->OnLoadReport(switch_index_, report); });
+}
+
+}  // namespace scallop::core

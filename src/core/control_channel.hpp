@@ -1,0 +1,139 @@
+// The southbound control channel (SDN survey arXiv:1406.0440; S2VC's
+// QoE control loop, arXiv:1809.03412): the typed message boundary between
+// a controller and one switch agent. Southbound, it carries the command
+// vocabulary the controller programs the switch with (CreateMeeting,
+// AddParticipant, AddRecvLeg, ForceDecodeTarget, ...); northbound, it
+// carries the switch's telemetry stream (periodic Heartbeat and
+// SwitchLoadReport events). Every message is dispatched through the
+// sim::Scheduler with configurable per-message latency and iid loss, so
+// control-plane delay and unreliability are first-class simulated
+// quantities. The defaults (zero latency, zero loss) apply commands
+// inline, which keeps the packet history of channel-driven stacks
+// byte-identical to the old direct-call wiring.
+//
+// Resource allocation lives on the controller side of the boundary: the
+// channel assigns SFU ports at send time, so commands are pure one-way
+// "install this state" messages and a lost command simply never
+// materializes on the switch — exactly the failure a real southbound
+// channel exhibits.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/switch_agent.hpp"
+#include "sim/scheduler.hpp"
+#include "util/random.hpp"
+
+namespace scallop::core {
+
+struct ControlChannelConfig {
+  // One-way latency applied to every southbound command and northbound
+  // event. Zero means inline (synchronous) delivery.
+  util::DurationUs latency = 0;
+  // iid per-message loss probability (commands and events alike).
+  double loss_rate = 0.0;
+  uint64_t seed = 1;
+  // Northbound telemetry cadence; tasks are armed once a sink subscribes.
+  util::DurationUs heartbeat_interval = util::Millis(50);
+  util::DurationUs load_report_interval = util::Millis(500);
+};
+
+// Periodic northbound load snapshot: absolute control-plane counts plus
+// data-plane activity deltas since the previous report.
+struct SwitchLoadReport {
+  int meetings = 0;
+  int participants = 0;
+  int trees = 0;
+  uint64_t cpu_packets_delta = 0;
+  uint64_t dataplane_writes_delta = 0;
+};
+
+struct ControlChannelStats {
+  uint64_t commands_sent = 0;     // controller -> switch API calls
+  uint64_t commands_applied = 0;  // reached the agent
+  uint64_t commands_dropped = 0;  // lost on the channel
+  uint64_t events_sent = 0;       // heartbeats + load reports emitted
+  uint64_t events_delivered = 0;
+  uint64_t events_dropped = 0;
+};
+
+class ControlChannel {
+ public:
+  // Northbound consumer (the fleet controller). `switch_index` is the
+  // identity the subscriber registered the channel under.
+  class EventSink {
+   public:
+    virtual ~EventSink() = default;
+    virtual void OnHeartbeat(size_t switch_index) = 0;
+    virtual void OnLoadReport(size_t switch_index,
+                              const SwitchLoadReport& report) = 0;
+  };
+
+  ControlChannel(sim::Scheduler& sched, SwitchAgent& agent,
+                 const ControlChannelConfig& cfg = {});
+  ~ControlChannel();
+  ControlChannel(const ControlChannel&) = delete;
+  ControlChannel& operator=(const ControlChannel&) = delete;
+
+  // ---- southbound commands ----------------------------------------------
+  void CreateMeeting(MeetingId id);
+  void RemoveMeeting(MeetingId id);
+  // Registers a participant's uplink. The SFU port is assigned here, on
+  // the controller side, and returned immediately; the install command
+  // carrying it is subject to channel latency/loss.
+  uint16_t AddParticipant(MeetingId meeting, ParticipantId id,
+                          net::Endpoint media_src, uint32_t video_ssrc,
+                          uint32_t audio_ssrc, bool sends_video,
+                          bool sends_audio);
+  void RemoveParticipant(MeetingId meeting, ParticipantId id);
+  // Creates the (receiver <- sender) leg; returns its assigned SFU port.
+  uint16_t AddRecvLeg(MeetingId meeting, ParticipantId receiver,
+                      ParticipantId sender, net::Endpoint receiver_client);
+  void ForceDecodeTarget(MeetingId meeting, ParticipantId receiver,
+                         ParticipantId sender, int dt);
+  void UnpinDecodeTarget(ParticipantId receiver, ParticipantId sender);
+
+  // ---- northbound events ------------------------------------------------
+  // Registers the telemetry consumer and starts the heartbeat/load-report
+  // tasks. One sink per channel.
+  void Subscribe(EventSink* sink, size_t switch_index);
+  // Models the switch going dark (crash/partition): telemetry stops until
+  // the link comes back. Commands still apply — the controller keeps
+  // programming what it believes is there, exactly like a real southbound
+  // channel writing into a restarted switch.
+  void set_link_up(bool up) { link_up_ = up; }
+  bool link_up() const { return link_up_; }
+
+  sim::Scheduler& sched() { return sched_; }
+  SwitchAgent& agent() { return agent_; }
+  const ControlChannelConfig& config() const { return cfg_; }
+  const ControlChannelStats& stats() const { return stats_; }
+
+ private:
+  // Applies (or schedules, or drops) one southbound command.
+  void Dispatch(std::function<void()> apply);
+  // Delivers (or schedules, or drops) one northbound event.
+  void Emit(std::function<void()> deliver);
+  void SendHeartbeat();
+  void SendLoadReport();
+
+  sim::Scheduler& sched_;
+  SwitchAgent& agent_;
+  ControlChannelConfig cfg_;
+  util::Rng rng_;
+  uint16_t next_port_;
+
+  EventSink* sink_ = nullptr;
+  size_t switch_index_ = 0;
+  bool link_up_ = true;
+  std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
+  std::unique_ptr<sim::PeriodicTask> load_report_task_;
+  // Delta baselines for the load report.
+  uint64_t last_cpu_packets_ = 0;
+  uint64_t last_dataplane_writes_ = 0;
+
+  ControlChannelStats stats_;
+};
+
+}  // namespace scallop::core

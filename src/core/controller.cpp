@@ -6,14 +6,25 @@ MeetingId Controller::CreateMeeting() {
   ++stats_.meetings_created;
   MeetingId id = next_meeting_++;
   meetings_[id] = {};
-  agent_.CreateMeeting(id);
+  channel_.CreateMeeting(id);
   return id;
 }
 
 void Controller::EndMeeting(MeetingId id) {
   auto it = meetings_.find(id);
   if (it == meetings_.end()) return;
-  agent_.RemoveMeeting(id);
+  // Tell every remaining member about every peer sender's departure
+  // before the meeting state goes away; otherwise clients keep stale
+  // receive legs toward an SFU port that no longer exists and never learn
+  // the meeting ended.
+  for (auto& [pid, member] : it->second) {
+    for (auto& [sid, sender] : it->second) {
+      if (sid == pid) continue;
+      if (!sender.sends_video && !sender.sends_audio) continue;
+      member.client->OnRemoteSenderLeft(sid);
+    }
+  }
+  channel_.RemoveMeeting(id);
   meetings_.erase(it);
 }
 
@@ -40,7 +51,7 @@ Controller::JoinResult Controller::Join(MeetingId meeting,
     }
   }
 
-  uint16_t uplink_port = agent_.AddParticipant(
+  uint16_t uplink_port = channel_.AddParticipant(
       meeting, member.id, media_src, member.video_ssrc, member.audio_ssrc,
       member.sends_video, member.sends_audio);
   net::Endpoint uplink_sfu{sfu_ip_, uplink_port};
@@ -62,7 +73,7 @@ Controller::JoinResult Controller::Join(MeetingId meeting,
   for (auto& [pid, existing] : members) {
     if (existing.sends_video || existing.sends_audio) {
       net::Endpoint local = client->AllocateLocalLeg(pid);
-      uint16_t port = agent_.AddRecvLeg(meeting, member.id, pid, local);
+      uint16_t port = channel_.AddRecvLeg(meeting, member.id, pid, local);
       client->OnRemoteLegReady(pid, existing.video_ssrc, existing.audio_ssrc,
                                net::Endpoint{sfu_ip_, port});
       ++stats_.legs_negotiated;
@@ -70,7 +81,7 @@ Controller::JoinResult Controller::Join(MeetingId meeting,
     }
     if (member.sends_video || member.sends_audio) {
       net::Endpoint local = existing.client->AllocateLocalLeg(member.id);
-      uint16_t port = agent_.AddRecvLeg(meeting, pid, member.id, local);
+      uint16_t port = channel_.AddRecvLeg(meeting, pid, member.id, local);
       existing.client->OnRemoteLegReady(member.id, member.video_ssrc,
                                         member.audio_ssrc,
                                         net::Endpoint{sfu_ip_, port});
@@ -92,10 +103,15 @@ void Controller::Leave(MeetingId meeting, ParticipantId participant) {
   auto mit = meetings_.find(meeting);
   if (mit == meetings_.end()) return;
   mit->second.erase(participant);
-  agent_.RemoveParticipant(meeting, participant);
+  channel_.RemoveParticipant(meeting, participant);
   for (auto& [pid, member] : mit->second) {
     member.client->OnRemoteSenderLeft(participant);
   }
+}
+
+void Controller::ForceDecodeTarget(MeetingId meeting, ParticipantId receiver,
+                                   ParticipantId sender, int dt) {
+  channel_.ForceDecodeTarget(meeting, receiver, sender, dt);
 }
 
 }  // namespace scallop::core

@@ -1,16 +1,16 @@
 // Scallop's centralized controller (paper §5.1): the signaling server.
 // It terminates SDP offer/answer, rewrites ICE candidates so the SFU
-// appears as each participant's sole peer, tracks sessions, and drives the
-// switch agent over an RPC-style boundary. Per-participant-pair receive
-// legs (the paper's per-participant WebRTC stream split, §5.3) are
-// negotiated through the SignalingClient callbacks, which stand in for the
-// WebSocket renegotiation channel.
+// appears as each participant's sole peer, tracks sessions, and programs
+// the switch agent through the southbound core::ControlChannel. Per-
+// participant-pair receive legs (the paper's per-participant WebRTC stream
+// split, §5.3) are negotiated through the SignalingClient callbacks, which
+// stand in for the WebSocket renegotiation channel.
 #pragma once
 
 #include <map>
 #include <string>
 
-#include "core/switch_agent.hpp"
+#include "core/control_channel.hpp"
 #include "sdp/sdp.hpp"
 
 namespace scallop::core {
@@ -65,11 +65,16 @@ class Controller : public SignalingServer {
   // a fleet gives each switch's controller a disjoint range so ids stay
   // globally unique across switches (a stale signaling message for a
   // participant from one switch can never name a live one on another).
-  Controller(SwitchAgent& agent, net::Ipv4 sfu_ip,
+  Controller(ControlChannel& channel, net::Ipv4 sfu_ip,
              ParticipantId first_participant = 1)
-      : agent_(agent), sfu_ip_(sfu_ip), next_participant_(first_participant) {}
+      : channel_(channel),
+        sfu_ip_(sfu_ip),
+        next_participant_(first_participant) {}
 
   MeetingId CreateMeeting();
+  // Ends the meeting: every remaining member is told about every peer
+  // sender's departure (so clients tear down their receive legs) before
+  // the switch-side state is removed.
   void EndMeeting(MeetingId id);
 
   // `offer` carries the client's media sections and host candidates.
@@ -77,8 +82,13 @@ class Controller : public SignalingServer {
                   SignalingClient* client) override;
   void Leave(MeetingId meeting, ParticipantId participant) override;
 
+  // Southbound passthrough for scripted experiments: pins a decode target
+  // over the control channel instead of poking the agent in-process.
+  void ForceDecodeTarget(MeetingId meeting, ParticipantId receiver,
+                         ParticipantId sender, int dt);
+
   const ControllerStats& stats() const { return stats_; }
-  SwitchAgent& agent() { return agent_; }
+  ControlChannel& channel() { return channel_; }
 
  private:
   struct Member {
@@ -90,7 +100,7 @@ class Controller : public SignalingServer {
     bool sends_audio = false;
   };
 
-  SwitchAgent& agent_;
+  ControlChannel& channel_;
   net::Ipv4 sfu_ip_;
   MeetingId next_meeting_ = 1;
   ParticipantId next_participant_;

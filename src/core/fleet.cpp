@@ -1,23 +1,137 @@
 #include "core/fleet.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 namespace scallop::core {
 
-size_t FleetController::AddSwitch(SwitchAgent& agent, net::Ipv4 sfu_ip) {
+size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip) {
   auto member = std::make_unique<Member>();
   // Disjoint participant-id range per switch: without it, two switch
   // controllers both counting from 1 could hand out the same id, and a
   // stale Leave for a participant migrated off one switch would pass the
   // membership guard and kick a live, unrelated member on another.
   constexpr ParticipantId kIdStride = 1'000'000;
+  member->channel = &channel;
   member->controller = std::make_unique<Controller>(
-      agent, sfu_ip,
+      channel, sfu_ip,
       static_cast<ParticipantId>(switches_.size()) * kIdStride + 1);
   member->sfu_ip = sfu_ip;
+  if (sched_ == nullptr) sched_ = &channel.sched();
+  member->last_heartbeat = sched_->now();
   switches_.push_back(std::move(member));
-  return switches_.size() - 1;
+  const size_t index = switches_.size() - 1;
+  channel.Subscribe(this, index);
+  if (detector_task_ == nullptr && channel.config().heartbeat_interval > 0) {
+    detector_task_ = std::make_unique<sim::PeriodicTask>(
+        *sched_, channel.config().heartbeat_interval, [this] {
+          CheckHeartbeats();
+          return true;
+        });
+  }
+  return index;
+}
+
+void FleetController::OnHeartbeat(size_t switch_index) {
+  ++stats_.heartbeats_seen;
+  switches_[switch_index]->last_heartbeat = sched_->now();
+}
+
+void FleetController::OnLoadReport(size_t switch_index,
+                                   const SwitchLoadReport& report) {
+  ++stats_.load_reports_seen;
+  Member& m = *switches_[switch_index];
+  m.last_report = report;
+  m.report_seen = true;
+  m.last_heartbeat = sched_->now();  // a load report proves liveness too
+}
+
+void FleetController::CheckHeartbeats() {
+  for (size_t i = 0; i < switches_.size(); ++i) {
+    Member& m = *switches_[i];
+    if (!m.alive || m.channel == nullptr) continue;
+    const util::DurationUs interval = m.channel->config().heartbeat_interval;
+    if (interval <= 0) continue;
+    // The detector is calibrated to the channel: a heartbeat is only late
+    // once its one-way delivery latency has passed too. Without this, any
+    // configured control latency above two intervals would falsely kill
+    // every switch at startup (and after every revive), before its first
+    // heartbeat could possibly arrive.
+    const util::DurationUs latency = m.channel->config().latency;
+    const util::DurationUs gap = sched_->now() - m.last_heartbeat;
+    if (gap < 2 * interval + latency) continue;  // one interval late: fine
+    ++stats_.heartbeats_missed;
+    if (gap >= kHeartbeatMissThreshold * interval + latency) {
+      ++stats_.switches_failed;
+      OnSwitchDown(i);
+    }
+  }
+}
+
+void FleetController::EnableRebalancer(const RebalanceConfig& cfg) {
+  if (sched_ == nullptr) {
+    throw std::logic_error(
+        "FleetController: EnableRebalancer needs a registered switch");
+  }
+  rebalance_cfg_ = cfg;
+  rebalance_cfg_.enabled = true;
+  if (rebalance_cfg_.cooldown <= 0) {
+    rebalance_cfg_.cooldown = rebalance_cfg_.interval;
+  }
+  rebalance_task_ = std::make_unique<sim::PeriodicTask>(
+      *sched_, rebalance_cfg_.interval, [this] {
+        Rebalance();
+        return true;
+      });
+}
+
+void FleetController::Rebalance() {
+  // Decisions run on the *reported* load — what the northbound telemetry
+  // says — not on the fleet's own bookkeeping; a switch that never
+  // reported (or is dead) does not participate.
+  size_t busiest = SIZE_MAX, idlest = SIZE_MAX;
+  int busiest_load = -1, idlest_load = std::numeric_limits<int>::max();
+  for (size_t i = 0; i < switches_.size(); ++i) {
+    const Member& m = *switches_[i];
+    if (!m.alive || !m.report_seen) continue;
+    if (m.last_report.participants > busiest_load) {
+      busiest_load = m.last_report.participants;
+      busiest = i;
+    }
+    if (m.last_report.participants < idlest_load) {
+      idlest_load = m.last_report.participants;
+      idlest = i;
+    }
+  }
+  if (busiest == SIZE_MAX || idlest == SIZE_MAX || busiest == idlest) return;
+  if (busiest_load - idlest_load < rebalance_cfg_.imbalance_threshold) return;
+
+  // Pick the smallest migratable meeting on the overloaded switch whose
+  // move strictly shrinks the gap (so the pair cannot swap roles and
+  // ping-pong), skipping meetings still in their post-move cooldown.
+  const util::TimeUs now = sched_->now();
+  MeetingId pick = 0;
+  int pick_size = std::numeric_limits<int>::max();
+  for (const auto& [meeting, place] : placement_) {
+    if (place.first != busiest) continue;
+    auto cooled = last_migrated_.find(meeting);
+    if (cooled != last_migrated_.end() &&
+        now - cooled->second < rebalance_cfg_.cooldown) {
+      continue;
+    }
+    auto mit = members_.find(meeting);
+    const int size =
+        mit == members_.end() ? 0 : static_cast<int>(mit->second.size());
+    if (size <= 0 || size >= busiest_load - idlest_load) continue;
+    if (size < pick_size) {
+      pick_size = size;
+      pick = meeting;
+    }
+  }
+  if (pick == 0) return;
+  ++stats_.rebalance_migrations;
+  MigrateMeeting(pick, idlest);
 }
 
 size_t FleetController::LeastLoaded(size_t exclude) const {
@@ -87,12 +201,18 @@ void FleetController::EndMeeting(MeetingId meeting) {
   --sw.meetings;
   sw.controller->EndMeeting(it->second.second);
   placement_.erase(it);
+  last_migrated_.erase(meeting);
 }
 
 void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
   auto it = placement_.find(meeting);
   if (it == placement_.end() || it->second.first == target_switch) return;
-  Member& from = *switches_[it->second.first];
+  const size_t source_switch = it->second.first;
+  // Let the substrate/harness drop the members' sessions first (they must
+  // re-signal onto the target); anything still joined afterwards is
+  // drained below.
+  if (migration_cb_) migration_cb_(meeting, source_switch, target_switch);
+  Member& from = *switches_[source_switch];
   Member& to = *switches_[target_switch];
 
   // The old switch-local meeting is over (state wiped by the restart, or
@@ -109,11 +229,14 @@ void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
   MeetingId local = to.controller->CreateMeeting();
   ++to.meetings;
   it->second = {target_switch, local};
+  last_migrated_[meeting] = sched_ != nullptr ? sched_->now() : 0;
   ++stats_.placements_rebalanced;
 }
 
 void FleetController::OnSwitchDown(size_t switch_index) {
-  switches_[switch_index]->alive = false;
+  Member& m = *switches_[switch_index];
+  if (!m.alive) return;  // already declared dead: migrate exactly once
+  m.alive = false;
   std::vector<MeetingId> hosted;
   for (const auto& [meeting, place] : placement_) {
     if (place.first == switch_index) hosted.push_back(meeting);
@@ -129,7 +252,11 @@ void FleetController::OnSwitchDown(size_t switch_index) {
 }
 
 void FleetController::ReviveSwitch(size_t switch_index) {
-  switches_[switch_index]->alive = true;
+  Member& m = *switches_[switch_index];
+  m.alive = true;
+  // Restart the liveness clock: the grace period before fresh heartbeats
+  // arrive must not count as misses and instantly re-kill the switch.
+  if (sched_ != nullptr) m.last_heartbeat = sched_->now();
 }
 
 bool FleetController::IsAlive(size_t switch_index) const {
@@ -164,6 +291,11 @@ bool FleetController::IsMember(MeetingId meeting,
                                ParticipantId participant) const {
   auto it = members_.find(meeting);
   return it != members_.end() && it->second.count(participant) > 0;
+}
+
+const SwitchLoadReport& FleetController::ReportedLoadOf(
+    size_t switch_index) const {
+  return switches_[switch_index]->last_report;
 }
 
 }  // namespace scallop::core

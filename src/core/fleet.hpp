@@ -4,15 +4,25 @@
 // management of a single controller. Our current system is already
 // designed in this way").
 //
+// Each switch is reached through its southbound core::ControlChannel:
+// commands flow down through a per-switch Controller, and the northbound
+// telemetry stream (Heartbeat + SwitchLoadReport) flows back up. On top
+// of the telemetry the fleet runs two control loops:
+//   * failure detection — a switch whose heartbeats stop for
+//     `heartbeat_miss_threshold` intervals is declared dead and its
+//     meetings migrate to the least-loaded live standby (exactly once);
+//   * load rebalancing (opt-in, EnableRebalancer) — when the *reported*
+//     participant load of the busiest live switch exceeds the idlest by
+//     the imbalance threshold, one meeting is re-homed via MigrateMeeting,
+//     with a per-meeting cooldown so placements don't ping-pong.
 // Meetings are placed on the least-loaded live switch at creation time;
-// the signaling flow is then delegated to that switch's controller.
-// Membership is tracked per meeting so load accounting survives double
-// leaves and meeting teardown, and so a switch failure can migrate its
-// meetings to a live standby (OnSwitchDown/MigrateMeeting) — the
-// architectural groundwork for cascading SFUs; the cascading relay itself
-// is orthogonal and not implemented, per the paper.
+// membership is tracked per meeting so load accounting survives double
+// leaves and meeting teardown — the architectural groundwork for
+// cascading SFUs; the cascading relay itself is orthogonal and not
+// implemented, per the paper.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -25,14 +35,33 @@ namespace scallop::core {
 
 struct FleetStats {
   uint64_t meetings_placed = 0;
-  uint64_t placements_rebalanced = 0;
+  uint64_t placements_rebalanced = 0;  // all MigrateMeeting moves
+  uint64_t rebalance_migrations = 0;   // moves made by the load rebalancer
+  uint64_t heartbeats_seen = 0;
+  uint64_t heartbeats_missed = 0;  // detector ticks with a stale heartbeat
+  uint64_t load_reports_seen = 0;
+  uint64_t switches_failed = 0;  // heartbeat-declared deaths
 };
 
-class FleetController : public SignalingServer {
+// Load-driven background rebalancer knobs (EnableRebalancer).
+struct RebalanceConfig {
+  bool enabled = false;
+  util::DurationUs interval = util::Seconds(2);
+  // Minimum (busiest - idlest) reported participant gap before acting.
+  int imbalance_threshold = 2;
+  // A meeting that just moved is left alone this long (0 means one
+  // rebalance interval), so successive ticks cannot bounce it back while
+  // load reports still reflect the pre-move world.
+  util::DurationUs cooldown = 0;
+};
+
+class FleetController : public SignalingServer,
+                        public ControlChannel::EventSink {
  public:
-  // Registers a switch (via its agent) under this controller.
-  // Returns the switch's index in the fleet.
-  size_t AddSwitch(SwitchAgent& agent, net::Ipv4 sfu_ip);
+  // Registers a switch via its southbound channel; subscribes to its
+  // northbound telemetry and arms the heartbeat failure detector (first
+  // switch only). Returns the switch's index in the fleet.
+  size_t AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip);
 
   // Creates a meeting on the least-loaded live switch.
   MeetingId CreateMeeting();
@@ -47,11 +76,30 @@ class FleetController : public SignalingServer {
   // switch's load so freed capacity is visible to LeastLoaded placement.
   void EndMeeting(MeetingId meeting);
 
+  // ---- northbound telemetry (ControlChannel::EventSink) -----------------
+  void OnHeartbeat(size_t switch_index) override;
+  void OnLoadReport(size_t switch_index,
+                    const SwitchLoadReport& report) override;
+
+  // Starts the periodic load-driven rebalancer (requires at least one
+  // registered switch; decisions use the latest SwitchLoadReports).
+  void EnableRebalancer(const RebalanceConfig& cfg);
+
+  // Invoked just before a meeting is migrated (rebalance or failure), so
+  // the substrate/harness can drop and re-signal its members first.
+  using MigrationCallback =
+      std::function<void(MeetingId meeting, size_t from, size_t to)>;
+  void SetMigrationCallback(MigrationCallback cb) {
+    migration_cb_ = std::move(cb);
+  }
+
   // ---- failure handling / migration -------------------------------------
   // Marks the switch dead and migrates every meeting it hosts to the
   // least-loaded live standby (no-op per meeting when no standby exists).
   // Members of migrated meetings are dropped — their sessions died with
   // the switch — and must re-Join, which routes them to the standby's SFU.
+  // Idempotent: a switch already marked dead is left alone, so heartbeat
+  // detection can never migrate a dead switch's meetings twice.
   void OnSwitchDown(size_t switch_index);
   // Brings a switch back (restarted, empty). Meetings migrated away stay
   // on their standby; the revived switch only receives new placements.
@@ -72,6 +120,8 @@ class FleetController : public SignalingServer {
   int MeetingsOn(size_t switch_index) const;
   net::Ipv4 SfuIpOf(size_t switch_index) const;
   bool IsMember(MeetingId meeting, ParticipantId participant) const;
+  // Latest northbound load report (zeros until one arrives).
+  const SwitchLoadReport& ReportedLoadOf(size_t switch_index) const;
   Controller& controller(size_t switch_index) {
     return *switches_[switch_index]->controller;
   }
@@ -79,23 +129,42 @@ class FleetController : public SignalingServer {
 
  private:
   struct Member {
+    ControlChannel* channel = nullptr;
     std::unique_ptr<Controller> controller;
     net::Ipv4 sfu_ip;
     int participants = 0;
     int meetings = 0;
     bool alive = true;
+    util::TimeUs last_heartbeat = 0;
+    SwitchLoadReport last_report;
+    bool report_seen = false;
   };
 
   // Least-loaded live switch, optionally excluding one index; SIZE_MAX
   // when no live switch qualifies.
   size_t LeastLoaded(size_t exclude = SIZE_MAX) const;
+  // Failure-detector tick: declares switches with
+  // `heartbeat_miss_threshold` consecutive missed heartbeats dead.
+  void CheckHeartbeats();
+  // Rebalancer tick: at most one meeting moves per tick.
+  void Rebalance();
+
+  // A switch is declared dead after this many silent heartbeat intervals.
+  static constexpr int kHeartbeatMissThreshold = 3;
 
   std::vector<std::unique_ptr<Member>> switches_;
   // Fleet-global meeting ids -> (switch index, switch-local meeting id).
   std::map<MeetingId, std::pair<size_t, MeetingId>> placement_;
   // Currently-joined participants per fleet-global meeting.
   std::map<MeetingId, std::set<ParticipantId>> members_;
+  // Rebalancer hysteresis: when each meeting last migrated.
+  std::map<MeetingId, util::TimeUs> last_migrated_;
   MeetingId next_meeting_ = 1;
+  sim::Scheduler* sched_ = nullptr;  // from the first registered channel
+  std::unique_ptr<sim::PeriodicTask> detector_task_;
+  std::unique_ptr<sim::PeriodicTask> rebalance_task_;
+  RebalanceConfig rebalance_cfg_;
+  MigrationCallback migration_cb_;
   FleetStats stats_;
 };
 

@@ -122,12 +122,10 @@ void SwitchAgent::HandleKeyframeDd(const net::Packet& pkt) {
 }
 
 void SwitchAgent::CreateMeeting(MeetingId id) {
-  ++stats_.rpc_calls;
   meetings_[id] = Meeting{};
 }
 
 void SwitchAgent::RemoveMeeting(MeetingId id) {
-  ++stats_.rpc_calls;
   auto it = meetings_.find(id);
   if (it == meetings_.end()) return;
   std::vector<ParticipantId> members = it->second.members;
@@ -139,13 +137,13 @@ void SwitchAgent::RemoveMeeting(MeetingId id) {
 uint16_t SwitchAgent::AddParticipant(MeetingId meeting, ParticipantId id,
                                      net::Endpoint media_src,
                                      uint32_t video_ssrc, uint32_t audio_ssrc,
-                                     bool sends_video, bool sends_audio) {
-  ++stats_.rpc_calls;
+                                     bool sends_video, bool sends_audio,
+                                     uint16_t assigned_port) {
   Participant p;
   p.id = id;
   p.meeting = meeting;
   p.media_src = media_src;
-  p.uplink_port = next_port_++;
+  p.uplink_port = assigned_port != 0 ? assigned_port : next_port_++;
   p.video_ssrc = video_ssrc;
   p.audio_ssrc = audio_ssrc;
   p.sends_video = sends_video;
@@ -169,7 +167,6 @@ uint16_t SwitchAgent::AddParticipant(MeetingId meeting, ParticipantId id,
 }
 
 void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
-  ++stats_.rpc_calls;
   auto it = participants_.find(id);
   if (it == participants_.end()) return;
   Participant& p = it->second;
@@ -235,13 +232,20 @@ void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
 
 uint16_t SwitchAgent::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
                                  ParticipantId sender,
-                                 net::Endpoint receiver_client) {
-  ++stats_.rpc_calls;
-  Participant& recv = participants_.at(receiver);
-  Participant& send = participants_.at(sender);
+                                 net::Endpoint receiver_client,
+                                 uint16_t assigned_port) {
+  uint16_t port = assigned_port != 0 ? assigned_port : next_port_++;
+  // A leg referencing a participant this switch never learned about (its
+  // AddParticipant was lost on the control channel) is ignored, like a
+  // flow rule naming an unknown group in a real switch.
+  auto rit = participants_.find(receiver);
+  auto sit = participants_.find(sender);
+  if (rit == participants_.end() || sit == participants_.end()) return port;
+  Participant& recv = rit->second;
+  Participant& send = sit->second;
 
   Leg leg;
-  leg.sfu_port = next_port_++;
+  leg.sfu_port = port;
   leg.client = receiver_client;
   recv.recv_legs[sender] = leg;
   recv.dt[sender] = 2;

@@ -65,7 +65,6 @@ struct AgentStats {
   uint64_t keyframe_dd_processed = 0;
   uint64_t filter_flips = 0;   // best-downlink selection changes
   uint64_t dt_changes = 0;     // decode-target reconfigurations
-  uint64_t rpc_calls = 0;      // controller -> agent API calls
   uint64_t dataplane_writes = 0;
 };
 
@@ -77,18 +76,24 @@ class SwitchAgent {
   // Wire this as the switch's CPU-port handler.
   void OnCpuPacket(net::PacketPtr pkt);
 
-  // ---- controller-facing API (an RPC boundary in the real system) ----
+  // ---- controller-facing API ----
+  // In the deployed system these are southbound messages; controllers
+  // reach them through core::ControlChannel (which also does the RPC
+  // accounting). `assigned_port` of 0 means "allocate locally" — the
+  // direct-call mode unit tests and scripted experiments use; the channel
+  // passes controller-assigned ports so commands stay one-way.
   void CreateMeeting(MeetingId id);
   void RemoveMeeting(MeetingId id);
   // Registers a participant's uplink; returns the SFU port for its media.
   uint16_t AddParticipant(MeetingId meeting, ParticipantId id,
                           net::Endpoint media_src, uint32_t video_ssrc,
                           uint32_t audio_ssrc, bool sends_video,
-                          bool sends_audio);
+                          bool sends_audio, uint16_t assigned_port = 0);
   void RemoveParticipant(MeetingId meeting, ParticipantId id);
   // Creates the (receiver <- sender) leg; returns its SFU port.
   uint16_t AddRecvLeg(MeetingId meeting, ParticipantId receiver,
-                      ParticipantId sender, net::Endpoint receiver_client);
+                      ParticipantId sender, net::Endpoint receiver_client,
+                      uint16_t assigned_port = 0);
 
   void SetDecodeTargetPolicy(SelectDecodeTargetFn fn) {
     select_dt_ = std::move(fn);
@@ -100,8 +105,13 @@ class SwitchAgent {
   void UnpinDecodeTarget(ParticipantId receiver, ParticipantId sender);
 
   const AgentStats& stats() const { return stats_; }
+  const AgentConfig& config() const { return cfg_; }
   TreeManager& tree_manager() { return trees_; }
   const TreeManager& tree_manager() const { return trees_; }
+  // Load introspection for northbound SwitchLoadReports.
+  size_t meeting_count() const { return meetings_.size(); }
+  size_t participant_count() const { return participants_.size(); }
+  size_t tree_count() const { return dp_.sw().pre().tree_count(); }
   // Current decode target of (receiver <- sender).
   int DecodeTargetOf(ParticipantId receiver, ParticipantId sender) const;
   // Currently selected best downlink for a sender (0 = none yet).

@@ -60,6 +60,27 @@ std::string ScenarioMetrics::ToCsv() const {
     }
   }
 
+  // Control-plane section: southbound command accounting, northbound
+  // telemetry, failure detection and rebalancer activity. Gated so the
+  // default single-switch CSV stays byte-identical to the pre-channel pin.
+  if (control_plane) {
+    Row(out,
+        "control,commands_sent,commands_applied,commands_dropped,"
+        "events_sent,events_delivered,events_dropped,heartbeats_seen,"
+        "heartbeats_missed,load_reports,switches_failed,"
+        "rebalance_migrations\n");
+    Row(out,
+        "control,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 "\n",
+        control.commands_sent, control.commands_applied,
+        control.commands_dropped, control.events_sent,
+        control.events_delivered, control.events_dropped,
+        control.heartbeats_seen, control.heartbeats_missed,
+        control.load_reports_seen, control.switches_failed,
+        control.rebalance_migrations);
+  }
+
   Row(out, "meeting,index,id,final_design,participants_at_end\n");
   for (const auto& m : meetings) {
     Row(out, "meeting,%d,%u,%s,%d\n", m.index, m.id, m.final_design.c_str(),
@@ -131,6 +152,16 @@ std::string ScenarioMetrics::Summary() const {
       Row(out, " s%d=%d%s", s.index, s.participants, s.alive ? "" : "(down)");
     }
     Row(out, "\n");
+  }
+  if (control_plane) {
+    Row(out,
+        "    control: %" PRIu64 " commands (%" PRIu64 " dropped), %" PRIu64
+        " heartbeats (%" PRIu64 " missed), %" PRIu64 " load reports, %" PRIu64
+        " switch failures, %" PRIu64 " rebalance moves\n",
+        control.commands_sent, control.commands_dropped,
+        control.heartbeats_seen, control.heartbeats_missed,
+        control.load_reports_seen, control.switches_failed,
+        control.rebalance_migrations);
   }
   return out;
 }

@@ -106,6 +106,14 @@ struct ScenarioMetrics {
   uint64_t blackholed = 0;
   uint64_t placements_rebalanced = 0;  // fleet meeting migrations
 
+  // Control-plane aggregates (southbound commands, northbound telemetry,
+  // failure detection, load rebalancing). Rendered as a CSV section only
+  // when `control_plane` is set — on multi-switch backends and whenever
+  // the spec configured WithControlPlane/WithRebalance — so the default
+  // single-switch CSV stays byte-identical to the pre-channel pin.
+  bool control_plane = false;
+  testbed::ControlPlaneCounters control;
+
   // Byte-stable rendering: identical spec + seed => identical string.
   std::string ToCsv() const;
   // Human-oriented digest for benches/examples.

@@ -11,7 +11,18 @@ namespace scallop::harness {
 ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
   testbed::TestbedConfig base = spec_.base;
   base.seed = spec_.seed;
+  base.control.latency = util::Seconds(spec_.control_latency_s);
+  base.control.loss_rate = spec_.control_loss;
+  if (spec_.rebalance_interval_s > 0.0) {
+    base.rebalance.enabled = true;
+    base.rebalance.interval = util::Seconds(spec_.rebalance_interval_s);
+    base.rebalance.imbalance_threshold = spec_.rebalance_threshold;
+  }
   backend_ = testbed::MakeBackend(spec_.backend, base);
+  backend_->SetMeetingMovedCallback(
+      [this](core::MeetingId meeting, size_t /*from*/, size_t /*to*/) {
+        OnMeetingMoved(meeting);
+      });
 
   for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
     meeting_ids_.push_back(backend_->CreateMeeting());
@@ -53,6 +64,26 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
           std::to_string(i) + "] targets (meeting=" +
           std::to_string(ev.meeting) + ", participant=" +
           std::to_string(ev.participant) + ") outside the spec grid");
+    }
+  }
+
+  // Fleet failover is driven by heartbeat loss, so the blackout must
+  // outlast worst-case detection: the last in-flight heartbeat lands
+  // `latency` after the link dies, death needs 3 more silent intervals
+  // plus `latency`, and the detector only looks every interval. A shorter
+  // blackout would revive the victim before it was ever declared dead and
+  // the drill would silently test nothing.
+  if (spec_.failover_at_s >= 0.0 &&
+      spec_.backend.kind == testbed::BackendChoice::Kind::kFleet) {
+    const double hb_s = util::ToSeconds(base.control.heartbeat_interval);
+    const double detect_s = 4.0 * hb_s + 2.0 * spec_.control_latency_s;
+    if (spec_.failover_blackout_s <= detect_s) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name + "': failover_blackout_s (" +
+          std::to_string(spec_.failover_blackout_s) +
+          ") must exceed the worst-case heartbeat-miss detection time (" +
+          std::to_string(detect_s) +
+          " s = 4 heartbeat intervals + 2 x control latency)");
     }
   }
 
@@ -170,7 +201,9 @@ void ScenarioRunner::FailoverBegin() {
   // the same (src, ssrc) keys — exactly as a real standby would only see
   // live traffic.
   failover_returnees_.clear();
+  in_failover_ = true;
   std::vector<core::MeetingId> affected = backend_->FailoverBegin();
+  failover_affected_ = affected;
   for (Slot& slot : slots_) {
     if (!slot.present) continue;
     if (std::find(affected.begin(), affected.end(), slot.meeting_id) ==
@@ -182,6 +215,17 @@ void ScenarioRunner::FailoverBegin() {
   }
 }
 
+namespace {
+
+// Whether the spec says this participant has permanently left by time t
+// (recovery paths must not resurrect them).
+bool ChurnedOut(const ParticipantSpec& ps, double t) {
+  return ps.leave_at_s >= 0.0 && t >= ps.leave_at_s &&
+         !(ps.rejoin_at_s >= 0.0 && t >= ps.rejoin_at_s);
+}
+
+}  // namespace
+
 void ScenarioRunner::FailoverEnd() {
   // Restart/standby bookkeeping first, then the re-joins — which the
   // backend's signaling routes to whatever switch now hosts each meeting
@@ -192,12 +236,43 @@ void ScenarioRunner::FailoverEnd() {
     // A participant whose scheduled departure fell inside the blackout
     // stays gone: failover recovery must not resurrect someone the spec
     // says has left by now.
-    const ParticipantSpec& ps = slot->spec;
-    bool left = ps.leave_at_s >= 0.0 && t >= ps.leave_at_s &&
-                !(ps.rejoin_at_s >= 0.0 && t >= ps.rejoin_at_s);
-    if (!left) JoinSlot(*slot);
+    if (!ChurnedOut(slot->spec, t)) JoinSlot(*slot);
   }
   failover_returnees_.clear();
+  failover_affected_.clear();
+  in_failover_ = false;
+}
+
+void ScenarioRunner::OnMeetingMoved(core::MeetingId meeting) {
+  // During the failover blackout the affected meetings' peers were already
+  // torn down, and FailoverEnd re-joins them after the drain; a second
+  // re-signal here would race it.
+  if (in_failover_ &&
+      std::find(failover_affected_.begin(), failover_affected_.end(),
+                meeting) != failover_affected_.end()) {
+    return;
+  }
+  const double resignal_s = std::max(0.0, spec_.rebalance_resignal_s);
+  for (Slot& slot : slots_) {
+    if (slot.meeting_id != meeting || !slot.present) continue;
+    Slot* s = &slot;
+    LeaveSlot(*s);
+    backend_->sched().After(util::Seconds(resignal_s), [this, s] {
+      // Honor the spec's churn schedule: someone whose permanent leave
+      // fell inside the re-signaling gap stays gone.
+      if (ChurnedOut(s->spec, now_s())) return;
+      // If a failover blackout started while this re-join was pending and
+      // swallowed the meeting, joining now would sign the peer onto the
+      // dying switch; hand it to the failover recovery instead.
+      if (in_failover_ &&
+          std::find(failover_affected_.begin(), failover_affected_.end(),
+                    s->meeting_id) != failover_affected_.end()) {
+        failover_returnees_.push_back(s);
+        return;
+      }
+      JoinSlot(*s);
+    });
+  }
 }
 
 void ScenarioRunner::Sample() {
@@ -353,6 +428,8 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.tree_migrations = c.tree_migrations;
   m.placements_rebalanced = c.placements_rebalanced;
   m.blackholed = backend_->network().blackholed();
+  m.control = backend_->control_counters();
+  m.control_plane = spec_.control_plane_configured || !m.switches.empty();
   return m;
 }
 

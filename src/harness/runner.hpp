@@ -77,6 +77,11 @@ class ScenarioRunner {
   void LeaveSlot(Slot& slot);
   void FailoverBegin();
   void FailoverEnd();
+  // Live migration (rebalancer or heartbeat-detected failure): drop the
+  // meeting's peers now and re-signal them onto the new placement after
+  // the re-negotiation delay. Meetings already being handled by the
+  // failover protocol are left to it.
+  void OnMeetingMoved(core::MeetingId meeting);
   void Sample();
   Slot& slot_at(int meeting, int participant);
   const Slot& slot_at(int meeting, int participant) const;
@@ -86,6 +91,10 @@ class ScenarioRunner {
   std::vector<core::MeetingId> meeting_ids_;
   std::vector<Slot> slots_;  // meeting-major order
   std::vector<Slot*> failover_returnees_;
+  // Meetings whose recovery the failover protocol owns while the blackout
+  // is in progress (migration callbacks for them are ignored).
+  std::vector<core::MeetingId> failover_affected_;
+  bool in_failover_ = false;
   // Frames decoded on legs that churn has since torn down (the leaver's
   // own legs and everyone's legs toward the leaver); keeps the timeline's
   // frames_decoded_total cumulative and monotone across leaves/failover.

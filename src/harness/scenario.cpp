@@ -101,6 +101,21 @@ ScenarioSpec& ScenarioSpec::WithBackend(testbed::BackendChoice choice) {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::WithControlPlane(double latency_s, double loss) {
+  control_latency_s = latency_s;
+  control_loss = loss;
+  control_plane_configured = true;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithRebalance(double interval_s,
+                                          int imbalance_threshold) {
+  rebalance_interval_s = interval_s;
+  rebalance_threshold = imbalance_threshold;
+  control_plane_configured = true;
+  return *this;
+}
+
 int ScenarioSpec::TotalParticipants() const {
   int n = 0;
   for (const auto& m : meetings) n += static_cast<int>(m.participants.size());

@@ -78,8 +78,32 @@ struct ScenarioSpec {
   // Detection + re-signaling gap between state loss and the re-joins.
   // Must exceed the access-link RTT so in-flight pre-failover media drains
   // before the standby installs stream entries for the same (src, ssrc)
-  // keys — exactly as a real standby would only see live traffic.
+  // keys — exactly as a real standby would only see live traffic. On the
+  // fleet backend it must also exceed the worst-case heartbeat-miss
+  // detection time — 4 heartbeat intervals plus 2x the control latency
+  // (in-flight last heartbeat + detection threshold + one detector tick)
+  // — because failover is delivered as telemetry loss and the dead switch
+  // is only discovered by missed heartbeats. The runner validates this at
+  // construction rather than letting the drill silently test nothing.
   double failover_blackout_s = 0.25;
+
+  // Southbound control-plane shape: per-message latency and iid loss on
+  // every controller <-> switch command/event. Defaults (0/0) dispatch
+  // inline and leave backend behavior byte-identical.
+  double control_latency_s = 0.0;
+  double control_loss = 0.0;
+  // True once WithControlPlane/WithRebalance was called; gates the
+  // control-plane CSV section (multi-switch backends always render it).
+  bool control_plane_configured = false;
+  // Load-driven background rebalancer (fleet backend only): every
+  // `rebalance_interval_s` the fleet migrates at most one meeting from
+  // the busiest to the idlest switch when their reported participant
+  // loads differ by at least `rebalance_threshold`. Negative: disabled.
+  double rebalance_interval_s = -1.0;
+  int rebalance_threshold = 2;
+  // Client re-negotiation delay between a live migration and the members'
+  // re-joins onto the target switch.
+  double rebalance_resignal_s = 0.1;
 
   // Which forwarding substrate executes the scenario: the single-switch
   // Scallop stack (default), a multi-switch fleet, or the software-SFU
@@ -107,6 +131,8 @@ struct ScenarioSpec {
   ScenarioSpec& WithLinkEvent(LinkEvent ev);
   ScenarioSpec& WithFailover(double at_s);
   ScenarioSpec& WithBackend(testbed::BackendChoice choice);
+  ScenarioSpec& WithControlPlane(double latency_s, double loss = 0.0);
+  ScenarioSpec& WithRebalance(double interval_s, int imbalance_threshold = 2);
 
   // Total participants across meetings.
   int TotalParticipants() const;

@@ -42,6 +42,16 @@ void Backend::AccumulateSwitchNode(BackendCounters& c,
   c.tree_migrations += tree_stats.migrations;
 }
 
+void Backend::AccumulateChannel(ControlPlaneCounters& c,
+                                const core::ControlChannelStats& s) {
+  c.commands_sent += s.commands_sent;
+  c.commands_applied += s.commands_applied;
+  c.commands_dropped += s.commands_dropped;
+  c.events_sent += s.events_sent;
+  c.events_delivered += s.events_delivered;
+  c.events_dropped += s.events_dropped;
+}
+
 std::unique_ptr<Backend> MakeBackend(const BackendChoice& choice,
                                      const TestbedConfig& cfg) {
   switch (choice.kind) {

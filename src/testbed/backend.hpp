@@ -6,6 +6,7 @@
 // ones (cascades, remote testbeds) drop in without touching experiments.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,25 @@ struct BackendCounters {
   uint64_t placements_rebalanced = 0;  // fleet meeting migrations
 };
 
+// Southbound/northbound control-plane aggregates, summed over every
+// ControlChannel the substrate owns plus the fleet's telemetry loops.
+// The software baseline has no southbound channel — its control plane is
+// in-process, which is exactly the architectural contrast the paper draws
+// — so it reports zeros.
+struct ControlPlaneCounters {
+  uint64_t commands_sent = 0;
+  uint64_t commands_applied = 0;
+  uint64_t commands_dropped = 0;
+  uint64_t events_sent = 0;
+  uint64_t events_delivered = 0;
+  uint64_t events_dropped = 0;
+  uint64_t heartbeats_seen = 0;
+  uint64_t heartbeats_missed = 0;
+  uint64_t load_reports_seen = 0;
+  uint64_t switches_failed = 0;
+  uint64_t rebalance_migrations = 0;
+};
+
 // Per-switch snapshot for multi-switch backends (single-switch backends
 // return an empty breakdown, which keeps their CSV rendering unchanged).
 struct SwitchStatus {
@@ -106,8 +126,18 @@ class Backend {
   virtual std::vector<core::MeetingId> FailoverBegin() = 0;
   virtual void FailoverEnd() {}
 
+  // Called just before the substrate migrates a live meeting between
+  // switches (load rebalancing or failure detection): the harness drops
+  // and re-signals the meeting's peers. Substrates that never migrate
+  // ignore it.
+  virtual void SetMeetingMovedCallback(
+      std::function<void(core::MeetingId, size_t from, size_t to)>) {}
+
   // ---- introspection for metrics ----------------------------------------
   virtual BackendCounters counters() const = 0;
+  // Control-channel + telemetry-loop aggregates (zeros on substrates
+  // without a southbound boundary, e.g. the software SFU).
+  virtual ControlPlaneCounters control_counters() const { return {}; }
   // Replication-tree design currently serving a meeting ("none" when the
   // substrate has no tree notion, e.g. the software SFU).
   virtual std::string TreeDesignOf(core::MeetingId /*meeting*/) const {
@@ -127,6 +157,11 @@ class Backend {
                                    const switchsim::Switch& sw,
                                    const core::DataPlaneProgram& dp,
                                    const core::SwitchAgent& agent);
+
+  // Shared control-channel counter aggregation: single-switch and fleet
+  // backends fold each channel through the same mapping.
+  static void AccumulateChannel(ControlPlaneCounters& c,
+                                const core::ControlChannelStats& s);
 
   // Shared peer attachment: 10.0.x.y host addressing and seed derivation
   // in attachment order — the invariant all backends must preserve.

@@ -25,11 +25,17 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
     agent_cfg.sfu_ip = node.ip;
     node.agent =
         std::make_unique<core::SwitchAgent>(sched_, *node.dp, agent_cfg);
+    core::ControlChannelConfig ctrl_cfg = cfg_.control;
+    ctrl_cfg.seed =
+        cfg_.seed * 1'000'003 + 17 + static_cast<uint64_t>(i) * 7919;
+    node.channel =
+        std::make_unique<core::ControlChannel>(sched_, *node.agent, ctrl_cfg);
     network_->Attach(node.ip, node.sw.get(), cfg_.sfu_uplink,
                      cfg_.sfu_downlink);
-    fleet_->AddSwitch(*node.agent, node.ip);
+    fleet_->AddSwitch(*node.channel, node.ip);
     nodes_.push_back(std::move(node));
   }
+  if (cfg_.rebalance.enabled) fleet_->EnableRebalancer(cfg_.rebalance);
 }
 
 std::string FleetTestbed::Name() const {
@@ -68,9 +74,13 @@ void FleetTestbed::RunUntil(double t_s) {
 
 std::vector<core::MeetingId> FleetTestbed::FailoverBegin() {
   // Kill the switch hosting the first still-placed meeting; every meeting
-  // it hosts loses its forwarding state. The fleet migrates them to a live
-  // standby right away (placement decisions are control-plane work), so
-  // the re-Joins after the blackout land on the standby's SFU IP.
+  // it hosts loses its forwarding state. The crash is delivered the way a
+  // real fleet learns of one: the victim's control link goes dark, its
+  // heartbeats stop, and the FleetController's miss detector declares it
+  // dead and migrates its meetings to a live standby — so the re-Joins
+  // after the blackout land on the standby's SFU IP. The blackout must
+  // exceed heartbeat_miss_threshold heartbeat intervals or the victim is
+  // revived before it is ever declared dead.
   size_t victim = SIZE_MAX;
   std::vector<core::MeetingId> affected;
   for (core::MeetingId m : meetings_) {
@@ -81,7 +91,7 @@ std::vector<core::MeetingId> FleetTestbed::FailoverBegin() {
   }
   if (victim == SIZE_MAX) return {};
   failed_switch_ = victim;
-  fleet_->OnSwitchDown(victim);
+  nodes_[victim].channel->set_link_up(false);
   return affected;
 }
 
@@ -89,8 +99,14 @@ void FleetTestbed::FailoverEnd() {
   // The victim restarts empty and rejoins the fleet as a standby for
   // future placements; migrated meetings stay where they are.
   if (failed_switch_ == SIZE_MAX) return;
+  nodes_[failed_switch_].channel->set_link_up(true);
   fleet_->ReviveSwitch(failed_switch_);
   failed_switch_ = SIZE_MAX;
+}
+
+void FleetTestbed::SetMeetingMovedCallback(
+    std::function<void(core::MeetingId, size_t, size_t)> cb) {
+  fleet_->SetMigrationCallback(std::move(cb));
 }
 
 BackendCounters FleetTestbed::counters() const {
@@ -99,6 +115,20 @@ BackendCounters FleetTestbed::counters() const {
     AccumulateSwitchNode(c, *node.sw, *node.dp, *node.agent);
   }
   c.placements_rebalanced = fleet_->stats().placements_rebalanced;
+  return c;
+}
+
+ControlPlaneCounters FleetTestbed::control_counters() const {
+  ControlPlaneCounters c;
+  for (const Node& node : nodes_) {
+    AccumulateChannel(c, node.channel->stats());
+  }
+  const core::FleetStats& fs = fleet_->stats();
+  c.heartbeats_seen = fs.heartbeats_seen;
+  c.heartbeats_missed = fs.heartbeats_missed;
+  c.load_reports_seen = fs.load_reports_seen;
+  c.switches_failed = fs.switches_failed;
+  c.rebalance_migrations = fs.rebalance_migrations;
   return c;
 }
 

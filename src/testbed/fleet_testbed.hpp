@@ -1,15 +1,19 @@
 // Multi-switch testbed: N Scallop switches (each with its own data plane,
-// switch agent and SFU IP on datacenter links) under one FleetController —
-// the paper's Appendix A deployment shape, and the first new substrate
-// behind the testbed::Backend seam. Failover here finally means a real
-// standby: FailoverBegin kills the switch hosting the first meeting and
-// the fleet migrates its meetings to a live switch, so recovering peers
-// re-signal to the standby's SFU IP instead of the restarted victim.
+// switch agent, southbound ControlChannel and SFU IP on datacenter links)
+// under one FleetController — the paper's Appendix A deployment shape.
+// Failover here means a real standby driven by telemetry loss:
+// FailoverBegin takes the victim's control link down, the fleet's
+// heartbeat-miss detector declares it dead and migrates its meetings to a
+// live switch, so recovering peers re-signal to the standby's SFU IP
+// instead of the restarted victim. With cfg.rebalance.enabled the fleet
+// additionally runs the load-driven background rebalancer over the
+// northbound SwitchLoadReports.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "core/control_channel.hpp"
 #include "core/dataplane.hpp"
 #include "core/fleet.hpp"
 #include "core/switch_agent.hpp"
@@ -43,13 +47,17 @@ class FleetTestbed : public Backend {
   switchsim::Switch& sw(size_t i) { return *nodes_[i].sw; }
   core::DataPlaneProgram& dataplane(size_t i) { return *nodes_[i].dp; }
   core::SwitchAgent& agent(size_t i) { return *nodes_[i].agent; }
+  core::ControlChannel& channel(size_t i) { return *nodes_[i].channel; }
 
   // testbed::Backend
   std::string Name() const override;
   core::SignalingServer& signaling() override { return *fleet_; }
   std::vector<core::MeetingId> FailoverBegin() override;
   void FailoverEnd() override;
+  void SetMeetingMovedCallback(
+      std::function<void(core::MeetingId, size_t, size_t)> cb) override;
   BackendCounters counters() const override;
+  ControlPlaneCounters control_counters() const override;
   std::string TreeDesignOf(core::MeetingId meeting) const override;
   size_t switch_count() const override { return nodes_.size(); }
   size_t PlacementOf(core::MeetingId meeting) const override {
@@ -63,6 +71,7 @@ class FleetTestbed : public Backend {
     std::unique_ptr<switchsim::Switch> sw;
     std::unique_ptr<core::DataPlaneProgram> dp;
     std::unique_ptr<core::SwitchAgent> agent;
+    std::unique_ptr<core::ControlChannel> channel;
   };
 
   TestbedConfig cfg_;

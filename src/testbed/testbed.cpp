@@ -30,7 +30,10 @@ ScallopTestbed::ScallopTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
   core::AgentConfig agent_cfg = cfg_.agent;
   agent_cfg.sfu_ip = cfg_.sfu_ip;
   agent_ = std::make_unique<core::SwitchAgent>(sched_, *dataplane_, agent_cfg);
-  controller_ = std::make_unique<core::Controller>(*agent_, cfg_.sfu_ip);
+  core::ControlChannelConfig ctrl_cfg = cfg_.control;
+  ctrl_cfg.seed = cfg_.seed * 1'000'003 + 17;
+  channel_ = std::make_unique<core::ControlChannel>(sched_, *agent_, ctrl_cfg);
+  controller_ = std::make_unique<core::Controller>(*channel_, cfg_.sfu_ip);
   network_->Attach(cfg_.sfu_ip, switch_.get(), cfg_.sfu_uplink,
                    cfg_.sfu_downlink);
 }
@@ -68,6 +71,12 @@ void ScallopTestbed::RunUntil(double t_s) {
 BackendCounters ScallopTestbed::counters() const {
   BackendCounters c;
   AccumulateSwitchNode(c, *switch_, *dataplane_, *agent_);
+  return c;
+}
+
+ControlPlaneCounters ScallopTestbed::control_counters() const {
+  ControlPlaneCounters c;
+  AccumulateChannel(c, channel_->stats());
   return c;
 }
 

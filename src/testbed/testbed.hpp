@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "client/peer.hpp"
+#include "core/control_channel.hpp"
 #include "core/controller.hpp"
 #include "core/dataplane.hpp"
+#include "core/fleet.hpp"
 #include "core/switch_agent.hpp"
 #include "sfu/software_sfu.hpp"
 #include "sim/network.hpp"
@@ -43,6 +45,13 @@ struct TestbedConfig {
   core::AgentConfig agent;          // sfu_ip is overwritten
   sfu::SoftwareSfuConfig software;  // address is overwritten
   client::PeerConfig peer;          // address/seed overwritten per peer
+  // Southbound control channel between controller(s) and switch agent(s);
+  // the seed is overwritten (derived from `seed` and the switch index).
+  // Defaults are zero latency / zero loss: inline dispatch, byte-identical
+  // to the old direct-call wiring.
+  core::ControlChannelConfig control;
+  // Fleet-only: the load-driven background rebalancer (off by default).
+  core::RebalanceConfig rebalance;
 };
 
 class ScallopTestbed : public Backend {
@@ -67,6 +76,7 @@ class ScallopTestbed : public Backend {
   switchsim::Switch& sw() { return *switch_; }
   core::DataPlaneProgram& dataplane() { return *dataplane_; }
   core::SwitchAgent& agent() { return *agent_; }
+  core::ControlChannel& channel() { return *channel_; }
   core::Controller& controller() { return *controller_; }
   std::vector<std::unique_ptr<client::Peer>>& peers() override {
     return peers_;
@@ -80,6 +90,7 @@ class ScallopTestbed : public Backend {
   // switch (the standby role in a one-switch deployment).
   std::vector<core::MeetingId> FailoverBegin() override { return meetings_; }
   BackendCounters counters() const override;
+  ControlPlaneCounters control_counters() const override;
   std::string TreeDesignOf(core::MeetingId meeting) const override;
 
  private:
@@ -89,6 +100,7 @@ class ScallopTestbed : public Backend {
   std::unique_ptr<switchsim::Switch> switch_;
   std::unique_ptr<core::DataPlaneProgram> dataplane_;
   std::unique_ptr<core::SwitchAgent> agent_;
+  std::unique_ptr<core::ControlChannel> channel_;
   std::unique_ptr<core::Controller> controller_;
   std::vector<std::unique_ptr<client::Peer>> peers_;
   std::vector<core::MeetingId> meetings_;

@@ -278,5 +278,64 @@ TEST_F(AgentTest, RemoveParticipantCleansState) {
   EXPECT_EQ(*agent_.tree_manager().CurrentDesign(1), TreeDesign::kTwoParty);
 }
 
+// The agent's API used to hand-increment stats_.rpc_calls at its five
+// entry points (CreateMeeting, RemoveMeeting, AddParticipant,
+// RemoveParticipant, AddRecvLeg); that accounting now happens once, at
+// ControlChannel dispatch. This pins the equivalence: for a controller-
+// driven call pattern, commands_sent counts exactly what the five
+// increments counted.
+TEST(ControlChannelAccounting, CommandCountMatchesOldRpcAccounting) {
+  struct FakeClient : public SignalingClient {
+    net::Endpoint ep;
+    net::Endpoint AllocateLocalLeg(ParticipantId) override { return ep; }
+    void OnRemoteLegReady(ParticipantId, uint32_t, uint32_t,
+                          net::Endpoint) override {}
+    void OnRemoteSenderLeft(ParticipantId) override {}
+  };
+
+  sim::Scheduler sched;
+  sim::Network net(sched, 1);
+  switchsim::Switch sw(sched, net, {.address = net::Ipv4(100, 64, 0, 1)});
+  DataPlaneProgram dp(sw, {});
+  AgentConfig agent_cfg;
+  agent_cfg.sfu_ip = sw.address();
+  SwitchAgent agent(sched, dp, agent_cfg);
+  net.Attach(sw.address(), &sw, {}, {});
+  ControlChannel channel(sched, agent);
+  Controller controller(channel, sw.address());
+
+  auto offer_for = [](uint8_t host, uint32_t ssrc_base) {
+    sdp::SessionDescription offer;
+    sdp::MediaSection video;
+    video.type = sdp::MediaType::kVideo;
+    video.ssrc = ssrc_base + 1;
+    video.candidates.push_back(
+        {.endpoint = net::Endpoint{net::Ipv4(10, 0, 0, host), 40'000}});
+    sdp::MediaSection audio;
+    audio.type = sdp::MediaType::kAudio;
+    audio.ssrc = ssrc_base + 2;
+    offer.media = {video, audio};
+    return offer;
+  };
+
+  FakeClient clients[3];
+  MeetingId meeting = controller.CreateMeeting();  // 1 CreateMeeting
+  std::vector<ParticipantId> ids;
+  for (uint8_t i = 0; i < 3; ++i) {
+    clients[i].ep = net::Endpoint{net::Ipv4(10, 0, 0, i),
+                                  static_cast<uint16_t>(41'000 + i)};
+    ids.push_back(
+        controller.Join(meeting, offer_for(i, 16u * (i + 1)), &clients[i])
+            .participant);
+  }
+  // 3 joins: 3 AddParticipant + (0 + 2 + 4) AddRecvLeg = 9.
+  controller.Leave(meeting, ids[1]);  // 1 RemoveParticipant
+  controller.EndMeeting(meeting);     // 1 RemoveMeeting
+  const uint64_t expected = 1 + 3 + 6 + 1 + 1;
+  EXPECT_EQ(channel.stats().commands_sent, expected);
+  EXPECT_EQ(channel.stats().commands_applied, expected);
+  EXPECT_EQ(channel.stats().commands_dropped, 0u);
+}
+
 }  // namespace
 }  // namespace scallop::core

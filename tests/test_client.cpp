@@ -36,6 +36,33 @@ TEST(PeerTest, JoinNegotiatesLegsBothWays) {
   EXPECT_GT(bed.controller().stats().candidates_rewritten, 0u);
 }
 
+TEST(PeerTest, EndMeetingNotifiesRemainingMembers) {
+  // Ending a meeting must tell every remaining member about every peer
+  // sender's departure — otherwise clients keep stale receive legs toward
+  // SFU ports that no longer exist and never learn the meeting ended.
+  testbed::TestbedConfig cfg;
+  cfg.peer = QuietPeer();
+  testbed::ScallopTestbed bed(cfg);
+  Peer& a = bed.AddPeer();
+  Peer& b = bed.AddPeer();
+  Peer& c = bed.AddPeer();
+  auto meeting = bed.CreateMeeting();
+  a.Join(bed.controller(), meeting);
+  b.Join(bed.controller(), meeting);
+  c.Join(bed.controller(), meeting);
+  bed.RunFor(2.0);
+  ASSERT_EQ(a.remote_senders().size(), 2u);
+
+  bed.controller().EndMeeting(meeting);
+  EXPECT_TRUE(a.remote_senders().empty());
+  EXPECT_TRUE(b.remote_senders().empty());
+  EXPECT_TRUE(c.remote_senders().empty());
+  EXPECT_EQ(a.video_receiver(b.id()), nullptr);
+  // The switch-side state went with it.
+  EXPECT_EQ(bed.agent().meeting_count(), 0u);
+  EXPECT_EQ(bed.agent().participant_count(), 0u);
+}
+
 TEST(PeerTest, MediaCadencesMatchTable1) {
   testbed::TestbedConfig cfg;
   cfg.peer = QuietPeer();

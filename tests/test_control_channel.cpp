@@ -1,0 +1,380 @@
+// Southbound control-channel tests: command dispatch semantics (inline at
+// zero latency, delayed-but-ordered at nonzero latency, dropped under
+// loss), northbound telemetry (heartbeats, load reports), the fleet's
+// heartbeat-miss failure detector, and the load-driven background
+// rebalancer with its hysteresis — plus the harness-level acceptance
+// scenario: live rebalancing under skewed join load with no failover.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/control_channel.hpp"
+#include "core/controller.hpp"
+#include "harness/runner.hpp"
+#include "testbed/fleet_testbed.hpp"
+
+namespace scallop::core {
+namespace {
+
+// One switch stack (switch + data plane + agent) and a channel to it.
+struct ChannelBed {
+  explicit ChannelBed(const ControlChannelConfig& ctrl = {})
+      : net(sched, 1),
+        sw(sched, net, {.address = net::Ipv4(100, 64, 0, 1)}),
+        dp(sw, {}),
+        agent(sched, dp, Cfg()),
+        channel(sched, agent, ctrl) {
+    net.Attach(sw.address(), &sw, {}, {});
+  }
+
+  static AgentConfig Cfg() {
+    AgentConfig cfg;
+    cfg.sfu_ip = net::Ipv4(100, 64, 0, 1);
+    return cfg;
+  }
+
+  static net::Endpoint Client(uint8_t host, uint16_t port) {
+    return net::Endpoint{net::Ipv4(10, 0, 0, host), port};
+  }
+
+  sim::Scheduler sched;
+  sim::Network net;
+  switchsim::Switch sw;
+  DataPlaneProgram dp;
+  SwitchAgent agent;
+  ControlChannel channel;
+};
+
+TEST(ControlChannel, ZeroLatencyAppliesInline) {
+  ChannelBed bed;
+  bed.channel.CreateMeeting(1);
+  uint16_t up = bed.channel.AddParticipant(1, 1, ChannelBed::Client(1, 40'000),
+                                           17, 18, true, true);
+  EXPECT_EQ(bed.agent.meeting_count(), 1u);
+  EXPECT_EQ(bed.agent.participant_count(), 1u);
+  // The controller-assigned port matches the agent's allocation scheme.
+  EXPECT_EQ(up, bed.agent.config().first_sfu_port);
+  EXPECT_EQ(bed.channel.stats().commands_sent, 2u);
+  EXPECT_EQ(bed.channel.stats().commands_applied, 2u);
+  EXPECT_EQ(bed.channel.stats().commands_dropped, 0u);
+}
+
+TEST(ControlChannel, LatencyDelaysButNeverReordersCommands) {
+  ChannelBed bed({.latency = util::Millis(50)});
+  bed.channel.CreateMeeting(1);
+  uint16_t up1 = bed.channel.AddParticipant(
+      1, 1, ChannelBed::Client(1, 40'000), 17, 18, true, true);
+  uint16_t up2 = bed.channel.AddParticipant(
+      1, 2, ChannelBed::Client(2, 40'000), 33, 34, true, true);
+  uint16_t leg = bed.channel.AddRecvLeg(1, 2, 1, ChannelBed::Client(2, 41'001));
+
+  // Ports are assigned on the controller side at send time...
+  EXPECT_EQ(up1, bed.agent.config().first_sfu_port);
+  EXPECT_EQ(up2, up1 + 1);
+  EXPECT_EQ(leg, up1 + 2);
+  // ...but nothing has reached the switch yet.
+  EXPECT_EQ(bed.agent.meeting_count(), 0u);
+  EXPECT_EQ(bed.channel.stats().commands_sent, 4u);
+  EXPECT_EQ(bed.channel.stats().commands_applied, 0u);
+
+  // After one latency, every command applied — in issue order, so the
+  // dependent ones (AddRecvLeg needs both participants) succeeded and the
+  // installed ports are exactly the pre-assigned ones.
+  bed.sched.RunUntil(util::Seconds(0.06));
+  EXPECT_EQ(bed.agent.meeting_count(), 1u);
+  EXPECT_EQ(bed.agent.participant_count(), 2u);
+  EXPECT_EQ(bed.channel.stats().commands_applied, 4u);
+  EXPECT_NE(bed.dp.MutableFeedback(up1), nullptr);
+  EXPECT_NE(bed.dp.MutableFeedback(up2), nullptr);
+  FeedbackEntry* fb = bed.dp.MutableFeedback(leg);
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(fb->receiver, 2u);
+  EXPECT_EQ(fb->sender, 1u);
+}
+
+TEST(ControlChannel, InterleavedCommandBatchesStayOrdered) {
+  // Two bursts separated in time: the second burst must not overtake the
+  // tail of the first (same per-message latency + FIFO scheduler).
+  ChannelBed bed({.latency = util::Millis(20)});
+  bed.channel.CreateMeeting(1);
+  bed.channel.AddParticipant(1, 1, ChannelBed::Client(1, 40'000), 17, 18,
+                             true, true);
+  bed.sched.RunUntil(util::Seconds(0.01));  // first burst still in flight
+  bed.channel.AddParticipant(1, 2, ChannelBed::Client(2, 40'000), 33, 34,
+                             true, true);
+  bed.channel.RemoveParticipant(1, 1);
+
+  bed.sched.RunUntil(util::Seconds(0.021));
+  // First burst landed, second still in flight.
+  EXPECT_EQ(bed.agent.participant_count(), 1u);
+  bed.sched.RunUntil(util::Seconds(0.031));
+  // Second burst landed in order: add 2, then remove 1.
+  EXPECT_EQ(bed.agent.participant_count(), 1u);
+  EXPECT_EQ(bed.agent.meeting_count(), 1u);
+  EXPECT_EQ(bed.channel.stats().commands_applied, 4u);
+}
+
+TEST(ControlChannel, LossDropsCommands) {
+  ChannelBed bed({.loss_rate = 1.0, .seed = 7});
+  bed.channel.CreateMeeting(1);
+  bed.channel.AddParticipant(1, 1, ChannelBed::Client(1, 40'000), 17, 18,
+                             true, true);
+  bed.sched.RunUntil(util::Seconds(1));
+  EXPECT_EQ(bed.agent.meeting_count(), 0u);
+  EXPECT_EQ(bed.channel.stats().commands_sent, 2u);
+  EXPECT_EQ(bed.channel.stats().commands_dropped, 2u);
+  EXPECT_EQ(bed.channel.stats().commands_applied, 0u);
+}
+
+// ---- fleet failure detection over heartbeats ----------------------------
+
+testbed::TestbedConfig FastStartConfig() {
+  testbed::TestbedConfig cfg;
+  cfg.peer.encoder.start_bitrate_bps = 700'000;
+  cfg.peer.encoder.key_frame_interval = util::Seconds(4);
+  return cfg;
+}
+
+TEST(FleetHeartbeat, TelemetryFlowsNorthbound) {
+  testbed::FleetTestbed bed(FastStartConfig(), 2);
+  bed.RunFor(2.0);
+  const FleetStats& fs = bed.fleet().stats();
+  // 50 ms heartbeats + 500 ms load reports from both switches.
+  EXPECT_GE(fs.heartbeats_seen, 2 * 35u);
+  EXPECT_GE(fs.load_reports_seen, 2 * 3u);
+  EXPECT_EQ(fs.heartbeats_missed, 0u);
+  EXPECT_EQ(fs.switches_failed, 0u);
+}
+
+TEST(FleetHeartbeat, HighControlLatencyDoesNotFalselyKillSwitches) {
+  // Control latency above two heartbeat intervals: the first heartbeat
+  // cannot arrive before the naive 3-misses deadline, so the detector
+  // must fold the channel latency into its grace period or it bricks the
+  // whole fleet at startup.
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.control.latency = util::Millis(120);
+  testbed::FleetTestbed bed(cfg, 2);
+  bed.RunFor(3.0);
+  EXPECT_TRUE(bed.fleet().IsAlive(0));
+  EXPECT_TRUE(bed.fleet().IsAlive(1));
+  EXPECT_EQ(bed.fleet().stats().switches_failed, 0u);
+  EXPECT_EQ(bed.fleet().stats().heartbeats_missed, 0u);
+  EXPECT_GT(bed.fleet().stats().heartbeats_seen, 0u);
+}
+
+TEST(FleetHeartbeat, MissDetectionMigratesExactlyOncePerDeadSwitch) {
+  testbed::FleetTestbed bed(FastStartConfig(), 2);
+  auto m1 = bed.CreateMeeting();
+  auto m2 = bed.CreateMeeting();
+  bed.AddPeer().Join(bed.signaling(), m1);
+  bed.AddPeer().Join(bed.signaling(), m2);
+  bed.RunFor(1.0);
+
+  size_t victim = bed.PlacementOf(m1);
+  bed.channel(victim).set_link_up(false);
+  bed.RunFor(1.0);
+
+  // Declared dead by missed heartbeats, and its meeting migrated to the
+  // standby exactly once.
+  EXPECT_FALSE(bed.fleet().IsAlive(victim));
+  EXPECT_EQ(bed.fleet().stats().switches_failed, 1u);
+  EXPECT_GT(bed.fleet().stats().heartbeats_missed, 0u);
+  EXPECT_EQ(bed.PlacementOf(m1), 1 - victim);
+  EXPECT_EQ(bed.PlacementOf(m2), 1 - victim);
+  EXPECT_EQ(bed.fleet().stats().placements_rebalanced, 1u);
+
+  // More silent intervals must not re-declare or re-migrate.
+  bed.RunFor(2.0);
+  EXPECT_EQ(bed.fleet().stats().switches_failed, 1u);
+  EXPECT_EQ(bed.fleet().stats().placements_rebalanced, 1u);
+
+  // Telemetry resumes + revive: the switch stays up (no instant re-kill
+  // from the stale liveness clock).
+  bed.channel(victim).set_link_up(true);
+  bed.fleet().ReviveSwitch(victim);
+  bed.RunFor(1.0);
+  EXPECT_TRUE(bed.fleet().IsAlive(victim));
+  EXPECT_EQ(bed.fleet().stats().switches_failed, 1u);
+}
+
+// ---- load-driven rebalancer ---------------------------------------------
+
+TEST(FleetRebalance, MovesMeetingsOffTheOverloadedSwitch) {
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.rebalance.enabled = true;
+  cfg.rebalance.interval = util::Seconds(1);
+  cfg.rebalance.imbalance_threshold = 2;
+  testbed::FleetTestbed bed(cfg, 2);
+
+  // Two meetings land on different switches (round-robin while empty);
+  // load them 4 vs 1, then park a third, idle meeting on the loaded
+  // switch — the rebalancer should move the small meeting across.
+  auto m1 = bed.CreateMeeting();
+  auto m2 = bed.CreateMeeting();
+  for (int i = 0; i < 4; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+  bed.AddPeer().Join(bed.signaling(), m2);
+  size_t busy = bed.PlacementOf(m1);
+  auto m3 = bed.CreateMeeting();
+  ASSERT_EQ(bed.PlacementOf(m3), 1 - busy);  // least-loaded at creation
+  bed.AddPeer().Join(bed.signaling(), m3);
+  // Re-home m3's single peer onto the busy switch by migrating manually,
+  // then re-joining — simplest way to craft a 5-vs-1 split.
+  bed.fleet().MigrateMeeting(m3, busy);
+  client::Peer& mover = *bed.peers().back();
+  mover.Leave();
+  mover.Join(bed.signaling(), m3);
+  ASSERT_EQ(bed.fleet().LoadOf(busy), 5);
+  ASSERT_EQ(bed.fleet().LoadOf(1 - busy), 1);
+  uint64_t manual_moves = bed.fleet().stats().placements_rebalanced;
+
+  bed.RunFor(3.0);
+  const FleetStats& fs = bed.fleet().stats();
+  EXPECT_GT(fs.rebalance_migrations, 0u);
+  EXPECT_GT(fs.placements_rebalanced, manual_moves);
+  // The small meeting moved off the overloaded switch.
+  EXPECT_EQ(bed.PlacementOf(m3), 1 - busy);
+  EXPECT_EQ(bed.PlacementOf(m1), busy);
+}
+
+TEST(FleetRebalance, HysteresisNoMeetingMovesTwiceWithinOneInterval) {
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.rebalance.enabled = true;
+  cfg.rebalance.interval = util::Seconds(1);
+  cfg.rebalance.imbalance_threshold = 1;  // eager: worst case for flapping
+  testbed::FleetTestbed bed(cfg, 2);
+
+  std::map<core::MeetingId, std::vector<double>> moves;
+  bed.SetMeetingMovedCallback(
+      [&](core::MeetingId m, size_t, size_t) {
+        moves[m].push_back(util::ToSeconds(bed.sched().now()));
+      });
+
+  // m1 (2 peers) and m3 (1 peer) both live on switch 0; m2 (empty) on
+  // switch 1 — a 3-vs-0 split the eager rebalancer starts chewing on.
+  auto m1 = bed.CreateMeeting();
+  auto m2 = bed.CreateMeeting();
+  auto m3 = bed.CreateMeeting();
+  ASSERT_EQ(bed.PlacementOf(m1), bed.PlacementOf(m3));
+  for (int i = 0; i < 2; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+  bed.AddPeer().Join(bed.signaling(), m3);
+  bed.RunFor(6.0);
+  (void)m2;
+
+  // Something moved, and nothing ping-ponged: each meeting's consecutive
+  // migrations are at least one rebalance interval apart.
+  EXPECT_FALSE(moves.empty()) << "rebalancer never acted";
+  for (const auto& [meeting, times] : moves) {
+    for (size_t i = 1; i < times.size(); ++i) {
+      EXPECT_GE(times[i] - times[i - 1], 1.0 - 1e-9)
+          << "meeting " << meeting << " migrated twice within one interval";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scallop::core
+
+namespace scallop::harness {
+namespace {
+
+// Acceptance scenario (ISSUE 3): a 3-switch fleet under skewed join load
+// with the background rebalancer on — live migrations happen (and peers
+// re-signal onto the new placements) without any failover.
+TEST(RebalanceScenario, SkewedJoinsRebalanceWithoutFailover) {
+  // Six meetings round-robin across three switches, so switch 0 hosts
+  // meetings 0 and 3. The skew: those two meetings get 3 participants
+  // each, everyone else gets 1 — switch 0 carries 6 of 10 participants
+  // until the rebalancer spreads the load.
+  ScenarioSpec spec = ScenarioSpec::Uniform("rebalance-skew", 6, 1, 16.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.meetings[0].participants.resize(3);
+  spec.meetings[3].participants.resize(3);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithRebalance(/*interval_s=*/2.0, /*imbalance_threshold=*/2);
+
+  ScenarioRunner runner(spec);
+  const ScenarioMetrics& m = runner.Run();
+
+  EXPECT_GT(m.placements_rebalanced, 0u) << m.Summary() << m.ToCsv();
+  EXPECT_GT(m.control.rebalance_migrations, 0u);
+  EXPECT_EQ(m.control.switches_failed, 0u) << "no failover in this scenario";
+  EXPECT_EQ(m.control.heartbeats_missed, 0u);
+
+  // Load ended up spread: no switch holds more than half the peers, and
+  // every switch hosts something.
+  ASSERT_EQ(m.switches.size(), 3u);
+  for (const auto& s : m.switches) {
+    EXPECT_TRUE(s.alive);
+    EXPECT_LE(s.participants, 5);
+    EXPECT_GE(s.meetings, 1);
+  }
+
+  // Migrated peers re-signaled and kept decoding on the new placement;
+  // rewriting stayed gap-free through the live moves.
+  EXPECT_GE(m.WorstDeliveryFloor(), 150u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
+
+  // The control-plane section is part of the fleet CSV.
+  EXPECT_NE(m.ToCsv().find("control,commands_sent"), std::string::npos);
+}
+
+// Nonzero control latency end-to-end: the whole scenario still works (all
+// commands arrive, just later), and the CSV grows the control section even
+// on the single-switch backend once WithControlPlane is configured.
+TEST(ControlPlaneScenario, LatencyAndCsvSectionOnScallop) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("ctrl-latency", 1, 3, 10.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.WithControlPlane(/*latency_s=*/0.02);
+  ScenarioRunner runner(spec);
+  const ScenarioMetrics& m = runner.Run();
+
+  EXPECT_GT(m.control.commands_sent, 0u);
+  EXPECT_EQ(m.control.commands_sent, m.control.commands_applied);
+  EXPECT_EQ(m.control.commands_dropped, 0u);
+  EXPECT_NE(m.ToCsv().find("control,commands_sent"), std::string::npos);
+  // 20 ms of signaling delay must not break the call itself.
+  EXPECT_GE(m.WorstDeliveryFloor(), 200u) << m.Summary();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
+}
+
+// A fleet failover drill whose blackout cannot cover heartbeat-miss
+// detection would revive the victim before it was ever declared dead and
+// silently test nothing; the runner rejects it up front.
+TEST(ControlPlaneScenario, RejectsBlackoutShorterThanDetectionTime) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("bad-blackout", 1, 2, 5.0);
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  // Worst-case detection = 4 x 50 ms + 2 x 50 ms = 0.3 s > 0.25 s default.
+  spec.WithControlPlane(/*latency_s=*/0.05);
+  spec.WithFailover(2.0);
+  EXPECT_THROW(ScenarioRunner runner(spec), std::invalid_argument);
+  // A blackout that covers detection is accepted.
+  spec.failover_blackout_s = 0.4;
+  EXPECT_NO_THROW(ScenarioRunner runner(spec));
+}
+
+// Command loss on the southbound channel degrades but is visible: dropped
+// commands are counted, and the run still completes deterministically.
+TEST(ControlPlaneScenario, LossyChannelCountsDrops) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("ctrl-loss", 1, 3, 6.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.WithControlPlane(/*latency_s=*/0.005, /*loss=*/0.3);
+  std::string first, second;
+  {
+    ScenarioRunner runner(spec);
+    const ScenarioMetrics& m = runner.Run();
+    EXPECT_GT(m.control.commands_dropped, 0u);
+    EXPECT_EQ(m.control.commands_sent,
+              m.control.commands_applied + m.control.commands_dropped);
+    first = m.ToCsv();
+  }
+  {
+    ScenarioRunner runner(spec);
+    second = runner.Run().ToCsv();
+  }
+  EXPECT_EQ(first, second) << "lossy control plane broke determinism";
+}
+
+}  // namespace
+}  // namespace scallop::harness

@@ -23,12 +23,14 @@ struct FleetBed {
         dp1(sw1, {}),
         dp2(sw2, {}),
         agent1(sched, dp1, Cfg(net::Ipv4(100, 64, 0, 1))),
-        agent2(sched, dp2, Cfg(net::Ipv4(100, 64, 0, 2))) {
+        agent2(sched, dp2, Cfg(net::Ipv4(100, 64, 0, 2))),
+        ch1(sched, agent1, {.seed = seed * 2 + 1}),
+        ch2(sched, agent2, {.seed = seed * 2 + 2}) {
     sim::LinkConfig dc{.rate_bps = 0, .prop_delay = util::Millis(1)};
     net.Attach(sw1.address(), &sw1, dc, dc);
     net.Attach(sw2.address(), &sw2, dc, dc);
-    fleet.AddSwitch(agent1, sw1.address());
-    fleet.AddSwitch(agent2, sw2.address());
+    fleet.AddSwitch(ch1, sw1.address());
+    fleet.AddSwitch(ch2, sw2.address());
   }
 
   static AgentConfig Cfg(net::Ipv4 ip) {
@@ -54,6 +56,7 @@ struct FleetBed {
   switchsim::Switch sw1, sw2;
   DataPlaneProgram dp1, dp2;
   SwitchAgent agent1, agent2;
+  ControlChannel ch1, ch2;
   FleetController fleet;
   std::vector<std::unique_ptr<client::Peer>> peers;
 };
