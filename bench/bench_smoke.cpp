@@ -2,17 +2,42 @@
 // backend behind the testbed::Backend seam — the single-switch Scallop
 // stack, a 2-switch fleet, and the software-SFU baseline — plus a short
 // fleet{3} scenario with skewed join load and the background rebalancer
-// on, which must show at least one live meeting migration without any
-// failover. Exists so the bench pipeline (ScenarioRunner + bench_common),
-// the backend seam and the control plane stay exercised on every push
-// without paying for a paper-scale run; exits nonzero if any substrate
-// fails to deliver media at all. (The scallop run's CSV is additionally
-// pinned byte-for-byte against the pre-redesign harness by
-// tests/test_harness.cpp.)
+// on (must show at least one live meeting migration without any
+// failover), and a fleet{3} cascade leg where the placement policy splits
+// one meeting across switches (fails if no relay span is installed, no
+// media crosses the inter-switch relay, or any peer starves). Exists so
+// the bench pipeline (ScenarioRunner + bench_common), the backend seam
+// and the control plane stay exercised on every push without paying for a
+// paper-scale run; exits nonzero if any substrate fails to deliver media
+// at all. (The scallop and fleet{2} runs' CSVs are additionally pinned
+// byte-for-byte by tests/test_harness.cpp.) Set SCALLOP_CSV_DIR to dump
+// every leg's CSV there — CI uploads them as artifacts.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench_common.hpp"
 #include "harness/runner.hpp"
+
+namespace {
+
+// Writes the run's CSV to $SCALLOP_CSV_DIR/<name>.csv when set.
+void DumpCsv(const std::string& name,
+             const scallop::harness::ScenarioMetrics& m) {
+  const char* dir = std::getenv("SCALLOP_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string csv = m.ToCsv();
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
 
 int main() {
   using namespace scallop;
@@ -34,6 +59,7 @@ int main() {
     harness::ScenarioRunner runner(spec);
     const harness::ScenarioMetrics& m = runner.Run();
     std::printf("[%s]\n%s", choice.Label().c_str(), m.Summary().c_str());
+    DumpCsv("smoke-" + choice.Label(), m);
 
     if (m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0 ||
         m.switch_packets_in == 0) {
@@ -58,9 +84,33 @@ int main() {
     harness::ScenarioRunner runner(spec);
     const harness::ScenarioMetrics& m = runner.Run();
     std::printf("[fleet{3}+rebalance]\n%s", m.Summary().c_str());
+    DumpCsv("smoke-rebalance", m);
     if (m.placements_rebalanced == 0 || m.control.switches_failed != 0 ||
         m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0) {
       std::printf("SMOKE FAILED on the rebalance scenario\n");
+      ok = false;
+    }
+  }
+
+  // Cascaded placement (paper Appendix A): one 5-party meeting on a
+  // 3-switch fleet under Cascade(2) — the plan must span (home + 2 relay
+  // spans), media must actually cross the inter-switch relays, and every
+  // peer must deliver with gap-free rewriting.
+  {
+    harness::ScenarioSpec spec =
+        harness::ScenarioSpec::Uniform("smoke-cascade", 1, 5, 4.0);
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+    spec.sample_interval_s = 0.5;
+    spec.WithBackend(testbed::BackendChoice::Fleet(3));
+    spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(2));
+    harness::ScenarioRunner runner(spec);
+    const harness::ScenarioMetrics& m = runner.Run();
+    std::printf("[fleet{3}+cascade]\n%s", m.Summary().c_str());
+    DumpCsv("smoke-cascade", m);
+    if (m.cascade.spans_installed == 0 || m.cascade.relay_packets == 0 ||
+        m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0) {
+      std::printf("SMOKE FAILED on the cascade scenario\n");
       ok = false;
     }
   }

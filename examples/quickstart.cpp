@@ -1,7 +1,12 @@
 // Quickstart: assemble a Scallop SFU from its parts (switch, data plane,
 // agent, controller), connect two WebRTC peers through it, and run a
 // 10-second call. This wires the public API by hand; the other examples
-// use the testbed helper.
+// use the testbed helper. This is the one-switch deployment — meetings
+// here live entirely on this switch. Fleets of switches under one
+// FleetController carry a first-class MeetingPlacement per meeting (home
+// switch + relay spans) chosen by a pluggable PlacementPolicy: see
+// examples/cascade_demo.cpp for a meeting cascaded across three switches
+// and examples/migration_demo.cpp for live placement migration.
 #include <cstdio>
 
 #include "client/peer.hpp"

@@ -100,6 +100,39 @@ void ControlChannel::UnpinDecodeTarget(ParticipantId receiver,
   });
 }
 
+uint16_t ControlChannel::AddRelaySender(MeetingId meeting, ParticipantId id,
+                                        net::Endpoint upstream_src,
+                                        uint32_t video_ssrc,
+                                        uint32_t audio_ssrc, bool sends_video,
+                                        bool sends_audio) {
+  uint16_t port = next_port_++;
+  Dispatch([this, meeting, id, upstream_src, video_ssrc, audio_ssrc,
+            sends_video, sends_audio, port] {
+    agent_.AddRelaySender(meeting, id, upstream_src, video_ssrc, audio_ssrc,
+                          sends_video, sends_audio, port);
+  });
+  return port;
+}
+
+uint16_t ControlChannel::AddRelayLeg(MeetingId meeting,
+                                     ParticipantId relay_receiver,
+                                     ParticipantId sender,
+                                     net::Endpoint downstream_sfu,
+                                     uint16_t assigned_port) {
+  uint16_t port = assigned_port != 0 ? assigned_port : next_port_++;
+  Dispatch([this, meeting, relay_receiver, sender, downstream_sfu, port] {
+    agent_.AddRelayLeg(meeting, relay_receiver, sender, downstream_sfu, port);
+  });
+  return port;
+}
+
+void ControlChannel::RemoveRelaySpan(MeetingId meeting,
+                                     std::vector<ParticipantId> relay_ids) {
+  Dispatch([this, meeting, ids = std::move(relay_ids)] {
+    agent_.RemoveRelaySpan(meeting, ids);
+  });
+}
+
 void ControlChannel::Subscribe(EventSink* sink, size_t switch_index) {
   sink_ = sink;
   switch_index_ = switch_index;

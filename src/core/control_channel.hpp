@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/switch_agent.hpp"
 #include "sim/scheduler.hpp"
@@ -93,6 +94,31 @@ class ControlChannel {
   void ForceDecodeTarget(MeetingId meeting, ParticipantId receiver,
                          ParticipantId sender, int dt);
   void UnpinDecodeTarget(ParticipantId receiver, ParticipantId sender);
+
+  // ---- southbound relay commands (cascading SFUs, paper Appendix A) -----
+  // Registers a remote sender whose media arrives from another switch's
+  // relay leg at `upstream_src`; returns the controller-assigned relay
+  // uplink port (the address the upstream switch forwards to).
+  uint16_t AddRelaySender(MeetingId meeting, ParticipantId id,
+                          net::Endpoint upstream_src, uint32_t video_ssrc,
+                          uint32_t audio_ssrc, bool sends_video,
+                          bool sends_audio);
+  // Programs this switch to forward `sender`'s selected stream to a
+  // downstream switch's SFU at `downstream_sfu`, exactly once. The relay
+  // leg's port may be pre-assigned (`assigned_port`) when the downstream
+  // side had to learn the upstream endpoint first; 0 assigns here.
+  uint16_t AddRelayLeg(MeetingId meeting, ParticipantId relay_receiver,
+                       ParticipantId sender, net::Endpoint downstream_sfu,
+                       uint16_t assigned_port = 0);
+  // Tears down one span's relay participants on this switch.
+  void RemoveRelaySpan(MeetingId meeting,
+                       std::vector<ParticipantId> relay_ids);
+
+  // Controller-side port reservation (no command): lets the fleet break
+  // the relay-setup cycle — the downstream AddRelaySender must name the
+  // upstream relay leg's endpoint, whose port is reserved here and later
+  // passed to AddRelayLeg as `assigned_port`.
+  uint16_t AllocatePort() { return next_port_++; }
 
   // ---- northbound events ------------------------------------------------
   // Registers the telemetry consumer and starts the heartbeat/load-report

@@ -2,6 +2,21 @@
 
 namespace scallop::core {
 
+SenderIntent ParseSenderIntent(const sdp::SessionDescription& offer) {
+  SenderIntent intent;
+  for (const auto& m : offer.media) {
+    if (!m.candidates.empty()) intent.media_src = m.candidates[0].endpoint;
+    if (m.type == sdp::MediaType::kVideo && !m.recv_only) {
+      intent.sends_video = true;
+      intent.video_ssrc = m.ssrc;
+    } else if (m.type == sdp::MediaType::kAudio && !m.recv_only) {
+      intent.sends_audio = true;
+      intent.audio_ssrc = m.ssrc;
+    }
+  }
+  return intent;
+}
+
 MeetingId Controller::CreateMeeting() {
   ++stats_.meetings_created;
   MeetingId id = next_meeting_++;
@@ -39,21 +54,15 @@ Controller::JoinResult Controller::Join(MeetingId meeting,
   member.client = client;
 
   // Extract what the participant sends and from where.
-  net::Endpoint media_src;
-  for (const auto& m : offer.media) {
-    if (!m.candidates.empty()) media_src = m.candidates[0].endpoint;
-    if (m.type == sdp::MediaType::kVideo && !m.recv_only) {
-      member.sends_video = true;
-      member.video_ssrc = m.ssrc;
-    } else if (m.type == sdp::MediaType::kAudio && !m.recv_only) {
-      member.sends_audio = true;
-      member.audio_ssrc = m.ssrc;
-    }
-  }
+  const SenderIntent intent = ParseSenderIntent(offer);
+  member.sends_video = intent.sends_video;
+  member.video_ssrc = intent.video_ssrc;
+  member.sends_audio = intent.sends_audio;
+  member.audio_ssrc = intent.audio_ssrc;
 
   uint16_t uplink_port = channel_.AddParticipant(
-      meeting, member.id, media_src, member.video_ssrc, member.audio_ssrc,
-      member.sends_video, member.sends_audio);
+      meeting, member.id, intent.media_src, member.video_ssrc,
+      member.audio_ssrc, member.sends_video, member.sends_audio);
   net::Endpoint uplink_sfu{sfu_ip_, uplink_port};
 
   // Answer with candidates rewritten to the SFU: the proxy insertion of

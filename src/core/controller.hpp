@@ -30,6 +30,18 @@ class SignalingClient {
   virtual void OnRemoteSenderLeft(ParticipantId sender) = 0;
 };
 
+// Sender intent parsed from an SDP offer: which media the participant
+// sends, with which ssrcs, from where. Shared by Controller::Join and the
+// FleetController's member bookkeeping so the two can never drift.
+struct SenderIntent {
+  net::Endpoint media_src;
+  uint32_t video_ssrc = 0;
+  uint32_t audio_ssrc = 0;
+  bool sends_video = false;
+  bool sends_audio = false;
+};
+SenderIntent ParseSenderIntent(const sdp::SessionDescription& offer);
+
 struct ControllerStats {
   uint64_t meetings_created = 0;
   uint64_t joins = 0;

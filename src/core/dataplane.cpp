@@ -279,6 +279,12 @@ bool DataPlaneProgram::Egress(net::Packet& pkt,
   // Per-receiver addressing (paper: SFU source, receiver unicast dest).
   pkt.src = out->sfu_src;
   pkt.dst = out->dst;
+  if (out->is_relay && kind == rtp::PayloadKind::kRtp) {
+    // Media crossing the inter-switch relay toward a downstream SFU: the
+    // cascade metric the controller's span accounting is pinned against.
+    ++stats_.relay_packets;
+    stats_.relay_bytes += pkt.payload.size();
+  }
   return true;
 }
 

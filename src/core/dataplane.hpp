@@ -54,6 +54,8 @@ struct DataPlaneStats {
   uint64_t seq_dropped = 0;     // rewriter refused (duplicate risk)
   uint64_t keyframe_dd_to_cpu = 0;
   uint64_t parse_depth_exceeded = 0;  // Appendix E parser bound hit
+  uint64_t relay_packets = 0;  // replicas forwarded to a downstream switch
+  uint64_t relay_bytes = 0;    // wire bytes of those replicas
 };
 
 class DataPlaneProgram : public switchsim::PipelineProgram {

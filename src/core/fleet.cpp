@@ -6,6 +6,11 @@
 
 namespace scallop::core {
 
+FleetController::FleetController()
+    : policy_(std::make_unique<LeastLoadedPolicy>()) {}
+
+FleetController::~FleetController() = default;
+
 size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip) {
   auto member = std::make_unique<Member>();
   // Disjoint participant-id range per switch: without it, two switch
@@ -31,6 +36,11 @@ size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip) {
         });
   }
   return index;
+}
+
+void FleetController::SetPlacementPolicy(
+    std::unique_ptr<PlacementPolicy> policy) {
+  if (policy != nullptr) policy_ = std::move(policy);
 }
 
 void FleetController::OnHeartbeat(size_t switch_index) {
@@ -86,6 +96,14 @@ void FleetController::EnableRebalancer(const RebalanceConfig& cfg) {
       });
 }
 
+void FleetController::FreezeMeetings(const std::vector<MeetingId>& meetings) {
+  frozen_.insert(meetings.begin(), meetings.end());
+}
+
+bool FleetController::IsFrozen(MeetingId meeting) const {
+  return frozen_.count(meeting) > 0;
+}
+
 void FleetController::Rebalance() {
   // Decisions run on the *reported* load — what the northbound telemetry
   // says — not on the fleet's own bookkeeping; a switch that never
@@ -109,20 +127,24 @@ void FleetController::Rebalance() {
 
   // Pick the smallest migratable meeting on the overloaded switch whose
   // move strictly shrinks the gap (so the pair cannot swap roles and
-  // ping-pong), skipping meetings still in their post-move cooldown.
+  // ping-pong), skipping meetings still in their post-move cooldown,
+  // meetings mid-renegotiation (failover blackout / re-signal window —
+  // their members are down and moving them again would strand the
+  // re-joins), and cascaded meetings (their load is already spread by the
+  // placement policy; collapsing them onto one switch would fight it).
   const util::TimeUs now = sched_->now();
   MeetingId pick = 0;
   int pick_size = std::numeric_limits<int>::max();
-  for (const auto& [meeting, place] : placement_) {
-    if (place.first != busiest) continue;
+  for (const auto& [meeting, st] : meetings_) {
+    if (st.placement.home != busiest) continue;
+    if (st.placement.spans_switches()) continue;
+    if (frozen_.count(meeting) > 0) continue;
     auto cooled = last_migrated_.find(meeting);
     if (cooled != last_migrated_.end() &&
         now - cooled->second < rebalance_cfg_.cooldown) {
       continue;
     }
-    auto mit = members_.find(meeting);
-    const int size =
-        mit == members_.end() ? 0 : static_cast<int>(mit->second.size());
+    const int size = static_cast<int>(st.members.size());
     if (size <= 0 || size >= busiest_load - idlest_load) continue;
     if (size < pick_size) {
       pick_size = size;
@@ -135,101 +157,416 @@ void FleetController::Rebalance() {
 }
 
 size_t FleetController::LeastLoaded(size_t exclude) const {
-  size_t best = SIZE_MAX;
-  int best_load = std::numeric_limits<int>::max();
-  for (size_t i = 0; i < switches_.size(); ++i) {
-    if (i == exclude || !switches_[i]->alive) continue;
-    // Participants dominate load (streams scale with them); meetings break
-    // ties so empty switches fill round-robin.
-    int load = switches_[i]->participants * 64 + switches_[i]->meetings;
-    if (load < best_load) {
-      best_load = load;
-      best = i;
-    }
+  std::vector<size_t> excluded;
+  if (exclude != SIZE_MAX) excluded.push_back(exclude);
+  return LeastLoadedLive(Loads(), excluded);
+}
+
+std::vector<SwitchLoad> FleetController::Loads() const {
+  std::vector<SwitchLoad> loads;
+  loads.reserve(switches_.size());
+  for (const auto& sw : switches_) {
+    loads.push_back(SwitchLoad{sw->alive, sw->participants, sw->meetings});
   }
-  return best;
+  return loads;
 }
 
 MeetingId FleetController::CreateMeeting() {
-  size_t idx = LeastLoaded();
+  size_t idx = policy_->PlaceMeeting(Loads());
   if (idx == SIZE_MAX) {
     throw std::runtime_error("FleetController: no live switch to place on");
   }
   MeetingId local = switches_[idx]->controller->CreateMeeting();
   MeetingId global = next_meeting_++;
-  placement_[global] = {idx, local};
+  MeetingState st;
+  st.placement.home = idx;
+  st.placement.local_meeting = local;
+  meetings_.emplace(global, std::move(st));
   ++switches_[idx]->meetings;
   ++stats_.meetings_placed;
   return global;
 }
 
+MeetingId FleetController::LocalMeetingOn(const MeetingState& st,
+                                          size_t switch_index) const {
+  if (switch_index == st.placement.home) return st.placement.local_meeting;
+  const RelaySpan* span = st.placement.SpanOn(switch_index);
+  return span == nullptr ? 0 : span->local_meeting;
+}
+
+ParticipantId FleetController::NextRelayId() { return next_relay_id_++; }
+
+RelaySpan& FleetController::EnsureSpan(MeetingState& st,
+                                       size_t switch_index) {
+  for (RelaySpan& span : st.placement.spans) {
+    if (span.switch_index == switch_index) return span;
+  }
+  RelaySpan span;
+  span.switch_index = switch_index;
+  span.local_meeting = switches_[switch_index]->controller->CreateMeeting();
+  st.placement.spans.push_back(std::move(span));
+  ++switches_[switch_index]->meetings;
+  ++stats_.relay_spans_installed;
+
+  // Route every existing sender's stream into the new span, so its first
+  // member immediately sees the whole meeting.
+  for (const auto& [pid, info] : st.members) {
+    if (!info.intent.sends_video && !info.intent.sends_audio) continue;
+    if (info.home_switch == switch_index) continue;
+    if (info.home_switch == st.placement.home) {
+      EnsureRelay(st, st.placement.home, switch_index, pid, pid, info.intent);
+    } else {
+      // Hub-and-spoke: the sender's stream reaches the home switch over
+      // its own span's relay, then fans out to the new span from there.
+      ParticipantId on_home = EnsureRelay(st, info.home_switch,
+                                          st.placement.home, pid, pid,
+                                          info.intent);
+      EnsureRelay(st, st.placement.home, switch_index, pid, on_home,
+                  info.intent);
+    }
+  }
+  // Re-find: EnsureRelay never touches the span list, but keep the lookup
+  // robust against future reordering.
+  for (RelaySpan& s : st.placement.spans) {
+    if (s.switch_index == switch_index) return s;
+  }
+  throw std::logic_error("EnsureSpan: span vanished during setup");
+}
+
+ParticipantId FleetController::EnsureRelay(MeetingState& st, size_t upstream,
+                                           size_t downstream,
+                                           ParticipantId origin,
+                                           ParticipantId upstream_sender,
+                                           const SenderIntent& origin_intent) {
+  for (const MeetingRelay& r : st.relays) {
+    if (r.origin == origin && r.downstream == downstream) {
+      return r.relay_sender;
+    }
+  }
+  Member& up = *switches_[upstream];
+  Member& down = *switches_[downstream];
+
+  MeetingRelay r;
+  r.origin = origin;
+  r.upstream = upstream;
+  r.downstream = downstream;
+  r.upstream_sender = upstream_sender;
+  r.relay_receiver = NextRelayId();
+  r.relay_sender = NextRelayId();
+  r.video_ssrc = origin_intent.video_ssrc;
+  r.audio_ssrc = origin_intent.audio_ssrc;
+  r.sends_video = origin_intent.sends_video;
+  r.sends_audio = origin_intent.sends_audio;
+
+  // Ports are controller-assigned, which breaks the endpoint cycle: the
+  // downstream switch must know where relayed media will arrive *from*
+  // (the upstream relay leg), the upstream switch where to send it *to*
+  // (the downstream relay uplink). Reserve the upstream port first, tell
+  // the downstream switch, then install the upstream leg on the reserved
+  // port.
+  r.upstream_port = up.channel->AllocatePort();
+  net::Endpoint upstream_src{up.sfu_ip, r.upstream_port};
+  r.downstream_port = down.channel->AddRelaySender(
+      LocalMeetingOn(st, downstream), r.relay_sender, upstream_src,
+      r.video_ssrc, r.audio_ssrc, r.sends_video, r.sends_audio);
+  up.channel->AddRelayLeg(LocalMeetingOn(st, upstream), r.relay_receiver,
+                          upstream_sender,
+                          net::Endpoint{down.sfu_ip, r.downstream_port},
+                          r.upstream_port);
+
+  // Real members already homed downstream open receive legs toward the
+  // relay sender, exactly as they would for a local joiner.
+  for (const auto& [pid, info] : st.members) {
+    if (info.home_switch != downstream || info.client == nullptr) continue;
+    net::Endpoint local = info.client->AllocateLocalLeg(r.relay_sender);
+    uint16_t port = down.channel->AddRecvLeg(LocalMeetingOn(st, downstream),
+                                             pid, r.relay_sender, local);
+    info.client->OnRemoteLegReady(r.relay_sender, r.video_ssrc, r.audio_ssrc,
+                                  net::Endpoint{down.sfu_ip, port});
+  }
+
+  st.relays.push_back(r);
+  return r.relay_sender;
+}
+
+void FleetController::RouteSenderEverywhere(MeetingState& st,
+                                            ParticipantId origin,
+                                            size_t origin_switch,
+                                            const SenderIntent& origin_intent) {
+  const size_t home = st.placement.home;
+  if (origin_switch == home) {
+    for (const RelaySpan& span : st.placement.spans) {
+      EnsureRelay(st, home, span.switch_index, origin, origin, origin_intent);
+    }
+    return;
+  }
+  // Span-homed sender: up to the hub first, then out to the other spans.
+  ParticipantId on_home =
+      EnsureRelay(st, origin_switch, home, origin, origin, origin_intent);
+  for (const RelaySpan& span : st.placement.spans) {
+    if (span.switch_index == origin_switch) continue;
+    EnsureRelay(st, home, span.switch_index, origin, on_home, origin_intent);
+  }
+}
+
 FleetController::JoinResult FleetController::Join(
     MeetingId meeting, const sdp::SessionDescription& offer,
     SignalingClient* client) {
-  auto place = placement_.at(meeting);
+  MeetingState& st = meetings_.at(meeting);
+  size_t target = policy_->PlaceParticipant(st.placement, Loads());
+  if (target >= switches_.size()) target = st.placement.home;
+
+  MeetingId local;
+  if (target == st.placement.home) {
+    local = st.placement.local_meeting;
+  } else {
+    local = EnsureSpan(st, target).local_meeting;
+  }
+
   JoinResult result =
-      switches_[place.first]->controller->Join(place.second, offer, client);
-  members_[meeting].insert(result.participant);
-  ++switches_[place.first]->participants;
+      switches_[target]->controller->Join(local, offer, client);
+  ++switches_[target]->participants;
+
+  MemberInfo info;
+  info.home_switch = target;
+  info.client = client;
+  info.intent = ParseSenderIntent(offer);
+  st.members[result.participant] = info;
+  if (target == st.placement.home) {
+    st.placement.home_participants.push_back(result.participant);
+  } else {
+    EnsureSpan(st, target).participants.push_back(result.participant);
+  }
+
+  // The switch-local Join negotiated legs toward local senders only; the
+  // relay senders parked on this switch (remote participants' streams)
+  // need their legs wired here.
+  for (const MeetingRelay& r : st.relays) {
+    if (r.downstream != target) continue;
+    net::Endpoint leg_local = client->AllocateLocalLeg(r.relay_sender);
+    uint16_t port = switches_[target]->channel->AddRecvLeg(
+        local, result.participant, r.relay_sender, leg_local);
+    client->OnRemoteLegReady(r.relay_sender, r.video_ssrc, r.audio_ssrc,
+                             net::Endpoint{switches_[target]->sfu_ip, port});
+  }
+
+  // And this participant's own media must reach every other switch the
+  // meeting spans.
+  if (info.intent.sends_video || info.intent.sends_audio) {
+    RouteSenderEverywhere(st, result.participant, target, info.intent);
+  }
+
+  // A member (re-)joined: the meeting is out of its renegotiation window.
+  frozen_.erase(meeting);
   return result;
 }
 
+void FleetController::RemoveSenderRelays(MeetingState& st,
+                                         ParticipantId origin) {
+  for (auto it = st.relays.begin(); it != st.relays.end();) {
+    if (it->origin != origin) {
+      ++it;
+      continue;
+    }
+    const MeetingRelay r = *it;
+    // Downstream members learn the relayed sender left (their switch's
+    // controller never knew it, so the fleet delivers the notification).
+    for (const auto& [pid, info] : st.members) {
+      if (info.home_switch == r.downstream && info.client != nullptr) {
+        info.client->OnRemoteSenderLeft(r.relay_sender);
+      }
+    }
+    switches_[r.downstream]->channel->RemoveParticipant(
+        LocalMeetingOn(st, r.downstream), r.relay_sender);
+    switches_[r.upstream]->channel->RemoveParticipant(
+        LocalMeetingOn(st, r.upstream), r.relay_receiver);
+    it = st.relays.erase(it);
+  }
+}
+
+void FleetController::EraseParticipantFromPlacement(MeetingState& st,
+                                                    ParticipantId p) {
+  auto& hp = st.placement.home_participants;
+  hp.erase(std::remove(hp.begin(), hp.end(), p), hp.end());
+  for (RelaySpan& span : st.placement.spans) {
+    auto& sp = span.participants;
+    sp.erase(std::remove(sp.begin(), sp.end(), p), sp.end());
+  }
+}
+
 void FleetController::Leave(MeetingId meeting, ParticipantId participant) {
-  auto it = placement_.find(meeting);
-  if (it == placement_.end()) return;
-  auto mit = members_.find(meeting);
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return;
+  MeetingState& st = it->second;
   // Membership guard: a participant who never joined (or already left —
   // e.g. dropped by a switch failure before its scheduled leave fired)
   // must not decrement the hosting switch's load.
-  if (mit == members_.end() || mit->second.erase(participant) == 0) return;
-  --switches_[it->second.first]->participants;
-  switches_[it->second.first]->controller->Leave(it->second.second,
-                                                 participant);
+  auto mit = st.members.find(participant);
+  if (mit == st.members.end()) return;
+  const size_t at = mit->second.home_switch;
+
+  // Tear the leaver's relay spans' wiring down first, so remote members
+  // drop their legs toward the relayed stream before any state vanishes.
+  RemoveSenderRelays(st, participant);
+
+  --switches_[at]->participants;
+  switches_[at]->controller->Leave(LocalMeetingOn(st, at), participant);
+  EraseParticipantFromPlacement(st, participant);
+  st.members.erase(mit);
+
+  // Span garbage collection: a span whose last member left is drained —
+  // its relay plumbing and switch-local meeting go away, and the span
+  // disappears from the placement.
+  if (at != st.placement.home) {
+    const RelaySpan* span = st.placement.SpanOn(at);
+    if (span != nullptr && span->participants.empty()) {
+      TearDownSpan(st, at, /*switch_dead=*/false);
+    }
+  }
+}
+
+void FleetController::TearDownSpan(MeetingState& st, size_t switch_index,
+                                   bool switch_dead) {
+  const RelaySpan* span = st.placement.SpanOn(switch_index);
+  if (span == nullptr) return;
+  const MeetingId local = span->local_meeting;
+
+  // Span members' clients must drop their legs toward the relayed
+  // senders parked on the span: the span's controller never knew those
+  // senders, so the fleet delivers the notification (mirroring the
+  // downstream-member loop below for every other switch). On forced
+  // collapses the sessions are already dead and the notification is a
+  // no-op on the client.
+  std::vector<ParticipantId> dropped = span->participants;
+  for (const MeetingRelay& r : st.relays) {
+    if (r.downstream != switch_index) continue;
+    for (ParticipantId p : dropped) {
+      auto mit = st.members.find(p);
+      if (mit != st.members.end() && mit->second.client != nullptr) {
+        mit->second.client->OnRemoteSenderLeft(r.relay_sender);
+      }
+    }
+  }
+  // Members still homed on the span (switch failure / forced collapse /
+  // meeting end): drain their load and membership. Their relay wiring is
+  // removed with the span's relays below.
+  for (ParticipantId p : dropped) {
+    --switches_[switch_index]->participants;
+    st.members.erase(p);
+  }
+
+  // Remove every relay touching the span: toward it (downstream == span),
+  // from it (origin homed on the span — including second-hop fan-out of
+  // those origins via the home switch).
+  auto origin_on_span = [&](ParticipantId origin) {
+    return std::find(dropped.begin(), dropped.end(), origin) != dropped.end();
+  };
+  std::map<size_t, std::vector<ParticipantId>> removals;  // per switch
+  for (auto rit = st.relays.begin(); rit != st.relays.end();) {
+    const MeetingRelay& r = *rit;
+    if (r.downstream != switch_index && r.upstream != switch_index &&
+        !origin_on_span(r.origin)) {
+      ++rit;
+      continue;
+    }
+    if (r.downstream == switch_index) {
+      // The span-side relay sender dies with the span's meeting; only the
+      // upstream pseudo-receiver needs an explicit removal.
+      removals[r.upstream].push_back(r.relay_receiver);
+    } else {
+      for (const auto& [pid, info] : st.members) {
+        if (info.home_switch == r.downstream && info.client != nullptr) {
+          info.client->OnRemoteSenderLeft(r.relay_sender);
+        }
+      }
+      removals[r.downstream].push_back(r.relay_sender);
+      removals[r.upstream].push_back(r.relay_receiver);
+    }
+    rit = st.relays.erase(rit);
+  }
+  for (auto& [sw, ids] : removals) {
+    if (sw == switch_index && switch_dead) continue;  // state died with it
+    switches_[sw]->channel->RemoveRelaySpan(LocalMeetingOn(st, sw), ids);
+  }
+
+  // End the span-local meeting: the controller notifies any members it
+  // still tracks, and RemoveMeeting clears remaining agent state
+  // (including the span's relay senders).
+  switches_[switch_index]->controller->EndMeeting(local);
+  --switches_[switch_index]->meetings;
+  auto& spans = st.placement.spans;
+  spans.erase(std::remove_if(spans.begin(), spans.end(),
+                             [&](const RelaySpan& s) {
+                               return s.switch_index == switch_index;
+                             }),
+              spans.end());
+  ++stats_.relay_spans_removed;
 }
 
 void FleetController::EndMeeting(MeetingId meeting) {
-  auto it = placement_.find(meeting);
-  if (it == placement_.end()) return;
-  Member& sw = *switches_[it->second.first];
-  // Drain members still joined at meeting end so the freed switch
-  // actually looks free to LeastLoaded.
-  auto mit = members_.find(meeting);
-  if (mit != members_.end()) {
-    sw.participants -= static_cast<int>(mit->second.size());
-    members_.erase(mit);
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return;
+  MeetingState& st = it->second;
+
+  // Collapse the spans first: span members are notified through their
+  // switch-local controllers, and relay teardown tells everyone else
+  // their relayed senders are gone.
+  while (!st.placement.spans.empty()) {
+    TearDownSpan(st, st.placement.spans.back().switch_index,
+                 /*switch_dead=*/false);
   }
+
+  Member& sw = *switches_[st.placement.home];
+  // Drain members still joined at meeting end so the freed switch
+  // actually looks free to placement.
+  sw.participants -= static_cast<int>(st.members.size());
   --sw.meetings;
-  sw.controller->EndMeeting(it->second.second);
-  placement_.erase(it);
+  sw.controller->EndMeeting(st.placement.local_meeting);
+  meetings_.erase(it);
   last_migrated_.erase(meeting);
+  frozen_.erase(meeting);
 }
 
 void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
-  auto it = placement_.find(meeting);
-  if (it == placement_.end() || it->second.first == target_switch) return;
-  const size_t source_switch = it->second.first;
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return;
+  MeetingState& st = it->second;
+  if (st.placement.home == target_switch && !st.placement.spans_switches()) {
+    return;
+  }
+  const size_t source_switch = st.placement.home;
   // Let the substrate/harness drop the members' sessions first (they must
   // re-signal onto the target); anything still joined afterwards is
   // drained below.
   if (migration_cb_) migration_cb_(meeting, source_switch, target_switch);
-  Member& from = *switches_[source_switch];
-  Member& to = *switches_[target_switch];
+
+  // The migration collapses the meeting to a single fresh home; if it was
+  // cascaded, the spans go too — the policy re-plans them as members
+  // re-join.
+  while (!st.placement.spans.empty()) {
+    TearDownSpan(st, st.placement.spans.back().switch_index,
+                 /*switch_dead=*/false);
+  }
 
   // The old switch-local meeting is over (state wiped by the restart, or
   // torn down on a live source); current members' sessions go with it —
   // they re-Join and land on the target.
-  auto mit = members_.find(meeting);
-  if (mit != members_.end()) {
-    from.participants -= static_cast<int>(mit->second.size());
-    mit->second.clear();
-  }
-  from.controller->EndMeeting(it->second.second);
+  Member& from = *switches_[st.placement.home];
+  from.participants -= static_cast<int>(st.members.size());
+  st.members.clear();
+  st.placement.home_participants.clear();
+  from.controller->EndMeeting(st.placement.local_meeting);
   --from.meetings;
 
+  Member& to = *switches_[target_switch];
   MeetingId local = to.controller->CreateMeeting();
   ++to.meetings;
-  it->second = {target_switch, local};
+  st.placement.home = target_switch;
+  st.placement.local_meeting = local;
   last_migrated_[meeting] = sched_ != nullptr ? sched_->now() : 0;
+  // Members are down until they re-signal: the rebalancer keeps its hands
+  // off until the first re-Join.
+  frozen_.insert(meeting);
   ++stats_.placements_rebalanced;
 }
 
@@ -237,17 +574,32 @@ void FleetController::OnSwitchDown(size_t switch_index) {
   Member& m = *switches_[switch_index];
   if (!m.alive) return;  // already declared dead: migrate exactly once
   m.alive = false;
-  std::vector<MeetingId> hosted;
-  for (const auto& [meeting, place] : placement_) {
-    if (place.first == switch_index) hosted.push_back(meeting);
+  std::vector<MeetingId> homed, spanned;
+  for (const auto& [meeting, st] : meetings_) {
+    if (st.placement.home == switch_index) {
+      homed.push_back(meeting);
+    } else if (st.placement.SpanOn(switch_index) != nullptr) {
+      spanned.push_back(meeting);
+    }
   }
-  for (MeetingId meeting : hosted) {
+  for (MeetingId meeting : homed) {
     size_t standby = LeastLoaded(switch_index);
     // With no live standby the meeting stays put and recovers only when
     // the switch itself is revived (single-switch fleets behave like the
     // plain Scallop testbed's restart failover).
     if (standby == SIZE_MAX) continue;
     MigrateMeeting(meeting, standby);
+  }
+  for (MeetingId meeting : spanned) {
+    // Only a span died: the home (hub) survives, so collapse the span and
+    // let its members re-join — the policy re-plans them onto live
+    // switches.
+    MeetingState& st = meetings_.at(meeting);
+    if (migration_cb_) {
+      migration_cb_(meeting, switch_index, st.placement.home);
+    }
+    TearDownSpan(st, switch_index, /*switch_dead=*/true);
+    frozen_.insert(meeting);
   }
 }
 
@@ -263,16 +615,23 @@ bool FleetController::IsAlive(size_t switch_index) const {
   return switches_[switch_index]->alive;
 }
 
-size_t FleetController::PlacementOf(MeetingId meeting) const {
-  auto it = placement_.find(meeting);
-  return it == placement_.end() ? SIZE_MAX : it->second.first;
+MeetingPlacement FleetController::PlacementOf(MeetingId meeting) const {
+  auto it = meetings_.find(meeting);
+  return it == meetings_.end() ? MeetingPlacement{} : it->second.placement;
 }
 
 std::pair<size_t, MeetingId> FleetController::PlacementDetail(
     MeetingId meeting) const {
-  auto it = placement_.find(meeting);
-  if (it == placement_.end()) return {SIZE_MAX, 0};
-  return it->second;
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return {SIZE_MAX, 0};
+  return {it->second.placement.home, it->second.placement.local_meeting};
+}
+
+std::vector<FleetController::MeetingRelay> FleetController::RelaysOf(
+    MeetingId meeting) const {
+  auto it = meetings_.find(meeting);
+  return it == meetings_.end() ? std::vector<MeetingRelay>{}
+                               : it->second.relays;
 }
 
 int FleetController::LoadOf(size_t switch_index) const {
@@ -289,8 +648,8 @@ net::Ipv4 FleetController::SfuIpOf(size_t switch_index) const {
 
 bool FleetController::IsMember(MeetingId meeting,
                                ParticipantId participant) const {
-  auto it = members_.find(meeting);
-  return it != members_.end() && it->second.count(participant) > 0;
+  auto it = meetings_.find(meeting);
+  return it != meetings_.end() && it->second.members.count(participant) > 0;
 }
 
 const SwitchLoadReport& FleetController::ReportedLoadOf(

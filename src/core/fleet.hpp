@@ -14,12 +14,18 @@
 //   * load rebalancing (opt-in, EnableRebalancer) — when the *reported*
 //     participant load of the busiest live switch exceeds the idlest by
 //     the imbalance threshold, one meeting is re-homed via MigrateMeeting,
-//     with a per-meeting cooldown so placements don't ping-pong.
-// Meetings are placed on the least-loaded live switch at creation time;
-// membership is tracked per meeting so load accounting survives double
-// leaves and meeting teardown — the architectural groundwork for
-// cascading SFUs; the cascading relay itself is orthogonal and not
-// implemented, per the paper.
+//     with a per-meeting cooldown so placements don't ping-pong, skipping
+//     meetings whose members are mid-renegotiation (failover blackout or
+//     a live migration's re-signaling window).
+//
+// Placement is a first-class plan (core::MeetingPlacement): a pluggable
+// PlacementPolicy homes each meeting and participant; when a meeting
+// spans switches (CascadePolicy), the fleet programs hub-and-spoke relay
+// spans over the southbound relay commands — every remote sender's
+// selected stream crosses each inter-switch span exactly once, arriving
+// at the downstream switch as a relay sender that local receivers (and
+// the downlink filter, decode-target adaptation, NACK translation)
+// treat like any uplink (paper Appendix A, cascading SFUs).
 #pragma once
 
 #include <functional>
@@ -30,6 +36,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "core/placement.hpp"
 
 namespace scallop::core {
 
@@ -41,6 +48,8 @@ struct FleetStats {
   uint64_t heartbeats_missed = 0;  // detector ticks with a stale heartbeat
   uint64_t load_reports_seen = 0;
   uint64_t switches_failed = 0;  // heartbeat-declared deaths
+  uint64_t relay_spans_installed = 0;  // spans opened across switches
+  uint64_t relay_spans_removed = 0;    // spans torn down (drain or failure)
 };
 
 // Load-driven background rebalancer knobs (EnableRebalancer).
@@ -58,22 +67,32 @@ struct RebalanceConfig {
 class FleetController : public SignalingServer,
                         public ControlChannel::EventSink {
  public:
+  FleetController();
+  ~FleetController() override;
+
   // Registers a switch via its southbound channel; subscribes to its
   // northbound telemetry and arms the heartbeat failure detector (first
   // switch only). Returns the switch's index in the fleet.
   size_t AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip);
 
-  // Creates a meeting on the least-loaded live switch.
+  // Swaps the placement policy (default: LeastLoadedPolicy, the classic
+  // single-homed behaviour). Takes effect for future placements.
+  void SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy);
+  const PlacementPolicy& placement_policy() const { return *policy_; }
+
+  // Creates a meeting on the switch the policy picks.
   MeetingId CreateMeeting();
 
-  // core::SignalingServer — delegates to the owning switch's controller.
-  // Leave is guarded by per-meeting membership: leaving a meeting one
-  // never joined (or already left) does not skew the switch's load.
+  // core::SignalingServer — homes the participant per the policy (the
+  // home switch or a relay span, creating the span and its relay wiring on
+  // first use) and delegates signaling to that switch's controller. Leave
+  // is guarded by per-meeting membership: leaving a meeting one never
+  // joined (or already left) does not skew the switch's load.
   JoinResult Join(MeetingId meeting, const sdp::SessionDescription& offer,
                   SignalingClient* client) override;
   void Leave(MeetingId meeting, ParticipantId participant) override;
-  // Ends the meeting, draining any still-joined members from the hosting
-  // switch's load so freed capacity is visible to LeastLoaded placement.
+  // Ends the meeting everywhere (home and spans), draining any
+  // still-joined members so freed capacity is visible to placement.
   void EndMeeting(MeetingId meeting);
 
   // ---- northbound telemetry (ControlChannel::EventSink) -----------------
@@ -93,29 +112,41 @@ class FleetController : public SignalingServer,
     migration_cb_ = std::move(cb);
   }
 
+  // Marks meetings as mid-renegotiation (failover blackout): the load
+  // rebalancer leaves them alone until a member re-joins. MigrateMeeting
+  // freezes its meeting the same way on its own.
+  void FreezeMeetings(const std::vector<MeetingId>& meetings);
+  bool IsFrozen(MeetingId meeting) const;
+
   // ---- failure handling / migration -------------------------------------
-  // Marks the switch dead and migrates every meeting it hosts to the
-  // least-loaded live standby (no-op per meeting when no standby exists).
-  // Members of migrated meetings are dropped — their sessions died with
-  // the switch — and must re-Join, which routes them to the standby's SFU.
-  // Idempotent: a switch already marked dead is left alone, so heartbeat
-  // detection can never migrate a dead switch's meetings twice.
+  // Marks the switch dead. Meetings homed on it migrate to the
+  // least-loaded live standby (no-op per meeting when no standby exists);
+  // meetings merely spanning onto it have that span collapsed — the
+  // span's members re-join and the policy re-plans them onto live
+  // switches. Members of migrated/collapsed meetings are dropped — their
+  // sessions died with the switch — and must re-Join. Idempotent: a
+  // switch already marked dead is left alone, so heartbeat detection can
+  // never migrate a dead switch's meetings twice.
   void OnSwitchDown(size_t switch_index);
   // Brings a switch back (restarted, empty). Meetings migrated away stay
   // on their standby; the revived switch only receives new placements.
   void ReviveSwitch(size_t switch_index);
   bool IsAlive(size_t switch_index) const;
-  // Re-homes one meeting onto `target_switch`: ends the old switch-local
-  // meeting, creates a fresh one on the target, and drops current members
-  // (the caller re-signals them). Increments placements_rebalanced.
+  // Re-homes one meeting onto `target_switch`: tears the meeting down
+  // everywhere it currently lives (home, spans, relay wiring), creates a
+  // fresh single-homed meeting on the target, and drops current members
+  // (the caller re-signals them; the policy re-plans spans as they
+  // arrive). Increments placements_rebalanced.
   void MigrateMeeting(MeetingId meeting, size_t target_switch);
 
   size_t switch_count() const { return switches_.size(); }
-  // Which switch hosts a meeting (fleet index; SIZE_MAX if unknown).
-  size_t PlacementOf(MeetingId meeting) const;
-  // (switch index, switch-local meeting id); {SIZE_MAX, 0} if unknown.
+  // The meeting's distribution plan (home switch + relay spans); an
+  // invalid placement (home == SIZE_MAX) when unknown.
+  MeetingPlacement PlacementOf(MeetingId meeting) const;
+  // (home switch index, home-switch-local meeting id); {SIZE_MAX, 0} if
+  // unknown.
   std::pair<size_t, MeetingId> PlacementDetail(MeetingId meeting) const;
-  // Current participant load of a switch.
+  // Current participant load of a switch (real participants homed there).
   int LoadOf(size_t switch_index) const;
   int MeetingsOn(size_t switch_index) const;
   net::Ipv4 SfuIpOf(size_t switch_index) const;
@@ -126,6 +157,26 @@ class FleetController : public SignalingServer,
     return *switches_[switch_index]->controller;
   }
   const FleetStats& stats() const { return stats_; }
+
+  // One installed inter-switch relay: `origin`'s stream crossing from
+  // `upstream` to `downstream` (via the home switch on multi-span plans).
+  struct MeetingRelay {
+    ParticipantId origin = 0;          // the real sender being carried
+    size_t upstream = SIZE_MAX;        // switch forwarding the stream
+    size_t downstream = SIZE_MAX;      // switch receiving it
+    ParticipantId upstream_sender = 0;  // origin or its relay sender there
+    ParticipantId relay_receiver = 0;  // pseudo-receiver on upstream
+    ParticipantId relay_sender = 0;    // pseudo-sender on downstream
+    uint16_t upstream_port = 0;        // relay leg port (media source)
+    uint16_t downstream_port = 0;      // relay uplink port (media dest)
+    uint32_t video_ssrc = 0;
+    uint32_t audio_ssrc = 0;
+    bool sends_video = false;
+    bool sends_audio = false;
+  };
+  // Relay wiring currently installed for a meeting (empty when
+  // single-homed).
+  std::vector<MeetingRelay> RelaysOf(MeetingId meeting) const;
 
  private:
   struct Member {
@@ -140,6 +191,45 @@ class FleetController : public SignalingServer,
     bool report_seen = false;
   };
 
+  struct MemberInfo {
+    size_t home_switch = SIZE_MAX;
+    SignalingClient* client = nullptr;
+    SenderIntent intent;  // what the member sends (parsed from its offer)
+  };
+
+  struct MeetingState {
+    MeetingPlacement placement;
+    std::map<ParticipantId, MemberInfo> members;
+    std::vector<MeetingRelay> relays;
+  };
+
+  // Switch-local meeting id on `switch_index` (home or a span).
+  MeetingId LocalMeetingOn(const MeetingState& st, size_t switch_index) const;
+  std::vector<SwitchLoad> Loads() const;
+  // Creates the span's switch-local meeting and routes every existing
+  // sender's stream into it.
+  RelaySpan& EnsureSpan(MeetingState& st, size_t switch_index);
+  // Installs (idempotently) the relay carrying `origin`'s stream onto
+  // `downstream`, forwarding from `upstream` where the stream is known as
+  // `upstream_sender`; wires receive legs for real members already homed
+  // downstream. Returns the relay sender id on the downstream switch.
+  ParticipantId EnsureRelay(MeetingState& st, size_t upstream,
+                            size_t downstream, ParticipantId origin,
+                            ParticipantId upstream_sender,
+                            const SenderIntent& origin_intent);
+  // Routes `origin`'s stream (homed on `origin_switch`) to every other
+  // switch the meeting spans, hub-and-spoke via the home switch.
+  void RouteSenderEverywhere(MeetingState& st, ParticipantId origin,
+                             size_t origin_switch,
+                             const SenderIntent& origin_intent);
+  // Tears down every relay carrying `origin`'s stream (it left).
+  void RemoveSenderRelays(MeetingState& st, ParticipantId origin);
+  // Tears down one span entirely: relay wiring, the span-local meeting,
+  // any members still homed there (their sessions are gone).
+  void TearDownSpan(MeetingState& st, size_t switch_index, bool switch_dead);
+  void EraseParticipantFromPlacement(MeetingState& st, ParticipantId p);
+  ParticipantId NextRelayId();
+
   // Least-loaded live switch, optionally excluding one index; SIZE_MAX
   // when no live switch qualifies.
   size_t LeastLoaded(size_t exclude = SIZE_MAX) const;
@@ -153,18 +243,24 @@ class FleetController : public SignalingServer,
   static constexpr int kHeartbeatMissThreshold = 3;
 
   std::vector<std::unique_ptr<Member>> switches_;
-  // Fleet-global meeting ids -> (switch index, switch-local meeting id).
-  std::map<MeetingId, std::pair<size_t, MeetingId>> placement_;
-  // Currently-joined participants per fleet-global meeting.
-  std::map<MeetingId, std::set<ParticipantId>> members_;
+  std::map<MeetingId, MeetingState> meetings_;
   // Rebalancer hysteresis: when each meeting last migrated.
   std::map<MeetingId, util::TimeUs> last_migrated_;
+  // Meetings mid-renegotiation (failover blackout / migration re-signal
+  // window): the rebalancer must not touch them. Cleared on re-Join.
+  std::set<MeetingId> frozen_;
   MeetingId next_meeting_ = 1;
+  // Relay pseudo-participant ids: a dedicated range far above any switch
+  // controller's stride (switch i mints from i*1'000'000 + 1), offset so
+  // the 16-bit truncations used as replication/egress RIDs cannot collide
+  // with real members' truncations on the same switch.
+  ParticipantId next_relay_id_ = 0x4000'0000u + 60'000u;
   sim::Scheduler* sched_ = nullptr;  // from the first registered channel
   std::unique_ptr<sim::PeriodicTask> detector_task_;
   std::unique_ptr<sim::PeriodicTask> rebalance_task_;
   RebalanceConfig rebalance_cfg_;
   MigrationCallback migration_cb_;
+  std::unique_ptr<PlacementPolicy> policy_;
   FleetStats stats_;
 };
 

@@ -1,0 +1,95 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace scallop::core {
+
+const RelaySpan* MeetingPlacement::SpanOn(size_t switch_index) const {
+  for (const RelaySpan& span : spans) {
+    if (span.switch_index == switch_index) return &span;
+  }
+  return nullptr;
+}
+
+size_t LeastLoadedLive(const std::vector<SwitchLoad>& loads,
+                       const std::vector<size_t>& exclude) {
+  size_t best = SIZE_MAX;
+  int best_load = std::numeric_limits<int>::max();
+  for (size_t i = 0; i < loads.size(); ++i) {
+    if (!loads[i].alive) continue;
+    if (std::find(exclude.begin(), exclude.end(), i) != exclude.end()) {
+      continue;
+    }
+    int load = loads[i].participants * 64 + loads[i].meetings;
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t PlacementPolicy::PlaceMeeting(
+    const std::vector<SwitchLoad>& loads) const {
+  return LeastLoadedLive(loads, {});
+}
+
+size_t LeastLoadedPolicy::PlaceParticipant(
+    const MeetingPlacement& placement,
+    const std::vector<SwitchLoad>& /*loads*/) const {
+  return placement.home;
+}
+
+size_t CascadePolicy::PlaceParticipant(
+    const MeetingPlacement& placement,
+    const std::vector<SwitchLoad>& loads) const {
+  auto alive = [&](size_t idx) {
+    return idx < loads.size() && loads[idx].alive;
+  };
+  // Fill the home switch first.
+  if (alive(placement.home) &&
+      static_cast<int>(placement.home_participants.size()) <
+          max_per_switch_) {
+    return placement.home;
+  }
+  // Then existing spans, in creation order.
+  for (const RelaySpan& span : placement.spans) {
+    if (alive(span.switch_index) &&
+        static_cast<int>(span.participants.size()) < max_per_switch_) {
+      return span.switch_index;
+    }
+  }
+  // Then open a new span on the least-loaded switch the meeting does not
+  // already touch.
+  std::vector<size_t> used{placement.home};
+  for (const RelaySpan& span : placement.spans) {
+    used.push_back(span.switch_index);
+  }
+  size_t fresh = LeastLoadedLive(loads, used);
+  if (fresh != SIZE_MAX) return fresh;
+  // Fleet exhausted: the home switch absorbs the overflow.
+  return placement.home;
+}
+
+std::unique_ptr<PlacementPolicy> PlacementPolicyConfig::Make() const {
+  switch (kind) {
+    case Kind::kLeastLoaded:
+      return std::make_unique<LeastLoadedPolicy>();
+    case Kind::kCascade:
+      return std::make_unique<CascadePolicy>(max_participants_per_switch);
+  }
+  return std::make_unique<LeastLoadedPolicy>();
+}
+
+std::string PlacementPolicyConfig::Label() const {
+  switch (kind) {
+    case Kind::kLeastLoaded:
+      return "least-loaded";
+    case Kind::kCascade:
+      return "cascade{" + std::to_string(max_participants_per_switch) + "}";
+  }
+  return "?";
+}
+
+}  // namespace scallop::core

@@ -1,0 +1,124 @@
+// First-class meeting placement (paper Appendix A, cascading SFUs): the
+// controller-computed distribution plan for one meeting. A placement names
+// the home switch plus an ordered list of relay spans — each span a
+// downstream switch carrying part of the meeting, reached by forwarding
+// every remote sender's selected stream across the inter-switch link
+// exactly once. SDN multicast work (arXiv:1508.03592, arXiv:1406.0440)
+// frames the same idea: the unit of control-plane API is the distribution
+// plan, not the per-hop forwarding state.
+//
+// Which plan a meeting gets is decided by a pluggable PlacementPolicy:
+// LeastLoaded reproduces the classic single-homed behaviour byte-for-byte,
+// Cascade splits meetings larger than a per-switch participant budget
+// across additional switches, hub-and-spoke from the home switch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace scallop::core {
+
+// One relay span: a downstream switch carrying part of the meeting. The
+// span owns a switch-local meeting on that switch; `participants` are the
+// fleet-global ids homed there.
+struct RelaySpan {
+  size_t switch_index = SIZE_MAX;
+  MeetingId local_meeting = 0;
+  std::vector<ParticipantId> participants;
+};
+
+// A meeting's full distribution plan. Single-homed meetings have an empty
+// span list; `home == SIZE_MAX` means the meeting is unknown.
+struct MeetingPlacement {
+  size_t home = SIZE_MAX;
+  MeetingId local_meeting = 0;  // home-switch-local meeting id
+  std::vector<ParticipantId> home_participants;
+  std::vector<RelaySpan> spans;  // ordered by creation
+
+  bool valid() const { return home != SIZE_MAX; }
+  bool spans_switches() const { return !spans.empty(); }
+
+  // The span covering a switch (nullptr for the home switch / unknown).
+  const RelaySpan* SpanOn(size_t switch_index) const;
+};
+
+// What a policy sees of each switch when it decides a placement.
+struct SwitchLoad {
+  bool alive = false;
+  int participants = 0;  // real participants homed on the switch
+  int meetings = 0;      // switch-local meetings (homes and spans)
+};
+
+// The fleet's canonical load comparison: least-loaded live switch not in
+// `exclude`, SIZE_MAX when none qualifies. Participants dominate
+// (streams scale with them); meetings break ties so empty switches fill
+// round-robin. Shared by the placement policies and the fleet's failover
+// standby selection so the two can never disagree.
+size_t LeastLoadedLive(const std::vector<SwitchLoad>& loads,
+                       const std::vector<size_t>& exclude = {});
+
+// Decides where meetings and participants land. Stateless with respect to
+// the fleet: everything it needs arrives through the load vector and the
+// meeting's current placement, so policies are trivially swappable.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string Name() const = 0;
+  // Switch to host a new (empty) meeting; SIZE_MAX when no live switch.
+  virtual size_t PlaceMeeting(const std::vector<SwitchLoad>& loads) const;
+  // Switch to home a joining participant on: the home switch, an existing
+  // span, or a fresh switch (creating a new span). Must return a live
+  // switch; SIZE_MAX is treated as "home".
+  virtual size_t PlaceParticipant(const MeetingPlacement& placement,
+                                  const std::vector<SwitchLoad>& loads)
+      const = 0;
+};
+
+// Classic single-homing: meetings land on the least-loaded live switch and
+// every participant is homed with the meeting. Byte-for-byte the behaviour
+// the fleet had before placements could span.
+class LeastLoadedPolicy : public PlacementPolicy {
+ public:
+  std::string Name() const override { return "least-loaded"; }
+  size_t PlaceParticipant(const MeetingPlacement& placement,
+                          const std::vector<SwitchLoad>& loads) const override;
+};
+
+// Cascading placement: a meeting fills its home switch up to
+// `max_participants_per_switch`, then overflows onto relay spans — first
+// filling existing spans, then opening a new span on the least-loaded live
+// switch not yet carrying the meeting. With nowhere left to span, the home
+// switch absorbs the overflow.
+class CascadePolicy : public PlacementPolicy {
+ public:
+  explicit CascadePolicy(int max_participants_per_switch)
+      : max_per_switch_(max_participants_per_switch) {}
+  std::string Name() const override { return "cascade"; }
+  size_t PlaceParticipant(const MeetingPlacement& placement,
+                          const std::vector<SwitchLoad>& loads) const override;
+
+ private:
+  int max_per_switch_;
+};
+
+// Copyable policy choice for declarative specs (ScenarioSpec /
+// TestbedConfig stay value types); Make() builds the policy object.
+struct PlacementPolicyConfig {
+  enum class Kind { kLeastLoaded, kCascade };
+  Kind kind = Kind::kLeastLoaded;
+  int max_participants_per_switch = 0;  // cascade only
+
+  static PlacementPolicyConfig LeastLoaded() { return {}; }
+  static PlacementPolicyConfig Cascade(int max_participants_per_switch) {
+    return {Kind::kCascade, max_participants_per_switch};
+  }
+
+  std::unique_ptr<PlacementPolicy> Make() const;
+  std::string Label() const;
+};
+
+}  // namespace scallop::core

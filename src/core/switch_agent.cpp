@@ -166,6 +166,59 @@ uint16_t SwitchAgent::AddParticipant(MeetingId meeting, ParticipantId id,
   return p.uplink_port;
 }
 
+uint16_t SwitchAgent::AddRelaySender(MeetingId meeting, ParticipantId id,
+                                     net::Endpoint upstream_src,
+                                     uint32_t video_ssrc, uint32_t audio_ssrc,
+                                     bool sends_video, bool sends_audio,
+                                     uint16_t assigned_port) {
+  // A remote sender homed on another switch: its "client endpoint" is the
+  // upstream switch's relay leg, so the stream table, tree manager and
+  // keyframe re-anchoring treat the relayed stream like any uplink. The
+  // assigned port is the address relayed media is sent to.
+  uint16_t port = AddParticipant(meeting, id, upstream_src, video_ssrc,
+                                 audio_ssrc, sends_video, sends_audio,
+                                 assigned_port);
+  participants_[id].is_relay = true;
+  ++relay_count_;
+  ++stats_.relay_senders;
+  return port;
+}
+
+uint16_t SwitchAgent::AddRelayLeg(MeetingId meeting,
+                                  ParticipantId relay_receiver,
+                                  ParticipantId sender,
+                                  net::Endpoint downstream_sfu,
+                                  uint16_t assigned_port) {
+  // Lost-command semantics: a relay leg naming a sender this switch never
+  // learned about (its install was lost on the channel) must be a pure
+  // no-op, like any other command referencing unknown state — no orphan
+  // pseudo-receiver, no stats.
+  uint16_t port = assigned_port != 0 ? assigned_port : next_port_++;
+  if (participants_.find(sender) == participants_.end()) return port;
+  // The downstream switch's stand-in: a receive-only pseudo-participant
+  // whose "client endpoint" is the downstream SFU's relay uplink. Its leg
+  // is a normal receive leg — rewriter, SVC filter, REMB/NACK feedback
+  // path — so the relayed stream is the sender's *selected* stream and
+  // sequence rewriting stays gap-free across the hop.
+  if (participants_.find(relay_receiver) == participants_.end()) {
+    Participant p;
+    p.id = relay_receiver;
+    p.meeting = meeting;
+    p.media_src = downstream_sfu;
+    p.is_relay = true;
+    participants_[relay_receiver] = p;
+    meetings_[meeting].members.push_back(relay_receiver);
+    ++relay_count_;
+  }
+  ++stats_.relay_legs;
+  return AddRecvLeg(meeting, relay_receiver, sender, downstream_sfu, port);
+}
+
+void SwitchAgent::RemoveRelaySpan(MeetingId meeting,
+                                  const std::vector<ParticipantId>& relay_ids) {
+  for (ParticipantId id : relay_ids) RemoveParticipant(meeting, id);
+}
+
 void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
   auto it = participants_.find(id);
   if (it == participants_.end()) return;
@@ -206,6 +259,7 @@ void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
   }
   if (p.sends_video) ssrc_to_sender_.erase(p.video_ssrc);
   if (p.sends_audio) ssrc_to_sender_.erase(p.audio_ssrc);
+  if (p.is_relay && relay_count_ > 0) --relay_count_;
   stats_.dataplane_writes += 4;
 
   auto& members = meetings_[meeting].members;
@@ -256,6 +310,7 @@ uint16_t SwitchAgent::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
   media_out.dst = receiver_client;
   media_out.sfu_src = net::Endpoint{cfg_.sfu_ip, leg.sfu_port};
   media_out.receiver = receiver;
+  media_out.is_relay = recv.is_relay;  // leaves for a downstream switch
   dp_.InstallEgress(
       EgressKey{send.media_src, static_cast<uint16_t>(receiver)}, media_out);
 
@@ -450,6 +505,10 @@ SkipCadence SwitchAgent::CadenceFor(ParticipantId sender, int dt) const {
 void SwitchAgent::ApplyDecodeTarget(Participant& receiver,
                                     ParticipantId sender, int new_dt) {
   ++stats_.dt_changes;
+  // A relay leg's decode target switching = the stream crossing the
+  // inter-switch link changed layers (driven by the downstream switch's
+  // forwarded REMB) — the cascade's cross-switch adaptation events.
+  if (receiver.is_relay) ++stats_.relay_dt_changes;
   receiver.dt[sender] = new_dt;
   Participant& send = participants_.at(sender);
 

@@ -66,6 +66,10 @@ struct AgentStats {
   uint64_t filter_flips = 0;   // best-downlink selection changes
   uint64_t dt_changes = 0;     // decode-target reconfigurations
   uint64_t dataplane_writes = 0;
+  // Cascading relays (paper Appendix A).
+  uint64_t relay_senders = 0;     // remote senders registered here
+  uint64_t relay_legs = 0;        // relay legs toward downstream switches
+  uint64_t relay_dt_changes = 0;  // DT switches applied to relay legs
 };
 
 class SwitchAgent {
@@ -95,6 +99,29 @@ class SwitchAgent {
                       ParticipantId sender, net::Endpoint receiver_client,
                       uint16_t assigned_port = 0);
 
+  // ---- cascading relays (paper Appendix A) ----
+  // Registers a remote sender whose media arrives from `upstream_src` (a
+  // relay leg on another switch) instead of a client: it participates in
+  // replication trees, legs and the downlink filter exactly like a local
+  // sender, but is excluded from the reported participant load.
+  uint16_t AddRelaySender(MeetingId meeting, ParticipantId id,
+                          net::Endpoint upstream_src, uint32_t video_ssrc,
+                          uint32_t audio_ssrc, bool sends_video,
+                          bool sends_audio, uint16_t assigned_port = 0);
+  // Forwards `sender`'s selected stream to a downstream switch's SFU:
+  // installs a relay pseudo-receiver (the downstream SFU's stand-in) and
+  // its receive leg, so the stream crosses the inter-switch link exactly
+  // once and stays seq-rewrite-continuous (the leg owns a rewriter like
+  // any receiver leg). Returns the relay leg's SFU port — the endpoint the
+  // downstream switch sees the stream arrive from.
+  uint16_t AddRelayLeg(MeetingId meeting, ParticipantId relay_receiver,
+                       ParticipantId sender, net::Endpoint downstream_sfu,
+                       uint16_t assigned_port = 0);
+  // Bulk teardown of one span's relay participants on this switch (the
+  // pseudo-receivers toward it, or the relay senders from it).
+  void RemoveRelaySpan(MeetingId meeting,
+                       const std::vector<ParticipantId>& relay_ids);
+
   void SetDecodeTargetPolicy(SelectDecodeTargetFn fn) {
     select_dt_ = std::move(fn);
   }
@@ -108,9 +135,14 @@ class SwitchAgent {
   const AgentConfig& config() const { return cfg_; }
   TreeManager& tree_manager() { return trees_; }
   const TreeManager& tree_manager() const { return trees_; }
-  // Load introspection for northbound SwitchLoadReports.
+  // Load introspection for northbound SwitchLoadReports. Relay
+  // pseudo-participants are excluded: they stand in for switches, not
+  // users, and must not skew placement or rebalancing decisions.
   size_t meeting_count() const { return meetings_.size(); }
-  size_t participant_count() const { return participants_.size(); }
+  size_t participant_count() const {
+    return participants_.size() - relay_count_;
+  }
+  size_t relay_count() const { return relay_count_; }
   size_t tree_count() const { return dp_.sw().pre().tree_count(); }
   // Current decode target of (receiver <- sender).
   int DecodeTargetOf(ParticipantId receiver, ParticipantId sender) const;
@@ -132,6 +164,7 @@ class SwitchAgent {
     uint32_t audio_ssrc = 0;
     bool sends_video = false;
     bool sends_audio = false;
+    bool is_relay = false;  // stands in for another switch's SFU
     std::map<ParticipantId, Leg> recv_legs;            // by sender
     std::map<ParticipantId, int> dt;                   // by sender
     std::map<ParticipantId, util::Ewma> remb_ewma;     // by sender
@@ -179,6 +212,7 @@ class SwitchAgent {
   std::map<ParticipantId, uint16_t> dd_anchor_;     // keyframe anchor
   std::map<uint32_t, ParticipantId> ssrc_to_sender_;
   uint16_t next_port_;
+  size_t relay_count_ = 0;
 
   AgentStats stats_;
 };

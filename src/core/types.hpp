@@ -59,6 +59,10 @@ struct EgressEntry {
   net::Endpoint dst;      // receiver's client endpoint for this leg
   net::Endpoint sfu_src;  // SFU-side endpoint presented to the receiver
   ParticipantId receiver = 0;
+  // Cascaded meetings: this replica leaves for another switch's SFU (the
+  // receiver is a relay pseudo-participant standing in for it), so the
+  // data plane accounts it as inter-switch relay traffic.
+  bool is_relay = false;
 };
 
 // Per (video ssrc, receiver) SVC filtering and sequence rewriting.

@@ -54,10 +54,18 @@ std::string ScenarioMetrics::ToCsv() const {
           s.index, s.alive ? 1 : 0, s.meetings, s.participants, s.packets_in,
           s.packets_out, s.replicas);
     }
-    Row(out, "placement,meeting_index,switch\n");
+    Row(out, "placement,meeting_index,switch,spans\n");
     for (const auto& m : meetings) {
-      Row(out, "placement,%d,%d\n", m.index, m.placement);
+      Row(out, "placement,%d,%d,%d\n", m.index, m.placement, m.spans);
     }
+    Row(out,
+        "cascade,spans_installed,spans_removed,relay_packets,relay_bytes,"
+        "relay_dt_changes\n");
+    Row(out,
+        "cascade,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        "\n",
+        cascade.spans_installed, cascade.spans_removed, cascade.relay_packets,
+        cascade.relay_bytes, cascade.relay_dt_changes);
   }
 
   // Control-plane section: southbound command accounting, northbound
@@ -162,6 +170,14 @@ std::string ScenarioMetrics::Summary() const {
         control.heartbeats_seen, control.heartbeats_missed,
         control.load_reports_seen, control.switches_failed,
         control.rebalance_migrations);
+  }
+  if (cascade.spans_installed > 0) {
+    Row(out,
+        "    cascade: %" PRIu64 " spans installed (%" PRIu64
+        " removed), %" PRIu64 " relay packets / %" PRIu64
+        " bytes across switches, %" PRIu64 " cross-switch DT switches\n",
+        cascade.spans_installed, cascade.spans_removed, cascade.relay_packets,
+        cascade.relay_bytes, cascade.relay_dt_changes);
   }
   return out;
 }

@@ -56,9 +56,11 @@ struct MeetingMetrics {
   core::MeetingId id = 0;
   std::string final_design;  // "2-party", "NRA", "RA-R", "RA-SR" or "none"
   int participants_at_end = 0;
-  // Fleet index of the switch hosting the meeting at collection time;
-  // -1 on backends without a switch breakdown.
+  // Fleet index of the home switch hosting the meeting at collection
+  // time; -1 on backends without a switch breakdown.
   int placement = -1;
+  // Relay spans the meeting's placement carries (cascaded meetings).
+  int spans = 0;
 };
 
 // One timeline sample (every ScenarioSpec::sample_interval_s).
@@ -113,6 +115,11 @@ struct ScenarioMetrics {
   // single-switch CSV stays byte-identical to the pre-channel pin.
   bool control_plane = false;
   testbed::ControlPlaneCounters control;
+
+  // Cascaded-placement aggregates (relay spans, inter-switch media,
+  // cross-switch decode-target switches). Rendered as a `cascade,...`
+  // CSV section on multi-switch backends; zeros when nothing spanned.
+  testbed::CascadeCounters cascade;
 
   // Byte-stable rendering: identical spec + seed => identical string.
   std::string ToCsv() const;

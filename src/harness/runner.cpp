@@ -13,6 +13,10 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
   base.seed = spec_.seed;
   base.control.latency = util::Seconds(spec_.control_latency_s);
   base.control.loss_rate = spec_.control_loss;
+  base.control.heartbeat_interval = util::Seconds(spec_.control_heartbeat_s);
+  base.control.load_report_interval =
+      util::Seconds(spec_.control_load_report_s);
+  base.placement = spec_.placement_policy;
   if (spec_.rebalance_interval_s > 0.0) {
     base.rebalance.enabled = true;
     base.rebalance.interval = util::Seconds(spec_.rebalance_interval_s);
@@ -76,6 +80,14 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
   if (spec_.failover_at_s >= 0.0 &&
       spec_.backend.kind == testbed::BackendChoice::Kind::kFleet) {
     const double hb_s = util::ToSeconds(base.control.heartbeat_interval);
+    // No heartbeats means no failure detection at all: the victim would
+    // never be declared dead and the drill would strand its peers.
+    if (hb_s <= 0.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name +
+          "': a fleet failover needs a positive heartbeat interval — with "
+          "heartbeats disabled the dead switch is never detected");
+    }
     const double detect_s = 4.0 * hb_s + 2.0 * spec_.control_latency_s;
     if (spec_.failover_blackout_s <= detect_s) {
       throw std::invalid_argument(
@@ -176,6 +188,11 @@ void ScenarioRunner::LeaveSlot(Slot& slot) {
     }
   }
   const core::ParticipantId leaver = slot.peer->id();
+  // On cascaded placements, members homed on other switches know the
+  // leaver's stream under its relay-sender aliases — their legs are torn
+  // down by the same departure, so bank those too.
+  const std::vector<core::ParticipantId> aliases =
+      backend_->SenderAliasesOf(slot.meeting_id, leaver);
   for (Slot& other : slots_) {
     if (&other == &slot) continue;
     // Participant ids are only unique per meeting (fleet switches number
@@ -184,6 +201,11 @@ void ScenarioRunner::LeaveSlot(Slot& slot) {
     if (other.meeting_id != slot.meeting_id) continue;
     if (const auto* rx = other.peer->video_receiver(leaver)) {
       retired_frames_decoded_ += rx->stats().frames_decoded;
+    }
+    for (core::ParticipantId alias : aliases) {
+      if (const auto* rx = other.peer->video_receiver(alias)) {
+        retired_frames_decoded_ += rx->stats().frames_decoded;
+      }
     }
   }
   slot.peer->Leave();
@@ -352,8 +374,10 @@ ScenarioMetrics ScenarioRunner::Collect() const {
     mm.id = meeting_ids_[mi];
     mm.final_design = backend_->TreeDesignOf(meeting_ids_[mi]);
     if (!m.switches.empty()) {
-      size_t at = backend_->PlacementOf(meeting_ids_[mi]);
-      mm.placement = at == SIZE_MAX ? -1 : static_cast<int>(at);
+      core::MeetingPlacement placement =
+          backend_->PlacementOf(meeting_ids_[mi]);
+      mm.placement = placement.valid() ? static_cast<int>(placement.home) : -1;
+      mm.spans = static_cast<int>(placement.spans.size());
     }
     for (const Slot& slot : slots_) {
       if (slot.meeting == mm.index && slot.present) ++mm.participants_at_end;
@@ -430,6 +454,7 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.blackholed = backend_->network().blackholed();
   m.control = backend_->control_counters();
   m.control_plane = spec_.control_plane_configured || !m.switches.empty();
+  m.cascade = backend_->cascade_counters();
   return m;
 }
 

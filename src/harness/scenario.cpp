@@ -101,9 +101,13 @@ ScenarioSpec& ScenarioSpec::WithBackend(testbed::BackendChoice choice) {
   return *this;
 }
 
-ScenarioSpec& ScenarioSpec::WithControlPlane(double latency_s, double loss) {
+ScenarioSpec& ScenarioSpec::WithControlPlane(double latency_s, double loss,
+                                             double heartbeat_s,
+                                             double load_report_s) {
   control_latency_s = latency_s;
   control_loss = loss;
+  control_heartbeat_s = heartbeat_s;
+  control_load_report_s = load_report_s;
   control_plane_configured = true;
   return *this;
 }
@@ -113,6 +117,12 @@ ScenarioSpec& ScenarioSpec::WithRebalance(double interval_s,
   rebalance_interval_s = interval_s;
   rebalance_threshold = imbalance_threshold;
   control_plane_configured = true;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithPlacementPolicy(
+    core::PlacementPolicyConfig policy) {
+  placement_policy = policy;
   return *this;
 }
 

@@ -89,9 +89,15 @@ struct ScenarioSpec {
 
   // Southbound control-plane shape: per-message latency and iid loss on
   // every controller <-> switch command/event. Defaults (0/0) dispatch
-  // inline and leave backend behavior byte-identical.
+  // inline and leave backend behavior byte-identical. The heartbeat /
+  // load-report cadences shape the northbound telemetry — failure
+  // detection scales with the heartbeat interval (a switch is declared
+  // dead after 3 silent intervals), so slower heartbeats need longer
+  // failover blackouts (validated at construction).
   double control_latency_s = 0.0;
   double control_loss = 0.0;
+  double control_heartbeat_s = 0.05;
+  double control_load_report_s = 0.5;
   // True once WithControlPlane/WithRebalance was called; gates the
   // control-plane CSV section (multi-switch backends always render it).
   bool control_plane_configured = false;
@@ -110,6 +116,11 @@ struct ScenarioSpec {
   // baseline. The whole spec vocabulary (links, churn, failover) runs
   // unchanged on any backend.
   testbed::BackendChoice backend;
+
+  // Meeting-placement policy (fleet backend only): LeastLoaded (default)
+  // single-homes every meeting; Cascade(max_participants_per_switch)
+  // splits large meetings across switches with inter-switch relay spans.
+  core::PlacementPolicyConfig placement_policy;
 
   // Underlying testbed knobs (encoder rates, agent policy, ...). The
   // testbed seed is overwritten with `seed` above; per-participant link
@@ -131,8 +142,11 @@ struct ScenarioSpec {
   ScenarioSpec& WithLinkEvent(LinkEvent ev);
   ScenarioSpec& WithFailover(double at_s);
   ScenarioSpec& WithBackend(testbed::BackendChoice choice);
-  ScenarioSpec& WithControlPlane(double latency_s, double loss = 0.0);
+  ScenarioSpec& WithControlPlane(double latency_s, double loss = 0.0,
+                                 double heartbeat_s = 0.05,
+                                 double load_report_s = 0.5);
   ScenarioSpec& WithRebalance(double interval_s, int imbalance_threshold = 2);
+  ScenarioSpec& WithPlacementPolicy(core::PlacementPolicyConfig policy);
 
   // Total participants across meetings.
   int TotalParticipants() const;

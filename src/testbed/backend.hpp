@@ -13,6 +13,7 @@
 
 #include "client/peer.hpp"
 #include "core/controller.hpp"
+#include "core/placement.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
 
@@ -76,6 +77,17 @@ struct ControlPlaneCounters {
   uint64_t load_reports_seen = 0;
   uint64_t switches_failed = 0;
   uint64_t rebalance_migrations = 0;
+};
+
+// Cascaded-meeting aggregates (paper Appendix A): relay spans installed
+// by the controller, media crossing inter-switch relays, and decode-target
+// switches applied to relay legs. Zero on single-homed substrates.
+struct CascadeCounters {
+  uint64_t spans_installed = 0;
+  uint64_t spans_removed = 0;
+  uint64_t relay_packets = 0;
+  uint64_t relay_bytes = 0;
+  uint64_t relay_dt_changes = 0;  // cross-switch decode-target switches
 };
 
 // Per-switch snapshot for multi-switch backends (single-switch backends
@@ -144,9 +156,24 @@ class Backend {
     return "none";
   }
   virtual size_t switch_count() const { return 1; }
-  // Index of the switch hosting a meeting (always 0 on single-switch
-  // backends, SIZE_MAX when unknown).
-  virtual size_t PlacementOf(core::MeetingId /*meeting*/) const { return 0; }
+  // The meeting's distribution plan: home switch plus any relay spans.
+  // Single-switch backends are trivially home-0 single-homed.
+  virtual core::MeetingPlacement PlacementOf(core::MeetingId meeting) const {
+    core::MeetingPlacement placement;
+    placement.home = 0;
+    placement.local_meeting = meeting;
+    return placement;
+  }
+  // Relay-span aggregates; zeros on substrates that never cascade.
+  virtual CascadeCounters cascade_counters() const { return {}; }
+  // Ids under which a participant's stream is known on other switches
+  // (the relay senders of a cascaded placement). Harness cleanup and
+  // metrics treat them as the same logical sender; single-homed
+  // substrates have none.
+  virtual std::vector<core::ParticipantId> SenderAliasesOf(
+      core::MeetingId /*meeting*/, core::ParticipantId /*participant*/) const {
+    return {};
+  }
   virtual std::vector<SwitchStatus> SwitchBreakdown() const { return {}; }
 
  protected:

@@ -35,6 +35,7 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
     fleet_->AddSwitch(*node.channel, node.ip);
     nodes_.push_back(std::move(node));
   }
+  fleet_->SetPlacementPolicy(cfg_.placement.Make());
   if (cfg_.rebalance.enabled) fleet_->EnableRebalancer(cfg_.rebalance);
 }
 
@@ -74,24 +75,31 @@ void FleetTestbed::RunUntil(double t_s) {
 
 std::vector<core::MeetingId> FleetTestbed::FailoverBegin() {
   // Kill the switch hosting the first still-placed meeting; every meeting
-  // it hosts loses its forwarding state. The crash is delivered the way a
-  // real fleet learns of one: the victim's control link goes dark, its
-  // heartbeats stop, and the FleetController's miss detector declares it
-  // dead and migrates its meetings to a live standby — so the re-Joins
-  // after the blackout land on the standby's SFU IP. The blackout must
-  // exceed heartbeat_miss_threshold heartbeat intervals or the victim is
-  // revived before it is ever declared dead.
+  // whose placement touches it — home or relay span — loses forwarding
+  // state there. The crash is delivered the way a real fleet learns of
+  // one: the victim's control link goes dark, its heartbeats stop, and
+  // the FleetController's miss detector declares it dead and re-plans its
+  // meetings onto live switches — so the re-Joins after the blackout land
+  // on the standbys' SFU IPs. The blackout must exceed
+  // heartbeat_miss_threshold heartbeat intervals or the victim is revived
+  // before it is ever declared dead.
   size_t victim = SIZE_MAX;
   std::vector<core::MeetingId> affected;
   for (core::MeetingId m : meetings_) {
-    size_t at = fleet_->PlacementOf(m);
-    if (at == SIZE_MAX) continue;
-    if (victim == SIZE_MAX) victim = at;
-    if (at == victim) affected.push_back(m);
+    core::MeetingPlacement placement = fleet_->PlacementOf(m);
+    if (!placement.valid()) continue;
+    if (victim == SIZE_MAX) victim = placement.home;
+    if (placement.home == victim ||
+        placement.SpanOn(victim) != nullptr) {
+      affected.push_back(m);
+    }
   }
   if (victim == SIZE_MAX) return {};
   failed_switch_ = victim;
   nodes_[victim].channel->set_link_up(false);
+  // The affected meetings are mid-blackout: the load rebalancer must not
+  // migrate them while their members are down.
+  fleet_->FreezeMeetings(affected);
   return affected;
 }
 
@@ -118,6 +126,19 @@ BackendCounters FleetTestbed::counters() const {
   return c;
 }
 
+CascadeCounters FleetTestbed::cascade_counters() const {
+  CascadeCounters c;
+  const core::FleetStats& fs = fleet_->stats();
+  c.spans_installed = fs.relay_spans_installed;
+  c.spans_removed = fs.relay_spans_removed;
+  for (const Node& node : nodes_) {
+    c.relay_packets += node.dp->stats().relay_packets;
+    c.relay_bytes += node.dp->stats().relay_bytes;
+    c.relay_dt_changes += node.agent->stats().relay_dt_changes;
+  }
+  return c;
+}
+
 ControlPlaneCounters FleetTestbed::control_counters() const {
   ControlPlaneCounters c;
   for (const Node& node : nodes_) {
@@ -130,6 +151,15 @@ ControlPlaneCounters FleetTestbed::control_counters() const {
   c.switches_failed = fs.switches_failed;
   c.rebalance_migrations = fs.rebalance_migrations;
   return c;
+}
+
+std::vector<core::ParticipantId> FleetTestbed::SenderAliasesOf(
+    core::MeetingId meeting, core::ParticipantId participant) const {
+  std::vector<core::ParticipantId> aliases;
+  for (const auto& relay : fleet_->RelaysOf(meeting)) {
+    if (relay.origin == participant) aliases.push_back(relay.relay_sender);
+  }
+  return aliases;
 }
 
 std::string FleetTestbed::TreeDesignOf(core::MeetingId meeting) const {

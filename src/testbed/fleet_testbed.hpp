@@ -58,11 +58,14 @@ class FleetTestbed : public Backend {
       std::function<void(core::MeetingId, size_t, size_t)> cb) override;
   BackendCounters counters() const override;
   ControlPlaneCounters control_counters() const override;
+  CascadeCounters cascade_counters() const override;
   std::string TreeDesignOf(core::MeetingId meeting) const override;
   size_t switch_count() const override { return nodes_.size(); }
-  size_t PlacementOf(core::MeetingId meeting) const override {
+  core::MeetingPlacement PlacementOf(core::MeetingId meeting) const override {
     return fleet_->PlacementOf(meeting);
   }
+  std::vector<core::ParticipantId> SenderAliasesOf(
+      core::MeetingId meeting, core::ParticipantId participant) const override;
   std::vector<SwitchStatus> SwitchBreakdown() const override;
 
  private:

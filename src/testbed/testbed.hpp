@@ -52,6 +52,10 @@ struct TestbedConfig {
   core::ControlChannelConfig control;
   // Fleet-only: the load-driven background rebalancer (off by default).
   core::RebalanceConfig rebalance;
+  // Fleet-only: the meeting-placement policy (default LeastLoaded keeps
+  // the classic single-homed behaviour; Cascade splits large meetings
+  // across switches with relay spans).
+  core::PlacementPolicyConfig placement;
 };
 
 class ScallopTestbed : public Backend {

@@ -127,6 +127,29 @@ TEST(ControlChannel, LossDropsCommands) {
   EXPECT_EQ(bed.channel.stats().commands_applied, 0u);
 }
 
+TEST(ControlChannel, RelayLegNamingUnknownSenderIsAPureNoOp) {
+  // Lost-command semantics for the relay vocabulary: if the upstream
+  // sender's install was dropped on the channel, a later AddRelayLeg
+  // naming it must leave no trace — no orphan pseudo-receiver in the
+  // meeting, no relay stats.
+  ChannelBed bed;
+  bed.channel.CreateMeeting(1);
+  bed.agent.AddRelayLeg(1, /*relay_receiver=*/900'001, /*sender=*/77,
+                        ChannelBed::Client(9, 50'000));
+  EXPECT_EQ(bed.agent.participant_count(), 0u);
+  EXPECT_EQ(bed.agent.relay_count(), 0u);
+  EXPECT_EQ(bed.agent.stats().relay_legs, 0u);
+
+  // With the sender known, the same command installs the relay leg.
+  bed.channel.AddParticipant(1, 77, ChannelBed::Client(1, 40'000), 17, 18,
+                             true, true);
+  uint16_t port = bed.agent.AddRelayLeg(1, 900'001, 77,
+                                        ChannelBed::Client(9, 50'000));
+  EXPECT_EQ(bed.agent.relay_count(), 1u);
+  EXPECT_EQ(bed.agent.stats().relay_legs, 1u);
+  EXPECT_NE(bed.dp.MutableFeedback(port), nullptr);
+}
+
 // ---- fleet failure detection over heartbeats ----------------------------
 
 testbed::TestbedConfig FastStartConfig() {
@@ -171,7 +194,7 @@ TEST(FleetHeartbeat, MissDetectionMigratesExactlyOncePerDeadSwitch) {
   bed.AddPeer().Join(bed.signaling(), m2);
   bed.RunFor(1.0);
 
-  size_t victim = bed.PlacementOf(m1);
+  size_t victim = bed.PlacementOf(m1).home;
   bed.channel(victim).set_link_up(false);
   bed.RunFor(1.0);
 
@@ -180,8 +203,8 @@ TEST(FleetHeartbeat, MissDetectionMigratesExactlyOncePerDeadSwitch) {
   EXPECT_FALSE(bed.fleet().IsAlive(victim));
   EXPECT_EQ(bed.fleet().stats().switches_failed, 1u);
   EXPECT_GT(bed.fleet().stats().heartbeats_missed, 0u);
-  EXPECT_EQ(bed.PlacementOf(m1), 1 - victim);
-  EXPECT_EQ(bed.PlacementOf(m2), 1 - victim);
+  EXPECT_EQ(bed.PlacementOf(m1).home, 1 - victim);
+  EXPECT_EQ(bed.PlacementOf(m2).home, 1 - victim);
   EXPECT_EQ(bed.fleet().stats().placements_rebalanced, 1u);
 
   // More silent intervals must not re-declare or re-migrate.
@@ -196,6 +219,39 @@ TEST(FleetHeartbeat, MissDetectionMigratesExactlyOncePerDeadSwitch) {
   bed.RunFor(1.0);
   EXPECT_TRUE(bed.fleet().IsAlive(victim));
   EXPECT_EQ(bed.fleet().stats().switches_failed, 1u);
+}
+
+TEST(FleetHeartbeat, DetectionTimeScalesWithHeartbeatCadence) {
+  // Failure-detection timing is a function of the heartbeat cadence (3
+  // silent intervals + a detector tick): at the default 50 ms a dead
+  // switch is declared within ~0.25 s, at 200 ms it must take ~4x longer.
+  testbed::TestbedConfig slow_cfg = FastStartConfig();
+  slow_cfg.control.heartbeat_interval = util::Millis(200);
+  testbed::FleetTestbed slow(slow_cfg, 2);
+  auto m1 = slow.CreateMeeting();
+  slow.AddPeer().Join(slow.signaling(), m1);
+  slow.RunFor(1.0);
+  size_t victim = slow.PlacementOf(m1).home;
+  slow.channel(victim).set_link_up(false);
+  // 0.3 s of silence: under a 200 ms cadence nothing is even late yet.
+  slow.RunFor(0.3);
+  EXPECT_TRUE(slow.fleet().IsAlive(victim));
+  EXPECT_EQ(slow.fleet().stats().switches_failed, 0u);
+  // After 3 intervals + a tick it is dead and its meeting migrated.
+  slow.RunFor(0.7);
+  EXPECT_FALSE(slow.fleet().IsAlive(victim));
+  EXPECT_EQ(slow.PlacementOf(m1).home, 1 - victim);
+
+  // The default cadence declares death well inside those first 0.3 s.
+  testbed::FleetTestbed fast(FastStartConfig(), 2);
+  auto m2 = fast.CreateMeeting();
+  fast.AddPeer().Join(fast.signaling(), m2);
+  fast.RunFor(1.0);
+  size_t fast_victim = fast.PlacementOf(m2).home;
+  fast.channel(fast_victim).set_link_up(false);
+  fast.RunFor(0.3);
+  EXPECT_FALSE(fast.fleet().IsAlive(fast_victim));
+  EXPECT_EQ(fast.fleet().stats().switches_failed, 1u);
 }
 
 // ---- load-driven rebalancer ---------------------------------------------
@@ -214,9 +270,9 @@ TEST(FleetRebalance, MovesMeetingsOffTheOverloadedSwitch) {
   auto m2 = bed.CreateMeeting();
   for (int i = 0; i < 4; ++i) bed.AddPeer().Join(bed.signaling(), m1);
   bed.AddPeer().Join(bed.signaling(), m2);
-  size_t busy = bed.PlacementOf(m1);
+  size_t busy = bed.PlacementOf(m1).home;
   auto m3 = bed.CreateMeeting();
-  ASSERT_EQ(bed.PlacementOf(m3), 1 - busy);  // least-loaded at creation
+  ASSERT_EQ(bed.PlacementOf(m3).home, 1 - busy);  // least-loaded at creation
   bed.AddPeer().Join(bed.signaling(), m3);
   // Re-home m3's single peer onto the busy switch by migrating manually,
   // then re-joining — simplest way to craft a 5-vs-1 split.
@@ -233,8 +289,8 @@ TEST(FleetRebalance, MovesMeetingsOffTheOverloadedSwitch) {
   EXPECT_GT(fs.rebalance_migrations, 0u);
   EXPECT_GT(fs.placements_rebalanced, manual_moves);
   // The small meeting moved off the overloaded switch.
-  EXPECT_EQ(bed.PlacementOf(m3), 1 - busy);
-  EXPECT_EQ(bed.PlacementOf(m1), busy);
+  EXPECT_EQ(bed.PlacementOf(m3).home, 1 - busy);
+  EXPECT_EQ(bed.PlacementOf(m1).home, busy);
 }
 
 TEST(FleetRebalance, HysteresisNoMeetingMovesTwiceWithinOneInterval) {
@@ -255,7 +311,7 @@ TEST(FleetRebalance, HysteresisNoMeetingMovesTwiceWithinOneInterval) {
   auto m1 = bed.CreateMeeting();
   auto m2 = bed.CreateMeeting();
   auto m3 = bed.CreateMeeting();
-  ASSERT_EQ(bed.PlacementOf(m1), bed.PlacementOf(m3));
+  ASSERT_EQ(bed.PlacementOf(m1).home, bed.PlacementOf(m3).home);
   for (int i = 0; i < 2; ++i) bed.AddPeer().Join(bed.signaling(), m1);
   bed.AddPeer().Join(bed.signaling(), m3);
   bed.RunFor(6.0);
@@ -270,6 +326,48 @@ TEST(FleetRebalance, HysteresisNoMeetingMovesTwiceWithinOneInterval) {
           << "meeting " << meeting << " migrated twice within one interval";
     }
   }
+}
+
+TEST(FleetRebalance, SkipsMeetingsInsideRenegotiationWindows) {
+  // Regression (ISSUE 4 satellite): a meeting whose members are down —
+  // failover blackout or a live migration's re-signal window — must not
+  // be picked by the rebalancer, even when it is otherwise the best
+  // candidate. Before the frozen-meeting guard, only the per-meeting
+  // cooldown protected it, which a blackout can outlive.
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.rebalance.enabled = true;
+  cfg.rebalance.interval = util::Seconds(1);
+  cfg.rebalance.imbalance_threshold = 2;
+  testbed::FleetTestbed bed(cfg, 2);
+
+  // m1 (2 peers) and m3 (4 peers) on switch 0, m2 (1 peer) on switch 1:
+  // a 6-vs-1 split where m1 is the smallest candidate — the one the
+  // rebalancer would normally move first.
+  auto m1 = bed.CreateMeeting();
+  auto m2 = bed.CreateMeeting();
+  auto m3 = bed.CreateMeeting();
+  ASSERT_EQ(bed.PlacementOf(m1).home, bed.PlacementOf(m3).home);
+  size_t busy = bed.PlacementOf(m1).home;
+  for (int i = 0; i < 2; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+  bed.AddPeer().Join(bed.signaling(), m2);
+  for (int i = 0; i < 4; ++i) bed.AddPeer().Join(bed.signaling(), m3);
+  bed.RunFor(0.6);  // let the first load reports land
+
+  // m1 enters a blackout (what FailoverBegin does for affected meetings).
+  bed.fleet().FreezeMeetings({m1});
+  ASSERT_TRUE(bed.fleet().IsFrozen(m1));
+
+  bed.RunFor(3.0);
+  // The rebalancer acted — but around the frozen meeting: m1 stayed put
+  // and the larger m3 moved instead.
+  EXPECT_GT(bed.fleet().stats().rebalance_migrations, 0u);
+  EXPECT_EQ(bed.PlacementOf(m1).home, busy) << "frozen meeting was migrated";
+  EXPECT_EQ(bed.PlacementOf(m3).home, 1 - busy);
+
+  // A member (re-)joining thaws the meeting.
+  client::Peer& late = bed.AddPeer();
+  late.Join(bed.signaling(), m1);
+  EXPECT_FALSE(bed.fleet().IsFrozen(m1));
 }
 
 }  // namespace
@@ -352,6 +450,74 @@ TEST(ControlPlaneScenario, RejectsBlackoutShorterThanDetectionTime) {
   // A blackout that covers detection is accepted.
   spec.failover_blackout_s = 0.4;
   EXPECT_NO_THROW(ScenarioRunner runner(spec));
+}
+
+// The heartbeat-cadence knob reaches the fleet: slower heartbeats mean
+// slower failure detection, and the runner's blackout validation scales
+// with the configured interval rather than assuming 50 ms.
+TEST(ControlPlaneScenario, HeartbeatCadenceKnobScalesDetection) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("hb-knob", 1, 2, 6.0);
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  spec.WithControlPlane(/*latency_s=*/0.0, /*loss=*/0.0,
+                        /*heartbeat_s=*/0.2, /*load_report_s=*/0.5);
+  spec.WithFailover(2.0);
+  // Worst-case detection is now 4 x 200 ms: the default 0.25 s blackout
+  // cannot cover it.
+  EXPECT_THROW(ScenarioRunner runner(spec), std::invalid_argument);
+  spec.failover_blackout_s = 1.0;
+  EXPECT_NO_THROW(ScenarioRunner runner(spec));
+
+  // Disabling heartbeats entirely makes the drill undetectable — the
+  // runner rejects that outright rather than passing vacuously.
+  ScenarioSpec off = ScenarioSpec::Uniform("hb-off", 1, 2, 6.0);
+  off.WithBackend(testbed::BackendChoice::Fleet(2));
+  off.WithControlPlane(0.0, 0.0, /*heartbeat_s=*/0.0);
+  off.WithFailover(2.0);
+  EXPECT_THROW(ScenarioRunner runner(off), std::invalid_argument);
+
+  // And a faster cadence tightens the requirement instead: a blackout
+  // that was too short at 50 ms heartbeats is fine at 20 ms.
+  ScenarioSpec fast = ScenarioSpec::Uniform("hb-knob-fast", 1, 2, 6.0);
+  fast.WithBackend(testbed::BackendChoice::Fleet(2));
+  fast.WithControlPlane(0.0, 0.0, /*heartbeat_s=*/0.02, /*load_report_s=*/0.2);
+  fast.WithFailover(2.0);
+  fast.failover_blackout_s = 0.1;
+  EXPECT_NO_THROW(ScenarioRunner runner(fast));
+}
+
+// Regression (ISSUE 4 satellite): WithFailover overlapping WithRebalance.
+// During the blackout the affected meetings are frozen — the rebalancer
+// must leave them alone while their members are down — and the drill
+// still recovers everyone afterwards.
+TEST(ControlPlaneScenario, FailoverOverlappingRebalanceLeavesVictimsAlone) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("failover-x-rebalance", 6, 1,
+                                            16.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.meetings[0].participants.resize(3);
+  spec.meetings[3].participants.resize(3);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithRebalance(/*interval_s=*/0.45, /*imbalance_threshold=*/2);
+  spec.WithFailover(8.03);  // blackout 8.03 .. 8.28; rebalance tick at 8.10
+
+  ScenarioRunner runner(spec);
+  runner.RunUntil(8.1);  // inside the blackout, before heartbeat death
+  core::FleetController& fleet = runner.fleet().fleet();
+  // FailoverBegin froze every meeting touching the victim.
+  int frozen = 0;
+  for (int mi = 0; mi < 6; ++mi) {
+    if (fleet.IsFrozen(runner.meeting_id(mi))) ++frozen;
+  }
+  EXPECT_GT(frozen, 0) << "blackout must freeze the affected meetings";
+
+  const ScenarioMetrics& m = runner.Run();
+  // The overlap resolved cleanly: the failover migrated the victim's
+  // meetings, the rebalancer kept working elsewhere, nobody starved and
+  // rewriting stayed gap-free through both kinds of migration.
+  EXPECT_EQ(m.control.switches_failed, 1u) << m.Summary();
+  EXPECT_GT(m.placements_rebalanced, 0u);
+  EXPECT_GE(m.WorstDeliveryFloor(), 100u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
 }
 
 // Command loss on the southbound channel degrades but is visible: dropped

@@ -68,8 +68,8 @@ TEST(Fleet, BalancesMeetingsAcrossSwitches) {
   auto m3 = bed.fleet.CreateMeeting();
   auto m4 = bed.fleet.CreateMeeting();
   // Round-robin while empty.
-  EXPECT_NE(bed.fleet.PlacementOf(m1), bed.fleet.PlacementOf(m2));
-  EXPECT_NE(bed.fleet.PlacementOf(m3), bed.fleet.PlacementOf(m4));
+  EXPECT_NE(bed.fleet.PlacementOf(m1).home, bed.fleet.PlacementOf(m2).home);
+  EXPECT_NE(bed.fleet.PlacementOf(m3).home, bed.fleet.PlacementOf(m4).home);
   EXPECT_EQ(bed.fleet.stats().meetings_placed, 4u);
 }
 
@@ -78,10 +78,10 @@ TEST(Fleet, PlacementFollowsParticipantLoad) {
   auto m1 = bed.fleet.CreateMeeting();
   // Load 4 participants onto m1's switch.
   for (int i = 1; i <= 4; ++i) bed.AddPeer(i).Join(bed.fleet, m1);
-  size_t busy = bed.fleet.PlacementOf(m1);
+  size_t busy = bed.fleet.PlacementOf(m1).home;
   // The next meetings go to the other switch until loads even out.
   auto m2 = bed.fleet.CreateMeeting();
-  EXPECT_NE(bed.fleet.PlacementOf(m2), busy);
+  EXPECT_NE(bed.fleet.PlacementOf(m2).home, busy);
   EXPECT_EQ(bed.fleet.LoadOf(busy), 4);
 }
 
@@ -113,12 +113,12 @@ TEST(Fleet, LeaveAndEndMeetingReleaseLoad) {
   client::Peer& b = bed.AddPeer(2);
   a.Join(bed.fleet, m1);
   b.Join(bed.fleet, m1);
-  size_t idx = bed.fleet.PlacementOf(m1);
+  size_t idx = bed.fleet.PlacementOf(m1).home;
   EXPECT_EQ(bed.fleet.LoadOf(idx), 2);
   a.Leave();
   EXPECT_EQ(bed.fleet.LoadOf(idx), 1);
   bed.fleet.EndMeeting(m1);
-  EXPECT_EQ(bed.fleet.PlacementOf(m1), SIZE_MAX);
+  EXPECT_EQ(bed.fleet.PlacementOf(m1).home, SIZE_MAX);
 }
 
 TEST(Fleet, DoubleLeaveDoesNotSkewLoad) {
@@ -126,7 +126,7 @@ TEST(Fleet, DoubleLeaveDoesNotSkewLoad) {
   auto m1 = bed.fleet.CreateMeeting();
   client::Peer& a = bed.AddPeer(1);
   a.Join(bed.fleet, m1);
-  size_t idx = bed.fleet.PlacementOf(m1);
+  size_t idx = bed.fleet.PlacementOf(m1).home;
   EXPECT_EQ(bed.fleet.LoadOf(idx), 1);
   a.Leave();
   EXPECT_EQ(bed.fleet.LoadOf(idx), 0);
@@ -146,7 +146,7 @@ TEST(Fleet, EndMeetingDrainsStillJoinedMembers) {
   client::Peer& b = bed.AddPeer(2);
   a.Join(bed.fleet, m1);
   b.Join(bed.fleet, m1);
-  size_t idx = bed.fleet.PlacementOf(m1);
+  size_t idx = bed.fleet.PlacementOf(m1).home;
   EXPECT_EQ(bed.fleet.LoadOf(idx), 2);
   // Nobody left before the meeting ended: the drain must free both.
   bed.fleet.EndMeeting(m1);
@@ -154,7 +154,7 @@ TEST(Fleet, EndMeetingDrainsStillJoinedMembers) {
   // The freed switch is attractive again: the next meeting lands on it
   // (m2's switch carries one meeting, this one none).
   auto m3 = bed.fleet.CreateMeeting();
-  EXPECT_EQ(bed.fleet.PlacementOf(m3), idx);
+  EXPECT_EQ(bed.fleet.PlacementOf(m3).home, idx);
   (void)m2;
 }
 
@@ -165,10 +165,10 @@ TEST(Fleet, MigrateMeetingMovesPlacementAndCountsRebalance) {
   client::Peer& b = bed.AddPeer(2);
   a.Join(bed.fleet, m1);
   b.Join(bed.fleet, m1);
-  size_t from = bed.fleet.PlacementOf(m1);
+  size_t from = bed.fleet.PlacementOf(m1).home;
   size_t to = 1 - from;
   bed.fleet.MigrateMeeting(m1, to);
-  EXPECT_EQ(bed.fleet.PlacementOf(m1), to);
+  EXPECT_EQ(bed.fleet.PlacementOf(m1).home, to);
   EXPECT_EQ(bed.fleet.stats().placements_rebalanced, 1u);
   // Members' sessions died with the old placement; their load drains and
   // they are no longer members until they re-Join.
@@ -192,9 +192,9 @@ TEST(Fleet, StaleLeaveAfterMigrationCannotKickNewMembers) {
   client::Peer& a = bed.AddPeer(1);
   a.Join(bed.fleet, m1);
   ParticipantId stale_id = a.id();
-  size_t from = bed.fleet.PlacementOf(m1);
+  size_t from = bed.fleet.PlacementOf(m1).home;
   bed.fleet.OnSwitchDown(from);
-  size_t to = bed.fleet.PlacementOf(m1);
+  size_t to = bed.fleet.PlacementOf(m1).home;
   ASSERT_NE(to, from);
 
   client::Peer& b = bed.AddPeer(2);
@@ -212,18 +212,18 @@ TEST(Fleet, OnSwitchDownMigratesToLiveStandby) {
   auto m1 = bed.fleet.CreateMeeting();
   client::Peer& a = bed.AddPeer(1);
   a.Join(bed.fleet, m1);
-  size_t victim = bed.fleet.PlacementOf(m1);
+  size_t victim = bed.fleet.PlacementOf(m1).home;
   bed.fleet.OnSwitchDown(victim);
   EXPECT_FALSE(bed.fleet.IsAlive(victim));
-  EXPECT_EQ(bed.fleet.PlacementOf(m1), 1 - victim);
+  EXPECT_EQ(bed.fleet.PlacementOf(m1).home, 1 - victim);
   EXPECT_EQ(bed.fleet.stats().placements_rebalanced, 1u);
   // New meetings avoid the dead switch until it is revived.
   auto m2 = bed.fleet.CreateMeeting();
-  EXPECT_EQ(bed.fleet.PlacementOf(m2), 1 - victim);
+  EXPECT_EQ(bed.fleet.PlacementOf(m2).home, 1 - victim);
   bed.fleet.ReviveSwitch(victim);
   EXPECT_TRUE(bed.fleet.IsAlive(victim));
   auto m3 = bed.fleet.CreateMeeting();
-  EXPECT_EQ(bed.fleet.PlacementOf(m3), victim);  // restarted and empty
+  EXPECT_EQ(bed.fleet.PlacementOf(m3).home, victim);  // restarted and empty
 }
 
 // ---- FleetTestbed: the multi-switch backend behind the runner ----------
@@ -240,8 +240,8 @@ TEST(FleetTestbed, LeastLoadedSpreadsMeetingsAcrossThreeSwitches) {
   auto m1 = bed.CreateMeeting();
   auto m2 = bed.CreateMeeting();
   auto m3 = bed.CreateMeeting();
-  std::set<size_t> placements{bed.PlacementOf(m1), bed.PlacementOf(m2),
-                              bed.PlacementOf(m3)};
+  std::set<size_t> placements{bed.PlacementOf(m1).home, bed.PlacementOf(m2).home,
+                              bed.PlacementOf(m3).home};
   EXPECT_EQ(placements.size(), 3u) << "3 empty switches must get 1 each";
   // Each switch advertises its own SFU IP.
   EXPECT_NE(bed.fleet().SfuIpOf(0), bed.fleet().SfuIpOf(1));
@@ -251,13 +251,13 @@ TEST(FleetTestbed, LeastLoadedSpreadsMeetingsAcrossThreeSwitches) {
 TEST(FleetTestbed, PlacementIsStableAcrossJoinsAndTime) {
   testbed::FleetTestbed bed(FastStartConfig(), 3);
   auto m1 = bed.CreateMeeting();
-  size_t placed = bed.PlacementOf(m1);
+  size_t placed = bed.PlacementOf(m1).home;
   for (int i = 0; i < 3; ++i) {
     bed.AddPeer().Join(bed.signaling(), m1);
-    EXPECT_EQ(bed.PlacementOf(m1), placed);
+    EXPECT_EQ(bed.PlacementOf(m1).home, placed);
   }
   bed.RunFor(5.0);
-  EXPECT_EQ(bed.PlacementOf(m1), placed);
+  EXPECT_EQ(bed.PlacementOf(m1).home, placed);
   EXPECT_EQ(bed.fleet().LoadOf(placed), 3);
   // Media flowed through the hosting switch only.
   EXPECT_GT(bed.sw(placed).stats().packets_in, 1'000u);
@@ -269,14 +269,140 @@ TEST(FleetTestbed, PlacementIsStableAcrossJoinsAndTime) {
 TEST(FleetTestbed, EndMeetingFreesCapacityForPlacement) {
   testbed::FleetTestbed bed(FastStartConfig(), 3);
   auto m1 = bed.CreateMeeting();
-  size_t placed = bed.PlacementOf(m1);
+  size_t placed = bed.PlacementOf(m1).home;
   client::Peer& a = bed.AddPeer();
   client::Peer& b = bed.AddPeer();
   a.Join(bed.signaling(), m1);
   b.Join(bed.signaling(), m1);
   bed.fleet().EndMeeting(m1);
   EXPECT_EQ(bed.fleet().LoadOf(placed), 0);
-  EXPECT_EQ(bed.PlacementOf(m1), SIZE_MAX);
+  EXPECT_EQ(bed.PlacementOf(m1).home, SIZE_MAX);
+}
+
+// ---- cascaded placements (paper Appendix A) -----------------------------
+
+testbed::TestbedConfig CascadeConfig(int max_per_switch) {
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.placement = PlacementPolicyConfig::Cascade(max_per_switch);
+  return cfg;
+}
+
+TEST(Cascade, PolicySplitsLargeMeetingsAcrossSwitches) {
+  testbed::FleetTestbed bed(CascadeConfig(2), 3);
+  auto m1 = bed.CreateMeeting();
+  for (int i = 0; i < 4; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+  MeetingPlacement placement = bed.PlacementOf(m1);
+  ASSERT_TRUE(placement.valid());
+  ASSERT_EQ(placement.spans.size(), 1u);
+  EXPECT_EQ(placement.home_participants.size(), 2u);
+  EXPECT_EQ(placement.spans[0].participants.size(), 2u);
+  EXPECT_NE(placement.spans[0].switch_index, placement.home);
+  // Load accounting follows the homing, not the meeting.
+  EXPECT_EQ(bed.fleet().LoadOf(placement.home), 2);
+  EXPECT_EQ(bed.fleet().LoadOf(placement.spans[0].switch_index), 2);
+  // Each remote sender's media crosses the inter-switch relay exactly
+  // once per span: one relay per (origin, downstream switch) pair — two
+  // home senders relayed down, two span senders relayed up, no dupes.
+  auto relays = bed.fleet().RelaysOf(m1);
+  ASSERT_EQ(relays.size(), 4u);
+  std::set<std::pair<ParticipantId, size_t>> unique;
+  for (const auto& r : relays) unique.insert({r.origin, r.downstream});
+  EXPECT_EQ(unique.size(), relays.size());
+  EXPECT_EQ(bed.fleet().stats().relay_spans_installed, 1u);
+}
+
+TEST(Cascade, LeastLoadedDefaultNeverSpans) {
+  testbed::FleetTestbed bed(FastStartConfig(), 3);
+  auto m1 = bed.CreateMeeting();
+  for (int i = 0; i < 5; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+  MeetingPlacement placement = bed.PlacementOf(m1);
+  EXPECT_TRUE(placement.spans.empty());
+  EXPECT_EQ(placement.home_participants.size(), 5u);
+  EXPECT_TRUE(bed.fleet().RelaysOf(m1).empty());
+  EXPECT_EQ(bed.cascade_counters().spans_installed, 0u);
+}
+
+TEST(Cascade, CascadedMeetingDeliversAcrossTheRelay) {
+  testbed::FleetTestbed bed(CascadeConfig(2), 2);
+  auto m1 = bed.CreateMeeting();
+  for (int i = 0; i < 4; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+  bed.RunFor(8.0);
+  // Every peer sees 3 remote senders — switch-local peers under their
+  // real ids, cross-switch peers under relay-sender ids — and decodes
+  // all of them with gap-free sequence rewriting across the relay hop.
+  for (auto& peer : bed.peers()) {
+    auto senders = peer->remote_senders();
+    ASSERT_EQ(senders.size(), 3u);
+    for (auto s : senders) {
+      const auto* rx = peer->video_receiver(s);
+      ASSERT_NE(rx, nullptr);
+      EXPECT_GT(rx->stats().frames_decoded, 100u);
+      EXPECT_EQ(rx->stats().decoder_breaks, 0u);
+      EXPECT_EQ(rx->stats().conflicting_duplicates, 0u);
+      ASSERT_NE(peer->audio_receiver(s), nullptr);
+      EXPECT_GT(peer->audio_receiver(s)->packets_received(), 100u);
+    }
+  }
+  // Media actually crossed the inter-switch relay, and both switches
+  // carried traffic.
+  testbed::CascadeCounters cc = bed.cascade_counters();
+  EXPECT_EQ(cc.spans_installed, 1u);
+  EXPECT_GT(cc.relay_packets, 1'000u);
+  EXPECT_GT(cc.relay_bytes, cc.relay_packets);  // > 1 byte per packet
+  EXPECT_GT(bed.sw(0).stats().packets_in, 1'000u);
+  EXPECT_GT(bed.sw(1).stats().packets_in, 1'000u);
+}
+
+TEST(Cascade, EndMeetingNotifiesSpanMembersOfRelayedSenders) {
+  // Ending a cascaded meeting with everyone still joined: span members'
+  // clients must learn that the relayed (cross-switch) senders are gone
+  // too — their switch-local controller never knew those senders, so the
+  // fleet delivers the notification. Without it they keep stale receive
+  // legs toward SFU ports that no longer exist.
+  testbed::FleetTestbed bed(CascadeConfig(2), 2);
+  auto m1 = bed.CreateMeeting();
+  std::vector<client::Peer*> peers;
+  for (int i = 0; i < 4; ++i) {
+    peers.push_back(&bed.AddPeer());
+    peers.back()->Join(bed.signaling(), m1);
+  }
+  bed.RunFor(1.0);
+  ASSERT_EQ(bed.PlacementOf(m1).spans.size(), 1u);
+  for (auto* p : peers) ASSERT_EQ(p->remote_senders().size(), 3u);
+
+  bed.fleet().EndMeeting(m1);
+  for (auto* p : peers) {
+    EXPECT_TRUE(p->remote_senders().empty())
+        << "peer " << p->id() << " kept stale legs after EndMeeting";
+  }
+  EXPECT_EQ(bed.PlacementOf(m1).home, SIZE_MAX);
+  EXPECT_EQ(bed.fleet().LoadOf(0), 0);
+  EXPECT_EQ(bed.fleet().LoadOf(1), 0);
+}
+
+TEST(Cascade, SpanDrainsWhenItsMembersLeave) {
+  testbed::FleetTestbed bed(CascadeConfig(2), 2);
+  auto m1 = bed.CreateMeeting();
+  std::vector<client::Peer*> peers;
+  for (int i = 0; i < 4; ++i) {
+    peers.push_back(&bed.AddPeer());
+    peers.back()->Join(bed.signaling(), m1);
+  }
+  bed.RunFor(2.0);
+  ASSERT_EQ(bed.PlacementOf(m1).spans.size(), 1u);
+  // The span's two members leave: the relay wiring and the span itself
+  // drain, and the home pair's legs toward the relayed senders are gone.
+  peers[2]->Leave();
+  peers[3]->Leave();
+  MeetingPlacement placement = bed.PlacementOf(m1);
+  EXPECT_TRUE(placement.spans.empty());
+  EXPECT_TRUE(bed.fleet().RelaysOf(m1).empty());
+  EXPECT_EQ(bed.fleet().stats().relay_spans_removed, 1u);
+  EXPECT_EQ(bed.fleet().LoadOf(placement.home), 2);
+  bed.RunFor(2.0);
+  EXPECT_EQ(peers[0]->remote_senders().size(), 1u);
+  EXPECT_GT(peers[0]->video_receiver(peers[1]->id())->stats().frames_decoded,
+            100u);
 }
 
 }  // namespace
@@ -301,11 +427,11 @@ TEST(FleetScenario, FailoverMigratesMeetingToStandby) {
   core::MeetingId meeting = runner.meeting_id(0);
 
   runner.RunUntil(7.9);
-  size_t before = runner.fleet().PlacementOf(meeting);
+  size_t before = runner.fleet().PlacementOf(meeting).home;
   ASSERT_NE(before, SIZE_MAX);
 
   const ScenarioMetrics& m = runner.Run();
-  size_t after = runner.fleet().PlacementOf(meeting);
+  size_t after = runner.fleet().PlacementOf(meeting).home;
   ASSERT_NE(after, SIZE_MAX);
   EXPECT_NE(after, before) << "meeting must move off the failed switch";
   EXPECT_TRUE(runner.fleet().fleet().IsAlive(before)) << "victim restarted";
@@ -324,6 +450,125 @@ TEST(FleetScenario, FailoverMigratesMeetingToStandby) {
   ASSERT_EQ(m.switches.size(), 2u);
   EXPECT_EQ(m.meetings[0].placement, static_cast<int>(after));
   EXPECT_NE(m.ToCsv().find("fleet,backend,fleet{2}"), std::string::npos);
+}
+
+// Acceptance scenario (ISSUE 4): a fleet{3} with the cascade policy splits
+// one 4-party meeting across 2 switches — every peer delivers with no
+// rewrite violations, and each remote sender's media crosses the
+// inter-switch relay exactly once per span.
+TEST(CascadeScenario, Fleet3CascadedMeetingDeliversEverywhere) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("cascade-split", 1, 4, 12.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(2));
+  ScenarioRunner runner(spec);
+  const ScenarioMetrics& m = runner.Run();
+
+  // The plan: home + one relay span, 2 participants each, third switch
+  // untouched.
+  core::MeetingPlacement placement =
+      runner.fleet().PlacementOf(runner.meeting_id(0));
+  ASSERT_TRUE(placement.valid());
+  ASSERT_EQ(placement.spans.size(), 1u);
+  EXPECT_EQ(placement.home_participants.size(), 2u);
+  EXPECT_EQ(placement.spans[0].participants.size(), 2u);
+  EXPECT_EQ(m.meetings[0].spans, 1);
+
+  // Everyone delivers, and rewriting stays gap-free across the relay hop.
+  EXPECT_GE(m.WorstDeliveryFloor(), 250u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
+  EXPECT_EQ(m.blackholed, 0u);
+
+  // Each remote sender's media crosses the inter-switch relay exactly
+  // once per span: one relay per (origin, downstream switch) pair.
+  auto relays = runner.fleet().fleet().RelaysOf(runner.meeting_id(0));
+  ASSERT_EQ(relays.size(), 4u);
+  std::set<std::pair<core::ParticipantId, size_t>> unique;
+  for (const auto& r : relays) unique.insert({r.origin, r.downstream});
+  EXPECT_EQ(unique.size(), relays.size());
+
+  // The cascade section reports the crossing traffic, and only the two
+  // spanned switches carried media.
+  EXPECT_EQ(m.cascade.spans_installed, 1u);
+  EXPECT_GT(m.cascade.relay_packets, 1'000u);
+  EXPECT_NE(m.ToCsv().find("cascade,spans_installed"), std::string::npos);
+  ASSERT_EQ(m.switches.size(), 3u);
+  int idle_switches = 0;
+  for (const auto& s : m.switches) {
+    if (s.participants == 0) {
+      ++idle_switches;
+      EXPECT_EQ(s.packets_in, 0u);
+    } else {
+      EXPECT_EQ(s.participants, 2);
+      EXPECT_GT(s.packets_in, 1'000u);
+    }
+  }
+  EXPECT_EQ(idle_switches, 1);
+}
+
+// Churn on a cascaded meeting: a span member and a home member each
+// leave and rejoin mid-run. Legs toward relayed senders (known under
+// relay-sender aliases on the far switch) are torn down and renegotiated,
+// the timeline stays monotone (alias banking), and nobody starves.
+TEST(CascadeScenario, ChurnOnSpanAndHomeMembersRecovers) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("cascade-churn", 1, 4, 14.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(2));
+  spec.WithLeave(0, 3, 5.0, 8.0);  // span member churns
+  spec.WithLeave(0, 1, 6.0, 9.0);  // home member churns
+  ScenarioRunner runner(spec);
+  const ScenarioMetrics& m = runner.Run();
+
+  EXPECT_GE(m.WorstDeliveryFloor(), 100u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
+  for (size_t i = 1; i < m.timeline.size(); ++i) {
+    EXPECT_GE(m.timeline[i].frames_decoded_total,
+              m.timeline[i - 1].frames_decoded_total)
+        << "cumulative frames dipped at sample " << i
+        << " — cross-switch legs not banked on churn";
+  }
+  // The rejoiners landed back on the plan: 2 + 2 across home and span.
+  core::MeetingPlacement placement =
+      runner.fleet().PlacementOf(runner.meeting_id(0));
+  ASSERT_EQ(placement.spans.size(), 1u);
+  EXPECT_EQ(placement.home_participants.size(), 2u);
+  EXPECT_EQ(placement.spans[0].participants.size(), 2u);
+}
+
+// Failover on a cascaded meeting: the home (hub) switch dies, the fleet
+// collapses the plan onto a standby, and the policy re-spans the meeting
+// as its members re-join — delivery recovers everywhere.
+TEST(CascadeScenario, FailoverReplansSpans) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("cascade-failover", 1, 4, 18.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.max_bitrate_bps = 1'500'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(2));
+  spec.WithFailover(8.0);
+
+  ScenarioRunner runner(spec);
+  runner.RunUntil(7.9);
+  size_t home_before = runner.fleet().PlacementOf(runner.meeting_id(0)).home;
+  ASSERT_NE(home_before, SIZE_MAX);
+
+  const ScenarioMetrics& m = runner.Run();
+  core::MeetingPlacement after =
+      runner.fleet().PlacementOf(runner.meeting_id(0));
+  ASSERT_TRUE(after.valid());
+  EXPECT_NE(after.home, home_before) << "hub must move off the dead switch";
+  // Re-joined 4-strong under max 2 per switch: the plan spans again.
+  ASSERT_EQ(after.spans.size(), 1u);
+  EXPECT_EQ(runner.fleet().fleet().RelaysOf(runner.meeting_id(0)).size(), 4u);
+  // The old spans were torn down and fresh ones installed.
+  EXPECT_GE(m.cascade.spans_installed, 2u);
+  EXPECT_GE(m.cascade.spans_removed, 1u);
+
+  EXPECT_GE(m.WorstDeliveryFloor(), 200u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
 }
 
 }  // namespace

@@ -203,6 +203,54 @@ sample,2.00,354,0,0,1
   EXPECT_EQ(runner.Run().ToCsv(), kPreRedesignCsv);
 }
 
+// The fleet sections — per-switch rows, the placement map (with span
+// counts), the cascade and control sections — are pinned byte-for-byte
+// for the same smoke scenario on a 2-switch fleet with the default
+// LeastLoaded policy. If this fails, fleet placement, the control plane
+// or the cascade accounting silently drifted.
+TEST(Determinism, Fleet2CsvMatchesGoldenPin) {
+  const char* kFleetGoldenCsv =
+      R"(scenario,bench-smoke,seed,1,duration_s,2.00
+aggregate,switch_in,switch_out,replicas,seq_rewritten,seq_dropped,svc_suppressed,remb_filtered,remb_forwarded,dt_changes,filter_flips,trees_built,migrations,cpu_packets,blackholed
+aggregate,1121,2179,2158,0,0,0,21,21,0,0,1,1,75,0
+fleet,backend,fleet{2},placements_rebalanced,0
+switch,index,alive,meetings,participants,packets_in,packets_out,replicas
+switch,0,1,1,3,1121,2179,2158
+switch,1,1,0,0,0,0,0
+placement,meeting_index,switch,spans
+placement,0,0,0
+cascade,spans_installed,spans_removed,relay_packets,relay_bytes,relay_dt_changes
+cascade,0,0,0,0,0
+control,commands_sent,commands_applied,commands_dropped,events_sent,events_delivered,events_dropped,heartbeats_seen,heartbeats_missed,load_reports,switches_failed,rebalance_migrations
+control,10,10,0,88,88,0,80,0,8,0,0
+meeting,index,id,final_design,participants_at_end
+meeting,0,1,NRA,3
+peer,meeting,index,id,profile,present,seconds,frames_sent,audio_rx,min_frames,max_frames,streams,breaks,conflicts
+peer,0,0,1,default,1,2.00,60,198,59,59,2,0,0
+peer,0,1,2,default,1,2.00,60,198,59,59,2,0,0
+peer,0,2,3,default,1,2.00,60,198,59,59,2,0,0
+stream,meeting,receiver,receiver_id,sender_id,packets,bytes,decoded,undecodable,breaks,conflicts,nacks,recovered,freeze_ms,fps
+stream,0,0,1,2,252,261456,59,0,0,0,0,17,0.00,19.67
+stream,0,0,1,3,248,258355,59,0,0,0,0,10,0.00,19.67
+stream,0,1,2,1,252,261794,59,0,0,0,0,9,0.00,19.67
+stream,0,1,2,3,248,258355,59,0,0,0,0,11,0.00,19.67
+stream,0,2,3,1,252,261794,59,0,0,0,0,10,0.00,19.67
+stream,0,2,3,2,252,261456,59,0,0,0,0,17,0.00,19.67
+sample,t_s,frames_decoded,seq_rewritten,dt_changes,migrations
+sample,0.50,84,0,0,1
+sample,1.00,174,0,0,1
+sample,1.50,264,0,0,1
+sample,2.00,354,0,0,1
+)";
+  // The bench_smoke scenario on the 2-switch fleet backend, verbatim.
+  ScenarioSpec spec = ScenarioSpec::Uniform("bench-smoke", 1, 3, 2.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.sample_interval_s = 0.5;
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  ScenarioRunner runner(spec);
+  EXPECT_EQ(runner.Run().ToCsv(), kFleetGoldenCsv);
+}
+
 TEST(Determinism, SameSpecAndSeedIsByteIdentical) {
   ScenarioSpec spec = DemandingSpec(42);
   std::string first, second;
