@@ -115,6 +115,64 @@ int main() {
     }
   }
 
+  // Constrained backbone (ISSUE 5): a fleet{4} meeting over a linear
+  // A—B—C—D backbone (2 ms / 12 Mb/s per link) under the topology-aware
+  // planner must come out as a depth-3 relay tree that respects every
+  // link's capacity, starve nobody — and spend strictly less backbone
+  // bandwidth than the hub-and-spoke plan for the same scenario.
+  {
+    auto backbone_spec = [](const char* name,
+                            core::PlacementPolicyConfig policy) {
+      harness::ScenarioSpec spec =
+          harness::ScenarioSpec::Uniform(name, 1, 4, 4.0);
+      spec.base.peer.encoder.start_bitrate_bps = 700'000;
+      spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+      spec.sample_interval_s = 0.5;
+      spec.WithBackend(testbed::BackendChoice::Fleet(4));
+      spec.WithPlacementPolicy(policy);
+      spec.WithInterSwitchLink(0, 1, 0.002, 12e6)
+          .WithInterSwitchLink(1, 2, 0.002, 12e6)
+          .WithInterSwitchLink(2, 3, 0.002, 12e6);
+      return spec;
+    };
+    auto backbone_bytes = [](const harness::ScenarioMetrics& m) {
+      uint64_t total = 0;
+      for (const auto& l : m.topology.links) total += l.relay_bytes;
+      return total;
+    };
+
+    harness::ScenarioRunner tree_runner(backbone_spec(
+        "smoke-backbone-tree", core::PlacementPolicyConfig::TopologyAware(1)));
+    const harness::ScenarioMetrics& tree = tree_runner.Run();
+    std::printf("[fleet{4}+backbone tree]\n%s", tree.Summary().c_str());
+    DumpCsv("smoke-backbone-tree", tree);
+
+    harness::ScenarioRunner hub_runner(backbone_spec(
+        "smoke-backbone-hub", core::PlacementPolicyConfig::Cascade(1)));
+    const harness::ScenarioMetrics& hub = hub_runner.Run();
+    std::printf("[fleet{4}+backbone hub]\n%s", hub.Summary().c_str());
+    DumpCsv("smoke-backbone-hub", hub);
+
+    bool capacity_ok = true;
+    for (const auto& l : tree.topology.links) {
+      if (l.capacity_bps > 0.0 && l.load_bps > l.capacity_bps) {
+        std::printf("planner overloaded link %zu-%zu (%.0f > %.0f bps)\n",
+                    l.a, l.b, l.load_bps, l.capacity_bps);
+        capacity_ok = false;
+      }
+    }
+    if (!capacity_ok || tree.topology.max_depth != 3 ||
+        tree.WorstDeliveryFloor() < 10 || tree.RewriteViolations() != 0 ||
+        backbone_bytes(tree) == 0 ||
+        backbone_bytes(tree) >= backbone_bytes(hub)) {
+      std::printf("SMOKE FAILED on the constrained-backbone scenario "
+                  "(tree=%llu hub=%llu backbone bytes)\n",
+                  static_cast<unsigned long long>(backbone_bytes(tree)),
+                  static_cast<unsigned long long>(backbone_bytes(hub)));
+      ok = false;
+    }
+  }
+
   if (!ok) return 1;
   std::printf("SMOKE OK\n");
   return 0;

@@ -11,6 +11,13 @@
 //
 // Act 2 — the contrast: the same six participants under the default
 // LeastLoaded policy land on one switch; the other two idle.
+//
+// Act 3 — the backbone: a 4-party meeting on a fleet{4} whose switches
+// form a linear backbone A—B—C—D (2 ms per hop). The topology-aware
+// planner grows a depth-3 relay tree (each stream crosses each backbone
+// link exactly once); the topology-blind hub-and-spoke plan star-homes
+// every span on A and pays for the same streams to transit the middle
+// links over and over — roughly twice the backbone bytes.
 #include <cstdio>
 
 #include "harness/runner.hpp"
@@ -69,6 +76,53 @@ int main() {
     harness::ScenarioRunner runner(spec);
     const harness::ScenarioMetrics& m = runner.Run();
     PrintPlan("Act 2: LeastLoaded — one switch carries everyone", runner, m);
+  }
+
+  // Act 3: relay trees vs hub-and-spoke over a linear backbone.
+  {
+    auto backbone_spec = [](const char* name,
+                            core::PlacementPolicyConfig policy) {
+      harness::ScenarioSpec spec =
+          harness::ScenarioSpec::Uniform(name, 1, 4, 8.0);
+      spec.base.peer.encoder.start_bitrate_bps = 700'000;
+      spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+      spec.WithBackend(testbed::BackendChoice::Fleet(4));
+      spec.WithPlacementPolicy(policy);
+      spec.WithInterSwitchLink(0, 1, 0.002, 12e6)
+          .WithInterSwitchLink(1, 2, 0.002, 12e6)
+          .WithInterSwitchLink(2, 3, 0.002, 12e6);
+      return spec;
+    };
+    uint64_t totals[2] = {0, 0};
+    const core::PlacementPolicyConfig policies[2] = {
+        core::PlacementPolicyConfig::TopologyAware(1),
+        core::PlacementPolicyConfig::Cascade(1),
+    };
+    const char* labels[2] = {
+        "Act 3a: TopologyAware — depth-3 relay tree along the backbone",
+        "Act 3b: Cascade — hub-and-spoke transits the middle links twice",
+    };
+    for (int i = 0; i < 2; ++i) {
+      harness::ScenarioRunner runner(
+          backbone_spec(i == 0 ? "backbone-tree" : "backbone-hub",
+                        policies[i]));
+      const harness::ScenarioMetrics& m = runner.Run();
+      PrintPlan(labels[i], runner, m);
+      for (const auto& l : m.topology.links) {
+        std::printf("  backbone s%zu—s%zu: %.0f bps planned load "
+                    "(%.0f%% of capacity), %llu bytes crossed\n",
+                    l.a, l.b, l.load_bps, l.utilization * 100.0,
+                    static_cast<unsigned long long>(l.relay_bytes));
+        totals[i] += l.relay_bytes;
+      }
+    }
+    std::printf("\n  backbone bytes: tree %llu vs hub %llu (%.1fx)\n",
+                static_cast<unsigned long long>(totals[0]),
+                static_cast<unsigned long long>(totals[1]),
+                totals[0] > 0
+                    ? static_cast<double>(totals[1]) /
+                          static_cast<double>(totals[0])
+                    : 0.0);
   }
 
   return 0;

@@ -32,6 +32,75 @@ void ControlChannel::Dispatch(std::function<void()> apply) {
   });
 }
 
+namespace {
+// Retransmissions fire at most 2x latency + this margin after the
+// original send; a tombstone older than twice that window cannot cancel
+// anything.
+constexpr util::DurationUs kRetransmitMargin = util::Millis(20);
+}  // namespace
+
+void ControlChannel::DispatchReliable(std::function<void()> apply,
+                                      std::function<bool()> still_wanted) {
+  ++stats_.commands_sent;
+  // The command's and its ack's fates are decided up front (iid loss both
+  // ways); no draws happen on a lossless channel, which keeps zero-loss
+  // packet histories byte-identical to plain Dispatch.
+  const bool lost = cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate);
+  const bool ack_lost =
+      cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate);
+  if (lost) {
+    ++stats_.commands_dropped;
+  } else if (cfg_.latency <= 0) {
+    ++stats_.commands_applied;
+    apply();
+  } else {
+    sched_.After(cfg_.latency, [this, fn = apply] {
+      ++stats_.commands_applied;
+      fn();
+    });
+  }
+  if (!lost && !ack_lost) return;  // acked in time: done
+
+  // Ack timeout: one bounded retransmission. The command races commands
+  // sent after the original — exactly the reordering a real retransmitting
+  // southbound channel exhibits — so the reliable vocabulary is
+  // idempotent on the agent.
+  const util::DurationUs rto = 2 * cfg_.latency + kRetransmitMargin;
+  sched_.After(rto, [this, fn = std::move(apply),
+                     wanted = std::move(still_wanted)] {
+    // A removal issued since the original send cancels the retransmission
+    // — re-applying would resurrect state the controller tore down.
+    if (wanted != nullptr && !wanted()) return;
+    ++stats_.commands_retransmitted;
+    ++stats_.commands_sent;
+    if (cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate)) {
+      ++stats_.commands_dropped;
+      return;
+    }
+    if (cfg_.latency <= 0) {
+      ++stats_.commands_applied;
+      fn();
+      return;
+    }
+    sched_.After(cfg_.latency, [this, fn2 = std::move(fn)] {
+      ++stats_.commands_applied;
+      fn2();
+    });
+  });
+}
+
+template <typename Id>
+void ControlChannel::Tombstone(std::map<Id, util::TimeUs>& removed, Id id) {
+  if (removed.size() > 64) {
+    const util::DurationUs window = 2 * (2 * cfg_.latency + kRetransmitMargin);
+    const util::TimeUs cutoff = sched_.now() - window;
+    for (auto it = removed.begin(); it != removed.end();) {
+      it = it->second < cutoff ? removed.erase(it) : std::next(it);
+    }
+  }
+  removed[id] = sched_.now();
+}
+
 void ControlChannel::Emit(std::function<void()> deliver) {
   ++stats_.events_sent;
   if (cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate)) {
@@ -50,11 +119,14 @@ void ControlChannel::Emit(std::function<void()> deliver) {
 }
 
 void ControlChannel::CreateMeeting(MeetingId id) {
-  Dispatch([this, id] { agent_.CreateMeeting(id); });
+  removed_meetings_.erase(id);
+  DispatchReliable([this, id] { agent_.CreateMeeting(id); },
+                   [this, id] { return removed_meetings_.count(id) == 0; });
 }
 
 void ControlChannel::RemoveMeeting(MeetingId id) {
-  Dispatch([this, id] { agent_.RemoveMeeting(id); });
+  Tombstone(removed_meetings_, id);
+  DispatchReliable([this, id] { agent_.RemoveMeeting(id); });
 }
 
 uint16_t ControlChannel::AddParticipant(MeetingId meeting, ParticipantId id,
@@ -72,6 +144,11 @@ uint16_t ControlChannel::AddParticipant(MeetingId meeting, ParticipantId id,
 }
 
 void ControlChannel::RemoveParticipant(MeetingId meeting, ParticipantId id) {
+  // Relay teardown also flows through here (RemoveSenderRelays removes
+  // pseudo-participants one by one); tombstone the id so a pending
+  // AddRelaySender/AddRelayLeg retransmission cannot resurrect it. Ids
+  // are fleet-globally unique, so tombstoning real members is harmless.
+  Tombstone(removed_relays_, id);
   Dispatch([this, meeting, id] { agent_.RemoveParticipant(meeting, id); });
 }
 
@@ -106,11 +183,17 @@ uint16_t ControlChannel::AddRelaySender(MeetingId meeting, ParticipantId id,
                                         uint32_t audio_ssrc, bool sends_video,
                                         bool sends_audio) {
   uint16_t port = next_port_++;
-  Dispatch([this, meeting, id, upstream_src, video_ssrc, audio_ssrc,
-            sends_video, sends_audio, port] {
-    agent_.AddRelaySender(meeting, id, upstream_src, video_ssrc, audio_ssrc,
-                          sends_video, sends_audio, port);
-  });
+  removed_relays_.erase(id);
+  DispatchReliable(
+      [this, meeting, id, upstream_src, video_ssrc, audio_ssrc, sends_video,
+       sends_audio, port] {
+        agent_.AddRelaySender(meeting, id, upstream_src, video_ssrc,
+                              audio_ssrc, sends_video, sends_audio, port);
+      },
+      [this, id, meeting] {
+        return removed_relays_.count(id) == 0 &&
+               removed_meetings_.count(meeting) == 0;
+      });
   return port;
 }
 
@@ -120,15 +203,23 @@ uint16_t ControlChannel::AddRelayLeg(MeetingId meeting,
                                      net::Endpoint downstream_sfu,
                                      uint16_t assigned_port) {
   uint16_t port = assigned_port != 0 ? assigned_port : next_port_++;
-  Dispatch([this, meeting, relay_receiver, sender, downstream_sfu, port] {
-    agent_.AddRelayLeg(meeting, relay_receiver, sender, downstream_sfu, port);
-  });
+  removed_relays_.erase(relay_receiver);
+  DispatchReliable(
+      [this, meeting, relay_receiver, sender, downstream_sfu, port] {
+        agent_.AddRelayLeg(meeting, relay_receiver, sender, downstream_sfu,
+                           port);
+      },
+      [this, relay_receiver, meeting] {
+        return removed_relays_.count(relay_receiver) == 0 &&
+               removed_meetings_.count(meeting) == 0;
+      });
   return port;
 }
 
 void ControlChannel::RemoveRelaySpan(MeetingId meeting,
                                      std::vector<ParticipantId> relay_ids) {
-  Dispatch([this, meeting, ids = std::move(relay_ids)] {
+  for (ParticipantId id : relay_ids) Tombstone(removed_relays_, id);
+  DispatchReliable([this, meeting, ids = std::move(relay_ids)] {
     agent_.RemoveRelaySpan(meeting, ids);
   });
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -51,9 +52,10 @@ struct SwitchLoadReport {
 };
 
 struct ControlChannelStats {
-  uint64_t commands_sent = 0;     // controller -> switch API calls
+  uint64_t commands_sent = 0;     // controller -> switch sends (incl. retx)
   uint64_t commands_applied = 0;  // reached the agent
   uint64_t commands_dropped = 0;  // lost on the channel
+  uint64_t commands_retransmitted = 0;  // unacked reliable commands resent
   uint64_t events_sent = 0;       // heartbeats + load reports emitted
   uint64_t events_delivered = 0;
   uint64_t events_dropped = 0;
@@ -139,6 +141,21 @@ class ControlChannel {
  private:
   // Applies (or schedules, or drops) one southbound command.
   void Dispatch(std::function<void()> apply);
+  // Acknowledged dispatch for the meeting/relay vocabulary: the switch
+  // acks an applied command (the ack rides the same lossy channel), and a
+  // command whose ack never arrives is retransmitted exactly once after
+  // 2x the channel latency plus a fixed margin. Bounded on purpose — a
+  // doubly lost command is still lost, it just can no longer *silently*
+  // strand a relay span on a mildly lossy control plane. Retransmission
+  // means the agent may see a command twice (command delivered, ack
+  // lost), so the reliable vocabulary is idempotent on the agent; and
+  // because the retransmission fires after the RTO, a removal issued in
+  // between must cancel it — `still_wanted` is checked at fire time so a
+  // late duplicate cannot resurrect state the controller already tore
+  // down (ghost meetings, leaked relay senders). Zero-loss channels take
+  // no extra RNG draws and behave byte-identically to Dispatch.
+  void DispatchReliable(std::function<void()> apply,
+                        std::function<bool()> still_wanted = nullptr);
   // Delivers (or schedules, or drops) one northbound event.
   void Emit(std::function<void()> deliver);
   void SendHeartbeat();
@@ -149,6 +166,17 @@ class ControlChannel {
   ControlChannelConfig cfg_;
   util::Rng rng_;
   uint16_t next_port_;
+
+  // Entities the controller has removed, stamped with removal time:
+  // retransmission-cancellation state for the reliable vocabulary (ids
+  // are never reused; re-creates erase their tombstone). A tombstone
+  // only matters until the removed entity's own retransmission window
+  // has passed, so inserts lazily prune entries older than that — the
+  // maps stay bounded by recent churn, not lifetime churn.
+  std::map<MeetingId, util::TimeUs> removed_meetings_;
+  std::map<ParticipantId, util::TimeUs> removed_relays_;
+  template <typename Id>
+  void Tombstone(std::map<Id, util::TimeUs>& removed, Id id);
 
   EventSink* sink_ = nullptr;
   size_t switch_index_ = 0;

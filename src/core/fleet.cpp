@@ -27,6 +27,7 @@ size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip) {
   member->last_heartbeat = sched_->now();
   switches_.push_back(std::move(member));
   const size_t index = switches_.size() - 1;
+  topology_.EnsureNodes(switches_.size());
   channel.Subscribe(this, index);
   if (detector_task_ == nullptr && channel.config().heartbeat_interval > 0) {
     detector_task_ = std::make_unique<sim::PeriodicTask>(
@@ -41,6 +42,77 @@ size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip) {
 void FleetController::SetPlacementPolicy(
     std::unique_ptr<PlacementPolicy> policy) {
   if (policy != nullptr) policy_ = std::move(policy);
+  policy_->BindTopology(&topology_);
+  policy_->SetStreamEstimate(relay_stream_bps_);
+}
+
+void FleetController::set_relay_stream_bps(double bps) {
+  relay_stream_bps_ = bps;
+  policy_->SetStreamEstimate(bps);
+}
+
+void FleetController::ConfigureInterSwitchLink(size_t a, size_t b,
+                                               double latency_s,
+                                               double capacity_bps) {
+  topology_.EnsureNodes(switches_.size());
+  topology_.SetLink(a, b, latency_s, capacity_bps);
+}
+
+void FleetController::SetInterSwitchLinkCapacity(size_t a, size_t b,
+                                                 double capacity_bps) {
+  topology_.SetLinkCapacity(a, b, capacity_bps);
+  ReplanOverloadedLinks();
+}
+
+void FleetController::ReplanOverloadedLinks() {
+  auto crosses = [](const MeetingRelay& r, std::pair<size_t, size_t> link) {
+    for (size_t i = 0; i + 1 < r.backbone_path.size(); ++i) {
+      size_t a = r.backbone_path[i], b = r.backbone_path[i + 1];
+      if (a > b) std::swap(a, b);
+      if (a == link.first && b == link.second) return true;
+    }
+    return false;
+  };
+  // Collapse one subtree riding an overloaded link at a time, re-checking
+  // the overload set after every collapse: an earlier collapse may have
+  // already relieved the link, and blacking out further meetings for a
+  // link that is back under budget would be a needless renegotiation.
+  // Each collapse removes at least one span, which bounds the loop.
+  for (size_t guard = meetings_.size() * switches_.size() + 1; guard > 0;
+       --guard) {
+    const auto overloaded = topology_.OverloadedLinks();
+    if (overloaded.empty()) return;
+    bool collapsed = false;
+    for (auto& [meeting, st] : meetings_) {
+      size_t child = SIZE_MAX;
+      for (const MeetingRelay& r : st.relays) {
+        for (const auto& link : overloaded) {
+          if (!crosses(r, link)) continue;
+          // The child side of the tree edge is whichever end is deeper.
+          const size_t up_d = st.placement.DepthOf(r.upstream);
+          const size_t down_d = st.placement.DepthOf(r.downstream);
+          child = down_d != SIZE_MAX && (up_d == SIZE_MAX || down_d > up_d)
+                      ? r.downstream
+                      : r.upstream;
+          break;
+        }
+        if (child != SIZE_MAX) break;
+      }
+      if (child == SIZE_MAX || child == st.placement.home ||
+          st.placement.SpanOn(child) == nullptr) {
+        continue;
+      }
+      ++stats_.relay_replans;
+      if (migration_cb_) migration_cb_(meeting, child, st.placement.home);
+      TearDownSpan(st, child, /*switch_dead=*/false);
+      frozen_.insert(meeting);
+      collapsed = true;
+      break;  // re-evaluate the overload set before touching more state
+    }
+    // Overloaded links none of our relays cross (load floor artifacts)
+    // cannot be relieved by collapsing anything; stop rather than spin.
+    if (!collapsed) return;
+  }
 }
 
 void FleetController::OnHeartbeat(size_t switch_index) {
@@ -201,36 +273,66 @@ RelaySpan& FleetController::EnsureSpan(MeetingState& st,
   for (RelaySpan& span : st.placement.spans) {
     if (span.switch_index == switch_index) return span;
   }
+  // The policy parents the new span onto the tree (home by default —
+  // hub-and-spoke; a topology-aware policy may hang it off another span).
+  size_t parent = policy_->ChooseSpanParent(st.placement, switch_index);
+  const bool parent_on_plan =
+      parent == st.placement.home || st.placement.SpanOn(parent) != nullptr;
+  if (!parent_on_plan || parent == switch_index) parent = st.placement.home;
+
   RelaySpan span;
   span.switch_index = switch_index;
+  span.parent = parent == st.placement.home ? SIZE_MAX : parent;
   span.local_meeting = switches_[switch_index]->controller->CreateMeeting();
   st.placement.spans.push_back(std::move(span));
   ++switches_[switch_index]->meetings;
   ++stats_.relay_spans_installed;
 
-  // Route every existing sender's stream into the new span, so its first
-  // member immediately sees the whole meeting.
+  // Route every existing sender's stream into the new span along the
+  // relay tree, so its first member immediately sees the whole meeting.
   for (const auto& [pid, info] : st.members) {
     if (!info.intent.sends_video && !info.intent.sends_audio) continue;
     if (info.home_switch == switch_index) continue;
-    if (info.home_switch == st.placement.home) {
-      EnsureRelay(st, st.placement.home, switch_index, pid, pid, info.intent);
-    } else {
-      // Hub-and-spoke: the sender's stream reaches the home switch over
-      // its own span's relay, then fans out to the new span from there.
-      ParticipantId on_home = EnsureRelay(st, info.home_switch,
-                                          st.placement.home, pid, pid,
-                                          info.intent);
-      EnsureRelay(st, st.placement.home, switch_index, pid, on_home,
-                  info.intent);
-    }
+    EnsureSenderAt(st, pid, info.home_switch, switch_index, info.intent);
   }
-  // Re-find: EnsureRelay never touches the span list, but keep the lookup
-  // robust against future reordering.
+  // Re-find: EnsureSenderAt never touches the span list, but keep the
+  // lookup robust against future reordering.
   for (RelaySpan& s : st.placement.spans) {
     if (s.switch_index == switch_index) return s;
   }
   throw std::logic_error("EnsureSpan: span vanished during setup");
+}
+
+ParticipantId FleetController::SenderIdOn(const MeetingState& st,
+                                          ParticipantId origin,
+                                          size_t origin_switch,
+                                          size_t switch_index) const {
+  if (switch_index == origin_switch) return origin;
+  for (const MeetingRelay& r : st.relays) {
+    if (r.origin == origin && r.downstream == switch_index) {
+      return r.relay_sender;
+    }
+  }
+  return 0;
+}
+
+ParticipantId FleetController::EnsureSenderAt(MeetingState& st,
+                                              ParticipantId origin,
+                                              size_t origin_switch,
+                                              size_t target_switch,
+                                              const SenderIntent& intent) {
+  const std::vector<size_t> path =
+      st.placement.TreePath(origin_switch, target_switch);
+  if (path.size() < 2) return origin;  // same switch (or off-plan)
+  ParticipantId carried = origin;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    // Each hop forwards the stream under the id it is known by upstream:
+    // the origin itself on its home switch, its relay sender elsewhere.
+    ParticipantId known = SenderIdOn(st, origin, origin_switch, path[i]);
+    carried = EnsureRelay(st, path[i], path[i + 1], origin,
+                          known != 0 ? known : carried, intent);
+  }
+  return carried;
 }
 
 ParticipantId FleetController::EnsureRelay(MeetingState& st, size_t upstream,
@@ -274,6 +376,13 @@ ParticipantId FleetController::EnsureRelay(MeetingState& st, size_t upstream,
                           net::Endpoint{down.sfu_ip, r.downstream_port},
                           r.upstream_port);
 
+  // Register the hop's estimated stream load on every backbone link its
+  // media physically crosses, so residual-capacity planning and the
+  // overload re-planner see this relay.
+  r.backbone_path = topology_.RelayPath(upstream, downstream);
+  r.load_bps = relay_stream_bps_;
+  topology_.AddLoad(r.backbone_path, r.load_bps);
+
   // Real members already homed downstream open receive legs toward the
   // relay sender, exactly as they would for a local joiner.
   for (const auto& [pid, info] : st.members) {
@@ -293,19 +402,19 @@ void FleetController::RouteSenderEverywhere(MeetingState& st,
                                             ParticipantId origin,
                                             size_t origin_switch,
                                             const SenderIntent& origin_intent) {
-  const size_t home = st.placement.home;
-  if (origin_switch == home) {
-    for (const RelaySpan& span : st.placement.spans) {
-      EnsureRelay(st, home, span.switch_index, origin, origin, origin_intent);
-    }
-    return;
+  // Per hop along the relay tree: visiting targets in plan order (home,
+  // then spans as created) while each chain reuses hops idempotently
+  // yields exactly one relay copy per tree edge. On hub-and-spoke plans
+  // this produces the same relays in the same order as the old
+  // spoke->hub->spokes wiring, so cascades are byte-compatible.
+  if (origin_switch != st.placement.home) {
+    EnsureSenderAt(st, origin, origin_switch, st.placement.home,
+                   origin_intent);
   }
-  // Span-homed sender: up to the hub first, then out to the other spans.
-  ParticipantId on_home =
-      EnsureRelay(st, origin_switch, home, origin, origin, origin_intent);
   for (const RelaySpan& span : st.placement.spans) {
     if (span.switch_index == origin_switch) continue;
-    EnsureRelay(st, home, span.switch_index, origin, on_home, origin_intent);
+    EnsureSenderAt(st, origin, origin_switch, span.switch_index,
+                   origin_intent);
   }
 }
 
@@ -361,6 +470,10 @@ FleetController::JoinResult FleetController::Join(
   return result;
 }
 
+void FleetController::UnregisterRelayLoad(const MeetingRelay& relay) {
+  topology_.RemoveLoad(relay.backbone_path, relay.load_bps);
+}
+
 void FleetController::RemoveSenderRelays(MeetingState& st,
                                          ParticipantId origin) {
   for (auto it = st.relays.begin(); it != st.relays.end();) {
@@ -369,6 +482,7 @@ void FleetController::RemoveSenderRelays(MeetingState& st,
       continue;
     }
     const MeetingRelay r = *it;
+    UnregisterRelayLoad(r);
     // Downstream members learn the relayed sender left (their switch's
     // controller never knew it, so the fleet delivers the notification).
     for (const auto& [pid, info] : st.members) {
@@ -416,18 +530,43 @@ void FleetController::Leave(MeetingId meeting, ParticipantId participant) {
 
   // Span garbage collection: a span whose last member left is drained —
   // its relay plumbing and switch-local meeting go away, and the span
-  // disappears from the placement.
-  if (at != st.placement.home) {
-    const RelaySpan* span = st.placement.SpanOn(at);
-    if (span != nullptr && span->participants.empty()) {
-      TearDownSpan(st, at, /*switch_dead=*/false);
+  // disappears from the placement. An interior span with child spans
+  // still hanging off it stays: it is a live relay hop for its subtree
+  // even with no local members. Draining a leaf may leave its memberless
+  // parent childless, so the drain cascades up the tree.
+  size_t drain = at;
+  while (drain != st.placement.home && drain != SIZE_MAX) {
+    const RelaySpan* span = st.placement.SpanOn(drain);
+    if (span == nullptr || !span->participants.empty() ||
+        st.placement.HasChildSpans(drain)) {
+      break;
     }
+    const size_t parent = st.placement.ParentOf(drain);
+    TearDownSpan(st, drain, /*switch_dead=*/false);
+    drain = parent;
   }
 }
 
 void FleetController::TearDownSpan(MeetingState& st, size_t switch_index,
                                    bool switch_dead) {
   const RelaySpan* span = st.placement.SpanOn(switch_index);
+  if (span == nullptr) return;
+
+  // Child spans reach the rest of the meeting through this one: collapse
+  // the whole subtree first (their switches are alive — only their relay
+  // path died — so their teardown commands still apply).
+  for (bool had_child = true; had_child;) {
+    had_child = false;
+    for (const RelaySpan& s : st.placement.spans) {
+      size_t parent = s.parent == SIZE_MAX ? st.placement.home : s.parent;
+      if (parent == switch_index) {
+        TearDownSpan(st, s.switch_index, /*switch_dead=*/false);
+        had_child = true;
+        break;  // the span list mutated; rescan
+      }
+    }
+  }
+  span = st.placement.SpanOn(switch_index);
   if (span == nullptr) return;
   const MeetingId local = span->local_meeting;
 
@@ -469,6 +608,7 @@ void FleetController::TearDownSpan(MeetingState& st, size_t switch_index,
       ++rit;
       continue;
     }
+    UnregisterRelayLoad(r);
     if (r.downstream == switch_index) {
       // The span-side relay sender dies with the span's meeting; only the
       // upstream pseudo-receiver needs an explicit removal.

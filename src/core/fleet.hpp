@@ -50,6 +50,7 @@ struct FleetStats {
   uint64_t switches_failed = 0;  // heartbeat-declared deaths
   uint64_t relay_spans_installed = 0;  // spans opened across switches
   uint64_t relay_spans_removed = 0;    // spans torn down (drain or failure)
+  uint64_t relay_replans = 0;  // subtree collapses forced by link overload
 };
 
 // Load-driven background rebalancer knobs (EnableRebalancer).
@@ -76,9 +77,34 @@ class FleetController : public SignalingServer,
   size_t AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip);
 
   // Swaps the placement policy (default: LeastLoadedPolicy, the classic
-  // single-homed behaviour). Takes effect for future placements.
+  // single-homed behaviour). Takes effect for future placements. The
+  // fleet's InterSwitchTopology is bound into the policy so
+  // topology-aware planners see the live link-state view.
   void SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy);
   const PlacementPolicy& placement_policy() const { return *policy_; }
+
+  // ---- inter-switch topology (backbone link-state view) ------------------
+  // Default: implicit full mesh with zero latency and unlimited capacity
+  // (classic hub-and-spoke plans are unchanged). Declaring a link flips
+  // the view to an explicit backbone; relay wiring then registers its
+  // estimated per-stream load along each relay's backbone path, and a
+  // capacity cut that overloads a link collapses the subtrees riding it
+  // so the policy re-plans them (ReplanOverloadedLinks).
+  InterSwitchTopology& topology() { return topology_; }
+  const InterSwitchTopology& topology() const { return topology_; }
+  void ConfigureInterSwitchLink(size_t a, size_t b, double latency_s,
+                                double capacity_bps);
+  // Mid-run capacity change; triggers a re-plan of overloaded links.
+  void SetInterSwitchLinkCapacity(size_t a, size_t b, double capacity_bps);
+  // Control-plane estimate of one relayed stream's bandwidth (defaults to
+  // the paper's 2.3 Mb/s mean including audio + overhead). Forwarded to
+  // the placement policy so admission and registered load always agree.
+  void set_relay_stream_bps(double bps);
+  double relay_stream_bps() const { return relay_stream_bps_; }
+  // Collapses the child subtree of every tree edge whose backbone path
+  // crosses an overloaded link, so members re-join and the policy
+  // re-plans them with the updated link-state view.
+  void ReplanOverloadedLinks();
 
   // Creates a meeting on the switch the policy picks.
   MeetingId CreateMeeting();
@@ -158,8 +184,9 @@ class FleetController : public SignalingServer,
   }
   const FleetStats& stats() const { return stats_; }
 
-  // One installed inter-switch relay: `origin`'s stream crossing from
-  // `upstream` to `downstream` (via the home switch on multi-span plans).
+  // One installed inter-switch relay: `origin`'s stream crossing one tree
+  // edge from `upstream` to `downstream`. On multi-level plans a stream
+  // reaches distant spans through a chain of these, one per hop.
   struct MeetingRelay {
     ParticipantId origin = 0;          // the real sender being carried
     size_t upstream = SIZE_MAX;        // switch forwarding the stream
@@ -173,6 +200,11 @@ class FleetController : public SignalingServer,
     uint32_t audio_ssrc = 0;
     bool sends_video = false;
     bool sends_audio = false;
+    // Backbone switches the hop physically crosses (upstream..downstream
+    // over the topology's shortest path) and the per-stream load estimate
+    // registered on each of those links while the relay is installed.
+    std::vector<size_t> backbone_path;
+    double load_bps = 0.0;
   };
   // Relay wiring currently installed for a meeting (empty when
   // single-homed).
@@ -206,26 +238,43 @@ class FleetController : public SignalingServer,
   // Switch-local meeting id on `switch_index` (home or a span).
   MeetingId LocalMeetingOn(const MeetingState& st, size_t switch_index) const;
   std::vector<SwitchLoad> Loads() const;
-  // Creates the span's switch-local meeting and routes every existing
-  // sender's stream into it.
+  // Creates the span's switch-local meeting (parented per the policy's
+  // ChooseSpanParent) and routes every existing sender's stream into it
+  // along the relay tree.
   RelaySpan& EnsureSpan(MeetingState& st, size_t switch_index);
   // Installs (idempotently) the relay carrying `origin`'s stream onto
   // `downstream`, forwarding from `upstream` where the stream is known as
   // `upstream_sender`; wires receive legs for real members already homed
-  // downstream. Returns the relay sender id on the downstream switch.
+  // downstream and registers the hop's backbone load. Returns the relay
+  // sender id on the downstream switch.
   ParticipantId EnsureRelay(MeetingState& st, size_t upstream,
                             size_t downstream, ParticipantId origin,
                             ParticipantId upstream_sender,
                             const SenderIntent& origin_intent);
+  // The id `origin`'s stream is known under on `switch_index`: the origin
+  // itself where it is homed, its relay sender where a relay terminates,
+  // 0 when the stream has not reached that switch.
+  ParticipantId SenderIdOn(const MeetingState& st, ParticipantId origin,
+                           size_t origin_switch, size_t switch_index) const;
+  // Extends `origin`'s relay chain hop by hop along the tree path from its
+  // home switch to `target_switch` (idempotent per edge); returns its
+  // sender id on the target.
+  ParticipantId EnsureSenderAt(MeetingState& st, ParticipantId origin,
+                               size_t origin_switch, size_t target_switch,
+                               const SenderIntent& origin_intent);
   // Routes `origin`'s stream (homed on `origin_switch`) to every other
-  // switch the meeting spans, hub-and-spoke via the home switch.
+  // switch on the plan, per hop along the relay tree — exactly one relay
+  // copy per tree edge.
   void RouteSenderEverywhere(MeetingState& st, ParticipantId origin,
                              size_t origin_switch,
                              const SenderIntent& origin_intent);
   // Tears down every relay carrying `origin`'s stream (it left).
   void RemoveSenderRelays(MeetingState& st, ParticipantId origin);
-  // Tears down one span entirely: relay wiring, the span-local meeting,
-  // any members still homed there (their sessions are gone).
+  // Releases the backbone load a relay registered when it was installed.
+  void UnregisterRelayLoad(const MeetingRelay& relay);
+  // Tears down one span entirely — child spans (its subtree) first, then
+  // relay wiring, the span-local meeting, and any members still homed
+  // there (their sessions are gone).
   void TearDownSpan(MeetingState& st, size_t switch_index, bool switch_dead);
   void EraseParticipantFromPlacement(MeetingState& st, ParticipantId p);
   ParticipantId NextRelayId();
@@ -261,6 +310,10 @@ class FleetController : public SignalingServer,
   RebalanceConfig rebalance_cfg_;
   MigrationCallback migration_cb_;
   std::unique_ptr<PlacementPolicy> policy_;
+  InterSwitchTopology topology_;
+  // Per-stream relay bandwidth estimate registered on backbone links
+  // (paper: 2.3 Mb/s mean 720p stream including audio + overhead).
+  double relay_stream_bps_ = 2.3e6;
   FleetStats stats_;
 };
 

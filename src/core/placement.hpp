@@ -16,23 +16,30 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/topology.hpp"
 #include "core/types.hpp"
 
 namespace scallop::core {
 
 // One relay span: a downstream switch carrying part of the meeting. The
 // span owns a switch-local meeting on that switch; `participants` are the
-// fleet-global ids homed there.
+// fleet-global ids homed there. `parent` names the switch the span hangs
+// off in the meeting's relay tree — SIZE_MAX (the default) means the home
+// switch, i.e. classic hub-and-spoke; a topology-aware plan can parent a
+// span on another span's switch, growing multi-level trees.
 struct RelaySpan {
   size_t switch_index = SIZE_MAX;
   MeetingId local_meeting = 0;
+  size_t parent = SIZE_MAX;  // SIZE_MAX: the home switch
   std::vector<ParticipantId> participants;
 };
 
-// A meeting's full distribution plan. Single-homed meetings have an empty
-// span list; `home == SIZE_MAX` means the meeting is unknown.
+// A meeting's full distribution plan: a relay *tree* rooted at the home
+// switch. Single-homed meetings have an empty span list; `home ==
+// SIZE_MAX` means the meeting is unknown.
 struct MeetingPlacement {
   size_t home = SIZE_MAX;
   MeetingId local_meeting = 0;  // home-switch-local meeting id
@@ -44,6 +51,25 @@ struct MeetingPlacement {
 
   // The span covering a switch (nullptr for the home switch / unknown).
   const RelaySpan* SpanOn(size_t switch_index) const;
+
+  // ---- relay-tree structure ----------------------------------------------
+  // The tree parent of a switch on the plan (SIZE_MAX for the home switch
+  // or a switch the plan does not touch).
+  size_t ParentOf(size_t switch_index) const;
+  // Whether any span hangs off `switch_index` (an interior tree node).
+  bool HasChildSpans(size_t switch_index) const;
+  // Every switch on the plan, home first, then spans in creation order.
+  std::vector<size_t> Switches() const;
+  // The tree's (parent, child) edges, one per span, in span order.
+  std::vector<std::pair<size_t, size_t>> TreeEdges() const;
+  // Hops from the home switch to `switch_index` along parent links (0 for
+  // the home switch, SIZE_MAX off-plan).
+  size_t DepthOf(size_t switch_index) const;
+  // Deepest span (0 when single-homed) — hub-and-spoke plans are depth 1.
+  size_t TreeDepth() const;
+  // The unique tree path between two on-plan switches (inclusive); empty
+  // when either is off-plan.
+  std::vector<size_t> TreePath(size_t from, size_t to) const;
 };
 
 // What a policy sees of each switch when it decides a placement.
@@ -68,6 +94,14 @@ class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
   virtual std::string Name() const = 0;
+  // Gives the policy the controller's inter-switch topology view (called
+  // by FleetController::SetPlacementPolicy; the pointer outlives the
+  // policy). Topology-blind policies ignore it.
+  virtual void BindTopology(const InterSwitchTopology* /*topology*/) {}
+  // Keeps the policy's per-stream bandwidth estimate in lockstep with the
+  // controller's (FleetController::set_relay_stream_bps), so admission
+  // decisions and the load the fleet actually registers agree.
+  virtual void SetStreamEstimate(double /*bps*/) {}
   // Switch to host a new (empty) meeting; SIZE_MAX when no live switch.
   virtual size_t PlaceMeeting(const std::vector<SwitchLoad>& loads) const;
   // Switch to home a joining participant on: the home switch, an existing
@@ -76,6 +110,14 @@ class PlacementPolicy {
   virtual size_t PlaceParticipant(const MeetingPlacement& placement,
                                   const std::vector<SwitchLoad>& loads)
       const = 0;
+  // Tree parent for a span about to open on `span_switch`: the home switch
+  // or an on-plan span switch. Default is the home switch — classic
+  // hub-and-spoke. Returning anything off-plan is treated as "home".
+  virtual size_t ChooseSpanParent(const MeetingPlacement& placement,
+                                  size_t span_switch) const {
+    (void)span_switch;
+    return placement.home;
+  }
 };
 
 // Classic single-homing: meetings land on the least-loaded live switch and
@@ -105,16 +147,67 @@ class CascadePolicy : public PlacementPolicy {
   int max_per_switch_;
 };
 
+// Bandwidth-aware relay-tree planner: like Cascade it fills the home
+// switch up to a per-switch participant budget and overflows onto spans,
+// but new spans are chosen and parented against the controller's
+// InterSwitchTopology — the next span switch is the one cheapest to
+// attach to the current tree (lowest-latency path from any on-plan
+// switch, requiring residual relay capacity for the estimated stream
+// load when any candidate has it), and the span's parent is the on-plan
+// switch that attachment path leaves from. Over a linear backbone
+// A—B—C—D this grows the depth-3 chain instead of star-homing everything
+// on A. Without a bound topology it degrades to Cascade's hub-and-spoke.
+class TopologyAwarePolicy : public PlacementPolicy {
+ public:
+  TopologyAwarePolicy(int max_participants_per_switch,
+                      double stream_estimate_bps = 2.3e6)
+      : max_per_switch_(max_participants_per_switch),
+        stream_estimate_bps_(stream_estimate_bps) {}
+  std::string Name() const override { return "topology-aware"; }
+  void BindTopology(const InterSwitchTopology* topology) override {
+    topology_ = topology;
+  }
+  void SetStreamEstimate(double bps) override { stream_estimate_bps_ = bps; }
+  size_t PlaceParticipant(const MeetingPlacement& placement,
+                          const std::vector<SwitchLoad>& loads) const override;
+  size_t ChooseSpanParent(const MeetingPlacement& placement,
+                          size_t span_switch) const override;
+
+ private:
+  // Cheapest on-plan switch to attach `candidate` to, and the cost /
+  // fit of that attachment; parent == SIZE_MAX when unreachable. A
+  // candidate "fits" only when every physical backbone link can absorb
+  // the join's *summed* increments — the attachment path gains every
+  // member's stream plus the joiner's, and each existing tree edge's
+  // path gains the joiner's; paths sharing a physical link add up.
+  struct Attachment {
+    size_t parent = SIZE_MAX;
+    double latency_s = 0.0;
+    bool fits = false;
+  };
+  Attachment BestAttachment(const MeetingPlacement& placement,
+                            size_t candidate, int current_members) const;
+
+  int max_per_switch_;
+  double stream_estimate_bps_;
+  const InterSwitchTopology* topology_ = nullptr;
+};
+
 // Copyable policy choice for declarative specs (ScenarioSpec /
 // TestbedConfig stay value types); Make() builds the policy object.
 struct PlacementPolicyConfig {
-  enum class Kind { kLeastLoaded, kCascade };
+  enum class Kind { kLeastLoaded, kCascade, kTopologyAware };
   Kind kind = Kind::kLeastLoaded;
-  int max_participants_per_switch = 0;  // cascade only
+  int max_participants_per_switch = 0;  // cascade / topology-aware only
 
   static PlacementPolicyConfig LeastLoaded() { return {}; }
   static PlacementPolicyConfig Cascade(int max_participants_per_switch) {
     return {Kind::kCascade, max_participants_per_switch};
+  }
+  // Cascading placement with relay trees planned over the fleet's
+  // InterSwitchTopology (path cost + residual link capacity).
+  static PlacementPolicyConfig TopologyAware(int max_participants_per_switch) {
+    return {Kind::kTopologyAware, max_participants_per_switch};
   }
 
   std::unique_ptr<PlacementPolicy> Make() const;

@@ -122,7 +122,9 @@ void SwitchAgent::HandleKeyframeDd(const net::Packet& pkt) {
 }
 
 void SwitchAgent::CreateMeeting(MeetingId id) {
-  meetings_[id] = Meeting{};
+  // Idempotent: the control channel may retransmit a command whose ack
+  // was lost, and a duplicate create must not wipe a populated meeting.
+  meetings_.try_emplace(id);
 }
 
 void SwitchAgent::RemoveMeeting(MeetingId id) {
@@ -175,6 +177,14 @@ uint16_t SwitchAgent::AddRelaySender(MeetingId meeting, ParticipantId id,
   // upstream switch's relay leg, so the stream table, tree manager and
   // keyframe re-anchoring treat the relayed stream like any uplink. The
   // assigned port is the address relayed media is sent to.
+  // Idempotent under retransmission: a duplicate install (same relay id,
+  // already registered from the same upstream) must not double-count the
+  // relay or re-register the participant, wiping its legs.
+  auto existing = participants_.find(id);
+  if (existing != participants_.end() && existing->second.is_relay &&
+      existing->second.media_src == upstream_src) {
+    return existing->second.uplink_port;
+  }
   uint16_t port = AddParticipant(meeting, id, upstream_src, video_ssrc,
                                  audio_ssrc, sends_video, sends_audio,
                                  assigned_port);
@@ -195,6 +205,14 @@ uint16_t SwitchAgent::AddRelayLeg(MeetingId meeting,
   // pseudo-receiver, no stats.
   uint16_t port = assigned_port != 0 ? assigned_port : next_port_++;
   if (participants_.find(sender) == participants_.end()) return port;
+  // Idempotent under retransmission: the pseudo-receiver already carrying
+  // this sender's leg means the first copy landed — re-installing would
+  // leak the leg's rewriter and double-count relay stats.
+  auto rcv = participants_.find(relay_receiver);
+  if (rcv != participants_.end() &&
+      rcv->second.recv_legs.count(sender) > 0) {
+    return rcv->second.recv_legs.at(sender).sfu_port;
+  }
   // The downstream switch's stand-in: a receive-only pseudo-participant
   // whose "client endpoint" is the downstream SFU's relay uplink. Its leg
   // is a normal receive leg — rewriter, SVC filter, REMB/NACK feedback

@@ -68,25 +68,57 @@ std::string ScenarioMetrics::ToCsv() const {
         cascade.relay_bytes, cascade.relay_dt_changes);
   }
 
+  // Backbone topology section: rendered only when the spec declared
+  // inter-switch links, so default full-mesh fleet CSVs keep their
+  // byte-identical golden pins.
+  if (topology.configured) {
+    Row(out,
+        "topology,links,%zu,max_utilization,%.4f,max_depth,%zu,replans,"
+        "%" PRIu64 "\n",
+        topology.links.size(), topology.max_utilization, topology.max_depth,
+        topology.relay_replans);
+    Row(out,
+        "toplink,a,b,latency_ms,capacity_bps,load_bps,utilization,"
+        "relay_packets,relay_bytes\n");
+    for (const auto& l : topology.links) {
+      Row(out,
+          "toplink,%zu,%zu,%.2f,%.0f,%.0f,%.4f,%" PRIu64 ",%" PRIu64 "\n",
+          l.a, l.b, l.latency_s * 1e3, l.capacity_bps, l.load_bps,
+          l.utilization, l.relay_packets, l.relay_bytes);
+    }
+    Row(out, "treedepth,depth,meetings\n");
+    for (size_t d = 0; d < topology.depth_histogram.size(); ++d) {
+      Row(out, "treedepth,%zu,%d\n", d, topology.depth_histogram[d]);
+    }
+  }
+
   // Control-plane section: southbound command accounting, northbound
   // telemetry, failure detection and rebalancer activity. Gated so the
   // default single-switch CSV stays byte-identical to the pre-channel pin.
+  // The retransmission column only appears once a reliable command was
+  // actually resent — lossless runs (every golden pin) keep the exact
+  // pre-ack header and row bytes.
   if (control_plane) {
     Row(out,
         "control,commands_sent,commands_applied,commands_dropped,"
         "events_sent,events_delivered,events_dropped,heartbeats_seen,"
         "heartbeats_missed,load_reports,switches_failed,"
-        "rebalance_migrations\n");
+        "rebalance_migrations%s\n",
+        control.commands_retransmitted > 0 ? ",commands_retransmitted" : "");
     Row(out,
         "control,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
         ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-        ",%" PRIu64 "\n",
+        ",%" PRIu64,
         control.commands_sent, control.commands_applied,
         control.commands_dropped, control.events_sent,
         control.events_delivered, control.events_dropped,
         control.heartbeats_seen, control.heartbeats_missed,
         control.load_reports_seen, control.switches_failed,
         control.rebalance_migrations);
+    if (control.commands_retransmitted > 0) {
+      Row(out, ",%" PRIu64, control.commands_retransmitted);
+    }
+    Row(out, "\n");
   }
 
   Row(out, "meeting,index,id,final_design,participants_at_end\n");
@@ -178,6 +210,17 @@ std::string ScenarioMetrics::Summary() const {
         " bytes across switches, %" PRIu64 " cross-switch DT switches\n",
         cascade.spans_installed, cascade.spans_removed, cascade.relay_packets,
         cascade.relay_bytes, cascade.relay_dt_changes);
+  }
+  if (topology.configured) {
+    uint64_t backbone_bytes = 0;
+    for (const auto& l : topology.links) backbone_bytes += l.relay_bytes;
+    Row(out,
+        "    topology: %zu backbone links, %" PRIu64
+        " relay bytes on the backbone, max link utilization %.1f%%, tree "
+        "depth max %zu, %" PRIu64 " overload re-plans\n",
+        topology.links.size(), backbone_bytes,
+        topology.max_utilization * 100.0, topology.max_depth,
+        topology.relay_replans);
   }
   return out;
 }

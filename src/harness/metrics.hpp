@@ -121,6 +121,13 @@ struct ScenarioMetrics {
   // CSV section on multi-switch backends; zeros when nothing spanned.
   testbed::CascadeCounters cascade;
 
+  // The modeled inter-switch backbone: per-link latency/capacity/load and
+  // crossing traffic, the relay-tree depth histogram, worst utilization.
+  // Rendered as a `topology,...` CSV section only when the spec declared
+  // links (`configured`), so default full-mesh fleet CSVs stay
+  // byte-identical to the pinned goldens.
+  testbed::TopologySnapshot topology;
+
   // Byte-stable rendering: identical spec + seed => identical string.
   std::string ToCsv() const;
   // Human-oriented digest for benches/examples.

@@ -17,6 +17,44 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
   base.control.load_report_interval =
       util::Seconds(spec_.control_load_report_s);
   base.placement = spec_.placement_policy;
+  base.inter_switch_links = spec_.inter_switch_links;
+  if ((!spec_.inter_switch_links.empty() ||
+       !spec_.topology_events.empty()) &&
+      spec_.backend.kind != testbed::BackendChoice::Kind::kFleet) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name +
+        "': inter-switch links model a fleet backbone — pick a fleet "
+        "backend");
+  }
+  for (const auto& l : spec_.inter_switch_links) {
+    if (static_cast<int>(l.a) >= spec_.backend.fleet_switches ||
+        static_cast<int>(l.b) >= spec_.backend.fleet_switches) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "' inter-switch link (" +
+          std::to_string(l.a) + ", " + std::to_string(l.b) +
+          ") names a switch outside the fleet");
+    }
+  }
+  // A topology event may only reshape a declared link: the controller
+  // must never learn of a backbone path no sim link backs (and a typo'd
+  // pair failing silently would make the capacity drill test nothing).
+  for (const TopologyEvent& ev : spec_.topology_events) {
+    const bool declared = std::any_of(
+        spec_.inter_switch_links.begin(), spec_.inter_switch_links.end(),
+        [&](const core::InterSwitchLinkSpec& l) {
+          return (static_cast<int>(l.a) == ev.a &&
+                  static_cast<int>(l.b) == ev.b) ||
+                 (static_cast<int>(l.a) == ev.b &&
+                  static_cast<int>(l.b) == ev.a);
+        });
+    if (!declared) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "' topology event at " +
+          std::to_string(ev.at_s) + "s reshapes link (" +
+          std::to_string(ev.a) + ", " + std::to_string(ev.b) +
+          "), which WithInterSwitchLink never declared");
+    }
+  }
   if (spec_.rebalance_interval_s > 0.0) {
     base.rebalance.enabled = true;
     base.rebalance.interval = util::Seconds(spec_.rebalance_interval_s);
@@ -152,6 +190,14 @@ void ScenarioRunner::ScheduleSpec() {
       if (ev.loss_rate >= 0.0) link->set_loss_rate(ev.loss_rate);
       if (ev.prop_delay >= 0) link->set_prop_delay(ev.prop_delay);
       if (ev.jitter_stddev >= 0) link->set_jitter_stddev(ev.jitter_stddev);
+    });
+  }
+
+  for (const TopologyEvent& ev : spec_.topology_events) {
+    sched.At(util::Seconds(ev.at_s), [this, ev] {
+      backend_->SetInterSwitchLinkCapacity(static_cast<size_t>(ev.a),
+                                           static_cast<size_t>(ev.b),
+                                           ev.capacity_bps);
     });
   }
 
@@ -455,6 +501,7 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.control = backend_->control_counters();
   m.control_plane = spec_.control_plane_configured || !m.switches.empty();
   m.cascade = backend_->cascade_counters();
+  m.topology = backend_->topology_snapshot();
   return m;
 }
 

@@ -1,5 +1,7 @@
 #include "harness/scenario.hpp"
 
+#include <stdexcept>
+
 namespace scallop::harness {
 
 namespace {
@@ -123,6 +125,26 @@ ScenarioSpec& ScenarioSpec::WithRebalance(double interval_s,
 ScenarioSpec& ScenarioSpec::WithPlacementPolicy(
     core::PlacementPolicyConfig policy) {
   placement_policy = policy;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithInterSwitchLink(int a, int b,
+                                                double latency_s,
+                                                double capacity_bps) {
+  if (a < 0 || b < 0 || a == b) {
+    throw std::invalid_argument(
+        "ScenarioSpec: inter-switch link needs two distinct switch indices");
+  }
+  inter_switch_links.push_back(core::InterSwitchLinkSpec{
+      static_cast<size_t>(a), static_cast<size_t>(b), latency_s,
+      capacity_bps});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithInterSwitchLinkEvent(double at_s, int a,
+                                                     int b,
+                                                     double capacity_bps) {
+  topology_events.push_back(TopologyEvent{at_s, a, b, capacity_bps});
   return *this;
 }
 

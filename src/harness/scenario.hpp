@@ -48,6 +48,16 @@ struct MeetingSpec {
   std::vector<ParticipantSpec> participants;
 };
 
+// Mid-run inter-switch backbone change (fleet backends with a modeled
+// topology): reshapes one declared link's capacity. The fleet re-plans
+// relay subtrees riding links the change overloads.
+struct TopologyEvent {
+  double at_s = 0.0;
+  int a = 0;
+  int b = 0;
+  double capacity_bps = 0.0;  // <= 0: unconstrained
+};
+
 // Mid-run link change: degrade (or restore) one client's access link.
 // Negative fields are left unchanged.
 struct LinkEvent {
@@ -119,8 +129,18 @@ struct ScenarioSpec {
 
   // Meeting-placement policy (fleet backend only): LeastLoaded (default)
   // single-homes every meeting; Cascade(max_participants_per_switch)
-  // splits large meetings across switches with inter-switch relay spans.
+  // splits large meetings across switches with inter-switch relay spans;
+  // TopologyAware(max) plans multi-level relay trees over the modeled
+  // backbone by path cost and residual link capacity.
   core::PlacementPolicyConfig placement_policy;
+
+  // Modeled inter-switch backbone (fleet backend only). Empty keeps the
+  // implicit full mesh — zero latency, unlimited capacity, byte-identical
+  // CSVs to the pre-topology harness. Declared links shape both the
+  // controller's link-state view and the sim links relay traffic
+  // physically crosses; `topology_events` reshape capacities mid-run.
+  std::vector<core::InterSwitchLinkSpec> inter_switch_links;
+  std::vector<TopologyEvent> topology_events;
 
   // Underlying testbed knobs (encoder rates, agent policy, ...). The
   // testbed seed is overwritten with `seed` above; per-participant link
@@ -147,6 +167,14 @@ struct ScenarioSpec {
                                  double load_report_s = 0.5);
   ScenarioSpec& WithRebalance(double interval_s, int imbalance_threshold = 2);
   ScenarioSpec& WithPlacementPolicy(core::PlacementPolicyConfig policy);
+  // Declares one inter-switch backbone link (fleet backend; capacity_bps
+  // <= 0 means unconstrained). The first call switches the fleet from the
+  // implicit full mesh to the declared backbone.
+  ScenarioSpec& WithInterSwitchLink(int a, int b, double latency_s,
+                                    double capacity_bps = 0.0);
+  // Reshapes a declared link's capacity at `at_s`.
+  ScenarioSpec& WithInterSwitchLinkEvent(double at_s, int a, int b,
+                                         double capacity_bps);
 
   // Total participants across meetings.
   int TotalParticipants() const;

@@ -2,10 +2,20 @@
 // lossless core, matching the paper's per-participant uplink/downlink
 // terminology. The SFU (switch or software server) attaches like any host
 // but typically with datacenter-grade links.
+//
+// On top of the star, Connect() installs dedicated point-to-point links
+// between attached hosts (the modeled inter-switch backbone) and
+// SetRoute() pins a (src, dst) flow onto a chain of those links — so
+// relay traffic between fleet switches crosses the declared backbone,
+// hop by hop, instead of the ideal star core. Without routes, behaviour
+// is byte-identical to the plain star.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/link.hpp"
@@ -29,9 +39,30 @@ class Network {
               const LinkConfig& downlink);
   void Detach(net::Ipv4 addr);
 
-  // Sends using the src host's uplink and dst host's downlink. Packets to
-  // unknown destinations are counted and dropped (like a routing blackhole).
+  // Sends using the src host's uplink and dst host's downlink — unless a
+  // route is installed for (src, dst), in which case the packet traverses
+  // the route's pair links instead. Packets to unknown destinations (or
+  // hitting a route hop with no pair link) are counted and dropped (like
+  // a routing blackhole).
   void Send(net::PacketPtr pkt);
+
+  // ---- backbone modeling --------------------------------------------------
+  // Installs a dedicated bidirectional link pair between two hosts
+  // (`ab` shapes a->b traffic, `ba` the reverse). Re-connecting an
+  // existing pair reshapes the live links in place (rate, delay, jitter,
+  // loss, reordering — the runtime knobs), preserving their stats, RNG
+  // streams and any in-flight packets.
+  void Connect(net::Ipv4 a, net::Ipv4 b, const LinkConfig& ab,
+               const LinkConfig& ba);
+  // The directed pair link from `from` to `to`; nullptr when absent.
+  Link* pair_link(net::Ipv4 from, net::Ipv4 to);
+  const Link* pair_link(net::Ipv4 from, net::Ipv4 to) const;
+  // Pins (src, dst) traffic onto `path` (inclusive host sequence,
+  // src first); each consecutive pair must be Connect()ed. The final hop
+  // delivers straight to the destination host — the pair links model the
+  // whole switch-to-switch path.
+  void SetRoute(net::Ipv4 src, net::Ipv4 dst, std::vector<net::Ipv4> path);
+  void ClearRoute(net::Ipv4 src, net::Ipv4 dst);
 
   Link* uplink(net::Ipv4 addr);
   Link* downlink(net::Ipv4 addr);
@@ -45,11 +76,17 @@ class Network {
     std::unique_ptr<Link> up;
     std::unique_ptr<Link> down;
   };
+  using PairKey = std::pair<net::Ipv4, net::Ipv4>;  // directed (from, to)
+  using Route = std::shared_ptr<const std::vector<net::Ipv4>>;
+
+  void SendAlongRoute(net::PacketPtr pkt, const Route& path, size_t hop);
 
   Scheduler& sched_;
   uint64_t seed_;
   uint64_t next_link_seed_ = 1;
   std::unordered_map<net::Ipv4, Attachment> hosts_;
+  std::map<PairKey, std::unique_ptr<Link>> pair_links_;
+  std::map<PairKey, Route> routes_;
   uint64_t blackholed_ = 0;
 };
 

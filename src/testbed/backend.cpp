@@ -47,6 +47,7 @@ void Backend::AccumulateChannel(ControlPlaneCounters& c,
   c.commands_sent += s.commands_sent;
   c.commands_applied += s.commands_applied;
   c.commands_dropped += s.commands_dropped;
+  c.commands_retransmitted += s.commands_retransmitted;
   c.events_sent += s.events_sent;
   c.events_delivered += s.events_delivered;
   c.events_dropped += s.events_dropped;

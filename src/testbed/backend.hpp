@@ -69,6 +69,7 @@ struct ControlPlaneCounters {
   uint64_t commands_sent = 0;
   uint64_t commands_applied = 0;
   uint64_t commands_dropped = 0;
+  uint64_t commands_retransmitted = 0;  // unacked reliable commands resent
   uint64_t events_sent = 0;
   uint64_t events_delivered = 0;
   uint64_t events_dropped = 0;
@@ -88,6 +89,35 @@ struct CascadeCounters {
   uint64_t relay_packets = 0;
   uint64_t relay_bytes = 0;
   uint64_t relay_dt_changes = 0;  // cross-switch decode-target switches
+};
+
+// One modeled inter-switch backbone link, with the control-plane view
+// (latency/capacity/registered relay load) and the data-path traffic that
+// actually crossed it (both directions summed).
+struct TopologyLinkStatus {
+  size_t a = 0;
+  size_t b = 0;
+  double latency_s = 0.0;
+  double capacity_bps = 0.0;  // <= 0: unconstrained
+  double load_bps = 0.0;      // controller-registered relay load
+  double utilization = 0.0;   // load / capacity (0 when unconstrained)
+  uint64_t relay_packets = 0;
+  uint64_t relay_bytes = 0;
+};
+
+// The backbone view a multi-switch backend can report: per-link status,
+// the relay-tree depth histogram over its meetings (index = depth,
+// value = meeting count; depth 0 = single-homed, 1 = hub-and-spoke), and
+// the worst link utilization. `configured` is false on backends without a
+// modeled backbone — the CSV topology section is gated on it, so default
+// full-mesh fleets keep their golden CSVs byte-identical.
+struct TopologySnapshot {
+  bool configured = false;
+  std::vector<TopologyLinkStatus> links;
+  std::vector<int> depth_histogram;
+  size_t max_depth = 0;
+  double max_utilization = 0.0;
+  uint64_t relay_replans = 0;  // link-overload subtree collapses
 };
 
 // Per-switch snapshot for multi-switch backends (single-switch backends
@@ -166,6 +196,14 @@ class Backend {
   }
   // Relay-span aggregates; zeros on substrates that never cascade.
   virtual CascadeCounters cascade_counters() const { return {}; }
+  // The modeled inter-switch backbone (empty / unconfigured on
+  // single-switch substrates and default full-mesh fleets).
+  virtual TopologySnapshot topology_snapshot() const { return {}; }
+  // Mid-run backbone capacity change (scenario topology events): reshapes
+  // the modeled link and lets the controller re-plan overloaded trees.
+  // No-op on substrates without a backbone.
+  virtual void SetInterSwitchLinkCapacity(size_t /*a*/, size_t /*b*/,
+                                          double /*capacity_bps*/) {}
   // Ids under which a participant's stream is known on other switches
   // (the relay senders of a cascaded placement). Harness cleanup and
   // metrics treat them as the same logical sender; single-homed

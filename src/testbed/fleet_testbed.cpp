@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace scallop::testbed {
 
@@ -35,8 +36,91 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
     fleet_->AddSwitch(*node.channel, node.ip);
     nodes_.push_back(std::move(node));
   }
+  // The controller's per-stream relay bandwidth estimate tracks the
+  // encoder ceiling (plus audio + RTP overhead) so residual-capacity
+  // planning matches what spans actually put on the backbone.
+  fleet_->set_relay_stream_bps(
+      static_cast<double>(cfg_.peer.encoder.max_bitrate_bps) + 100e3);
+  // Declared inter-switch links become both the fleet's link-state view
+  // and dedicated sim links; every switch pair's traffic is then routed
+  // over the backbone's shortest path (multi-hop where not adjacent).
+  for (const core::InterSwitchLinkSpec& l : cfg_.inter_switch_links) {
+    if (l.a >= nodes_.size() || l.b >= nodes_.size() || l.a == l.b) {
+      throw std::invalid_argument(
+          "FleetTestbed: inter-switch link endpoints out of range");
+    }
+    fleet_->ConfigureInterSwitchLink(l.a, l.b, l.latency_s, l.capacity_bps);
+    sim::LinkConfig shape;
+    shape.rate_bps = l.capacity_bps > 0.0 ? l.capacity_bps : 0.0;
+    shape.prop_delay = util::Seconds(l.latency_s);
+    network_->Connect(nodes_[l.a].ip, nodes_[l.b].ip, shape, shape);
+  }
+  if (!cfg_.inter_switch_links.empty()) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      for (size_t j = 0; j < nodes_.size(); ++j) {
+        if (i == j) continue;
+        std::vector<size_t> path = fleet_->topology().RelayPath(i, j);
+        if (path.size() < 2) continue;  // disconnected: star fallback
+        std::vector<net::Ipv4> hops;
+        hops.reserve(path.size());
+        for (size_t sw : path) hops.push_back(nodes_[sw].ip);
+        network_->SetRoute(nodes_[i].ip, nodes_[j].ip, std::move(hops));
+      }
+    }
+  }
   fleet_->SetPlacementPolicy(cfg_.placement.Make());
   if (cfg_.rebalance.enabled) fleet_->EnableRebalancer(cfg_.rebalance);
+}
+
+void FleetTestbed::SetInterSwitchLinkCapacity(size_t a, size_t b,
+                                              double capacity_bps) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) return;
+  // Reshape the physical pair links first so the controller's re-plan
+  // decisions and the data path agree on the new capacity.
+  const double rate = capacity_bps > 0.0 ? capacity_bps : 0.0;
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    sim::Link* link = network_->pair_link(nodes_[from].ip, nodes_[to].ip);
+    if (link != nullptr) link->set_rate_bps(rate);
+  }
+  fleet_->SetInterSwitchLinkCapacity(a, b, capacity_bps);
+}
+
+TopologySnapshot FleetTestbed::topology_snapshot() const {
+  TopologySnapshot snap;
+  const core::InterSwitchTopology& topo = fleet_->topology();
+  snap.configured = topo.explicit_topology();
+  if (!snap.configured) return snap;
+  for (const auto& link : topo.links()) {
+    TopologyLinkStatus s;
+    s.a = link.a;
+    s.b = link.b;
+    s.latency_s = link.latency_s;
+    s.capacity_bps = link.capacity_bps;
+    s.load_bps = link.relay_load_bps;
+    s.utilization = topo.UtilizationOf(link.a, link.b);
+    for (auto [from, to] :
+         {std::pair{link.a, link.b}, std::pair{link.b, link.a}}) {
+      const sim::Link* pl =
+          network_->pair_link(nodes_[from].ip, nodes_[to].ip);
+      if (pl == nullptr) continue;
+      s.relay_packets += pl->stats().delivered_packets;
+      s.relay_bytes += pl->stats().delivered_bytes;
+    }
+    snap.links.push_back(s);
+  }
+  snap.max_utilization = topo.MaxUtilization();
+  snap.relay_replans = fleet_->stats().relay_replans;
+  for (core::MeetingId m : meetings_) {
+    core::MeetingPlacement placement = fleet_->PlacementOf(m);
+    if (!placement.valid()) continue;
+    const size_t depth = placement.TreeDepth();
+    snap.max_depth = std::max(snap.max_depth, depth);
+    if (snap.depth_histogram.size() <= depth) {
+      snap.depth_histogram.resize(depth + 1, 0);
+    }
+    ++snap.depth_histogram[depth];
+  }
+  return snap;
 }
 
 std::string FleetTestbed::Name() const {

@@ -52,6 +52,9 @@ class FleetTestbed : public Backend {
   // testbed::Backend
   std::string Name() const override;
   core::SignalingServer& signaling() override { return *fleet_; }
+  TopologySnapshot topology_snapshot() const override;
+  void SetInterSwitchLinkCapacity(size_t a, size_t b,
+                                  double capacity_bps) override;
   std::vector<core::MeetingId> FailoverBegin() override;
   void FailoverEnd() override;
   void SetMeetingMovedCallback(

@@ -54,8 +54,16 @@ struct TestbedConfig {
   core::RebalanceConfig rebalance;
   // Fleet-only: the meeting-placement policy (default LeastLoaded keeps
   // the classic single-homed behaviour; Cascade splits large meetings
-  // across switches with relay spans).
+  // across switches with relay spans; TopologyAware plans relay trees
+  // over the modeled backbone).
   core::PlacementPolicyConfig placement;
+  // Fleet-only: the modeled inter-switch backbone. Empty (the default)
+  // keeps the implicit full mesh — zero latency, unlimited capacity,
+  // byte-identical to the pre-topology fleets. Declared links become both
+  // the FleetController's link-state view and dedicated sim::Network
+  // links that relay traffic physically crosses (multi-hop when spans
+  // connect non-adjacent switches).
+  std::vector<core::InterSwitchLinkSpec> inter_switch_links;
 };
 
 class ScallopTestbed : public Backend {

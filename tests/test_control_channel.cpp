@@ -122,9 +122,76 @@ TEST(ControlChannel, LossDropsCommands) {
                              true, true);
   bed.sched.RunUntil(util::Seconds(1));
   EXPECT_EQ(bed.agent.meeting_count(), 0u);
-  EXPECT_EQ(bed.channel.stats().commands_sent, 2u);
-  EXPECT_EQ(bed.channel.stats().commands_dropped, 2u);
+  // CreateMeeting is a reliable (acked) command: the unacked original is
+  // retransmitted exactly once, and on a fully lossy channel both copies
+  // drop. AddParticipant stays fire-and-forget (re-signaling covers it).
+  EXPECT_EQ(bed.channel.stats().commands_sent, 3u);
+  EXPECT_EQ(bed.channel.stats().commands_dropped, 3u);
+  EXPECT_EQ(bed.channel.stats().commands_retransmitted, 1u);
   EXPECT_EQ(bed.channel.stats().commands_applied, 0u);
+}
+
+TEST(ControlChannel, RetransmissionRescuesDroppedReliableCommands) {
+  // loss = 0.2: some reliable commands lose their first copy; the single
+  // bounded retransmission (20 ms ack timeout) must land them anyway.
+  // With this seed at least one CreateMeeting needs its retransmission,
+  // and every meeting nevertheless materializes on the agent. (The
+  // retransmission is bounded: a doubly lost command stays lost, so this
+  // pins "rescued", not "guaranteed".)
+  ChannelBed bed({.loss_rate = 0.2, .seed = 3});
+  for (MeetingId m = 1; m <= 12; ++m) bed.channel.CreateMeeting(m);
+  bed.sched.RunUntil(util::Seconds(1));
+  EXPECT_EQ(bed.agent.meeting_count(), 12u);
+  EXPECT_GT(bed.channel.stats().commands_retransmitted, 0u);
+  EXPECT_GT(bed.channel.stats().commands_dropped, 0u);
+}
+
+TEST(ControlChannel, RemovalCancelsAPendingRetransmission) {
+  // seed 7 at loss 0.5: CreateMeeting's first copy is delivered but its
+  // ack is lost, scheduling a retransmission at the 20 ms RTO. The
+  // controller removes the meeting before the RTO fires; the
+  // retransmission must be cancelled — a late duplicate create would
+  // resurrect a ghost meeting the controller no longer knows about.
+  ChannelBed bed({.loss_rate = 0.5, .seed = 7});
+  bed.channel.CreateMeeting(1);
+  EXPECT_EQ(bed.agent.meeting_count(), 1u);
+  bed.channel.RemoveMeeting(1);
+  bed.sched.RunUntil(util::Seconds(1));
+  EXPECT_EQ(bed.agent.meeting_count(), 0u)
+      << "retransmitted create resurrected a removed meeting";
+  EXPECT_EQ(bed.channel.stats().commands_retransmitted, 0u);
+}
+
+TEST(ControlChannel, ReliableVocabularyIsIdempotentUnderDuplicates) {
+  // A delivered command whose ack was lost is retransmitted, so the agent
+  // can legitimately see the same install twice. Duplicates must not wipe
+  // or double-count state.
+  ChannelBed bed;
+  bed.channel.CreateMeeting(1);
+  bed.channel.AddParticipant(1, 1, ChannelBed::Client(1, 40'000), 17, 18,
+                             true, true);
+  // Duplicate CreateMeeting must not wipe the populated meeting.
+  bed.agent.CreateMeeting(1);
+  EXPECT_EQ(bed.agent.participant_count(), 1u);
+
+  // Duplicate AddRelaySender: same id and upstream endpoint — one relay.
+  uint16_t p1 = bed.agent.AddRelaySender(1, 900'001,
+                                         ChannelBed::Client(9, 50'000), 33,
+                                         34, true, true, 45'000);
+  uint16_t p2 = bed.agent.AddRelaySender(1, 900'001,
+                                         ChannelBed::Client(9, 50'000), 33,
+                                         34, true, true, 45'000);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(bed.agent.relay_count(), 1u);
+  EXPECT_EQ(bed.agent.stats().relay_senders, 1u);
+
+  // Duplicate AddRelayLeg toward the same (receiver, sender): one leg.
+  uint16_t l1 = bed.agent.AddRelayLeg(1, 900'002, 1,
+                                      ChannelBed::Client(9, 50'001), 46'000);
+  uint16_t l2 = bed.agent.AddRelayLeg(1, 900'002, 1,
+                                      ChannelBed::Client(9, 50'001), 46'001);
+  EXPECT_EQ(l1, l2);
+  EXPECT_EQ(bed.agent.stats().relay_legs, 1u);
 }
 
 TEST(ControlChannel, RelayLegNamingUnknownSenderIsAPureNoOp) {
@@ -540,6 +607,34 @@ TEST(ControlPlaneScenario, LossyChannelCountsDrops) {
     second = runner.Run().ToCsv();
   }
   EXPECT_EQ(first, second) << "lossy control plane broke determinism";
+}
+
+// Satellite acceptance (ISSUE 5): on a lossy control plane, the acked +
+// retransmitted meeting/relay vocabulary keeps cascaded meetings from
+// being silently stranded — the spans materialize, media crosses the
+// relays, and the retransmissions are visible in the control counters
+// and as the extra `commands_retransmitted` CSV column (which lossless
+// runs omit, keeping the golden pins byte-identical).
+TEST(ControlPlaneScenario, LossyChannelCannotSilentlyStrandRelaySpans) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("ctrl-loss-cascade", 1, 5, 6.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(2));
+  spec.WithControlPlane(/*latency_s=*/0.002, /*loss=*/0.1);
+  ScenarioRunner runner(spec);
+  const ScenarioMetrics& m = runner.Run();
+
+  EXPECT_GT(m.control.commands_dropped, 0u) << "loss must actually bite";
+  EXPECT_GT(m.control.commands_retransmitted, 0u);
+  // Every span the policy planned exists and carries media: before the
+  // ack/retransmission satellite a single lost AddRelaySender/AddRelayLeg
+  // could leave a span installed on paper but dark on the wire.
+  core::MeetingPlacement placement =
+      runner.fleet().PlacementOf(runner.meeting_id(0));
+  ASSERT_EQ(placement.spans.size(), 2u);
+  EXPECT_GT(m.cascade.relay_packets, 500u);
+  EXPECT_NE(m.ToCsv().find(",commands_retransmitted"), std::string::npos);
 }
 
 }  // namespace

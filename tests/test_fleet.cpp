@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "harness/runner.hpp"
 #include "testbed/fleet_testbed.hpp"
@@ -405,6 +406,238 @@ TEST(Cascade, SpanDrainsWhenItsMembersLeave) {
             100u);
 }
 
+// ---- topology-aware relay trees (ISSUE 5) -------------------------------
+
+// A linear backbone A—B—C—D: adjacent switches 2 ms apart with a 12 Mb/s
+// relay budget per link; one participant per switch.
+testbed::TestbedConfig LinearBackboneConfig(double capacity_bps = 12e6) {
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.placement = PlacementPolicyConfig::TopologyAware(1);
+  cfg.inter_switch_links = {
+      {0, 1, 0.002, capacity_bps},
+      {1, 2, 0.002, capacity_bps},
+      {2, 3, 0.002, capacity_bps},
+  };
+  return cfg;
+}
+
+TEST(TopologyTree, LinearBackboneGrowsADepth3Chain) {
+  testbed::FleetTestbed bed(LinearBackboneConfig(), 4);
+  auto m1 = bed.CreateMeeting();
+  for (int i = 0; i < 4; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+
+  MeetingPlacement placement = bed.PlacementOf(m1);
+  ASSERT_TRUE(placement.valid());
+  ASSERT_EQ(placement.spans.size(), 3u);
+  EXPECT_EQ(placement.TreeDepth(), 3u) << "chain, not hub-and-spoke";
+  // Each span hangs off the previous switch in the chain.
+  EXPECT_EQ(placement.ParentOf(1), placement.home);
+  EXPECT_EQ(placement.ParentOf(2), 1u);
+  EXPECT_EQ(placement.ParentOf(3), 2u);
+
+  // Exactly one relay copy per (origin, tree edge): 4 origins x 3 edges,
+  // every hop an adjacent pair of the chain, no duplicates.
+  auto relays = bed.fleet().RelaysOf(m1);
+  ASSERT_EQ(relays.size(), 12u);
+  std::set<std::tuple<ParticipantId, size_t, size_t>> unique;
+  for (const auto& r : relays) {
+    EXPECT_EQ(r.upstream > r.downstream ? r.upstream - r.downstream
+                                        : r.downstream - r.upstream,
+              1u)
+        << "relay " << r.upstream << "->" << r.downstream
+        << " skips a backbone hop";
+    unique.insert({r.origin, r.upstream, r.downstream});
+  }
+  EXPECT_EQ(unique.size(), relays.size());
+
+  // The control-plane load view: 4 origins cross every link once.
+  const InterSwitchTopology& topo = bed.fleet().topology();
+  const double per_stream = bed.fleet().relay_stream_bps();
+  for (size_t i = 0; i + 1 < 4; ++i) {
+    EXPECT_DOUBLE_EQ(topo.LoadOf(i, i + 1), 4 * per_stream);
+    EXPECT_LE(topo.LoadOf(i, i + 1), 12e6) << "planner overshot capacity";
+  }
+
+  // Delivery works across the 3-hop chain: every peer decodes all three
+  // remote streams with gap-free rewriting.
+  bed.RunFor(8.0);
+  for (auto& peer : bed.peers()) {
+    auto senders = peer->remote_senders();
+    ASSERT_EQ(senders.size(), 3u);
+    for (auto s : senders) {
+      const auto* rx = peer->video_receiver(s);
+      ASSERT_NE(rx, nullptr);
+      EXPECT_GT(rx->stats().frames_decoded, 100u);
+      EXPECT_EQ(rx->stats().decoder_breaks, 0u);
+      EXPECT_EQ(rx->stats().conflicting_duplicates, 0u);
+    }
+  }
+  // The modeled backbone carried the relay traffic.
+  testbed::TopologySnapshot snap = bed.topology_snapshot();
+  ASSERT_TRUE(snap.configured);
+  ASSERT_EQ(snap.links.size(), 3u);
+  for (const auto& l : snap.links) {
+    EXPECT_GT(l.relay_packets, 500u)
+        << "link " << l.a << "-" << l.b << " saw no relay media";
+  }
+  EXPECT_EQ(snap.max_depth, 3u);
+}
+
+TEST(TopologyTree, SpanSwitchDeathCollapsesOnlyItsSubtree) {
+  testbed::FleetTestbed bed(LinearBackboneConfig(), 4);
+  auto m1 = bed.CreateMeeting();
+  std::vector<client::Peer*> peers;
+  for (int i = 0; i < 4; ++i) {
+    peers.push_back(&bed.AddPeer());
+    peers.back()->Join(bed.signaling(), m1);
+  }
+  bed.RunFor(1.0);
+  ASSERT_EQ(bed.PlacementOf(m1).TreeDepth(), 3u);
+
+  // Kill the interior span C (switch 2): its subtree (C and D) collapses;
+  // the home switch and span B survive untouched.
+  bed.fleet().OnSwitchDown(2);
+  MeetingPlacement placement = bed.PlacementOf(m1);
+  ASSERT_EQ(placement.spans.size(), 1u);
+  EXPECT_EQ(placement.spans[0].switch_index, 1u);
+  EXPECT_EQ(placement.home_participants.size(), 1u);
+  EXPECT_EQ(placement.spans[0].participants.size(), 1u);
+  EXPECT_EQ(bed.fleet().LoadOf(2), 0);
+  EXPECT_EQ(bed.fleet().LoadOf(3), 0);
+  EXPECT_EQ(bed.fleet().stats().relay_spans_removed, 2u);
+  // Only the surviving pair's relays remain: one per direction of A—B.
+  auto relays = bed.fleet().RelaysOf(m1);
+  ASSERT_EQ(relays.size(), 2u);
+  for (const auto& r : relays) {
+    EXPECT_TRUE((r.upstream == 0 && r.downstream == 1) ||
+                (r.upstream == 1 && r.downstream == 0));
+  }
+  // The survivors keep talking across the intact A—B relay.
+  bed.RunFor(3.0);
+  auto senders = peers[1]->remote_senders();
+  ASSERT_EQ(senders.size(), 1u) << "span member sees only the home peer now";
+  EXPECT_GT(peers[1]->video_receiver(senders[0])->stats().frames_decoded,
+            60u);
+}
+
+TEST(TopologyTree, CapacityCutForcesAReparentingReplan) {
+  // Triangle: A—B (1 ms), B—C (1 ms), A—C (5 ms), all 20 Mb/s. The
+  // cheapest tree chains C behind B; cutting B—C's capacity must re-plan
+  // C's span onto the (slower but empty) direct A—C link.
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.placement = PlacementPolicyConfig::TopologyAware(1);
+  cfg.inter_switch_links = {
+      {0, 1, 0.001, 20e6},
+      {1, 2, 0.001, 20e6},
+      {0, 2, 0.005, 20e6},
+  };
+  testbed::FleetTestbed bed(cfg, 3);
+  auto m1 = bed.CreateMeeting();
+  std::vector<client::Peer*> peers;
+  for (int i = 0; i < 3; ++i) {
+    peers.push_back(&bed.AddPeer());
+    peers.back()->Join(bed.signaling(), m1);
+  }
+  bed.RunFor(1.0);
+  MeetingPlacement before = bed.PlacementOf(m1);
+  ASSERT_EQ(before.spans.size(), 2u);
+  EXPECT_EQ(before.ParentOf(1), before.home);
+  EXPECT_EQ(before.ParentOf(2), 1u) << "C chains behind B pre-cut";
+  EXPECT_EQ(before.TreeDepth(), 2u);
+
+  // The capacity event overloads B—C (it carries 3 relay streams), which
+  // collapses C's span; its member re-signals and the planner re-parents
+  // C onto the direct A—C link, which still has room.
+  bed.SetInterSwitchLinkCapacity(1, 2, 1e6);
+  EXPECT_GT(bed.fleet().stats().relay_replans, 0u);
+  MeetingPlacement mid = bed.PlacementOf(m1);
+  EXPECT_EQ(mid.spans.size(), 1u) << "C's span collapsed";
+
+  peers[2]->Leave();  // stale session died with the span; absorbed
+  // Renegotiation gap before the re-join (the harness inserts the same
+  // delay): in-flight pre-collapse media must drain before fresh legs
+  // reuse the clients' leg ports.
+  bed.RunFor(0.15);
+  peers[2]->Join(bed.signaling(), m1);
+  MeetingPlacement after = bed.PlacementOf(m1);
+  ASSERT_EQ(after.spans.size(), 2u);
+  EXPECT_EQ(after.ParentOf(2), after.home)
+      << "re-plan must route C around the cut link";
+  EXPECT_EQ(after.TreeDepth(), 1u);
+  // And the overloaded link carries no registered relay load any more.
+  EXPECT_DOUBLE_EQ(bed.fleet().topology().LoadOf(1, 2), 0.0);
+
+  bed.RunFor(4.0);
+  for (auto* peer : peers) {
+    for (auto s : peer->remote_senders()) {
+      ASSERT_NE(peer->video_receiver(s), nullptr);
+      EXPECT_EQ(peer->video_receiver(s)->stats().decoder_breaks, 0u);
+    }
+  }
+}
+
+TEST(TopologyTree, AdmissionRefusesASpanItsAttachmentLinkCannotCarry) {
+  // A—B and B—C links carry 12 Mb/s, but C—D only 5 Mb/s. A span on D
+  // would put every member's stream — 4 x ~2.3 Mb/s — on that last hop;
+  // the planner must refuse it and absorb the 4th member on the home
+  // switch instead (the joiner's fan-out across the *existing* edges
+  // happens wherever it homes, so the refused edge is the only one a
+  // span decision can protect — and it stays clean).
+  testbed::TestbedConfig cfg = FastStartConfig();
+  cfg.placement = PlacementPolicyConfig::TopologyAware(1);
+  cfg.inter_switch_links = {
+      {0, 1, 0.002, 12e6},
+      {1, 2, 0.002, 12e6},
+      {2, 3, 0.002, 5e6},
+  };
+  testbed::FleetTestbed bed(cfg, 4);
+  auto m1 = bed.CreateMeeting();
+  for (int i = 0; i < 4; ++i) bed.AddPeer().Join(bed.signaling(), m1);
+
+  MeetingPlacement placement = bed.PlacementOf(m1);
+  ASSERT_EQ(placement.spans.size(), 2u) << "no span on D";
+  EXPECT_EQ(placement.SpanOn(3), nullptr);
+  EXPECT_EQ(placement.home_participants.size(), 2u)
+      << "the un-spannable member overflows onto the home switch";
+  const InterSwitchTopology& topo = bed.fleet().topology();
+  EXPECT_TRUE(topo.OverloadedLinks().empty());
+  EXPECT_DOUBLE_EQ(topo.LoadOf(2, 3), 0.0) << "refused edge stays unloaded";
+  EXPECT_LE(topo.LoadOf(0, 1), 12e6);
+  EXPECT_LE(topo.LoadOf(1, 2), 12e6);
+}
+
+TEST(TopologyTree, InteriorSpanSurvivesDrainWhileItHasChildren) {
+  testbed::FleetTestbed bed(LinearBackboneConfig(), 4);
+  auto m1 = bed.CreateMeeting();
+  std::vector<client::Peer*> peers;
+  for (int i = 0; i < 4; ++i) {
+    peers.push_back(&bed.AddPeer());
+    peers.back()->Join(bed.signaling(), m1);
+  }
+  bed.RunFor(1.0);
+  // C's only member leaves. C is an interior relay hop for D, so the span
+  // must stay (memberless) rather than strand D's subtree.
+  peers[2]->Leave();
+  MeetingPlacement placement = bed.PlacementOf(m1);
+  ASSERT_EQ(placement.spans.size(), 3u);
+  const RelaySpan* span_c = placement.SpanOn(2);
+  ASSERT_NE(span_c, nullptr);
+  EXPECT_TRUE(span_c->participants.empty());
+  bed.RunFor(2.0);
+  // D still receives everyone through the memberless hop.
+  auto senders = peers[3]->remote_senders();
+  ASSERT_EQ(senders.size(), 2u);
+  for (auto s : senders) {
+    EXPECT_GT(peers[3]->video_receiver(s)->stats().frames_decoded, 40u);
+  }
+  // When D's member leaves too, the leaf drains and the drain cascades
+  // up through the now-childless memberless C.
+  peers[3]->Leave();
+  placement = bed.PlacementOf(m1);
+  EXPECT_EQ(placement.spans.size(), 1u) << "C and D both drained";
+  EXPECT_EQ(placement.SpanOn(1)->participants.size(), 1u);
+}
+
 }  // namespace
 }  // namespace scallop::core
 
@@ -568,6 +801,108 @@ TEST(CascadeScenario, FailoverReplansSpans) {
   EXPECT_GE(m.cascade.spans_removed, 1u);
 
   EXPECT_GE(m.WorstDeliveryFloor(), 200u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u);
+}
+
+// Acceptance (ISSUE 5): a fleet{4} meeting over a linear backbone
+// A—B—C—D is planned as a depth-3 relay tree with exactly one relay copy
+// per (origin, tree edge); every peer reaches its delivery floor with no
+// rewrite violations; and the tree's total inter-switch relay bytes are
+// strictly lower than the hub-and-spoke plan for the same scenario.
+TEST(TopologyScenario, LinearBackboneTreeBeatsHubAndSpoke) {
+  auto backbone_spec = [](const char* name,
+                          core::PlacementPolicyConfig policy) {
+    ScenarioSpec spec = ScenarioSpec::Uniform(name, 1, 4, 10.0);
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+    spec.WithBackend(testbed::BackendChoice::Fleet(4));
+    spec.WithPlacementPolicy(policy);
+    // Unconstrained capacity: the comparison isolates path efficiency,
+    // not queueing (2 ms per adjacent hop either way).
+    spec.WithInterSwitchLink(0, 1, 0.002)
+        .WithInterSwitchLink(1, 2, 0.002)
+        .WithInterSwitchLink(2, 3, 0.002);
+    return spec;
+  };
+
+  auto backbone_bytes = [](const ScenarioMetrics& m) {
+    uint64_t total = 0;
+    for (const auto& l : m.topology.links) total += l.relay_bytes;
+    return total;
+  };
+
+  ScenarioSpec tree_spec = backbone_spec(
+      "backbone-tree", core::PlacementPolicyConfig::TopologyAware(1));
+  ScenarioRunner tree_runner(tree_spec);
+  const ScenarioMetrics& tree = tree_runner.Run();
+
+  core::MeetingPlacement placement =
+      tree_runner.fleet().PlacementOf(tree_runner.meeting_id(0));
+  ASSERT_TRUE(placement.valid());
+  EXPECT_EQ(placement.TreeDepth(), 3u);
+  auto relays =
+      tree_runner.fleet().fleet().RelaysOf(tree_runner.meeting_id(0));
+  ASSERT_EQ(relays.size(), 12u);
+  std::set<std::tuple<core::ParticipantId, size_t, size_t>> unique;
+  for (const auto& r : relays) unique.insert({r.origin, r.upstream,
+                                              r.downstream});
+  EXPECT_EQ(unique.size(), relays.size())
+      << "duplicate relay copy on a tree edge";
+  EXPECT_GE(tree.WorstDeliveryFloor(), 150u) << tree.Summary() << tree.ToCsv();
+  EXPECT_EQ(tree.RewriteViolations(), 0u);
+  ASSERT_TRUE(tree.topology.configured);
+  EXPECT_EQ(tree.topology.max_depth, 3u);
+  EXPECT_NE(tree.ToCsv().find("topology,links,3"), std::string::npos);
+  EXPECT_NE(tree.ToCsv().find("treedepth,3,1"), std::string::npos);
+
+  ScenarioSpec hub_spec = backbone_spec(
+      "backbone-hub", core::PlacementPolicyConfig::Cascade(1));
+  ScenarioRunner hub_runner(hub_spec);
+  const ScenarioMetrics& hub = hub_runner.Run();
+  EXPECT_EQ(
+      hub_runner.fleet().PlacementOf(hub_runner.meeting_id(0)).TreeDepth(),
+      1u)
+      << "the contrast plan must be hub-and-spoke";
+  EXPECT_GE(hub.WorstDeliveryFloor(), 150u) << hub.Summary();
+  EXPECT_EQ(hub.RewriteViolations(), 0u);
+
+  const uint64_t tree_bytes = backbone_bytes(tree);
+  const uint64_t hub_bytes = backbone_bytes(hub);
+  ASSERT_GT(tree_bytes, 0u);
+  EXPECT_LT(tree_bytes, hub_bytes)
+      << "the relay tree must spend strictly less backbone bandwidth than "
+         "star-homing every span on the hub (tree="
+      << tree_bytes << " hub=" << hub_bytes << ")";
+}
+
+TEST(TopologyScenario, MidRunCapacityEventReplansThroughTheHarness) {
+  // Triangle backbone; the 4 s capacity event overloads B—C, the fleet
+  // collapses C's span and the runner re-signals its member, after which
+  // the plan routes C over the direct A—C link. Delivery recovers.
+  ScenarioSpec spec = ScenarioSpec::Uniform("backbone-event", 1, 3, 12.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::TopologyAware(1));
+  spec.WithInterSwitchLink(0, 1, 0.001, 20e6)
+      .WithInterSwitchLink(1, 2, 0.001, 20e6)
+      .WithInterSwitchLink(0, 2, 0.005, 20e6)
+      .WithInterSwitchLinkEvent(4.0, 1, 2, 1e6);
+  ScenarioRunner runner(spec);
+
+  runner.RunUntil(3.9);
+  core::MeetingPlacement before =
+      runner.fleet().PlacementOf(runner.meeting_id(0));
+  EXPECT_EQ(before.ParentOf(2), 1u) << "pre-event: C chains behind B";
+
+  const ScenarioMetrics& m = runner.Run();
+  core::MeetingPlacement after =
+      runner.fleet().PlacementOf(runner.meeting_id(0));
+  ASSERT_EQ(after.spans.size(), 2u);
+  EXPECT_EQ(after.ParentOf(2), after.home)
+      << "post-event: C re-parented around the cut link";
+  EXPECT_GT(m.topology.relay_replans, 0u);
+  EXPECT_GE(m.WorstDeliveryFloor(), 100u) << m.Summary() << m.ToCsv();
   EXPECT_EQ(m.RewriteViolations(), 0u);
 }
 

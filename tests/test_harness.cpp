@@ -166,6 +166,54 @@ TEST(ScenarioRunner, BackendAccessorsMatchTheChosenSubstrate) {
   }
 }
 
+TEST(ScenarioSpec, InterSwitchLinksValidateTheirEndpoints) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("backbone", 1, 2, 2.0);
+  EXPECT_THROW(spec.WithInterSwitchLink(0, 0, 0.001), std::invalid_argument);
+  EXPECT_THROW(spec.WithInterSwitchLink(-1, 1, 0.001),
+               std::invalid_argument);
+  // Links model a fleet backbone: other backends reject them.
+  spec.WithInterSwitchLink(0, 1, 0.002, 10e6);
+  EXPECT_THROW(ScenarioRunner runner(spec), std::invalid_argument);
+  // A link naming a switch outside the fleet is a spec bug.
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  spec.WithInterSwitchLink(1, 5, 0.002);
+  EXPECT_THROW(ScenarioRunner runner(spec), std::out_of_range);
+}
+
+TEST(ScenarioSpec, TopologyEventsMustNameADeclaredLink) {
+  // A capacity event on an undeclared pair would either test nothing or
+  // grow a phantom controller-side link no sim link backs; the runner
+  // rejects it up front.
+  ScenarioSpec spec = ScenarioSpec::Uniform("backbone-event-typo", 1, 2, 2.0);
+  spec.WithBackend(testbed::BackendChoice::Fleet(3));
+  spec.WithInterSwitchLink(0, 1, 0.002, 10e6)
+      .WithInterSwitchLink(1, 2, 0.002, 10e6);
+  spec.WithInterSwitchLinkEvent(1.0, 0, 2, 1e6);  // pair never declared
+  EXPECT_THROW(ScenarioRunner runner(spec), std::out_of_range);
+}
+
+TEST(ScenarioRunner, TopologySectionRendersOnlyWhenConfigured) {
+  ScenarioSpec spec = ScenarioSpec::Uniform("backbone-csv", 1, 2, 2.0);
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  {
+    ScenarioRunner runner(spec);
+    const std::string csv = runner.Run().ToCsv();
+    EXPECT_EQ(csv.find("topology,"), std::string::npos)
+        << "default full-mesh fleets must keep the pre-topology CSV shape";
+  }
+  spec.WithInterSwitchLink(0, 1, 0.002, 10e6);
+  {
+    ScenarioRunner runner(spec);
+    const ScenarioMetrics& m = runner.Run();
+    ASSERT_TRUE(m.topology.configured);
+    const std::string csv = m.ToCsv();
+    EXPECT_NE(csv.find("topology,links,1"), std::string::npos);
+    EXPECT_NE(csv.find("toplink,0,1,2.00,10000000"), std::string::npos);
+    EXPECT_NE(csv.find("treedepth,0,1"), std::string::npos)
+        << "a single-homed meeting is a depth-0 tree";
+  }
+}
+
 // The backend seam must not perturb the scallop substrate: the CSV for the
 // CI smoke scenario is pinned byte-for-byte against the output captured
 // from the pre-redesign (PR 1) runner, which held a concrete
