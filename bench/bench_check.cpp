@@ -1,0 +1,113 @@
+// Perf regression gate: compares freshly emitted BENCH_*.json reports
+// against the committed baselines in bench/baselines/ and fails (exit 1)
+// when any higher-is-better metric dropped by more than the threshold
+// (default 40%). Informational metrics (higher_is_better=false) are
+// printed but never gated — they include raw wall times that CI runner
+// noise would otherwise flap on.
+//
+//   bench_check <baseline_dir> <fresh_dir> [max_drop_fraction]
+//
+// Every baseline report must have a fresh counterpart, and every gated
+// baseline metric must exist in the fresh report — a silently vanished
+// bench leg is itself a regression.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf_report.hpp"
+
+namespace fs = std::filesystem;
+using scallop::bench::PerfReport;
+
+namespace {
+
+std::optional<PerfReport> Load(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return PerfReport::Parse(buf.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_check <baseline_dir> <fresh_dir> "
+                 "[max_drop_fraction]\n");
+    return 2;
+  }
+  const fs::path baseline_dir = argv[1];
+  const fs::path fresh_dir = argv[2];
+  const double max_drop = argc > 3 ? std::strtod(argv[3], nullptr) : 0.40;
+
+  std::vector<fs::path> baselines;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      baselines.push_back(entry.path());
+    }
+  }
+  if (ec || baselines.empty()) {
+    std::fprintf(stderr, "bench_check: no BENCH_*.json baselines in %s\n",
+                 baseline_dir.string().c_str());
+    return 2;
+  }
+  std::sort(baselines.begin(), baselines.end());
+
+  bool ok = true;
+  for (const auto& base_path : baselines) {
+    auto baseline = Load(base_path);
+    if (!baseline) {
+      std::printf("FAIL %s: unparsable baseline\n",
+                  base_path.filename().string().c_str());
+      ok = false;
+      continue;
+    }
+    auto fresh = Load(fresh_dir / base_path.filename());
+    if (!fresh) {
+      std::printf("FAIL %s: fresh report missing (bench leg vanished?)\n",
+                  base_path.filename().string().c_str());
+      ok = false;
+      continue;
+    }
+    for (const auto& m : baseline->metrics()) {
+      const auto* f = fresh->FindMetric(m.name);
+      if (!m.higher_is_better) {
+        if (f != nullptr) {
+          std::printf("info %-12s %-28s %12.4g (baseline %.4g)\n",
+                      baseline->area().c_str(), m.name.c_str(), f->value,
+                      m.value);
+        }
+        continue;
+      }
+      if (f == nullptr) {
+        std::printf("FAIL %-12s %-28s missing from fresh report\n",
+                    baseline->area().c_str(), m.name.c_str());
+        ok = false;
+        continue;
+      }
+      double ratio = m.value > 0.0 ? f->value / m.value : 1.0;
+      bool pass = ratio >= 1.0 - max_drop;
+      std::printf("%s %-12s %-28s %12.4g vs %12.4g  (%.2fx)\n",
+                  pass ? "ok  " : "FAIL", baseline->area().c_str(),
+                  m.name.c_str(), f->value, m.value, ratio);
+      if (!pass) ok = false;
+    }
+  }
+
+  if (!ok) {
+    std::printf("bench_check: regression beyond %.0f%% drop threshold\n",
+                max_drop * 100.0);
+    return 1;
+  }
+  std::printf("bench_check: all gated metrics within threshold\n");
+  return 0;
+}
