@@ -283,7 +283,7 @@ bool DataPlaneProgram::Egress(net::Packet& pkt,
     // Media crossing the inter-switch relay toward a downstream SFU: the
     // cascade metric the controller's span accounting is pinned against.
     ++stats_.relay_packets;
-    stats_.relay_bytes += pkt.payload.size();
+    stats_.relay_bytes += pkt.wire_size();
   }
   return true;
 }
