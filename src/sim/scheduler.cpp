@@ -1,38 +1,75 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
-
 namespace scallop::sim {
+namespace {
+
+// Ids pack (slot, generation); gen starts at 1 and only increments, so no
+// valid id is ever 0 (callers use 0 as a "nothing armed" sentinel).
+constexpr uint64_t MakeId(uint32_t slot, uint32_t gen) {
+  return (static_cast<uint64_t>(slot) << 32) | gen;
+}
+
+}  // namespace
+
+uint32_t Scheduler::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.push_back(Slot{});
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::ReleaseSlot(uint32_t slot) {
+  ++slots_[slot].gen;  // invalidates every id issued for this occupancy
+  free_slots_.push_back(slot);
+}
 
 uint64_t Scheduler::At(util::TimeUs when, EventFn fn) {
   if (when < now_) when = now_;
-  uint64_t id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  return id;
+  uint32_t slot = AcquireSlot();
+  slots_[slot].armed = true;
+  queue_.push(Event{when, next_seq_++, slot, std::move(fn)});
+  return MakeId(slot, slots_[slot].gen);
 }
 
 void Scheduler::Cancel(uint64_t id) {
-  cancelled_.push_back(id);
-  ++cancelled_live_;
+  uint32_t slot = static_cast<uint32_t>(id >> 32);
+  uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.armed) return;  // fired or already cancelled
+  s.armed = false;
+  ++cancelled_in_queue_;
 }
 
-bool Scheduler::IsCancelled(uint64_t id) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end()) return false;
-  *it = cancelled_.back();
-  cancelled_.pop_back();
-  --cancelled_live_;
+bool Scheduler::PopLive(Event& ev) {
+  Event& top = const_cast<Event&>(queue_.top());
+  ev.when = top.when;
+  ev.seq = top.seq;
+  ev.slot = top.slot;
+  ev.fn = std::move(top.fn);
+  queue_.pop();
+  Slot& s = slots_[ev.slot];
+  if (!s.armed) {  // cancelled while queued
+    --cancelled_in_queue_;
+    ReleaseSlot(ev.slot);
+    return false;
+  }
+  // Release before running: `fn` may Cancel its own (now stale) id or
+  // schedule a new event that reuses the slot under a fresh generation.
+  s.armed = false;
+  ReleaseSlot(ev.slot);
   return true;
 }
 
 size_t Scheduler::RunUntil(util::TimeUs until) {
   size_t executed = 0;
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > until) break;
-    Event ev{top.when, top.id, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    if (IsCancelled(ev.id)) continue;
+    if (queue_.top().when > until) break;
+    Event ev;
+    if (!PopLive(ev)) continue;
     now_ = ev.when;
     ev.fn();
     ++executed;
@@ -44,10 +81,8 @@ size_t Scheduler::RunUntil(util::TimeUs until) {
 size_t Scheduler::RunAll() {
   size_t executed = 0;
   while (!queue_.empty()) {
-    Event ev{queue_.top().when, queue_.top().id,
-             std::move(const_cast<Event&>(queue_.top()).fn)};
-    queue_.pop();
-    if (IsCancelled(ev.id)) continue;
+    Event ev;
+    if (!PopLive(ev)) continue;
     now_ = ev.when;
     ev.fn();
     ++executed;
@@ -57,24 +92,34 @@ size_t Scheduler::RunAll() {
 
 PeriodicTask::PeriodicTask(Scheduler& sched, util::DurationUs period,
                            std::function<bool()> fn)
-    : sched_(sched), period_(period), fn_(std::move(fn)) {
-  Arm();
+    : state_(std::make_shared<State>()) {
+  state_->sched = &sched;
+  state_->period = period;
+  state_->fn = std::move(fn);
+  Arm(state_);
 }
 
 PeriodicTask::~PeriodicTask() { Cancel(); }
 
 void PeriodicTask::Cancel() {
-  if (!cancelled_ && pending_id_ != 0) {
-    sched_.Cancel(pending_id_);
+  state_->cancelled = true;
+  if (state_->pending_id != 0) {
+    state_->sched->Cancel(state_->pending_id);
+    state_->pending_id = 0;
   }
-  cancelled_ = true;
 }
 
-void PeriodicTask::Arm() {
-  pending_id_ = sched_.After(period_, [this] {
-    if (cancelled_) return;
-    pending_id_ = 0;
-    if (fn_()) Arm();
+void PeriodicTask::Arm(const std::shared_ptr<State>& state) {
+  std::weak_ptr<State> weak = state;
+  state->pending_id = state->sched->After(state->period, [weak] {
+    std::shared_ptr<State> s = weak.lock();
+    if (!s || s->cancelled) return;
+    s->pending_id = 0;
+    // `fn` may Cancel() this task or destroy it outright: `s` keeps the
+    // state alive through the call, and the re-check catches a Cancel
+    // issued anywhere inside fn's call graph (including nested RunUntil
+    // callbacks) after the entry check already passed.
+    if (s->fn() && !s->cancelled) Arm(s);
   });
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -28,7 +29,9 @@ class Scheduler {
     return At(now_ + delay, std::move(fn));
   }
 
-  // Cancels a pending event. Cancelling an already-fired id is a no-op.
+  // Cancels a pending event in O(1). Cancelling an already-fired (or
+  // already-cancelled) id is a no-op: ids are generation-stamped slot
+  // handles, so a stale id can never hit a later event reusing the slot.
   void Cancel(uint64_t id);
 
   // Runs events until the queue is empty or `until` is passed.
@@ -36,34 +39,51 @@ class Scheduler {
   size_t RunUntil(util::TimeUs until);
   size_t RunAll();
 
-  bool empty() const { return queue_.size() == cancelled_live_; }
-  size_t pending() const { return queue_.size() - cancelled_live_; }
+  bool empty() const { return pending() == 0; }
+  size_t pending() const { return queue_.size() - cancelled_in_queue_; }
 
  private:
   struct Event {
     util::TimeUs when;
-    uint64_t id;
+    uint64_t seq;   // global FIFO order among equal times
+    uint32_t slot;  // cancellation slot (slots_[slot])
     EventFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
-      // Earliest time first; FIFO among equal times via id.
+      // Earliest time first; FIFO among equal times via seq.
       if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
+  // One live queue entry per slot. `gen` stamps the slot's current
+  // occupancy: Cancel ids carry the generation they were issued under and
+  // miss once the slot is released (event fired or cancelled-and-popped).
+  struct Slot {
+    uint32_t gen = 1;
+    bool armed = false;
+  };
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+  // Pops the top event; returns false (and releases the slot) when it was
+  // cancelled while queued.
+  bool PopLive(Event& ev);
 
   util::TimeUs now_ = 0;
-  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<uint64_t> cancelled_;  // sorted lazily on lookup
-  size_t cancelled_live_ = 0;
-
-  bool IsCancelled(uint64_t id);
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t cancelled_in_queue_ = 0;
 };
 
 // Helper: schedules `fn` every `period` starting at now+period until it
-// returns false or Cancel() is called on the handle.
+// returns false or Cancel() is called on the handle. Safe to Cancel() or
+// destroy from inside its own callback (including callbacks that return
+// true): the armed event holds only a weak reference to shared state and
+// re-checks cancellation after `fn` returns, so a Cancel issued anywhere
+// inside the callback's call graph sticks.
 class PeriodicTask {
  public:
   PeriodicTask(Scheduler& sched, util::DurationUs period,
@@ -75,12 +95,16 @@ class PeriodicTask {
   void Cancel();
 
  private:
-  void Arm();
-  Scheduler& sched_;
-  util::DurationUs period_;
-  std::function<bool()> fn_;
-  uint64_t pending_id_ = 0;
-  bool cancelled_ = false;
+  struct State {
+    Scheduler* sched = nullptr;
+    util::DurationUs period = 0;
+    std::function<bool()> fn;
+    uint64_t pending_id = 0;
+    bool cancelled = false;
+  };
+  static void Arm(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace scallop::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "net/packet.hpp"
 #include "sim/link.hpp"
 #include "sim/network.hpp"
@@ -64,12 +66,133 @@ TEST(Scheduler, EventsScheduleEvents) {
   EXPECT_EQ(s.now(), 50);
 }
 
+TEST(Scheduler, CancelOfFiredIdIsNoOpAndKeepsPendingExact) {
+  // Regression: Cancel() on an already-fired id used to be recorded as a
+  // live cancellation forever, so pending() under-reported and empty()
+  // could report true while real events remained.
+  Scheduler s;
+  int fired = 0;
+  uint64_t done = s.At(100, [&] { ++fired; });
+  s.RunAll();
+  s.Cancel(done);  // documented no-op
+  s.Cancel(done);  // twice, for good measure
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+  s.At(200, [&] { ++fired; });
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.pending(), 1u);
+  s.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, DoubleCancelCountsOnce) {
+  Scheduler s;
+  int fired = 0;
+  uint64_t id = s.At(100, [&] { ++fired; });
+  s.At(100, [&] { ++fired; });
+  s.Cancel(id);
+  s.Cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+  s.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, StaleCancelCannotHitRescheduledEvent) {
+  // A cancelled (or fired) id must never cancel a later event that
+  // happens to reuse its internal storage.
+  Scheduler s;
+  int fired = 0;
+  uint64_t a = s.At(100, [&] { ++fired; });
+  s.Cancel(a);
+  s.RunAll();  // drains the cancelled entry, recycling its slot
+  uint64_t b = s.At(200, [&] { ++fired; });
+  EXPECT_NE(a, b);
+  s.Cancel(a);  // stale: must not touch b
+  EXPECT_EQ(s.pending(), 1u);
+  s.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, PendingStaysExactUnderCancelHeavyChurn) {
+  Scheduler s;
+  int fired = 0;
+  std::vector<uint64_t> ids;
+  for (int round = 0; round < 10; ++round) {
+    ids.clear();
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(s.After(1 + (i % 4), [&] { ++fired; }));
+    }
+    EXPECT_EQ(s.pending(), 100u);
+    for (int i = 0; i < 100; i += 2) s.Cancel(ids[i]);
+    EXPECT_EQ(s.pending(), 50u);
+    s.RunAll();
+    EXPECT_EQ(s.pending(), 0u);
+    EXPECT_TRUE(s.empty());
+    for (uint64_t id : ids) s.Cancel(id);  // all fired or cancelled: no-ops
+    EXPECT_EQ(s.pending(), 0u);
+  }
+  EXPECT_EQ(fired, 500);
+}
+
 TEST(PeriodicTaskTest, RepeatsUntilFalse) {
   Scheduler s;
   int runs = 0;
   PeriodicTask task(s, 100, [&] { return ++runs < 3; });
   s.RunAll();
   EXPECT_EQ(runs, 3);
+}
+
+TEST(PeriodicTaskTest, DestroyFromOwnCallbackIsSafe) {
+  // Regression: the armed event captured `this` and could outlive a task
+  // destroyed inside its own callback.
+  Scheduler s;
+  int runs = 0;
+  std::unique_ptr<PeriodicTask> task;
+  task = std::make_unique<PeriodicTask>(s, 100, [&] {
+    ++runs;
+    task.reset();  // destroys the task while its callback is running
+    return true;   // and still asks to re-arm
+  });
+  s.RunAll();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(PeriodicTaskTest, CancelInsideCallbackStopsRearm) {
+  // Regression: fn_ returning true used to re-arm even when Cancel() was
+  // called inside the callback (after the entry check), leaving an armed
+  // event the destructor no longer cancelled — a dangling `this` capture.
+  Scheduler s;
+  int runs = 0;
+  {
+    PeriodicTask task(s, 100, [&] {
+      ++runs;
+      task.Cancel();
+      return true;
+    });
+    s.RunUntil(250);  // fires once at t=100
+    EXPECT_EQ(runs, 1);
+    EXPECT_TRUE(s.empty());  // no zombie re-armed event
+  }
+  s.RunAll();  // would fire (and use-after-free) a leaked re-arm
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(PeriodicTaskTest, CancelFromNestedEventStopsRearm) {
+  // A Cancel issued by another event that runs inside the task's own
+  // callback window must stick even though the task's entry check had
+  // already passed.
+  Scheduler s;
+  int runs = 0;
+  PeriodicTask task(s, 100, [&] {
+    ++runs;
+    // Simulates a nested RunUntil: work done inside the callback cancels
+    // the task before it returns true.
+    s.RunUntil(s.now());  // drains same-time events (none) — keeps shape
+    task.Cancel();
+    return true;
+  });
+  s.RunAll();
+  EXPECT_EQ(runs, 1);
 }
 
 net::PacketPtr MakeTestPacket(size_t size = 1000) {
