@@ -2,18 +2,13 @@
 
 namespace scallop::bwe {
 
-void RateWindow::Add(util::TimeUs t, size_t bytes) {
-  if (first_add_ < 0) first_add_ = t;
-  samples_.emplace_back(t, bytes);
-}
-
 uint64_t RateWindow::RateBps(util::TimeUs now) const {
   while (!samples_.empty() && samples_.front().first < now - window_) {
+    window_sum_ -= samples_.front().second;
     samples_.pop_front();
   }
   if (samples_.empty()) return 0;
-  size_t total = 0;
-  for (const auto& [t, b] : samples_) total += b;
+  size_t total = window_sum_;
   // Before the window has filled once, normalize by the elapsed time so the
   // rate is not underestimated at stream start (that would wrongly cap the
   // AIMD estimate).

@@ -21,13 +21,20 @@ class RateWindow {
   explicit RateWindow(util::DurationUs window = util::Millis(500))
       : window_(window) {}
 
-  void Add(util::TimeUs t, size_t bytes);
+  void Add(util::TimeUs t, size_t bytes) {
+    if (first_add_ < 0) first_add_ = t;
+    samples_.emplace_back(t, bytes);
+    window_sum_ += bytes;
+  }
   uint64_t RateBps(util::TimeUs now) const;
 
  private:
   util::DurationUs window_;
   util::TimeUs first_add_ = -1;
   mutable std::deque<std::pair<util::TimeUs, size_t>> samples_;
+  // Running sum of samples_ bytes, so the per-packet rate query is O(1)
+  // instead of a window walk.
+  mutable size_t window_sum_ = 0;
 };
 
 struct EstimatorConfig {

@@ -84,6 +84,7 @@ void Peer::Leave() {
   // packets on reused ports to dead legs.
   legs_.clear();
   port_to_sender_.clear();
+  port_to_leg_.clear();
   // Drop the retransmission history: a rejoin restarts the packetizer in
   // the same sequence space (deterministic per-peer seed), so serving
   // NACKs from the previous session would retransmit stale frames under
@@ -101,6 +102,7 @@ net::Endpoint Peer::AllocateLocalLeg(core::ParticipantId sender) {
   auto stale = legs_.find(sender);
   if (stale != legs_.end()) {
     port_to_sender_.erase(stale->second.local.port);
+    port_to_leg_.erase(stale->second.local.port);
     legs_.erase(stale);
   }
   net::Endpoint local{cfg_.address, next_local_port_++};
@@ -108,7 +110,9 @@ net::Endpoint Peer::AllocateLocalLeg(core::ParticipantId sender) {
   leg.sender = sender;
   leg.local = local;
   port_to_sender_[local.port] = sender;
-  legs_.emplace(sender, std::move(leg));
+  auto [it, inserted] = legs_.emplace(sender, std::move(leg));
+  (void)inserted;
+  port_to_leg_[local.port] = &it->second;
   return local;
 }
 
@@ -150,6 +154,7 @@ void Peer::OnRemoteSenderLeft(core::ParticipantId sender) {
   auto it = legs_.find(sender);
   if (it == legs_.end()) return;
   port_to_sender_.erase(it->second.local.port);
+  port_to_leg_.erase(it->second.local.port);
   legs_.erase(it);
 }
 
@@ -315,10 +320,8 @@ void Peer::Tick() {
 }
 
 Peer::RemoteLeg* Peer::LegByLocalPort(uint16_t port) {
-  auto it = port_to_sender_.find(port);
-  if (it == port_to_sender_.end()) return nullptr;
-  auto lit = legs_.find(it->second);
-  return lit == legs_.end() ? nullptr : &lit->second;
+  auto it = port_to_leg_.find(port);
+  return it == port_to_leg_.end() ? nullptr : it->second;
 }
 
 void Peer::OnPacket(net::PacketPtr pkt) {

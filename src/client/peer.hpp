@@ -10,6 +10,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "bwe/estimator.hpp"
 #include "core/controller.hpp"
@@ -155,6 +156,9 @@ class Peer : public sim::Host, public core::SignalingClient {
 
   std::map<core::ParticipantId, RemoteLeg> legs_;          // by sender
   std::map<uint16_t, core::ParticipantId> port_to_sender_;
+  // Direct port -> leg index for the per-packet receive path (legs_ is
+  // node-based, so RemoteLeg addresses are stable).
+  std::unordered_map<uint16_t, RemoteLeg*> port_to_leg_;
 
   // Retransmission history of sent video packets (wire bytes by seq).
   std::map<uint16_t, std::vector<uint8_t>> history_;

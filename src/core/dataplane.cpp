@@ -107,6 +107,14 @@ void DataPlaneProgram::IngressRtp(const net::Packet& pkt,
     return;
   }
 
+  meta.rtp_parsed = true;
+  meta.rtp_ssrc = *ssrc;
+  if (auto seq = rtp::PeekSequenceNumber(pkt.payload_span())) {
+    meta.rtp_seq = *seq;
+  } else {
+    meta.rtp_parsed = false;
+  }
+
   uint8_t temporal_layer = 0;
   if (entry->is_video) {
     // Depth-aware extension parse (paper Appendix E): a bounded walk of
@@ -120,6 +128,12 @@ void DataPlaneProgram::IngressRtp(const net::Packet& pkt,
           pkt.payload_span().subspan(loc.offset, loc.length));
       if (dd.has_value()) {
         temporal_layer = av1::TemporalLayerForTemplate(dd->template_id);
+        // Cache the mandatory DD fields for the egress replicas.
+        meta.dd_found = true;
+        meta.dd_template_id = dd->template_id;
+        meta.dd_start_of_frame = dd->start_of_frame;
+        meta.dd_end_of_frame = dd->end_of_frame;
+        meta.dd_frame_number = dd->frame_number;
         if (dd->has_extended) {
           meta.copy_to_cpu = true;
           ++stats_.keyframe_dd_to_cpu;
@@ -197,25 +211,39 @@ void DataPlaneProgram::IngressRtcp(const net::Packet& pkt,
 bool DataPlaneProgram::Egress(net::Packet& pkt,
                               const switchsim::PacketMetadata& meta,
                               const switchsim::Replica& replica) {
-  (void)meta;
   uint16_t rid = replica.rid != 0 ? replica.rid
                                   : static_cast<uint16_t>(replica.port);
   const EgressEntry* out = egress_table_.Lookup(EgressKey{pkt.src, rid});
   if (out == nullptr) return false;
 
-  auto kind = rtp::Classify(pkt.payload_span());
+  // Replicas are clones of the packet ingress classified, so the cached
+  // parse (when present) replaces the per-replica payload walk.
+  auto kind = meta.rtp_parsed ? rtp::PayloadKind::kRtp
+                              : rtp::Classify(pkt.payload_span());
   if (kind == rtp::PayloadKind::kRtp) {
-    auto ssrc = rtp::PeekSsrc(pkt.payload_span());
+    auto ssrc = meta.rtp_parsed ? std::optional<uint32_t>(meta.rtp_ssrc)
+                                : rtp::PeekSsrc(pkt.payload_span());
     const SvcEntry* svc =
         ssrc ? svc_table_.Lookup(SvcKey{*ssrc, out->receiver}) : nullptr;
     if (svc != nullptr) {
-      auto loc = switchsim::LocateRtpExtension(pkt.payload_span(),
-                                               cfg_.dd_extension_id);
-      auto dd = loc.found
-                    ? av1::PeekMandatory(
-                          pkt.payload_span().subspan(loc.offset, loc.length))
-                    : std::nullopt;
-      auto seq = rtp::PeekSequenceNumber(pkt.payload_span());
+      std::optional<av1::DdMandatory> dd;
+      std::optional<uint16_t> seq;
+      if (meta.rtp_parsed) {
+        if (meta.dd_found) {
+          dd = av1::DdMandatory{meta.dd_start_of_frame, meta.dd_end_of_frame,
+                                meta.dd_template_id, meta.dd_frame_number,
+                                /*has_extended=*/false};
+        }
+        seq = meta.rtp_seq;
+      } else {
+        auto loc = switchsim::LocateRtpExtension(pkt.payload_span(),
+                                                 cfg_.dd_extension_id);
+        if (loc.found) {
+          dd = av1::PeekMandatory(
+              pkt.payload_span().subspan(loc.offset, loc.length));
+        }
+        seq = rtp::PeekSequenceNumber(pkt.payload_span());
+      }
       if (dd.has_value() && seq.has_value()) {
         bool suppress =
             svc->filter_in_egress &&

@@ -243,19 +243,24 @@ RewriteResult SlrRewriter::Process(const RewritePacketView& pkt) {
 
 void OracleRewriter::NoteSenderPacket(uint16_t seq16, bool suppress) {
   int64_t seq = note_unwrap_.Unwrap(seq16);
+  if (ideal_base_ < 0) ideal_base_ = seq;
+  if (seq < ideal_base_) return;  // violates the send-order contract
+  size_t idx = static_cast<size_t>(seq - ideal_base_);
+  if (idx >= ideal_.size()) ideal_.resize(idx + 1, kNeverNoted);
   if (suppress) {
     ++suppressed_so_far_;
-    ideal_[seq] = -1;
+    ideal_[idx] = -1;
   } else {
-    ideal_[seq] = seq - suppressed_so_far_;
+    ideal_[idx] = seq - suppressed_so_far_;
   }
 }
 
 RewriteResult OracleRewriter::Process(const RewritePacketView& pkt) {
   int64_t seq = proc_unwrap_.Unwrap(pkt.seq);
-  auto it = ideal_.find(seq);
-  if (it == ideal_.end() || it->second < 0) return {false, 0};
-  return {true, static_cast<uint16_t>(it->second)};
+  if (ideal_base_ < 0 || seq < ideal_base_) return {false, 0};
+  size_t idx = static_cast<size_t>(seq - ideal_base_);
+  if (idx >= ideal_.size() || ideal_[idx] < 0) return {false, 0};
+  return {true, static_cast<uint16_t>(ideal_[idx])};
 }
 
 }  // namespace scallop::core

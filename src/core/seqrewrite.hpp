@@ -28,7 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "util/seqnum.hpp"
 
@@ -171,8 +171,13 @@ class OracleRewriter : public SequenceRewriter {
  private:
   util::SeqUnwrapper note_unwrap_;
   util::SeqUnwrapper proc_unwrap_;
-  // Unwrapped sender seq -> ideal output seq (or -1 if suppressed).
-  std::unordered_map<int64_t, int64_t> ideal_;
+  // Dense table of ideal output seqs, indexed by unwrapped sender seq
+  // minus `ideal_base_` (NoteSenderPacket runs in send order, so the key
+  // space is contiguous — a vector beats a per-packet hash lookup).
+  // Negative values mean "suppressed"; kNeverNoted marks gaps.
+  static constexpr int64_t kNeverNoted = INT64_MIN;
+  std::vector<int64_t> ideal_;
+  int64_t ideal_base_ = -1;  // unwrapped seq of ideal_[0]; -1 = empty
   int64_t suppressed_so_far_ = 0;
 };
 

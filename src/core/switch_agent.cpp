@@ -110,11 +110,11 @@ void SwitchAgent::HandleKeyframeDd(const net::Packet& pkt) {
   for (ParticipantId r : mit->second.members) {
     if (r == sender) continue;
     Participant& recv = participants_.at(r);
-    auto rw = recv.rewriter_index.find(sender);
-    if (rw == recv.rewriter_index.end()) continue;
+    auto ps = recv.by_sender.find(sender);
+    if (ps == recv.by_sender.end() || !ps->second.rewriter_index) continue;
     int dt = DecodeTargetOf(r, sender);
     SkipCadence cadence = SkipCadence::ForDecodeTarget(dt, anchor);
-    dp_.ConfigureRewriter(rw->second, cadence);
+    dp_.ConfigureRewriter(*ps->second.rewriter_index, cadence);
     SvcEntry* svc = dp_.MutableSvc(SvcKey{pit->second.video_ssrc, r});
     if (svc != nullptr) svc->cadence = cadence;
     ++stats_.dataplane_writes;
@@ -209,9 +209,11 @@ uint16_t SwitchAgent::AddRelayLeg(MeetingId meeting,
   // this sender's leg means the first copy landed — re-installing would
   // leak the leg's rewriter and double-count relay stats.
   auto rcv = participants_.find(relay_receiver);
-  if (rcv != participants_.end() &&
-      rcv->second.recv_legs.count(sender) > 0) {
-    return rcv->second.recv_legs.at(sender).sfu_port;
+  if (rcv != participants_.end()) {
+    auto ps = rcv->second.by_sender.find(sender);
+    if (ps != rcv->second.by_sender.end() && ps->second.leg) {
+      return ps->second.leg->sfu_port;
+    }
   }
   // The downstream switch's stand-in: a receive-only pseudo-participant
   // whose "client endpoint" is the downstream SFU's relay uplink. Its leg
@@ -243,36 +245,41 @@ void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
   Participant& p = it->second;
 
   dp_.RemoveFeedback(p.uplink_port);
-  for (auto& [sender, leg] : p.recv_legs) {
-    dp_.RemoveFeedback(leg.sfu_port);
+  for (auto& [sender, ps] : p.by_sender) {
+    if (!ps.leg) continue;
+    dp_.RemoveFeedback(ps.leg->sfu_port);
     auto sit = participants_.find(sender);
     if (sit != participants_.end()) {
       dp_.RemoveEgress(EgressKey{sit->second.media_src,
                                  static_cast<uint16_t>(id)});
-      dp_.RemoveEgress(EgressKey{leg.client, static_cast<uint16_t>(sender)});
+      dp_.RemoveEgress(
+          EgressKey{ps.leg->client, static_cast<uint16_t>(sender)});
       dp_.RemoveSvc(SvcKey{sit->second.video_ssrc, id});
     }
   }
-  for (auto& [sender, idx] : p.rewriter_index) dp_.FreeRewriter(idx);
+  for (auto& [sender, ps] : p.by_sender) {
+    if (ps.rewriter_index) dp_.FreeRewriter(*ps.rewriter_index);
+  }
   // Other participants' legs toward this (now removed) sender.
   for (auto& [pid, other] : participants_) {
     if (pid == id) continue;
-    auto leg = other.recv_legs.find(id);
-    if (leg != other.recv_legs.end()) {
-      dp_.RemoveFeedback(leg->second.sfu_port);
+    auto psit = other.by_sender.find(id);
+    if (psit != other.by_sender.end() && psit->second.leg) {
+      PerSender& ps = psit->second;
+      dp_.RemoveFeedback(ps.leg->sfu_port);
       dp_.RemoveEgress(EgressKey{p.media_src, static_cast<uint16_t>(pid)});
-      dp_.RemoveEgress(
-          EgressKey{leg->second.client, static_cast<uint16_t>(id)});
+      dp_.RemoveEgress(EgressKey{ps.leg->client, static_cast<uint16_t>(id)});
       dp_.RemoveSvc(SvcKey{p.video_ssrc, pid});
-      auto rw = other.rewriter_index.find(id);
-      if (rw != other.rewriter_index.end()) {
-        dp_.FreeRewriter(rw->second);
-        other.rewriter_index.erase(rw);
+      if (ps.rewriter_index) {
+        dp_.FreeRewriter(*ps.rewriter_index);
+        ps.rewriter_index.reset();
       }
-      other.recv_legs.erase(leg);
-      other.dt.erase(id);
-      other.remb_ewma.erase(id);
-      other.est_hist.erase(id);
+      // Clear the leg-scoped fields; the hold-down state stays (see the
+      // PerSender comment).
+      ps.leg.reset();
+      ps.dt.reset();
+      ps.remb_ewma.reset();
+      ps.est_hist.clear();
     }
   }
   if (p.sends_video) ssrc_to_sender_.erase(p.video_ssrc);
@@ -319,9 +326,10 @@ uint16_t SwitchAgent::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
   Leg leg;
   leg.sfu_port = port;
   leg.client = receiver_client;
-  recv.recv_legs[sender] = leg;
-  recv.dt[sender] = 2;
-  recv.leg_created[sender] = sched_.now();
+  PerSender& ps = recv.by_sender[sender];
+  ps.leg = leg;
+  ps.dt = 2;
+  ps.leg_created = sched_.now();
 
   // Media path: sender's packets, replica rid = receiver.
   EgressEntry media_out;
@@ -361,10 +369,10 @@ uint16_t SwitchAgent::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
 
 void SwitchAgent::ProcessRemb(Participant& receiver, ParticipantId sender,
                               uint64_t bitrate) {
-  auto [it, inserted] = receiver.remb_ewma.try_emplace(
-      sender, util::Ewma(cfg_.remb_ewma_alpha));
-  it->second.Add(static_cast<double>(bitrate));
-  auto& hist = receiver.est_hist[sender];
+  PerSender& ps = receiver.by_sender[sender];
+  if (!ps.remb_ewma) ps.remb_ewma.emplace(cfg_.remb_ewma_alpha);
+  ps.remb_ewma->Add(static_cast<double>(bitrate));
+  auto& hist = ps.est_hist;
   hist.push_back(bitrate);
   if (hist.size() > 32) hist.erase(hist.begin());
 
@@ -375,9 +383,7 @@ void SwitchAgent::ProcessRemb(Participant& receiver, ParticipantId sender,
   // bursts skew both GCC and the SR-based sender rate).
   if (pinned_dt_.count({receiver.id, sender}) > 0) return;
   if (hist.size() < 5) return;
-  auto created = receiver.leg_created.find(sender);
-  if (created != receiver.leg_created.end() &&
-      sched_.now() - created->second < cfg_.policy_warmup) {
+  if (ps.leg_created && sched_.now() - *ps.leg_created < cfg_.policy_warmup) {
     return;
   }
   uint64_t sender_rate = SenderRateOf(sender);
@@ -403,20 +409,19 @@ void SwitchAgent::ProcessRemb(Participant& receiver, ParticipantId sender,
   if (next != curr) {
     util::TimeUs now = sched_.now();
     if (next < curr) {
-      receiver.last_downgrade[sender] = now;
+      ps.last_downgrade = now;
       // A downgrade shortly after an upgrade = failed probe: back off.
-      auto up = receiver.last_upgrade.find(sender);
-      auto [b, inserted] =
-          receiver.backoff.try_emplace(sender, cfg_.upgrade_hold_down);
-      if (up != receiver.last_upgrade.end() &&
-          now - up->second < cfg_.failed_probe_window) {
-        b->second = std::min<util::DurationUs>(b->second * 2,
-                                               cfg_.upgrade_hold_down_max);
-      } else if (!inserted) {
-        b->second = cfg_.upgrade_hold_down;  // organic downgrade: reset
+      bool had_backoff = ps.backoff.has_value();
+      if (!had_backoff) ps.backoff = cfg_.upgrade_hold_down;
+      if (ps.last_upgrade &&
+          now - *ps.last_upgrade < cfg_.failed_probe_window) {
+        ps.backoff = std::min<util::DurationUs>(*ps.backoff * 2,
+                                                cfg_.upgrade_hold_down_max);
+      } else if (had_backoff) {
+        ps.backoff = cfg_.upgrade_hold_down;  // organic downgrade: reset
       }
     } else {
-      receiver.last_upgrade[sender] = now;
+      ps.last_upgrade = now;
     }
     ApplyDecodeTarget(receiver, sender, next);
   }
@@ -449,12 +454,11 @@ int SwitchAgent::DefaultPolicy(const Participant& receiver,
   // hold-down since the last downgrade.
   if (curr < 2 &&
       est >= cfg_.up_margin * cfg_.layer_rate_fraction[curr + 1] * rate) {
-    auto down = receiver.last_downgrade.find(sender);
-    if (down != receiver.last_downgrade.end()) {
-      util::DurationUs hold = cfg_.upgrade_hold_down;
-      auto b = receiver.backoff.find(sender);
-      if (b != receiver.backoff.end()) hold = b->second;
-      if (sched_.now() - down->second < hold) return curr;
+    auto ps = receiver.by_sender.find(sender);
+    if (ps != receiver.by_sender.end() && ps->second.last_downgrade) {
+      util::DurationUs hold =
+          ps->second.backoff.value_or(cfg_.upgrade_hold_down);
+      if (sched_.now() - *ps->second.last_downgrade < hold) return curr;
     }
     return curr + 1;
   }
@@ -475,14 +479,18 @@ void SwitchAgent::RunDownlinkFilter(MeetingId meeting, ParticipantId sender) {
   for (ParticipantId r : m.members) {
     if (r == sender) continue;
     const Participant& p = participants_.at(r);
-    auto e = p.remb_ewma.find(sender);
-    if (e == p.remb_ewma.end() || !e->second.has_value()) continue;
-    if (e->second.value() > best_val) {
-      best_val = e->second.value();
+    auto e = p.by_sender.find(sender);
+    if (e == p.by_sender.end() || !e->second.remb_ewma ||
+        !e->second.remb_ewma->has_value()) {
+      continue;
+    }
+    double val = e->second.remb_ewma->value();
+    if (val > best_val) {
+      best_val = val;
       best = r;
     }
     if (cur != m.best_downlink.end() && cur->second == r) {
-      current_val = e->second.value();
+      current_val = val;
     }
   }
   if (best == 0) return;
@@ -495,18 +503,18 @@ void SwitchAgent::RunDownlinkFilter(MeetingId meeting, ParticipantId sender) {
   if (cur != m.best_downlink.end()) {
     auto old_it = participants_.find(cur->second);
     if (old_it != participants_.end()) {
-      auto old_leg = old_it->second.recv_legs.find(sender);
-      if (old_leg != old_it->second.recv_legs.end()) {
-        FeedbackEntry* fb = dp_.MutableFeedback(old_leg->second.sfu_port);
+      auto old_ps = old_it->second.by_sender.find(sender);
+      if (old_ps != old_it->second.by_sender.end() && old_ps->second.leg) {
+        FeedbackEntry* fb = dp_.MutableFeedback(old_ps->second.leg->sfu_port);
         if (fb != nullptr) fb->remb_allowed = false;
         ++stats_.dataplane_writes;
       }
     }
   }
   const Participant& new_p = participants_.at(best);
-  auto new_leg = new_p.recv_legs.find(sender);
-  if (new_leg != new_p.recv_legs.end()) {
-    FeedbackEntry* fb = dp_.MutableFeedback(new_leg->second.sfu_port);
+  auto new_ps = new_p.by_sender.find(sender);
+  if (new_ps != new_p.by_sender.end() && new_ps->second.leg) {
+    FeedbackEntry* fb = dp_.MutableFeedback(new_ps->second.leg->sfu_port);
     if (fb != nullptr) fb->remb_allowed = true;
     ++stats_.dataplane_writes;
   }
@@ -527,7 +535,7 @@ void SwitchAgent::ApplyDecodeTarget(Participant& receiver,
   // inter-switch link changed layers (driven by the downstream switch's
   // forwarded REMB) — the cascade's cross-switch adaptation events.
   if (receiver.is_relay) ++stats_.relay_dt_changes;
-  receiver.dt[sender] = new_dt;
+  receiver.by_sender[sender].dt = new_dt;
   Participant& send = participants_.at(sender);
 
   SkipCadence cadence = CadenceFor(sender, new_dt);
@@ -538,7 +546,7 @@ void SwitchAgent::ApplyDecodeTarget(Participant& receiver,
     fresh.decode_target = new_dt;
     fresh.cadence = cadence;
     fresh.rewriter_index = dp_.AllocateRewriter(cadence);
-    receiver.rewriter_index[sender] = fresh.rewriter_index;
+    receiver.by_sender[sender].rewriter_index = fresh.rewriter_index;
     dp_.InstallSvc(key, fresh);
     svc = dp_.MutableSvc(key);
   } else {
@@ -574,7 +582,9 @@ void SwitchAgent::RebuildMeeting(MeetingId meeting) {
     m.audio_ssrc = p.audio_ssrc;
     m.sends_video = p.sends_video;
     m.sends_audio = p.sends_audio;
-    m.decode_targets = p.dt;
+    for (const auto& [sender, ps] : p.by_sender) {
+      if (ps.dt) m.decode_targets.emplace(sender, *ps.dt);
+    }
     spec.members.push_back(std::move(m));
   }
   TreeDesign design = trees_.Reconfigure(spec);
@@ -583,7 +593,8 @@ void SwitchAgent::RebuildMeeting(MeetingId meeting) {
   // Keep egress-filter flags consistent with the design in effect.
   for (ParticipantId pid : mit->second.members) {
     Participant& p = participants_.at(pid);
-    for (auto& [sender, dt] : p.dt) {
+    for (auto& [sender, ps] : p.by_sender) {
+      if (!ps.dt) continue;
       const Participant& s = participants_.at(sender);
       SvcEntry* svc = dp_.MutableSvc(SvcKey{s.video_ssrc, pid});
       if (svc != nullptr) {
@@ -611,8 +622,9 @@ int SwitchAgent::DecodeTargetOf(ParticipantId receiver,
                                 ParticipantId sender) const {
   auto it = participants_.find(receiver);
   if (it == participants_.end()) return 2;
-  auto dt = it->second.dt.find(sender);
-  return dt == it->second.dt.end() ? 2 : dt->second;
+  auto ps = it->second.by_sender.find(sender);
+  if (ps == it->second.by_sender.end() || !ps->second.dt) return 2;
+  return *ps->second.dt;
 }
 
 ParticipantId SwitchAgent::BestDownlinkOf(ParticipantId sender) const {

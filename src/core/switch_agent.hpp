@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
@@ -155,6 +156,23 @@ class SwitchAgent {
     uint16_t sfu_port = 0;
     net::Endpoint client;
   };
+  // Everything a receiver tracks about one sender, in a single map entry
+  // (one lookup per feedback event instead of one per field). Optional
+  // fields model "no entry yet"; when a sender departs, the leg-scoped
+  // fields are cleared but the upgrade hold-down (last_downgrade /
+  // last_upgrade / backoff) survives, so a re-joining sender doesn't get
+  // a free probe.
+  struct PerSender {
+    std::optional<Leg> leg;
+    std::optional<int> dt;
+    std::optional<util::Ewma> remb_ewma;
+    std::vector<uint64_t> est_hist;
+    std::optional<uint32_t> rewriter_index;
+    std::optional<util::TimeUs> leg_created;
+    std::optional<util::TimeUs> last_downgrade;
+    std::optional<util::TimeUs> last_upgrade;
+    std::optional<util::DurationUs> backoff;
+  };
   struct Participant {
     ParticipantId id = 0;
     MeetingId meeting = 0;
@@ -165,15 +183,7 @@ class SwitchAgent {
     bool sends_video = false;
     bool sends_audio = false;
     bool is_relay = false;  // stands in for another switch's SFU
-    std::map<ParticipantId, Leg> recv_legs;            // by sender
-    std::map<ParticipantId, int> dt;                   // by sender
-    std::map<ParticipantId, util::Ewma> remb_ewma;     // by sender
-    std::map<ParticipantId, std::vector<uint64_t>> est_hist;  // by sender
-    std::map<ParticipantId, uint32_t> rewriter_index;  // by sender
-    std::map<ParticipantId, util::TimeUs> last_downgrade;  // by sender
-    std::map<ParticipantId, util::TimeUs> last_upgrade;    // by sender
-    std::map<ParticipantId, util::DurationUs> backoff;     // by sender
-    std::map<ParticipantId, util::TimeUs> leg_created;     // by sender
+    std::map<ParticipantId, PerSender> by_sender;
   };
   struct SenderRate {
     util::Ewma rate{0.3};

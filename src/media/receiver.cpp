@@ -4,25 +4,36 @@
 
 namespace scallop::media {
 
-void PerSecondSeries::Add(util::TimeUs t, double value) {
-  by_second_[t / 1'000'000] += value;
+// Out-of-order sample (does not happen in simulation, where time is
+// monotone, but keep the container sorted regardless).
+void PerSecondSeries::AddOutOfOrder(int64_t second, double value) {
+  auto it = std::lower_bound(
+      by_second_.begin(), by_second_.end(), second,
+      [](const auto& e, int64_t s) { return e.first < s; });
+  if (it != by_second_.end() && it->first == second) {
+    it->second += value;
+  } else {
+    by_second_.insert(it, {second, value});
+  }
 }
 
 std::vector<std::pair<int64_t, double>> PerSecondSeries::Series() const {
   if (by_second_.empty()) return {};
   std::vector<std::pair<int64_t, double>> out;
-  int64_t first = by_second_.begin()->first;
-  int64_t last = by_second_.rbegin()->first;
-  for (int64_t s = first; s <= last; ++s) {
-    auto it = by_second_.find(s);
-    out.emplace_back(s, it == by_second_.end() ? 0.0 : it->second);
+  int64_t next = by_second_.front().first;
+  for (const auto& [second, sum] : by_second_) {
+    for (; next < second; ++next) out.emplace_back(next, 0.0);
+    out.emplace_back(second, sum);
+    next = second + 1;
   }
   return out;
 }
 
 double PerSecondSeries::SumInSecond(int64_t second) const {
-  auto it = by_second_.find(second);
-  return it == by_second_.end() ? 0.0 : it->second;
+  auto it = std::lower_bound(
+      by_second_.begin(), by_second_.end(), second,
+      [](const auto& e, int64_t s) { return e.first < s; });
+  return (it != by_second_.end() && it->first == second) ? it->second : 0.0;
 }
 
 VideoReceiver::VideoReceiver(const VideoReceiverConfig& cfg,
@@ -35,8 +46,8 @@ VideoReceiver::VideoReceiver(const VideoReceiverConfig& cfg,
 const PerSecondSeries& VideoReceiver::template_bytes_series(
     uint8_t template_id) const {
   static const PerSecondSeries kEmpty;
-  auto it = template_bytes_.find(template_id);
-  return it == template_bytes_.end() ? kEmpty : it->second;
+  return template_id < template_bytes_.size() ? template_bytes_[template_id]
+                                              : kEmpty;
 }
 
 void VideoReceiver::OnPacket(const rtp::RtpPacket& pkt, util::TimeUs arrival) {
@@ -49,8 +60,8 @@ void VideoReceiver::OnPacket(const rtp::RtpPacket& pkt, util::TimeUs arrival) {
   stats_.bytes_received += pkt.payload.size();
   jitter_.OnPacket(pkt.timestamp, arrival);
   bytes_series_.Add(arrival, static_cast<double>(pkt.payload.size()));
-  template_bytes_[dd->template_id].Add(arrival,
-                                       static_cast<double>(pkt.payload.size()));
+  template_bytes_[dd->template_id & 63].Add(
+      arrival, static_cast<double>(pkt.payload.size()));
 
   int64_t seq = seq_unwrap_.Unwrap(pkt.sequence_number);
   int64_t frame = frame_unwrap_.Unwrap(dd->frame_number);
@@ -61,7 +72,10 @@ void VideoReceiver::OnPacket(const rtp::RtpPacket& pkt, util::TimeUs arrival) {
   // the key-frame marker).
   bool key = dd->template_id == 0;
 
-  auto existing = seen_.find(seq);
+  // `seen_` keys are bounded by `seen_max_`, so a seq beyond it cannot be
+  // a duplicate — the common in-order case skips the lookup entirely and
+  // appends with an end hint (O(1) for a monotone key).
+  auto existing = seq > seen_max_ ? seen_.end() : seen_.find(seq);
   if (existing != seen_.end()) {
     ++stats_.duplicate_packets;
     // Same sequence number, different frame content: this is the broken
@@ -77,7 +91,13 @@ void VideoReceiver::OnPacket(const rtp::RtpPacket& pkt, util::TimeUs arrival) {
     }
     return;
   }
-  seen_.emplace(seq, std::make_pair(frame, dd->template_id));
+  if (seq > seen_max_) {
+    seen_.emplace_hint(seen_.end(), seq,
+                       std::make_pair(frame, dd->template_id));
+    seen_max_ = seq;
+  } else {
+    seen_.emplace(seq, std::make_pair(frame, dd->template_id));
+  }
   while (!seen_.empty() && seen_.begin()->first < seq - 4096) {
     seen_.erase(seen_.begin());
   }
@@ -89,7 +109,12 @@ void VideoReceiver::OnPacket(const rtp::RtpPacket& pkt, util::TimeUs arrival) {
                       key,
                       pkt.payload.size(),
                       arrival};
-  buffer_.emplace(seq, info);
+  // Highest-so-far seqs (the in-order common case) append at the end.
+  if (seq > highest_seq_) {
+    buffer_.emplace_hint(buffer_.end(), seq, info);
+  } else {
+    buffer_.emplace(seq, info);
+  }
 
   if (missing_.erase(seq) > 0) {
     ++stats_.recovered_packets;
@@ -226,12 +251,9 @@ void VideoReceiver::DecodeFrame(int64_t frame_number, const PendingFrame& f,
 }
 
 void VideoReceiver::PruneDecodedSet(int64_t below) {
-  for (auto it = decoded_frames_.begin(); it != decoded_frames_.end();) {
-    if (*it < below) {
-      it = decoded_frames_.erase(it);
-    } else {
-      ++it;
-    }
+  auto it = decoded_frames_.begin();
+  while (it != decoded_frames_.end() && *it < below) {
+    it = decoded_frames_.erase(it);
   }
 }
 

@@ -6,9 +6,11 @@
 //     state -> freeze until the next key frame (paper §6.2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_set>
 #include <vector>
 
@@ -21,16 +23,31 @@
 namespace scallop::media {
 
 // Accumulates per-second values; used for fps / bitrate time series in the
-// Fig. 14 and Fig. 23/24 plots.
+// Fig. 14 and Fig. 23/24 plots. Samples arrive in (virtually) monotone
+// time order, so the store is a sorted vector with an O(1) append/update
+// fast path on the newest second — this runs once per received packet.
 class PerSecondSeries {
  public:
-  void Add(util::TimeUs t, double value);
+  void Add(util::TimeUs t, double value) {
+    int64_t second = t / 1'000'000;
+    if (!by_second_.empty() && by_second_.back().first == second) {
+      by_second_.back().second += value;
+      return;
+    }
+    if (by_second_.empty() || second > by_second_.back().first) {
+      by_second_.emplace_back(second, value);
+      return;
+    }
+    AddOutOfOrder(second, value);
+  }
   // (second, sum-in-that-second); seconds with no samples yield 0.
   std::vector<std::pair<int64_t, double>> Series() const;
   double SumInSecond(int64_t second) const;
 
  private:
-  std::map<int64_t, double> by_second_;
+  void AddOutOfOrder(int64_t second, double value);
+
+  std::vector<std::pair<int64_t, double>> by_second_;  // sorted by second
 };
 
 struct VideoReceiverConfig {
@@ -138,7 +155,10 @@ class VideoReceiver {
   std::map<int64_t, MissingPacket> missing_;
   std::unordered_set<int64_t> abandoned_;
   std::map<int64_t, PendingFrame> pending_frames_;
-  std::unordered_set<int64_t> decoded_frames_;
+  int64_t seen_max_ = -1;  // highest key ever inserted into seen_
+  // Ordered so pruning can erase the aged prefix and stop at the first
+  // survivor instead of walking the whole set per decoded frame.
+  std::set<int64_t> decoded_frames_;
   int64_t max_seen_frame_ = -1;
   int64_t last_decoded_frame_ = -1;
 
@@ -153,7 +173,9 @@ class VideoReceiver {
   util::JitterEstimator jitter_;
   PerSecondSeries fps_series_;
   PerSecondSeries bytes_series_;
-  std::map<uint8_t, PerSecondSeries> template_bytes_;
+  // Indexed directly by template id (6 bits on the wire): this is touched
+  // once per video packet, and a flat array beats a map lookup.
+  std::array<PerSecondSeries, 64> template_bytes_;
   std::map<int64_t, util::TimeUs> decode_times_;  // frame -> decode time
 };
 

@@ -38,9 +38,14 @@ struct Packet {
 
 using PacketPtr = std::shared_ptr<Packet>;
 
+// Draws a Packet from a process-wide freelist (simulation is
+// single-threaded); released packets return to it, keeping their payload
+// capacity for the next occupant.
+PacketPtr AcquirePacket();
+
 inline PacketPtr MakePacket(Endpoint src, Endpoint dst,
                             std::vector<uint8_t> payload) {
-  auto p = std::make_shared<Packet>();
+  PacketPtr p = AcquirePacket();
   p->src = src;
   p->dst = dst;
   p->payload = std::move(payload);

@@ -2,30 +2,6 @@
 
 namespace scallop::rtp {
 
-PayloadKind Classify(std::span<const uint8_t> payload) {
-  if (payload.size() < 2) return PayloadKind::kUnknown;
-  uint8_t first = payload[0];
-  uint8_t top2 = first >> 6;
-  if (top2 == 0) {
-    // STUN: first two bits zero and (if long enough) the magic cookie at
-    // offset 4. Keep the check shallow like the hardware lookahead.
-    if (payload.size() >= 8) {
-      if (payload[4] == 0x21 && payload[5] == 0x12 && payload[6] == 0xA4 &&
-          payload[7] == 0x42) {
-        return PayloadKind::kStun;
-      }
-      return PayloadKind::kUnknown;
-    }
-    return PayloadKind::kUnknown;
-  }
-  if (top2 == 2) {
-    uint8_t pt = payload[1];
-    if (pt >= 200 && pt <= 206) return PayloadKind::kRtcp;
-    return PayloadKind::kRtp;
-  }
-  return PayloadKind::kUnknown;
-}
-
 std::string PayloadKindName(PayloadKind k) {
   switch (k) {
     case PayloadKind::kRtp: return "RTP";

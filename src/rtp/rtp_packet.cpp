@@ -92,6 +92,7 @@ std::optional<RtpPacket> RtpPacket::Parse(std::span<const uint8_t> data) {
     auto ext_data = r.ReadBytes(static_cast<size_t>(words) * 4);
     if (!r.ok()) return std::nullopt;
     ByteReader er(ext_data);
+    pkt.extensions.reserve(4);  // one growth step covers typical packets
     if (profile == kOneByteExtProfile) {
       while (er.remaining() > 0) {
         uint8_t hdr = er.ReadU8();

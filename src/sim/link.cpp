@@ -16,7 +16,8 @@ size_t Link::QueuedBytes() const {
                              8e6);
 }
 
-void Link::Send(net::PacketPtr pkt, DeliverFn deliver) {
+void Link::Send(net::PacketPtr pkt, DeliverFn deliver,
+                util::TimeUs depart_at) {
   ++stats_.sent_packets;
   stats_.sent_bytes += pkt->wire_size();
 
@@ -26,9 +27,16 @@ void Link::Send(net::PacketPtr pkt, DeliverFn deliver) {
   }
 
   util::TimeUs now = sched_.now();
+  if (depart_at > now) now = depart_at;
   util::TimeUs tx_end;
   if (cfg_.rate_bps > 0.0) {
-    if (QueuedBytes() + pkt->wire_size() > cfg_.queue_bytes) {
+    // Backlog relative to the (possibly deferred) departure time.
+    util::TimeUs backlog = busy_until_ - now;
+    size_t queued =
+        backlog <= 0 ? 0
+                     : static_cast<size_t>(static_cast<double>(backlog) *
+                                           cfg_.rate_bps / 8e6);
+    if (queued + pkt->wire_size() > cfg_.queue_bytes) {
       ++stats_.dropped_packets;
       return;
     }
@@ -50,13 +58,32 @@ void Link::Send(net::PacketPtr pkt, DeliverFn deliver) {
   }
 
   util::TimeUs arrival = tx_end + cfg_.prop_delay + extra;
-  sched_.At(arrival, [this, pkt = std::move(pkt),
-                      deliver = std::move(deliver), arrival]() mutable {
-    ++stats_.delivered_packets;
-    stats_.delivered_bytes += pkt->wire_size();
-    pkt->arrival = arrival;
-    deliver(std::move(pkt));
-  });
+  uint32_t idx;
+  if (!flight_free_.empty()) {
+    idx = flight_free_.back();
+    flight_free_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(flights_.size());
+    flights_.emplace_back();
+  }
+  Flight& f = flights_[idx];
+  f.pkt = std::move(pkt);
+  f.deliver = std::move(deliver);
+  f.arrival = arrival;
+  // BatchAt: deliveries are never cancelled, and batching them collapses
+  // fan-out bursts into one event-queue operation.
+  sched_.BatchAt(arrival, [this, idx] { Deliver(idx); });
+}
+
+void Link::Deliver(uint32_t idx) {
+  net::PacketPtr pkt = std::move(flights_[idx].pkt);
+  DeliverFn deliver = std::move(flights_[idx].deliver);
+  util::TimeUs arrival = flights_[idx].arrival;
+  flight_free_.push_back(idx);
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += pkt->wire_size();
+  pkt->arrival = arrival;
+  deliver(std::move(pkt));
 }
 
 }  // namespace scallop::sim

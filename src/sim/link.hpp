@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
@@ -39,7 +40,11 @@ class Link {
   Link(Scheduler& sched, LinkConfig cfg, uint64_t seed);
 
   // Enqueues the packet; on delivery calls `deliver` at the arrival time.
-  void Send(net::PacketPtr pkt, DeliverFn deliver);
+  // `depart_at` (if ahead of now) defers the start of serialization — the
+  // switch uses it to model its fixed pipeline latency without paying a
+  // scheduler event per packet just to delay the hand-off.
+  void Send(net::PacketPtr pkt, DeliverFn deliver,
+            util::TimeUs depart_at = -1);
 
   // Runtime knobs (take effect for subsequently sent packets).
   void set_rate_bps(double bps) { cfg_.rate_bps = bps; }
@@ -55,11 +60,24 @@ class Link {
   size_t QueuedBytes() const;
 
  private:
+  void Deliver(uint32_t idx);
+
+  // In-flight packets live in a slab so the scheduled delivery closure
+  // captures only {this, idx} — small enough for std::function's inline
+  // buffer, so the per-packet path never heap-allocates.
+  struct Flight {
+    net::PacketPtr pkt;
+    DeliverFn deliver;
+    util::TimeUs arrival = 0;
+  };
+
   Scheduler& sched_;
   LinkConfig cfg_;
   util::Rng rng_;
   util::TimeUs busy_until_ = 0;
   LinkStats stats_;
+  std::vector<Flight> flights_;
+  std::vector<uint32_t> flight_free_;
 };
 
 }  // namespace scallop::sim

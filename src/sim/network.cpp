@@ -59,7 +59,7 @@ void Network::ClearRoute(net::Ipv4 src, net::Ipv4 dst) {
 }
 
 void Network::SendAlongRoute(net::PacketPtr pkt, const Route& path,
-                             size_t hop) {
+                             size_t hop, util::TimeUs depart_at) {
   if (hop + 1 >= path->size()) {
     auto dst_it = hosts_.find(pkt->dst.addr);
     if (dst_it == hosts_.end()) {
@@ -74,17 +74,21 @@ void Network::SendAlongRoute(net::PacketPtr pkt, const Route& path,
     ++blackholed_;  // route names a hop the backbone does not connect
     return;
   }
-  link->Send(std::move(pkt), [this, path, hop](net::PacketPtr p) {
-    SendAlongRoute(std::move(p), path, hop + 1);
-  });
+  link->Send(
+      std::move(pkt),
+      [this, path, hop](net::PacketPtr p) {
+        SendAlongRoute(std::move(p), path, hop + 1);
+      },
+      depart_at);
 }
 
-void Network::Send(net::PacketPtr pkt) {
+void Network::Send(net::PacketPtr pkt, util::TimeUs depart_at) {
+  util::TimeUs sent_at = depart_at > sched_.now() ? depart_at : sched_.now();
   if (!routes_.empty()) {
     auto rit = routes_.find({pkt->src.addr, pkt->dst.addr});
     if (rit != routes_.end()) {
-      pkt->sent_at = sched_.now();
-      SendAlongRoute(std::move(pkt), rit->second, 0);
+      pkt->sent_at = sent_at;
+      SendAlongRoute(std::move(pkt), rit->second, 0, depart_at);
       return;
     }
   }
@@ -93,18 +97,21 @@ void Network::Send(net::PacketPtr pkt) {
     ++blackholed_;
     return;
   }
-  pkt->sent_at = sched_.now();
-  src_it->second.up->Send(std::move(pkt), [this](net::PacketPtr p) {
-    auto dst_it = hosts_.find(p->dst.addr);
-    if (dst_it == hosts_.end()) {
-      ++blackholed_;
-      return;
-    }
-    Host* host = dst_it->second.host;
-    dst_it->second.down->Send(std::move(p), [host](net::PacketPtr q) {
-      host->OnPacket(std::move(q));
-    });
-  });
+  pkt->sent_at = sent_at;
+  src_it->second.up->Send(
+      std::move(pkt),
+      [this](net::PacketPtr p) {
+        auto dst_it = hosts_.find(p->dst.addr);
+        if (dst_it == hosts_.end()) {
+          ++blackholed_;
+          return;
+        }
+        Host* host = dst_it->second.host;
+        dst_it->second.down->Send(std::move(p), [host](net::PacketPtr q) {
+          host->OnPacket(std::move(q));
+        });
+      },
+      depart_at);
 }
 
 Link* Network::uplink(net::Ipv4 addr) {

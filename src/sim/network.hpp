@@ -43,8 +43,9 @@ class Network {
   // route is installed for (src, dst), in which case the packet traverses
   // the route's pair links instead. Packets to unknown destinations (or
   // hitting a route hop with no pair link) are counted and dropped (like
-  // a routing blackhole).
-  void Send(net::PacketPtr pkt);
+  // a routing blackhole). `depart_at` (if ahead of now) defers the first
+  // hop's serialization start — see Link::Send.
+  void Send(net::PacketPtr pkt, util::TimeUs depart_at = -1);
 
   // ---- backbone modeling --------------------------------------------------
   // Installs a dedicated bidirectional link pair between two hosts
@@ -79,7 +80,8 @@ class Network {
   using PairKey = std::pair<net::Ipv4, net::Ipv4>;  // directed (from, to)
   using Route = std::shared_ptr<const std::vector<net::Ipv4>>;
 
-  void SendAlongRoute(net::PacketPtr pkt, const Route& path, size_t hop);
+  void SendAlongRoute(net::PacketPtr pkt, const Route& path, size_t hop,
+                      util::TimeUs depart_at = -1);
 
   Scheduler& sched_;
   uint64_t seed_;

@@ -67,8 +67,16 @@ std::vector<Replica> ReplicationEngine::Replicate(uint32_t mgid,
                                                   uint16_t pkt_rid,
                                                   uint16_t pkt_l2_xid) const {
   std::vector<Replica> out;
+  ReplicateInto(mgid, pkt_l1_xid, pkt_rid, pkt_l2_xid, out);
+  return out;
+}
+
+void ReplicationEngine::ReplicateInto(uint32_t mgid, uint16_t pkt_l1_xid,
+                                      uint16_t pkt_rid, uint16_t pkt_l2_xid,
+                                      std::vector<Replica>& out) const {
+  out.clear();
   auto it = trees_.find(mgid);
-  if (it == trees_.end()) return out;
+  if (it == trees_.end()) return;
 
   const std::vector<uint32_t>* excluded_ports = nullptr;
   if (pkt_l2_xid != 0) {
@@ -93,7 +101,6 @@ std::vector<Replica> ReplicationEngine::Replicate(uint32_t mgid,
       ++replicas_produced_;
     }
   }
-  return out;
 }
 
 }  // namespace scallop::switchsim

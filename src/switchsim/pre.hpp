@@ -54,6 +54,11 @@ class ReplicationEngine {
   // ingress pipeline; returns the surviving replicas.
   std::vector<Replica> Replicate(uint32_t mgid, uint16_t pkt_l1_xid,
                                  uint16_t pkt_rid, uint16_t pkt_l2_xid) const;
+  // Allocation-free variant for the per-packet path: clears `out` and
+  // appends the surviving replicas (callers keep a scratch vector whose
+  // capacity persists across packets).
+  void ReplicateInto(uint32_t mgid, uint16_t pkt_l1_xid, uint16_t pkt_rid,
+                     uint16_t pkt_l2_xid, std::vector<Replica>& out) const;
 
   size_t tree_count() const { return trees_.size(); }
   size_t node_count() const { return total_nodes_; }

@@ -38,11 +38,11 @@ void Switch::OnPacket(net::PacketPtr pkt) {
   }
 
   if (meta.mgid != 0) {
-    auto replicas =
-        pre_.Replicate(meta.mgid, meta.l1_xid, meta.rid, meta.l2_xid);
+    pre_.ReplicateInto(meta.mgid, meta.l1_xid, meta.rid, meta.l2_xid,
+                       replica_scratch_);
     util::DurationUs delay = cfg_.pipeline_latency;
     bool any = false;
-    for (const Replica& rep : replicas) {
+    for (const Replica& rep : replica_scratch_) {
       auto copy = net::ClonePacket(*pkt);
       if (program_->Egress(*copy, meta, rep)) {
         ++stats_.replicas;
@@ -67,9 +67,11 @@ void Switch::Emit(net::PacketPtr pkt, util::DurationUs extra_delay) {
   ++stats_.packets_out;
   stats_.bytes_out += pkt->wire_size();
   resources_.AccountEgress(pkt->wire_size());
-  sched_.After(extra_delay, [this, pkt = std::move(pkt)]() mutable {
-    network_.Send(std::move(pkt));
-  });
+  // The pipeline traversal delay is modeled as a deferred departure on the
+  // first link hop instead of a scheduler event: emits reach the network
+  // in pipeline order either way, and this keeps the fan-out burst free of
+  // per-replica event-queue traffic.
+  network_.Send(std::move(pkt), sched_.now() + extra_delay);
 }
 
 }  // namespace scallop::switchsim

@@ -26,6 +26,20 @@ struct PacketMetadata {
   uint16_t l1_xid = 0;
   uint16_t rid = 0;
   uint16_t l2_xid = 0;
+
+  // Parse-once cache, filled by the ingress pass for RTP media and reused
+  // by every egress replica (each replica is cloned from the packet
+  // ingress saw, so the cached fields stay valid until egress mutates the
+  // clone). A program that leaves `rtp_parsed` false gets the previous
+  // behavior: egress re-parses the payload per replica.
+  bool rtp_parsed = false;
+  bool dd_found = false;       // dd_* fields below are valid
+  uint8_t dd_template_id = 0;
+  bool dd_start_of_frame = false;
+  bool dd_end_of_frame = false;
+  uint16_t dd_frame_number = 0;
+  uint32_t rtp_ssrc = 0;
+  uint16_t rtp_seq = 0;
 };
 
 // A pipeline program: the Scallop data plane implements this interface.
@@ -95,6 +109,8 @@ class Switch : public sim::Host {
   ReplicationEngine pre_;
   ResourceModel resources_;
   PipelineProgram* program_ = nullptr;
+  // Reused across packets so replication doesn't allocate per packet.
+  std::vector<Replica> replica_scratch_;
   CpuHandler cpu_handler_;
   IngressTap ingress_tap_;
   SwitchStats stats_;

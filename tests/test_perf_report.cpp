@@ -1,0 +1,219 @@
+// Pins the machine-readable bench contract (BENCH_<area>.json schema,
+// round-trip, env-var routing) and the scheduler guarantees the perf
+// campaign leans on: pending() stays exact under cancel-heavy churn, and
+// BatchAt stays observationally identical to At — same FIFO order among
+// equal times, interleaved with At events by the shared sequence counter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf_report.hpp"
+#include "sim/scheduler.hpp"
+
+namespace scallop {
+namespace {
+
+// ---- BENCH_<area>.json contract -------------------------------------------
+
+TEST(PerfReport, JsonCarriesPinnedSchema) {
+  bench::PerfReport report("scheduler");
+  report.AddMetric("events_per_sec", 1.5e6, "events/s");
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"scallop-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"area\": \"scheduler\""), std::string::npos);
+}
+
+TEST(PerfReport, RoundTripPreservesMetricsAndParams) {
+  bench::PerfReport report("fleet_scale");
+  report.AddMetric("sim_s_per_wall_s", 1.6789, "sim-s/wall-s");
+  report.AddMetric("wall_seconds", 2.5, "s", /*higher_is_better=*/false);
+  report.AddParam("peers", 216);
+  report.AddParam("sim_seconds", 3);
+
+  auto parsed = bench::PerfReport::Parse(report.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->area(), "fleet_scale");
+  ASSERT_EQ(parsed->metrics().size(), 2u);
+  const bench::PerfMetric* m = parsed->FindMetric("sim_s_per_wall_s");
+  ASSERT_NE(m, nullptr);
+  EXPECT_NEAR(m->value, 1.6789, 1e-9);
+  EXPECT_EQ(m->unit, "sim-s/wall-s");
+  EXPECT_TRUE(m->higher_is_better);
+  const bench::PerfMetric* w = parsed->FindMetric("wall_seconds");
+  ASSERT_NE(w, nullptr);
+  EXPECT_FALSE(w->higher_is_better);
+  ASSERT_EQ(parsed->params().size(), 2u);
+  EXPECT_EQ(parsed->params()[0].name, "peers");
+  EXPECT_NEAR(parsed->params()[0].value, 216.0, 1e-9);
+}
+
+TEST(PerfReport, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(bench::PerfReport::Parse("").has_value());
+  EXPECT_FALSE(bench::PerfReport::Parse("not json at all").has_value());
+  EXPECT_FALSE(
+      bench::PerfReport::Parse("{\"schema\": \"other-v9\"}").has_value());
+}
+
+TEST(PerfReport, WriteJsonHonorsBenchDirEnv) {
+  std::string dir = ::testing::TempDir();
+  // TempDir may end with '/', WriteJson joins with '/': tolerate both.
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  ASSERT_EQ(setenv("SCALLOP_BENCH_DIR", dir.c_str(), 1), 0);
+  bench::PerfReport report("unit_test_area");
+  report.AddMetric("m", 42.0, "u");
+  std::string path = report.WriteJson();
+  unsetenv("SCALLOP_BENCH_DIR");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, dir + "/BENCH_unit_test_area.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  auto parsed = bench::PerfReport::Parse(contents.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->area(), "unit_test_area");
+  std::remove(path.c_str());
+}
+
+// ---- scheduler invariants the fast paths must uphold -----------------------
+
+// pending() is computed from four moving parts (main heap size, cancelled
+// tombstones, staged batch entries, the armed batch wake). Churn all of
+// them against a simple reference count. Deterministic xorshift so the
+// interleaving is reproducible.
+TEST(SchedulerInvariants, PendingExactUnderCancelHeavyChurn) {
+  sim::Scheduler s;
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  std::vector<uint64_t> live_ids;
+  std::vector<uint64_t> dead_ids;  // cancelled or obviously stale
+  size_t expected_pending = 0;
+  size_t expected_fires = 0;
+  size_t fired = 0;
+
+  for (int op = 0; op < 5000; ++op) {
+    switch (next() % 4) {
+      case 0:  // cancellable event
+        live_ids.push_back(
+            s.At(static_cast<util::TimeUs>(next() % 1000), [&] { ++fired; }));
+        ++expected_pending;
+        ++expected_fires;
+        break;
+      case 1:  // batched (uncancellable) event
+        s.BatchAt(static_cast<util::TimeUs>(next() % 1000), [&] { ++fired; });
+        ++expected_pending;
+        ++expected_fires;
+        break;
+      case 2:  // cancel a live id
+        if (!live_ids.empty()) {
+          size_t i = next() % live_ids.size();
+          s.Cancel(live_ids[i]);
+          dead_ids.push_back(live_ids[i]);
+          live_ids[i] = live_ids.back();
+          live_ids.pop_back();
+          --expected_pending;
+          --expected_fires;
+        }
+        break;
+      case 3:  // double-cancel: must be a no-op on the counts
+        if (!dead_ids.empty()) s.Cancel(dead_ids[next() % dead_ids.size()]);
+        break;
+    }
+    ASSERT_EQ(s.pending(), expected_pending) << "after op " << op;
+    ASSERT_EQ(s.empty(), expected_pending == 0);
+  }
+
+  s.RunAll();
+  EXPECT_EQ(fired, expected_fires);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(s.empty());
+
+  // Cancelling long-fired ids after the run is still a no-op.
+  for (uint64_t id : live_ids) s.Cancel(id);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// BatchAt promises At's ordering: among events with equal timestamps,
+// submission order wins — even when At and BatchAt submissions interleave,
+// because both draw from the one sequence counter.
+TEST(SchedulerInvariants, BatchedDeliveryKeepsFifoAmongEqualTimes) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.At(100, [&] { order.push_back(0); });
+  s.BatchAt(100, [&] { order.push_back(1); });
+  s.At(100, [&] { order.push_back(2); });
+  s.BatchAt(100, [&] { order.push_back(3); });
+  s.BatchAt(100, [&] { order.push_back(4); });
+  s.At(100, [&] { order.push_back(5); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.now(), 100);
+}
+
+// Same promise across distinct timestamps: the merged At/BatchAt stream
+// runs in global (when, submission) order regardless of which side each
+// event entered through, including same-time reentrant submissions from
+// inside a running batched callback.
+TEST(SchedulerInvariants, BatchedAndDirectEventsMergeInTimeOrder) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.BatchAt(300, [&] { order.push_back(5); });
+  s.At(100, [&] { order.push_back(1); });
+  s.BatchAt(200, [&] {
+    order.push_back(3);
+    // Reentrant: a batched callback staging more work at its own
+    // timestamp still runs after everything already submitted for that
+    // timestamp (its sequence number is newer).
+    s.BatchAt(200, [&] { order.push_back(4); });
+    s.BatchAt(400, [&] { order.push_back(6); });
+  });
+  s.BatchAt(100, [&] { order.push_back(2); });
+  s.At(50, [&] { order.push_back(0); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(s.now(), 400);
+}
+
+TEST(SchedulerInvariants, BatchAtClampsPastTimesToNow) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.At(100, [&] {
+    // now() == 100; a batched event aimed at the past must not rewind.
+    s.BatchAt(10, [&] { order.push_back(1); });
+    order.push_back(0);
+  });
+  s.At(100, [&] { order.push_back(2); });
+  s.RunAll();
+  // The clamped event keeps its (newer) submission order at t=100.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(SchedulerInvariants, RunUntilLeavesFutureBatchedWorkStaged) {
+  sim::Scheduler s;
+  int fired = 0;
+  s.BatchAt(500, [&] { ++fired; });
+  s.BatchAt(600, [&] { ++fired; });
+  s.RunUntil(250);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_EQ(s.now(), 250);
+  s.RunAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace scallop
