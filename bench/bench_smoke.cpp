@@ -5,7 +5,11 @@
 // on (must show at least one live meeting migration without any
 // failover), and a fleet{3} cascade leg where the placement policy splits
 // one meeting across switches (fails if no relay span is installed, no
-// media crosses the inter-switch relay, or any peer starves). Exists so
+// media crosses the inter-switch relay, or any peer starves), and a
+// federated fleet{6,2} leg — cross-region border span plus mid-run
+// controller death and shard adoption (fails on starvation, zero
+// east-west traffic, or a meeting left with the dead controller). Exists
+// so
 // the bench pipeline (ScenarioRunner + bench_common), the backend seam
 // and the control plane stay exercised on every push without paying for a
 // paper-scale run; exits nonzero if any substrate fails to deliver media
@@ -18,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "harness/runner.hpp"
+#include "testbed/fleet_testbed.hpp"
 
 namespace {
 
@@ -169,6 +174,44 @@ int main() {
                   "(tree=%llu hub=%llu backbone bytes)\n",
                   static_cast<unsigned long long>(backbone_bytes(tree)),
                   static_cast<unsigned long long>(backbone_bytes(hub)));
+      ok = false;
+    }
+  }
+
+  // Federated control plane (fleet{6,2}): two region controllers peered
+  // east-west, a cross-region meeting under Cascade(1) (one region owns 3
+  // switches, so a 5-party meeting must borrow a border span from the
+  // other), and a mid-run controller death whose shard the surviving
+  // region adopts. Fails on starvation, zero east-west traffic, a missing
+  // border span, or any meeting left owned by the dead controller.
+  {
+    harness::ScenarioSpec spec =
+        harness::ScenarioSpec::Uniform("smoke-federation", 4, 1, 8.0);
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+    spec.sample_interval_s = 0.5;
+    spec.meetings[0].participants.resize(5);
+    spec.WithBackend(testbed::BackendChoice::Fleet(6, 2));
+    spec.WithControlPlane(/*latency_s=*/0.001);
+    spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(1));
+    spec.WithRebalance(/*interval_s=*/2.0, /*imbalance_threshold=*/2);
+    spec.WithControllerFailure(/*at_s=*/4.0, /*region=*/1);
+    harness::ScenarioRunner runner(spec);
+    const harness::ScenarioMetrics& m = runner.Run();
+    std::printf("[fleet{6,2}+federation]\n%s", m.Summary().c_str());
+    DumpCsv("smoke-federation", m);
+
+    bool owned_live = true;
+    auto& fed = runner.fleet().federation();
+    for (size_t mi = 0; mi < 4; ++mi) {
+      const size_t owner =
+          fed.OwnerRegionOf(runner.meeting_id(static_cast<int>(mi)));
+      if (owner == SIZE_MAX || !fed.RegionAlive(owner)) owned_live = false;
+    }
+    if (m.federation.messages_sent == 0 || m.federation.border_spans == 0 ||
+        m.federation.shards_adopted != 1 || !owned_live ||
+        m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0) {
+      std::printf("SMOKE FAILED on the federation scenario\n");
       ok = false;
     }
   }

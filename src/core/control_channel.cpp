@@ -2,97 +2,121 @@
 
 namespace scallop::core {
 
-ControlChannel::ControlChannel(sim::Scheduler& sched, SwitchAgent& agent,
-                               const ControlChannelConfig& cfg)
-    : sched_(sched),
-      agent_(agent),
-      cfg_(cfg),
-      rng_(cfg.seed),
-      next_port_(agent.config().first_sfu_port) {}
-
-ControlChannel::~ControlChannel() = default;
-
-void ControlChannel::Dispatch(std::function<void()> apply) {
-  ++stats_.commands_sent;
-  if (cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate)) {
-    ++stats_.commands_dropped;
+void MessageConduit::Send(ConduitStats& stats, std::function<void()> deliver) {
+  ++stats.sent;
+  if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
+    ++stats.dropped;
     return;
   }
-  if (cfg_.latency <= 0) {
-    // Inline application: byte-identical to the pre-channel direct call.
-    ++stats_.commands_applied;
-    apply();
+  if (latency_ <= 0) {
+    // Inline delivery: byte-identical to the pre-channel direct call.
+    ++stats.delivered;
+    deliver();
     return;
   }
-  // Every command carries the same latency and the scheduler is FIFO among
-  // equal timestamps, so commands are delayed but never reordered.
-  sched_.After(cfg_.latency, [this, fn = std::move(apply)] {
-    ++stats_.commands_applied;
+  // Every message carries the same latency and the scheduler is FIFO among
+  // equal timestamps, so messages are delayed but never reordered.
+  sched_.After(latency_, [&stats, fn = std::move(deliver)] {
+    ++stats.delivered;
     fn();
   });
 }
 
-namespace {
-// Retransmissions fire at most 2x latency + this margin after the
-// original send; a tombstone older than twice that window cannot cancel
-// anything.
-constexpr util::DurationUs kRetransmitMargin = util::Millis(20);
-}  // namespace
-
-void ControlChannel::DispatchReliable(std::function<void()> apply,
-                                      std::function<bool()> still_wanted) {
-  ++stats_.commands_sent;
-  // The command's and its ack's fates are decided up front (iid loss both
-  // ways); no draws happen on a lossless channel, which keeps zero-loss
-  // packet histories byte-identical to plain Dispatch.
-  const bool lost = cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate);
-  const bool ack_lost =
-      cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate);
+void MessageConduit::SendReliable(ConduitStats& stats,
+                                  std::function<void()> deliver,
+                                  std::function<bool()> still_wanted) {
+  ++stats.sent;
+  // The message's and its ack's fates are decided up front (iid loss both
+  // ways); no draws happen on a lossless conduit, which keeps zero-loss
+  // packet histories byte-identical to plain Send.
+  const bool lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+  const bool ack_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
   if (lost) {
-    ++stats_.commands_dropped;
-  } else if (cfg_.latency <= 0) {
-    ++stats_.commands_applied;
-    apply();
+    ++stats.dropped;
+  } else if (latency_ <= 0) {
+    ++stats.delivered;
+    deliver();
   } else {
-    sched_.After(cfg_.latency, [this, fn = apply] {
-      ++stats_.commands_applied;
+    sched_.After(latency_, [&stats, fn = deliver] {
+      ++stats.delivered;
       fn();
     });
   }
   if (!lost && !ack_lost) return;  // acked in time: done
 
-  // Ack timeout: one bounded retransmission. The command races commands
+  // Ack timeout: one bounded retransmission. The message races messages
   // sent after the original — exactly the reordering a real retransmitting
-  // southbound channel exhibits — so the reliable vocabulary is
-  // idempotent on the agent.
-  const util::DurationUs rto = 2 * cfg_.latency + kRetransmitMargin;
-  sched_.After(rto, [this, fn = std::move(apply),
-                     wanted = std::move(still_wanted)] {
+  // channel exhibits — so the reliable vocabulary is idempotent on the
+  // receiver.
+  sched_.After(retransmit_timeout(), [this, &stats, fn = std::move(deliver),
+                                      wanted = std::move(still_wanted)] {
     // A removal issued since the original send cancels the retransmission
-    // — re-applying would resurrect state the controller tore down.
+    // — re-delivering would resurrect state the sender tore down.
     if (wanted != nullptr && !wanted()) return;
-    ++stats_.commands_retransmitted;
-    ++stats_.commands_sent;
-    if (cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate)) {
-      ++stats_.commands_dropped;
+    ++stats.retransmitted;
+    ++stats.sent;
+    if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
+      ++stats.dropped;
       return;
     }
-    if (cfg_.latency <= 0) {
-      ++stats_.commands_applied;
+    if (latency_ <= 0) {
+      ++stats.delivered;
       fn();
       return;
     }
-    sched_.After(cfg_.latency, [this, fn2 = std::move(fn)] {
-      ++stats_.commands_applied;
+    sched_.After(latency_, [&stats, fn2 = std::move(fn)] {
+      ++stats.delivered;
       fn2();
     });
   });
 }
 
+bool MessageConduit::Transact(ConduitStats& stats) {
+  ++stats.sent;
+  const bool lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+  const bool ack_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+  if (lost) {
+    ++stats.dropped;
+  } else {
+    ++stats.delivered;
+  }
+  if (!lost && !ack_lost) return true;
+  ++stats.retransmitted;
+  ++stats.sent;
+  const bool retx_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+  if (retx_lost) {
+    ++stats.dropped;
+    return !lost;
+  }
+  ++stats.delivered;
+  return true;
+}
+
+ControlChannel::ControlChannel(sim::Scheduler& sched, SwitchAgent& agent,
+                               const ControlChannelConfig& cfg)
+    : sched_(sched),
+      agent_(agent),
+      cfg_(cfg),
+      conduit_(sched, cfg.latency, cfg.loss_rate, cfg.seed),
+      next_port_(agent.config().first_sfu_port) {}
+
+ControlChannel::~ControlChannel() = default;
+
+void ControlChannel::Dispatch(std::function<void()> apply) {
+  conduit_.Send(cmd_stats_, std::move(apply));
+}
+
+void ControlChannel::DispatchReliable(std::function<void()> apply,
+                                      std::function<bool()> still_wanted) {
+  conduit_.SendReliable(cmd_stats_, std::move(apply), std::move(still_wanted));
+}
+
 template <typename Id>
 void ControlChannel::Tombstone(std::map<Id, util::TimeUs>& removed, Id id) {
   if (removed.size() > 64) {
-    const util::DurationUs window = 2 * (2 * cfg_.latency + kRetransmitMargin);
+    // A tombstone older than twice the retransmission window cannot
+    // cancel anything.
+    const util::DurationUs window = 2 * conduit_.retransmit_timeout();
     const util::TimeUs cutoff = sched_.now() - window;
     for (auto it = removed.begin(); it != removed.end();) {
       it = it->second < cutoff ? removed.erase(it) : std::next(it);
@@ -102,20 +126,7 @@ void ControlChannel::Tombstone(std::map<Id, util::TimeUs>& removed, Id id) {
 }
 
 void ControlChannel::Emit(std::function<void()> deliver) {
-  ++stats_.events_sent;
-  if (cfg_.loss_rate > 0.0 && rng_.Bernoulli(cfg_.loss_rate)) {
-    ++stats_.events_dropped;
-    return;
-  }
-  if (cfg_.latency <= 0) {
-    ++stats_.events_delivered;
-    deliver();
-    return;
-  }
-  sched_.After(cfg_.latency, [this, fn = std::move(deliver)] {
-    ++stats_.events_delivered;
-    fn();
-  });
+  conduit_.Send(evt_stats_, std::move(deliver));
 }
 
 void ControlChannel::CreateMeeting(MeetingId id) {

@@ -61,6 +61,65 @@ struct ControlChannelStats {
   uint64_t events_dropped = 0;
 };
 
+// Raw accounting for one class of messages riding a MessageConduit.
+struct ConduitStats {
+  uint64_t sent = 0;  // includes retransmissions
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t retransmitted = 0;  // unacked reliable messages resent
+};
+
+// The transport underneath a control channel: one direction's worth of
+// latency, iid loss and bounded ack/retransmission machinery, factored
+// out so it can run *horizontally* too — the federation's east-west
+// controller peering rides the exact same semantics the southbound
+// channel has always had. One RNG per conduit; zero-loss conduits take
+// no draws and latency <= 0 delivers inline, which is what keeps the
+// pre-conduit packet histories byte-identical.
+class MessageConduit {
+ public:
+  MessageConduit(sim::Scheduler& sched, util::DurationUs latency,
+                 double loss_rate, uint64_t seed)
+      : sched_(sched), latency_(latency), loss_rate_(loss_rate), rng_(seed) {}
+  MessageConduit(const MessageConduit&) = delete;
+  MessageConduit& operator=(const MessageConduit&) = delete;
+
+  // Delivers (or schedules, or drops) one fire-and-forget message.
+  void Send(ConduitStats& stats, std::function<void()> deliver);
+  // Acknowledged send: the receiver acks a delivered message (the ack
+  // rides the same lossy conduit), and a message whose ack never arrives
+  // is retransmitted exactly once after the retransmit timeout. The
+  // retransmission fires only while `still_wanted` (when provided) says
+  // the message is still current, so a late duplicate cannot resurrect
+  // state the sender already tore down.
+  void SendReliable(ConduitStats& stats, std::function<void()> deliver,
+                    std::function<bool()> still_wanted = nullptr);
+  // Synchronous request/response with SendReliable's loss accounting:
+  // used where two controllers negotiate inside one signaling call (the
+  // border-span handshake), so the outcome must be known immediately.
+  // The draws and counter updates mirror SendReliable exactly; latency
+  // is accounted by the caller's protocol, not simulated. Returns
+  // whether the message (original or its single retransmission) got
+  // through.
+  bool Transact(ConduitStats& stats);
+
+  util::DurationUs latency() const { return latency_; }
+  double loss_rate() const { return loss_rate_; }
+  util::DurationUs retransmit_timeout() const {
+    return 2 * latency_ + kRetransmitMargin;
+  }
+
+  // Retransmissions fire at most 2x latency + this margin after the
+  // original send.
+  static constexpr util::DurationUs kRetransmitMargin = util::Millis(20);
+
+ private:
+  sim::Scheduler& sched_;
+  util::DurationUs latency_;
+  double loss_rate_;
+  util::Rng rng_;
+};
+
 class ControlChannel {
  public:
   // Northbound consumer (the fleet controller). `switch_index` is the
@@ -136,7 +195,12 @@ class ControlChannel {
   sim::Scheduler& sched() { return sched_; }
   SwitchAgent& agent() { return agent_; }
   const ControlChannelConfig& config() const { return cfg_; }
-  const ControlChannelStats& stats() const { return stats_; }
+  ControlChannelStats stats() const {
+    return ControlChannelStats{cmd_stats_.sent,    cmd_stats_.delivered,
+                               cmd_stats_.dropped, cmd_stats_.retransmitted,
+                               evt_stats_.sent,    evt_stats_.delivered,
+                               evt_stats_.dropped};
+  }
 
  private:
   // Applies (or schedules, or drops) one southbound command.
@@ -164,7 +228,11 @@ class ControlChannel {
   sim::Scheduler& sched_;
   SwitchAgent& agent_;
   ControlChannelConfig cfg_;
-  util::Rng rng_;
+  // One conduit carries both directions so the command/event RNG draw
+  // interleaving matches the original single-RNG channel exactly.
+  MessageConduit conduit_;
+  ConduitStats cmd_stats_;
+  ConduitStats evt_stats_;
   uint16_t next_port_;
 
   // Entities the controller has removed, stamped with removal time:
@@ -186,8 +254,6 @@ class ControlChannel {
   // Delta baselines for the load report.
   uint64_t last_cpu_packets_ = 0;
   uint64_t last_dataplane_writes_ = 0;
-
-  ControlChannelStats stats_;
 };
 
 }  // namespace scallop::core

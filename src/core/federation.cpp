@@ -1,0 +1,618 @@
+#include "core/federation.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/fleet.hpp"
+
+namespace scallop::core {
+
+namespace {
+// A controller is declared dead after this many silent heartbeat
+// intervals — the same miss threshold the fleet applies to switches.
+constexpr int kControllerMissThreshold = 3;
+}  // namespace
+
+FederatedControlPlane::FederatedControlPlane(sim::Scheduler& sched,
+                                             const FederationConfig& cfg)
+    : sched_(sched), cfg_(cfg) {
+  if (cfg_.regions < 1) cfg_.regions = 1;
+  const size_t R = cfg_.regions;
+  regions_.resize(R);
+  for (size_t r = 0; r < R; ++r) {
+    Region& reg = regions_[r];
+    reg.controller = std::make_unique<FleetController>();
+    reg.peer_last_seen.assign(R, 0);
+    reg.peer_alive.assign(R, true);
+    if (R > 1) {
+      // Disjoint id spaces: region r mints meeting ids r+1, r+1+R, ...
+      // (so (id-1) % R names the minting region) and relay
+      // pseudo-participants from a per-region base.
+      reg.controller->ConfigureIdSpace(
+          static_cast<MeetingId>(r) + 1, static_cast<MeetingId>(R),
+          0x4000'0000u + 60'000u +
+              static_cast<ParticipantId>(r) * 100'000u);
+      reg.controller->SetBorderSpanProvider(
+          [this, r](MeetingId meeting) { return BorderGuestFor(r, meeting); });
+    }
+  }
+  if (R > 1) {
+    // One conduit per unordered region pair: each east-west peering link
+    // gets its own RNG stream, like each southbound channel does.
+    conduits_.resize(R * R);
+    for (size_t a = 0; a < R; ++a) {
+      for (size_t b = a + 1; b < R; ++b) {
+        conduits_[a * R + b] = std::make_unique<MessageConduit>(
+            sched_, cfg_.east_west_latency, cfg_.east_west_loss,
+            cfg_.seed * 1'000'003 + 8191 + (a * R + b) * 104'729);
+      }
+    }
+  }
+}
+
+FederatedControlPlane::~FederatedControlPlane() = default;
+
+MessageConduit& FederatedControlPlane::ConduitFor(size_t a, size_t b) {
+  if (a > b) std::swap(a, b);
+  return *conduits_[a * regions_.size() + b];
+}
+
+size_t FederatedControlPlane::SliceOf(size_t global_switch) const {
+  const size_t R = regions_.size();
+  const size_t n = cfg_.switches > 0 ? cfg_.switches : R;
+  const size_t base = n / R;
+  const size_t rem = n % R;
+  size_t start = 0;
+  for (size_t r = 0; r < R; ++r) {
+    const size_t size = base + (r < rem ? 1 : 0);
+    if (global_switch < start + size) return r;
+    start += size;
+  }
+  return R - 1;
+}
+
+size_t FederatedControlPlane::ToGlobal(size_t r, size_t local) const {
+  const std::vector<size_t>& l2g = regions_[r].local_to_global;
+  return local < l2g.size() ? l2g[local] : SIZE_MAX;
+}
+
+bool FederatedControlPlane::ToLocal(size_t r, size_t global_switch,
+                                    size_t* local) const {
+  const std::vector<size_t>& l2g = regions_[r].local_to_global;
+  for (size_t l = 0; l < l2g.size(); ++l) {
+    if (l2g[l] == global_switch) {
+      *local = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t FederatedControlPlane::AddSwitch(ControlChannel& channel,
+                                        net::Ipv4 sfu_ip) {
+  const size_t global = owner_region_.size();
+  const size_t r = regions_.size() == 1 ? 0 : SliceOf(global);
+  const size_t local = regions_[r].controller->AddSwitch(channel, sfu_ip,
+                                                         global);
+  owner_region_.push_back(r);
+  owner_local_.push_back(local);
+  Region& reg = regions_[r];
+  if (local >= reg.local_to_global.size()) {
+    reg.local_to_global.resize(local + 1, SIZE_MAX);
+  }
+  reg.local_to_global[local] = global;
+  return global;
+}
+
+void FederatedControlPlane::Activate() {
+  if (regions_.size() < 2 || cfg_.heartbeat_interval <= 0) return;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    Region& reg = regions_[r];
+    // Liveness baseline: the grace period before the first heartbeats
+    // land must not count as misses.
+    for (size_t q = 0; q < regions_.size(); ++q) {
+      reg.peer_last_seen[q] = sched_.now();
+    }
+    reg.hb_task = std::make_unique<sim::PeriodicTask>(
+        sched_, cfg_.heartbeat_interval, [this, r] {
+          SendControllerHeartbeats(r);
+          return true;
+        });
+    reg.detector_task = std::make_unique<sim::PeriodicTask>(
+        sched_, cfg_.heartbeat_interval, [this, r] {
+          CheckControllerPeers(r);
+          return true;
+        });
+  }
+}
+
+// ---- signaling -------------------------------------------------------------
+
+size_t FederatedControlPlane::PickOwnerRegion() const {
+  // The region holding the globally least-loaded owned live switch, the
+  // same participants-then-meetings comparison LeastLoadedLive applies
+  // inside one fleet.
+  size_t best = SIZE_MAX;
+  int best_participants = std::numeric_limits<int>::max();
+  int best_meetings = std::numeric_limits<int>::max();
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    const Region& reg = regions_[r];
+    if (reg.dead) continue;
+    const FleetController& fc = *reg.controller;
+    for (size_t l = 0; l < fc.switch_count(); ++l) {
+      if (!fc.OwnsSwitch(l) || !fc.IsAlive(l)) continue;
+      const int p = fc.LoadOf(l);
+      const int m = fc.MeetingsOn(l);
+      if (p < best_participants ||
+          (p == best_participants && m < best_meetings)) {
+        best_participants = p;
+        best_meetings = m;
+        best = r;
+      }
+    }
+  }
+  return best;
+}
+
+MeetingId FederatedControlPlane::CreateMeeting() {
+  if (regions_.size() == 1) return regions_[0].controller->CreateMeeting();
+  const size_t owner = PickOwnerRegion();
+  if (owner == SIZE_MAX) {
+    throw std::runtime_error("federation: no live region to place on");
+  }
+  const MeetingId id = regions_[owner].controller->CreateMeeting();
+  // Announce the new meeting to every live peer (reliably — a missed
+  // announcement degrades the peer to a lookup round, but the ack/retx
+  // machinery makes that rare), so their directory caches resolve Joins
+  // without asking around.
+  for (size_t q = 0; q < regions_.size(); ++q) {
+    if (q == owner || regions_[q].dead) continue;
+    ConduitFor(owner, q).SendReliable(ew_stats_, [this, q, id, owner] {
+      if (!regions_[q].dead) regions_[q].owner_cache[id] = owner;
+    });
+    ++stats_.directory_announcements;
+  }
+  return id;
+}
+
+size_t FederatedControlPlane::NextIngress() {
+  for (size_t tries = 0; tries < regions_.size(); ++tries) {
+    const size_t r = next_ingress_++ % regions_.size();
+    if (!regions_[r].dead) return r;
+  }
+  return 0;
+}
+
+size_t FederatedControlPlane::ResolveOwner(size_t ingress, MeetingId meeting) {
+  ++stats_.directory_lookups;
+  Region& in = regions_[ingress];
+  if (in.controller->directory().Find(meeting) != nullptr) return ingress;
+  auto cached = in.owner_cache.find(meeting);
+  if (cached != in.owner_cache.end()) {
+    const size_t owner = cached->second;
+    if (!regions_[owner].dead &&
+        regions_[owner].controller->directory().Find(meeting) != nullptr) {
+      return owner;
+    }
+    in.owner_cache.erase(cached);  // stale: the owner died or lost it
+  }
+  // Cache miss: one query round over the live peers. Request + response
+  // ride the conduit (accounting; the authoritative answer is read from
+  // the peer's shard synchronously, like the rest of the signaling path).
+  ++stats_.directory_lookups_remote;
+  size_t owner = SIZE_MAX;
+  for (size_t q = 0; q < regions_.size(); ++q) {
+    if (q == ingress || regions_[q].dead) continue;
+    MessageConduit& conduit = ConduitFor(ingress, q);
+    conduit.Send(ew_stats_, [] {});  // query
+    conduit.Send(ew_stats_, [] {});  // response
+    if (owner == SIZE_MAX &&
+        regions_[q].controller->directory().Find(meeting) != nullptr) {
+      owner = q;
+    }
+  }
+  if (owner != SIZE_MAX) in.owner_cache[meeting] = owner;
+  return owner;
+}
+
+FederatedControlPlane::JoinResult FederatedControlPlane::Join(
+    MeetingId meeting, const sdp::SessionDescription& offer,
+    SignalingClient* client) {
+  if (regions_.size() == 1) {
+    return regions_[0].controller->Join(meeting, offer, client);
+  }
+  const size_t ingress = NextIngress();
+  const size_t owner = ResolveOwner(ingress, meeting);
+  if (owner == SIZE_MAX) {
+    throw std::out_of_range(
+        "federation: meeting unknown to every live region (bad id, or its "
+        "owning controller is down and its shard not yet adopted)");
+  }
+  return regions_[owner].controller->Join(meeting, offer, client);
+}
+
+void FederatedControlPlane::Leave(MeetingId meeting,
+                                  ParticipantId participant) {
+  if (regions_.size() == 1) {
+    regions_[0].controller->Leave(meeting, participant);
+    return;
+  }
+  const size_t ingress = NextIngress();
+  const size_t owner = ResolveOwner(ingress, meeting);
+  if (owner == SIZE_MAX) return;  // quiet, like FleetController::Leave
+  regions_[owner].controller->Leave(meeting, participant);
+}
+
+// ---- forwarded fleet surface -----------------------------------------------
+
+void FederatedControlPlane::SetPlacementPolicy(
+    const PlacementPolicyConfig& policy) {
+  for (Region& reg : regions_) {
+    reg.controller->SetPlacementPolicy(policy.Make());
+  }
+}
+
+void FederatedControlPlane::set_relay_stream_bps(double bps) {
+  for (Region& reg : regions_) reg.controller->set_relay_stream_bps(bps);
+}
+
+void FederatedControlPlane::ConfigureInterSwitchLink(size_t a, size_t b,
+                                                     double latency_s,
+                                                     double capacity_bps) {
+  if (regions_.size() == 1) {
+    regions_[0].controller->ConfigureInterSwitchLink(a, b, latency_s,
+                                                     capacity_bps);
+    return;
+  }
+  global_topology_.EnsureNodes(switch_count());
+  global_topology_.SetLink(a, b, latency_s, capacity_bps);
+  // Each region's controller keeps a slice-local link-state view; only
+  // links wholly inside one region reach it (cross-region links are the
+  // plane's to know — border spans ride the guest mechanism, not the
+  // regional planner).
+  const size_t ra = owner_region_[a];
+  if (ra == owner_region_[b]) {
+    regions_[ra].controller->ConfigureInterSwitchLink(
+        owner_local_[a], owner_local_[b], latency_s, capacity_bps);
+  }
+}
+
+void FederatedControlPlane::SetInterSwitchLinkCapacity(size_t a, size_t b,
+                                                       double capacity_bps) {
+  if (regions_.size() == 1) {
+    regions_[0].controller->SetInterSwitchLinkCapacity(a, b, capacity_bps);
+    return;
+  }
+  global_topology_.SetLinkCapacity(a, b, capacity_bps);
+  const size_t ra = owner_region_[a];
+  if (ra == owner_region_[b] && !regions_[ra].dead) {
+    regions_[ra].controller->SetInterSwitchLinkCapacity(
+        owner_local_[a], owner_local_[b], capacity_bps);
+  }
+}
+
+const InterSwitchTopology& FederatedControlPlane::topology() const {
+  return regions_.size() == 1 ? regions_[0].controller->topology()
+                              : global_topology_;
+}
+
+void FederatedControlPlane::EnableRebalancer(const RebalanceConfig& cfg) {
+  for (Region& reg : regions_) {
+    if (!reg.dead) reg.controller->EnableRebalancer(cfg);
+  }
+}
+
+void FederatedControlPlane::SetMigrationCallback(
+    std::function<void(MeetingId, size_t, size_t)> cb) {
+  migration_cb_ = std::move(cb);
+  if (regions_.size() == 1) {
+    regions_[0].controller->SetMigrationCallback(migration_cb_);
+    return;
+  }
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    regions_[r].controller->SetMigrationCallback(
+        [this, r](MeetingId meeting, size_t from, size_t to) {
+          if (!migration_cb_) return;
+          migration_cb_(meeting, ToGlobal(r, from), ToGlobal(r, to));
+        });
+  }
+}
+
+void FederatedControlPlane::FreezeMeetings(
+    const std::vector<MeetingId>& meetings) {
+  // Regional FreezeMeetings ignores ids outside its shard.
+  for (Region& reg : regions_) {
+    if (!reg.dead) reg.controller->FreezeMeetings(meetings);
+  }
+}
+
+MeetingPlacement FederatedControlPlane::PlacementOf(MeetingId meeting) const {
+  if (regions_.size() == 1) {
+    return regions_[0].controller->PlacementOf(meeting);
+  }
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].controller->directory().Find(meeting) == nullptr) {
+      continue;
+    }
+    MeetingPlacement p = regions_[r].controller->PlacementOf(meeting);
+    p.home = ToGlobal(r, p.home);
+    for (RelaySpan& span : p.spans) {
+      span.switch_index = ToGlobal(r, span.switch_index);
+      if (span.parent != SIZE_MAX) span.parent = ToGlobal(r, span.parent);
+    }
+    return p;
+  }
+  return {};
+}
+
+std::pair<size_t, MeetingId> FederatedControlPlane::PlacementDetail(
+    MeetingId meeting) const {
+  if (regions_.size() == 1) {
+    return regions_[0].controller->PlacementDetail(meeting);
+  }
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].controller->directory().Find(meeting) == nullptr) {
+      continue;
+    }
+    auto [home, local_meeting] = regions_[r].controller->PlacementDetail(
+        meeting);
+    return {ToGlobal(r, home), local_meeting};
+  }
+  return {SIZE_MAX, 0};
+}
+
+std::vector<MeetingRelay> FederatedControlPlane::RelaysOf(
+    MeetingId meeting) const {
+  if (regions_.size() == 1) return regions_[0].controller->RelaysOf(meeting);
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].controller->directory().Find(meeting) == nullptr) {
+      continue;
+    }
+    std::vector<MeetingRelay> relays = regions_[r].controller->RelaysOf(
+        meeting);
+    for (MeetingRelay& relay : relays) {
+      relay.upstream = ToGlobal(r, relay.upstream);
+      relay.downstream = ToGlobal(r, relay.downstream);
+      for (size_t& hop : relay.backbone_path) hop = ToGlobal(r, hop);
+    }
+    return relays;
+  }
+  return {};
+}
+
+bool FederatedControlPlane::IsAlive(size_t global_switch) const {
+  const size_t r = owner_region_[global_switch];
+  return regions_[r].controller->IsAlive(owner_local_[global_switch]);
+}
+
+int FederatedControlPlane::LoadOf(size_t global_switch) const {
+  if (regions_.size() == 1) {
+    return regions_[0].controller->LoadOf(global_switch);
+  }
+  // Owner plus borrowers: each region only counts members it placed on
+  // the switch, so the per-region counts are disjoint and sum cleanly.
+  int total = 0;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    size_t local;
+    if (ToLocal(r, global_switch, &local)) {
+      total += regions_[r].controller->LoadOf(local);
+    }
+  }
+  return total;
+}
+
+int FederatedControlPlane::MeetingsOn(size_t global_switch) const {
+  if (regions_.size() == 1) {
+    return regions_[0].controller->MeetingsOn(global_switch);
+  }
+  int total = 0;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    size_t local;
+    if (ToLocal(r, global_switch, &local)) {
+      total += regions_[r].controller->MeetingsOn(local);
+    }
+  }
+  return total;
+}
+
+net::Ipv4 FederatedControlPlane::SfuIpOf(size_t global_switch) const {
+  const size_t r = owner_region_[global_switch];
+  return regions_[r].controller->SfuIpOf(owner_local_[global_switch]);
+}
+
+void FederatedControlPlane::ReviveSwitch(size_t global_switch) {
+  const size_t r = owner_region_[global_switch];
+  regions_[r].controller->ReviveSwitch(owner_local_[global_switch]);
+}
+
+double FederatedControlPlane::LinkLoad(size_t a, size_t b) const {
+  if (regions_.size() == 1) {
+    return regions_[0].controller->topology().LoadOf(a, b);
+  }
+  double total = 0.0;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    size_t la, lb;
+    if (ToLocal(r, a, &la) && ToLocal(r, b, &lb)) {
+      total += regions_[r].controller->topology().LoadOf(la, lb);
+    }
+  }
+  return total;
+}
+
+FleetStats FederatedControlPlane::TotalFleetStats() const {
+  FleetStats total;
+  for (const Region& reg : regions_) {
+    const FleetStats& s = reg.controller->stats();
+    total.meetings_placed += s.meetings_placed;
+    total.placements_rebalanced += s.placements_rebalanced;
+    total.rebalance_migrations += s.rebalance_migrations;
+    total.heartbeats_seen += s.heartbeats_seen;
+    total.heartbeats_missed += s.heartbeats_missed;
+    total.load_reports_seen += s.load_reports_seen;
+    total.switches_failed += s.switches_failed;
+    total.relay_spans_installed += s.relay_spans_installed;
+    total.relay_spans_removed += s.relay_spans_removed;
+    total.relay_replans += s.relay_replans;
+  }
+  return total;
+}
+
+// ---- east-west peering -----------------------------------------------------
+
+void FederatedControlPlane::SendControllerHeartbeats(size_t from) {
+  if (regions_[from].dead) return;
+  for (size_t q = 0; q < regions_.size(); ++q) {
+    if (q == from) continue;
+    ConduitFor(from, q).Send(ew_stats_, [this, q, from] {
+      OnControllerHeartbeat(q, from);
+    });
+  }
+}
+
+void FederatedControlPlane::OnControllerHeartbeat(size_t at, size_t from) {
+  Region& reg = regions_[at];
+  if (reg.dead) return;
+  ++stats_.controller_heartbeats_seen;
+  reg.peer_last_seen[from] = sched_.now();
+  // A heartbeat un-declares a peer lost to transient east-west loss. A
+  // truly dead controller never sends again, so it stays declared.
+  reg.peer_alive[from] = true;
+}
+
+size_t FederatedControlPlane::LowestLiveRegion() const {
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (!regions_[r].dead) return r;
+  }
+  return SIZE_MAX;
+}
+
+void FederatedControlPlane::CheckControllerPeers(size_t r) {
+  Region& reg = regions_[r];
+  if (reg.dead) return;
+  const util::DurationUs interval = cfg_.heartbeat_interval;
+  const util::DurationUs latency = cfg_.east_west_latency;
+  for (size_t q = 0; q < regions_.size(); ++q) {
+    if (q == r) continue;
+    // Adoption is deterministic: exactly one adopter (the lowest live
+    // region), exactly once per dead shard.
+    const bool may_adopt = regions_[q].dead && !regions_[q].adopted &&
+                           r == LowestLiveRegion();
+    if (!reg.peer_alive[q]) {
+      if (may_adopt) AdoptRegion(r, q);
+      continue;
+    }
+    // Same calibration as the fleet's switch detector: a heartbeat is
+    // only late once its one-way latency has passed too.
+    const util::DurationUs gap = sched_.now() - reg.peer_last_seen[q];
+    if (gap < 2 * interval + latency) continue;
+    ++stats_.controller_heartbeats_missed;
+    if (gap >= kControllerMissThreshold * interval + latency) {
+      reg.peer_alive[q] = false;
+      if (may_adopt) AdoptRegion(r, q);
+    }
+  }
+}
+
+void FederatedControlPlane::KillController(size_t r) {
+  Region& reg = regions_[r];
+  if (reg.dead) return;
+  reg.dead = true;
+  reg.hb_task.reset();
+  reg.detector_task.reset();
+  reg.controller->Shutdown();
+  ++stats_.controllers_failed;
+}
+
+void FederatedControlPlane::AdoptRegion(size_t adopter, size_t dead) {
+  Region& a = regions_[adopter];
+  Region& d = regions_[dead];
+  if (d.adopted) return;
+  std::vector<size_t> old_to_new;
+  const size_t adopted =
+      a.controller->AdoptShardFrom(*d.controller, &old_to_new);
+  // Re-point the plane's global mappings: every switch the dead region
+  // knew now answers to the adopter; ownership transfers only for
+  // switches the dead region actually owned (borrowed guests stay with
+  // their owners).
+  for (size_t i = 0; i < d.local_to_global.size() && i < old_to_new.size();
+       ++i) {
+    const size_t global = d.local_to_global[i];
+    const size_t new_local = old_to_new[i];
+    if (global == SIZE_MAX || new_local == SIZE_MAX) continue;
+    if (new_local >= a.local_to_global.size()) {
+      a.local_to_global.resize(new_local + 1, SIZE_MAX);
+    }
+    a.local_to_global[new_local] = global;
+    if (owner_region_[global] == dead) {
+      owner_region_[global] = adopter;
+      owner_local_[global] = new_local;
+    }
+  }
+  d.local_to_global.clear();
+  d.owner_cache.clear();
+  d.border_guest.clear();
+  d.adopted = true;
+  ++stats_.shards_adopted;
+  stats_.meetings_adopted += adopted;
+}
+
+size_t FederatedControlPlane::OwnerRegionOf(MeetingId meeting) const {
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].controller->directory().Find(meeting) != nullptr) {
+      return r;
+    }
+  }
+  return SIZE_MAX;
+}
+
+size_t FederatedControlPlane::BorderGuestFor(size_t owner, MeetingId meeting) {
+  Region& own = regions_[owner];
+  auto cached = own.border_guest.find(meeting);
+  if (cached != own.border_guest.end()) return cached->second;
+  // Lender: the live peer holding the globally least-loaded owned live
+  // switch (the same comparison new meetings are placed with).
+  size_t lender = SIZE_MAX;
+  size_t lender_switch = SIZE_MAX;
+  int best_participants = std::numeric_limits<int>::max();
+  int best_meetings = std::numeric_limits<int>::max();
+  for (size_t q = 0; q < regions_.size(); ++q) {
+    if (q == owner || regions_[q].dead) continue;
+    const FleetController& fc = *regions_[q].controller;
+    for (size_t l = 0; l < fc.switch_count(); ++l) {
+      if (!fc.OwnsSwitch(l) || !fc.IsAlive(l)) continue;
+      const int p = fc.LoadOf(l);
+      const int m = fc.MeetingsOn(l);
+      if (p < best_participants ||
+          (p == best_participants && m < best_meetings)) {
+        best_participants = p;
+        best_meetings = m;
+        lender = q;
+        lender_switch = l;
+      }
+    }
+  }
+  if (lender == SIZE_MAX) return SIZE_MAX;
+  // The border negotiation is a synchronous request/grant pair — the
+  // span must be usable within this Join. Either message lost: no span
+  // this time; the home absorbs the joiner and the next overflow Join
+  // retries (nothing is cached on failure).
+  if (!ConduitFor(owner, lender).Transact(ew_stats_) ||
+      !ConduitFor(lender, owner).Transact(ew_stats_)) {
+    return SIZE_MAX;
+  }
+  FleetController& lc = *regions_[lender].controller;
+  const size_t guest = own.controller->AddBorderSwitch(
+      lc.ChannelOf(lender_switch), lc.controller(lender_switch),
+      lc.SfuIpOf(lender_switch));
+  const size_t global = ToGlobal(lender, lender_switch);
+  if (guest >= own.local_to_global.size()) {
+    own.local_to_global.resize(guest + 1, SIZE_MAX);
+  }
+  own.local_to_global[guest] = global;
+  own.border_guest[meeting] = guest;
+  ++stats_.border_spans;
+  return guest;
+}
+
+}  // namespace scallop::core

@@ -1,0 +1,317 @@
+// Federated control plane (SDN survey arXiv:1406.0440 §V: distributed
+// controllers; Contrail-style peered control nodes): R per-region
+// controllers, each owning a contiguous slice of the switch fleet,
+// replacing the single FleetController monolith at the top of the stack.
+//
+// The split happens in two layers:
+//
+//   * MeetingDirectory — FleetController's meeting state (placement,
+//     membership, relay wiring, rebalance hysteresis) extracted behind a
+//     shardable interface. Each regional controller owns exactly the
+//     directory shard for the meetings it placed; the plane never peeks
+//     into a shard except through its owner (or when adopting it).
+//
+//   * FederatedControlPlane — the east-west layer. Controllers peer over
+//     MessageConduits carrying the same latency/loss/ack semantics as
+//     the southbound ControlChannel: meeting announcements and directory
+//     lookups (so any region can serve a Join for a meeting it does not
+//     own), a synchronous border-span negotiation (two owning
+//     controllers agree to extend a meeting's relay tree across the
+//     region boundary, riding the existing RelaySpan mechanics), and
+//     controller-to-controller heartbeats feeding the same
+//     miss-threshold failure detector the fleet already points at
+//     switches — on controller death the lowest live peer adopts the
+//     orphaned shard (switches, directory, relay load) and life goes on.
+//
+// R == 1 is the degenerate federation: one region, no conduits, no
+// tasks, every call forwarded straight to the single FleetController —
+// byte-identical to the pre-federation fleet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/control_channel.hpp"
+#include "core/controller.hpp"
+#include "core/placement.hpp"
+
+namespace scallop::core {
+
+class FleetController;
+struct FleetStats;
+struct RebalanceConfig;
+
+// One installed inter-switch relay: `origin`'s stream crossing one tree
+// edge from `upstream` to `downstream`. On multi-level plans a stream
+// reaches distant spans through a chain of these, one per hop.
+struct MeetingRelay {
+  ParticipantId origin = 0;           // the real sender being carried
+  size_t upstream = SIZE_MAX;         // switch forwarding the stream
+  size_t downstream = SIZE_MAX;       // switch receiving it
+  ParticipantId upstream_sender = 0;  // origin or its relay sender there
+  ParticipantId relay_receiver = 0;   // pseudo-receiver on upstream
+  ParticipantId relay_sender = 0;     // pseudo-sender on downstream
+  uint16_t upstream_port = 0;         // relay leg port (media source)
+  uint16_t downstream_port = 0;       // relay uplink port (media dest)
+  uint32_t video_ssrc = 0;
+  uint32_t audio_ssrc = 0;
+  bool sends_video = false;
+  bool sends_audio = false;
+  // Backbone switches the hop physically crosses (upstream..downstream
+  // over the topology's shortest path) and the per-stream load estimate
+  // registered on each of those links while the relay is installed.
+  std::vector<size_t> backbone_path;
+  double load_bps = 0.0;
+};
+
+// One meeting member as the controller tracks it.
+struct MeetingMemberInfo {
+  size_t home_switch = SIZE_MAX;
+  SignalingClient* client = nullptr;
+  SenderIntent intent;  // what the member sends (parsed from its offer)
+};
+
+// Everything a controller knows about one meeting: the distribution
+// plan, the membership roster, the installed relay wiring, and the
+// rebalancer's per-meeting hysteresis. Self-contained on purpose — a
+// record can be handed from a dead controller to its adopter wholesale
+// (switch indices remapped, nothing else).
+struct MeetingRecord {
+  MeetingPlacement placement;
+  std::map<ParticipantId, MeetingMemberInfo> members;
+  std::vector<MeetingRelay> relays;
+  // Mid-renegotiation (failover blackout / migration re-signal window):
+  // the rebalancer must not touch the meeting. Cleared on re-Join.
+  bool frozen = false;
+  // Rebalancer hysteresis: when the meeting last migrated (valid only
+  // once `migrated_once` is set).
+  bool migrated_once = false;
+  util::TimeUs last_migrated = 0;
+};
+
+// The shardable meeting-state store. A controller owns exactly one shard
+// and goes through this interface for every meeting it tracks, so the
+// store's locality is an implementation detail: the local shard below is
+// a plain map, and the federation hands whole shards between controllers
+// on adoption without FleetController noticing.
+class MeetingDirectory {
+ public:
+  virtual ~MeetingDirectory() = default;
+  virtual MeetingRecord* Find(MeetingId id) = 0;
+  virtual const MeetingRecord* Find(MeetingId id) const = 0;
+  virtual MeetingRecord& Emplace(MeetingId id, MeetingRecord record) = 0;
+  virtual void Erase(MeetingId id) = 0;
+  virtual size_t size() const = 0;
+  // Every tracked meeting id, ascending. Iteration goes through this (not
+  // raw map iterators) so mutation during a sweep is safe and sharded
+  // backends need not expose stable iterators.
+  virtual std::vector<MeetingId> Ids() const = 0;
+};
+
+// The default single-region shard: an in-memory ordered map.
+class LocalDirectoryShard : public MeetingDirectory {
+ public:
+  MeetingRecord* Find(MeetingId id) override {
+    auto it = records_.find(id);
+    return it == records_.end() ? nullptr : &it->second;
+  }
+  const MeetingRecord* Find(MeetingId id) const override {
+    auto it = records_.find(id);
+    return it == records_.end() ? nullptr : &it->second;
+  }
+  MeetingRecord& Emplace(MeetingId id, MeetingRecord record) override {
+    return records_.insert_or_assign(id, std::move(record)).first->second;
+  }
+  void Erase(MeetingId id) override { records_.erase(id); }
+  size_t size() const override { return records_.size(); }
+  std::vector<MeetingId> Ids() const override {
+    std::vector<MeetingId> ids;
+    ids.reserve(records_.size());
+    for (const auto& [id, rec] : records_) ids.push_back(id);
+    return ids;
+  }
+
+ private:
+  std::map<MeetingId, MeetingRecord> records_;
+};
+
+struct FederationConfig {
+  size_t regions = 1;
+  // Total switches the fleet will register (fixes the region slices:
+  // contiguous, sizes differing by at most one, remainder to the first
+  // regions). Only consulted when regions > 1.
+  size_t switches = 0;
+  // East-west conduit characteristics (typically mirrored from the
+  // southbound control-plane config).
+  util::DurationUs east_west_latency = 0;
+  double east_west_loss = 0.0;
+  uint64_t seed = 1;
+  // Controller-to-controller heartbeat cadence; 0 disables peering tasks
+  // (and with them failure detection/adoption).
+  util::DurationUs heartbeat_interval = util::Millis(50);
+};
+
+struct FederationStats {
+  uint64_t directory_lookups = 0;         // Join/Leave owner resolutions
+  uint64_t directory_lookups_remote = 0;  // ... that had to ask peers
+  uint64_t directory_announcements = 0;   // new-meeting adverts to peers
+  uint64_t border_spans = 0;              // cross-region guest grants
+  uint64_t controller_heartbeats_seen = 0;
+  uint64_t controller_heartbeats_missed = 0;  // detector ticks gone stale
+  uint64_t controllers_failed = 0;            // KillController calls
+  uint64_t shards_adopted = 0;                // whole-shard takeovers
+  uint64_t meetings_adopted = 0;              // records moved by adoption
+};
+
+// R regional FleetControllers behind one SignalingServer face. All
+// switch indices on this API are *global* (the testbed's numbering);
+// each region privately maps its slice to controller-local indices.
+class FederatedControlPlane : public SignalingServer {
+ public:
+  FederatedControlPlane(sim::Scheduler& sched, const FederationConfig& cfg);
+  ~FederatedControlPlane() override;
+
+  // Registers the next switch (global index = registration order) with
+  // its slice's regional controller. Returns the global index.
+  size_t AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip);
+  // Starts east-west peering (controller heartbeats + the per-region
+  // failure detectors). Call once, after every switch is registered.
+  // No-op for R == 1.
+  void Activate();
+
+  // ---- signaling (any region can serve any meeting) ----------------------
+  MeetingId CreateMeeting();
+  JoinResult Join(MeetingId meeting, const sdp::SessionDescription& offer,
+                  SignalingClient* client) override;
+  void Leave(MeetingId meeting, ParticipantId participant) override;
+
+  // ---- forwarded fleet surface (global switch indices) -------------------
+  void SetPlacementPolicy(const PlacementPolicyConfig& policy);
+  void set_relay_stream_bps(double bps);
+  void ConfigureInterSwitchLink(size_t a, size_t b, double latency_s,
+                                double capacity_bps);
+  void SetInterSwitchLinkCapacity(size_t a, size_t b, double capacity_bps);
+  // R == 1: the single region's live view. R > 1: the plane's global
+  // link-state view (per-region controllers keep slice-local views; use
+  // LinkLoad for the federated load on a link).
+  const InterSwitchTopology& topology() const;
+  void EnableRebalancer(const RebalanceConfig& cfg);
+  void SetMigrationCallback(std::function<void(MeetingId, size_t, size_t)> cb);
+  void FreezeMeetings(const std::vector<MeetingId>& meetings);
+  MeetingPlacement PlacementOf(MeetingId meeting) const;
+  std::pair<size_t, MeetingId> PlacementDetail(MeetingId meeting) const;
+  std::vector<MeetingRelay> RelaysOf(MeetingId meeting) const;
+  bool IsAlive(size_t global_switch) const;
+  int LoadOf(size_t global_switch) const;
+  int MeetingsOn(size_t global_switch) const;
+  net::Ipv4 SfuIpOf(size_t global_switch) const;
+  void ReviveSwitch(size_t global_switch);
+  // Relay load currently registered on backbone link a-b, summed across
+  // every live region's slice-local view.
+  double LinkLoad(size_t a, size_t b) const;
+  // Sum of every region's FleetStats (dead regions included — their
+  // history happened).
+  FleetStats TotalFleetStats() const;
+
+  // ---- federation control -------------------------------------------------
+  // Kills region `r`'s controller: its east-west tasks stop, its
+  // FleetController shuts down (southbound telemetry falls on deaf ears;
+  // signaling into it throws). Switch agents keep forwarding media — a
+  // controller death is not a switch death. Peers notice via missed
+  // controller heartbeats and the lowest live region adopts the shard.
+  void KillController(size_t r);
+  bool RegionAlive(size_t r) const { return !regions_[r].dead; }
+  // The region whose directory holds the meeting (dead or alive);
+  // SIZE_MAX when unknown.
+  size_t OwnerRegionOf(MeetingId meeting) const;
+  size_t RegionOfSwitch(size_t global_switch) const {
+    return owner_region_[global_switch];
+  }
+
+  size_t regions() const { return regions_.size(); }
+  size_t switch_count() const { return owner_region_.size(); }
+  FleetController& region(size_t r) { return *regions_[r].controller; }
+  const FleetController& region(size_t r) const {
+    return *regions_[r].controller;
+  }
+  const FederationStats& federation_stats() const { return stats_; }
+  // Aggregate east-west message accounting (all conduits share it).
+  const ConduitStats& east_west_stats() const { return ew_stats_; }
+
+ private:
+  struct Region {
+    std::unique_ptr<FleetController> controller;
+    // Controller-local switch index -> global index. Grows past the
+    // original slice when the region borrows border guests or adopts a
+    // dead peer's switches; cleared when the region's shard is adopted.
+    std::vector<size_t> local_to_global;
+    bool dead = false;
+    bool adopted = false;  // shard already taken over by a peer
+    // Peer liveness as *this* region observes it.
+    std::vector<util::TimeUs> peer_last_seen;
+    std::vector<bool> peer_alive;
+    // Directory cache: meeting -> owning region, learned from
+    // announcements and lookups. A cache, not truth — verified against
+    // the owner's shard on use.
+    std::map<MeetingId, size_t> owner_cache;
+    // Border guests this region (as meeting owner) negotiated:
+    // meeting -> owner-local guest switch index.
+    std::map<MeetingId, size_t> border_guest;
+    std::unique_ptr<sim::PeriodicTask> hb_task;
+    std::unique_ptr<sim::PeriodicTask> detector_task;
+  };
+
+  // The conduit between regions a and b (unordered pair; one per pair so
+  // each peering link has its own RNG stream).
+  MessageConduit& ConduitFor(size_t a, size_t b);
+  // Region that should own a new meeting: the one holding the globally
+  // least-loaded owned live switch.
+  size_t PickOwnerRegion() const;
+  // Resolves which live region's directory holds `meeting` for an
+  // ingress region: own shard, then verified cache, then a peer query
+  // round (two east-west messages per peer asked). SIZE_MAX when no live
+  // region has it.
+  size_t ResolveOwner(size_t ingress, MeetingId meeting);
+  size_t NextIngress();
+  size_t LowestLiveRegion() const;
+  void SendControllerHeartbeats(size_t from);
+  void OnControllerHeartbeat(size_t at, size_t from);
+  // Failure-detector tick for region `r`'s view of its peers; the same
+  // miss-threshold semantics the fleet uses for switches, re-pointed at
+  // controllers. The lowest live region performs the adoption.
+  void CheckControllerPeers(size_t r);
+  void AdoptRegion(size_t adopter, size_t dead);
+  // Owner-side border-span planning hook: a guest switch (borrowed from
+  // the least-loaded live peer via a synchronous east-west negotiation)
+  // for `meeting` to span onto, as an owner-local index; SIZE_MAX when no
+  // peer can lend or the handshake is lost.
+  size_t BorderGuestFor(size_t owner, MeetingId meeting);
+  size_t ToGlobal(size_t r, size_t local) const;
+  // Controller-local index of `global_switch` within region r (owned,
+  // borrowed or adopted); false when the region doesn't know the switch.
+  bool ToLocal(size_t r, size_t global_switch, size_t* local) const;
+  size_t SliceOf(size_t global_switch) const;
+
+  sim::Scheduler& sched_;
+  FederationConfig cfg_;
+  std::vector<Region> regions_;
+  // Global switch index -> owning region / owner-local index. Ownership
+  // moves on adoption.
+  std::vector<size_t> owner_region_;
+  std::vector<size_t> owner_local_;
+  // Upper-triangle pair conduits (R > 1 only), indexed by PairIndex.
+  std::vector<std::unique_ptr<MessageConduit>> conduits_;
+  ConduitStats ew_stats_;
+  // Global link-state view for R > 1 (per-region controllers only see
+  // their slice).
+  InterSwitchTopology global_topology_;
+  std::function<void(MeetingId, size_t, size_t)> migration_cb_;
+  size_t next_ingress_ = 0;
+  FederationStats stats_;
+};
+
+}  // namespace scallop::core

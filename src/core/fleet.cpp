@@ -7,21 +7,26 @@
 namespace scallop::core {
 
 FleetController::FleetController()
-    : policy_(std::make_unique<LeastLoadedPolicy>()) {}
+    : directory_(std::make_unique<LocalDirectoryShard>()),
+      policy_(std::make_unique<LeastLoadedPolicy>()) {}
 
 FleetController::~FleetController() = default;
 
-size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip) {
+size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip,
+                                  size_t id_space) {
   auto member = std::make_unique<Member>();
   // Disjoint participant-id range per switch: without it, two switch
   // controllers both counting from 1 could hand out the same id, and a
   // stale Leave for a participant migrated off one switch would pass the
-  // membership guard and kick a live, unrelated member on another.
+  // membership guard and kick a live, unrelated member on another. Under
+  // a federation `id_space` is the switch's *global* index, keeping the
+  // ranges disjoint across regions too.
   constexpr ParticipantId kIdStride = 1'000'000;
+  if (id_space == SIZE_MAX) id_space = switches_.size();
   member->channel = &channel;
-  member->controller = std::make_unique<Controller>(
-      channel, sfu_ip,
-      static_cast<ParticipantId>(switches_.size()) * kIdStride + 1);
+  member->owned_controller = std::make_unique<Controller>(
+      channel, sfu_ip, static_cast<ParticipantId>(id_space) * kIdStride + 1);
+  member->controller = member->owned_controller.get();
   member->sfu_ip = sfu_ip;
   if (sched_ == nullptr) sched_ = &channel.sched();
   member->last_heartbeat = sched_->now();
@@ -29,14 +34,161 @@ size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip) {
   const size_t index = switches_.size() - 1;
   topology_.EnsureNodes(switches_.size());
   channel.Subscribe(this, index);
-  if (detector_task_ == nullptr && channel.config().heartbeat_interval > 0) {
-    detector_task_ = std::make_unique<sim::PeriodicTask>(
-        *sched_, channel.config().heartbeat_interval, [this] {
-          CheckHeartbeats();
-          return true;
-        });
-  }
+  ArmFailureDetector(channel);
   return index;
+}
+
+void FleetController::ArmFailureDetector(const ControlChannel& channel) {
+  const util::DurationUs interval = channel.config().heartbeat_interval;
+  if (interval <= 0 || sched_ == nullptr) return;
+  // Idempotent per channel: an equal-or-finer detector already covers
+  // this channel's cadence. (The old code armed only for the *first*
+  // switch's channel — a first channel with heartbeats disabled left
+  // every later switch undetected.)
+  if (detector_task_ != nullptr && detector_interval_ > 0 &&
+      detector_interval_ <= interval) {
+    return;
+  }
+  detector_interval_ = interval;
+  detector_task_ = std::make_unique<sim::PeriodicTask>(
+      *sched_, interval, [this] {
+        CheckHeartbeats();
+        return true;
+      });
+}
+
+size_t FleetController::AddBorderSwitch(ControlChannel& channel,
+                                        Controller& controller,
+                                        net::Ipv4 sfu_ip) {
+  for (size_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i]->channel == &channel) return i;
+  }
+  auto member = std::make_unique<Member>();
+  member->channel = &channel;
+  member->controller = &controller;  // the lender's, not ours
+  member->owned = false;
+  member->sfu_ip = sfu_ip;
+  // Guests are never policy-placed (Loads() reports them dead) and never
+  // failure-detected here — the owner watches its own switch. No
+  // telemetry subscription either: the channel's sink stays pointed at
+  // the owner.
+  member->alive = true;
+  if (sched_ == nullptr) sched_ = &channel.sched();
+  member->last_heartbeat = sched_->now();
+  switches_.push_back(std::move(member));
+  topology_.EnsureNodes(switches_.size());
+  return switches_.size() - 1;
+}
+
+void FleetController::ConfigureIdSpace(MeetingId first_meeting,
+                                       MeetingId meeting_stride,
+                                       ParticipantId relay_id_base) {
+  next_meeting_ = first_meeting;
+  meeting_stride_ = meeting_stride;
+  next_relay_id_ = relay_id_base;
+}
+
+void FleetController::Shutdown() {
+  if (dead_) return;
+  dead_ = true;
+  // The control loops die with the controller; switch channels keep
+  // emitting telemetry into the void (guarded in the sinks) and agents
+  // keep forwarding media — a controller death is not a switch death.
+  detector_task_.reset();
+  detector_interval_ = 0;
+  rebalance_task_.reset();
+}
+
+size_t FleetController::AdoptShardFrom(FleetController& failed,
+                                       std::vector<size_t>* old_to_new) {
+  // Map each of the dead controller's switch slots into this fleet:
+  // switches both controllers know (border guests lent either way) merge
+  // into the existing slot; everything else is appended.
+  std::vector<size_t> remap(failed.switches_.size(), SIZE_MAX);
+  for (size_t i = 0; i < failed.switches_.size(); ++i) {
+    std::unique_ptr<Member>& slot = failed.switches_[i];
+    if (slot == nullptr || slot->channel == nullptr) continue;
+    size_t existing = SIZE_MAX;
+    for (size_t j = 0; j < switches_.size(); ++j) {
+      if (switches_[j]->channel == slot->channel) {
+        existing = j;
+        break;
+      }
+    }
+    if (existing != SIZE_MAX) {
+      Member& mine = *switches_[existing];
+      // The per-switch bookkeeping is disjoint (each controller only
+      // counts members it placed), so the counts fold additively.
+      mine.participants += slot->participants;
+      mine.meetings += slot->meetings;
+      if (slot->owned) {
+        // We were the borrower and the switch's real owner died: take
+        // over its per-switch controller (sessions and id spaces
+        // survive) and re-point its telemetry and failure detection.
+        mine.owned_controller = std::move(slot->owned_controller);
+        mine.controller = mine.owned_controller.get();
+        mine.owned = true;
+        mine.alive = slot->alive;
+        mine.last_report = slot->last_report;
+        mine.report_seen = false;  // stale reports predate the handoff
+        mine.last_heartbeat = sched_ != nullptr ? sched_->now() : 0;
+        mine.channel->Subscribe(this, existing);
+        ArmFailureDetector(*mine.channel);
+      }
+      remap[i] = existing;
+    } else {
+      const size_t index = switches_.size();
+      switches_.push_back(std::move(slot));
+      Member& moved = *switches_.back();
+      moved.last_heartbeat = sched_ != nullptr ? sched_->now() : 0;
+      moved.report_seen = false;
+      if (moved.owned) {
+        moved.channel->Subscribe(this, index);
+        ArmFailureDetector(*moved.channel);
+      }
+      remap[i] = index;
+    }
+  }
+  topology_.EnsureNodes(switches_.size());
+
+  auto remapped = [&remap](size_t idx) {
+    if (idx == SIZE_MAX) return SIZE_MAX;  // preserve "home" sentinels
+    return idx < remap.size() && remap[idx] != SIZE_MAX ? remap[idx] : idx;
+  };
+
+  // Adopt the meeting records wholesale: remap every switch index and
+  // re-register the relay load on *our* link-state view (the dead
+  // controller's view dies with it).
+  size_t adopted = 0;
+  for (MeetingId id : failed.directory_->Ids()) {
+    MeetingRecord* rec = failed.directory_->Find(id);
+    if (rec == nullptr || directory_->Find(id) != nullptr) continue;
+    MeetingRecord moved = std::move(*rec);
+    moved.placement.home = remapped(moved.placement.home);
+    for (RelaySpan& span : moved.placement.spans) {
+      span.switch_index = remapped(span.switch_index);
+      span.parent = remapped(span.parent);
+    }
+    for (auto& [pid, info] : moved.members) {
+      info.home_switch = remapped(info.home_switch);
+    }
+    for (MeetingRelay& r : moved.relays) {
+      r.upstream = remapped(r.upstream);
+      r.downstream = remapped(r.downstream);
+      for (size_t& hop : r.backbone_path) hop = remapped(hop);
+      topology_.AddLoad(r.backbone_path, r.load_bps);
+    }
+    directory_->Emplace(id, std::move(moved));
+    ++adopted;
+  }
+  for (MeetingId id : failed.directory_->Ids()) failed.directory_->Erase(id);
+  failed.switches_.clear();
+  if (old_to_new != nullptr) *old_to_new = std::move(remap);
+  // Each adopted meeting was re-homed to a new controller — the same
+  // bookkeeping a MigrateMeeting re-home gets, so fleet-wide counters
+  // show the takeover.
+  stats_.placements_rebalanced += adopted;
+  return adopted;
 }
 
 void FleetController::SetPlacementPolicy(
@@ -78,12 +230,13 @@ void FleetController::ReplanOverloadedLinks() {
   // already relieved the link, and blacking out further meetings for a
   // link that is back under budget would be a needless renegotiation.
   // Each collapse removes at least one span, which bounds the loop.
-  for (size_t guard = meetings_.size() * switches_.size() + 1; guard > 0;
+  for (size_t guard = directory_->size() * switches_.size() + 1; guard > 0;
        --guard) {
     const auto overloaded = topology_.OverloadedLinks();
     if (overloaded.empty()) return;
     bool collapsed = false;
-    for (auto& [meeting, st] : meetings_) {
+    for (MeetingId meeting : directory_->Ids()) {
+      MeetingState& st = *directory_->Find(meeting);
       size_t child = SIZE_MAX;
       for (const MeetingRelay& r : st.relays) {
         for (const auto& link : overloaded) {
@@ -105,7 +258,7 @@ void FleetController::ReplanOverloadedLinks() {
       ++stats_.relay_replans;
       if (migration_cb_) migration_cb_(meeting, child, st.placement.home);
       TearDownSpan(st, child, /*switch_dead=*/false);
-      frozen_.insert(meeting);
+      st.frozen = true;
       collapsed = true;
       break;  // re-evaluate the overload set before touching more state
     }
@@ -116,12 +269,14 @@ void FleetController::ReplanOverloadedLinks() {
 }
 
 void FleetController::OnHeartbeat(size_t switch_index) {
+  if (dead_) return;  // telemetry into a crashed controller goes nowhere
   ++stats_.heartbeats_seen;
   switches_[switch_index]->last_heartbeat = sched_->now();
 }
 
 void FleetController::OnLoadReport(size_t switch_index,
                                    const SwitchLoadReport& report) {
+  if (dead_) return;
   ++stats_.load_reports_seen;
   Member& m = *switches_[switch_index];
   m.last_report = report;
@@ -130,9 +285,12 @@ void FleetController::OnLoadReport(size_t switch_index,
 }
 
 void FleetController::CheckHeartbeats() {
+  if (dead_) return;
   for (size_t i = 0; i < switches_.size(); ++i) {
     Member& m = *switches_[i];
-    if (!m.alive || m.channel == nullptr) continue;
+    // Border guests are the owner's to watch; their heartbeats go to the
+    // owner's sink, so judging them here would always "miss".
+    if (!m.owned || !m.alive || m.channel == nullptr) continue;
     const util::DurationUs interval = m.channel->config().heartbeat_interval;
     if (interval <= 0) continue;
     // The detector is calibrated to the channel: a heartbeat is only late
@@ -169,14 +327,19 @@ void FleetController::EnableRebalancer(const RebalanceConfig& cfg) {
 }
 
 void FleetController::FreezeMeetings(const std::vector<MeetingId>& meetings) {
-  frozen_.insert(meetings.begin(), meetings.end());
+  for (MeetingId meeting : meetings) {
+    MeetingRecord* rec = directory_->Find(meeting);
+    if (rec != nullptr) rec->frozen = true;
+  }
 }
 
 bool FleetController::IsFrozen(MeetingId meeting) const {
-  return frozen_.count(meeting) > 0;
+  const MeetingRecord* rec = directory_->Find(meeting);
+  return rec != nullptr && rec->frozen;
 }
 
 void FleetController::Rebalance() {
+  if (dead_) return;
   // Decisions run on the *reported* load — what the northbound telemetry
   // says — not on the fleet's own bookkeeping; a switch that never
   // reported (or is dead) does not participate.
@@ -207,13 +370,13 @@ void FleetController::Rebalance() {
   const util::TimeUs now = sched_->now();
   MeetingId pick = 0;
   int pick_size = std::numeric_limits<int>::max();
-  for (const auto& [meeting, st] : meetings_) {
+  for (MeetingId meeting : directory_->Ids()) {
+    const MeetingState& st = *directory_->Find(meeting);
     if (st.placement.home != busiest) continue;
     if (st.placement.spans_switches()) continue;
-    if (frozen_.count(meeting) > 0) continue;
-    auto cooled = last_migrated_.find(meeting);
-    if (cooled != last_migrated_.end() &&
-        now - cooled->second < rebalance_cfg_.cooldown) {
+    if (st.frozen) continue;
+    if (st.migrated_once &&
+        now - st.last_migrated < rebalance_cfg_.cooldown) {
       continue;
     }
     const int size = static_cast<int>(st.members.size());
@@ -238,22 +401,29 @@ std::vector<SwitchLoad> FleetController::Loads() const {
   std::vector<SwitchLoad> loads;
   loads.reserve(switches_.size());
   for (const auto& sw : switches_) {
-    loads.push_back(SwitchLoad{sw->alive, sw->participants, sw->meetings});
+    // Border guests are invisible to the placement policy (reported not
+    // alive): only the border-span planner may target them.
+    loads.push_back(
+        SwitchLoad{sw->owned && sw->alive, sw->participants, sw->meetings});
   }
   return loads;
 }
 
 MeetingId FleetController::CreateMeeting() {
+  if (dead_) {
+    throw std::runtime_error("FleetController: controller is down");
+  }
   size_t idx = policy_->PlaceMeeting(Loads());
   if (idx == SIZE_MAX) {
     throw std::runtime_error("FleetController: no live switch to place on");
   }
   MeetingId local = switches_[idx]->controller->CreateMeeting();
-  MeetingId global = next_meeting_++;
+  MeetingId global = next_meeting_;
+  next_meeting_ += meeting_stride_;
   MeetingState st;
   st.placement.home = idx;
   st.placement.local_meeting = local;
-  meetings_.emplace(global, std::move(st));
+  directory_->Emplace(global, std::move(st));
   ++switches_[idx]->meetings;
   ++stats_.meetings_placed;
   return global;
@@ -421,9 +591,33 @@ void FleetController::RouteSenderEverywhere(MeetingState& st,
 FleetController::JoinResult FleetController::Join(
     MeetingId meeting, const sdp::SessionDescription& offer,
     SignalingClient* client) {
-  MeetingState& st = meetings_.at(meeting);
+  if (dead_) {
+    throw std::runtime_error("FleetController: controller is down");
+  }
+  MeetingState* found = directory_->Find(meeting);
+  if (found == nullptr) {
+    throw std::out_of_range("FleetController: unknown meeting");
+  }
+  MeetingState& st = *found;
   size_t target = policy_->PlaceParticipant(st.placement, Loads());
   if (target >= switches_.size()) target = st.placement.home;
+
+  // The policy falling back to an already-full home switch means it is
+  // out of local capacity. Under a federation that overflow is worth a
+  // cross-region border span: ask the plane for a guest switch to span
+  // onto (the guest was registered via AddBorderSwitch and rides the
+  // ordinary RelaySpan mechanics below). Standalone fleets have no
+  // provider and behave exactly as before.
+  if (target == st.placement.home && border_provider_ != nullptr) {
+    const int budget = policy_->SpanBudget();
+    if (budget > 0 &&
+        static_cast<int>(st.placement.home_participants.size()) >= budget) {
+      const size_t guest = border_provider_(meeting);
+      if (guest < switches_.size() && guest != st.placement.home) {
+        target = guest;
+      }
+    }
+  }
 
   MeetingId local;
   if (target == st.placement.home) {
@@ -466,7 +660,7 @@ FleetController::JoinResult FleetController::Join(
   }
 
   // A member (re-)joined: the meeting is out of its renegotiation window.
-  frozen_.erase(meeting);
+  st.frozen = false;
   return result;
 }
 
@@ -509,9 +703,10 @@ void FleetController::EraseParticipantFromPlacement(MeetingState& st,
 }
 
 void FleetController::Leave(MeetingId meeting, ParticipantId participant) {
-  auto it = meetings_.find(meeting);
-  if (it == meetings_.end()) return;
-  MeetingState& st = it->second;
+  if (dead_) return;  // the crashed controller can no longer sign anyone out
+  MeetingState* found = directory_->Find(meeting);
+  if (found == nullptr) return;
+  MeetingState& st = *found;
   // Membership guard: a participant who never joined (or already left —
   // e.g. dropped by a switch failure before its scheduled leave fired)
   // must not decrement the hosting switch's load.
@@ -644,9 +839,9 @@ void FleetController::TearDownSpan(MeetingState& st, size_t switch_index,
 }
 
 void FleetController::EndMeeting(MeetingId meeting) {
-  auto it = meetings_.find(meeting);
-  if (it == meetings_.end()) return;
-  MeetingState& st = it->second;
+  MeetingState* found = directory_->Find(meeting);
+  if (found == nullptr) return;
+  MeetingState& st = *found;
 
   // Collapse the spans first: span members are notified through their
   // switch-local controllers, and relay teardown tells everyone else
@@ -662,15 +857,13 @@ void FleetController::EndMeeting(MeetingId meeting) {
   sw.participants -= static_cast<int>(st.members.size());
   --sw.meetings;
   sw.controller->EndMeeting(st.placement.local_meeting);
-  meetings_.erase(it);
-  last_migrated_.erase(meeting);
-  frozen_.erase(meeting);
+  directory_->Erase(meeting);
 }
 
 void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
-  auto it = meetings_.find(meeting);
-  if (it == meetings_.end()) return;
-  MeetingState& st = it->second;
+  MeetingState* found = directory_->Find(meeting);
+  if (found == nullptr) return;
+  MeetingState& st = *found;
   if (st.placement.home == target_switch && !st.placement.spans_switches()) {
     return;
   }
@@ -703,10 +896,11 @@ void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
   ++to.meetings;
   st.placement.home = target_switch;
   st.placement.local_meeting = local;
-  last_migrated_[meeting] = sched_ != nullptr ? sched_->now() : 0;
+  st.migrated_once = true;
+  st.last_migrated = sched_ != nullptr ? sched_->now() : 0;
   // Members are down until they re-signal: the rebalancer keeps its hands
   // off until the first re-Join.
-  frozen_.insert(meeting);
+  st.frozen = true;
   ++stats_.placements_rebalanced;
 }
 
@@ -715,7 +909,8 @@ void FleetController::OnSwitchDown(size_t switch_index) {
   if (!m.alive) return;  // already declared dead: migrate exactly once
   m.alive = false;
   std::vector<MeetingId> homed, spanned;
-  for (const auto& [meeting, st] : meetings_) {
+  for (MeetingId meeting : directory_->Ids()) {
+    const MeetingState& st = *directory_->Find(meeting);
     if (st.placement.home == switch_index) {
       homed.push_back(meeting);
     } else if (st.placement.SpanOn(switch_index) != nullptr) {
@@ -734,12 +929,12 @@ void FleetController::OnSwitchDown(size_t switch_index) {
     // Only a span died: the home (hub) survives, so collapse the span and
     // let its members re-join — the policy re-plans them onto live
     // switches.
-    MeetingState& st = meetings_.at(meeting);
+    MeetingState& st = *directory_->Find(meeting);
     if (migration_cb_) {
       migration_cb_(meeting, switch_index, st.placement.home);
     }
     TearDownSpan(st, switch_index, /*switch_dead=*/true);
-    frozen_.insert(meeting);
+    st.frozen = true;
   }
 }
 
@@ -756,22 +951,21 @@ bool FleetController::IsAlive(size_t switch_index) const {
 }
 
 MeetingPlacement FleetController::PlacementOf(MeetingId meeting) const {
-  auto it = meetings_.find(meeting);
-  return it == meetings_.end() ? MeetingPlacement{} : it->second.placement;
+  const MeetingRecord* rec = directory_->Find(meeting);
+  return rec == nullptr ? MeetingPlacement{} : rec->placement;
 }
 
 std::pair<size_t, MeetingId> FleetController::PlacementDetail(
     MeetingId meeting) const {
-  auto it = meetings_.find(meeting);
-  if (it == meetings_.end()) return {SIZE_MAX, 0};
-  return {it->second.placement.home, it->second.placement.local_meeting};
+  const MeetingRecord* rec = directory_->Find(meeting);
+  if (rec == nullptr) return {SIZE_MAX, 0};
+  return {rec->placement.home, rec->placement.local_meeting};
 }
 
 std::vector<FleetController::MeetingRelay> FleetController::RelaysOf(
     MeetingId meeting) const {
-  auto it = meetings_.find(meeting);
-  return it == meetings_.end() ? std::vector<MeetingRelay>{}
-                               : it->second.relays;
+  const MeetingRecord* rec = directory_->Find(meeting);
+  return rec == nullptr ? std::vector<MeetingRelay>{} : rec->relays;
 }
 
 int FleetController::LoadOf(size_t switch_index) const {
@@ -788,8 +982,8 @@ net::Ipv4 FleetController::SfuIpOf(size_t switch_index) const {
 
 bool FleetController::IsMember(MeetingId meeting,
                                ParticipantId participant) const {
-  auto it = meetings_.find(meeting);
-  return it != meetings_.end() && it->second.members.count(participant) > 0;
+  const MeetingRecord* rec = directory_->Find(meeting);
+  return rec != nullptr && rec->members.count(participant) > 0;
 }
 
 const SwitchLoadReport& FleetController::ReportedLoadOf(

@@ -31,18 +31,18 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "core/controller.hpp"
+#include "core/federation.hpp"
 #include "core/placement.hpp"
 
 namespace scallop::core {
 
 struct FleetStats {
   uint64_t meetings_placed = 0;
-  uint64_t placements_rebalanced = 0;  // all MigrateMeeting moves
+  uint64_t placements_rebalanced = 0;  // MigrateMeeting moves + adoptions
   uint64_t rebalance_migrations = 0;   // moves made by the load rebalancer
   uint64_t heartbeats_seen = 0;
   uint64_t heartbeats_missed = 0;  // detector ticks with a stale heartbeat
@@ -72,9 +72,67 @@ class FleetController : public SignalingServer,
   ~FleetController() override;
 
   // Registers a switch via its southbound channel; subscribes to its
-  // northbound telemetry and arms the heartbeat failure detector (first
-  // switch only). Returns the switch's index in the fleet.
-  size_t AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip);
+  // northbound telemetry and arms the heartbeat failure detector for the
+  // channel. Returns the switch's index in the fleet. `id_space` seeds
+  // the per-switch controller's participant-id stride (default: the
+  // fleet-local index); a federation passes the *global* switch index so
+  // ids stay unique across regions.
+  size_t AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip,
+                   size_t id_space = SIZE_MAX);
+  // Registers a *borrowed* switch: another region's switch this
+  // controller may open border spans on. Shares the lender's Controller
+  // object (so session and id-space state stay with the owner), takes no
+  // telemetry subscription and is never failure-detected or
+  // policy-placed here — only the border-span planner targets it.
+  // Idempotent per channel; returns the (possibly existing) index.
+  size_t AddBorderSwitch(ControlChannel& channel, Controller& controller,
+                         net::Ipv4 sfu_ip);
+  // Arms the heartbeat failure detector for `channel` if its heartbeat
+  // cadence needs one and no equal-or-finer detector is already running.
+  // Idempotent — AddSwitch calls it per channel, and shard adoption
+  // re-arms it on the adopter.
+  void ArmFailureDetector(const ControlChannel& channel);
+  // Partitions the global id spaces for federation: this controller
+  // mints meeting ids `first_meeting, first_meeting + stride, ...` and
+  // relay pseudo-participant ids from `relay_id_base`. Defaults (1, 1,
+  // the classic relay base) reproduce the single-controller numbering.
+  void ConfigureIdSpace(MeetingId first_meeting, MeetingId meeting_stride,
+                        ParticipantId relay_id_base);
+  // Whether this controller owns switch `switch_index` (false for
+  // borrowed border guests).
+  bool OwnsSwitch(size_t switch_index) const {
+    return switches_[switch_index]->owned;
+  }
+  ControlChannel& ChannelOf(size_t switch_index) {
+    return *switches_[switch_index]->channel;
+  }
+
+  // ---- federation hooks ---------------------------------------------------
+  // Owner-side border-span planner: when the placement policy's budget
+  // says the home switch is full and the policy has nowhere local left,
+  // Join asks the provider for a guest switch (registered via
+  // AddBorderSwitch) to span onto; SIZE_MAX declines.
+  void SetBorderSpanProvider(std::function<size_t(MeetingId)> provider) {
+    border_provider_ = std::move(provider);
+  }
+  // Controller death: cancels the periodic tasks and refuses new work
+  // (signaling throws, telemetry is ignored). State is left intact for a
+  // peer to adopt.
+  void Shutdown();
+  bool IsShutdown() const { return dead_; }
+  // Takes over a dead peer's shard: its switches (merging slots for
+  // switches both controllers know — border guests — and transferring
+  // per-switch Controller ownership where the dead peer owned them), its
+  // whole meeting directory (switch indices remapped), and the relay
+  // load those meetings registered. Telemetry subscriptions and the
+  // failure detector are re-pointed here. Returns the number of meeting
+  // records adopted; `old_to_new` (optional) receives the dead
+  // controller's local index -> adopter local index map.
+  size_t AdoptShardFrom(FleetController& failed,
+                        std::vector<size_t>* old_to_new = nullptr);
+  // The sharded meeting store (owner's view; see MeetingDirectory).
+  MeetingDirectory& directory() { return *directory_; }
+  const MeetingDirectory& directory() const { return *directory_; }
 
   // Swaps the placement policy (default: LeastLoadedPolicy, the classic
   // single-homed behaviour). Takes effect for future placements. The
@@ -184,28 +242,10 @@ class FleetController : public SignalingServer,
   }
   const FleetStats& stats() const { return stats_; }
 
-  // One installed inter-switch relay: `origin`'s stream crossing one tree
-  // edge from `upstream` to `downstream`. On multi-level plans a stream
-  // reaches distant spans through a chain of these, one per hop.
-  struct MeetingRelay {
-    ParticipantId origin = 0;          // the real sender being carried
-    size_t upstream = SIZE_MAX;        // switch forwarding the stream
-    size_t downstream = SIZE_MAX;      // switch receiving it
-    ParticipantId upstream_sender = 0;  // origin or its relay sender there
-    ParticipantId relay_receiver = 0;  // pseudo-receiver on upstream
-    ParticipantId relay_sender = 0;    // pseudo-sender on downstream
-    uint16_t upstream_port = 0;        // relay leg port (media source)
-    uint16_t downstream_port = 0;      // relay uplink port (media dest)
-    uint32_t video_ssrc = 0;
-    uint32_t audio_ssrc = 0;
-    bool sends_video = false;
-    bool sends_audio = false;
-    // Backbone switches the hop physically crosses (upstream..downstream
-    // over the topology's shortest path) and the per-stream load estimate
-    // registered on each of those links while the relay is installed.
-    std::vector<size_t> backbone_path;
-    double load_bps = 0.0;
-  };
+  // The relay type now lives at namespace scope (core::MeetingRelay, see
+  // federation.hpp) so directory records can carry it; the nested name
+  // stays valid for existing callers.
+  using MeetingRelay = scallop::core::MeetingRelay;
   // Relay wiring currently installed for a meeting (empty when
   // single-homed).
   std::vector<MeetingRelay> RelaysOf(MeetingId meeting) const;
@@ -213,7 +253,11 @@ class FleetController : public SignalingServer,
  private:
   struct Member {
     ControlChannel* channel = nullptr;
-    std::unique_ptr<Controller> controller;
+    // Set (and owning) for switches this controller manages; border
+    // guests borrow the lender's controller instead.
+    std::unique_ptr<Controller> owned_controller;
+    Controller* controller = nullptr;
+    bool owned = true;  // false: borrowed border guest
     net::Ipv4 sfu_ip;
     int participants = 0;
     int meetings = 0;
@@ -223,17 +267,8 @@ class FleetController : public SignalingServer,
     bool report_seen = false;
   };
 
-  struct MemberInfo {
-    size_t home_switch = SIZE_MAX;
-    SignalingClient* client = nullptr;
-    SenderIntent intent;  // what the member sends (parsed from its offer)
-  };
-
-  struct MeetingState {
-    MeetingPlacement placement;
-    std::map<ParticipantId, MemberInfo> members;
-    std::vector<MeetingRelay> relays;
-  };
+  using MemberInfo = MeetingMemberInfo;
+  using MeetingState = MeetingRecord;
 
   // Switch-local meeting id on `switch_index` (home or a span).
   MeetingId LocalMeetingOn(const MeetingState& st, size_t switch_index) const;
@@ -292,13 +327,13 @@ class FleetController : public SignalingServer,
   static constexpr int kHeartbeatMissThreshold = 3;
 
   std::vector<std::unique_ptr<Member>> switches_;
-  std::map<MeetingId, MeetingState> meetings_;
-  // Rebalancer hysteresis: when each meeting last migrated.
-  std::map<MeetingId, util::TimeUs> last_migrated_;
-  // Meetings mid-renegotiation (failover blackout / migration re-signal
-  // window): the rebalancer must not touch them. Cleared on re-Join.
-  std::set<MeetingId> frozen_;
+  // This controller's shard of the meeting store (placement, membership,
+  // relay wiring, rebalance hysteresis per record).
+  std::unique_ptr<MeetingDirectory> directory_;
   MeetingId next_meeting_ = 1;
+  // Meeting ids advance by this much per CreateMeeting: 1 standalone, R
+  // under an R-region federation (region r mints r+1, r+1+R, ...).
+  MeetingId meeting_stride_ = 1;
   // Relay pseudo-participant ids: a dedicated range far above any switch
   // controller's stride (switch i mints from i*1'000'000 + 1), offset so
   // the 16-bit truncations used as replication/egress RIDs cannot collide
@@ -306,7 +341,12 @@ class FleetController : public SignalingServer,
   ParticipantId next_relay_id_ = 0x4000'0000u + 60'000u;
   sim::Scheduler* sched_ = nullptr;  // from the first registered channel
   std::unique_ptr<sim::PeriodicTask> detector_task_;
+  // Heartbeat interval the detector currently ticks at (0: not armed);
+  // ArmFailureDetector only rebuilds the task for a strictly finer one.
+  util::DurationUs detector_interval_ = 0;
   std::unique_ptr<sim::PeriodicTask> rebalance_task_;
+  bool dead_ = false;  // Shutdown() called (controller crashed)
+  std::function<size_t(MeetingId)> border_provider_;
   RebalanceConfig rebalance_cfg_;
   MigrationCallback migration_cb_;
   std::unique_ptr<PlacementPolicy> policy_;

@@ -118,6 +118,12 @@ class PlacementPolicy {
     (void)span_switch;
     return placement.home;
   }
+  // Per-switch participant budget the policy fills a switch to before
+  // spanning; 0 means unbounded (the policy never overflows on its own).
+  // The federation's border-span planner keys off this: when the policy
+  // falls back to an already-full home switch, a budget > 0 tells the
+  // fleet the overflow is real and worth a cross-region border span.
+  virtual int SpanBudget() const { return 0; }
 };
 
 // Classic single-homing: meetings land on the least-loaded live switch and
@@ -142,6 +148,7 @@ class CascadePolicy : public PlacementPolicy {
   std::string Name() const override { return "cascade"; }
   size_t PlaceParticipant(const MeetingPlacement& placement,
                           const std::vector<SwitchLoad>& loads) const override;
+  int SpanBudget() const override { return max_per_switch_; }
 
  private:
   int max_per_switch_;
@@ -172,6 +179,7 @@ class TopologyAwarePolicy : public PlacementPolicy {
                           const std::vector<SwitchLoad>& loads) const override;
   size_t ChooseSpanParent(const MeetingPlacement& placement,
                           size_t span_switch) const override;
+  int SpanBudget() const override { return max_per_switch_; }
 
  private:
   // Cheapest on-plan switch to attach `candidate` to, and the cost /

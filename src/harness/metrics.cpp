@@ -121,6 +121,31 @@ std::string ScenarioMetrics::ToCsv() const {
     Row(out, "\n");
   }
 
+  // Federation section: the east-west controller-to-controller plane.
+  // Gated on a federated backend (fleet{N,R>1}) so every single-region
+  // fleet golden keeps its exact bytes.
+  if (federation.configured) {
+    Row(out,
+        "federation,regions,east_west_sent,east_west_delivered,"
+        "east_west_dropped,east_west_retransmitted,directory_lookups,"
+        "remote_lookups,announcements,border_spans,controller_heartbeats,"
+        "controller_misses,controllers_failed,shards_adopted,"
+        "meetings_adopted\n");
+    Row(out,
+        "federation,%d,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+        federation.regions, federation.messages_sent,
+        federation.messages_delivered, federation.messages_dropped,
+        federation.messages_retransmitted, federation.directory_lookups,
+        federation.directory_lookups_remote,
+        federation.directory_announcements, federation.border_spans,
+        federation.controller_heartbeats_seen,
+        federation.controller_heartbeats_missed,
+        federation.controllers_failed, federation.shards_adopted,
+        federation.meetings_adopted);
+  }
+
   Row(out, "meeting,index,id,final_design,participants_at_end\n");
   for (const auto& m : meetings) {
     Row(out, "meeting,%d,%u,%s,%d\n", m.index, m.id, m.final_design.c_str(),
@@ -202,6 +227,19 @@ std::string ScenarioMetrics::Summary() const {
         control.heartbeats_seen, control.heartbeats_missed,
         control.load_reports_seen, control.switches_failed,
         control.rebalance_migrations);
+  }
+  if (federation.configured) {
+    Row(out,
+        "    federation: %d regions, %" PRIu64 " east-west messages (%" PRIu64
+        " dropped, %" PRIu64 " retransmitted), %" PRIu64 " lookups (%" PRIu64
+        " remote), %" PRIu64 " border spans, %" PRIu64
+        " controller failures, %" PRIu64 " shards adopted (%" PRIu64
+        " meetings)\n",
+        federation.regions, federation.messages_sent,
+        federation.messages_dropped, federation.messages_retransmitted,
+        federation.directory_lookups, federation.directory_lookups_remote,
+        federation.border_spans, federation.controllers_failed,
+        federation.shards_adopted, federation.meetings_adopted);
   }
   if (cascade.spans_installed > 0) {
     Row(out,

@@ -121,6 +121,12 @@ struct ScenarioMetrics {
   // CSV section on multi-switch backends; zeros when nothing spanned.
   testbed::CascadeCounters cascade;
 
+  // East-west federation aggregates (controller peering, directory
+  // traffic, shard adoption). Rendered as a `federation,...` CSV section
+  // only when `federation.configured` — fleet{N,R>1} — so single-region
+  // fleet goldens stay byte-identical.
+  testbed::FederationCounters federation;
+
   // The modeled inter-switch backbone: per-link latency/capacity/load and
   // crossing traffic, the relay-tree depth histogram, worst utilization.
   // Rendered as a `topology,...` CSV section only when the spec declared

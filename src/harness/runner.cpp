@@ -18,6 +18,16 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
       util::Seconds(spec_.control_load_report_s);
   base.placement = spec_.placement_policy;
   base.inter_switch_links = spec_.inter_switch_links;
+  if (spec_.backend.kind == testbed::BackendChoice::Kind::kFleet &&
+      (spec_.backend.fleet_regions < 1 ||
+       spec_.backend.fleet_regions > spec_.backend.fleet_switches)) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name + "': fleet{" +
+        std::to_string(spec_.backend.fleet_switches) + "," +
+        std::to_string(spec_.backend.fleet_regions) +
+        "} needs 1 <= regions <= switches — every region must own at "
+        "least one switch");
+  }
   if ((!spec_.inter_switch_links.empty() ||
        !spec_.topology_events.empty()) &&
       spec_.backend.kind != testbed::BackendChoice::Kind::kFleet) {
@@ -137,6 +147,41 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
     }
   }
 
+  // A controller failure drill only means anything on a federated fleet:
+  // it needs a peer controller to notice the death (east-west heartbeats)
+  // and adopt the shard, and enough runtime after the kill for detection.
+  if (spec_.controller_failure_at_s >= 0.0) {
+    if (spec_.backend.kind != testbed::BackendChoice::Kind::kFleet ||
+        spec_.backend.fleet_regions < 2) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name +
+          "': a controller failure needs a federated fleet{N,R>=2} "
+          "backend — with one controller there is no peer to adopt its "
+          "shard");
+    }
+    if (spec_.controller_failure_region < 0 ||
+        spec_.controller_failure_region >= spec_.backend.fleet_regions) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "': controller failure region " +
+          std::to_string(spec_.controller_failure_region) +
+          " is outside fleet{" +
+          std::to_string(spec_.backend.fleet_switches) + "," +
+          std::to_string(spec_.backend.fleet_regions) + "}");
+    }
+    if (util::ToSeconds(base.control.heartbeat_interval) <= 0.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name +
+          "': a controller failure needs a positive heartbeat interval — "
+          "peers detect the death by east-west heartbeat loss");
+    }
+    if (spec_.controller_failure_at_s >= spec_.duration_s) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name +
+          "': controller_failure_at_s falls after the scenario ends — the "
+          "drill would test nothing");
+    }
+  }
+
   ScheduleSpec();
 }
 
@@ -198,6 +243,13 @@ void ScenarioRunner::ScheduleSpec() {
       backend_->SetInterSwitchLinkCapacity(static_cast<size_t>(ev.a),
                                            static_cast<size_t>(ev.b),
                                            ev.capacity_bps);
+    });
+  }
+
+  if (spec_.controller_failure_at_s >= 0.0) {
+    sched.At(util::Seconds(spec_.controller_failure_at_s), [this] {
+      backend_->FailController(
+          static_cast<size_t>(spec_.controller_failure_region));
     });
   }
 
@@ -501,6 +553,7 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.control = backend_->control_counters();
   m.control_plane = spec_.control_plane_configured || !m.switches.empty();
   m.cascade = backend_->cascade_counters();
+  m.federation = backend_->federation_counters();
   m.topology = backend_->topology_snapshot();
   return m;
 }

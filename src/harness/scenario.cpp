@@ -103,6 +103,12 @@ ScenarioSpec& ScenarioSpec::WithBackend(testbed::BackendChoice choice) {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::WithControllerFailure(double at_s, int region) {
+  controller_failure_at_s = at_s;
+  controller_failure_region = region;
+  return *this;
+}
+
 ScenarioSpec& ScenarioSpec::WithControlPlane(double latency_s, double loss,
                                              double heartbeat_s,
                                              double load_report_s) {

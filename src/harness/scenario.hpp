@@ -121,6 +121,15 @@ struct ScenarioSpec {
   // re-joins onto the target switch.
   double rebalance_resignal_s = 0.1;
 
+  // Mid-run controller failure (federated fleet{N,R>1} only): at this
+  // time region `controller_failure_region`'s controller dies. Its
+  // switches keep forwarding; the surviving controllers' east-west
+  // heartbeat detector notices and the lowest live region adopts the
+  // orphaned shard, so the region's meetings stay owned by a live
+  // controller. Negative: never.
+  double controller_failure_at_s = -1.0;
+  int controller_failure_region = 0;
+
   // Which forwarding substrate executes the scenario: the single-switch
   // Scallop stack (default), a multi-switch fleet, or the software-SFU
   // baseline. The whole spec vocabulary (links, churn, failover) runs
@@ -162,6 +171,9 @@ struct ScenarioSpec {
   ScenarioSpec& WithLinkEvent(LinkEvent ev);
   ScenarioSpec& WithFailover(double at_s);
   ScenarioSpec& WithBackend(testbed::BackendChoice choice);
+  // Kills one region's controller mid-run (requires a fleet{N,R>=2}
+  // backend and an armed control plane; validated at construction).
+  ScenarioSpec& WithControllerFailure(double at_s, int region = 0);
   ScenarioSpec& WithControlPlane(double latency_s, double loss = 0.0,
                                  double heartbeat_s = 0.05,
                                  double load_report_s = 0.5);

@@ -12,7 +12,10 @@ std::string BackendChoice::Label() const {
     case Kind::kScallop:
       return "scallop";
     case Kind::kFleet:
-      return "fleet{" + std::to_string(fleet_switches) + "}";
+      return fleet_regions > 1
+                 ? "fleet{" + std::to_string(fleet_switches) + "," +
+                       std::to_string(fleet_regions) + "}"
+                 : "fleet{" + std::to_string(fleet_switches) + "}";
     case Kind::kSoftware:
       return "software";
   }
@@ -59,7 +62,8 @@ std::unique_ptr<Backend> MakeBackend(const BackendChoice& choice,
     case BackendChoice::Kind::kScallop:
       return std::make_unique<ScallopTestbed>(cfg);
     case BackendChoice::Kind::kFleet:
-      return std::make_unique<FleetTestbed>(cfg, choice.fleet_switches);
+      return std::make_unique<FleetTestbed>(cfg, choice.fleet_switches,
+                                            choice.fleet_regions);
     case BackendChoice::Kind::kSoftware:
       return std::make_unique<SoftwareTestbed>(cfg);
   }

@@ -27,16 +27,20 @@ struct BackendChoice {
   enum class Kind { kScallop, kFleet, kSoftware };
   Kind kind = Kind::kScallop;
   // Fleet only: number of switches (each with its own data plane, agent
-  // and SFU IP) under the shared FleetController.
+  // and SFU IP) under the control plane.
   int fleet_switches = 2;
+  // Fleet only: per-region controllers the switches are sharded across.
+  // 1 (the default) is the classic single-FleetController fleet; R > 1
+  // federates them behind east-west peering (fleet{N,R}).
+  int fleet_regions = 1;
 
   static BackendChoice Scallop() { return {}; }
-  static BackendChoice Fleet(int n_switches = 2) {
-    return {Kind::kFleet, n_switches};
+  static BackendChoice Fleet(int n_switches = 2, int regions = 1) {
+    return {Kind::kFleet, n_switches, regions};
   }
   static BackendChoice Software() { return {Kind::kSoftware, 0}; }
 
-  // "scallop", "fleet{3}" or "software".
+  // "scallop", "fleet{3}", "fleet{6,2}" or "software".
   std::string Label() const;
 };
 
@@ -78,6 +82,29 @@ struct ControlPlaneCounters {
   uint64_t load_reports_seen = 0;
   uint64_t switches_failed = 0;
   uint64_t rebalance_migrations = 0;
+};
+
+// Federation (east-west) aggregates for fleet{N,R>1}: the controller-to-
+// controller message plane plus directory and shard-adoption activity.
+// `configured` is false on single-region substrates — the CSV federation
+// section is gated on it, so fleet{N} and fleet{N,1} goldens stay
+// byte-identical.
+struct FederationCounters {
+  bool configured = false;
+  int regions = 1;
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_retransmitted = 0;
+  uint64_t directory_lookups = 0;
+  uint64_t directory_lookups_remote = 0;
+  uint64_t directory_announcements = 0;
+  uint64_t border_spans = 0;
+  uint64_t controller_heartbeats_seen = 0;
+  uint64_t controller_heartbeats_missed = 0;
+  uint64_t controllers_failed = 0;
+  uint64_t shards_adopted = 0;
+  uint64_t meetings_adopted = 0;
 };
 
 // Cascaded-meeting aggregates (paper Appendix A): relay spans installed
@@ -196,6 +223,12 @@ class Backend {
   }
   // Relay-span aggregates; zeros on substrates that never cascade.
   virtual CascadeCounters cascade_counters() const { return {}; }
+  // East-west federation aggregates (unconfigured everywhere but
+  // fleet{N,R>1}).
+  virtual FederationCounters federation_counters() const { return {}; }
+  // Kills one region's controller mid-run (its switches keep forwarding;
+  // a peer adopts the orphaned shard). No-op on unfederated substrates.
+  virtual void FailController(size_t /*region*/) {}
   // The modeled inter-switch backbone (empty / unconfigured on
   // single-switch substrates and default full-mesh fleets).
   virtual TopologySnapshot topology_snapshot() const { return {}; }

@@ -6,13 +6,28 @@
 
 namespace scallop::testbed {
 
-FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
+FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches,
+                           int n_regions)
     : cfg_(cfg) {
   if (n_switches < 1 || n_switches > 200) {
     throw std::invalid_argument("FleetTestbed: n_switches out of range");
   }
+  if (n_regions < 1 || n_regions > n_switches) {
+    throw std::invalid_argument(
+        "FleetTestbed: n_regions must be in [1, n_switches]");
+  }
   network_ = std::make_unique<sim::Network>(sched_, cfg_.seed);
-  fleet_ = std::make_unique<core::FleetController>();
+  core::FederationConfig fed_cfg;
+  fed_cfg.regions = static_cast<size_t>(n_regions);
+  fed_cfg.switches = static_cast<size_t>(n_switches);
+  // The east-west plane rides the same impairment knobs as the
+  // southbound channels: region peering is control traffic too.
+  fed_cfg.east_west_latency = cfg_.control.latency;
+  fed_cfg.east_west_loss = cfg_.control.loss_rate;
+  fed_cfg.heartbeat_interval = cfg_.control.heartbeat_interval;
+  fed_cfg.seed = cfg_.seed * 7 + 13;
+  federation_ =
+      std::make_unique<core::FederatedControlPlane>(sched_, fed_cfg);
   nodes_.reserve(static_cast<size_t>(n_switches));
   for (int i = 0; i < n_switches; ++i) {
     Node node;
@@ -33,23 +48,25 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
         std::make_unique<core::ControlChannel>(sched_, *node.agent, ctrl_cfg);
     network_->Attach(node.ip, node.sw.get(), cfg_.sfu_uplink,
                      cfg_.sfu_downlink);
-    fleet_->AddSwitch(*node.channel, node.ip);
+    federation_->AddSwitch(*node.channel, node.ip);
     nodes_.push_back(std::move(node));
   }
   // The controller's per-stream relay bandwidth estimate tracks the
   // encoder ceiling (plus audio + RTP overhead) so residual-capacity
   // planning matches what spans actually put on the backbone.
-  fleet_->set_relay_stream_bps(
+  federation_->set_relay_stream_bps(
       static_cast<double>(cfg_.peer.encoder.max_bitrate_bps) + 100e3);
-  // Declared inter-switch links become both the fleet's link-state view
-  // and dedicated sim links; every switch pair's traffic is then routed
-  // over the backbone's shortest path (multi-hop where not adjacent).
+  // Declared inter-switch links become both the control plane's
+  // link-state view and dedicated sim links; every switch pair's traffic
+  // is then routed over the backbone's shortest path (multi-hop where not
+  // adjacent).
   for (const core::InterSwitchLinkSpec& l : cfg_.inter_switch_links) {
     if (l.a >= nodes_.size() || l.b >= nodes_.size() || l.a == l.b) {
       throw std::invalid_argument(
           "FleetTestbed: inter-switch link endpoints out of range");
     }
-    fleet_->ConfigureInterSwitchLink(l.a, l.b, l.latency_s, l.capacity_bps);
+    federation_->ConfigureInterSwitchLink(l.a, l.b, l.latency_s,
+                                          l.capacity_bps);
     sim::LinkConfig shape;
     shape.rate_bps = l.capacity_bps > 0.0 ? l.capacity_bps : 0.0;
     shape.prop_delay = util::Seconds(l.latency_s);
@@ -59,7 +76,7 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
     for (size_t i = 0; i < nodes_.size(); ++i) {
       for (size_t j = 0; j < nodes_.size(); ++j) {
         if (i == j) continue;
-        std::vector<size_t> path = fleet_->topology().RelayPath(i, j);
+        std::vector<size_t> path = federation_->topology().RelayPath(i, j);
         if (path.size() < 2) continue;  // disconnected: star fallback
         std::vector<net::Ipv4> hops;
         hops.reserve(path.size());
@@ -68,8 +85,12 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches)
       }
     }
   }
-  fleet_->SetPlacementPolicy(cfg_.placement.Make());
-  if (cfg_.rebalance.enabled) fleet_->EnableRebalancer(cfg_.rebalance);
+  federation_->SetPlacementPolicy(cfg_.placement);
+  if (cfg_.rebalance.enabled) federation_->EnableRebalancer(cfg_.rebalance);
+  // East-west heartbeats + peer failure detectors start last so region
+  // construction order never interleaves with scheduled control traffic
+  // (no-op when n_regions == 1).
+  federation_->Activate();
 }
 
 void FleetTestbed::SetInterSwitchLinkCapacity(size_t a, size_t b,
@@ -82,22 +103,34 @@ void FleetTestbed::SetInterSwitchLinkCapacity(size_t a, size_t b,
     sim::Link* link = network_->pair_link(nodes_[from].ip, nodes_[to].ip);
     if (link != nullptr) link->set_rate_bps(rate);
   }
-  fleet_->SetInterSwitchLinkCapacity(a, b, capacity_bps);
+  federation_->SetInterSwitchLinkCapacity(a, b, capacity_bps);
 }
 
 TopologySnapshot FleetTestbed::topology_snapshot() const {
   TopologySnapshot snap;
-  const core::InterSwitchTopology& topo = fleet_->topology();
+  const core::InterSwitchTopology& topo = federation_->topology();
   snap.configured = topo.explicit_topology();
   if (!snap.configured) return snap;
+  const bool federated = federation_->regions() > 1;
   for (const auto& link : topo.links()) {
     TopologyLinkStatus s;
     s.a = link.a;
     s.b = link.b;
     s.latency_s = link.latency_s;
     s.capacity_bps = link.capacity_bps;
-    s.load_bps = link.relay_load_bps;
-    s.utilization = topo.UtilizationOf(link.a, link.b);
+    if (federated) {
+      // The global view has no registered load of its own — each region's
+      // controller tracks the relay load it placed; sum the slices.
+      s.load_bps = federation_->LinkLoad(link.a, link.b);
+      s.utilization = link.capacity_bps > 0.0 &&
+                              link.capacity_bps <
+                                  core::InterSwitchTopology::kUnconstrained
+                          ? s.load_bps / link.capacity_bps
+                          : 0.0;
+    } else {
+      s.load_bps = link.relay_load_bps;
+      s.utilization = topo.UtilizationOf(link.a, link.b);
+    }
     for (auto [from, to] :
          {std::pair{link.a, link.b}, std::pair{link.b, link.a}}) {
       const sim::Link* pl =
@@ -106,12 +139,13 @@ TopologySnapshot FleetTestbed::topology_snapshot() const {
       s.relay_packets += pl->stats().delivered_packets;
       s.relay_bytes += pl->stats().delivered_bytes;
     }
+    snap.max_utilization = std::max(snap.max_utilization, s.utilization);
     snap.links.push_back(s);
   }
-  snap.max_utilization = topo.MaxUtilization();
-  snap.relay_replans = fleet_->stats().relay_replans;
+  if (!federated) snap.max_utilization = topo.MaxUtilization();
+  snap.relay_replans = federation_->TotalFleetStats().relay_replans;
   for (core::MeetingId m : meetings_) {
-    core::MeetingPlacement placement = fleet_->PlacementOf(m);
+    core::MeetingPlacement placement = federation_->PlacementOf(m);
     if (!placement.valid()) continue;
     const size_t depth = placement.TreeDepth();
     snap.max_depth = std::max(snap.max_depth, depth);
@@ -124,7 +158,9 @@ TopologySnapshot FleetTestbed::topology_snapshot() const {
 }
 
 std::string FleetTestbed::Name() const {
-  return BackendChoice::Fleet(static_cast<int>(nodes_.size())).Label();
+  return BackendChoice::Fleet(static_cast<int>(nodes_.size()),
+                              static_cast<int>(federation_->regions()))
+      .Label();
 }
 
 client::Peer& FleetTestbed::AddPeer() {
@@ -144,7 +180,7 @@ client::Peer& FleetTestbed::AddPeer(const client::PeerConfig& base,
 }
 
 core::MeetingId FleetTestbed::CreateMeeting() {
-  core::MeetingId id = fleet_->CreateMeeting();
+  core::MeetingId id = federation_->CreateMeeting();
   meetings_.push_back(id);
   return id;
 }
@@ -162,15 +198,15 @@ std::vector<core::MeetingId> FleetTestbed::FailoverBegin() {
   // whose placement touches it — home or relay span — loses forwarding
   // state there. The crash is delivered the way a real fleet learns of
   // one: the victim's control link goes dark, its heartbeats stop, and
-  // the FleetController's miss detector declares it dead and re-plans its
-  // meetings onto live switches — so the re-Joins after the blackout land
-  // on the standbys' SFU IPs. The blackout must exceed
+  // the owning controller's miss detector declares it dead and re-plans
+  // its meetings onto live switches — so the re-Joins after the blackout
+  // land on the standbys' SFU IPs. The blackout must exceed
   // heartbeat_miss_threshold heartbeat intervals or the victim is revived
   // before it is ever declared dead.
   size_t victim = SIZE_MAX;
   std::vector<core::MeetingId> affected;
   for (core::MeetingId m : meetings_) {
-    core::MeetingPlacement placement = fleet_->PlacementOf(m);
+    core::MeetingPlacement placement = federation_->PlacementOf(m);
     if (!placement.valid()) continue;
     if (victim == SIZE_MAX) victim = placement.home;
     if (placement.home == victim ||
@@ -183,7 +219,7 @@ std::vector<core::MeetingId> FleetTestbed::FailoverBegin() {
   nodes_[victim].channel->set_link_up(false);
   // The affected meetings are mid-blackout: the load rebalancer must not
   // migrate them while their members are down.
-  fleet_->FreezeMeetings(affected);
+  federation_->FreezeMeetings(affected);
   return affected;
 }
 
@@ -192,13 +228,13 @@ void FleetTestbed::FailoverEnd() {
   // future placements; migrated meetings stay where they are.
   if (failed_switch_ == SIZE_MAX) return;
   nodes_[failed_switch_].channel->set_link_up(true);
-  fleet_->ReviveSwitch(failed_switch_);
+  federation_->ReviveSwitch(failed_switch_);
   failed_switch_ = SIZE_MAX;
 }
 
 void FleetTestbed::SetMeetingMovedCallback(
     std::function<void(core::MeetingId, size_t, size_t)> cb) {
-  fleet_->SetMigrationCallback(std::move(cb));
+  federation_->SetMigrationCallback(std::move(cb));
 }
 
 BackendCounters FleetTestbed::counters() const {
@@ -206,13 +242,14 @@ BackendCounters FleetTestbed::counters() const {
   for (const Node& node : nodes_) {
     AccumulateSwitchNode(c, *node.sw, *node.dp, *node.agent);
   }
-  c.placements_rebalanced = fleet_->stats().placements_rebalanced;
+  c.placements_rebalanced =
+      federation_->TotalFleetStats().placements_rebalanced;
   return c;
 }
 
 CascadeCounters FleetTestbed::cascade_counters() const {
   CascadeCounters c;
-  const core::FleetStats& fs = fleet_->stats();
+  const core::FleetStats fs = federation_->TotalFleetStats();
   c.spans_installed = fs.relay_spans_installed;
   c.spans_removed = fs.relay_spans_removed;
   for (const Node& node : nodes_) {
@@ -228,7 +265,7 @@ ControlPlaneCounters FleetTestbed::control_counters() const {
   for (const Node& node : nodes_) {
     AccumulateChannel(c, node.channel->stats());
   }
-  const core::FleetStats& fs = fleet_->stats();
+  const core::FleetStats fs = federation_->TotalFleetStats();
   c.heartbeats_seen = fs.heartbeats_seen;
   c.heartbeats_missed = fs.heartbeats_missed;
   c.load_reports_seen = fs.load_reports_seen;
@@ -237,17 +274,44 @@ ControlPlaneCounters FleetTestbed::control_counters() const {
   return c;
 }
 
+FederationCounters FleetTestbed::federation_counters() const {
+  FederationCounters f;
+  f.configured = federation_->regions() > 1;
+  if (!f.configured) return f;
+  f.regions = static_cast<int>(federation_->regions());
+  const core::ConduitStats& ew = federation_->east_west_stats();
+  f.messages_sent = ew.sent;
+  f.messages_delivered = ew.delivered;
+  f.messages_dropped = ew.dropped;
+  f.messages_retransmitted = ew.retransmitted;
+  const core::FederationStats& fs = federation_->federation_stats();
+  f.directory_lookups = fs.directory_lookups;
+  f.directory_lookups_remote = fs.directory_lookups_remote;
+  f.directory_announcements = fs.directory_announcements;
+  f.border_spans = fs.border_spans;
+  f.controller_heartbeats_seen = fs.controller_heartbeats_seen;
+  f.controller_heartbeats_missed = fs.controller_heartbeats_missed;
+  f.controllers_failed = fs.controllers_failed;
+  f.shards_adopted = fs.shards_adopted;
+  f.meetings_adopted = fs.meetings_adopted;
+  return f;
+}
+
+void FleetTestbed::FailController(size_t region) {
+  federation_->KillController(region);
+}
+
 std::vector<core::ParticipantId> FleetTestbed::SenderAliasesOf(
     core::MeetingId meeting, core::ParticipantId participant) const {
   std::vector<core::ParticipantId> aliases;
-  for (const auto& relay : fleet_->RelaysOf(meeting)) {
+  for (const auto& relay : federation_->RelaysOf(meeting)) {
     if (relay.origin == participant) aliases.push_back(relay.relay_sender);
   }
   return aliases;
 }
 
 std::string FleetTestbed::TreeDesignOf(core::MeetingId meeting) const {
-  auto [idx, local] = fleet_->PlacementDetail(meeting);
+  auto [idx, local] = federation_->PlacementDetail(meeting);
   if (idx == SIZE_MAX) return "none";
   auto design = nodes_[idx].agent->tree_manager().CurrentDesign(local);
   return design.has_value() ? core::TreeDesignName(*design) : "none";
@@ -260,9 +324,9 @@ std::vector<SwitchStatus> FleetTestbed::SwitchBreakdown() const {
     SwitchStatus s;
     s.index = static_cast<int>(i);
     s.sfu_ip = nodes_[i].ip;
-    s.alive = fleet_->IsAlive(i);
-    s.meetings = fleet_->MeetingsOn(i);
-    s.participants = fleet_->LoadOf(i);
+    s.alive = federation_->IsAlive(i);
+    s.meetings = federation_->MeetingsOn(i);
+    s.participants = federation_->LoadOf(i);
     const auto& sw = nodes_[i].sw->stats();
     s.packets_in = sw.packets_in;
     s.packets_out = sw.packets_out;

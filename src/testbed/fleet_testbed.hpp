@@ -1,12 +1,16 @@
 // Multi-switch testbed: N Scallop switches (each with its own data plane,
 // switch agent, southbound ControlChannel and SFU IP on datacenter links)
-// under one FleetController — the paper's Appendix A deployment shape.
-// Failover here means a real standby driven by telemetry loss:
-// FailoverBegin takes the victim's control link down, the fleet's
+// under a FederatedControlPlane of R per-region controllers — the paper's
+// Appendix A deployment shape, sharded. R = 1 (the default) is the classic
+// single-FleetController fleet, byte-for-byte; R > 1 slices the switches
+// across regions peered over an east-west message plane (directory
+// lookups, border-span negotiation, controller heartbeats + shard
+// adoption). Failover here means a real standby driven by telemetry loss:
+// FailoverBegin takes the victim's control link down, the owning region's
 // heartbeat-miss detector declares it dead and migrates its meetings to a
 // live switch, so recovering peers re-signal to the standby's SFU IP
-// instead of the restarted victim. With cfg.rebalance.enabled the fleet
-// additionally runs the load-driven background rebalancer over the
+// instead of the restarted victim. With cfg.rebalance.enabled every
+// region additionally runs the load-driven background rebalancer over the
 // northbound SwitchLoadReports.
 #pragma once
 
@@ -15,6 +19,7 @@
 
 #include "core/control_channel.hpp"
 #include "core/dataplane.hpp"
+#include "core/federation.hpp"
 #include "core/fleet.hpp"
 #include "core/switch_agent.hpp"
 #include "switchsim/switch.hpp"
@@ -25,8 +30,10 @@ namespace scallop::testbed {
 class FleetTestbed : public Backend {
  public:
   // Switch i gets SFU IP cfg.sfu_ip + i (last octet) and the config's
-  // datacenter link shapes.
-  explicit FleetTestbed(const TestbedConfig& cfg = {}, int n_switches = 2);
+  // datacenter link shapes; the i-th slice of n_switches / n_regions
+  // switches answers to region i's controller.
+  explicit FleetTestbed(const TestbedConfig& cfg = {}, int n_switches = 2,
+                        int n_regions = 1);
 
   client::Peer& AddPeer();
   client::Peer& AddPeer(const sim::LinkConfig& up, const sim::LinkConfig& down);
@@ -43,7 +50,9 @@ class FleetTestbed : public Backend {
   std::vector<std::unique_ptr<client::Peer>>& peers() override {
     return peers_;
   }
-  core::FleetController& fleet() { return *fleet_; }
+  // Region 0's controller — the whole fleet when n_regions == 1.
+  core::FleetController& fleet() { return federation_->region(0); }
+  core::FederatedControlPlane& federation() { return *federation_; }
   switchsim::Switch& sw(size_t i) { return *nodes_[i].sw; }
   core::DataPlaneProgram& dataplane(size_t i) { return *nodes_[i].dp; }
   core::SwitchAgent& agent(size_t i) { return *nodes_[i].agent; }
@@ -51,7 +60,7 @@ class FleetTestbed : public Backend {
 
   // testbed::Backend
   std::string Name() const override;
-  core::SignalingServer& signaling() override { return *fleet_; }
+  core::SignalingServer& signaling() override { return *federation_; }
   TopologySnapshot topology_snapshot() const override;
   void SetInterSwitchLinkCapacity(size_t a, size_t b,
                                   double capacity_bps) override;
@@ -62,10 +71,12 @@ class FleetTestbed : public Backend {
   BackendCounters counters() const override;
   ControlPlaneCounters control_counters() const override;
   CascadeCounters cascade_counters() const override;
+  FederationCounters federation_counters() const override;
+  void FailController(size_t region) override;
   std::string TreeDesignOf(core::MeetingId meeting) const override;
   size_t switch_count() const override { return nodes_.size(); }
   core::MeetingPlacement PlacementOf(core::MeetingId meeting) const override {
-    return fleet_->PlacementOf(meeting);
+    return federation_->PlacementOf(meeting);
   }
   std::vector<core::ParticipantId> SenderAliasesOf(
       core::MeetingId meeting, core::ParticipantId participant) const override;
@@ -84,7 +95,7 @@ class FleetTestbed : public Backend {
   sim::Scheduler sched_;
   std::unique_ptr<sim::Network> network_;
   std::vector<Node> nodes_;
-  std::unique_ptr<core::FleetController> fleet_;
+  std::unique_ptr<core::FederatedControlPlane> federation_;
   std::vector<std::unique_ptr<client::Peer>> peers_;
   std::vector<core::MeetingId> meetings_;
   int next_host_ = 1;

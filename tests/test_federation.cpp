@@ -1,0 +1,229 @@
+// Federated control plane (fleet{N,R}): per-region controllers over a
+// sharded meeting directory, peered east-west for directory lookups,
+// cross-region border spans and controller-death shard adoption. The
+// plane with R = 1 must be byte-identical to the classic single-
+// FleetController fleet; everything federated is exercised at R > 1.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "harness/runner.hpp"
+#include "testbed/fleet_testbed.hpp"
+#include "testbed/testbed.hpp"
+
+namespace scallop::harness {
+namespace {
+
+// Shared invariant check: delivery floor and gap-free rewriting (the same
+// bar test_scenarios.cpp holds every backend to).
+void ExpectHealthy(const ScenarioMetrics& m, uint64_t min_floor_frames) {
+  EXPECT_GE(m.WorstDeliveryFloor(), min_floor_frames)
+      << "a peer starved:\n"
+      << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u) << "sequence rewriting broke:\n"
+                                       << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.blackholed, 0u);
+}
+
+ScenarioSpec FederatedSpec(std::string name, int switches, int regions,
+                           int meetings, int participants,
+                           double duration_s) {
+  ScenarioSpec spec = ScenarioSpec::Uniform(std::move(name), meetings,
+                                            participants, duration_s);
+  spec.WithBackend(testbed::BackendChoice::Fleet(switches, regions));
+  return spec;
+}
+
+TEST(Federation, SpecValidationRejectsBadRegionCounts) {
+  // R = 0 and R > N both leave some region without a switch (or the
+  // switches without a controller) — rejected up front with the offending
+  // shape in the message, not discovered mid-run.
+  ScenarioSpec zero = FederatedSpec("fed-r0", 4, 0, 1, 2, 1.0);
+  EXPECT_THROW({ ScenarioRunner r(zero); }, std::invalid_argument);
+  ScenarioSpec over = FederatedSpec("fed-r5", 4, 5, 1, 2, 1.0);
+  EXPECT_THROW({ ScenarioRunner r(over); }, std::invalid_argument);
+  EXPECT_THROW(testbed::FleetTestbed({}, 4, 5), std::invalid_argument);
+
+  // A controller-failure drill needs a federated fleet, an in-range
+  // region, and heartbeats to detect the death with.
+  ScenarioSpec mono = ScenarioSpec::Uniform("fed-mono", 1, 2, 1.0);
+  mono.WithBackend(testbed::BackendChoice::Fleet(2))
+      .WithControllerFailure(0.5);
+  EXPECT_THROW({ ScenarioRunner r(mono); }, std::invalid_argument);
+  ScenarioSpec badregion = FederatedSpec("fed-badregion", 4, 2, 1, 2, 1.0);
+  badregion.WithControllerFailure(0.5, 7);
+  EXPECT_THROW({ ScenarioRunner r(badregion); }, std::out_of_range);
+  ScenarioSpec late = FederatedSpec("fed-late", 4, 2, 1, 2, 1.0);
+  late.WithControllerFailure(5.0, 1);
+  EXPECT_THROW({ ScenarioRunner r(late); }, std::invalid_argument);
+}
+
+TEST(Federation, SingleRegionIsByteIdenticalToClassicFleet) {
+  // fleet{N,R=1} is the refactor's null case: the plane forwards straight
+  // to one FleetController and the CSV — label included — must be
+  // byte-for-byte what fleet{N} produced before federation existed.
+  EXPECT_EQ(testbed::BackendChoice::Fleet(2, 1).Label(), "fleet{2}");
+  ScenarioSpec classic = ScenarioSpec::Uniform("fed-null", 2, 3, 5.0);
+  classic.WithBackend(testbed::BackendChoice::Fleet(2))
+      .WithControlPlane(0.002, 0.0);
+  ScenarioSpec viaplane = classic;
+  viaplane.WithBackend(testbed::BackendChoice::Fleet(2, 1));
+  ScenarioRunner a(classic);
+  ScenarioRunner b(viaplane);
+  const std::string csv_a = a.Run().ToCsv();
+  const std::string csv_b = b.Run().ToCsv();
+  EXPECT_EQ(csv_a, csv_b);
+  EXPECT_EQ(csv_a.find("federation,"), std::string::npos);
+}
+
+TEST(Federation, DeterministicCsvUnderEastWestImpairment) {
+  // Same spec, same seed, twice — with east-west latency AND loss in
+  // play. Every federated code path (announcements, lookups, heartbeats)
+  // draws from seeded per-pair conduits, so the CSV must be identical.
+  ScenarioSpec spec = FederatedSpec("fed-det", 4, 2, 2, 3, 6.0);
+  spec.WithControlPlane(0.002, 0.01);
+  ScenarioRunner a(spec);
+  ScenarioRunner b(spec);
+  const ScenarioMetrics& ma = a.Run();
+  const std::string csv_a = ma.ToCsv();
+  const std::string csv_b = b.Run().ToCsv();
+  EXPECT_EQ(csv_a, csv_b);
+
+  // The federation is actually alive: the CSV gained its section and the
+  // east-west plane carried heartbeats + meeting announcements.
+  EXPECT_NE(csv_a.find("federation,regions,"), std::string::npos);
+  EXPECT_TRUE(ma.federation.configured);
+  EXPECT_EQ(ma.federation.regions, 2);
+  EXPECT_GT(ma.federation.messages_sent, 0u);
+  EXPECT_GT(ma.federation.controller_heartbeats_seen, 0u);
+  EXPECT_GT(ma.federation.directory_announcements, 0u);
+  EXPECT_GT(ma.federation.directory_lookups, 0u);
+  // 1% iid loss over hundreds of heartbeats: some drops are expected.
+  // Delivered + dropped can trail sent by whatever is still in flight at
+  // collection time, but never exceed it.
+  EXPECT_GT(ma.federation.messages_dropped, 0u);
+  EXPECT_LE(ma.federation.messages_delivered + ma.federation.messages_dropped,
+            ma.federation.messages_sent);
+  ExpectHealthy(ma, 10);
+}
+
+TEST(Federation, BorderSpanCarriesCrossRegionOverflow) {
+  // Cascade(1) fills each switch with one participant. Region A owns 2 of
+  // the 4 switches, so a 4-party meeting overflows its region: the third
+  // join has no local switch left, the border planner borrows the
+  // least-loaded switch from region B, and the span rides the existing
+  // relay-tree mechanics across the region boundary.
+  ScenarioSpec spec = FederatedSpec("fed-border", 4, 2, 1, 4, 6.0);
+  spec.WithControlPlane(0.001, 0.0);
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(1));
+  ScenarioRunner r(spec);
+  const ScenarioMetrics& m = r.Run();
+  EXPECT_GE(m.federation.border_spans, 1u);
+
+  // The placement really crosses regions: some span switch lives in a
+  // different region than the home switch.
+  auto& fed = r.fleet().federation();
+  core::MeetingPlacement placement =
+      fed.PlacementOf(r.meeting_id(0));
+  ASSERT_TRUE(placement.valid());
+  const size_t home_region = fed.RegionOfSwitch(placement.home);
+  bool crossed = false;
+  for (const core::RelaySpan& span : placement.spans) {
+    if (fed.RegionOfSwitch(span.switch_index) != home_region) crossed = true;
+  }
+  EXPECT_TRUE(crossed);
+  // Media actually flowed over the borrowed span's relays.
+  EXPECT_GT(m.cascade.relay_packets, 0u);
+  ExpectHealthy(m, 10);
+}
+
+TEST(Federation, ControllerDeathShardAdoption) {
+  // fleet{6,2}: region 1's controller dies mid-run. Its switches keep
+  // forwarding; region 0 notices via east-west heartbeat loss, adopts the
+  // orphaned shard, and every meeting ends owned by a live controller
+  // with zero starved peers.
+  ScenarioSpec spec = FederatedSpec("fed-adopt", 6, 2, 4, 2, 8.0);
+  spec.WithControlPlane(0.001, 0.0);
+  spec.WithRebalance(1.0);
+  spec.WithControllerFailure(2.0, 1);
+  ScenarioRunner r(spec);
+  const ScenarioMetrics& m = r.Run();
+
+  EXPECT_EQ(m.federation.controllers_failed, 1u);
+  EXPECT_EQ(m.federation.shards_adopted, 1u);
+  EXPECT_GE(m.federation.meetings_adopted, 1u);
+  // Adoption re-homes each taken-over meeting to the surviving
+  // controller; the fleet-wide rebalance counter carries those moves.
+  EXPECT_GE(m.placements_rebalanced, m.federation.meetings_adopted);
+
+  auto& fed = r.fleet().federation();
+  EXPECT_FALSE(fed.RegionAlive(1));
+  ASSERT_TRUE(fed.RegionAlive(0));
+  std::set<size_t> owners;
+  for (int mi = 0; mi < 4; ++mi) {
+    const size_t owner = fed.OwnerRegionOf(r.meeting_id(mi));
+    ASSERT_NE(owner, SIZE_MAX);
+    EXPECT_TRUE(fed.RegionAlive(owner));
+    owners.insert(owner);
+  }
+  EXPECT_EQ(owners, std::set<size_t>{0});
+  // No peer starved across the takeover.
+  ExpectHealthy(m, 10);
+  for (const auto& p : m.peers) EXPECT_TRUE(p.present_at_end);
+}
+
+}  // namespace
+}  // namespace scallop::harness
+
+namespace scallop::core {
+namespace {
+
+// Regression: AddSwitch used to arm the heartbeat failure detector only
+// for the *first* switch's channel. With heartbeats disabled there (a
+// perfectly valid channel config), a later switch with heartbeats enabled
+// was never watched — its death went undetected forever. Arming is now
+// explicit and idempotent per channel.
+TEST(Federation, DetectorArmsPerChannelNotJustFirst) {
+  sim::Scheduler sched;
+  sim::Network net(sched, 99);
+  switchsim::Switch sw1(sched, net, {.address = net::Ipv4(100, 64, 0, 1)});
+  switchsim::Switch sw2(sched, net, {.address = net::Ipv4(100, 64, 0, 2)});
+  DataPlaneProgram dp1(sw1, {}), dp2(sw2, {});
+  AgentConfig ac1, ac2;
+  ac1.sfu_ip = sw1.address();
+  ac2.sfu_ip = sw2.address();
+  SwitchAgent agent1(sched, dp1, ac1), agent2(sched, dp2, ac2);
+  ControlChannelConfig cc1, cc2;
+  cc1.seed = 7;
+  cc1.heartbeat_interval = 0;  // first channel: heartbeats off
+  cc2.seed = 8;
+  cc2.heartbeat_interval = util::Millis(50);
+  ControlChannel ch1(sched, agent1, cc1), ch2(sched, agent2, cc2);
+  sim::LinkConfig dc{.rate_bps = 0, .prop_delay = util::Millis(1)};
+  net.Attach(sw1.address(), &sw1, dc, dc);
+  net.Attach(sw2.address(), &sw2, dc, dc);
+
+  FleetController fleet;
+  fleet.AddSwitch(ch1, sw1.address());
+  fleet.AddSwitch(ch2, sw2.address());
+  // Re-arming for an already-covered cadence is a no-op, not a duplicate
+  // detector.
+  fleet.ArmFailureDetector(ch2);
+
+  sched.RunUntil(util::Seconds(1.0));
+  EXPECT_TRUE(fleet.IsAlive(0));
+  EXPECT_TRUE(fleet.IsAlive(1));
+
+  // Kill switch 2's control link: its heartbeats stop and the detector —
+  // armed by the *second* AddSwitch — must declare it dead. Switch 1,
+  // with heartbeats configured off, is exempt from detection.
+  ch2.set_link_up(false);
+  sched.RunUntil(util::Seconds(2.0));
+  EXPECT_TRUE(fleet.IsAlive(0));
+  EXPECT_FALSE(fleet.IsAlive(1));
+  EXPECT_GE(fleet.stats().switches_failed, 1u);
+}
+
+}  // namespace
+}  // namespace scallop::core
