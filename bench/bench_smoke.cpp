@@ -22,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "harness/runner.hpp"
+#include "harness/workload.hpp"
 #include "testbed/fleet_testbed.hpp"
 
 namespace {
@@ -212,6 +213,36 @@ int main() {
         m.federation.shards_adopted != 1 || !owned_live ||
         m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0) {
       std::printf("SMOKE FAILED on the federation scenario\n");
+      ok = false;
+    }
+  }
+
+  // Diurnal workload (ISSUE 8): one compressed campus day on fleet{6,2} —
+  // trace-driven join schedule, follow-the-sun meeting pins, two roaming
+  // anchors crossing regions mid-run. Fails on starvation or if no roamer
+  // actually re-homed onto its new region.
+  {
+    harness::WorkloadSpec w;
+    w.name = "smoke-diurnal";
+    w.duration_s = 6.0;
+    w.sample_interval_s = 0.5;
+    w.WithBackend(testbed::BackendChoice::Fleet(6, 2))
+        .WithGrid(3, 3)
+        .WithDiurnal(/*day_start_h=*/6.0, /*day_hours=*/12.0,
+                     /*latest_join_frac=*/0.4)
+        .WithFollowTheSun()
+        .WithRoaming(/*roamers=*/2, /*at_frac=*/0.6)
+        .WithControlPlane(/*latency_s=*/0.001);
+    harness::ScenarioSpec spec = w.Compile();
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+    harness::ScenarioRunner runner(spec);
+    const harness::ScenarioMetrics& m = runner.Run();
+    std::printf("[fleet{6,2}+diurnal workload]\n%s", m.Summary().c_str());
+    DumpCsv("smoke-diurnal", m);
+    if (m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0 ||
+        m.roam_rehomings == 0) {
+      std::printf("SMOKE FAILED on the diurnal workload scenario\n");
       ok = false;
     }
   }

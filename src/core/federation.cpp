@@ -132,18 +132,20 @@ void FederatedControlPlane::Activate() {
 size_t FederatedControlPlane::PickOwnerRegion() const {
   // The region holding the globally least-loaded owned live switch, the
   // same participants-then-meetings comparison LeastLoadedLive applies
-  // inside one fleet.
+  // inside one fleet, weighted by each switch's capacity class (exact
+  // no-op at the homogeneous default of 1.0).
   size_t best = SIZE_MAX;
-  int best_participants = std::numeric_limits<int>::max();
-  int best_meetings = std::numeric_limits<int>::max();
+  double best_participants = std::numeric_limits<double>::infinity();
+  double best_meetings = std::numeric_limits<double>::infinity();
   for (size_t r = 0; r < regions_.size(); ++r) {
     const Region& reg = regions_[r];
     if (reg.dead) continue;
     const FleetController& fc = *reg.controller;
     for (size_t l = 0; l < fc.switch_count(); ++l) {
       if (!fc.OwnsSwitch(l) || !fc.IsAlive(l)) continue;
-      const int p = fc.LoadOf(l);
-      const int m = fc.MeetingsOn(l);
+      const double cls = fc.CapacityClassOf(l);
+      const double p = fc.LoadOf(l) / cls;
+      const double m = fc.MeetingsOn(l) / cls;
       if (p < best_participants ||
           (p == best_participants && m < best_meetings)) {
         best_participants = p;
@@ -166,6 +168,26 @@ MeetingId FederatedControlPlane::CreateMeeting() {
   // announcement degrades the peer to a lookup round, but the ack/retx
   // machinery makes that rare), so their directory caches resolve Joins
   // without asking around.
+  for (size_t q = 0; q < regions_.size(); ++q) {
+    if (q == owner || regions_[q].dead) continue;
+    ConduitFor(owner, q).SendReliable(ew_stats_, [this, q, id, owner] {
+      if (!regions_[q].dead) regions_[q].owner_cache[id] = owner;
+    });
+    ++stats_.directory_announcements;
+  }
+  return id;
+}
+
+MeetingId FederatedControlPlane::CreateMeetingIn(size_t r) {
+  if (regions_.size() == 1) return regions_[0].controller->CreateMeeting();
+  size_t owner = r;
+  if (owner >= regions_.size() || regions_[owner].dead) {
+    owner = PickOwnerRegion();
+    if (owner == SIZE_MAX) {
+      throw std::runtime_error("federation: no live region to place on");
+    }
+  }
+  const MeetingId id = regions_[owner].controller->CreateMeeting();
   for (size_t q = 0; q < regions_.size(); ++q) {
     if (q == owner || regions_[q].dead) continue;
     ConduitFor(owner, q).SendReliable(ew_stats_, [this, q, id, owner] {
@@ -244,6 +266,47 @@ void FederatedControlPlane::Leave(MeetingId meeting,
   regions_[owner].controller->Leave(meeting, participant);
 }
 
+SignalingServer& FederatedControlPlane::ingress(size_t r) {
+  if (regions_.size() == 1) return *this;
+  if (ingress_faces_.empty()) ingress_faces_.resize(regions_.size());
+  if (!ingress_faces_[r]) {
+    ingress_faces_[r] = std::make_unique<RegionIngress>(*this, r);
+  }
+  return *ingress_faces_[r];
+}
+
+FederatedControlPlane::JoinResult FederatedControlPlane::JoinVia(
+    size_t r, MeetingId meeting, const sdp::SessionDescription& offer,
+    SignalingClient* client) {
+  if (regions_.size() == 1) {
+    return regions_[0].controller->Join(meeting, offer, client);
+  }
+  // Pinned ingress — a roamer enters at its access region, not the
+  // round-robin one (and does not advance the round-robin cursor). A
+  // dead access region falls back to round-robin: the client's traffic
+  // has to land somewhere.
+  const size_t ingress = regions_[r].dead ? NextIngress() : r;
+  const size_t owner = ResolveOwner(ingress, meeting);
+  if (owner == SIZE_MAX) {
+    throw std::out_of_range(
+        "federation: meeting unknown to every live region (bad id, or its "
+        "owning controller is down and its shard not yet adopted)");
+  }
+  return regions_[owner].controller->Join(meeting, offer, client);
+}
+
+void FederatedControlPlane::LeaveVia(size_t r, MeetingId meeting,
+                                     ParticipantId participant) {
+  if (regions_.size() == 1) {
+    regions_[0].controller->Leave(meeting, participant);
+    return;
+  }
+  const size_t ingress = regions_[r].dead ? NextIngress() : r;
+  const size_t owner = ResolveOwner(ingress, meeting);
+  if (owner == SIZE_MAX) return;
+  regions_[owner].controller->Leave(meeting, participant);
+}
+
 // ---- forwarded fleet surface -----------------------------------------------
 
 void FederatedControlPlane::SetPlacementPolicy(
@@ -251,6 +314,16 @@ void FederatedControlPlane::SetPlacementPolicy(
   for (Region& reg : regions_) {
     reg.controller->SetPlacementPolicy(policy.Make());
   }
+}
+
+void FederatedControlPlane::SetSwitchCapacity(size_t global_switch,
+                                              double capacity_class) {
+  if (global_switch >= owner_region_.size()) {
+    throw std::out_of_range("federation: SetSwitchCapacity index");
+  }
+  const size_t r = owner_region_[global_switch];
+  regions_[r].controller->SetSwitchCapacity(owner_local_[global_switch],
+                                            capacity_class);
 }
 
 void FederatedControlPlane::set_relay_stream_bps(double bps) {

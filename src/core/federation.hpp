@@ -185,12 +185,31 @@ class FederatedControlPlane : public SignalingServer {
 
   // ---- signaling (any region can serve any meeting) ----------------------
   MeetingId CreateMeeting();
+  // Follow-the-sun placement: mints the meeting in region `r` (announced
+  // east-west like CreateMeeting) so load genuinely lands where the spec
+  // says the day currently is. Falls back to the global least-loaded
+  // region when `r` is dead; identical to CreateMeeting for R == 1.
+  MeetingId CreateMeetingIn(size_t r);
   JoinResult Join(MeetingId meeting, const sdp::SessionDescription& offer,
                   SignalingClient* client) override;
   void Leave(MeetingId meeting, ParticipantId participant) override;
+  // Region-pinned signaling face for roaming clients: Joins/Leaves enter
+  // the federation at region `r` (their current access region) instead of
+  // the round-robin ingress, resolving the owner east-west from there. A
+  // dead ingress region falls back to round-robin. For R == 1 this is the
+  // plane itself. The reference stays valid for the plane's lifetime.
+  SignalingServer& ingress(size_t r);
+  JoinResult JoinVia(size_t r, MeetingId meeting,
+                     const sdp::SessionDescription& offer,
+                     SignalingClient* client);
+  void LeaveVia(size_t r, MeetingId meeting, ParticipantId participant);
 
   // ---- forwarded fleet surface (global switch indices) -------------------
   void SetPlacementPolicy(const PlacementPolicyConfig& policy);
+  // Heterogeneous fleets: forwards a switch's capacity class to its
+  // owning region's controller (global index; see
+  // FleetController::SetSwitchCapacity).
+  void SetSwitchCapacity(size_t global_switch, double capacity_class);
   void set_relay_stream_bps(double bps);
   void ConfigureInterSwitchLink(size_t a, size_t b, double latency_s,
                                 double capacity_bps);
@@ -296,9 +315,32 @@ class FederatedControlPlane : public SignalingServer {
   bool ToLocal(size_t r, size_t global_switch, size_t* local) const;
   size_t SliceOf(size_t global_switch) const;
 
+  // The region-pinned SignalingServer face behind ingress(): a thin
+  // forwarder so a client object (Peer) can hold "my access region" as a
+  // plain SignalingServer& without knowing about federation.
+  class RegionIngress : public SignalingServer {
+   public:
+    RegionIngress(FederatedControlPlane& plane, size_t region)
+        : plane_(plane), region_(region) {}
+    JoinResult Join(MeetingId meeting, const sdp::SessionDescription& offer,
+                    SignalingClient* client) override {
+      return plane_.JoinVia(region_, meeting, offer, client);
+    }
+    void Leave(MeetingId meeting, ParticipantId participant) override {
+      plane_.LeaveVia(region_, meeting, participant);
+    }
+
+   private:
+    FederatedControlPlane& plane_;
+    size_t region_;
+  };
+
   sim::Scheduler& sched_;
   FederationConfig cfg_;
   std::vector<Region> regions_;
+  // One facade per region, built lazily by ingress(); unique_ptrs so
+  // handed-out references survive vector growth.
+  std::vector<std::unique_ptr<RegionIngress>> ingress_faces_;
   // Global switch index -> owning region / owner-local index. Ownership
   // moves on adoption.
   std::vector<size_t> owner_region_;

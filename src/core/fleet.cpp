@@ -342,18 +342,25 @@ void FleetController::Rebalance() {
   if (dead_) return;
   // Decisions run on the *reported* load — what the northbound telemetry
   // says — not on the fleet's own bookkeeping; a switch that never
-  // reported (or is dead) does not participate.
+  // reported (or is dead) does not participate. Reported participants are
+  // weighted by each switch's capacity class, so a big switch legitimately
+  // carrying more load is not mistaken for an overloaded one; with every
+  // class at 1.0 the comparisons are byte-identical to the unweighted
+  // integers they replace.
   size_t busiest = SIZE_MAX, idlest = SIZE_MAX;
-  int busiest_load = -1, idlest_load = std::numeric_limits<int>::max();
+  double busiest_load = -1.0,
+         idlest_load = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < switches_.size(); ++i) {
     const Member& m = *switches_[i];
     if (!m.alive || !m.report_seen) continue;
-    if (m.last_report.participants > busiest_load) {
-      busiest_load = m.last_report.participants;
+    const double cls = m.capacity_class > 0.0 ? m.capacity_class : 1.0;
+    const double weighted = m.last_report.participants / cls;
+    if (weighted > busiest_load) {
+      busiest_load = weighted;
       busiest = i;
     }
-    if (m.last_report.participants < idlest_load) {
-      idlest_load = m.last_report.participants;
+    if (weighted < idlest_load) {
+      idlest_load = weighted;
       idlest = i;
     }
   }
@@ -380,7 +387,12 @@ void FleetController::Rebalance() {
       continue;
     }
     const int size = static_cast<int>(st.members.size());
-    if (size <= 0 || size >= busiest_load - idlest_load) continue;
+    const double busiest_cls = switches_[busiest]->capacity_class > 0.0
+                                   ? switches_[busiest]->capacity_class
+                                   : 1.0;
+    if (size <= 0 || size / busiest_cls >= busiest_load - idlest_load) {
+      continue;
+    }
     if (size < pick_size) {
       pick_size = size;
       pick = meeting;
@@ -403,10 +415,27 @@ std::vector<SwitchLoad> FleetController::Loads() const {
   for (const auto& sw : switches_) {
     // Border guests are invisible to the placement policy (reported not
     // alive): only the border-span planner may target them.
-    loads.push_back(
-        SwitchLoad{sw->owned && sw->alive, sw->participants, sw->meetings});
+    loads.push_back(SwitchLoad{sw->owned && sw->alive, sw->participants,
+                               sw->meetings, sw->capacity_class});
   }
   return loads;
+}
+
+void FleetController::SetSwitchCapacity(size_t switch_index,
+                                        double capacity_class) {
+  if (switch_index >= switches_.size()) {
+    throw std::out_of_range("FleetController: SetSwitchCapacity index");
+  }
+  if (capacity_class <= 0.0) {
+    throw std::invalid_argument(
+        "FleetController: capacity class must be positive");
+  }
+  switches_[switch_index]->capacity_class = capacity_class;
+}
+
+double FleetController::CapacityClassOf(size_t switch_index) const {
+  const double cls = switches_[switch_index]->capacity_class;
+  return cls > 0.0 ? cls : 1.0;
 }
 
 MeetingId FleetController::CreateMeeting() {

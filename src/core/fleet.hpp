@@ -223,6 +223,14 @@ class FleetController : public SignalingServer,
   // arrive). Increments placements_rebalanced.
   void MigrateMeeting(MeetingId meeting, size_t target_switch);
 
+  // Heterogeneous fleets: declares a switch's relative forwarding
+  // capacity. Placement and the rebalancer weigh every load comparison by
+  // it (a class-2 switch absorbs twice the participants before looking as
+  // busy as a class-1 one); the default 1.0 everywhere keeps decisions
+  // byte-identical to the unweighted fleet. Must be positive.
+  void SetSwitchCapacity(size_t switch_index, double capacity_class);
+  double CapacityClassOf(size_t switch_index) const;
+
   size_t switch_count() const { return switches_.size(); }
   // The meeting's distribution plan (home switch + relay spans); an
   // invalid placement (home == SIZE_MAX) when unknown.
@@ -261,6 +269,9 @@ class FleetController : public SignalingServer,
     net::Ipv4 sfu_ip;
     int participants = 0;
     int meetings = 0;
+    // Relative forwarding capacity (SetSwitchCapacity); travels with the
+    // Member on shard adoption so heterogeneity survives controller death.
+    double capacity_class = 1.0;
     bool alive = true;
     util::TimeUs last_heartbeat = 0;
     SwitchLoadReport last_report;

@@ -101,13 +101,18 @@ std::vector<size_t> MeetingPlacement::TreePath(size_t from, size_t to) const {
 size_t LeastLoadedLive(const std::vector<SwitchLoad>& loads,
                        const std::vector<size_t>& exclude) {
   size_t best = SIZE_MAX;
-  int best_load = std::numeric_limits<int>::max();
+  double best_load = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < loads.size(); ++i) {
     if (!loads[i].alive) continue;
     if (std::find(exclude.begin(), exclude.end(), i) != exclude.end()) {
       continue;
     }
-    int load = loads[i].participants * 64 + loads[i].meetings;
+    // Weighted by capacity class; with every class at 1.0 the division is
+    // exact and the ordering is byte-identical to the unweighted integer
+    // comparison this replaces.
+    const double cls =
+        loads[i].capacity_class > 0.0 ? loads[i].capacity_class : 1.0;
+    const double load = (loads[i].participants * 64 + loads[i].meetings) / cls;
     if (load < best_load) {
       best_load = load;
       best = i;

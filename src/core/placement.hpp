@@ -77,13 +77,19 @@ struct SwitchLoad {
   bool alive = false;
   int participants = 0;  // real participants homed on the switch
   int meetings = 0;      // switch-local meetings (homes and spans)
+  // Heterogeneous fleets: relative forwarding capacity. A class-2 switch
+  // carries twice a class-1 switch's load before looking equally busy; the
+  // homogeneous default (everything 1.0) keeps every comparison
+  // byte-identical to the unweighted fleet.
+  double capacity_class = 1.0;
 };
 
 // The fleet's canonical load comparison: least-loaded live switch not in
 // `exclude`, SIZE_MAX when none qualifies. Participants dominate
 // (streams scale with them); meetings break ties so empty switches fill
-// round-robin. Shared by the placement policies and the fleet's failover
-// standby selection so the two can never disagree.
+// round-robin; both are weighted by the switch's capacity class. Shared
+// by the placement policies and the fleet's failover standby selection so
+// the two can never disagree.
 size_t LeastLoadedLive(const std::vector<SwitchLoad>& loads,
                        const std::vector<size_t>& exclude = {});
 

@@ -1,0 +1,86 @@
+#include "harness/fingerprint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "harness/runner.hpp"
+
+namespace scallop::harness {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t Fnv1a(uint64_t h, const char* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ScenarioFingerprint::Fold(const std::string& bytes) {
+  return Fnv1a(kFnvOffset, bytes.data(), bytes.size());
+}
+
+uint64_t ScenarioFingerprint::Of(const ScenarioMetrics& metrics) {
+  return Fold(metrics.ToCsv());
+}
+
+uint64_t ScenarioFingerprint::OfSpec(const ScenarioSpec& spec) {
+  ScenarioRunner runner(spec);
+  return Of(runner.Run());
+}
+
+FingerprintComponents ScenarioFingerprint::Components(
+    const ScenarioMetrics& metrics) {
+  const std::string csv = metrics.ToCsv();
+  FingerprintComponents out;
+  out.combined = Fold(csv);
+
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    const size_t comma = csv.find(',', start);
+    const size_t key_end = (comma != std::string::npos && comma < end)
+                               ? comma
+                               : end;
+    std::string section = csv.substr(start, key_end - start);
+    uint64_t* slot = nullptr;
+    for (auto& [name, digest] : out.sections) {
+      if (name == section) {
+        slot = &digest;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      out.sections.emplace_back(std::move(section), kFnvOffset);
+      slot = &out.sections.back().second;
+    }
+    // Include the trailing newline so "a\nb" and "ab\n" differ.
+    const size_t line_len = std::min(end + 1, csv.size()) - start;
+    *slot = Fnv1a(*slot, csv.data() + start, line_len);
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string FingerprintComponents::Format() const {
+  std::string out = "combined=" + ScenarioFingerprint::Hex(combined);
+  for (const auto& [name, digest] : sections) {
+    out += " " + name + "=" + ScenarioFingerprint::Hex(digest);
+  }
+  return out;
+}
+
+std::string ScenarioFingerprint::Hex(uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, digest);
+  return buf;
+}
+
+}  // namespace scallop::harness

@@ -1,0 +1,50 @@
+// Scenario fingerprints: the whole deterministic event/metric stream of a
+// (spec, seed) run folded into one stable 64-bit digest, in the spirit of
+// INET/OMNeT++ fingerprint tests. The digest hashes the byte-stable
+// ScenarioMetrics::ToCsv() rendering — every counter the harness collects
+// — so *any* behavioral drift (a reordered event, one extra packet, a
+// changed placement decision) moves the fingerprint, while a re-run of
+// unchanged code reproduces it bit-for-bit. tests/test_fingerprints.cpp
+// pins hundreds of (spec, seed) points against a committed table;
+// `test_fingerprints --rebaseline` regenerates the table after an
+// intentional behavior change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/metrics.hpp"
+#include "harness/scenario.hpp"
+
+namespace scallop::harness {
+
+// Per-CSV-section digests plus the combined fingerprint. Sections are the
+// first comma-field of each ToCsv() line ("delivery", "stream", "control",
+// ...), so a mismatch report can say *which* subsystem drifted.
+struct FingerprintComponents {
+  std::vector<std::pair<std::string, uint64_t>> sections;
+  uint64_t combined = 0;
+
+  // "combined=... delivery=... stream=..." — one line for CI logs.
+  std::string Format() const;
+};
+
+class ScenarioFingerprint {
+ public:
+  // FNV-1a 64 over the full ToCsv() byte stream.
+  static uint64_t Of(const ScenarioMetrics& metrics);
+  // Runs the scenario to completion and fingerprints the result.
+  static uint64_t OfSpec(const ScenarioSpec& spec);
+  // Section-bucketed digests for diagnosing a mismatch.
+  static FingerprintComponents Components(const ScenarioMetrics& metrics);
+
+  // Raw FNV-1a 64 step, exposed for hashing other byte streams (e.g. the
+  // workload generator's DescribeSpec output).
+  static uint64_t Fold(const std::string& bytes);
+  // "0x0123456789abcdef" rendering used by the pin table.
+  static std::string Hex(uint64_t digest);
+};
+
+}  // namespace scallop::harness

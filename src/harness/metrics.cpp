@@ -146,6 +146,14 @@ std::string ScenarioMetrics::ToCsv() const {
         federation.meetings_adopted);
   }
 
+  // Workload section (roaming): gated on the spec actually roaming
+  // someone, so roam-free scenarios keep their golden bytes.
+  if (workload) {
+    Row(out,
+        "workload,roams_executed,%" PRIu64 ",roam_rehomings,%" PRIu64 "\n",
+        roams_executed, roam_rehomings);
+  }
+
   Row(out, "meeting,index,id,final_design,participants_at_end\n");
   for (const auto& m : meetings) {
     Row(out, "meeting,%d,%u,%s,%d\n", m.index, m.id, m.final_design.c_str(),
@@ -197,12 +205,16 @@ std::string ScenarioMetrics::Summary() const {
     decoded += s.frames_decoded;
     freeze += s.freeze_ms;
   }
+  // Spec label, backend and seed lead the digest: a fingerprint mismatch
+  // in CI must be attributable to its exact (spec, backend, seed) point
+  // from the log alone.
   Row(out,
-      "[%s] seed=%" PRIu64 " %.0fs: %zu peers, %zu streams, %" PRIu64
+      "[%s @ %s] seed=%" PRIu64 " %.0fs: %zu peers, %zu streams, %" PRIu64
       " frames decoded, floor=%" PRIu64 " frames, %" PRIu64
       " rewrite violations, %.0f ms total freeze\n",
-      scenario.c_str(), seed, duration_s, peers.size(), streams.size(),
-      decoded, WorstDeliveryFloor(), RewriteViolations(), freeze);
+      scenario.c_str(), backend.empty() ? "?" : backend.c_str(), seed,
+      duration_s, peers.size(), streams.size(), decoded, WorstDeliveryFloor(),
+      RewriteViolations(), freeze);
   Row(out,
       "    switch: %" PRIu64 " in / %" PRIu64 " out, %" PRIu64
       " seq rewrites, %" PRIu64 " SVC drops; agent: %" PRIu64
@@ -240,6 +252,12 @@ std::string ScenarioMetrics::Summary() const {
         federation.directory_lookups, federation.directory_lookups_remote,
         federation.border_spans, federation.controllers_failed,
         federation.shards_adopted, federation.meetings_adopted);
+  }
+  if (workload) {
+    Row(out,
+        "    workload: %" PRIu64 " roams executed, %" PRIu64
+        " re-homed onto their new region\n",
+        roams_executed, roam_rehomings);
   }
   if (cascade.spans_installed > 0) {
     Row(out,

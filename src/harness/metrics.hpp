@@ -134,6 +134,13 @@ struct ScenarioMetrics {
   // byte-identical to the pinned goldens.
   testbed::TopologySnapshot topology;
 
+  // Workload-generator section (roaming participants): rendered only when
+  // the spec roamed anyone (`workload`), so every roam-free scenario's
+  // CSV keeps its exact bytes.
+  bool workload = false;
+  uint64_t roams_executed = 0;   // roams that found their peer present
+  uint64_t roam_rehomings = 0;   // rejoins completed via the new region
+
   // Byte-stable rendering: identical spec + seed => identical string.
   std::string ToCsv() const;
   // Human-oriented digest for benches/examples.

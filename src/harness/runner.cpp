@@ -65,6 +65,120 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
           "), which WithInterSwitchLink never declared");
     }
   }
+  // A correlated failure may only cut declared backbone links — same
+  // contract as single-link topology events: the fleet cannot lose a link
+  // it never had, and a typo'd pair failing silently would cut less than
+  // the scenario claims.
+  for (const CorrelatedFailureEvent& ev : spec_.correlated_failures) {
+    if (ev.links.empty()) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name + "' correlated failure at " +
+          std::to_string(ev.at_s) + "s cuts no links");
+    }
+    for (const auto& [a, b] : ev.links) {
+      const bool declared = std::any_of(
+          spec_.inter_switch_links.begin(), spec_.inter_switch_links.end(),
+          [a = a, b = b](const core::InterSwitchLinkSpec& l) {
+            return (static_cast<int>(l.a) == a && static_cast<int>(l.b) == b) ||
+                   (static_cast<int>(l.a) == b && static_cast<int>(l.b) == a);
+          });
+      if (!declared) {
+        throw std::out_of_range(
+            "ScenarioSpec '" + spec_.name + "' correlated failure at " +
+            std::to_string(ev.at_s) + "s cuts link (" + std::to_string(a) +
+            ", " + std::to_string(b) +
+            "), which WithInterSwitchLink never declared");
+      }
+    }
+  }
+
+  // Heterogeneous capacities shape fleet load accounting; on any other
+  // backend they would silently do nothing.
+  if (!spec_.switch_capacities.empty() &&
+      spec_.backend.kind != testbed::BackendChoice::Kind::kFleet) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name +
+        "': switch capacity classes shape fleet load accounting — pick a "
+        "fleet backend");
+  }
+  for (const auto& [sw, cls] : spec_.switch_capacities) {
+    if (sw < 0 || sw >= spec_.backend.fleet_switches) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "': switch capacity for switch " +
+          std::to_string(sw) + " is outside fleet{" +
+          std::to_string(spec_.backend.fleet_switches) + "}");
+    }
+    if (cls <= 0.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name + "': switch " + std::to_string(sw) +
+          " needs a positive capacity class");
+    }
+  }
+  if (!spec_.switch_capacities.empty()) {
+    base.switch_capacity_classes.assign(
+        static_cast<size_t>(spec_.backend.fleet_switches), 1.0);
+    for (const auto& [sw, cls] : spec_.switch_capacities) {
+      base.switch_capacity_classes[static_cast<size_t>(sw)] = cls;
+    }
+  }
+
+  // Roams and region-pinned meetings only mean anything when there are
+  // regions to roam between — validated like WithControllerFailure.
+  const bool federated =
+      spec_.backend.kind == testbed::BackendChoice::Kind::kFleet &&
+      spec_.backend.fleet_regions >= 2;
+  for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
+    const int region = spec_.meetings[mi].region;
+    if (region < 0) continue;
+    if (!federated) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name + "': meeting " + std::to_string(mi) +
+          " pins region " + std::to_string(region) +
+          " but the backend is not a federated fleet{N,R>=2}");
+    }
+    if (region >= spec_.backend.fleet_regions) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "': meeting " + std::to_string(mi) +
+          " pins region " + std::to_string(region) + ", outside fleet{" +
+          std::to_string(spec_.backend.fleet_switches) + "," +
+          std::to_string(spec_.backend.fleet_regions) + "}");
+    }
+  }
+  for (const RoamEvent& ev : spec_.roams) {
+    if (!federated) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name +
+          "': a roam re-homes a participant onto another region's ingress "
+          "— it needs a federated fleet{N,R>=2} backend");
+    }
+    if (ev.new_region < 0 || ev.new_region >= spec_.backend.fleet_regions) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "' roam at " +
+          std::to_string(ev.at_s) + "s targets region " +
+          std::to_string(ev.new_region) + ", outside fleet{" +
+          std::to_string(spec_.backend.fleet_switches) + "," +
+          std::to_string(spec_.backend.fleet_regions) + "}");
+    }
+    if (ev.meeting < 0 ||
+        static_cast<size_t>(ev.meeting) >= spec_.meetings.size() ||
+        ev.participant < 0 ||
+        static_cast<size_t>(ev.participant) >=
+            spec_.meetings[static_cast<size_t>(ev.meeting)]
+                .participants.size()) {
+      throw std::out_of_range(
+          "ScenarioSpec '" + spec_.name + "' roam at " +
+          std::to_string(ev.at_s) + "s targets (meeting=" +
+          std::to_string(ev.meeting) + ", participant=" +
+          std::to_string(ev.participant) + ") outside the spec grid");
+    }
+    if (ev.at_s >= spec_.duration_s) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + spec_.name + "' roam at " +
+          std::to_string(ev.at_s) +
+          "s falls after the scenario ends — it would test nothing");
+    }
+  }
+
   if (spec_.rebalance_interval_s > 0.0) {
     base.rebalance.enabled = true;
     base.rebalance.interval = util::Seconds(spec_.rebalance_interval_s);
@@ -77,7 +191,8 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
       });
 
   for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
-    meeting_ids_.push_back(backend_->CreateMeeting());
+    meeting_ids_.push_back(
+        backend_->CreateMeetingInRegion(spec_.meetings[mi].region));
   }
 
   // Participants are created (and their access links attached) up front in
@@ -246,6 +361,26 @@ void ScenarioRunner::ScheduleSpec() {
     });
   }
 
+  // A cut link keeps a sliver of capacity rather than 0: capacity_bps <=
+  // 0 means *unconstrained* on this API, and the overload re-planner only
+  // reacts to load exceeding a finite capacity.
+  constexpr double kLinkCutBps = 1.0;
+  for (const CorrelatedFailureEvent& ev : spec_.correlated_failures) {
+    sched.At(util::Seconds(ev.at_s), [this, ev] {
+      for (const auto& [a, b] : ev.links) {
+        backend_->SetInterSwitchLinkCapacity(static_cast<size_t>(a),
+                                             static_cast<size_t>(b),
+                                             kLinkCutBps);
+      }
+    });
+  }
+
+  for (const RoamEvent& ev : spec_.roams) {
+    sched.At(util::Seconds(ev.at_s), [this, ev] {
+      ExecuteRoam(slot_at(ev.meeting, ev.participant), ev.new_region);
+    });
+  }
+
   if (spec_.controller_failure_at_s >= 0.0) {
     sched.At(util::Seconds(spec_.controller_failure_at_s), [this] {
       backend_->FailController(
@@ -269,7 +404,11 @@ void ScenarioRunner::ScheduleSpec() {
 
 void ScenarioRunner::JoinSlot(Slot& slot) {
   if (slot.present) return;
-  slot.peer->Join(backend_->signaling(), slot.meeting_id);
+  core::SignalingServer& door =
+      slot.access_region >= 0
+          ? backend_->RegionIngress(static_cast<size_t>(slot.access_region))
+          : backend_->signaling();
+  slot.peer->Join(door, slot.meeting_id);
   slot.present = true;
   slot.joined_at_s = now_s();
 }
@@ -361,6 +500,31 @@ void ScenarioRunner::FailoverEnd() {
   failover_returnees_.clear();
   failover_affected_.clear();
   in_failover_ = false;
+}
+
+void ScenarioRunner::ExecuteRoam(Slot& slot, int new_region) {
+  // The access region changes no matter what: a participant who is out of
+  // the meeting right now (churn window, failover blackout) comes back
+  // through the new region when whatever scheduled their return fires.
+  slot.access_region = new_region;
+  if (!slot.present) return;
+  ++roams_executed_;
+  Slot* s = &slot;
+  LeaveSlot(slot);  // leaves via the stored (old-region) signaling face
+  const double resignal_s = std::max(0.0, spec_.rebalance_resignal_s);
+  backend_->sched().After(util::Seconds(resignal_s), [this, s] {
+    // Same guards as a migration re-join: the spec's churn schedule wins,
+    // and a failover blackout that swallowed the meeting owns recovery.
+    if (ChurnedOut(s->spec, now_s())) return;
+    if (in_failover_ &&
+        std::find(failover_affected_.begin(), failover_affected_.end(),
+                  s->meeting_id) != failover_affected_.end()) {
+      failover_returnees_.push_back(s);
+      return;
+    }
+    JoinSlot(*s);
+    if (s->present) ++roam_rehomings_;
+  });
 }
 
 void ScenarioRunner::OnMeetingMoved(core::MeetingId meeting) {
@@ -555,6 +719,11 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.cascade = backend_->cascade_counters();
   m.federation = backend_->federation_counters();
   m.topology = backend_->topology_snapshot();
+  // Gated on the spec actually roaming anyone, so every roam-free
+  // scenario's CSV stays byte-identical to the pre-workload harness.
+  m.workload = !spec_.roams.empty();
+  m.roams_executed = roams_executed_;
+  m.roam_rehomings = roam_rehomings_;
   return m;
 }
 

@@ -70,6 +70,9 @@ class ScenarioRunner {
     bool present = false;
     double joined_at_s = 0.0;
     double presence_s = 0.0;  // accumulated over completed stays
+    // Current access region (roaming): joins go through the backend's
+    // region ingress when >= 0, the default signaling face otherwise.
+    int access_region = -1;
   };
 
   void ScheduleSpec();
@@ -82,6 +85,9 @@ class ScenarioRunner {
   // the re-negotiation delay. Meetings already being handled by the
   // failover protocol are left to it.
   void OnMeetingMoved(core::MeetingId meeting);
+  // Roam: re-homes a present participant onto `new_region`'s ingress via
+  // leave + delayed rejoin (an absent one just joins there next time).
+  void ExecuteRoam(Slot& slot, int new_region);
   void Sample();
   Slot& slot_at(int meeting, int participant);
   const Slot& slot_at(int meeting, int participant) const;
@@ -99,6 +105,11 @@ class ScenarioRunner {
   // own legs and everyone's legs toward the leaver); keeps the timeline's
   // frames_decoded_total cumulative and monotone across leaves/failover.
   uint64_t retired_frames_decoded_ = 0;
+  // Roaming bookkeeping: roams that found their participant present (and
+  // so initiated the leave+rejoin), and rejoins that completed against
+  // the new region's ingress.
+  uint64_t roams_executed_ = 0;
+  uint64_t roam_rehomings_ = 0;
   std::vector<TimelineSample> timeline_;
   SampleHook sample_hook_;
   ScenarioMetrics final_metrics_;

@@ -1,6 +1,7 @@
 #include "harness/scenario.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace scallop::harness {
 
@@ -151,6 +152,30 @@ ScenarioSpec& ScenarioSpec::WithInterSwitchLinkEvent(double at_s, int a,
                                                      int b,
                                                      double capacity_bps) {
   topology_events.push_back(TopologyEvent{at_s, a, b, capacity_bps});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithRoam(int meeting, int participant,
+                                     double at_s, int new_region) {
+  roams.push_back(RoamEvent{at_s, meeting, participant, new_region});
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithMeetingRegion(int meeting, int region) {
+  meetings.at(static_cast<size_t>(meeting)).region = region;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithSwitchCapacity(int switch_index,
+                                               double capacity_class) {
+  switch_capacities.emplace_back(switch_index, capacity_class);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithCorrelatedFailure(
+    double at_s, std::vector<std::pair<int, int>> links) {
+  correlated_failures.push_back(
+      CorrelatedFailureEvent{at_s, std::move(links)});
   return *this;
 }
 

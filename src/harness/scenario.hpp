@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "testbed/testbed.hpp"
@@ -46,6 +47,31 @@ struct ParticipantSpec {
 
 struct MeetingSpec {
   std::vector<ParticipantSpec> participants;
+  // Follow-the-sun (federated fleet only): the region the meeting is
+  // minted in, so load lands where the workday currently is. Negative:
+  // let the control plane pick the least-loaded region.
+  int region = -1;
+};
+
+// Mid-run access-region change (federated fleet{N,R>1} only): the
+// participant roams — leaves through its old region's ingress and, after
+// the re-signaling delay, rejoins through `new_region`'s ingress, which
+// resolves the meeting's owner east-west from there.
+struct RoamEvent {
+  double at_s = 0.0;
+  int meeting = 0;
+  int participant = 0;
+  int new_region = 0;
+};
+
+// Correlated backbone failure (fleet backends with a modeled topology):
+// one event cutting a named set of declared inter-switch links at once —
+// a fiber bundle or a shared conduit going dark. The fleet re-plans the
+// relay subtrees riding the cut links via the same overload path a
+// single-link capacity change takes.
+struct CorrelatedFailureEvent {
+  double at_s = 0.0;
+  std::vector<std::pair<int, int>> links;
 };
 
 // Mid-run inter-switch backbone change (fleet backends with a modeled
@@ -151,6 +177,18 @@ struct ScenarioSpec {
   std::vector<core::InterSwitchLinkSpec> inter_switch_links;
   std::vector<TopologyEvent> topology_events;
 
+  // Roaming participants (federated fleet only; validated at
+  // construction).
+  std::vector<RoamEvent> roams;
+  // Correlated backbone failures — each cuts its whole named link set at
+  // one instant (links must be declared above; validated at
+  // construction).
+  std::vector<CorrelatedFailureEvent> correlated_failures;
+  // Heterogeneous fleets: (switch, capacity class) overrides; unlisted
+  // switches stay class 1.0 (fleet backend only; validated at
+  // construction).
+  std::vector<std::pair<int, double>> switch_capacities;
+
   // Underlying testbed knobs (encoder rates, agent policy, ...). The
   // testbed seed is overwritten with `seed` above; per-participant link
   // shapes come from their LinkProfile, not from the base config.
@@ -187,6 +225,17 @@ struct ScenarioSpec {
   // Reshapes a declared link's capacity at `at_s`.
   ScenarioSpec& WithInterSwitchLinkEvent(double at_s, int a, int b,
                                          double capacity_bps);
+  // Roams a participant to a new access region mid-meeting (federated
+  // fleet{N,R>=2} backend; validated at construction).
+  ScenarioSpec& WithRoam(int meeting, int participant, double at_s,
+                         int new_region);
+  // Pins the region a meeting is minted in (follow-the-sun).
+  ScenarioSpec& WithMeetingRegion(int meeting, int region);
+  // Overrides one switch's capacity class (heterogeneous fleets).
+  ScenarioSpec& WithSwitchCapacity(int switch_index, double capacity_class);
+  // Cuts a set of declared backbone links at once.
+  ScenarioSpec& WithCorrelatedFailure(double at_s,
+                                      std::vector<std::pair<int, int>> links);
 
   // Total participants across meetings.
   int TotalParticipants() const;

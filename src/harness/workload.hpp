@@ -1,0 +1,125 @@
+// Declarative workload generator: planet-scale scenario families compiled
+// into plain ScenarioSpecs. Where a ScenarioSpec enumerates every join,
+// leave and event by hand, a WorkloadSpec describes the *shape* of a day
+// — trace-driven diurnal load on the campus arrival curve (trace/campus),
+// flash-crowd spikes, follow-the-sun meeting placement across fleet
+// regions, roaming participants, heterogeneous switch capacity classes,
+// correlated backbone failures — and Compile() expands it, seeded and
+// deterministic, into the event schedule the ScenarioRunner executes.
+// Same WorkloadSpec + seed => byte-identical compiled spec (DescribeSpec
+// pins that), and therefore an identical scenario fingerprint.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace scallop::harness {
+
+struct WorkloadSpec {
+  std::string name = "workload";
+  uint64_t seed = 1;
+  double duration_s = 10.0;
+  double sample_interval_s = 1.0;
+  testbed::BackendChoice backend;
+
+  // The base population: `meetings` x `participants`. Generators reshape
+  // join times and add participants on top of this grid.
+  int meetings = 1;
+  int participants = 4;
+
+  // Trace-driven diurnal load: join times are sampled from the campus
+  // model's arrival-rate curve over `day_hours` trace hours starting at
+  // `day_start_h` (hours since Monday 00:00), compressed onto the first
+  // `latest_join_frac` of the run. Everyone who does not churn therefore
+  // shares at least (1 - latest_join_frac) x duration of overlap — the
+  // delivery-floor window. A `churn_frac` slice of participants (never
+  // the first two of a meeting, which anchor it) leave again before the
+  // end, like real attendees drifting out of a long meeting.
+  struct Diurnal {
+    bool enabled = false;
+    double day_start_h = 6.0;    // Monday 06:00: into the morning ramp
+    double day_hours = 12.0;     // one working day
+    double latest_join_frac = 0.5;
+    double churn_frac = 0.0;
+  } diurnal;
+
+  // Flash crowd: `extra` additional participants flooding into one
+  // meeting within +-`width_frac` of `at_frac` x duration — a lecture
+  // going viral.
+  struct FlashCrowd {
+    bool enabled = false;
+    int meeting = 0;
+    int extra = 8;
+    double at_frac = 0.4;
+    double width_frac = 0.05;
+  } flash_crowd;
+
+  // Follow-the-sun: meetings are pinned across the fleet's regions in
+  // index order (meeting i -> region i * R / meetings), so load lands
+  // region by region as the day advances. Federated fleets only.
+  bool follow_the_sun = false;
+
+  // Roaming participants: `roamers` anchors (participant 0/1 of
+  // successive meetings — never churned out) change access region at
+  // `at_frac` x duration, staggered by `stagger_s` so re-homings do not
+  // all collide on one tick. Federated fleets only.
+  struct Roaming {
+    bool enabled = false;
+    int roamers = 1;
+    double at_frac = 0.6;
+    double stagger_s = 0.05;
+  } roaming;
+
+  // Heterogeneous fleet: capacity class per switch (index = global
+  // switch; missing entries stay 1.0).
+  std::vector<double> capacity_classes;
+
+  // Declared inter-switch backbone links, and the correlated failure that
+  // cuts a named subset of them at one instant.
+  std::vector<core::InterSwitchLinkSpec> backbone;
+  struct CorrelatedFailure {
+    bool enabled = false;
+    double at_frac = 0.5;
+    std::vector<std::pair<int, int>> links;
+  } correlated_failure;
+
+  // Southbound control-plane shape; negative latency leaves the spec's
+  // inline-dispatch default untouched.
+  double control_latency_s = -1.0;
+  double control_loss = 0.0;
+
+  core::PlacementPolicyConfig placement_policy;
+
+  // Fluent helpers (return *this for chaining).
+  WorkloadSpec& WithBackend(testbed::BackendChoice choice);
+  WorkloadSpec& WithGrid(int n_meetings, int n_participants);
+  WorkloadSpec& WithDiurnal(double day_start_h = 6.0, double day_hours = 12.0,
+                            double latest_join_frac = 0.5,
+                            double churn_frac = 0.0);
+  WorkloadSpec& WithFlashCrowd(int meeting, int extra, double at_frac = 0.4,
+                               double width_frac = 0.05);
+  WorkloadSpec& WithFollowTheSun();
+  WorkloadSpec& WithRoaming(int roamers, double at_frac = 0.6);
+  WorkloadSpec& WithCapacityClasses(std::vector<double> classes);
+  WorkloadSpec& WithBackboneLink(int a, int b, double latency_s,
+                                 double capacity_bps = 0.0);
+  WorkloadSpec& WithCorrelatedFailure(double at_frac,
+                                      std::vector<std::pair<int, int>> links);
+  WorkloadSpec& WithControlPlane(double latency_s, double loss = 0.0);
+  WorkloadSpec& WithPlacementPolicy(core::PlacementPolicyConfig policy);
+
+  // Expands the workload into the concrete, seeded event schedule.
+  // Deterministic: same spec + seed => byte-identical result (and the
+  // ScenarioRunner's own validation then vets every generated knob).
+  ScenarioSpec Compile() const;
+};
+
+// Canonical byte-stable rendering of a compiled ScenarioSpec — the
+// generator-determinism pin ("compile twice, diff nothing") and a
+// readable audit of what a workload expanded to.
+std::string DescribeSpec(const ScenarioSpec& spec);
+
+}  // namespace scallop::harness

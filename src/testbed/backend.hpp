@@ -174,9 +174,20 @@ class Backend {
                                 const sim::LinkConfig& down) = 0;
 
   virtual core::MeetingId CreateMeeting() = 0;
+  // Follow-the-sun: mint the meeting in a specific fleet region (< 0: no
+  // preference). Substrates without regions ignore the hint.
+  virtual core::MeetingId CreateMeetingInRegion(int /*region*/) {
+    return CreateMeeting();
+  }
   // The signaling entry point peers Join/Leave through (Scallop's
   // controller, the fleet controller, or the software SFU).
   virtual core::SignalingServer& signaling() = 0;
+  // The signaling face a client in access region `r` enters through
+  // (roaming support). Everything but the federated fleet has exactly one
+  // front door.
+  virtual core::SignalingServer& RegionIngress(size_t /*r*/) {
+    return signaling();
+  }
 
   // Advances to absolute simulation time `t_s` (no-op if already past).
   virtual void RunUntil(double t_s) = 0;

@@ -51,6 +51,10 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches,
     federation_->AddSwitch(*node.channel, node.ip);
     nodes_.push_back(std::move(node));
   }
+  for (size_t i = 0;
+       i < cfg_.switch_capacity_classes.size() && i < nodes_.size(); ++i) {
+    federation_->SetSwitchCapacity(i, cfg_.switch_capacity_classes[i]);
+  }
   // The controller's per-stream relay bandwidth estimate tracks the
   // encoder ceiling (plus audio + RTP overhead) so residual-capacity
   // planning matches what spans actually put on the backbone.
@@ -181,6 +185,14 @@ client::Peer& FleetTestbed::AddPeer(const client::PeerConfig& base,
 
 core::MeetingId FleetTestbed::CreateMeeting() {
   core::MeetingId id = federation_->CreateMeeting();
+  meetings_.push_back(id);
+  return id;
+}
+
+core::MeetingId FleetTestbed::CreateMeetingInRegion(int region) {
+  if (region < 0) return CreateMeeting();
+  core::MeetingId id =
+      federation_->CreateMeetingIn(static_cast<size_t>(region));
   meetings_.push_back(id);
   return id;
 }

@@ -42,6 +42,7 @@ class FleetTestbed : public Backend {
                         const sim::LinkConfig& down) override;
 
   core::MeetingId CreateMeeting() override;
+  core::MeetingId CreateMeetingInRegion(int region) override;
   void RunFor(double seconds);
   void RunUntil(double t_s) override;
 
@@ -61,6 +62,9 @@ class FleetTestbed : public Backend {
   // testbed::Backend
   std::string Name() const override;
   core::SignalingServer& signaling() override { return *federation_; }
+  core::SignalingServer& RegionIngress(size_t r) override {
+    return federation_->ingress(r);
+  }
   TopologySnapshot topology_snapshot() const override;
   void SetInterSwitchLinkCapacity(size_t a, size_t b,
                                   double capacity_bps) override;

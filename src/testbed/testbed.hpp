@@ -64,6 +64,11 @@ struct TestbedConfig {
   // links that relay traffic physically crosses (multi-hop when spans
   // connect non-adjacent switches).
   std::vector<core::InterSwitchLinkSpec> inter_switch_links;
+  // Fleet-only: per-switch capacity classes, indexed by global switch;
+  // missing entries default to 1.0 (homogeneous). A class-2 switch
+  // carries twice the load of a class-1 switch before the placement
+  // policies and the rebalancer consider it equally busy.
+  std::vector<double> switch_capacity_classes;
 };
 
 class ScallopTestbed : public Backend {

@@ -6,11 +6,11 @@
 
 namespace scallop::trace {
 
-namespace {
-
 // Diurnal arrival intensity: weekday work-hours peak, quiet nights and
-// weekends — the shape of the paper's Figs. 20/21.
-double ArrivalWeight(double hour_of_week) {
+// weekends — the shape of the paper's Figs. 20/21. Public so workload
+// generators sampling join times (harness/workload) use the exact curve
+// the trace model samples meeting starts from.
+double CampusModel::ArrivalRate(double hour_of_week) {
   int day = static_cast<int>(hour_of_week / 24.0);  // 0 = Monday
   double hod = std::fmod(hour_of_week, 24.0);
   double weekday = (day % 7 < 5) ? 1.0 : 0.18;
@@ -21,8 +21,6 @@ double ArrivalWeight(double hour_of_week) {
   return weekday * (base + morning + 0.9 * afternoon);
 }
 
-}  // namespace
-
 CampusModel::CampusModel(const CampusConfig& cfg) : cfg_(cfg) {
   util::Rng rng(cfg_.seed);
 
@@ -32,7 +30,7 @@ CampusModel::CampusModel(const CampusConfig& cfg) : cfg_(cfg) {
   std::vector<double> cdf;
   double total = 0;
   for (double t = 0; t < horizon_h; t += step) {
-    total += ArrivalWeight(t);
+    total += ArrivalRate(t);
     cdf.push_back(total);
   }
 

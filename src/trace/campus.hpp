@@ -85,6 +85,12 @@ class CampusModel {
  public:
   explicit CampusModel(const CampusConfig& cfg = {});
 
+  // Diurnal arrival intensity at `hour_of_week` hours since Monday 00:00
+  // (weekday two-peak working day, quiet nights/weekends) — the curve
+  // meeting starts are sampled from, exposed so workload generators
+  // shaping join schedules ride the same model.
+  static double ArrivalRate(double hour_of_week);
+
   const std::vector<MeetingRecord>& meetings() const { return meetings_; }
 
   std::vector<StreamsBySize> StreamsPerMeetingSize(int max_size) const;

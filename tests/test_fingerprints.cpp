@@ -1,0 +1,150 @@
+// Fingerprint regression suite: hundreds of (spec, seed) points digested
+// and pinned against tests/fingerprint_table.inc. A mismatch means the
+// simulation's behavior drifted — on purpose (regenerate the table with
+// `test_fingerprints --rebaseline tests/fingerprint_table.inc` and commit
+// the diff alongside the change that moved it) or by accident (a bug:
+// the per-section digests printed on failure say which subsystem moved).
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "fingerprint_points.hpp"
+#include "harness/fingerprint.hpp"
+#include "harness/runner.hpp"
+
+namespace scallop::harness {
+namespace {
+
+// The committed pin table. The leading sentinel keeps the array non-empty
+// while bootstrapping from an empty .inc file; it is skipped below.
+const std::pair<const char*, uint64_t> kPinnedTable[] = {
+    {"", 0},
+#include "fingerprint_table.inc"
+};
+
+std::map<std::string, uint64_t> PinnedFingerprints() {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [key, digest] : kPinnedTable) {
+    if (key[0] != '\0') out.emplace(key, digest);
+  }
+  return out;
+}
+
+TEST(Fingerprints, GridSpansBackendsAndGenerators) {
+  const auto points = AllFingerprintPoints();
+  EXPECT_GE(points.size(), 100u);
+
+  std::set<std::string> keys;
+  for (const auto& p : points) {
+    EXPECT_TRUE(keys.insert(p.key).second) << "duplicate key " << p.key;
+  }
+  // Every backend and every workload generator must be pinned by at least
+  // one point — a grid that silently dropped a family would stop guarding
+  // it.
+  for (const char* want :
+       {"/scallop/", "/fleet3/", "/fleet6x2/", "/software/", "diurnal/",
+        "flash/", "sun/", "roam/", "hetero/", "corrfail/"}) {
+    bool found = false;
+    for (const auto& key : keys) {
+      if (key.find(want) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no fingerprint point covers " << want;
+  }
+}
+
+TEST(Fingerprints, TableCoversExactlyTheGrid) {
+  const auto points = AllFingerprintPoints();
+  auto pinned = PinnedFingerprints();
+  for (const auto& p : points) {
+    EXPECT_TRUE(pinned.count(p.key))
+        << "point " << p.key
+        << " has no pinned digest — rebaseline and commit the table";
+  }
+  std::set<std::string> keys;
+  for (const auto& p : points) keys.insert(p.key);
+  for (const auto& [key, digest] : pinned) {
+    EXPECT_TRUE(keys.count(key))
+        << "table pins stale key " << key << " that no point generates";
+  }
+}
+
+TEST(Fingerprints, PinnedDigestsMatch) {
+  const auto pinned = PinnedFingerprints();
+  for (const auto& p : AllFingerprintPoints()) {
+    const auto it = pinned.find(p.key);
+    if (it == pinned.end()) continue;  // TableCoversExactlyTheGrid reports
+    ScenarioRunner runner(p.spec);
+    const ScenarioMetrics& m = runner.Run();
+    const uint64_t got = ScenarioFingerprint::Of(m);
+    if (got != it->second) {
+      ADD_FAILURE() << "fingerprint drift at " << p.key << ": pinned "
+                    << ScenarioFingerprint::Hex(it->second) << ", got "
+                    << ScenarioFingerprint::Hex(got) << "\n  "
+                    << ScenarioFingerprint::Components(m).Format() << "\n"
+                    << m.Summary();
+    }
+  }
+}
+
+TEST(Fingerprints, SectionsFoldIntoTheCombinedDigest) {
+  // The section digests are diagnostics for the combined pin: any line
+  // change must move both its section and the combined digest.
+  ScenarioSpec spec = ScenarioSpec::Uniform("fp-sections", 1, 3, 1.5, 3);
+  spec.sample_interval_s = 0.5;
+  ScenarioRunner runner(spec);
+  const ScenarioMetrics& m = runner.Run();
+  const FingerprintComponents c = ScenarioFingerprint::Components(m);
+  EXPECT_EQ(c.combined, ScenarioFingerprint::Of(m));
+  EXPECT_GE(c.sections.size(), 3u);
+  for (const auto& [name, digest] : c.sections) {
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(digest, 0u) << "section " << name;
+  }
+}
+
+int Rebaseline(const char* path) {
+  std::string out;
+  size_t n = 0;
+  const auto points = AllFingerprintPoints();
+  for (const auto& p : points) {
+    const uint64_t digest = ScenarioFingerprint::OfSpec(p.spec);
+    out += "{\"" + p.key + "\", " + ScenarioFingerprint::Hex(digest) +
+           "ull},\n";
+    ++n;
+    std::fprintf(stderr, "[%zu/%zu] %s\n", n, points.size(), p.key.c_str());
+  }
+  if (path == nullptr) {
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fputs(out.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %zu fingerprints to %s\n", n, path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scallop::harness
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--rebaseline") {
+      const char* path = (i + 1 < argc) ? argv[i + 1] : nullptr;
+      return scallop::harness::Rebaseline(path);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
