@@ -62,20 +62,27 @@ int main(int argc, char** argv) {
   }
   std::sort(baselines.begin(), baselines.end());
 
-  bool ok = true;
+  // Every offending metric is remembered and recapped after the full
+  // sweep: a perf-gate failure must be diagnosable from the tail of the
+  // CI log in one read, not by scanning thousands of interleaved ok/info
+  // rows for the FAIL lines.
+  std::vector<std::string> failures;
+  char line[256];
   for (const auto& base_path : baselines) {
     auto baseline = Load(base_path);
     if (!baseline) {
       std::printf("FAIL %s: unparsable baseline\n",
                   base_path.filename().string().c_str());
-      ok = false;
+      failures.push_back(base_path.filename().string() +
+                         ": unparsable baseline");
       continue;
     }
     auto fresh = Load(fresh_dir / base_path.filename());
     if (!fresh) {
       std::printf("FAIL %s: fresh report missing (bench leg vanished?)\n",
                   base_path.filename().string().c_str());
-      ok = false;
+      failures.push_back(base_path.filename().string() +
+                         ": fresh report missing");
       continue;
     }
     for (const auto& m : baseline->metrics()) {
@@ -91,7 +98,9 @@ int main(int argc, char** argv) {
       if (f == nullptr) {
         std::printf("FAIL %-12s %-28s missing from fresh report\n",
                     baseline->area().c_str(), m.name.c_str());
-        ok = false;
+        std::snprintf(line, sizeof(line), "%-12s %-28s missing from fresh",
+                      baseline->area().c_str(), m.name.c_str());
+        failures.emplace_back(line);
         continue;
       }
       double ratio = m.value > 0.0 ? f->value / m.value : 1.0;
@@ -99,13 +108,21 @@ int main(int argc, char** argv) {
       std::printf("%s %-12s %-28s %12.4g vs %12.4g  (%.2fx)\n",
                   pass ? "ok  " : "FAIL", baseline->area().c_str(),
                   m.name.c_str(), f->value, m.value, ratio);
-      if (!pass) ok = false;
+      if (!pass) {
+        std::snprintf(line, sizeof(line),
+                      "%-12s %-28s baseline %.4g fresh %.4g ratio %.2fx",
+                      baseline->area().c_str(), m.name.c_str(), m.value,
+                      f->value, ratio);
+        failures.emplace_back(line);
+      }
     }
   }
 
-  if (!ok) {
-    std::printf("bench_check: regression beyond %.0f%% drop threshold\n",
-                max_drop * 100.0);
+  if (!failures.empty()) {
+    std::printf("bench_check: %zu gated metric(s) beyond the %.0f%% drop "
+                "threshold:\n",
+                failures.size(), max_drop * 100.0);
+    for (const auto& f : failures) std::printf("  FAIL %s\n", f.c_str());
     return 1;
   }
   std::printf("bench_check: all gated metrics within threshold\n");

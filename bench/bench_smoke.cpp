@@ -5,7 +5,10 @@
 // on (must show at least one live meeting migration without any
 // failover), and a fleet{3} cascade leg where the placement policy splits
 // one meeting across switches (fails if no relay span is installed, no
-// media crosses the inter-switch relay, or any peer starves), and a
+// media crosses the inter-switch relay, or any peer starves), a fleet{4}
+// redundant-tree leg — ring backbone, standby chain per relay, a primary
+// link cut at t=3s (fails on any frame gap, zero duplicates eliminated,
+// or capacity overshoot from double registration) — and a
 // federated fleet{6,2} leg — cross-region border span plus mid-run
 // controller death and shard adoption (fails on starvation, zero
 // east-west traffic, or a meeting left with the dead controller). Exists
@@ -176,6 +179,81 @@ int main() {
                   static_cast<unsigned long long>(backbone_bytes(tree)),
                   static_cast<unsigned long long>(backbone_bytes(hub)));
       ok = false;
+    }
+  }
+
+  // Redundant dual relay trees (ISSUE 9): a fleet{4} meeting spread over
+  // a ring backbone with a standby chain per relay; at t=3s a link the
+  // primary tree rides is cut. Fails on any frame gap at any receiver
+  // (worst delivery floor vs an undisturbed control run), zero
+  // duplicates eliminated (the second tree never flowed or the merge
+  // never deduped), or link-capacity overshoot from double-registering
+  // both trees' load.
+  {
+    auto ring_spec = [](const char* name) {
+      harness::ScenarioSpec spec =
+          harness::ScenarioSpec::Uniform(name, 1, 4, 6.0);
+      spec.base.peer.encoder.start_bitrate_bps = 700'000;
+      spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+      spec.sample_interval_s = 0.5;
+      spec.WithBackend(testbed::BackendChoice::Fleet(4));
+      spec.WithPlacementPolicy(core::PlacementPolicyConfig::TopologyAware(1));
+      spec.WithInterSwitchLink(0, 1, 0.001, 12e6)
+          .WithInterSwitchLink(1, 2, 0.001, 12e6)
+          .WithInterSwitchLink(2, 3, 0.001, 12e6)
+          .WithInterSwitchLink(3, 0, 0.001, 12e6);
+      spec.WithRedundantTrees();
+      return spec;
+    };
+
+    harness::ScenarioRunner control(ring_spec("smoke-redundant-control"));
+    const harness::ScenarioMetrics& undisturbed = control.Run();
+
+    harness::ScenarioRunner runner(ring_spec("smoke-redundant-cut"));
+    runner.RunUntil(2.9);
+    const auto relays =
+        runner.fleet().fleet().RelaysOf(runner.meeting_id(0));
+    if (relays.empty() || relays.front().backbone_path.size() < 2) {
+      std::printf("SMOKE FAILED: redundant leg planned no relays\n");
+      ok = false;
+    } else {
+      const size_t cut_a = relays.front().backbone_path[0];
+      const size_t cut_b = relays.front().backbone_path[1];
+      runner.backend().sched().At(util::Seconds(3.0), [&] {
+        // A sliver of capacity, not 0: <= 0 means unconstrained, and the
+        // overload re-planner only reacts to finite capacities.
+        runner.fleet().SetInterSwitchLinkCapacity(cut_a, cut_b, 1.0);
+      });
+      const harness::ScenarioMetrics& m = runner.Run();
+      std::printf("[fleet{4}+redundant trees, link %zu-%zu cut @3s]\n%s",
+                  cut_a, cut_b, m.Summary().c_str());
+      DumpCsv("smoke-redundant-cut", m);
+
+      bool capacity_ok = true;
+      for (const auto& l : undisturbed.topology.links) {
+        if (l.capacity_bps > 0.0 && l.load_bps > l.capacity_bps) {
+          std::printf(
+              "redundant planner overloaded link %zu-%zu (%.0f > %.0f "
+              "bps)\n",
+              l.a, l.b, l.load_bps, l.capacity_bps);
+          capacity_ok = false;
+        }
+      }
+      if (!capacity_ok || m.redundancy.tree_flips == 0 ||
+          m.redundancy.duplicates_eliminated == 0 ||
+          m.RewriteViolations() != 0 ||
+          m.WorstDeliveryFloor() + 3 < undisturbed.WorstDeliveryFloor()) {
+        std::printf("SMOKE FAILED on the redundant-tree scenario "
+                    "(floor=%llu vs undisturbed %llu, flips=%llu, "
+                    "dups_eliminated=%llu)\n",
+                    static_cast<unsigned long long>(m.WorstDeliveryFloor()),
+                    static_cast<unsigned long long>(
+                        undisturbed.WorstDeliveryFloor()),
+                    static_cast<unsigned long long>(m.redundancy.tree_flips),
+                    static_cast<unsigned long long>(
+                        m.redundancy.duplicates_eliminated));
+        ok = false;
+      }
     }
   }
 

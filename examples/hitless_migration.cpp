@@ -1,0 +1,139 @@
+// Redundancy demo in two acts.
+//
+// Act 1 — surviving a backbone cut: one 4-party meeting spread across a
+// fleet{4} ring with redundant relay trees on. Every inter-switch relay
+// carries a standby chain over a link-disjoint path, the downstream
+// merge switch eliminates the second copies by (origin, seq), and when
+// a backbone link on the live primary path is cut mid-call the fleet
+// flips to the standby — the standby was already delivering, so the
+// worst receiver's decode count matches an undisturbed control run.
+//
+// Act 2 — make-before-break migration: the controller re-homes a
+// 3-party meeting mid-call. Classic migration is break-before-make
+// (freeze, re-signal, re-join: sessions break and presence time is
+// lost); with WithHitlessMigration the fleet builds the target first
+// and drains through ordinary churn — nobody re-signals, and the
+// runner's audit confirms zero frames lost across the move.
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "testbed/fleet_testbed.hpp"
+
+using namespace scallop;
+
+namespace {
+
+harness::ScenarioSpec RingSpec(const char* name) {
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform(name, 1, 4, 10.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(4));
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::TopologyAware(1));
+  spec.WithInterSwitchLink(0, 1, 0.001, 100e6)
+      .WithInterSwitchLink(1, 2, 0.001, 100e6)
+      .WithInterSwitchLink(2, 3, 0.001, 100e6)
+      .WithInterSwitchLink(3, 0, 0.001, 100e6);
+  spec.WithRedundantTrees();
+  return spec;
+}
+
+void BackboneCutDemo() {
+  std::printf("=== Act 1: a backbone cut with redundant trees ===\n");
+
+  // Control: the same ring and seed, nothing cut.
+  harness::ScenarioRunner control(RingSpec("ring-control"));
+  const harness::ScenarioMetrics& calm = control.Run();
+
+  // Probe: at 3 s, cut a link a live primary relay path crosses (a
+  // sliver of capacity stays — <= 0 would mean "unconstrained").
+  harness::ScenarioRunner runner(RingSpec("ring-cut"));
+  runner.RunUntil(2.9);
+  const core::MeetingId id = runner.meeting_id(0);
+  const auto relays = runner.fleet().fleet().RelaysOf(id);
+  const auto standbys = runner.fleet().fleet().SecondariesOf(id);
+  std::printf("t=2.9s  %zu relays, %zu standby chains planned over "
+              "link-disjoint paths\n",
+              relays.size(), standbys.size());
+  const size_t cut_a = relays.front().backbone_path[0];
+  const size_t cut_b = relays.front().backbone_path[1];
+  runner.backend().sched().At(util::Seconds(3.0), [&] {
+    runner.fleet().SetInterSwitchLinkCapacity(cut_a, cut_b, 1.0);
+  });
+  std::printf("t=3.0s  cutting backbone link s%zu-s%zu (on the primary "
+              "path)\n", cut_a, cut_b);
+  const harness::ScenarioMetrics& m = runner.Run();
+
+  std::printf("\n        %-34s %10s %10s\n", "", "control", "cut");
+  std::printf("        %-34s %10lu %10lu\n", "tree flips",
+              static_cast<unsigned long>(calm.redundancy.tree_flips),
+              static_cast<unsigned long>(m.redundancy.tree_flips));
+  std::printf("        %-34s %10lu %10lu\n", "duplicates eliminated",
+              static_cast<unsigned long>(
+                  calm.redundancy.duplicates_eliminated),
+              static_cast<unsigned long>(m.redundancy.duplicates_eliminated));
+  std::printf("        %-34s %10lu %10lu\n",
+              "worst receiver, frames decoded",
+              static_cast<unsigned long>(calm.WorstDeliveryFloor()),
+              static_cast<unsigned long>(m.WorstDeliveryFloor()));
+  std::printf("\nThe standby tree was already delivering copies when the "
+              "primary died:\nthe cut run's floor matches the undisturbed "
+              "run (frame gap: %ld).\n",
+              static_cast<long>(calm.WorstDeliveryFloor()) -
+                  static_cast<long>(m.WorstDeliveryFloor()));
+}
+
+harness::ScenarioSpec MoveSpec(const char* name) {
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform(name, 1, 3, 8.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  return spec;
+}
+
+// Runs one 8 s call, re-homes the meeting at 3 s, and reports how much
+// member presence the move cost (24 peer-seconds are available).
+const char* kRowFmt = "  %-18s home s%zu -> s%zu  presence %5.1f/24.0 s  "
+                      "re-signals %s  frames lost %s\n";
+
+void PlannedMoveDemo() {
+  std::printf("\n=== Act 2: planned migration, classic vs hitless ===\n");
+
+  for (const bool hitless : {false, true}) {
+    harness::ScenarioSpec spec =
+        MoveSpec(hitless ? "hitless-move" : "classic-move");
+    if (hitless) spec.WithHitlessMigration();
+    harness::ScenarioRunner runner(spec);
+    runner.RunUntil(3.0);
+    const core::MeetingId id = runner.meeting_id(0);
+    const size_t source = runner.fleet().PlacementOf(id).home;
+    const size_t target = source == 0 ? 1 : 0;
+    runner.fleet().fleet().MigrateMeeting(id, target);
+    const harness::ScenarioMetrics& m = runner.Run();
+
+    double presence = 0.0;
+    for (const auto& p : m.peers) presence += p.seconds_in_meeting;
+    char frames[32];
+    if (m.hitless_moves_measured > 0) {
+      std::snprintf(frames, sizeof(frames), "%lu (audited)",
+                    static_cast<unsigned long>(m.hitless_frames_lost));
+    } else {
+      std::snprintf(frames, sizeof(frames), "blackout");
+    }
+    std::printf(kRowFmt, hitless ? "hitless:" : "classic:", source, target,
+                presence, hitless ? "none" : "all ", frames);
+  }
+  std::printf("\nThe hitless move keeps every session alive — the fleet "
+              "opens the target\nspan first, drains through ordinary "
+              "churn, and the runner's one-second\naudit sees every "
+              "receiver decode everything its sender produced.\n");
+}
+
+}  // namespace
+
+int main() {
+  BackboneCutDemo();
+  PlannedMoveDemo();
+  return 0;
+}

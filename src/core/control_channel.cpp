@@ -235,6 +235,38 @@ void ControlChannel::RemoveRelaySpan(MeetingId meeting,
   });
 }
 
+void ControlChannel::AddRelaySource(MeetingId meeting, ParticipantId id,
+                                    net::Endpoint secondary_src,
+                                    int dedup_window) {
+  DispatchReliable(
+      [this, meeting, id, secondary_src, dedup_window] {
+        agent_.AddRelaySource(meeting, id, secondary_src, dedup_window);
+      },
+      [this, id, meeting] {
+        return removed_relays_.count(id) == 0 &&
+               removed_meetings_.count(meeting) == 0;
+      });
+}
+
+void ControlChannel::PromoteRelaySource(MeetingId meeting, ParticipantId id,
+                                        net::Endpoint new_src) {
+  DispatchReliable(
+      [this, meeting, id, new_src] {
+        agent_.PromoteRelaySource(meeting, id, new_src);
+      },
+      [this, id, meeting] {
+        return removed_relays_.count(id) == 0 &&
+               removed_meetings_.count(meeting) == 0;
+      });
+}
+
+void ControlChannel::RemoveRelaySource(MeetingId meeting, ParticipantId id,
+                                       net::Endpoint src) {
+  DispatchReliable([this, meeting, id, src] {
+    agent_.RemoveRelaySource(meeting, id, src);
+  });
+}
+
 void ControlChannel::Subscribe(EventSink* sink, size_t switch_index) {
   sink_ = sink;
   switch_index_ = switch_index;

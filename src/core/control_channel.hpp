@@ -175,6 +175,20 @@ class ControlChannel {
   void RemoveRelaySpan(MeetingId meeting,
                        std::vector<ParticipantId> relay_ids);
 
+  // ---- southbound redundancy commands (redundant dual relay trees) ------
+  // Attaches a secondary upstream source (the disjoint tree's terminal
+  // hop) to an existing relay sender and installs its (origin, seq)
+  // dedup window; rides the reliable vocabulary like the rest of the
+  // relay commands.
+  void AddRelaySource(MeetingId meeting, ParticipantId id,
+                      net::Endpoint secondary_src, int dedup_window);
+  // Tree flip: promote the attached secondary to primary.
+  void PromoteRelaySource(MeetingId meeting, ParticipantId id,
+                          net::Endpoint new_src);
+  // Detaches a secondary source (protection teardown).
+  void RemoveRelaySource(MeetingId meeting, ParticipantId id,
+                         net::Endpoint src);
+
   // Controller-side port reservation (no command): lets the fleet break
   // the relay-setup cycle — the downstream AddRelaySender must name the
   // upstream relay leg's endpoint, whose port is reserved here and later

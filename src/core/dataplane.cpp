@@ -115,6 +115,19 @@ void DataPlaneProgram::IngressRtp(const net::Packet& pkt,
     meta.rtp_parsed = false;
   }
 
+  // Redundant relay merge point: both trees' copies of this origin stream
+  // funnel through one (origin, seq) window before any replication, so
+  // receivers downstream see exactly one copy no matter which tree won.
+  if (entry->dedup && meta.rtp_parsed) {
+    if (entry->tree > 0) ++stats_.redundant_relayed;
+    auto it = dedup_.find(*ssrc);
+    if (it != dedup_.end() && it->second.Observe(meta.rtp_seq)) {
+      ++stats_.duplicates_eliminated;
+      meta.drop = true;
+      return;
+    }
+  }
+
   uint8_t temporal_layer = 0;
   if (entry->is_video) {
     // Depth-aware extension parse (paper Appendix E): a bounded walk of
@@ -357,6 +370,11 @@ bool DataPlaneProgram::RemoveFeedback(uint16_t sfu_port) {
 FeedbackEntry* DataPlaneProgram::MutableFeedback(uint16_t sfu_port) {
   return feedback_table_.Mutable(sfu_port);
 }
+
+void DataPlaneProgram::InstallDedup(uint32_t ssrc, int window) {
+  dedup_.try_emplace(ssrc, window);
+}
+void DataPlaneProgram::RemoveDedup(uint32_t ssrc) { dedup_.erase(ssrc); }
 
 uint32_t DataPlaneProgram::AllocateRewriter(const SkipCadence& cadence) {
   uint32_t index;

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "av1/dependency_descriptor.hpp"
+#include "core/redundancy.hpp"
 #include "core/types.hpp"
 #include "rtp/classifier.hpp"
 #include "switchsim/switch.hpp"
@@ -56,6 +58,9 @@ struct DataPlaneStats {
   uint64_t parse_depth_exceeded = 0;  // Appendix E parser bound hit
   uint64_t relay_packets = 0;  // replicas forwarded to a downstream switch
   uint64_t relay_bytes = 0;    // wire bytes of those replicas
+  // Redundant dual relay trees (FRER-style merge at this switch):
+  uint64_t redundant_relayed = 0;      // copies that arrived via a secondary
+  uint64_t duplicates_eliminated = 0;  // in-window (origin, seq) repeats
 };
 
 class DataPlaneProgram : public switchsim::PipelineProgram {
@@ -83,6 +88,13 @@ class DataPlaneProgram : public switchsim::PipelineProgram {
   bool InstallFeedback(uint16_t sfu_port, const FeedbackEntry& entry);
   bool RemoveFeedback(uint16_t sfu_port);
   FeedbackEntry* MutableFeedback(uint16_t sfu_port);
+
+  // Duplicate-elimination windows for redundantly relayed streams, keyed
+  // by origin ssrc so both trees' stream entries share one history.
+  // Installing is idempotent (the window survives re-installs untouched).
+  void InstallDedup(uint32_t ssrc, int window);
+  void RemoveDedup(uint32_t ssrc);
+  size_t dedup_streams() const { return dedup_.size(); }
 
   // Rewriter state management (control plane assigns collision-free
   // indices; immediate cleanup on stream end — paper §6.3).
@@ -119,6 +131,7 @@ class DataPlaneProgram : public switchsim::PipelineProgram {
   std::vector<uint32_t> free_rewriter_indices_;
   uint32_t next_rewriter_ = 0;
   size_t rewriters_in_use_ = 0;
+  std::unordered_map<uint32_t, DedupWindow> dedup_;
 
   DataPlaneStats stats_;
 };

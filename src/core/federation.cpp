@@ -392,6 +392,28 @@ void FederatedControlPlane::SetMigrationCallback(
   }
 }
 
+void FederatedControlPlane::SetRedundancy(const RedundancyConfig& cfg) {
+  for (Region& reg : regions_) {
+    if (!reg.dead) reg.controller->SetRedundancy(cfg);
+  }
+}
+
+void FederatedControlPlane::SetHitlessMigrationCallback(
+    std::function<void(MeetingId, size_t, size_t)> cb) {
+  hitless_cb_ = std::move(cb);
+  if (regions_.size() == 1) {
+    regions_[0].controller->SetHitlessMigrationCallback(hitless_cb_);
+    return;
+  }
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    regions_[r].controller->SetHitlessMigrationCallback(
+        [this, r](MeetingId meeting, size_t from, size_t to) {
+          if (!hitless_cb_) return;
+          hitless_cb_(meeting, ToGlobal(r, from), ToGlobal(r, to));
+        });
+  }
+}
+
 void FederatedControlPlane::FreezeMeetings(
     const std::vector<MeetingId>& meetings) {
   // Regional FreezeMeetings ignores ids outside its shard.
@@ -527,6 +549,10 @@ FleetStats FederatedControlPlane::TotalFleetStats() const {
     total.relay_spans_installed += s.relay_spans_installed;
     total.relay_spans_removed += s.relay_spans_removed;
     total.relay_replans += s.relay_replans;
+    total.secondary_trees_installed += s.secondary_trees_installed;
+    total.secondary_trees_removed += s.secondary_trees_removed;
+    total.tree_flips += s.tree_flips;
+    total.hitless_migrations += s.hitless_migrations;
   }
   return total;
 }

@@ -38,6 +38,7 @@
 #include "core/control_channel.hpp"
 #include "core/controller.hpp"
 #include "core/placement.hpp"
+#include "core/redundancy.hpp"
 
 namespace scallop::core {
 
@@ -68,6 +69,40 @@ struct MeetingRelay {
   double load_bps = 0.0;
 };
 
+// One hop of a secondary (protection) relay chain. Interior hops park a
+// dedicated relay sender in a switch-local *protection meeting* (invisible
+// to placement — it carries no members); the terminal hop attaches to the
+// protected primary relay sender as an extra source instead, merging the
+// two trees behind one (origin, seq) dedup window.
+struct ProtectionHop {
+  size_t upstream = SIZE_MAX;
+  size_t downstream = SIZE_MAX;
+  ParticipantId sender_on_upstream = 0;  // id the stream is known by there
+  ParticipantId relay_receiver = 0;      // pseudo-receiver on upstream
+  ParticipantId relay_sender = 0;  // pseudo-sender downstream (interior) or
+                                   // the protected relay sender (terminal)
+  uint16_t upstream_port = 0;      // relay leg port (secondary media source)
+  uint16_t downstream_port = 0;
+  bool terminal = false;  // attaches to the primary relay via AddRelaySource
+};
+
+// A secondary relay tree protecting one primary relay (origin's stream on
+// the tree edge upstream -> downstream): a chain of ProtectionHops along a
+// link-disjoint (or maximally disjoint) backbone path. `active` flips true
+// when the secondary has been promoted to primary (make-before-break): its
+// terminal leg then belongs to the relay record and its registered load is
+// accounted under the relay's backbone path.
+struct SecondaryTree {
+  ParticipantId origin = 0;
+  size_t upstream = SIZE_MAX;
+  size_t downstream = SIZE_MAX;
+  ParticipantId protected_relay = 0;  // primary relay sender at downstream
+  std::vector<size_t> path;           // switch chain upstream..downstream
+  std::vector<ProtectionHop> hops;
+  double load_bps = 0.0;
+  bool active = false;
+};
+
 // One meeting member as the controller tracks it.
 struct MeetingMemberInfo {
   size_t home_switch = SIZE_MAX;
@@ -84,6 +119,12 @@ struct MeetingRecord {
   MeetingPlacement placement;
   std::map<ParticipantId, MeetingMemberInfo> members;
   std::vector<MeetingRelay> relays;
+  // Redundant dual relay trees: one secondary per protected relay, plus
+  // the switch-local protection meetings hosting interior chain hops
+  // (switch index -> switch-local meeting id). Both empty whenever
+  // redundancy is off.
+  std::vector<SecondaryTree> secondaries;
+  std::map<size_t, MeetingId> protection_meetings;
   // Mid-renegotiation (failover blackout / migration re-signal window):
   // the rebalancer must not touch the meeting. Cleared on re-Join.
   bool frozen = false;
@@ -219,6 +260,13 @@ class FederatedControlPlane : public SignalingServer {
   // LinkLoad for the federated load on a link).
   const InterSwitchTopology& topology() const;
   void EnableRebalancer(const RebalanceConfig& cfg);
+  // Redundant dual relay trees + make-before-break migration: forwarded
+  // to every region's controller. Off by default (classic behaviour).
+  void SetRedundancy(const RedundancyConfig& cfg);
+  // Fired after a hitless (make-before-break) migration completes; unlike
+  // the migration callback, members were never dropped. Global indices.
+  void SetHitlessMigrationCallback(
+      std::function<void(MeetingId, size_t, size_t)> cb);
   void SetMigrationCallback(std::function<void(MeetingId, size_t, size_t)> cb);
   void FreezeMeetings(const std::vector<MeetingId>& meetings);
   MeetingPlacement PlacementOf(MeetingId meeting) const;
@@ -352,6 +400,7 @@ class FederatedControlPlane : public SignalingServer {
   // their slice).
   InterSwitchTopology global_topology_;
   std::function<void(MeetingId, size_t, size_t)> migration_cb_;
+  std::function<void(MeetingId, size_t, size_t)> hitless_cb_;
   size_t next_ingress_ = 0;
   FederationStats stats_;
 };

@@ -178,6 +178,24 @@ size_t FleetController::AdoptShardFrom(FleetController& failed,
       for (size_t& hop : r.backbone_path) hop = remapped(hop);
       topology_.AddLoad(r.backbone_path, r.load_bps);
     }
+    for (SecondaryTree& t : moved.secondaries) {
+      t.upstream = remapped(t.upstream);
+      t.downstream = remapped(t.downstream);
+      for (size_t& hop : t.path) hop = remapped(hop);
+      for (ProtectionHop& h : t.hops) {
+        h.upstream = remapped(h.upstream);
+        h.downstream = remapped(h.downstream);
+      }
+      // Chains own their registered load (active or standby alike).
+      topology_.AddLoad(t.path, t.load_bps);
+    }
+    if (!moved.protection_meetings.empty()) {
+      std::map<size_t, MeetingId> pms;
+      for (const auto& [sw, local] : moved.protection_meetings) {
+        pms[remapped(sw)] = local;
+      }
+      moved.protection_meetings = std::move(pms);
+    }
     directory_->Emplace(id, std::move(moved));
     ++adopted;
   }
@@ -196,6 +214,15 @@ void FleetController::SetPlacementPolicy(
   if (policy != nullptr) policy_ = std::move(policy);
   policy_->BindTopology(&topology_);
   policy_->SetStreamEstimate(relay_stream_bps_);
+  policy_->SetRedundancyFactor(redundancy_.redundant_trees ? 2.0 : 1.0);
+}
+
+void FleetController::SetRedundancy(const RedundancyConfig& cfg) {
+  redundancy_ = cfg;
+  // Protected meetings put two trees' worth of stream load on the
+  // backbone; admission must budget for both or the second tree's
+  // registered load overshoots links the planner thought had headroom.
+  policy_->SetRedundancyFactor(cfg.redundant_trees ? 2.0 : 1.0);
 }
 
 void FleetController::set_relay_stream_bps(double bps) {
@@ -217,30 +244,82 @@ void FleetController::SetInterSwitchLinkCapacity(size_t a, size_t b,
 }
 
 void FleetController::ReplanOverloadedLinks() {
-  auto crosses = [](const MeetingRelay& r, std::pair<size_t, size_t> link) {
-    for (size_t i = 0; i + 1 < r.backbone_path.size(); ++i) {
-      size_t a = r.backbone_path[i], b = r.backbone_path[i + 1];
-      if (a > b) std::swap(a, b);
-      if (a == link.first && b == link.second) return true;
-    }
-    return false;
-  };
   // Collapse one subtree riding an overloaded link at a time, re-checking
   // the overload set after every collapse: an earlier collapse may have
   // already relieved the link, and blacking out further meetings for a
   // link that is back under budget would be a needless renegotiation.
   // Each collapse removes at least one span, which bounds the loop.
+  auto path_crosses = [](const std::vector<size_t>& path,
+                         std::pair<size_t, size_t> link) {
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      size_t a = path[i], b = path[i + 1];
+      if (a > b) std::swap(a, b);
+      if (a == link.first && b == link.second) return true;
+    }
+    return false;
+  };
+  // A relay's *current* physical path: the promoted chain's once flipped,
+  // its own backbone path otherwise.
+  auto crosses = [&](const MeetingState& st, const MeetingRelay& r,
+                     std::pair<size_t, size_t> link) {
+    return path_crosses(CurrentRelayPath(st, r), link);
+  };
   for (size_t guard = directory_->size() * switches_.size() + 1; guard > 0;
        --guard) {
     const auto overloaded = topology_.OverloadedLinks();
     if (overloaded.empty()) return;
+    // Make-before-break first: a primary relay crossing an overloaded
+    // link whose standby secondary avoids it flips instead of collapsing
+    // — receivers keep a continuous stream and only then does the old
+    // path drain. Each flip relieves the link of the primary's load, so
+    // re-evaluate the overload set before touching more state.
+    if (redundancy_.redundant_trees) {
+      bool changed = false;
+      for (MeetingId meeting : directory_->Ids()) {
+        MeetingState& st = *directory_->Find(meeting);
+        for (MeetingRelay& r : st.relays) {
+          for (const auto& link : overloaded) {
+            if (!crosses(st, r, link)) continue;
+            SecondaryTree* t = SecondaryOf(st, r);
+            if (t == nullptr || path_crosses(t->path, link)) continue;
+            FlipRelay(st, r, *t);
+            // Re-protect over whatever capacity remains (declines when
+            // the cut left no disjoint path).
+            PlanSecondary(st, r);
+            changed = true;
+            break;
+          }
+          if (changed) break;
+        }
+        if (changed) break;
+        // A *secondary* riding the overloaded link while its primary does
+        // not: drop the protection quietly — receivers never notice, and
+        // its registered load comes off the link.
+        for (auto it = st.secondaries.begin(); it != st.secondaries.end();
+             ++it) {
+          if (it->active) continue;
+          bool rides = false;
+          for (const auto& link : overloaded) {
+            if (path_crosses(it->path, link)) rides = true;
+          }
+          if (!rides) continue;
+          TearDownSecondary(st, *it, SIZE_MAX);
+          st.secondaries.erase(it);
+          GcProtectionMeetings(st);
+          changed = true;
+          break;
+        }
+        if (changed) break;
+      }
+      if (changed) continue;
+    }
     bool collapsed = false;
     for (MeetingId meeting : directory_->Ids()) {
       MeetingState& st = *directory_->Find(meeting);
       size_t child = SIZE_MAX;
       for (const MeetingRelay& r : st.relays) {
         for (const auto& link : overloaded) {
-          if (!crosses(r, link)) continue;
+          if (!crosses(st, r, link)) continue;
           // The child side of the tree edge is whichever end is deeper.
           const size_t up_d = st.placement.DepthOf(r.upstream);
           const size_t down_d = st.placement.DepthOf(r.downstream);
@@ -462,7 +541,11 @@ MeetingId FleetController::LocalMeetingOn(const MeetingState& st,
                                           size_t switch_index) const {
   if (switch_index == st.placement.home) return st.placement.local_meeting;
   const RelaySpan* span = st.placement.SpanOn(switch_index);
-  return span == nullptr ? 0 : span->local_meeting;
+  if (span != nullptr) return span->local_meeting;
+  // Interior secondary-tree hops live in protection meetings; after a
+  // flip the relay's upstream may be such a switch.
+  auto it = st.protection_meetings.find(switch_index);
+  return it == st.protection_meetings.end() ? 0 : it->second;
 }
 
 ParticipantId FleetController::NextRelayId() { return next_relay_id_++; }
@@ -688,6 +771,12 @@ FleetController::JoinResult FleetController::Join(
     RouteSenderEverywhere(st, result.participant, target, info.intent);
   }
 
+  // Every relay installed for (or discovered by) this join gets its
+  // disjoint secondary tree while the wiring is still quiescent — the
+  // decode-target pins land before any estimate could adapt a leg and
+  // fork the two trees' sequence numbering.
+  EnsureProtection(st);
+
   // A member (re-)joined: the meeting is out of its renegotiation window.
   st.frozen = false;
   return result;
@@ -699,6 +788,16 @@ void FleetController::UnregisterRelayLoad(const MeetingRelay& relay) {
 
 void FleetController::RemoveSenderRelays(MeetingState& st,
                                          ParticipantId origin) {
+  // Protection first: the terminal RemoveRelaySource must apply while the
+  // protected relay sender still exists downstream.
+  for (auto it = st.secondaries.begin(); it != st.secondaries.end();) {
+    if (it->origin == origin) {
+      TearDownSecondary(st, *it, SIZE_MAX);
+      it = st.secondaries.erase(it);
+    } else {
+      ++it;
+    }
+  }
   for (auto it = st.relays.begin(); it != st.relays.end();) {
     if (it->origin != origin) {
       ++it;
@@ -719,6 +818,7 @@ void FleetController::RemoveSenderRelays(MeetingState& st,
         LocalMeetingOn(st, r.upstream), r.relay_receiver);
     it = st.relays.erase(it);
   }
+  GcProtectionMeetings(st);
 }
 
 void FleetController::EraseParticipantFromPlacement(MeetingState& st,
@@ -824,6 +924,21 @@ void FleetController::TearDownSpan(MeetingState& st, size_t switch_index,
   auto origin_on_span = [&](ParticipantId origin) {
     return std::find(dropped.begin(), dropped.end(), origin) != dropped.end();
   };
+  // Secondary trees routing through the span's switch (endpoints are on
+  // the path too) or protecting a relay that dies with the span go first,
+  // while the relay state their teardown commands touch still exists.
+  for (auto sit = st.secondaries.begin(); sit != st.secondaries.end();) {
+    const bool touches =
+        std::find(sit->path.begin(), sit->path.end(), switch_index) !=
+            sit->path.end() ||
+        origin_on_span(sit->origin);
+    if (touches) {
+      TearDownSecondary(st, *sit, switch_dead ? switch_index : SIZE_MAX);
+      sit = st.secondaries.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
   std::map<size_t, std::vector<ParticipantId>> removals;  // per switch
   for (auto rit = st.relays.begin(); rit != st.relays.end();) {
     const MeetingRelay& r = *rit;
@@ -852,6 +967,9 @@ void FleetController::TearDownSpan(MeetingState& st, size_t switch_index,
     if (sw == switch_index && switch_dead) continue;  // state died with it
     switches_[sw]->channel->RemoveRelaySpan(LocalMeetingOn(st, sw), ids);
   }
+  // Now that every relay-removal command referencing them is dispatched,
+  // drained protection meetings can go.
+  GcProtectionMeetings(st);
 
   // End the span-local meeting: the controller notifies any members it
   // still tracks, and RemoveMeeting clears remaining agent state
@@ -867,6 +985,279 @@ void FleetController::TearDownSpan(MeetingState& st, size_t switch_index,
   ++stats_.relay_spans_removed;
 }
 
+// ---- redundant dual relay trees ---------------------------------------------
+
+SecondaryTree* FleetController::SecondaryOf(MeetingState& st,
+                                            const MeetingRelay& r) {
+  for (SecondaryTree& t : st.secondaries) {
+    if (!t.active && t.origin == r.origin && t.upstream == r.upstream &&
+        t.downstream == r.downstream) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+SecondaryTree* FleetController::ActiveOf(MeetingState& st,
+                                         const MeetingRelay& r) {
+  for (SecondaryTree& t : st.secondaries) {
+    if (t.active && t.origin == r.origin && t.upstream == r.upstream &&
+        t.downstream == r.downstream) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<size_t>& FleetController::CurrentRelayPath(
+    const MeetingState& st, const MeetingRelay& r) const {
+  for (const SecondaryTree& t : st.secondaries) {
+    if (t.active && t.origin == r.origin && t.upstream == r.upstream &&
+        t.downstream == r.downstream) {
+      return t.path;
+    }
+  }
+  return r.backbone_path;
+}
+
+MeetingId FleetController::ProtectionMeetingOn(MeetingState& st,
+                                               size_t switch_index) {
+  auto it = st.protection_meetings.find(switch_index);
+  if (it != st.protection_meetings.end()) return it->second;
+  MeetingId local = switches_[switch_index]->controller->CreateMeeting();
+  ++switches_[switch_index]->meetings;
+  st.protection_meetings[switch_index] = local;
+  return local;
+}
+
+void FleetController::GcProtectionMeetings(MeetingState& st) {
+  for (auto it = st.protection_meetings.begin();
+       it != st.protection_meetings.end();) {
+    const size_t sw = it->first;
+    bool used = false;
+    for (const SecondaryTree& t : st.secondaries) {
+      for (size_t i = 1; !used && i + 1 < t.path.size(); ++i) {
+        used = t.path[i] == sw;
+      }
+    }
+    if (used) {
+      ++it;
+      continue;
+    }
+    if (switches_[sw]->alive) {
+      switches_[sw]->controller->EndMeeting(it->second);
+    }
+    --switches_[sw]->meetings;
+    it = st.protection_meetings.erase(it);
+  }
+}
+
+void FleetController::EnsureProtection(MeetingState& st) {
+  if (!redundancy_.redundant_trees) return;
+  // An implicit full mesh has no declared links to be disjoint from (and
+  // no physical backbone routes for the chain to diverge over).
+  if (!topology_.explicit_topology()) return;
+  for (MeetingRelay& r : st.relays) {
+    if (SecondaryOf(st, r) != nullptr) continue;
+    PlanSecondary(st, r);
+  }
+}
+
+void FleetController::PlanSecondary(MeetingState& st, MeetingRelay& r) {
+  if (!redundancy_.redundant_trees || !topology_.explicit_topology()) return;
+  // Be disjoint from the relay's *current* transport — its own backbone
+  // path, or the promoted chain's if a flip already happened.
+  const std::vector<size_t>& current = CurrentRelayPath(st, r);
+  std::vector<std::pair<size_t, size_t>> avoid;
+  for (size_t i = 0; i + 1 < current.size(); ++i) {
+    avoid.emplace_back(current[i], current[i + 1]);
+  }
+  const std::vector<size_t> path = topology_.DisjointPath(
+      r.upstream, r.downstream, avoid, relay_stream_bps_);
+  // No useful secondary: unreachable, or the "disjoint" path is the
+  // current transport itself (a bridge link with no way around it).
+  if (path.size() < 2 || path == current) return;
+  for (size_t i = 0; i < path.size(); ++i) {
+    const size_t sw = path[i];
+    if (sw >= switches_.size()) return;
+    const Member& m = *switches_[sw];
+    if (!m.alive || m.channel == nullptr) return;
+    // Interior hops park state in switch-local protection meetings, which
+    // needs the switch's own controller — not a borrowed border guest's.
+    if (i > 0 && i + 1 < path.size() && !m.owned) return;
+  }
+
+  SecondaryTree t;
+  t.origin = r.origin;
+  t.upstream = r.upstream;
+  t.downstream = r.downstream;
+  t.protected_relay = r.relay_sender;
+  t.path = path;
+  t.load_bps = relay_stream_bps_;
+
+  ParticipantId carried = r.upstream_sender;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const size_t a = path[i], b = path[i + 1];
+    Member& up = *switches_[a];
+    Member& down = *switches_[b];
+    ProtectionHop h;
+    h.upstream = a;
+    h.downstream = b;
+    h.sender_on_upstream = carried;
+    h.relay_receiver = NextRelayId();
+    h.upstream_port = up.channel->AllocatePort();
+    const net::Endpoint src{up.sfu_ip, h.upstream_port};
+    const MeetingId lm_a =
+        i == 0 ? LocalMeetingOn(st, a) : ProtectionMeetingOn(st, a);
+    if (b == r.downstream) {
+      // Terminal hop: merge into the primary relay sender behind its
+      // (origin, seq) dedup window instead of minting a second sender.
+      h.terminal = true;
+      h.relay_sender = r.relay_sender;
+      h.downstream_port = r.downstream_port;
+      down.channel->AddRelaySource(LocalMeetingOn(st, b), r.relay_sender,
+                                   src, redundancy_.dedup_window);
+    } else {
+      h.relay_sender = NextRelayId();
+      h.downstream_port = down.channel->AddRelaySender(
+          ProtectionMeetingOn(st, b), h.relay_sender, src, r.video_ssrc,
+          r.audio_ssrc, r.sends_video, r.sends_audio);
+    }
+    up.channel->AddRelayLeg(lm_a, h.relay_receiver, h.sender_on_upstream,
+                            net::Endpoint{down.sfu_ip, h.downstream_port},
+                            h.upstream_port);
+    // Dedup keys on (ssrc, seq), so both trees must carry the *same*
+    // numbering: pin every chain leg to full quality — an adapted leg
+    // would rewrite its copy onto a different sequence line.
+    up.channel->ForceDecodeTarget(lm_a, h.relay_receiver,
+                                  h.sender_on_upstream, 2);
+    carried = h.relay_sender;
+    t.hops.push_back(h);
+  }
+  // The primary's own forwarding leg gets the same pin, for the same
+  // reason; it was created in this scheduler instant, so no estimate has
+  // adapted it yet and both trees start on identical numbering.
+  switches_[r.upstream]->channel->ForceDecodeTarget(
+      LocalMeetingOn(st, r.upstream), r.relay_receiver, r.upstream_sender, 2);
+
+  // Both trees' load rides the backbone for as long as the protection
+  // stands — residual-capacity planning must see the doubled footprint.
+  topology_.AddLoad(t.path, t.load_bps);
+  st.secondaries.push_back(std::move(t));
+  ++stats_.secondary_trees_installed;
+}
+
+void FleetController::FlipRelay(MeetingState& st, MeetingRelay& r,
+                                SecondaryTree& tree) {
+  const ProtectionHop& term = tree.hops.back();
+  const net::Endpoint new_src{switches_[term.upstream]->sfu_ip,
+                              term.upstream_port};
+  // Promote at the merge point: the secondary source becomes the relay
+  // sender's primary (the data plane forwarded first-arrivals from either
+  // tree all along, so receivers never see a seam).
+  switches_[r.downstream]->channel->PromoteRelaySource(
+      LocalMeetingOn(st, r.downstream), r.relay_sender, new_src);
+  // Drain the old transport. The relay record keeps its logical identity
+  // (the tree edge, its ids, the merge-point sender) — only the physical
+  // feed changes — so span bookkeeping and relay idempotence are
+  // untouched by any number of flips.
+  SecondaryTree* old = ActiveOf(st, r);
+  tree.active = true;  // before any erase below invalidates the reference
+  ++stats_.tree_flips;
+  if (old != nullptr) {
+    // Second flip: the outgoing transport is itself a chain. Demote it to
+    // a plain standby and tear it down like one.
+    SecondaryTree retired = *old;
+    retired.active = false;
+    st.secondaries.erase(st.secondaries.begin() +
+                         (old - st.secondaries.data()));
+    TearDownSecondary(st, retired, SIZE_MAX);
+    GcProtectionMeetings(st);
+  } else {
+    // First flip: the outgoing transport is the relay's own leg.
+    if (switches_[r.upstream]->alive) {
+      switches_[r.upstream]->channel->RemoveParticipant(
+          LocalMeetingOn(st, r.upstream), r.relay_receiver);
+    }
+    UnregisterRelayLoad(r);
+    // The old leg is gone; the relay no longer carries a physical path of
+    // its own (UnregisterRelayLoad and shard adoption both become no-ops
+    // for it — the chain's load is accounted on the chain).
+    r.backbone_path.clear();
+    r.load_bps = 0.0;
+  }
+}
+
+void FleetController::TearDownSecondary(MeetingState& st,
+                                        const SecondaryTree& tree,
+                                        size_t dead_switch) {
+  for (size_t i = 0; i < tree.hops.size(); ++i) {
+    const ProtectionHop& h = tree.hops[i];
+    if (h.terminal) {
+      // An active (promoted) chain's terminal source IS the relay
+      // sender's primary feed now; it dies with the relay sender itself,
+      // not as a detachable secondary source.
+      if (!tree.active && h.downstream != dead_switch &&
+          switches_[h.downstream]->alive) {
+        switches_[h.downstream]->channel->RemoveRelaySource(
+            LocalMeetingOn(st, h.downstream), h.relay_sender,
+            net::Endpoint{switches_[h.upstream]->sfu_ip, h.upstream_port});
+      }
+    } else if (h.downstream != dead_switch && switches_[h.downstream]->alive) {
+      // Interior senders live in the switch's protection meeting, even
+      // when that switch also hosts a span of the plan.
+      switches_[h.downstream]->channel->RemoveParticipant(
+          ProtectionMeetingOn(st, h.downstream), h.relay_sender);
+    }
+    if (h.upstream != dead_switch && switches_[h.upstream]->alive) {
+      const MeetingId lm = i == 0 ? LocalMeetingOn(st, h.upstream)
+                                  : ProtectionMeetingOn(st, h.upstream);
+      switches_[h.upstream]->channel->RemoveParticipant(lm, h.relay_receiver);
+    }
+  }
+  topology_.RemoveLoad(tree.path, tree.load_bps);
+  ++stats_.secondary_trees_removed;
+}
+
+void FleetController::HitlessMigrate(MeetingState& st, MeetingId meeting,
+                                     size_t target) {
+  const size_t source = st.placement.home;
+  // Make: open the span on the target and start relaying every sender's
+  // stream into it. Nothing has moved yet; members' sessions are intact.
+  RelaySpan& made = EnsureSpan(st, target);
+  const MeetingId target_local = made.local_meeting;
+  std::vector<ParticipantId> target_members = std::move(made.participants);
+  // Flip: re-root the plan at the target. The old home becomes a
+  // member-carrying span hanging off the new home — every leg, session
+  // and relay keeps working because the tree edge between the two
+  // switches is the one EnsureSpan just built.
+  RelaySpan old_home;
+  old_home.switch_index = source;
+  old_home.parent = SIZE_MAX;  // child of the new home
+  old_home.local_meeting = st.placement.local_meeting;
+  old_home.participants = std::move(st.placement.home_participants);
+  auto& spans = st.placement.spans;
+  spans.erase(std::remove_if(spans.begin(), spans.end(),
+                             [&](const RelaySpan& s) {
+                               return s.switch_index == target;
+                             }),
+              spans.end());
+  spans.push_back(std::move(old_home));
+  st.placement.home = target;
+  st.placement.local_meeting = target_local;
+  st.placement.home_participants = std::move(target_members);
+  st.migrated_once = true;
+  st.last_migrated = sched_ != nullptr ? sched_->now() : 0;
+  // Drain: nothing to tear down now — the old home's span drains through
+  // the ordinary Leave cascade as its members churn away. Members never
+  // re-signal, so the meeting is not frozen and no migration callback
+  // (which would drop sessions) fires.
+  ++stats_.hitless_migrations;
+  ++stats_.placements_rebalanced;
+  EnsureProtection(st);
+  if (hitless_cb_) hitless_cb_(meeting, source, target);
+}
+
 void FleetController::EndMeeting(MeetingId meeting) {
   MeetingState* found = directory_->Find(meeting);
   if (found == nullptr) return;
@@ -879,6 +1270,14 @@ void FleetController::EndMeeting(MeetingId meeting) {
     TearDownSpan(st, st.placement.spans.back().switch_index,
                  /*switch_dead=*/false);
   }
+  // Span teardown drains all protection state with the relays it covers;
+  // sweep whatever is left so the protection meetings end with the
+  // meeting.
+  while (!st.secondaries.empty()) {
+    TearDownSecondary(st, st.secondaries.back(), SIZE_MAX);
+    st.secondaries.pop_back();
+  }
+  GcProtectionMeetings(st);
 
   Member& sw = *switches_[st.placement.home];
   // Drain members still joined at meeting end so the freed switch
@@ -897,6 +1296,16 @@ void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
     return;
   }
   const size_t source_switch = st.placement.home;
+  // Planned moves go make-before-break when hitless migration is on: the
+  // target span is built and relaying before anything flips, and no
+  // member ever re-signals. Forced moves (the source switch is dead, or
+  // the meeting already spans and must collapse) stay classic.
+  if (redundancy_.hitless_migration && !st.placement.spans_switches() &&
+      target_switch < switches_.size() && IsAlive(source_switch) &&
+      IsAlive(target_switch) && switches_[target_switch]->owned) {
+    HitlessMigrate(st, meeting, target_switch);
+    return;
+  }
   // Let the substrate/harness drop the members' sessions first (they must
   // re-signal onto the target); anything still joined afterwards is
   // drained below.
@@ -965,6 +1374,47 @@ void FleetController::OnSwitchDown(size_t switch_index) {
     TearDownSpan(st, switch_index, /*switch_dead=*/true);
     st.frozen = true;
   }
+  if (!redundancy_.enabled()) return;
+  // Instant fallback: relays whose current transport merely *transits*
+  // the dead switch (both endpoints survive) flip onto a standby chain
+  // that avoids it — the chain was already delivering duplicate copies,
+  // so receivers never see a gap. Standby chains the dead switch was
+  // part of are gone; drop their surviving wiring quietly.
+  for (MeetingId meeting : directory_->Ids()) {
+    MeetingState& st = *directory_->Find(meeting);
+    for (MeetingRelay& r : st.relays) {
+      if (r.upstream == switch_index || r.downstream == switch_index) {
+        continue;  // the classic span handling owned this relay's fate
+      }
+      const std::vector<size_t>& cur = CurrentRelayPath(st, r);
+      bool transits = false;
+      for (size_t i = 1; i + 1 < cur.size(); ++i) {
+        transits = transits || cur[i] == switch_index;
+      }
+      if (!transits) continue;
+      SecondaryTree* t = SecondaryOf(st, r);
+      if (t == nullptr) continue;
+      bool avoids = true;
+      for (size_t sw : t->path) avoids = avoids && sw != switch_index;
+      if (!avoids) continue;
+      FlipRelay(st, r, *t);
+      PlanSecondary(st, r);  // declines when the death left no disjoint path
+    }
+    for (auto it = st.secondaries.begin(); it != st.secondaries.end();) {
+      bool broken = false;
+      if (!it->active) {
+        for (size_t sw : it->path) broken = broken || sw == switch_index;
+      }
+      if (!broken) {
+        ++it;
+        continue;
+      }
+      const SecondaryTree retired = *it;
+      it = st.secondaries.erase(it);
+      TearDownSecondary(st, retired, switch_index);
+    }
+    GcProtectionMeetings(st);
+  }
 }
 
 void FleetController::ReviveSwitch(size_t switch_index) {
@@ -995,6 +1445,12 @@ std::vector<FleetController::MeetingRelay> FleetController::RelaysOf(
     MeetingId meeting) const {
   const MeetingRecord* rec = directory_->Find(meeting);
   return rec == nullptr ? std::vector<MeetingRelay>{} : rec->relays;
+}
+
+std::vector<SecondaryTree> FleetController::SecondariesOf(
+    MeetingId meeting) const {
+  const MeetingRecord* rec = directory_->Find(meeting);
+  return rec == nullptr ? std::vector<SecondaryTree>{} : rec->secondaries;
 }
 
 int FleetController::LoadOf(size_t switch_index) const {

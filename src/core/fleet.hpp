@@ -51,6 +51,11 @@ struct FleetStats {
   uint64_t relay_spans_installed = 0;  // spans opened across switches
   uint64_t relay_spans_removed = 0;    // spans torn down (drain or failure)
   uint64_t relay_replans = 0;  // subtree collapses forced by link overload
+  // Redundant dual relay trees + make-before-break migration.
+  uint64_t secondary_trees_installed = 0;  // disjoint protection chains built
+  uint64_t secondary_trees_removed = 0;    // protection chains torn down
+  uint64_t tree_flips = 0;            // secondary promoted to primary
+  uint64_t hitless_migrations = 0;    // make-before-break re-homes
 };
 
 // Load-driven background rebalancer knobs (EnableRebalancer).
@@ -196,6 +201,21 @@ class FleetController : public SignalingServer,
     migration_cb_ = std::move(cb);
   }
 
+  // ---- redundant dual relay trees (opt-in) --------------------------------
+  // Enables secondary relay trees over link-disjoint backbone paths and/or
+  // make-before-break (hitless) migration. With the config at its defaults
+  // the fleet behaves byte-identically to the classic break-before-make
+  // controller. Must be set before meetings span; applies to relays
+  // installed afterwards.
+  void SetRedundancy(const RedundancyConfig& cfg);
+  const RedundancyConfig& redundancy() const { return redundancy_; }
+  // Fired after a hitless migration completes. Members keep their
+  // sessions, so unlike MigrationCallback nothing needs re-signaling; the
+  // harness uses it to measure frames lost during the planned move.
+  void SetHitlessMigrationCallback(MigrationCallback cb) {
+    hitless_cb_ = std::move(cb);
+  }
+
   // Marks meetings as mid-renegotiation (failover blackout): the load
   // rebalancer leaves them alone until a member re-joins. MigrateMeeting
   // freezes its meeting the same way on its own.
@@ -257,6 +277,9 @@ class FleetController : public SignalingServer,
   // Relay wiring currently installed for a meeting (empty when
   // single-homed).
   std::vector<MeetingRelay> RelaysOf(MeetingId meeting) const;
+  // Secondary (standby or promoted) relay chains currently planned for a
+  // meeting — empty unless redundant trees are on and the meeting spans.
+  std::vector<SecondaryTree> SecondariesOf(MeetingId meeting) const;
 
  private:
   struct Member {
@@ -325,6 +348,47 @@ class FleetController : public SignalingServer,
   void EraseParticipantFromPlacement(MeetingState& st, ParticipantId p);
   ParticipantId NextRelayId();
 
+  // ---- redundant dual relay trees -----------------------------------------
+  // Plans and installs a secondary tree for every unprotected relay on the
+  // meeting (no-op unless redundant trees are enabled and the backbone is
+  // explicit).
+  void EnsureProtection(MeetingState& st);
+  // Plans a link-disjoint (or maximally disjoint) secondary chain for one
+  // relay and installs it hop by hop: interior hops are relay senders in
+  // protection meetings, the terminal hop attaches to the primary relay
+  // sender as an extra dedup'd source. Every chain leg (and the primary's
+  // forwarding leg) gets its decode target pinned to full quality so both
+  // trees carry identical (ssrc, seq) streams. Declines quietly when no
+  // useful disjoint path exists.
+  void PlanSecondary(MeetingState& st, MeetingRelay& r);
+  // The standby (non-active) secondary protecting `r`, if any.
+  SecondaryTree* SecondaryOf(MeetingState& st, const MeetingRelay& r);
+  // The promoted chain currently carrying `r`'s stream, if any.
+  SecondaryTree* ActiveOf(MeetingState& st, const MeetingRelay& r);
+  // The relay's current physical path: its promoted chain's once flipped,
+  // its own backbone path otherwise.
+  const std::vector<size_t>& CurrentRelayPath(const MeetingState& st,
+                                              const MeetingRelay& r) const;
+  // Make-before-break promotion: the downstream merge point flips to the
+  // secondary source, the old primary leg drains, and the chain becomes
+  // the relay's primary path (its registered load transfers to the relay's
+  // backbone-path accounting).
+  void FlipRelay(MeetingState& st, MeetingRelay& r, SecondaryTree& tree);
+  // Removes one secondary chain's wiring (commands to `dead_switch`, if
+  // any, are skipped — its state died with it). Active chains keep their
+  // terminal leg and load: both belong to the relay record after a flip.
+  void TearDownSecondary(MeetingState& st, const SecondaryTree& tree,
+                         size_t dead_switch);
+  // Switch-local protection meeting hosting interior chain hops on
+  // `switch_index` (created on first use).
+  MeetingId ProtectionMeetingOn(MeetingState& st, size_t switch_index);
+  // Ends protection meetings no remaining secondary routes through.
+  void GcProtectionMeetings(MeetingState& st);
+  // Re-homes one meeting without dropping members: spans the target, then
+  // re-roots the placement tree there — the old home becomes a
+  // member-carrying span that drains as members churn.
+  void HitlessMigrate(MeetingState& st, MeetingId meeting, size_t target);
+
   // Least-loaded live switch, optionally excluding one index; SIZE_MAX
   // when no live switch qualifies.
   size_t LeastLoaded(size_t exclude = SIZE_MAX) const;
@@ -360,6 +424,8 @@ class FleetController : public SignalingServer,
   std::function<size_t(MeetingId)> border_provider_;
   RebalanceConfig rebalance_cfg_;
   MigrationCallback migration_cb_;
+  MigrationCallback hitless_cb_;
+  RedundancyConfig redundancy_;
   std::unique_ptr<PlacementPolicy> policy_;
   InterSwitchTopology topology_;
   // Per-stream relay bandwidth estimate registered on backbone links

@@ -189,9 +189,12 @@ TopologyAwarePolicy::Attachment TopologyAwarePolicy::BestAttachment(
       inc[{a, b}] += bps;
     }
   };
+  // With redundant trees on, every relayed stream is budgeted twice —
+  // the fleet registers both the primary's and the disjoint secondary's
+  // load on the backbone, so admission must reserve for both.
+  const double per_stream = stream_estimate_bps_ * redundancy_factor_;
   for (const auto& [parent, child] : placement.TreeEdges()) {
-    add_path(edge_increment, topology_->RelayPath(parent, child),
-             stream_estimate_bps_);
+    add_path(edge_increment, topology_->RelayPath(parent, child), per_stream);
   }
 
   // Try every on-plan switch as the attachment point; prefer attachments
@@ -205,7 +208,7 @@ TopologyAwarePolicy::Attachment TopologyAwarePolicy::BestAttachment(
     if (path.size() < 2) continue;  // unreachable (or self)
     const double latency = topology_->PathLatency(path);
     auto increments = edge_increment;
-    add_path(increments, path, (current_members + 1) * stream_estimate_bps_);
+    add_path(increments, path, (current_members + 1) * per_stream);
     bool fits = true;
     for (const auto& [link, bps] : increments) {
       if (topology_->ResidualOf(link.first, link.second) < bps) {

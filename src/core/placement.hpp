@@ -108,6 +108,12 @@ class PlacementPolicy {
   // controller's (FleetController::set_relay_stream_bps), so admission
   // decisions and the load the fleet actually registers agree.
   virtual void SetStreamEstimate(double /*bps*/) {}
+  // Redundant dual relay trees: how many tree copies the fleet will
+  // register load for per relayed stream (2.0 with redundancy on, the
+  // default 1.0 otherwise). Capacity-aware policies scale their
+  // per-stream bandwidth estimate by it so admission budgets both trees;
+  // topology-blind policies ignore it.
+  virtual void SetRedundancyFactor(double /*factor*/) {}
   // Switch to host a new (empty) meeting; SIZE_MAX when no live switch.
   virtual size_t PlaceMeeting(const std::vector<SwitchLoad>& loads) const;
   // Switch to home a joining participant on: the home switch, an existing
@@ -181,6 +187,9 @@ class TopologyAwarePolicy : public PlacementPolicy {
     topology_ = topology;
   }
   void SetStreamEstimate(double bps) override { stream_estimate_bps_ = bps; }
+  void SetRedundancyFactor(double factor) override {
+    redundancy_factor_ = factor > 0.0 ? factor : 1.0;
+  }
   size_t PlaceParticipant(const MeetingPlacement& placement,
                           const std::vector<SwitchLoad>& loads) const override;
   size_t ChooseSpanParent(const MeetingPlacement& placement,
@@ -204,6 +213,9 @@ class TopologyAwarePolicy : public PlacementPolicy {
 
   int max_per_switch_;
   double stream_estimate_bps_;
+  // Load multiplier per relayed stream (2.0 when the fleet plans a
+  // disjoint secondary tree per relay; see SetRedundancyFactor).
+  double redundancy_factor_ = 1.0;
   const InterSwitchTopology* topology_ = nullptr;
 };
 

@@ -1,0 +1,71 @@
+#include "core/redundancy.hpp"
+
+#include <algorithm>
+
+namespace scallop::core {
+
+DedupWindow::DedupWindow(int window)
+    : window_(std::max(window, 1)),
+      bits_((static_cast<size_t>(window_) + 63) / 64, 0) {}
+
+bool DedupWindow::TestAndSet(int64_t ext) {
+  const size_t slot =
+      static_cast<size_t>(ext % window_);  // ext >= 0 by construction
+  const size_t word = slot / 64;
+  const uint64_t mask = uint64_t{1} << (slot % 64);
+  const bool was_set = (bits_[word] & mask) != 0;
+  bits_[word] |= mask;
+  return was_set;
+}
+
+bool DedupWindow::Observe(uint16_t seq) {
+  if (!primed_) {
+    primed_ = true;
+    last_seq_ = seq;
+    // Start high enough that the in-window test below never computes a
+    // negative extended sequence even if the first packets arrive in
+    // descending order across a wrap.
+    last_ext_ = highest_ext_ = int64_t{1} << 20;
+    TestAndSet(highest_ext_);
+    return false;
+  }
+
+  // Unwrap: the signed 16-bit delta from the previous arrival places this
+  // packet in the extended space, tolerating reordering across a wrap.
+  const int16_t delta = static_cast<int16_t>(seq - last_seq_);
+  const int64_t ext = last_ext_ + delta;
+  last_seq_ = seq;
+  last_ext_ = ext;
+
+  if (ext > highest_ext_) {
+    // Moving forward: clear the bitmap slots the window is sliding over
+    // so stale marks from a full wrap ago never masquerade as arrivals.
+    const int64_t start = std::max(highest_ext_ + 1, ext - window_ + 1);
+    for (int64_t s = start; s < ext; ++s) {
+      const size_t slot = static_cast<size_t>(s % window_);
+      bits_[slot / 64] &= ~(uint64_t{1} << (slot % 64));
+    }
+    highest_ext_ = ext;
+    const size_t slot = static_cast<size_t>(ext % window_);
+    const size_t word = slot / 64;
+    const uint64_t mask = uint64_t{1} << (slot % 64);
+    bits_[word] &= ~mask;  // freshly slid-over slot
+    bits_[word] |= mask;
+    return false;
+  }
+
+  if (ext <= highest_ext_ - window_) {
+    // Evicted: beyond the bounded history. Forward it — we cannot tell a
+    // duplicate from a very late original, and swallowing originals is
+    // the worse failure.
+    return false;
+  }
+
+  if (TestAndSet(ext)) {
+    ++duplicates_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace scallop::core

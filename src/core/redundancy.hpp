@@ -1,0 +1,72 @@
+// Redundant dual relay trees: configuration and the per-stream
+// duplicate-elimination window.
+//
+// A protected meeting's spanned media rides two link-disjoint relay trees
+// at once (primary + secondary, planned by the fleet controller over
+// InterSwitchTopology::DisjointPath). The downstream switch then sees up
+// to two copies of every relayed packet and must deliver exactly one to
+// its receivers, whichever tree won the race — the merge/eliminate idiom
+// of IEEE 802.1CB FRER as modeled by INET's StreamRedundancyConfigurator,
+// applied to relay media keyed by (origin stream, RTP sequence number).
+//
+// DedupWindow is the bounded history backing that elimination: a circular
+// bitmap over unwrapped sequence numbers. In-window repeats are
+// duplicates; anything older than the window is forwarded rather than
+// remembered — bounded memory beats perfect suppression, exactly the
+// FRER recovery-window tradeoff. Retransmissions crossing the merge
+// point are indistinguishable from tree duplicates and get eliminated
+// too; protected meetings therefore plan over lossless backbone links
+// (see ROADMAP "Redundant trees & hitless migration").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scallop::core {
+
+// Per-controller redundancy policy, plumbed testbed -> federation ->
+// FleetController. Default-constructed it is fully off and the fleet
+// behaves byte-identically to the pre-redundancy code.
+struct RedundancyConfig {
+  // Plan a link-disjoint secondary relay tree for every spanned relay and
+  // dedup at the merge points.
+  bool redundant_trees = false;
+  // (origin, seq) elimination window installed at merge switches.
+  int dedup_window = 512;
+  // Planned MigrateMeeting re-roots the span tree make-before-break
+  // instead of collapse/re-join.
+  bool hitless_migration = false;
+
+  bool enabled() const { return redundant_trees || hitless_migration; }
+};
+
+// Sliding duplicate-elimination window over RTP sequence numbers for one
+// stream (one ssrc at one merge switch). Sequence numbers are unwrapped
+// into a 64-bit extended space so the window survives 16-bit wraparound.
+class DedupWindow {
+ public:
+  explicit DedupWindow(int window = 512);
+
+  // Records the arrival of `seq` and says whether it is a duplicate of an
+  // in-window arrival (true => the caller drops it). Packets older than
+  // the window are forwarded unrecorded: the history is bounded, and a
+  // straggler beyond it is overwhelmingly a genuine late packet, not the
+  // second tree's copy.
+  bool Observe(uint16_t seq);
+
+  int window() const { return window_; }
+  uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  bool TestAndSet(int64_t ext);
+
+  int window_;
+  std::vector<uint64_t> bits_;
+  bool primed_ = false;
+  uint16_t last_seq_ = 0;
+  int64_t last_ext_ = 0;
+  int64_t highest_ext_ = 0;
+  uint64_t duplicates_ = 0;
+};
+
+}  // namespace scallop::core

@@ -239,6 +239,155 @@ void SwitchAgent::RemoveRelaySpan(MeetingId meeting,
   for (ParticipantId id : relay_ids) RemoveParticipant(meeting, id);
 }
 
+void SwitchAgent::AddRelaySource(MeetingId meeting, ParticipantId id,
+                                 net::Endpoint secondary_src,
+                                 int dedup_window) {
+  (void)meeting;
+  auto it = participants_.find(id);
+  if (it == participants_.end() || !it->second.is_relay) return;
+  Participant& p = it->second;
+  if (secondary_src == p.media_src) return;
+  for (const net::Endpoint& src : p.extra_srcs) {
+    if (src == secondary_src) return;  // idempotent under retransmission
+  }
+  p.extra_srcs.push_back(secondary_src);
+  p.dedup_window = dedup_window;
+  ++stats_.relay_sources;
+  SyncRelaySources(p);
+}
+
+void SwitchAgent::PromoteRelaySource(MeetingId meeting, ParticipantId id,
+                                     net::Endpoint new_src) {
+  auto it = participants_.find(id);
+  if (it == participants_.end() || !it->second.is_relay) return;
+  Participant& p = it->second;
+  if (p.media_src == new_src) return;
+  auto src_it = std::find(p.extra_srcs.begin(), p.extra_srcs.end(), new_src);
+  // Promoting a source this switch never learned about (its attach was
+  // lost on the channel) is a no-op, like any command naming unknown
+  // state.
+  if (src_it == p.extra_srcs.end()) return;
+  p.extra_srcs.erase(src_it);
+
+  // The old primary path is dying (that is why we flip): drop its stream
+  // keys outright rather than demoting it to a secondary.
+  const net::Endpoint old_src = p.media_src;
+  if (p.sends_video) dp_.RemoveStream(StreamKey{old_src, p.video_ssrc});
+  if (p.sends_audio) dp_.RemoveStream(StreamKey{old_src, p.audio_ssrc});
+  p.media_src = new_src;
+  ++stats_.relay_promotions;
+  ++stats_.dataplane_writes;
+
+  auto mit = meetings_.find(meeting);
+  if (mit != meetings_.end()) {
+    for (ParticipantId r : mit->second.members) {
+      if (r == id) continue;
+      Participant& recv = participants_.at(r);
+      auto ps = recv.by_sender.find(id);
+      if (ps == recv.by_sender.end() || !ps->second.leg) continue;
+      // Old-source media egress dies with the old tree; the new source's
+      // mirror (installed at attach time) is already live, so the flip
+      // never leaves a gap between removal and install.
+      dp_.RemoveEgress(EgressKey{old_src, static_cast<uint16_t>(r)});
+      // Re-aim the receivers' feedback path at the surviving upstream.
+      EgressEntry fb_out;
+      fb_out.dst = new_src;
+      fb_out.sfu_src = net::Endpoint{cfg_.sfu_ip, p.uplink_port};
+      fb_out.receiver = id;
+      dp_.InstallEgress(
+          EgressKey{ps->second.leg->client, static_cast<uint16_t>(id)},
+          fb_out);
+    }
+  }
+
+  if (p.extra_srcs.empty()) {
+    // Sole source again: retire the dedup window so steady state after
+    // the flip matches an unprotected relay.
+    auto clear = [&](uint32_t ssrc) {
+      dp_.RemoveDedup(ssrc);
+      StreamEntry* se = dp_.MutableStream(StreamKey{p.media_src, ssrc});
+      if (se != nullptr) {
+        se->dedup = false;
+        se->tree = 0;
+      }
+    };
+    if (p.sends_video) clear(p.video_ssrc);
+    if (p.sends_audio) clear(p.audio_ssrc);
+  }
+  // Reconfigure reinstalls primary stream entries under the new source
+  // key (tree = 0), and SyncRelaySources re-mirrors any remaining
+  // secondaries.
+  RebuildMeeting(meeting);
+}
+
+void SwitchAgent::RemoveRelaySource(MeetingId meeting, ParticipantId id,
+                                    net::Endpoint src) {
+  auto it = participants_.find(id);
+  if (it == participants_.end()) return;
+  Participant& p = it->second;
+  auto src_it = std::find(p.extra_srcs.begin(), p.extra_srcs.end(), src);
+  if (src_it == p.extra_srcs.end()) return;
+  p.extra_srcs.erase(src_it);
+
+  if (p.sends_video) dp_.RemoveStream(StreamKey{src, p.video_ssrc});
+  if (p.sends_audio) dp_.RemoveStream(StreamKey{src, p.audio_ssrc});
+  auto mit = meetings_.find(meeting);
+  if (mit != meetings_.end()) {
+    for (ParticipantId r : mit->second.members) {
+      if (r != id) dp_.RemoveEgress(EgressKey{src, static_cast<uint16_t>(r)});
+    }
+  }
+  if (p.extra_srcs.empty()) {
+    auto clear = [&](uint32_t ssrc) {
+      dp_.RemoveDedup(ssrc);
+      StreamEntry* se = dp_.MutableStream(StreamKey{p.media_src, ssrc});
+      if (se != nullptr) se->dedup = false;
+    };
+    if (p.sends_video) clear(p.video_ssrc);
+    if (p.sends_audio) clear(p.audio_ssrc);
+  }
+  ++stats_.dataplane_writes;
+}
+
+void SwitchAgent::SyncRelaySources(Participant& p) {
+  if (p.extra_srcs.empty()) return;
+  auto sync_ssrc = [&](uint32_t ssrc) {
+    StreamEntry* primary = dp_.MutableStream(StreamKey{p.media_src, ssrc});
+    if (primary == nullptr) return;
+    primary->dedup = true;
+    primary->tree = 0;
+    dp_.InstallDedup(ssrc, p.dedup_window);
+    StreamEntry mirror = *primary;
+    mirror.tree = 1;
+    for (const net::Endpoint& src : p.extra_srcs) {
+      dp_.InstallStream(StreamKey{src, ssrc}, mirror);
+    }
+  };
+  if (p.sends_video) sync_ssrc(p.video_ssrc);
+  if (p.sends_audio) sync_ssrc(p.audio_ssrc);
+
+  // Media egress is keyed by (original source, rid): every receiver leg
+  // installed under the primary source needs a twin under each secondary
+  // or the second tree's copies would die at egress lookup.
+  auto mit = meetings_.find(p.meeting);
+  if (mit == meetings_.end()) return;
+  for (ParticipantId r : mit->second.members) {
+    if (r == p.id) continue;
+    const Participant& recv = participants_.at(r);
+    auto ps = recv.by_sender.find(p.id);
+    if (ps == recv.by_sender.end() || !ps->second.leg) continue;
+    EgressEntry media_out;
+    media_out.dst = ps->second.leg->client;
+    media_out.sfu_src = net::Endpoint{cfg_.sfu_ip, ps->second.leg->sfu_port};
+    media_out.receiver = r;
+    media_out.is_relay = recv.is_relay;
+    for (const net::Endpoint& src : p.extra_srcs) {
+      dp_.InstallEgress(EgressKey{src, static_cast<uint16_t>(r)}, media_out);
+    }
+  }
+  ++stats_.dataplane_writes;
+}
+
 void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
   auto it = participants_.find(id);
   if (it == participants_.end()) return;
@@ -252,6 +401,9 @@ void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
     if (sit != participants_.end()) {
       dp_.RemoveEgress(EgressKey{sit->second.media_src,
                                  static_cast<uint16_t>(id)});
+      for (const net::Endpoint& extra : sit->second.extra_srcs) {
+        dp_.RemoveEgress(EgressKey{extra, static_cast<uint16_t>(id)});
+      }
       dp_.RemoveEgress(
           EgressKey{ps.leg->client, static_cast<uint16_t>(sender)});
       dp_.RemoveSvc(SvcKey{sit->second.video_ssrc, id});
@@ -268,6 +420,9 @@ void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
       PerSender& ps = psit->second;
       dp_.RemoveFeedback(ps.leg->sfu_port);
       dp_.RemoveEgress(EgressKey{p.media_src, static_cast<uint16_t>(pid)});
+      for (const net::Endpoint& extra : p.extra_srcs) {
+        dp_.RemoveEgress(EgressKey{extra, static_cast<uint16_t>(pid)});
+      }
       dp_.RemoveEgress(EgressKey{ps.leg->client, static_cast<uint16_t>(id)});
       dp_.RemoveSvc(SvcKey{p.video_ssrc, pid});
       if (ps.rewriter_index) {
@@ -284,6 +439,14 @@ void SwitchAgent::RemoveParticipant(MeetingId meeting, ParticipantId id) {
   }
   if (p.sends_video) ssrc_to_sender_.erase(p.video_ssrc);
   if (p.sends_audio) ssrc_to_sender_.erase(p.audio_ssrc);
+  for (const net::Endpoint& extra : p.extra_srcs) {
+    if (p.sends_video) dp_.RemoveStream(StreamKey{extra, p.video_ssrc});
+    if (p.sends_audio) dp_.RemoveStream(StreamKey{extra, p.audio_ssrc});
+  }
+  if (!p.extra_srcs.empty()) {
+    if (p.sends_video) dp_.RemoveDedup(p.video_ssrc);
+    if (p.sends_audio) dp_.RemoveDedup(p.audio_ssrc);
+  }
   if (p.is_relay && relay_count_ > 0) --relay_count_;
   stats_.dataplane_writes += 4;
 
@@ -601,6 +764,13 @@ void SwitchAgent::RebuildMeeting(MeetingId meeting) {
         svc->filter_in_egress = design == TreeDesign::kTwoParty;
       }
     }
+  }
+  // Reconfigure rewrote primary stream entries in place, wiping the
+  // dedup flags; re-mirror any redundant relay sources against the fresh
+  // state.
+  for (ParticipantId pid : mit->second.members) {
+    Participant& p = participants_.at(pid);
+    if (!p.extra_srcs.empty()) SyncRelaySources(p);
   }
 }
 

@@ -71,6 +71,9 @@ struct AgentStats {
   uint64_t relay_senders = 0;     // remote senders registered here
   uint64_t relay_legs = 0;        // relay legs toward downstream switches
   uint64_t relay_dt_changes = 0;  // DT switches applied to relay legs
+  // Redundant dual relay trees.
+  uint64_t relay_sources = 0;     // secondary sources attached to relays
+  uint64_t relay_promotions = 0;  // secondary-to-primary tree flips
 };
 
 class SwitchAgent {
@@ -122,6 +125,26 @@ class SwitchAgent {
   // pseudo-receivers toward it, or the relay senders from it).
   void RemoveRelaySpan(MeetingId meeting,
                        const std::vector<ParticipantId>& relay_ids);
+
+  // ---- redundant dual relay trees ----
+  // Attaches a *secondary* upstream source to an existing relay sender:
+  // media arriving from `secondary_src` matches the same stream state and
+  // receiver legs as the primary's, and arrivals from either source pass
+  // a shared (origin, seq) dedup window first, so receivers see exactly
+  // one copy regardless of which tree delivered it. No-op for unknown or
+  // non-relay participants (lost-command semantics); idempotent.
+  void AddRelaySource(MeetingId meeting, ParticipantId id,
+                      net::Endpoint secondary_src, int dedup_window);
+  // Tree flip: makes an attached secondary source the relay sender's
+  // primary. The old primary's stream/egress state is removed, feedback
+  // legs re-aim at the new upstream, and — when no other source remains —
+  // the dedup window is retired. No-op unless `new_src` was attached.
+  void PromoteRelaySource(MeetingId meeting, ParticipantId id,
+                          net::Endpoint new_src);
+  // Detaches a secondary source (protection teardown) without touching
+  // the primary path.
+  void RemoveRelaySource(MeetingId meeting, ParticipantId id,
+                         net::Endpoint src);
 
   void SetDecodeTargetPolicy(SelectDecodeTargetFn fn) {
     select_dt_ = std::move(fn);
@@ -183,6 +206,10 @@ class SwitchAgent {
     bool sends_video = false;
     bool sends_audio = false;
     bool is_relay = false;  // stands in for another switch's SFU
+    // Redundant relay: additional upstream sources (the secondary tree's
+    // last hop) whose media mirrors this sender's stream/egress state.
+    std::vector<net::Endpoint> extra_srcs;
+    int dedup_window = 0;
     std::map<ParticipantId, PerSender> by_sender;
   };
   struct SenderRate {
@@ -205,6 +232,10 @@ class SwitchAgent {
   void ApplyDecodeTarget(Participant& receiver, ParticipantId sender,
                          int new_dt);
   void RebuildMeeting(MeetingId meeting);
+  // Re-installs the secondary-source mirror state (stream entries, media
+  // egress, dedup windows) for one relay sender; idempotent, called after
+  // every rebuild since Reconfigure rewrites primary entries in place.
+  void SyncRelaySources(Participant& p);
   int DefaultPolicy(const Participant& receiver, ParticipantId sender,
                     int curr, uint64_t new_est, uint64_t sender_rate);
   SkipCadence CadenceFor(ParticipantId sender, int dt) const;

@@ -158,20 +158,27 @@ std::vector<size_t> InterSwitchTopology::WidestPath(size_t from,
   if (!explicit_) return {from, to};
 
   // Maximize the bottleneck residual (Dijkstra with max-min relaxation);
-  // latency breaks ties so constrained backbones still prefer short paths.
+  // latency breaks ties so constrained backbones still prefer short
+  // paths, then fewest hops and lowest predecessor index — without the
+  // last two clauses a (width, latency) tie fell to whichever link the
+  // map happened to iterate first, and disjoint secondary planning leans
+  // on this being stable.
   const double inf = std::numeric_limits<double>::infinity();
   std::vector<double> width(nodes_, -1.0);
   std::vector<double> lat(nodes_, inf);
+  std::vector<size_t> hops(nodes_, SIZE_MAX);
   std::vector<size_t> prev(nodes_, SIZE_MAX);
   std::vector<bool> done(nodes_, false);
   width[from] = kUnconstrained;
   lat[from] = 0.0;
+  hops[from] = 0;
   for (size_t round = 0; round < nodes_; ++round) {
     size_t u = SIZE_MAX;
     for (size_t i = 0; i < nodes_; ++i) {
       if (done[i] || width[i] < 0.0) continue;
       if (u == SIZE_MAX || width[i] > width[u] ||
-          (width[i] == width[u] && lat[i] < lat[u])) {
+          (width[i] == width[u] && lat[i] < lat[u]) ||
+          (width[i] == width[u] && lat[i] == lat[u] && hops[i] < hops[u])) {
         u = i;
       }
     }
@@ -192,9 +199,111 @@ std::vector<size_t> InterSwitchTopology::WidestPath(size_t from,
                                   : link.capacity_bps - link.relay_load_bps;
       const double nw = std::min(width[u], residual);
       const double nl = lat[u] + link.latency_s;
-      if (nw > width[v] || (nw == width[v] && nl < lat[v])) {
+      const size_t nh = hops[u] + 1;
+      if (nw > width[v] || (nw == width[v] && nl < lat[v]) ||
+          (nw == width[v] && nl == lat[v] && nh < hops[v]) ||
+          (nw == width[v] && nl == lat[v] && nh == hops[v] &&
+           u < prev[v])) {
         width[v] = nw;
         lat[v] = nl;
+        hops[v] = nh;
+        prev[v] = u;
+      }
+    }
+  }
+  return Unwind(prev, from, to);
+}
+
+std::vector<size_t> InterSwitchTopology::DisjointPath(
+    size_t from, size_t to,
+    const std::vector<std::pair<size_t, size_t>>& avoid,
+    double min_capacity_bps) const {
+  if (from >= nodes_ || to >= nodes_) return {};
+  if (from == to) return {from};
+
+  auto avoided = [&avoid](size_t a, size_t b) {
+    const Key key = KeyOf(a, b);
+    for (const auto& [x, y] : avoid) {
+      if (KeyOf(x, y) == key) return true;
+    }
+    return false;
+  };
+
+  if (!explicit_) {
+    // Implicit full mesh: the direct hop when it isn't to be avoided,
+    // otherwise detour through the lowest-index third switch.
+    if (!avoided(from, to)) return {from, to};
+    for (size_t w = 0; w < nodes_; ++w) {
+      if (w != from && w != to) return {from, w, to};
+    }
+    return {from, to};  // two-node fleet: nothing disjoint exists
+  }
+
+  // Lexicographic Dijkstra: (shared avoided links asc, bottleneck
+  // residual desc, latency asc, hops asc, predecessor index asc). The
+  // overlap count dominates so a fully disjoint path always beats any
+  // overlapping one; when disjointness is impossible the minimum-overlap
+  // path survives as the maximally-disjoint fallback.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<size_t> overlap(nodes_, SIZE_MAX);
+  std::vector<double> width(nodes_, -1.0);
+  std::vector<double> lat(nodes_, inf);
+  std::vector<size_t> hops(nodes_, SIZE_MAX);
+  std::vector<size_t> prev(nodes_, SIZE_MAX);
+  std::vector<bool> done(nodes_, false);
+  overlap[from] = 0;
+  width[from] = kUnconstrained;
+  lat[from] = 0.0;
+  hops[from] = 0;
+  for (size_t round = 0; round < nodes_; ++round) {
+    size_t u = SIZE_MAX;
+    for (size_t i = 0; i < nodes_; ++i) {
+      if (done[i] || overlap[i] == SIZE_MAX) continue;
+      if (u == SIZE_MAX || overlap[i] < overlap[u] ||
+          (overlap[i] == overlap[u] && width[i] > width[u]) ||
+          (overlap[i] == overlap[u] && width[i] == width[u] &&
+           lat[i] < lat[u]) ||
+          (overlap[i] == overlap[u] && width[i] == width[u] &&
+           lat[i] == lat[u] && hops[i] < hops[u])) {
+        u = i;
+      }
+    }
+    if (u == SIZE_MAX) break;
+    done[u] = true;
+    if (u == to) break;
+    for (const auto& [key, link] : links_) {
+      size_t v;
+      if (link.a == u) {
+        v = link.b;
+      } else if (link.b == u) {
+        v = link.a;
+      } else {
+        continue;
+      }
+      // A link squeezed below the protection stream's bitrate (a cut
+      // link's 1 bps sliver in particular) can never carry the secondary
+      // tree — leave it out of the graph entirely.
+      if (min_capacity_bps > 0.0 && link.capacity_bps > 0.0 &&
+          link.capacity_bps < min_capacity_bps) {
+        continue;
+      }
+      const size_t nov = overlap[u] + (avoided(link.a, link.b) ? 1 : 0);
+      const double residual = link.capacity_bps <= 0.0
+                                  ? kUnconstrained
+                                  : link.capacity_bps - link.relay_load_bps;
+      const double nw = std::min(width[u], residual);
+      const double nl = lat[u] + link.latency_s;
+      const size_t nh = hops[u] + 1;
+      if (nov < overlap[v] || (nov == overlap[v] && nw > width[v]) ||
+          (nov == overlap[v] && nw == width[v] && nl < lat[v]) ||
+          (nov == overlap[v] && nw == width[v] && nl == lat[v] &&
+           nh < hops[v]) ||
+          (nov == overlap[v] && nw == width[v] && nl == lat[v] &&
+           nh == hops[v] && u < prev[v])) {
+        overlap[v] = nov;
+        width[v] = nw;
+        lat[v] = nl;
+        hops[v] = nh;
         prev[v] = u;
       }
     }

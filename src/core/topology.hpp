@@ -77,8 +77,23 @@ class InterSwitchTopology {
   // node sequence; empty when unreachable; {from} when from == to.
   std::vector<size_t> ShortestPath(size_t from, size_t to) const;
   // Maximum-bottleneck-residual path ("widest"): maximizes the smallest
-  // residual relay capacity along the path, breaking ties by latency.
+  // residual relay capacity along the path, breaking ties by latency,
+  // then fewest hops, then lowest predecessor index — fully deterministic
+  // regardless of link declaration order.
   std::vector<size_t> WidestPath(size_t from, size_t to) const;
+  // Maximally link-disjoint path from `from` to `to` relative to `avoid`
+  // (typically the primary tree's links). Lexicographic Dijkstra: fewest
+  // shared avoided links first, then widest bottleneck residual, then
+  // lowest latency, fewest hops, lowest predecessor index. Fully disjoint
+  // when the graph allows it; otherwise the path sharing the fewest
+  // avoided links wins (the ISSUE's "maximally-disjoint" fallback). Links
+  // with a declared capacity below `min_capacity_bps` are excluded
+  // outright — a cut link (capacity ~0) must never carry a protection
+  // tree. Returns {} when unreachable.
+  std::vector<size_t> DisjointPath(
+      size_t from, size_t to,
+      const std::vector<std::pair<size_t, size_t>>& avoid,
+      double min_capacity_bps = 0.0) const;
   // The backbone path a relay hop (or any switch-to-switch flow) actually
   // rides: the direct link when one exists — adjacent switches never
   // transit a third switch, as in a real L3 fabric — otherwise the

@@ -45,6 +45,12 @@ struct StreamEntry {
   uint16_t l1_xid = 0;  // set on the packet to exclude the other slot
   uint16_t rid = 0;     // sender's own rid (L2 self-prune)
   uint16_t l2_xid = 0;  // maps to the sender's own egress port
+  // Redundant dual relay trees: which tree delivered this entry's copies
+  // (0 = primary) and whether arrivals must pass the (origin, seq)
+  // duplicate-elimination window before forwarding. Both stay at their
+  // defaults whenever redundancy is off.
+  uint8_t tree = 0;
+  bool dedup = false;
 };
 
 // Egress rewrite table: (original source endpoint, replica RID) -> the

@@ -154,6 +154,26 @@ std::string ScenarioMetrics::ToCsv() const {
         roams_executed, roam_rehomings);
   }
 
+  // Redundancy section: gated on the spec configuring dual trees or
+  // hitless migration, so every unprotected scenario keeps its golden
+  // bytes.
+  if (redundancy.configured) {
+    Row(out,
+        "redundancy,secondary_trees_installed,secondary_trees_removed,"
+        "tree_flips,relay_sources,relay_promotions,redundant_relayed,"
+        "duplicates_eliminated,hitless_migrations,hitless_moves_measured,"
+        "hitless_frames_lost\n");
+    Row(out,
+        "redundancy,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+        redundancy.secondary_trees_installed,
+        redundancy.secondary_trees_removed, redundancy.tree_flips,
+        redundancy.relay_sources, redundancy.relay_promotions,
+        redundancy.redundant_relayed, redundancy.duplicates_eliminated,
+        redundancy.hitless_migrations, hitless_moves_measured,
+        hitless_frames_lost);
+  }
+
   Row(out, "meeting,index,id,final_design,participants_at_end\n");
   for (const auto& m : meetings) {
     Row(out, "meeting,%d,%u,%s,%d\n", m.index, m.id, m.final_design.c_str(),
@@ -258,6 +278,18 @@ std::string ScenarioMetrics::Summary() const {
         "    workload: %" PRIu64 " roams executed, %" PRIu64
         " re-homed onto their new region\n",
         roams_executed, roam_rehomings);
+  }
+  if (redundancy.configured) {
+    Row(out,
+        "    redundancy: %" PRIu64 " secondary trees installed (%" PRIu64
+        " removed), %" PRIu64 " flips, %" PRIu64
+        " duplicates eliminated of %" PRIu64 " redundant packets; %" PRIu64
+        " hitless moves (%" PRIu64 " audited, %" PRIu64 " frames lost)\n",
+        redundancy.secondary_trees_installed,
+        redundancy.secondary_trees_removed, redundancy.tree_flips,
+        redundancy.duplicates_eliminated, redundancy.redundant_relayed,
+        redundancy.hitless_migrations, hitless_moves_measured,
+        hitless_frames_lost);
   }
   if (cascade.spans_installed > 0) {
     Row(out,

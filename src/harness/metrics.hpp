@@ -141,6 +141,15 @@ struct ScenarioMetrics {
   uint64_t roams_executed = 0;   // roams that found their peer present
   uint64_t roam_rehomings = 0;   // rejoins completed via the new region
 
+  // Redundancy section (dual relay trees / hitless migration): rendered
+  // only when the spec configured either (`redundancy.configured`), so
+  // every unprotected scenario's CSV keeps its exact bytes.
+  testbed::RedundancyCounters redundancy;
+  // Hitless-migration audit (runner-side): frames lost across audited
+  // make-before-break moves (expected 0) and moves audited.
+  uint64_t hitless_frames_lost = 0;
+  uint64_t hitless_moves_measured = 0;
+
   // Byte-stable rendering: identical spec + seed => identical string.
   std::string ToCsv() const;
   // Human-oriented digest for benches/examples.

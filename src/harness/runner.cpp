@@ -184,10 +184,43 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
     base.rebalance.interval = util::Seconds(spec_.rebalance_interval_s);
     base.rebalance.imbalance_threshold = spec_.rebalance_threshold;
   }
+
+  // Redundant trees plan standby chains over link-disjoint backbone
+  // paths and hitless migration re-roots inter-switch span trees — both
+  // are fleet-controller moves; on any other backend they would silently
+  // protect nothing.
+  if ((spec_.redundant_trees || spec_.hitless_migration) &&
+      spec_.backend.kind != testbed::BackendChoice::Kind::kFleet) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name +
+        "': redundant trees / hitless migration re-plan inter-switch "
+        "relays — pick a fleet backend");
+  }
+  if (spec_.redundant_trees && spec_.inter_switch_links.empty()) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name +
+        "': redundant trees need a declared backbone to plan link-"
+        "disjoint paths over — the implicit full mesh has no links to be "
+        "disjoint from (WithInterSwitchLink)");
+  }
+  if (spec_.redundant_trees && spec_.redundancy_dedup_window <= 0) {
+    throw std::invalid_argument(
+        "ScenarioSpec '" + spec_.name +
+        "': the dedup window must be positive — merge switches cannot "
+        "eliminate duplicates they are not allowed to remember");
+  }
+  base.redundancy.redundant_trees = spec_.redundant_trees;
+  base.redundancy.dedup_window = spec_.redundancy_dedup_window;
+  base.redundancy.hitless_migration = spec_.hitless_migration;
+
   backend_ = testbed::MakeBackend(spec_.backend, base);
   backend_->SetMeetingMovedCallback(
       [this](core::MeetingId meeting, size_t /*from*/, size_t /*to*/) {
         OnMeetingMoved(meeting);
+      });
+  backend_->SetMeetingMovedHitlessCallback(
+      [this](core::MeetingId meeting, size_t /*from*/, size_t /*to*/) {
+        OnMeetingMovedHitless(meeting);
       });
 
   for (size_t mi = 0; mi < spec_.meetings.size(); ++mi) {
@@ -559,6 +592,74 @@ void ScenarioRunner::OnMeetingMoved(core::MeetingId meeting) {
   }
 }
 
+void ScenarioRunner::OnMeetingMovedHitless(core::MeetingId meeting) {
+  // Make-before-break: every member kept its sessions across the move, so
+  // there is nothing to re-signal. Instead, audit the promise: snapshot
+  // every live (sender, receiver) video leg in the meeting now and
+  // re-check one second later that each receiver decoded as many frames
+  // as its sender produced over the window (minus a small in-flight
+  // allowance). Any shortfall is a frame lost to the migration.
+  struct Leg {
+    Slot* sender = nullptr;
+    Slot* receiver = nullptr;
+    // Receivers key streams by the sender id their switch advertises —
+    // the origin id on direct legs, a relay alias on spanned ones.
+    core::ParticipantId sender_key = 0;
+    int64_t produced = 0;
+    uint64_t decoded = 0;
+  };
+  auto legs = std::make_shared<std::vector<Leg>>();
+  for (Slot& rs : slots_) {
+    if (rs.meeting_id != meeting || !rs.present) continue;
+    for (core::ParticipantId sender : rs.peer->remote_senders()) {
+      const auto* rx = rs.peer->video_receiver(sender);
+      if (rx == nullptr) continue;
+      // Map the advertised sender id back to the producing slot (checking
+      // relay aliases for legs that cross a span).
+      Slot* origin = nullptr;
+      for (Slot& ts : slots_) {
+        if (ts.meeting_id != meeting || !ts.present || &ts == &rs) continue;
+        if (ts.peer->id() == sender) {
+          origin = &ts;
+          break;
+        }
+        const std::vector<core::ParticipantId> aliases =
+            backend_->SenderAliasesOf(meeting, ts.peer->id());
+        if (std::find(aliases.begin(), aliases.end(), sender) !=
+            aliases.end()) {
+          origin = &ts;
+          break;
+        }
+      }
+      if (origin == nullptr || origin->peer->encoder() == nullptr) continue;
+      legs->push_back(Leg{origin, &rs, sender,
+                          origin->peer->encoder()->frames_produced(),
+                          rx->stats().frames_decoded});
+    }
+  }
+  backend_->sched().After(util::Seconds(1.0), [this, legs] {
+    // A couple of frames are legitimately in flight (access latency plus
+    // the relay hop) when the window closes; only a shortfall beyond that
+    // is a gap the migration caused.
+    constexpr int64_t kInFlightSlack = 3;
+    for (const Leg& leg : *legs) {
+      // Legs churn tore down mid-window prove nothing either way.
+      if (!leg.sender->present || !leg.receiver->present) continue;
+      const auto* rx = leg.receiver->peer->video_receiver(leg.sender_key);
+      const auto* enc = leg.sender->peer->encoder();
+      if (rx == nullptr || enc == nullptr) continue;
+      const int64_t sent = enc->frames_produced() - leg.produced;
+      const int64_t got =
+          static_cast<int64_t>(rx->stats().frames_decoded - leg.decoded);
+      if (sent > got + kInFlightSlack) {
+        hitless_frames_lost_ += static_cast<uint64_t>(sent - got -
+                                                      kInFlightSlack);
+      }
+    }
+    ++hitless_moves_measured_;
+  });
+}
+
 void ScenarioRunner::Sample() {
   TimelineSample s;
   s.t_s = now_s();
@@ -724,6 +825,9 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.workload = !spec_.roams.empty();
   m.roams_executed = roams_executed_;
   m.roam_rehomings = roam_rehomings_;
+  m.redundancy = backend_->redundancy_counters();
+  m.hitless_frames_lost = hitless_frames_lost_;
+  m.hitless_moves_measured = hitless_moves_measured_;
   return m;
 }
 

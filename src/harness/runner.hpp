@@ -85,6 +85,12 @@ class ScenarioRunner {
   // the re-negotiation delay. Meetings already being handled by the
   // failover protocol are left to it.
   void OnMeetingMoved(core::MeetingId meeting);
+  // Make-before-break migration: members kept their sessions, so nothing
+  // re-signals — instead the runner audits the move by snapshotting every
+  // live (sender, receiver) leg in the meeting and re-checking one second
+  // later that receivers decoded as many frames as their senders produced
+  // (frames lost across the flip must be zero).
+  void OnMeetingMovedHitless(core::MeetingId meeting);
   // Roam: re-homes a present participant onto `new_region`'s ingress via
   // leave + delayed rejoin (an absent one just joins there next time).
   void ExecuteRoam(Slot& slot, int new_region);
@@ -110,6 +116,10 @@ class ScenarioRunner {
   // the new region's ingress.
   uint64_t roams_executed_ = 0;
   uint64_t roam_rehomings_ = 0;
+  // Hitless-migration audit: frame-continuity failures summed over every
+  // audited move (expected 0), and the number of moves audited.
+  uint64_t hitless_frames_lost_ = 0;
+  uint64_t hitless_moves_measured_ = 0;
   std::vector<TimelineSample> timeline_;
   SampleHook sample_hook_;
   ScenarioMetrics final_metrics_;

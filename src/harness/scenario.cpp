@@ -179,6 +179,17 @@ ScenarioSpec& ScenarioSpec::WithCorrelatedFailure(
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::WithRedundantTrees(int dedup_window) {
+  redundant_trees = true;
+  redundancy_dedup_window = dedup_window;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::WithHitlessMigration() {
+  hitless_migration = true;
+  return *this;
+}
+
 int ScenarioSpec::TotalParticipants() const {
   int n = 0;
   for (const auto& m : meetings) n += static_cast<int>(m.participants.size());

@@ -189,6 +189,20 @@ struct ScenarioSpec {
   // construction).
   std::vector<std::pair<int, double>> switch_capacities;
 
+  // Redundant dual relay trees (fleet backend with a declared backbone):
+  // every inter-switch relay gets a standby chain planned over a
+  // link-disjoint backbone path, delivering a second copy the downstream
+  // switch deduplicates by (origin, seq) — a backbone cut flips to the
+  // standby with no frame gap. `redundancy_dedup_window` bounds the
+  // per-stream dedup window (sequence numbers).
+  bool redundant_trees = false;
+  int redundancy_dedup_window = 512;
+  // Make-before-break migration (fleet backend): planned re-homes
+  // (rebalancer moves, MigrateMeeting) build the new span, flip, then
+  // drain — members keep their sessions and the runner measures
+  // frames lost across each move (expected: 0).
+  bool hitless_migration = false;
+
   // Underlying testbed knobs (encoder rates, agent policy, ...). The
   // testbed seed is overwritten with `seed` above; per-participant link
   // shapes come from their LinkProfile, not from the base config.
@@ -236,6 +250,11 @@ struct ScenarioSpec {
   // Cuts a set of declared backbone links at once.
   ScenarioSpec& WithCorrelatedFailure(double at_s,
                                       std::vector<std::pair<int, int>> links);
+  // Enables redundant dual relay trees (fleet backend; a declared backbone
+  // is required for disjoint planning — validated at construction).
+  ScenarioSpec& WithRedundantTrees(int dedup_window = 512);
+  // Enables make-before-break (hitless) migration for planned re-homes.
+  ScenarioSpec& WithHitlessMigration();
 
   // Total participants across meetings.
   int TotalParticipants() const;

@@ -107,6 +107,24 @@ struct FederationCounters {
   uint64_t meetings_adopted = 0;
 };
 
+// Redundant dual-tree aggregates: protection chains the controller
+// planned, make-before-break activity (flips, hitless migrations), and
+// the data-plane's view of the second tree (copies forwarded via a
+// secondary source, duplicates the (origin, seq) window ate).
+// `configured` is false unless the spec opted in — the CSV redundancy
+// section is gated on it, so redundancy-off goldens stay byte-identical.
+struct RedundancyCounters {
+  bool configured = false;
+  uint64_t secondary_trees_installed = 0;
+  uint64_t secondary_trees_removed = 0;
+  uint64_t tree_flips = 0;
+  uint64_t hitless_migrations = 0;
+  uint64_t relay_sources = 0;      // secondary sources attached (agents)
+  uint64_t relay_promotions = 0;   // agent-side source promotions
+  uint64_t redundant_relayed = 0;  // packets arriving via a secondary tree
+  uint64_t duplicates_eliminated = 0;  // cross-tree dups the window dropped
+};
+
 // Cascaded-meeting aggregates (paper Appendix A): relay spans installed
 // by the controller, media crossing inter-switch relays, and decode-target
 // switches applied to relay legs. Zero on single-homed substrates.
@@ -234,6 +252,14 @@ class Backend {
   }
   // Relay-span aggregates; zeros on substrates that never cascade.
   virtual CascadeCounters cascade_counters() const { return {}; }
+  // Redundant dual-tree aggregates (unconfigured unless the spec opted
+  // into redundant trees / hitless migration on a fleet).
+  virtual RedundancyCounters redundancy_counters() const { return {}; }
+  // Called after the substrate re-homes a live meeting *without* dropping
+  // its members (make-before-break). The harness measures frame
+  // continuity across the move. Substrates that never migrate ignore it.
+  virtual void SetMeetingMovedHitlessCallback(
+      std::function<void(core::MeetingId, size_t from, size_t to)>) {}
   // East-west federation aggregates (unconfigured everywhere but
   // fleet{N,R>1}).
   virtual FederationCounters federation_counters() const { return {}; }

@@ -90,6 +90,9 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches,
     }
   }
   federation_->SetPlacementPolicy(cfg_.placement);
+  // Redundancy after the policy: SetRedundancy pushes the load factor into
+  // whatever policy is bound.
+  if (cfg_.redundancy.enabled()) federation_->SetRedundancy(cfg_.redundancy);
   if (cfg_.rebalance.enabled) federation_->EnableRebalancer(cfg_.rebalance);
   // East-west heartbeats + peer failure detectors start last so region
   // construction order never interleaves with scheduled control traffic
@@ -247,6 +250,29 @@ void FleetTestbed::FailoverEnd() {
 void FleetTestbed::SetMeetingMovedCallback(
     std::function<void(core::MeetingId, size_t, size_t)> cb) {
   federation_->SetMigrationCallback(std::move(cb));
+}
+
+void FleetTestbed::SetMeetingMovedHitlessCallback(
+    std::function<void(core::MeetingId, size_t, size_t)> cb) {
+  federation_->SetHitlessMigrationCallback(std::move(cb));
+}
+
+RedundancyCounters FleetTestbed::redundancy_counters() const {
+  RedundancyCounters r;
+  r.configured = cfg_.redundancy.enabled();
+  if (!r.configured) return r;
+  const core::FleetStats fs = federation_->TotalFleetStats();
+  r.secondary_trees_installed = fs.secondary_trees_installed;
+  r.secondary_trees_removed = fs.secondary_trees_removed;
+  r.tree_flips = fs.tree_flips;
+  r.hitless_migrations = fs.hitless_migrations;
+  for (const Node& node : nodes_) {
+    r.relay_sources += node.agent->stats().relay_sources;
+    r.relay_promotions += node.agent->stats().relay_promotions;
+    r.redundant_relayed += node.dp->stats().redundant_relayed;
+    r.duplicates_eliminated += node.dp->stats().duplicates_eliminated;
+  }
+  return r;
 }
 
 BackendCounters FleetTestbed::counters() const {

@@ -72,6 +72,9 @@ class FleetTestbed : public Backend {
   void FailoverEnd() override;
   void SetMeetingMovedCallback(
       std::function<void(core::MeetingId, size_t, size_t)> cb) override;
+  void SetMeetingMovedHitlessCallback(
+      std::function<void(core::MeetingId, size_t, size_t)> cb) override;
+  RedundancyCounters redundancy_counters() const override;
   BackendCounters counters() const override;
   ControlPlaneCounters control_counters() const override;
   CascadeCounters cascade_counters() const override;

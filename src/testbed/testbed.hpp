@@ -69,6 +69,10 @@ struct TestbedConfig {
   // carries twice the load of a class-1 switch before the placement
   // policies and the rebalancer consider it equally busy.
   std::vector<double> switch_capacity_classes;
+  // Fleet-only: redundant dual relay trees and/or make-before-break
+  // (hitless) migration. Defaults keep everything off — byte-identical
+  // to the classic break-before-make fleet.
+  core::RedundancyConfig redundancy;
 };
 
 class ScallopTestbed : public Backend {

@@ -218,6 +218,37 @@ inline std::vector<FingerprintPoint> AllFingerprintPoints() {
     add("corrfail/fleet3/s" + std::to_string(seed), w.Compile());
   }
 
+  // Redundant dual relay trees: a fleet{4} ring with a standby chain per
+  // relay; every receiver sees the merge switches eliminate the second
+  // tree's copies.
+  for (uint64_t seed : {uint64_t{6}, uint64_t{23}}) {
+    ScenarioSpec spec = ScenarioSpec::Uniform("fp-redundant", 1, 4, 2.5,
+                                              seed);
+    spec.sample_interval_s = 0.5;
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.WithBackend(BackendChoice::Fleet(4));
+    spec.WithPlacementPolicy(core::PlacementPolicyConfig::TopologyAware(1));
+    spec.WithInterSwitchLink(0, 1, 0.001, 100e6)
+        .WithInterSwitchLink(1, 2, 0.001, 100e6)
+        .WithInterSwitchLink(2, 3, 0.001, 100e6)
+        .WithInterSwitchLink(3, 0, 0.001, 100e6);
+    spec.WithRedundantTrees();
+    add("redundant/fleet4/s" + std::to_string(seed), spec);
+  }
+
+  // Hitless (make-before-break) migration: the rebalancer's planned move
+  // keeps every session alive, audited by the runner's frame-loss check.
+  {
+    ScenarioSpec spec = ScenarioSpec::Uniform("fp-hitless", 2, 3, 3.0, 11);
+    spec.sample_interval_s = 0.5;
+    spec.base.peer.encoder.start_bitrate_bps = 700'000;
+    spec.meetings[1].participants.resize(1);
+    spec.WithBackend(BackendChoice::Fleet(2));
+    spec.WithRebalance(/*interval_s=*/1.0, /*imbalance_threshold=*/2);
+    spec.WithHitlessMigration();
+    add("hitless/fleet2/s11", spec);
+  }
+
   return points;
 }
 

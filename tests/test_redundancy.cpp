@@ -1,0 +1,287 @@
+// Redundant dual relay trees + make-before-break migration (ISSUE 9):
+// the DedupWindow primitive, link-disjoint standby chain planning, the
+// flip on a backbone cut (zero frame gap), and hitless MigrateMeeting
+// (zero frames lost across the move). Exercised at the unit level and
+// end-to-end through the fleet backend behind the ScenarioRunner.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "core/redundancy.hpp"
+#include "harness/runner.hpp"
+#include "testbed/fleet_testbed.hpp"
+
+namespace scallop {
+namespace {
+
+// ---------------------------------------------------------------------
+// DedupWindow: the (origin, seq) elimination primitive at merge switches.
+
+TEST(DedupWindow, ForwardsFirstArrivalAndDropsTheTwin) {
+  core::DedupWindow w(64);
+  for (uint16_t s = 100; s < 110; ++s) {
+    EXPECT_FALSE(w.Observe(s)) << "first copy of seq " << s;
+  }
+  for (uint16_t s = 100; s < 110; ++s) {
+    EXPECT_TRUE(w.Observe(s)) << "second tree's copy of seq " << s;
+  }
+  EXPECT_EQ(w.duplicates(), 10u);
+}
+
+TEST(DedupWindow, ReorderedCrossTreeDuplicatesStillEliminated) {
+  // The two trees race: the fast tree runs ahead while the slow tree's
+  // copies trickle in out of order. Every slow copy is in-window and must
+  // be dropped, in whatever order it lands.
+  core::DedupWindow w(128);
+  for (uint16_t s = 0; s < 40; ++s) EXPECT_FALSE(w.Observe(s));
+  const uint16_t reordered[] = {7, 3, 39, 0, 21, 38, 5};
+  for (uint16_t s : reordered) {
+    EXPECT_TRUE(w.Observe(s)) << "late copy of seq " << s;
+  }
+  // A genuinely new packet interleaved with the stragglers forwards.
+  EXPECT_FALSE(w.Observe(40));
+}
+
+TEST(DedupWindow, EvictsBeyondTheWindowAcrossSeqWrap) {
+  // Window 64, sequence numbers straddling the 16-bit wrap. A repeat
+  // inside the window is a duplicate even across the wrap; a straggler
+  // older than the window was evicted and forwards (bounded memory).
+  core::DedupWindow w(64);
+  for (uint32_t s = 65500; s < 65536u + 40; ++s) {
+    EXPECT_FALSE(w.Observe(static_cast<uint16_t>(s)));
+  }
+  // 65530 is 45 behind the head (39) — in-window, duplicate, despite the
+  // wrap between the copies.
+  EXPECT_TRUE(w.Observe(static_cast<uint16_t>(65530)));
+  // 65500 is 75 behind the head — evicted, so it forwards unrecorded...
+  EXPECT_FALSE(w.Observe(static_cast<uint16_t>(65500)));
+  // ...every time (it is never re-admitted to the history).
+  EXPECT_FALSE(w.Observe(static_cast<uint16_t>(65500)));
+}
+
+TEST(DedupWindow, WindowNeverMistakesProgressForDuplicates) {
+  // Long monotone runs (the steady state) must observe zero duplicates
+  // through several wraps.
+  core::DedupWindow w(512);
+  uint16_t s = 60000;
+  for (int i = 0; i < 200000; ++i) EXPECT_FALSE(w.Observe(s++));
+  EXPECT_EQ(w.duplicates(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: fleet{4} ring backbone with redundant trees.
+
+// 4 switches in a ring, one 4-strong meeting spread one-per-switch by
+// the topology-aware planner, generous link capacity so both trees fit.
+harness::ScenarioSpec RingSpec(const char* name, double duration_s) {
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform(name, 1, 4, duration_s);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(4));
+  spec.WithPlacementPolicy(core::PlacementPolicyConfig::TopologyAware(1));
+  spec.WithInterSwitchLink(0, 1, 0.001, 100e6)
+      .WithInterSwitchLink(1, 2, 0.001, 100e6)
+      .WithInterSwitchLink(2, 3, 0.001, 100e6)
+      .WithInterSwitchLink(3, 0, 0.001, 100e6);
+  return spec;
+}
+
+TEST(RedundantTrees, PlansLinkDisjointStandbysAndDeduplicates) {
+  harness::ScenarioSpec spec = RingSpec("ring-redundant", 8.0);
+  spec.WithRedundantTrees();
+  harness::ScenarioRunner runner(spec);
+  const harness::ScenarioMetrics& m = runner.Run();
+
+  const core::MeetingId id = runner.meeting_id(0);
+  const auto relays = runner.fleet().fleet().RelaysOf(id);
+  const auto secondaries = runner.fleet().fleet().SecondariesOf(id);
+  ASSERT_FALSE(relays.empty());
+  ASSERT_FALSE(secondaries.empty());
+
+  // Every relay has a standby, and each standby's path shares no link
+  // with its protected relay's primary path.
+  auto links_of = [](const std::vector<size_t>& path) {
+    std::set<std::pair<size_t, size_t>> links;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      links.insert({std::min(path[i], path[i + 1]),
+                    std::max(path[i], path[i + 1])});
+    }
+    return links;
+  };
+  for (const auto& r : relays) {
+    const core::SecondaryTree* standby = nullptr;
+    for (const auto& t : secondaries) {
+      if (t.origin == r.origin && t.upstream == r.upstream &&
+          t.downstream == r.downstream && !t.active) {
+        standby = &t;
+      }
+    }
+    ASSERT_NE(standby, nullptr)
+        << "relay " << r.upstream << "->" << r.downstream << " unprotected";
+    const auto primary = links_of(r.backbone_path);
+    for (const auto& l : links_of(standby->path)) {
+      EXPECT_EQ(primary.count(l), 0u)
+          << "standby shares link (" << l.first << "," << l.second
+          << ") with the primary";
+    }
+  }
+
+  // The second copies flowed and the merge switches ate them: dedup did
+  // real work, and not one duplicate leaked into a decoder.
+  ASSERT_TRUE(m.redundancy.configured);
+  EXPECT_GT(m.redundancy.secondary_trees_installed, 0u);
+  EXPECT_GT(m.redundancy.redundant_relayed, 0u);
+  EXPECT_GT(m.redundancy.duplicates_eliminated, 0u);
+  EXPECT_EQ(m.redundancy.tree_flips, 0u) << "nothing was cut";
+  EXPECT_GE(m.WorstDeliveryFloor(), 150u) << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u) << m.ToCsv();
+  EXPECT_NE(m.ToCsv().find("redundancy,"), std::string::npos);
+}
+
+TEST(RedundantTrees, SurvivesPrimaryLinkCutWithZeroFrameGap) {
+  // Control run: same ring, same seed, no cut.
+  harness::ScenarioSpec control_spec = RingSpec("ring-cut", 10.0);
+  control_spec.WithRedundantTrees();
+  harness::ScenarioRunner control(control_spec);
+  const harness::ScenarioMetrics& undisturbed = control.Run();
+
+  // Probe run: at 3 s, cut a backbone link a live primary path crosses.
+  harness::ScenarioSpec spec = RingSpec("ring-cut", 10.0);
+  spec.WithRedundantTrees();
+  harness::ScenarioRunner runner(spec);
+  runner.RunUntil(2.9);
+  const auto relays = runner.fleet().fleet().RelaysOf(runner.meeting_id(0));
+  ASSERT_FALSE(relays.empty());
+  ASSERT_GE(relays.front().backbone_path.size(), 2u);
+  const size_t cut_a = relays.front().backbone_path[0];
+  const size_t cut_b = relays.front().backbone_path[1];
+  runner.backend().sched().At(util::Seconds(3.0), [&] {
+    // A cut keeps a sliver of capacity: <= 0 means unconstrained, and
+    // the overload re-planner only reacts to finite capacities.
+    runner.fleet().SetInterSwitchLinkCapacity(cut_a, cut_b, 1.0);
+  });
+  const harness::ScenarioMetrics& m = runner.Run();
+
+  // The cut flipped every relay riding that link onto its standby chain
+  // and planned fresh standbys around the new primaries.
+  EXPECT_GE(m.redundancy.tree_flips, 1u) << m.Summary();
+  EXPECT_GT(m.redundancy.duplicates_eliminated, 0u);
+  EXPECT_EQ(m.RewriteViolations(), 0u) << m.ToCsv();
+
+  // Zero frame gap: the second tree was already delivering copies when
+  // the primary died, so the worst peer decodes as much as in the
+  // undisturbed run (a small in-flight allowance covers the packets that
+  // died on the cut link itself).
+  ASSERT_GT(undisturbed.WorstDeliveryFloor(), 0u);
+  EXPECT_GE(m.WorstDeliveryFloor() + 3, undisturbed.WorstDeliveryFloor())
+      << "the cut opened a frame gap despite the standby tree\n"
+      << m.Summary() << undisturbed.Summary();
+}
+
+TEST(RedundantTrees, StandbySurvivesWhenConfiguredOffByteIdentical) {
+  // Null case: the same scenario with redundancy off renders no
+  // redundancy section and behaves exactly as the unprotected fleet.
+  harness::ScenarioSpec spec = RingSpec("ring-plain", 6.0);
+  harness::ScenarioRunner runner(spec);
+  const harness::ScenarioMetrics& m = runner.Run();
+  EXPECT_FALSE(m.redundancy.configured);
+  EXPECT_EQ(m.ToCsv().find("redundancy,"), std::string::npos);
+  EXPECT_TRUE(runner.fleet().fleet().SecondariesOf(runner.meeting_id(0))
+                  .empty());
+}
+
+// ---------------------------------------------------------------------
+// Make-before-break migration.
+
+TEST(HitlessMigration, PlannedMoveLosesZeroFrames) {
+  // Single-homed 3-party meeting on a 2-switch fleet; at 3 s the
+  // controller re-homes it. With hitless migration on, members keep
+  // their sessions (nobody re-signals) and the runner's audit sees every
+  // receiver decode everything its sender produced across the flip.
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform("hitless-move", 1, 3, 8.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  spec.WithHitlessMigration();
+  harness::ScenarioRunner runner(spec);
+
+  runner.RunUntil(3.0);
+  const core::MeetingId id = runner.meeting_id(0);
+  const size_t source = runner.fleet().PlacementOf(id).home;
+  ASSERT_NE(source, SIZE_MAX);
+  const size_t target = source == 0 ? 1 : 0;
+  runner.fleet().fleet().MigrateMeeting(id, target);
+
+  const harness::ScenarioMetrics& m = runner.Run();
+  EXPECT_EQ(runner.fleet().PlacementOf(id).home, target);
+  ASSERT_TRUE(m.redundancy.configured);
+  EXPECT_EQ(m.redundancy.hitless_migrations, 1u);
+  EXPECT_EQ(m.hitless_moves_measured, 1u);
+  EXPECT_EQ(m.hitless_frames_lost, 0u)
+      << "frames lost during a planned migration\n"
+      << m.Summary() << m.ToCsv();
+  EXPECT_EQ(m.RewriteViolations(), 0u) << m.ToCsv();
+  // Nobody re-signaled: every peer was present the whole run.
+  for (const auto& p : m.peers) {
+    EXPECT_TRUE(p.present_at_end);
+    EXPECT_NEAR(p.seconds_in_meeting, 8.0, 0.01)
+        << "peer " << p.index << " was torn down by the move";
+  }
+}
+
+TEST(HitlessMigration, ClassicMoveStillResignalsWhenOff) {
+  // Contrast: with hitless migration off the same move freezes the
+  // meeting and the members re-join onto the target — sessions break.
+  harness::ScenarioSpec spec =
+      harness::ScenarioSpec::Uniform("classic-move", 1, 3, 8.0);
+  spec.base.peer.encoder.start_bitrate_bps = 700'000;
+  spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+  spec.WithBackend(testbed::BackendChoice::Fleet(2));
+  harness::ScenarioRunner runner(spec);
+
+  runner.RunUntil(3.0);
+  const core::MeetingId id = runner.meeting_id(0);
+  const size_t source = runner.fleet().PlacementOf(id).home;
+  ASSERT_NE(source, SIZE_MAX);
+  runner.fleet().fleet().MigrateMeeting(id, source == 0 ? 1 : 0);
+
+  const harness::ScenarioMetrics& m = runner.Run();
+  EXPECT_FALSE(m.redundancy.configured);
+  double total_presence = 0.0;
+  for (const auto& p : m.peers) total_presence += p.seconds_in_meeting;
+  EXPECT_LT(total_presence, 3 * 8.0 - 0.1)
+      << "the classic move must cost re-signaling downtime";
+}
+
+// ---------------------------------------------------------------------
+// Spec validation.
+
+TEST(RedundancySpec, ValidatesBackendAndWindow) {
+  harness::ScenarioSpec on_scallop =
+      harness::ScenarioSpec::Uniform("r-scallop", 1, 2, 1.0);
+  on_scallop.WithRedundantTrees();
+  EXPECT_THROW(harness::ScenarioRunner{on_scallop}, std::invalid_argument);
+
+  harness::ScenarioSpec no_backbone =
+      harness::ScenarioSpec::Uniform("r-mesh", 1, 2, 1.0);
+  no_backbone.WithBackend(testbed::BackendChoice::Fleet(2));
+  no_backbone.WithRedundantTrees();
+  EXPECT_THROW(harness::ScenarioRunner{no_backbone}, std::invalid_argument);
+
+  harness::ScenarioSpec bad_window = RingSpec("r-window", 1.0);
+  bad_window.WithRedundantTrees(0);
+  EXPECT_THROW(harness::ScenarioRunner{bad_window}, std::invalid_argument);
+
+  harness::ScenarioSpec hitless_software =
+      harness::ScenarioSpec::Uniform("h-software", 1, 2, 1.0);
+  hitless_software.WithBackend(testbed::BackendChoice::Software());
+  hitless_software.WithHitlessMigration();
+  EXPECT_THROW(harness::ScenarioRunner{hitless_software},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scallop

@@ -146,5 +146,74 @@ TEST(Topology, EnsureNodesGrowsWithoutForgettingLinks) {
   EXPECT_EQ(topo.ShortestPath(0, 4), (std::vector<size_t>{0, 1, 4}));
 }
 
+TEST(Topology, WidestPathTieBreaksByHopsThenLowestSwitch) {
+  // Direct 0 -> 2 and the detour through 1 tie on both bottleneck
+  // residual (10 Mb/s everywhere) and total latency (2 ms): fewer hops
+  // must win, deterministically.
+  InterSwitchTopology topo;
+  topo.SetLink(0, 2, 0.002, 10e6);
+  topo.SetLink(0, 1, 0.001, 10e6);
+  topo.SetLink(1, 2, 0.001, 10e6);
+  EXPECT_EQ(topo.WidestPath(0, 2), (std::vector<size_t>{0, 2}))
+      << "equal residual and latency: fewest hops breaks the tie";
+
+  // Two 2-hop routes 0 -> 3, identical in residual, latency and hop
+  // count: the lower intermediate switch id wins — the planner's output
+  // must not depend on link declaration order.
+  InterSwitchTopology diamond;
+  diamond.SetLink(0, 2, 0.001, 10e6);  // higher intermediate declared first
+  diamond.SetLink(2, 3, 0.001, 10e6);
+  diamond.SetLink(0, 1, 0.001, 10e6);
+  diamond.SetLink(1, 3, 0.001, 10e6);
+  EXPECT_EQ(diamond.WidestPath(0, 3), (std::vector<size_t>{0, 1, 3}))
+      << "full tie: lowest switch id breaks it, not declaration order";
+}
+
+TEST(Topology, DisjointPathAvoidsThePrimaryTreesLinks) {
+  // Ring 0-1-2-3-0: the primary 0 -> 1 rides the direct link, so its
+  // protection path must go the long way around.
+  InterSwitchTopology topo;
+  topo.SetLink(0, 1, 0.001, 10e6);
+  topo.SetLink(1, 2, 0.001, 10e6);
+  topo.SetLink(2, 3, 0.001, 10e6);
+  topo.SetLink(3, 0, 0.001, 10e6);
+  EXPECT_EQ(topo.DisjointPath(0, 1, {{0, 1}}),
+            (std::vector<size_t>{0, 3, 2, 1}));
+  // The avoid set is orientation-blind.
+  EXPECT_EQ(topo.DisjointPath(0, 1, {{1, 0}}),
+            (std::vector<size_t>{0, 3, 2, 1}));
+}
+
+TEST(Topology, DisjointPathFallsBackMaximallyDisjoint) {
+  // A line 0-1-2 offers no alternative to the avoided (0, 1) link: the
+  // maximally-disjoint fallback shares the minimum (one avoided link)
+  // rather than giving up.
+  InterSwitchTopology topo;
+  topo.SetLink(0, 1, 0.001, 10e6);
+  topo.SetLink(1, 2, 0.001, 10e6);
+  EXPECT_EQ(topo.DisjointPath(0, 2, {{0, 1}}),
+            (std::vector<size_t>{0, 1, 2}));
+  // Genuinely unreachable stays empty.
+  topo.EnsureNodes(4);
+  EXPECT_TRUE(topo.DisjointPath(0, 3, {}).empty());
+}
+
+TEST(Topology, DisjointPathExcludesLinksBelowMinCapacity) {
+  // The ring detour around (0, 1) crosses a cut link (capacity ~0): a
+  // protection tree must never be planned over it, so the query falls
+  // back to sharing the avoided primary link instead.
+  InterSwitchTopology topo;
+  topo.SetLink(0, 1, 0.001, 10e6);
+  topo.SetLink(1, 2, 0.001, 10e6);
+  topo.SetLink(2, 3, 0.001, 1.0);  // cut
+  topo.SetLink(3, 0, 0.001, 10e6);
+  EXPECT_EQ(topo.DisjointPath(0, 1, {{0, 1}}, 1e6),
+            (std::vector<size_t>{0, 1}));
+  // Restore the detour and it is preferred again.
+  topo.SetLinkCapacity(2, 3, 10e6);
+  EXPECT_EQ(topo.DisjointPath(0, 1, {{0, 1}}, 1e6),
+            (std::vector<size_t>{0, 3, 2, 1}));
+}
+
 }  // namespace
 }  // namespace scallop::core
