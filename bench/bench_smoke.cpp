@@ -18,7 +18,10 @@
 // paper-scale run; exits nonzero if any substrate fails to deliver media
 // at all. (The scallop and fleet{2} runs' CSVs are additionally pinned
 // byte-for-byte by tests/test_harness.cpp.) Set SCALLOP_CSV_DIR to dump
-// every leg's CSV there — CI uploads them as artifacts.
+// every leg's CSV there — CI uploads them as artifacts. The fleet legs
+// additionally run with structured tracing on (obs::TraceLog) and dump a
+// Perfetto-loadable <name>.trace.json beside each CSV; a malformed export
+// fails the smoke run.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,24 +29,53 @@
 #include "bench_common.hpp"
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
 #include "testbed/fleet_testbed.hpp"
 
 namespace {
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
 
 // Writes the run's CSV to $SCALLOP_CSV_DIR/<name>.csv when set.
 void DumpCsv(const std::string& name,
              const scallop::harness::ScenarioMetrics& m) {
   const char* dir = std::getenv("SCALLOP_CSV_DIR");
   if (dir == nullptr || *dir == '\0') return;
-  std::string path = std::string(dir) + "/" + name + ".csv";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::printf("warning: cannot write %s\n", path.c_str());
-    return;
+  WriteFile(std::string(dir) + "/" + name + ".csv", m.ToCsv());
+}
+
+// Validates the run's Chrome trace export and writes it next to the CSV
+// ($SCALLOP_CSV_DIR/<name>.trace.json — CI uploads both as artifacts).
+// Returns false when the export is malformed, which fails the smoke run:
+// a Perfetto-unloadable trace is a broken deliverable even when every
+// media counter looks healthy.
+bool DumpTrace(const std::string& name,
+               const scallop::harness::ScenarioRunner& runner,
+               const scallop::harness::ScenarioMetrics& m) {
+  if (runner.trace() == nullptr) return true;
+  scallop::obs::StatsRegistry registry;
+  m.RegisterInto(registry);
+  const std::string json = runner.trace()->ToChromeJson(&registry);
+  std::string error;
+  if (!scallop::obs::TraceLog::ValidateChromeTrace(json, &error)) {
+    std::printf("SMOKE FAILED: %s trace export malformed: %s\n", name.c_str(),
+                error.c_str());
+    return false;
   }
-  std::string csv = m.ToCsv();
-  std::fwrite(csv.data(), 1, csv.size(), f);
-  std::fclose(f);
+  const char* dir = std::getenv("SCALLOP_CSV_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    WriteFile(std::string(dir) + "/" + name + ".trace.json", json);
+  }
+  return true;
 }
 
 }  // namespace
@@ -90,10 +122,12 @@ int main() {
     spec.meetings[3].participants.resize(3);
     spec.WithBackend(testbed::BackendChoice::Fleet(3));
     spec.WithRebalance(/*interval_s=*/2.0, /*imbalance_threshold=*/2);
+    spec.WithTrace();
     harness::ScenarioRunner runner(spec);
     const harness::ScenarioMetrics& m = runner.Run();
     std::printf("[fleet{3}+rebalance]\n%s", m.Summary().c_str());
     DumpCsv("smoke-rebalance", m);
+    ok = DumpTrace("smoke-rebalance", runner, m) && ok;
     if (m.placements_rebalanced == 0 || m.control.switches_failed != 0 ||
         m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0) {
       std::printf("SMOKE FAILED on the rebalance scenario\n");
@@ -113,10 +147,12 @@ int main() {
     spec.sample_interval_s = 0.5;
     spec.WithBackend(testbed::BackendChoice::Fleet(3));
     spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(2));
+    spec.WithTrace();
     harness::ScenarioRunner runner(spec);
     const harness::ScenarioMetrics& m = runner.Run();
     std::printf("[fleet{3}+cascade]\n%s", m.Summary().c_str());
     DumpCsv("smoke-cascade", m);
+    ok = DumpTrace("smoke-cascade", runner, m) && ok;
     if (m.cascade.spans_installed == 0 || m.cascade.relay_packets == 0 ||
         m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0) {
       std::printf("SMOKE FAILED on the cascade scenario\n");
@@ -142,6 +178,7 @@ int main() {
       spec.WithInterSwitchLink(0, 1, 0.002, 12e6)
           .WithInterSwitchLink(1, 2, 0.002, 12e6)
           .WithInterSwitchLink(2, 3, 0.002, 12e6);
+      spec.WithTrace();
       return spec;
     };
     auto backbone_bytes = [](const harness::ScenarioMetrics& m) {
@@ -155,12 +192,14 @@ int main() {
     const harness::ScenarioMetrics& tree = tree_runner.Run();
     std::printf("[fleet{4}+backbone tree]\n%s", tree.Summary().c_str());
     DumpCsv("smoke-backbone-tree", tree);
+    ok = DumpTrace("smoke-backbone-tree", tree_runner, tree) && ok;
 
     harness::ScenarioRunner hub_runner(backbone_spec(
         "smoke-backbone-hub", core::PlacementPolicyConfig::Cascade(1)));
     const harness::ScenarioMetrics& hub = hub_runner.Run();
     std::printf("[fleet{4}+backbone hub]\n%s", hub.Summary().c_str());
     DumpCsv("smoke-backbone-hub", hub);
+    ok = DumpTrace("smoke-backbone-hub", hub_runner, hub) && ok;
 
     bool capacity_ok = true;
     for (const auto& l : tree.topology.links) {
@@ -203,6 +242,7 @@ int main() {
           .WithInterSwitchLink(2, 3, 0.001, 12e6)
           .WithInterSwitchLink(3, 0, 0.001, 12e6);
       spec.WithRedundantTrees();
+      spec.WithTrace();
       return spec;
     };
 
@@ -228,6 +268,7 @@ int main() {
       std::printf("[fleet{4}+redundant trees, link %zu-%zu cut @3s]\n%s",
                   cut_a, cut_b, m.Summary().c_str());
       DumpCsv("smoke-redundant-cut", m);
+      ok = DumpTrace("smoke-redundant-cut", runner, m) && ok;
 
       bool capacity_ok = true;
       for (const auto& l : undisturbed.topology.links) {
@@ -275,10 +316,12 @@ int main() {
     spec.WithPlacementPolicy(core::PlacementPolicyConfig::Cascade(1));
     spec.WithRebalance(/*interval_s=*/2.0, /*imbalance_threshold=*/2);
     spec.WithControllerFailure(/*at_s=*/4.0, /*region=*/1);
+    spec.WithTrace();
     harness::ScenarioRunner runner(spec);
     const harness::ScenarioMetrics& m = runner.Run();
     std::printf("[fleet{6,2}+federation]\n%s", m.Summary().c_str());
     DumpCsv("smoke-federation", m);
+    ok = DumpTrace("smoke-federation", runner, m) && ok;
 
     bool owned_live = true;
     auto& fed = runner.fleet().federation();
@@ -314,10 +357,12 @@ int main() {
     harness::ScenarioSpec spec = w.Compile();
     spec.base.peer.encoder.start_bitrate_bps = 700'000;
     spec.base.peer.encoder.key_frame_interval = util::Seconds(4);
+    spec.WithTrace();
     harness::ScenarioRunner runner(spec);
     const harness::ScenarioMetrics& m = runner.Run();
     std::printf("[fleet{6,2}+diurnal workload]\n%s", m.Summary().c_str());
     DumpCsv("smoke-diurnal", m);
+    ok = DumpTrace("smoke-diurnal", runner, m) && ok;
     if (m.WorstDeliveryFloor() < 10 || m.RewriteViolations() != 0 ||
         m.roam_rehomings == 0) {
       std::printf("SMOKE FAILED on the diurnal workload scenario\n");

@@ -1,94 +1,230 @@
 #include "core/control_channel.hpp"
 
+#include <cstdio>
+
 namespace scallop::core {
 
-void MessageConduit::Send(ConduitStats& stats, std::function<void()> deliver) {
-  ++stats.sent;
-  if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
-    ++stats.dropped;
-    return;
-  }
-  if (latency_ <= 0) {
-    // Inline delivery: byte-identical to the pre-channel direct call.
-    ++stats.delivered;
-    deliver();
-    return;
-  }
-  // Every message carries the same latency and the scheduler is FIFO among
-  // equal timestamps, so messages are delayed but never reordered.
-  sched_.After(latency_, [&stats, fn = std::move(deliver)] {
-    ++stats.delivered;
-    fn();
-  });
-}
-
-void MessageConduit::SendReliable(ConduitStats& stats,
-                                  std::function<void()> deliver,
-                                  std::function<bool()> still_wanted) {
-  ++stats.sent;
-  // The message's and its ack's fates are decided up front (iid loss both
-  // ways); no draws happen on a lossless conduit, which keeps zero-loss
-  // packet histories byte-identical to plain Send.
-  const bool lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
-  const bool ack_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
-  if (lost) {
-    ++stats.dropped;
-  } else if (latency_ <= 0) {
-    ++stats.delivered;
-    deliver();
-  } else {
-    sched_.After(latency_, [&stats, fn = deliver] {
-      ++stats.delivered;
-      fn();
-    });
-  }
-  if (!lost && !ack_lost) return;  // acked in time: done
-
-  // Ack timeout: one bounded retransmission. The message races messages
-  // sent after the original — exactly the reordering a real retransmitting
-  // channel exhibits — so the reliable vocabulary is idempotent on the
-  // receiver.
-  sched_.After(retransmit_timeout(), [this, &stats, fn = std::move(deliver),
-                                      wanted = std::move(still_wanted)] {
-    // A removal issued since the original send cancels the retransmission
-    // — re-delivering would resurrect state the sender tore down.
-    if (wanted != nullptr && !wanted()) return;
-    ++stats.retransmitted;
+void MessageConduit::Send(ConduitStats& stats, std::function<void()> deliver,
+                          const char* name) {
+  if (trace_ == nullptr || name == nullptr) {
+    // Untraced path, kept verbatim: no extra branches, captures, or
+    // allocations when tracing is off.
     ++stats.sent;
     if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
       ++stats.dropped;
       return;
     }
     if (latency_ <= 0) {
+      // Inline delivery: byte-identical to the pre-channel direct call.
       ++stats.delivered;
-      fn();
+      deliver();
       return;
     }
-    sched_.After(latency_, [&stats, fn2 = std::move(fn)] {
+    // Every message carries the same latency and the scheduler is FIFO
+    // among equal timestamps, so messages are delayed but never reordered.
+    sched_.After(latency_, [&stats, fn = std::move(deliver)] {
       ++stats.delivered;
-      fn2();
+      fn();
     });
+    return;
+  }
+
+  // Traced mirror: identical RNG draws, counters, and scheduling, plus a
+  // sent -> (dropped | applied) event pair keyed by one correlation id.
+  const uint64_t corr = trace_->NextCorrelation();
+  const std::string base = name;
+  trace_->Emit(sched_.now(), trace_category_, trace_track_, base + ".sent",
+               corr);
+  ++stats.sent;
+  if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
+    ++stats.dropped;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".dropped", corr);
+    return;
+  }
+  if (latency_ <= 0) {
+    ++stats.delivered;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".applied", corr);
+    deliver();
+    return;
+  }
+  sched_.After(latency_, [this, &stats, fn = std::move(deliver), base, corr] {
+    ++stats.delivered;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".applied", corr);
+    fn();
   });
 }
 
-bool MessageConduit::Transact(ConduitStats& stats) {
+void MessageConduit::SendReliable(ConduitStats& stats,
+                                  std::function<void()> deliver,
+                                  std::function<bool()> still_wanted,
+                                  const char* name) {
+  if (trace_ == nullptr || name == nullptr) {
+    // Untraced path, kept verbatim (see Send).
+    ++stats.sent;
+    // The message's and its ack's fates are decided up front (iid loss
+    // both ways); no draws happen on a lossless conduit, which keeps
+    // zero-loss packet histories byte-identical to plain Send.
+    const bool lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+    const bool ack_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+    if (lost) {
+      ++stats.dropped;
+    } else if (latency_ <= 0) {
+      ++stats.delivered;
+      deliver();
+    } else {
+      sched_.After(latency_, [&stats, fn = deliver] {
+        ++stats.delivered;
+        fn();
+      });
+    }
+    if (!lost && !ack_lost) return;  // acked in time: done
+
+    // Ack timeout: one bounded retransmission. The message races messages
+    // sent after the original — exactly the reordering a real
+    // retransmitting channel exhibits — so the reliable vocabulary is
+    // idempotent on the receiver.
+    sched_.After(retransmit_timeout(), [this, &stats, fn = std::move(deliver),
+                                        wanted = std::move(still_wanted)] {
+      // A removal issued since the original send cancels the
+      // retransmission — re-delivering would resurrect state the sender
+      // tore down.
+      if (wanted != nullptr && !wanted()) return;
+      ++stats.retransmitted;
+      ++stats.sent;
+      if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
+        ++stats.dropped;
+        return;
+      }
+      if (latency_ <= 0) {
+        ++stats.delivered;
+        fn();
+        return;
+      }
+      sched_.After(latency_, [&stats, fn2 = std::move(fn)] {
+        ++stats.delivered;
+        fn2();
+      });
+    });
+    return;
+  }
+
+  // Traced mirror of the above: same draws, same scheduling, plus
+  // sent -> (dropped | applied) and a .retx marker when the bounded
+  // retransmission fires, all sharing one correlation id.
+  const uint64_t corr = trace_->NextCorrelation();
+  const std::string base = name;
+  trace_->Emit(sched_.now(), trace_category_, trace_track_, base + ".sent",
+               corr);
   ++stats.sent;
   const bool lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
   const bool ack_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
   if (lost) {
     ++stats.dropped;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".dropped", corr);
+  } else if (latency_ <= 0) {
+    ++stats.delivered;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".applied", corr);
+    deliver();
+  } else {
+    sched_.After(latency_, [this, &stats, fn = deliver, base, corr] {
+      ++stats.delivered;
+      trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                   base + ".applied", corr);
+      fn();
+    });
+  }
+  if (!lost && !ack_lost) return;
+
+  sched_.After(retransmit_timeout(),
+               [this, &stats, fn = std::move(deliver),
+                wanted = std::move(still_wanted), base, corr] {
+                 if (wanted != nullptr && !wanted()) return;
+                 ++stats.retransmitted;
+                 ++stats.sent;
+                 trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                              base + ".retx", corr);
+                 if (loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_)) {
+                   ++stats.dropped;
+                   trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                                base + ".dropped", corr);
+                   return;
+                 }
+                 if (latency_ <= 0) {
+                   ++stats.delivered;
+                   trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                                base + ".applied", corr);
+                   fn();
+                   return;
+                 }
+                 sched_.After(latency_, [this, &stats, fn2 = std::move(fn),
+                                         base, corr] {
+                   ++stats.delivered;
+                   trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                                base + ".applied", corr);
+                   fn2();
+                 });
+               });
+}
+
+bool MessageConduit::Transact(ConduitStats& stats, const char* name) {
+  if (trace_ == nullptr || name == nullptr) {
+    // Untraced path, kept verbatim (see Send).
+    ++stats.sent;
+    const bool lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+    const bool ack_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+    if (lost) {
+      ++stats.dropped;
+    } else {
+      ++stats.delivered;
+    }
+    if (!lost && !ack_lost) return true;
+    ++stats.retransmitted;
+    ++stats.sent;
+    const bool retx_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+    if (retx_lost) {
+      ++stats.dropped;
+      return !lost;
+    }
+    ++stats.delivered;
+    return true;
+  }
+
+  const uint64_t corr = trace_->NextCorrelation();
+  const std::string base = name;
+  trace_->Emit(sched_.now(), trace_category_, trace_track_, base + ".sent",
+               corr);
+  ++stats.sent;
+  const bool lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+  const bool ack_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
+  if (lost) {
+    ++stats.dropped;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".dropped", corr);
   } else {
     ++stats.delivered;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".applied", corr);
   }
   if (!lost && !ack_lost) return true;
   ++stats.retransmitted;
   ++stats.sent;
+  trace_->Emit(sched_.now(), trace_category_, trace_track_, base + ".retx",
+               corr);
   const bool retx_lost = loss_rate_ > 0.0 && rng_.Bernoulli(loss_rate_);
   if (retx_lost) {
     ++stats.dropped;
+    trace_->Emit(sched_.now(), trace_category_, trace_track_,
+                 base + ".dropped", corr);
     return !lost;
   }
   ++stats.delivered;
+  trace_->Emit(sched_.now(), trace_category_, trace_track_, base + ".applied",
+               corr);
   return true;
 }
 
@@ -102,13 +238,21 @@ ControlChannel::ControlChannel(sim::Scheduler& sched, SwitchAgent& agent,
 
 ControlChannel::~ControlChannel() = default;
 
-void ControlChannel::Dispatch(std::function<void()> apply) {
-  conduit_.Send(cmd_stats_, std::move(apply));
+void ControlChannel::Dispatch(std::function<void()> apply, const char* name) {
+  conduit_.Send(cmd_stats_, std::move(apply), name);
 }
 
 void ControlChannel::DispatchReliable(std::function<void()> apply,
-                                      std::function<bool()> still_wanted) {
-  conduit_.SendReliable(cmd_stats_, std::move(apply), std::move(still_wanted));
+                                      std::function<bool()> still_wanted,
+                                      const char* name) {
+  conduit_.SendReliable(cmd_stats_, std::move(apply), std::move(still_wanted),
+                        name);
+}
+
+void ControlChannel::EnableTrace(obs::TraceLog* trace, size_t switch_index) {
+  char track[32];
+  snprintf(track, sizeof(track), "sw:%zu", switch_index);
+  conduit_.set_trace(trace, track, obs::Category::kControl);
 }
 
 template <typename Id>
@@ -132,12 +276,14 @@ void ControlChannel::Emit(std::function<void()> deliver) {
 void ControlChannel::CreateMeeting(MeetingId id) {
   removed_meetings_.erase(id);
   DispatchReliable([this, id] { agent_.CreateMeeting(id); },
-                   [this, id] { return removed_meetings_.count(id) == 0; });
+                   [this, id] { return removed_meetings_.count(id) == 0; },
+                   "create_meeting");
 }
 
 void ControlChannel::RemoveMeeting(MeetingId id) {
   Tombstone(removed_meetings_, id);
-  DispatchReliable([this, id] { agent_.RemoveMeeting(id); });
+  DispatchReliable([this, id] { agent_.RemoveMeeting(id); }, nullptr,
+                   "remove_meeting");
 }
 
 uint16_t ControlChannel::AddParticipant(MeetingId meeting, ParticipantId id,
@@ -150,7 +296,7 @@ uint16_t ControlChannel::AddParticipant(MeetingId meeting, ParticipantId id,
             sends_audio, port] {
     agent_.AddParticipant(meeting, id, media_src, video_ssrc, audio_ssrc,
                           sends_video, sends_audio, port);
-  });
+  }, "add_participant");
   return port;
 }
 
@@ -160,7 +306,8 @@ void ControlChannel::RemoveParticipant(MeetingId meeting, ParticipantId id) {
   // AddRelaySender/AddRelayLeg retransmission cannot resurrect it. Ids
   // are fleet-globally unique, so tombstoning real members is harmless.
   Tombstone(removed_relays_, id);
-  Dispatch([this, meeting, id] { agent_.RemoveParticipant(meeting, id); });
+  Dispatch([this, meeting, id] { agent_.RemoveParticipant(meeting, id); },
+           "remove_participant");
 }
 
 uint16_t ControlChannel::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
@@ -169,7 +316,7 @@ uint16_t ControlChannel::AddRecvLeg(MeetingId meeting, ParticipantId receiver,
   uint16_t port = next_port_++;
   Dispatch([this, meeting, receiver, sender, receiver_client, port] {
     agent_.AddRecvLeg(meeting, receiver, sender, receiver_client, port);
-  });
+  }, "add_recv_leg");
   return port;
 }
 
@@ -178,14 +325,14 @@ void ControlChannel::ForceDecodeTarget(MeetingId meeting,
                                        ParticipantId sender, int dt) {
   Dispatch([this, meeting, receiver, sender, dt] {
     agent_.ForceDecodeTarget(meeting, receiver, sender, dt);
-  });
+  }, "force_decode_target");
 }
 
 void ControlChannel::UnpinDecodeTarget(ParticipantId receiver,
                                        ParticipantId sender) {
   Dispatch([this, receiver, sender] {
     agent_.UnpinDecodeTarget(receiver, sender);
-  });
+  }, "unpin_decode_target");
 }
 
 uint16_t ControlChannel::AddRelaySender(MeetingId meeting, ParticipantId id,
@@ -204,7 +351,8 @@ uint16_t ControlChannel::AddRelaySender(MeetingId meeting, ParticipantId id,
       [this, id, meeting] {
         return removed_relays_.count(id) == 0 &&
                removed_meetings_.count(meeting) == 0;
-      });
+      },
+      "add_relay_sender");
   return port;
 }
 
@@ -223,7 +371,8 @@ uint16_t ControlChannel::AddRelayLeg(MeetingId meeting,
       [this, relay_receiver, meeting] {
         return removed_relays_.count(relay_receiver) == 0 &&
                removed_meetings_.count(meeting) == 0;
-      });
+      },
+      "add_relay_leg");
   return port;
 }
 
@@ -232,7 +381,7 @@ void ControlChannel::RemoveRelaySpan(MeetingId meeting,
   for (ParticipantId id : relay_ids) Tombstone(removed_relays_, id);
   DispatchReliable([this, meeting, ids = std::move(relay_ids)] {
     agent_.RemoveRelaySpan(meeting, ids);
-  });
+  }, nullptr, "remove_relay_span");
 }
 
 void ControlChannel::AddRelaySource(MeetingId meeting, ParticipantId id,
@@ -245,7 +394,8 @@ void ControlChannel::AddRelaySource(MeetingId meeting, ParticipantId id,
       [this, id, meeting] {
         return removed_relays_.count(id) == 0 &&
                removed_meetings_.count(meeting) == 0;
-      });
+      },
+      "add_relay_source");
 }
 
 void ControlChannel::PromoteRelaySource(MeetingId meeting, ParticipantId id,
@@ -257,14 +407,15 @@ void ControlChannel::PromoteRelaySource(MeetingId meeting, ParticipantId id,
       [this, id, meeting] {
         return removed_relays_.count(id) == 0 &&
                removed_meetings_.count(meeting) == 0;
-      });
+      },
+      "promote_relay_source");
 }
 
 void ControlChannel::RemoveRelaySource(MeetingId meeting, ParticipantId id,
                                        net::Endpoint src) {
   DispatchReliable([this, meeting, id, src] {
     agent_.RemoveRelaySource(meeting, id, src);
-  });
+  }, nullptr, "remove_relay_source");
 }
 
 void ControlChannel::Subscribe(EventSink* sink, size_t switch_index) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/switch_agent.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "util/random.hpp"
 
@@ -85,7 +86,11 @@ class MessageConduit {
   MessageConduit& operator=(const MessageConduit&) = delete;
 
   // Delivers (or schedules, or drops) one fire-and-forget message.
-  void Send(ConduitStats& stats, std::function<void()> deliver);
+  // `name`, when tracing is enabled, labels the message's trace events
+  // ("<name>.sent" / ".dropped" / ".applied"); nullptr leaves the message
+  // untraced (e.g. telemetry heartbeats).
+  void Send(ConduitStats& stats, std::function<void()> deliver,
+            const char* name = nullptr);
   // Acknowledged send: the receiver acks a delivered message (the ack
   // rides the same lossy conduit), and a message whose ack never arrives
   // is retransmitted exactly once after the retransmit timeout. The
@@ -93,7 +98,8 @@ class MessageConduit {
   // the message is still current, so a late duplicate cannot resurrect
   // state the sender already tore down.
   void SendReliable(ConduitStats& stats, std::function<void()> deliver,
-                    std::function<bool()> still_wanted = nullptr);
+                    std::function<bool()> still_wanted = nullptr,
+                    const char* name = nullptr);
   // Synchronous request/response with SendReliable's loss accounting:
   // used where two controllers negotiate inside one signaling call (the
   // border-span handshake), so the outcome must be known immediately.
@@ -101,7 +107,19 @@ class MessageConduit {
   // is accounted by the caller's protocol, not simulated. Returns
   // whether the message (original or its single retransmission) got
   // through.
-  bool Transact(ConduitStats& stats);
+  bool Transact(ConduitStats& stats, const char* name = nullptr);
+
+  // Enables structured tracing of named messages on this conduit. The
+  // track labels the conduit's lane in the exported timeline ("sw:<i>"
+  // southbound, "ew:<a>-<b>" east-west). Tracing never changes RNG draws
+  // or scheduling: the untraced path is byte-identical to pre-trace code.
+  void set_trace(obs::TraceLog* trace, std::string track,
+                 obs::Category category) {
+    trace_ = trace;
+    trace_track_ = std::move(track);
+    trace_category_ = category;
+  }
+  obs::TraceLog* trace() const { return trace_; }
 
   util::DurationUs latency() const { return latency_; }
   double loss_rate() const { return loss_rate_; }
@@ -118,6 +136,9 @@ class MessageConduit {
   util::DurationUs latency_;
   double loss_rate_;
   util::Rng rng_;
+  obs::TraceLog* trace_ = nullptr;
+  std::string trace_track_;
+  obs::Category trace_category_ = obs::Category::kControl;
 };
 
 class ControlChannel {
@@ -206,6 +227,11 @@ class ControlChannel {
   void set_link_up(bool up) { link_up_ = up; }
   bool link_up() const { return link_up_; }
 
+  // Traces every southbound command on track "sw:<switch_index>".
+  // Northbound telemetry (heartbeats, load reports) stays untraced — at
+  // 20 Hz per switch it would drown the command timeline.
+  void EnableTrace(obs::TraceLog* trace, size_t switch_index);
+
   sim::Scheduler& sched() { return sched_; }
   SwitchAgent& agent() { return agent_; }
   const ControlChannelConfig& config() const { return cfg_; }
@@ -217,8 +243,9 @@ class ControlChannel {
   }
 
  private:
-  // Applies (or schedules, or drops) one southbound command.
-  void Dispatch(std::function<void()> apply);
+  // Applies (or schedules, or drops) one southbound command. `name`
+  // labels the command's trace span when tracing is enabled.
+  void Dispatch(std::function<void()> apply, const char* name = nullptr);
   // Acknowledged dispatch for the meeting/relay vocabulary: the switch
   // acks an applied command (the ack rides the same lossy channel), and a
   // command whose ack never arrives is retransmitted exactly once after
@@ -233,7 +260,8 @@ class ControlChannel {
   // down (ghost meetings, leaked relay senders). Zero-loss channels take
   // no extra RNG draws and behave byte-identically to Dispatch.
   void DispatchReliable(std::function<void()> apply,
-                        std::function<bool()> still_wanted = nullptr);
+                        std::function<bool()> still_wanted = nullptr,
+                        const char* name = nullptr);
   // Delivers (or schedules, or drops) one northbound event.
   void Emit(std::function<void()> deliver);
   void SendHeartbeat();

@@ -1,5 +1,7 @@
 #include "core/federation.hpp"
 
+#include <cstdarg>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +14,16 @@ namespace {
 // A controller is declared dead after this many silent heartbeat
 // intervals — the same miss threshold the fleet applies to switches.
 constexpr int kControllerMissThreshold = 3;
+
+// Formats a trace detail string; callers guard on tracing being on.
+std::string TraceDetail(const char* fmt, ...) {
+  char buf[160];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
 }  // namespace
 
 FederatedControlPlane::FederatedControlPlane(sim::Scheduler& sched,
@@ -52,6 +64,24 @@ FederatedControlPlane::FederatedControlPlane(sim::Scheduler& sched,
 }
 
 FederatedControlPlane::~FederatedControlPlane() = default;
+
+void FederatedControlPlane::set_trace(obs::TraceLog* trace) {
+  trace_ = trace;
+  death_chain_.assign(regions_.size(), 0);
+  const size_t R = regions_.size();
+  for (size_t r = 0; r < R; ++r) {
+    regions_[r].controller->set_trace(
+        trace, R == 1 ? std::string("fleet")
+                      : "region:" + std::to_string(r));
+  }
+  for (size_t a = 0; a < R; ++a) {
+    for (size_t b = a + 1; b < R; ++b) {
+      conduits_[a * R + b]->set_trace(
+          trace, "ew:" + std::to_string(a) + "-" + std::to_string(b),
+          obs::Category::kFederation);
+    }
+  }
+}
 
 MessageConduit& FederatedControlPlane::ConduitFor(size_t a, size_t b) {
   if (a > b) std::swap(a, b);
@@ -170,9 +200,12 @@ MeetingId FederatedControlPlane::CreateMeeting() {
   // without asking around.
   for (size_t q = 0; q < regions_.size(); ++q) {
     if (q == owner || regions_[q].dead) continue;
-    ConduitFor(owner, q).SendReliable(ew_stats_, [this, q, id, owner] {
-      if (!regions_[q].dead) regions_[q].owner_cache[id] = owner;
-    });
+    ConduitFor(owner, q).SendReliable(
+        ew_stats_,
+        [this, q, id, owner] {
+          if (!regions_[q].dead) regions_[q].owner_cache[id] = owner;
+        },
+        nullptr, "announce");
     ++stats_.directory_announcements;
   }
   return id;
@@ -190,9 +223,12 @@ MeetingId FederatedControlPlane::CreateMeetingIn(size_t r) {
   const MeetingId id = regions_[owner].controller->CreateMeeting();
   for (size_t q = 0; q < regions_.size(); ++q) {
     if (q == owner || regions_[q].dead) continue;
-    ConduitFor(owner, q).SendReliable(ew_stats_, [this, q, id, owner] {
-      if (!regions_[q].dead) regions_[q].owner_cache[id] = owner;
-    });
+    ConduitFor(owner, q).SendReliable(
+        ew_stats_,
+        [this, q, id, owner] {
+          if (!regions_[q].dead) regions_[q].owner_cache[id] = owner;
+        },
+        nullptr, "announce");
     ++stats_.directory_announcements;
   }
   return id;
@@ -223,18 +259,35 @@ size_t FederatedControlPlane::ResolveOwner(size_t ingress, MeetingId meeting) {
   // ride the conduit (accounting; the authoritative answer is read from
   // the peer's shard synchronously, like the rest of the signaling path).
   ++stats_.directory_lookups_remote;
+  const uint64_t corr =
+      trace_ != nullptr ? trace_->NextCorrelation() : 0;
+  if (trace_ != nullptr) {
+    trace_->Emit(sched_.now(), obs::Category::kFederation, "federation",
+                 "lookup.begin", corr,
+                 TraceDetail("meeting=%u ingress=%zu",
+                             static_cast<unsigned>(meeting), ingress));
+  }
   size_t owner = SIZE_MAX;
   for (size_t q = 0; q < regions_.size(); ++q) {
     if (q == ingress || regions_[q].dead) continue;
     MessageConduit& conduit = ConduitFor(ingress, q);
-    conduit.Send(ew_stats_, [] {});  // query
-    conduit.Send(ew_stats_, [] {});  // response
+    conduit.Send(ew_stats_, [] {}, "lookup.query");
+    conduit.Send(ew_stats_, [] {}, "lookup.response");
     if (owner == SIZE_MAX &&
         regions_[q].controller->directory().Find(meeting) != nullptr) {
       owner = q;
     }
   }
   if (owner != SIZE_MAX) in.owner_cache[meeting] = owner;
+  if (trace_ != nullptr) {
+    trace_->Emit(sched_.now(), obs::Category::kFederation, "federation",
+                 "lookup.end", corr,
+                 TraceDetail("meeting=%u owner=%lld",
+                             static_cast<unsigned>(meeting),
+                             owner == SIZE_MAX
+                                 ? -1LL
+                                 : static_cast<long long>(owner)));
+  }
   return owner;
 }
 
@@ -606,8 +659,23 @@ void FederatedControlPlane::CheckControllerPeers(size_t r) {
     const util::DurationUs gap = sched_.now() - reg.peer_last_seen[q];
     if (gap < 2 * interval + latency) continue;
     ++stats_.controller_heartbeats_missed;
+    if (trace_ != nullptr) {
+      // One death chain per observed peer: its first miss opens it, and
+      // the death + adoption events reuse it so the whole
+      // miss -> dead -> adopted sequence reads as one causal chain.
+      if (death_chain_[q] == 0) death_chain_[q] = trace_->NextCorrelation();
+      trace_->Emit(sched_.now(), obs::Category::kFederation, "federation",
+                   "controller.heartbeat_miss", death_chain_[q],
+                   TraceDetail("peer=%zu observer=%zu gap_us=%lld", q, r,
+                               static_cast<long long>(gap)));
+    }
     if (gap >= kControllerMissThreshold * interval + latency) {
       reg.peer_alive[q] = false;
+      if (trace_ != nullptr) {
+        trace_->Emit(sched_.now(), obs::Category::kFederation, "federation",
+                     "controller.dead", death_chain_[q],
+                     TraceDetail("peer=%zu observer=%zu", q, r));
+      }
       if (may_adopt) AdoptRegion(r, q);
     }
   }
@@ -621,6 +689,10 @@ void FederatedControlPlane::KillController(size_t r) {
   reg.detector_task.reset();
   reg.controller->Shutdown();
   ++stats_.controllers_failed;
+  if (trace_ != nullptr) {
+    trace_->Emit(sched_.now(), obs::Category::kFederation, "federation",
+                 "controller.failed", 0, TraceDetail("region=%zu", r));
+  }
 }
 
 void FederatedControlPlane::AdoptRegion(size_t adopter, size_t dead) {
@@ -654,6 +726,12 @@ void FederatedControlPlane::AdoptRegion(size_t adopter, size_t dead) {
   d.adopted = true;
   ++stats_.shards_adopted;
   stats_.meetings_adopted += adopted;
+  if (trace_ != nullptr) {
+    trace_->Emit(sched_.now(), obs::Category::kFederation, "federation",
+                 "controller.adopted", death_chain_[dead],
+                 TraceDetail("dead=%zu adopter=%zu meetings=%zu", dead,
+                             adopter, adopted));
+  }
 }
 
 size_t FederatedControlPlane::OwnerRegionOf(MeetingId meeting) const {
@@ -696,8 +774,8 @@ size_t FederatedControlPlane::BorderGuestFor(size_t owner, MeetingId meeting) {
   // span must be usable within this Join. Either message lost: no span
   // this time; the home absorbs the joiner and the next overflow Join
   // retries (nothing is cached on failure).
-  if (!ConduitFor(owner, lender).Transact(ew_stats_) ||
-      !ConduitFor(lender, owner).Transact(ew_stats_)) {
+  if (!ConduitFor(owner, lender).Transact(ew_stats_, "border_request") ||
+      !ConduitFor(lender, owner).Transact(ew_stats_, "border_grant")) {
     return SIZE_MAX;
   }
   FleetController& lc = *regions_[lender].controller;
@@ -711,6 +789,13 @@ size_t FederatedControlPlane::BorderGuestFor(size_t owner, MeetingId meeting) {
   own.local_to_global[guest] = global;
   own.border_guest[meeting] = guest;
   ++stats_.border_spans;
+  if (trace_ != nullptr) {
+    trace_->Emit(sched_.now(), obs::Category::kFederation, "federation",
+                 "federation.border_span", 0,
+                 TraceDetail("meeting=%u owner=%zu lender=%zu switch=%zu",
+                             static_cast<unsigned>(meeting), owner, lender,
+                             global));
+  }
   return guest;
 }
 

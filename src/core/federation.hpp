@@ -309,6 +309,14 @@ class FederatedControlPlane : public SignalingServer {
   // Aggregate east-west message accounting (all conduits share it).
   const ConduitStats& east_west_stats() const { return ew_stats_; }
 
+  // Enables structured tracing across the whole plane: each region's
+  // controller traces on "region:<r>", each east-west conduit on
+  // "ew:<a>-<b>", and the plane's own transitions (lookups, controller
+  // deaths, adoptions, border spans) on "federation". Controller
+  // heartbeats stay untraced — at 20 Hz x R(R-1) they would drown the
+  // command timeline the same way switch heartbeats would.
+  void set_trace(obs::TraceLog* trace);
+
  private:
   struct Region {
     std::unique_ptr<FleetController> controller;
@@ -403,6 +411,11 @@ class FederatedControlPlane : public SignalingServer {
   std::function<void(MeetingId, size_t, size_t)> hitless_cb_;
   size_t next_ingress_ = 0;
   FederationStats stats_;
+  obs::TraceLog* trace_ = nullptr;
+  // Correlation id of the death chain open for observed peer q: assigned
+  // at q's first heartbeat miss, reused by the death and adoption events
+  // so the whole miss -> dead -> adopted sequence reads as one chain.
+  std::vector<uint64_t> death_chain_;
 };
 
 }  // namespace scallop::core

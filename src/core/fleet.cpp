@@ -1,16 +1,40 @@
 #include "core/fleet.hpp"
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
 namespace scallop::core {
+
+namespace {
+
+// Formats a trace detail string. Callers guard on trace() being set, so
+// the formatting cost is only paid when tracing is on.
+std::string TraceDetail(const char* fmt, ...) {
+  char buf[160];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
 
 FleetController::FleetController()
     : directory_(std::make_unique<LocalDirectoryShard>()),
       policy_(std::make_unique<LeastLoadedPolicy>()) {}
 
 FleetController::~FleetController() = default;
+
+void FleetController::Trace(obs::Category category, const std::string& name,
+                            uint64_t corr, const std::string& detail) {
+  if (trace_ == nullptr || sched_ == nullptr) return;
+  trace_->Emit(sched_->now(), category, trace_track_, name,
+               corr != 0 ? corr : active_chain_, detail);
+}
 
 size_t FleetController::AddSwitch(ControlChannel& channel, net::Ipv4 sfu_ip,
                                   size_t id_space) {
@@ -206,6 +230,11 @@ size_t FleetController::AdoptShardFrom(FleetController& failed,
   // bookkeeping a MigrateMeeting re-home gets, so fleet-wide counters
   // show the takeover.
   stats_.placements_rebalanced += adopted;
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kFleet, "fleet.shard_adopted", 0,
+          TraceDetail("meetings=%zu switches=%zu", adopted,
+                      switches_.size()));
+  }
   return adopted;
 }
 
@@ -240,7 +269,16 @@ void FleetController::ConfigureInterSwitchLink(size_t a, size_t b,
 void FleetController::SetInterSwitchLinkCapacity(size_t a, size_t b,
                                                  double capacity_bps) {
   topology_.SetLinkCapacity(a, b, capacity_bps);
+  // The capacity change opens a causal chain every replan collapse and
+  // tree flip it forces rides.
+  const uint64_t prev_chain = active_chain_;
+  if (trace_ != nullptr) {
+    active_chain_ = trace_->NextCorrelation();
+    Trace(obs::Category::kTopology, "topology.link_capacity", 0,
+          TraceDetail("link=%zu-%zu bps=%.0f", a, b, capacity_bps));
+  }
   ReplanOverloadedLinks();
+  active_chain_ = prev_chain;
 }
 
 void FleetController::ReplanOverloadedLinks() {
@@ -335,6 +373,12 @@ void FleetController::ReplanOverloadedLinks() {
         continue;
       }
       ++stats_.relay_replans;
+      if (trace_ != nullptr) {
+        Trace(obs::Category::kTopology, "topology.replan", 0,
+              TraceDetail("meeting=%u collapsed=%zu home=%zu",
+                          static_cast<unsigned>(meeting), child,
+                          st.placement.home));
+      }
       if (migration_cb_) migration_cb_(meeting, child, st.placement.home);
       TearDownSpan(st, child, /*switch_dead=*/false);
       st.frozen = true;
@@ -381,9 +425,23 @@ void FleetController::CheckHeartbeats() {
     const util::DurationUs gap = sched_->now() - m.last_heartbeat;
     if (gap < 2 * interval + latency) continue;  // one interval late: fine
     ++stats_.heartbeats_missed;
-    if (gap >= kHeartbeatMissThreshold * interval + latency) {
+    const bool death = gap >= kHeartbeatMissThreshold * interval + latency;
+    // The fatal miss opens a causal chain that the death and every
+    // migration it forces ride; sub-threshold misses stay uncorrelated.
+    if (death && trace_ != nullptr) active_chain_ = trace_->NextCorrelation();
+    if (trace_ != nullptr) {
+      Trace(obs::Category::kFleet, "switch.heartbeat_miss", 0,
+            TraceDetail("switch=%zu gap_us=%lld", i,
+                        static_cast<long long>(gap)));
+    }
+    if (death) {
       ++stats_.switches_failed;
+      if (trace_ != nullptr) {
+        Trace(obs::Category::kFleet, "switch.dead", 0,
+              TraceDetail("switch=%zu", i));
+      }
       OnSwitchDown(i);
+      active_chain_ = 0;
     }
   }
 }
@@ -479,7 +537,15 @@ void FleetController::Rebalance() {
   }
   if (pick == 0) return;
   ++stats_.rebalance_migrations;
+  const uint64_t prev_chain = active_chain_;
+  if (trace_ != nullptr) {
+    active_chain_ = trace_->NextCorrelation();
+    Trace(obs::Category::kFleet, "rebalance.migrate", 0,
+          TraceDetail("meeting=%u from=%zu to=%zu",
+                      static_cast<unsigned>(pick), busiest, idlest));
+  }
   MigrateMeeting(pick, idlest);
+  active_chain_ = prev_chain;
 }
 
 size_t FleetController::LeastLoaded(size_t exclude) const {
@@ -534,6 +600,11 @@ MeetingId FleetController::CreateMeeting() {
   directory_->Emplace(global, std::move(st));
   ++switches_[idx]->meetings;
   ++stats_.meetings_placed;
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kPlacement, "placement.meeting_placed", 0,
+          TraceDetail("meeting=%u switch=%zu", static_cast<unsigned>(global),
+                      idx));
+  }
   return global;
 }
 
@@ -569,6 +640,11 @@ RelaySpan& FleetController::EnsureSpan(MeetingState& st,
   st.placement.spans.push_back(std::move(span));
   ++switches_[switch_index]->meetings;
   ++stats_.relay_spans_installed;
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kPlacement, "placement.span_installed", 0,
+          TraceDetail("switch=%zu parent=%zu home=%zu", switch_index, parent,
+                      st.placement.home));
+  }
 
   // Route every existing sender's stream into the new span along the
   // relay tree, so its first member immediately sees the whole meeting.
@@ -1143,6 +1219,12 @@ void FleetController::PlanSecondary(MeetingState& st, MeetingRelay& r) {
   // Both trees' load rides the backbone for as long as the protection
   // stands — residual-capacity planning must see the doubled footprint.
   topology_.AddLoad(t.path, t.load_bps);
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kRedundancy, "redundancy.secondary_planned", 0,
+          TraceDetail("origin=%u edge=%zu-%zu hops=%zu",
+                      static_cast<unsigned>(t.origin), t.upstream,
+                      t.downstream, t.hops.size()));
+  }
   st.secondaries.push_back(std::move(t));
   ++stats_.secondary_trees_installed;
 }
@@ -1164,6 +1246,12 @@ void FleetController::FlipRelay(MeetingState& st, MeetingRelay& r,
   SecondaryTree* old = ActiveOf(st, r);
   tree.active = true;  // before any erase below invalidates the reference
   ++stats_.tree_flips;
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kRedundancy, "redundancy.tree_flip", 0,
+          TraceDetail("origin=%u edge=%zu-%zu",
+                      static_cast<unsigned>(r.origin), r.upstream,
+                      r.downstream));
+  }
   if (old != nullptr) {
     // Second flip: the outgoing transport is itself a chain. Demote it to
     // a plain standby and tear it down like one.
@@ -1254,6 +1342,11 @@ void FleetController::HitlessMigrate(MeetingState& st, MeetingId meeting,
   // (which would drop sessions) fires.
   ++stats_.hitless_migrations;
   ++stats_.placements_rebalanced;
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kRedundancy, "redundancy.hitless_migrate", 0,
+          TraceDetail("meeting=%u from=%zu to=%zu",
+                      static_cast<unsigned>(meeting), source, target));
+  }
   EnsureProtection(st);
   if (hitless_cb_) hitless_cb_(meeting, source, target);
 }
@@ -1296,6 +1389,12 @@ void FleetController::MigrateMeeting(MeetingId meeting, size_t target_switch) {
     return;
   }
   const size_t source_switch = st.placement.home;
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kFleet, "meeting.migrate", 0,
+          TraceDetail("meeting=%u from=%zu to=%zu",
+                      static_cast<unsigned>(meeting), source_switch,
+                      target_switch));
+  }
   // Planned moves go make-before-break when hitless migration is on: the
   // target span is built and relaying before anything flips, and no
   // member ever re-signals. Forced moves (the source switch is dead, or
@@ -1355,6 +1454,11 @@ void FleetController::OnSwitchDown(size_t switch_index) {
       spanned.push_back(meeting);
     }
   }
+  if (trace_ != nullptr) {
+    Trace(obs::Category::kFleet, "switch.down", 0,
+          TraceDetail("switch=%zu homed=%zu spanned=%zu", switch_index,
+                      homed.size(), spanned.size()));
+  }
   for (MeetingId meeting : homed) {
     size_t standby = LeastLoaded(switch_index);
     // With no live standby the meeting stays put and recovers only when
@@ -1368,6 +1472,11 @@ void FleetController::OnSwitchDown(size_t switch_index) {
     // let its members re-join — the policy re-plans them onto live
     // switches.
     MeetingState& st = *directory_->Find(meeting);
+    if (trace_ != nullptr) {
+      Trace(obs::Category::kFleet, "span.collapsed", 0,
+            TraceDetail("meeting=%u switch=%zu",
+                        static_cast<unsigned>(meeting), switch_index));
+    }
     if (migration_cb_) {
       migration_cb_(meeting, switch_index, st.placement.home);
     }

@@ -270,6 +270,17 @@ class FleetController : public SignalingServer,
   }
   const FleetStats& stats() const { return stats_; }
 
+  // Enables structured tracing of fleet-level transitions (heartbeat
+  // misses, switch deaths, migrations, replans, redundancy flips) on
+  // `track` ("fleet" standalone, "region:<r>" under a federation).
+  // Southbound command tracing is per-channel (ControlChannel::
+  // EnableTrace); this covers the control loops above the channels.
+  void set_trace(obs::TraceLog* trace, std::string track) {
+    trace_ = trace;
+    trace_track_ = std::move(track);
+  }
+  obs::TraceLog* trace() const { return trace_; }
+
   // The relay type now lives at namespace scope (core::MeetingRelay, see
   // federation.hpp) so directory records can carry it; the nested name
   // stays valid for existing callers.
@@ -401,6 +412,13 @@ class FleetController : public SignalingServer,
   // A switch is declared dead after this many silent heartbeat intervals.
   static constexpr int kHeartbeatMissThreshold = 3;
 
+  // Null-guarded trace emission; `corr` 0 falls back to the chain id the
+  // surrounding control-loop step opened (active_chain_), so nested calls
+  // (OnSwitchDown -> MigrateMeeting -> TearDownSpan) stitch into one
+  // causal chain without threading ids through every signature.
+  void Trace(obs::Category category, const std::string& name,
+             uint64_t corr = 0, const std::string& detail = "");
+
   std::vector<std::unique_ptr<Member>> switches_;
   // This controller's shard of the meeting store (placement, membership,
   // relay wiring, rebalance hysteresis per record).
@@ -432,6 +450,11 @@ class FleetController : public SignalingServer,
   // (paper: 2.3 Mb/s mean 720p stream including audio + overhead).
   double relay_stream_bps_ = 2.3e6;
   FleetStats stats_;
+  obs::TraceLog* trace_ = nullptr;
+  std::string trace_track_;
+  // Correlation id of the causal chain currently being executed (a
+  // heartbeat-declared death, a link-cut replan); 0 when idle.
+  uint64_t active_chain_ = 0;
 };
 
 }  // namespace scallop::core

@@ -5,6 +5,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/stats_registry.hpp"
+
 namespace scallop::harness {
 
 namespace {
@@ -174,6 +176,13 @@ std::string ScenarioMetrics::ToCsv() const {
         hitless_frames_lost);
   }
 
+  // Observability section: gated on the spec enabling tracing, so every
+  // untraced scenario keeps its golden bytes.
+  if (trace_configured) {
+    Row(out, "obs,trace_events,%" PRIu64 ",trace_evicted,%" PRIu64 "\n",
+        trace_events, trace_evicted);
+  }
+
   Row(out, "meeting,index,id,final_design,participants_at_end\n");
   for (const auto& m : meetings) {
     Row(out, "meeting,%d,%u,%s,%d\n", m.index, m.id, m.final_design.c_str(),
@@ -310,7 +319,86 @@ std::string ScenarioMetrics::Summary() const {
         topology.max_utilization * 100.0, topology.max_depth,
         topology.relay_replans);
   }
+  if (trace_configured) {
+    Row(out,
+        "    trace: %" PRIu64 " events emitted, %" PRIu64
+        " evicted by the flight-recorder ring\n",
+        trace_events, trace_evicted);
+  }
   return out;
+}
+
+void ScenarioMetrics::RegisterInto(obs::StatsRegistry& registry) const {
+  registry.Set("aggregate.switch_packets_in", switch_packets_in);
+  registry.Set("aggregate.switch_packets_out", switch_packets_out);
+  registry.Set("aggregate.switch_replicas", switch_replicas);
+  registry.Set("aggregate.seq_rewritten", seq_rewritten);
+  registry.Set("aggregate.seq_dropped", seq_dropped);
+  registry.Set("aggregate.svc_suppressed", svc_suppressed);
+  registry.Set("aggregate.dt_changes", dt_changes);
+  registry.Set("aggregate.filter_flips", filter_flips);
+  registry.Set("aggregate.trees_built", trees_built);
+  registry.Set("aggregate.tree_migrations", tree_migrations);
+  registry.Set("aggregate.blackholed", blackholed);
+  registry.Set("aggregate.rewrite_violations", RewriteViolations());
+  registry.Set("aggregate.delivery_floor", WorstDeliveryFloor());
+  if (!switches.empty()) {
+    registry.Set("fleet.switches", switches.size());
+    registry.Set("fleet.placements_rebalanced", placements_rebalanced);
+    registry.Set("cascade.spans_installed", cascade.spans_installed);
+    registry.Set("cascade.spans_removed", cascade.spans_removed);
+    registry.Set("cascade.relay_packets", cascade.relay_packets);
+    registry.Set("cascade.relay_bytes", cascade.relay_bytes);
+  }
+  if (control_plane) {
+    registry.Set("control.commands_sent", control.commands_sent);
+    registry.Set("control.commands_applied", control.commands_applied);
+    registry.Set("control.commands_dropped", control.commands_dropped);
+    registry.Set("control.commands_retransmitted",
+                 control.commands_retransmitted);
+    registry.Set("control.heartbeats_seen", control.heartbeats_seen);
+    registry.Set("control.heartbeats_missed", control.heartbeats_missed);
+    registry.Set("control.switches_failed", control.switches_failed);
+    registry.Set("control.rebalance_migrations", control.rebalance_migrations);
+  }
+  if (federation.configured) {
+    registry.Set("federation.regions",
+                 static_cast<uint64_t>(federation.regions));
+    registry.Set("federation.messages_sent", federation.messages_sent);
+    registry.Set("federation.messages_dropped", federation.messages_dropped);
+    registry.Set("federation.directory_lookups",
+                 federation.directory_lookups);
+    registry.Set("federation.remote_lookups",
+                 federation.directory_lookups_remote);
+    registry.Set("federation.border_spans", federation.border_spans);
+    registry.Set("federation.controllers_failed",
+                 federation.controllers_failed);
+    registry.Set("federation.shards_adopted", federation.shards_adopted);
+    registry.Set("federation.meetings_adopted", federation.meetings_adopted);
+  }
+  if (topology.configured) {
+    registry.Set("topology.links", topology.links.size());
+    registry.Set("topology.max_depth", topology.max_depth);
+    registry.Set("topology.relay_replans", topology.relay_replans);
+  }
+  if (workload) {
+    registry.Set("workload.roams_executed", roams_executed);
+    registry.Set("workload.roam_rehomings", roam_rehomings);
+  }
+  if (redundancy.configured) {
+    registry.Set("redundancy.secondary_trees_installed",
+                 redundancy.secondary_trees_installed);
+    registry.Set("redundancy.tree_flips", redundancy.tree_flips);
+    registry.Set("redundancy.duplicates_eliminated",
+                 redundancy.duplicates_eliminated);
+    registry.Set("redundancy.hitless_migrations",
+                 redundancy.hitless_migrations);
+    registry.Set("redundancy.hitless_frames_lost", hitless_frames_lost);
+  }
+  if (trace_configured) {
+    registry.Set("trace.events", trace_events);
+    registry.Set("trace.evicted", trace_evicted);
+  }
 }
 
 uint64_t ScenarioMetrics::WorstDeliveryFloor() const {

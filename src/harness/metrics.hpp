@@ -12,6 +12,10 @@
 #include "core/types.hpp"
 #include "testbed/backend.hpp"
 
+namespace scallop::obs {
+class StatsRegistry;
+}  // namespace scallop::obs
+
 namespace scallop::harness {
 
 // One directed media stream as seen by its receiver at collection time.
@@ -150,10 +154,20 @@ struct ScenarioMetrics {
   uint64_t hitless_frames_lost = 0;
   uint64_t hitless_moves_measured = 0;
 
+  // Observability section (structured event tracing): rendered only when
+  // the spec enabled WithTrace (`trace_configured`), so every untraced
+  // scenario's CSV keeps its exact bytes.
+  bool trace_configured = false;
+  uint64_t trace_events = 0;   // total emitted, before any ring eviction
+  uint64_t trace_evicted = 0;  // dropped by the flight-recorder ring
+
   // Byte-stable rendering: identical spec + seed => identical string.
   std::string ToCsv() const;
   // Human-oriented digest for benches/examples.
   std::string Summary() const;
+  // Publishes every aggregate this run rendered (same gating as the CSV
+  // sections) into the unified stats registry the trace exporter embeds.
+  void RegisterInto(obs::StatsRegistry& registry) const;
 
   // Lowest min_frames_decoded over peers present at the end with at least
   // one active stream (the scenario-matrix starvation assertion).

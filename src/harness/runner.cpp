@@ -1,6 +1,7 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -212,6 +213,13 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec) : spec_(spec) {
   base.redundancy.redundant_trees = spec_.redundant_trees;
   base.redundancy.dedup_window = spec_.redundancy_dedup_window;
   base.redundancy.hitless_migration = spec_.hitless_migration;
+
+  // The trace log must exist before the backend: every channel/controller/
+  // conduit captures the raw pointer at construction.
+  if (spec_.trace_enabled) {
+    trace_ = std::make_unique<obs::TraceLog>(spec_.trace_ring);
+    base.trace = trace_.get();
+  }
 
   backend_ = testbed::MakeBackend(spec_.backend, base);
   backend_->SetMeetingMovedCallback(
@@ -496,6 +504,12 @@ void ScenarioRunner::FailoverBegin() {
   in_failover_ = true;
   std::vector<core::MeetingId> affected = backend_->FailoverBegin();
   failover_affected_ = affected;
+  if (trace_ != nullptr) {
+    failover_corr_ = trace_->NextCorrelation();
+    trace_->Emit(backend_->sched().now(), obs::Category::kScheduler, "runner",
+                 "failover.begin", failover_corr_,
+                 "affected=" + std::to_string(affected.size()));
+  }
   for (Slot& slot : slots_) {
     if (!slot.present) continue;
     if (std::find(affected.begin(), affected.end(), slot.meeting_id) ==
@@ -523,6 +537,12 @@ void ScenarioRunner::FailoverEnd() {
   // backend's signaling routes to whatever switch now hosts each meeting
   // (on a fleet, the live standby rather than the restarted victim).
   backend_->FailoverEnd();
+  if (trace_ != nullptr) {
+    trace_->Emit(backend_->sched().now(), obs::Category::kScheduler, "runner",
+                 "failover.end", failover_corr_,
+                 "returnees=" + std::to_string(failover_returnees_.size()));
+    failover_corr_ = 0;
+  }
   const double t = now_s();
   for (Slot* slot : failover_returnees_) {
     // A participant whose scheduled departure fell inside the blackout
@@ -683,8 +703,47 @@ const ScenarioMetrics& ScenarioRunner::Run() {
   if (!finished_) {
     final_metrics_ = Collect();
     finished_ = true;
+    // When the run violated a core invariant, dump the flight recorder so
+    // the failing CI log carries the events leading up to the failure.
+    const std::string dump = FlightRecorderDump(final_metrics_);
+    if (!dump.empty()) std::fputs(dump.c_str(), stderr);
   }
   return final_metrics_;
+}
+
+std::string ScenarioRunner::FlightRecorderDump(
+    const ScenarioMetrics& m) const {
+  if (trace_ == nullptr) return "";
+  // The invariants every scenario promises: gap-free sequence rewriting,
+  // no starved present peer, and no frames lost across hitless moves.
+  bool starved = false;
+  for (const PeerMetrics& p : m.peers) {
+    if (p.present_at_end && p.active_streams > 0 &&
+        p.min_frames_decoded == 0) {
+      starved = true;
+      break;
+    }
+  }
+  const uint64_t rewrite_violations = m.RewriteViolations();
+  if (rewrite_violations == 0 && m.hitless_frames_lost == 0 && !starved) {
+    return "";
+  }
+  std::string out =
+      "=== flight recorder: scenario '" + spec_.name + "' seed " +
+      std::to_string(spec_.seed) + " violated:";
+  if (rewrite_violations > 0) {
+    out += " rewrite_violations=" + std::to_string(rewrite_violations);
+  }
+  if (m.hitless_frames_lost > 0) {
+    out += " hitless_frames_lost=" + std::to_string(m.hitless_frames_lost);
+  }
+  if (starved) out += " starved_peer";
+  out += " ===\n";
+  out += "last " + std::to_string(trace_->size()) + " of " +
+         std::to_string(trace_->total_emitted()) + " events (" +
+         std::to_string(trace_->evicted()) + " evicted):\n";
+  out += trace_->ToText();
+  return out;
 }
 
 void ScenarioRunner::RunUntil(double t_s) { backend_->RunUntil(t_s); }
@@ -828,6 +887,11 @@ ScenarioMetrics ScenarioRunner::Collect() const {
   m.redundancy = backend_->redundancy_counters();
   m.hitless_frames_lost = hitless_frames_lost_;
   m.hitless_moves_measured = hitless_moves_measured_;
+  m.trace_configured = trace_ != nullptr;
+  if (trace_ != nullptr) {
+    m.trace_events = trace_->total_emitted();
+    m.trace_evicted = trace_->evicted();
+  }
   return m;
 }
 

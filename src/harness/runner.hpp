@@ -12,6 +12,7 @@
 
 #include "harness/metrics.hpp"
 #include "harness/scenario.hpp"
+#include "obs/trace.hpp"
 
 namespace scallop::testbed {
 class FleetTestbed;
@@ -59,6 +60,18 @@ class ScenarioRunner {
   // Whether the participant is currently in its meeting.
   bool present(int meeting, int participant) const;
 
+  // The structured trace this run emitted into; null unless the spec
+  // enabled WithTrace.
+  obs::TraceLog* trace() { return trace_.get(); }
+  const obs::TraceLog* trace() const { return trace_.get(); }
+  // Flight-recorder dump: when tracing is on and the collected metrics
+  // violate a core invariant (a rewrite violation, a starved present
+  // peer, or frames lost across a hitless move), returns a header naming
+  // the violated invariants followed by the trace's text form — the last
+  // `trace_ring` events before the failure. Empty string otherwise.
+  // Run() prints it to stderr automatically.
+  std::string FlightRecorderDump(const ScenarioMetrics& m) const;
+
  private:
   struct Slot {
     client::Peer* peer = nullptr;
@@ -99,6 +112,9 @@ class ScenarioRunner {
   const Slot& slot_at(int meeting, int participant) const;
 
   ScenarioSpec spec_;
+  // Owned trace log (spec.trace_enabled); must outlive backend_, whose
+  // channels/controllers/conduits hold raw pointers into it.
+  std::unique_ptr<obs::TraceLog> trace_;
   std::unique_ptr<testbed::Backend> backend_;
   std::vector<core::MeetingId> meeting_ids_;
   std::vector<Slot> slots_;  // meeting-major order
@@ -120,6 +136,8 @@ class ScenarioRunner {
   // audited move (expected 0), and the number of moves audited.
   uint64_t hitless_frames_lost_ = 0;
   uint64_t hitless_moves_measured_ = 0;
+  // Correlates the failover.begin/.end pair into one Chrome trace span.
+  uint64_t failover_corr_ = 0;
   std::vector<TimelineSample> timeline_;
   SampleHook sample_hook_;
   ScenarioMetrics final_metrics_;

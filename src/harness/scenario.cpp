@@ -190,6 +190,12 @@ ScenarioSpec& ScenarioSpec::WithHitlessMigration() {
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::WithTrace(size_t ring_capacity) {
+  trace_enabled = true;
+  trace_ring = ring_capacity;
+  return *this;
+}
+
 int ScenarioSpec::TotalParticipants() const {
   int n = 0;
   for (const auto& m : meetings) n += static_cast<int>(m.participants.size());

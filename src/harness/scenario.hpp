@@ -203,6 +203,14 @@ struct ScenarioSpec {
   // frames lost across each move (expected: 0).
   bool hitless_migration = false;
 
+  // Structured event tracing (obs::TraceLog): when enabled the runner
+  // owns a trace log that every southbound channel, fleet controller and
+  // east-west conduit emits into; `trace_ring` bounds it as a flight
+  // recorder (0 = unbounded). Off by default — the untraced branches run
+  // and every CSV/fingerprint stays byte-identical.
+  bool trace_enabled = false;
+  size_t trace_ring = 0;
+
   // Underlying testbed knobs (encoder rates, agent policy, ...). The
   // testbed seed is overwritten with `seed` above; per-participant link
   // shapes come from their LinkProfile, not from the base config.
@@ -255,6 +263,9 @@ struct ScenarioSpec {
   ScenarioSpec& WithRedundantTrees(int dedup_window = 512);
   // Enables make-before-break (hitless) migration for planned re-homes.
   ScenarioSpec& WithHitlessMigration();
+  // Enables structured event tracing. `ring_capacity` > 0 keeps only the
+  // newest events (flight-recorder mode); 0 keeps everything.
+  ScenarioSpec& WithTrace(size_t ring_capacity = 0);
 
   // Total participants across meetings.
   int TotalParticipants() const;

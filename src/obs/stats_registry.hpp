@@ -1,0 +1,37 @@
+// Unified counter registry: one walkable name -> value view over the
+// scattered counter families (aggregate metrics, control-plane counters,
+// cascade counters, federation/topology/workload/redundancy stats, trace
+// totals). Summary(), the CSV writer, and the Chrome trace exporter all
+// read from the same registration instead of each hand-picking fields.
+//
+// Entries keep insertion order so every rendered view is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scallop::obs {
+
+class StatsRegistry {
+ public:
+  // Registers or overwrites a counter. Insertion order is preserved;
+  // re-setting an existing name updates it in place.
+  void Set(const std::string& name, uint64_t value);
+
+  // Returns the value, or 0 when the name was never registered.
+  uint64_t Get(const std::string& name) const;
+
+  const std::vector<std::pair<std::string, uint64_t>>& entries() const {
+    return entries_;
+  }
+
+  // One "name=value" line per entry, in registration order.
+  std::string ToText() const;
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> entries_;
+};
+
+}  // namespace scallop::obs

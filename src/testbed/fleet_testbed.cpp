@@ -28,6 +28,7 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches,
   fed_cfg.seed = cfg_.seed * 7 + 13;
   federation_ =
       std::make_unique<core::FederatedControlPlane>(sched_, fed_cfg);
+  if (cfg_.trace != nullptr) federation_->set_trace(cfg_.trace);
   nodes_.reserve(static_cast<size_t>(n_switches));
   for (int i = 0; i < n_switches; ++i) {
     Node node;
@@ -46,6 +47,9 @@ FleetTestbed::FleetTestbed(const TestbedConfig& cfg, int n_switches,
         cfg_.seed * 1'000'003 + 17 + static_cast<uint64_t>(i) * 7919;
     node.channel =
         std::make_unique<core::ControlChannel>(sched_, *node.agent, ctrl_cfg);
+    if (cfg_.trace != nullptr) {
+      node.channel->EnableTrace(cfg_.trace, static_cast<size_t>(i));
+    }
     network_->Attach(node.ip, node.sw.get(), cfg_.sfu_uplink,
                      cfg_.sfu_downlink);
     federation_->AddSwitch(*node.channel, node.ip);

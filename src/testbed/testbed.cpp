@@ -33,6 +33,7 @@ ScallopTestbed::ScallopTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
   core::ControlChannelConfig ctrl_cfg = cfg_.control;
   ctrl_cfg.seed = cfg_.seed * 1'000'003 + 17;
   channel_ = std::make_unique<core::ControlChannel>(sched_, *agent_, ctrl_cfg);
+  if (cfg_.trace != nullptr) channel_->EnableTrace(cfg_.trace, 0);
   controller_ = std::make_unique<core::Controller>(*channel_, cfg_.sfu_ip);
   network_->Attach(cfg_.sfu_ip, switch_.get(), cfg_.sfu_uplink,
                    cfg_.sfu_downlink);

@@ -73,6 +73,11 @@ struct TestbedConfig {
   // (hitless) migration. Defaults keep everything off — byte-identical
   // to the classic break-before-make fleet.
   core::RedundancyConfig redundancy;
+  // Structured event tracing (obs::TraceLog): when set, every southbound
+  // channel, fleet controller, and east-west conduit the testbed builds
+  // emits into it. Null (the default) keeps every traced path on its
+  // byte-identical untraced branch. Not owned.
+  obs::TraceLog* trace = nullptr;
 };
 
 class ScallopTestbed : public Backend {

@@ -26,11 +26,71 @@ const std::pair<const char*, uint64_t> kPinnedTable[] = {
 #include "fingerprint_table.inc"
 };
 
+// Per-section digests pinned alongside the combined table: on a combined
+// mismatch the suite diffs these so the failure names the CSV sections
+// that drifted (and only re-running those subsystems needs thought).
+const std::pair<const char*, const char*> kPinnedSections[] = {
+    {"", ""},
+#include "fingerprint_sections.inc"
+};
+
 std::map<std::string, uint64_t> PinnedFingerprints() {
   std::map<std::string, uint64_t> out;
   for (const auto& [key, digest] : kPinnedTable) {
     if (key[0] != '\0') out.emplace(key, digest);
   }
+  return out;
+}
+
+std::map<std::string, std::string> PinnedSectionLines() {
+  std::map<std::string, std::string> out;
+  for (const auto& [key, line] : kPinnedSections) {
+    if (key[0] != '\0') out.emplace(key, line);
+  }
+  return out;
+}
+
+// Parses a FingerprintComponents::Format() line ("combined=0x...
+// aggregate=0x... ...") back into (section, digest-hex) pairs.
+std::map<std::string, std::string> ParseDigestLine(const std::string& line) {
+  std::map<std::string, std::string> out;
+  size_t start = 0;
+  while (start < line.size()) {
+    size_t end = line.find(' ', start);
+    if (end == std::string::npos) end = line.size();
+    const std::string field = line.substr(start, end - start);
+    const size_t eq = field.find('=');
+    if (eq != std::string::npos) {
+      out.emplace(field.substr(0, eq), field.substr(eq + 1));
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+// Renders which sections moved between the pinned digest line and the
+// current run — the actionable part of a fingerprint failure.
+std::string SectionDrift(const std::string& pinned_line,
+                         const FingerprintComponents& got) {
+  if (pinned_line.empty()) return "  (no pinned section digests)\n";
+  const auto pinned = ParseDigestLine(pinned_line);
+  const auto current = ParseDigestLine(got.Format());
+  std::string out;
+  for (const auto& [name, digest] : pinned) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      out += "  section " + name + " disappeared (pinned " + digest + ")\n";
+    } else if (it->second != digest) {
+      out += "  section " + name + " drifted: pinned " + digest + ", got " +
+             it->second + "\n";
+    }
+  }
+  for (const auto& [name, digest] : current) {
+    if (!pinned.count(name)) {
+      out += "  section " + name + " is new (got " + digest + ")\n";
+    }
+  }
+  if (out.empty()) out = "  (no section moved — header/order drift?)\n";
   return out;
 }
 
@@ -77,6 +137,7 @@ TEST(Fingerprints, TableCoversExactlyTheGrid) {
 
 TEST(Fingerprints, PinnedDigestsMatch) {
   const auto pinned = PinnedFingerprints();
+  const auto pinned_sections = PinnedSectionLines();
   for (const auto& p : AllFingerprintPoints()) {
     const auto it = pinned.find(p.key);
     if (it == pinned.end()) continue;  // TableCoversExactlyTheGrid reports
@@ -84,10 +145,16 @@ TEST(Fingerprints, PinnedDigestsMatch) {
     const ScenarioMetrics& m = runner.Run();
     const uint64_t got = ScenarioFingerprint::Of(m);
     if (got != it->second) {
+      const FingerprintComponents c = ScenarioFingerprint::Components(m);
+      const auto sec = pinned_sections.find(p.key);
       ADD_FAILURE() << "fingerprint drift at " << p.key << ": pinned "
                     << ScenarioFingerprint::Hex(it->second) << ", got "
                     << ScenarioFingerprint::Hex(got) << "\n  "
-                    << ScenarioFingerprint::Components(m).Format() << "\n"
+                    << c.Format() << "\n"
+                    << SectionDrift(sec == pinned_sections.end()
+                                        ? std::string()
+                                        : sec->second,
+                                    c)
                     << m.Summary();
     }
   }
@@ -109,17 +176,19 @@ TEST(Fingerprints, SectionsFoldIntoTheCombinedDigest) {
   }
 }
 
-int Rebaseline(const char* path) {
-  std::string out;
-  size_t n = 0;
-  const auto points = AllFingerprintPoints();
-  for (const auto& p : points) {
-    const uint64_t digest = ScenarioFingerprint::OfSpec(p.spec);
-    out += "{\"" + p.key + "\", " + ScenarioFingerprint::Hex(digest) +
-           "ull},\n";
-    ++n;
-    std::fprintf(stderr, "[%zu/%zu] %s\n", n, points.size(), p.key.c_str());
+// Derives the per-section table's path from the combined table's: the two
+// live side by side and rebaseline regenerates both in one pass.
+std::string SectionsPathFor(const std::string& table_path) {
+  const std::string needle = "fingerprint_table.inc";
+  const size_t at = table_path.rfind(needle);
+  if (at != std::string::npos) {
+    return table_path.substr(0, at) + "fingerprint_sections.inc" +
+           table_path.substr(at + needle.size());
   }
+  return table_path + ".sections";
+}
+
+int WriteOrPrint(const std::string& out, const char* path, size_t n) {
   if (path == nullptr) {
     std::fputs(out.c_str(), stdout);
     return 0;
@@ -131,8 +200,29 @@ int Rebaseline(const char* path) {
   }
   std::fputs(out.c_str(), f);
   std::fclose(f);
-  std::fprintf(stderr, "wrote %zu fingerprints to %s\n", n, path);
+  std::fprintf(stderr, "wrote %zu entries to %s\n", n, path);
   return 0;
+}
+
+int Rebaseline(const char* path) {
+  std::string table;
+  std::string sections;
+  size_t n = 0;
+  const auto points = AllFingerprintPoints();
+  for (const auto& p : points) {
+    ScenarioRunner runner(p.spec);
+    const FingerprintComponents c =
+        ScenarioFingerprint::Components(runner.Run());
+    table += "{\"" + p.key + "\", " + ScenarioFingerprint::Hex(c.combined) +
+             "ull},\n";
+    sections += "{\"" + p.key + "\", \"" + c.Format() + "\"},\n";
+    ++n;
+    std::fprintf(stderr, "[%zu/%zu] %s\n", n, points.size(), p.key.c_str());
+  }
+  const int rc = WriteOrPrint(table, path, n);
+  if (rc != 0 || path == nullptr) return rc;
+  const std::string sections_path = SectionsPathFor(path);
+  return WriteOrPrint(sections, sections_path.c_str(), n);
 }
 
 }  // namespace
